@@ -1,0 +1,215 @@
+//! Probability distributions used by the risk model.
+//!
+//! The equivalence probability of a pair is modeled as a normal distribution
+//! truncated to `[0, 1]` (Section 4.2 of the paper).  The normal approximation
+//! is justified by the Beta/Normal approximation for large pseudo-sample sizes
+//! (`α + β ≥ 10`).
+
+use er_base::stats::{std_normal_cdf, std_normal_pdf, std_normal_quantile};
+use serde::{Deserialize, Serialize};
+
+/// A (untruncated) normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (non-negative).
+    pub std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    /// Panics when `std` is negative or not finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std >= 0.0 && std.is_finite(), "standard deviation must be non-negative, got {std}");
+        Self { mean, std }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std == 0.0 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        std_normal_cdf((x - self.mean) / self.std)
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.std == 0.0 {
+            return if (x - self.mean).abs() < f64::EPSILON { f64::INFINITY } else { 0.0 };
+        }
+        std_normal_pdf((x - self.mean) / self.std) / self.std
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.std == 0.0 {
+            return self.mean;
+        }
+        self.mean + self.std * std_normal_quantile(p)
+    }
+
+    /// Approximates a `Beta(α, β)` distribution by a normal with matched
+    /// moments — the construction the paper uses to motivate the normal model
+    /// of equivalence probabilities.
+    pub fn from_beta(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+        let mean = alpha / (alpha + beta);
+        let var = alpha * beta / ((alpha + beta).powi(2) * (alpha + beta + 1.0));
+        Self::new(mean, var.sqrt())
+    }
+}
+
+/// A normal distribution truncated to the interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruncatedNormal {
+    /// The underlying (untruncated) normal.
+    pub base: Normal,
+    /// Lower truncation bound.
+    pub lo: f64,
+    /// Upper truncation bound.
+    pub hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Truncates a normal to `[0, 1]` — the form used for equivalence
+    /// probabilities.
+    pub fn unit(base: Normal) -> Self {
+        Self { base, lo: 0.0, hi: 1.0 }
+    }
+
+    /// Creates a truncated normal on `[lo, hi]`.
+    pub fn new(base: Normal, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "truncation interval must be non-empty");
+        Self { base, lo, hi }
+    }
+
+    /// Normalization constant `Φ((hi-μ)/σ) - Φ((lo-μ)/σ)`.
+    fn mass(&self) -> f64 {
+        (self.base.cdf(self.hi) - self.base.cdf(self.lo)).max(1e-12)
+    }
+
+    /// CDF of the truncated distribution.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        (self.base.cdf(x) - self.base.cdf(self.lo)) / self.mass()
+    }
+
+    /// Quantile of the truncated distribution at `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        if self.base.std == 0.0 {
+            return self.base.mean.clamp(self.lo, self.hi);
+        }
+        if p <= 0.0 {
+            return self.lo;
+        }
+        if p >= 1.0 {
+            return self.hi;
+        }
+        let target = self.base.cdf(self.lo) + p * self.mass();
+        self.base.quantile(target.clamp(1e-12, 1.0 - 1e-12)).clamp(self.lo, self.hi)
+    }
+
+    /// Mean of the truncated distribution.
+    pub fn mean(&self) -> f64 {
+        if self.base.std == 0.0 {
+            return self.base.mean.clamp(self.lo, self.hi);
+        }
+        let a = (self.lo - self.base.mean) / self.base.std;
+        let b = (self.hi - self.base.mean) / self.base.std;
+        let z = (std_normal_cdf(b) - std_normal_cdf(a)).max(1e-12);
+        self.base.mean + self.base.std * (std_normal_pdf(a) - std_normal_pdf(b)) / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip() {
+        let n = Normal::new(0.6, 0.1);
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+        assert!((n.quantile(0.5) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_normal() {
+        let n = Normal::new(0.3, 0.0);
+        assert_eq!(n.cdf(0.2), 0.0);
+        assert_eq!(n.cdf(0.4), 1.0);
+        assert_eq!(n.quantile(0.9), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_panics() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn beta_approximation_moments() {
+        let n = Normal::from_beta(30.0, 70.0);
+        assert!((n.mean - 0.3).abs() < 1e-12);
+        let expected_var: f64 = 30.0 * 70.0 / (100.0f64.powi(2) * 101.0);
+        assert!((n.std - expected_var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_quantile_is_within_bounds() {
+        let t = TruncatedNormal::unit(Normal::new(0.9, 0.3));
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let q = t.quantile(p);
+            assert!((0.0..=1.0).contains(&q), "q={q} at p={p}");
+        }
+        // Monotone in p.
+        assert!(t.quantile(0.9) >= t.quantile(0.5));
+        assert!(t.quantile(0.5) >= t.quantile(0.1));
+    }
+
+    #[test]
+    fn truncated_cdf_quantile_roundtrip() {
+        let t = TruncatedNormal::unit(Normal::new(0.4, 0.2));
+        for &p in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let x = t.quantile(p);
+            assert!((t.cdf(x) - p).abs() < 1e-5, "p={p} x={x} cdf={}", t.cdf(x));
+        }
+        assert_eq!(t.cdf(-0.1), 0.0);
+        assert_eq!(t.cdf(1.1), 1.0);
+    }
+
+    #[test]
+    fn truncation_shifts_mean_toward_interval() {
+        // A normal centered above 1 has a truncated mean below 1.
+        let t = TruncatedNormal::unit(Normal::new(1.2, 0.3));
+        let m = t.mean();
+        assert!(m < 1.0 && m > 0.5, "mean {m}");
+        // A symmetric-in-range normal keeps its mean.
+        let t2 = TruncatedNormal::unit(Normal::new(0.5, 0.1));
+        assert!((t2.mean() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_degenerate_clamps() {
+        let t = TruncatedNormal::unit(Normal::new(1.4, 0.0));
+        assert_eq!(t.quantile(0.5), 1.0);
+        assert_eq!(t.mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn invalid_truncation_interval_panics() {
+        TruncatedNormal::new(Normal::new(0.0, 1.0), 1.0, 0.0);
+    }
+}

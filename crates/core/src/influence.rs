@@ -1,0 +1,127 @@
+//! The classifier-output influence function (Eq. 11 of the paper).
+//!
+//! The classifier's probability output is itself a risk feature.  Its weight
+//! in the risk portfolio is not a free per-value parameter; instead it is the
+//! bell-shaped function
+//!
+//! ```text
+//! f_w(x) = -exp( -(x - 0.5)² / (2 α²) ) + β + 1
+//! ```
+//!
+//! of the output `x`, with only two learnable shape parameters `α` and `β`.
+//! The influence is lowest at the ambiguous output 0.5 (where the classifier
+//! carries little information) and grows toward the extremes 0 and 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Learnable influence function of the classifier-output feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InfluenceFunction {
+    /// Width of the central dip.
+    pub alpha: f64,
+    /// Vertical offset; `f_w(0.5) = β` and `f_w(x) → β + 1` at the extremes
+    /// (for small `α`).
+    pub beta: f64,
+}
+
+impl InfluenceFunction {
+    /// Creates an influence function.
+    ///
+    /// # Panics
+    /// Panics for non-positive `α` (the function would be degenerate).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        Self { alpha, beta }
+    }
+
+    /// Evaluates the influence (weight) at classifier output `x`.
+    pub fn weight(&self, x: f64) -> f64 {
+        -self.gaussian(x) + self.beta + 1.0
+    }
+
+    /// The Gaussian bump `exp(-(x-0.5)²/(2α²))`.
+    fn gaussian(&self, x: f64) -> f64 {
+        let d = x - 0.5;
+        (-(d * d) / (2.0 * self.alpha * self.alpha)).exp()
+    }
+
+    /// Partial derivative of the weight with respect to `α`.
+    pub fn d_weight_d_alpha(&self, x: f64) -> f64 {
+        let d = x - 0.5;
+        // d/dα [-exp(u)] with u = -d²/(2α²); du/dα = d²/α³.
+        -self.gaussian(x) * (d * d) / (self.alpha * self.alpha * self.alpha)
+    }
+
+    /// Partial derivative of the weight with respect to `β` (always 1).
+    pub fn d_weight_d_beta(&self) -> f64 {
+        1.0
+    }
+}
+
+impl Default for InfluenceFunction {
+    fn default() -> Self {
+        // The paper's illustrative example (Figure 8) uses α = 0.2; β is
+        // learned — 4.0 is a neutral starting point giving the classifier
+        // output a few rules' worth of weight.
+        Self { alpha: 0.2, beta: 4.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_minimal_at_ambiguous_output() {
+        let f = InfluenceFunction::new(0.2, 10.0);
+        let mid = f.weight(0.5);
+        assert!(f.weight(0.0) > mid);
+        assert!(f.weight(1.0) > mid);
+        assert!(f.weight(0.3) > mid);
+        // Figure 8 of the paper: with α=0.2, β=10 the weight ranges in (10, 11].
+        assert!((mid - 10.0).abs() < 1e-9);
+        assert!(f.weight(0.0) <= 11.0 && f.weight(0.0) > 10.9);
+    }
+
+    #[test]
+    fn weight_is_symmetric_around_half() {
+        let f = InfluenceFunction::new(0.15, 3.0);
+        for &d in &[0.05, 0.1, 0.2, 0.4] {
+            assert!((f.weight(0.5 - d) - f.weight(0.5 + d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_increases_monotonically_with_extremeness() {
+        let f = InfluenceFunction::default();
+        let mut prev = f.weight(0.5);
+        for k in 1..=10 {
+            let x = 0.5 + 0.05 * k as f64;
+            let w = f.weight(x);
+            assert!(w >= prev, "weight should not decrease toward the extremes");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let f = InfluenceFunction::new(0.27, 5.5);
+        let eps = 1e-6;
+        for &x in &[0.1, 0.45, 0.5, 0.62, 0.98] {
+            let num_alpha = (InfluenceFunction::new(f.alpha + eps, f.beta).weight(x)
+                - InfluenceFunction::new(f.alpha - eps, f.beta).weight(x))
+                / (2.0 * eps);
+            assert!((num_alpha - f.d_weight_d_alpha(x)).abs() < 1e-5, "x={x}");
+            let num_beta = (InfluenceFunction::new(f.alpha, f.beta + eps).weight(x)
+                - InfluenceFunction::new(f.alpha, f.beta - eps).weight(x))
+                / (2.0 * eps);
+            assert!((num_beta - f.d_weight_d_beta()).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn non_positive_alpha_panics() {
+        InfluenceFunction::new(0.0, 1.0);
+    }
+}

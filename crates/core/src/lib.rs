@@ -1,0 +1,35 @@
+//! # learnrisk-core
+//!
+//! The paper's primary contribution: an interpretable and learnable risk model
+//! for entity resolution (LearnRisk).
+//!
+//! * [`feature`] — risk features (one-sided rules + classifier output), prior
+//!   expectation estimation and the per-pair feature inputs.
+//! * [`distribution`] — normal / truncated-normal equivalence-probability
+//!   distributions.
+//! * [`portfolio`] — the investment-portfolio aggregation of feature
+//!   distributions (Eq. 2–3).
+//! * [`influence`] — the classifier-output influence function (Eq. 11).
+//! * [`var`] — Value-at-Risk / CVaR risk metrics (Eq. 8–10).
+//! * [`model`] — the [`model::LearnRiskModel`] with its learnable parameters
+//!   and interpretation output.
+//! * [`train`] — pairwise learning-to-rank training with analytic gradients
+//!   (Eq. 13–17), plus L1/L2 regularization.
+
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod feature;
+pub mod influence;
+pub mod model;
+pub mod portfolio;
+pub mod train;
+pub mod var;
+
+pub use distribution::{Normal, TruncatedNormal};
+pub use feature::{build_input_from_row, build_inputs, metric_rows, rule_coverage, PairRiskInput, RiskFeatureSet};
+pub use influence::InfluenceFunction;
+pub use model::{FeatureContribution, LearnRiskModel, RiskModelConfig};
+pub use portfolio::{aggregate, PortfolioComponent, PortfolioDistribution};
+pub use train::{evaluate_auroc, train, RiskTrainConfig, TrainReport};
+pub use var::{pair_risk, RiskMetric};

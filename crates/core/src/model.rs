@@ -1,0 +1,306 @@
+//! The LearnRisk model: learnable parameters, risk scoring and interpretation.
+
+use crate::distribution::{Normal, TruncatedNormal};
+use crate::feature::{PairRiskInput, RiskFeatureSet};
+use crate::influence::InfluenceFunction;
+use crate::portfolio::{aggregate, PortfolioComponent, PortfolioDistribution};
+use crate::var::{pair_risk, RiskMetric};
+use er_base::stats::std_normal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a LearnRisk model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RiskModelConfig {
+    /// VaR confidence level θ (the paper uses 0.9).
+    pub theta: f64,
+    /// Risk metric (VaR in the paper; CVaR / expectation available for
+    /// ablations).
+    pub metric: RiskMetric,
+    /// Number of classifier-output buckets, each with its own learnable RSD.
+    pub output_buckets: usize,
+    /// Initial Relative Standard Deviation of rule features.
+    pub initial_rule_rsd: f64,
+    /// Initial RSD of the classifier-output feature buckets.
+    pub initial_output_rsd: f64,
+    /// Initial weight of every rule feature.
+    pub initial_rule_weight: f64,
+}
+
+impl Default for RiskModelConfig {
+    fn default() -> Self {
+        Self {
+            theta: 0.9,
+            metric: RiskMetric::ValueAtRisk,
+            output_buckets: 10,
+            initial_rule_rsd: 0.3,
+            initial_output_rsd: 0.3,
+            initial_rule_weight: 1.0,
+        }
+    }
+}
+
+/// Contribution of one feature to a pair's risk, for interpretation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureContribution {
+    /// Human-readable description of the feature.
+    pub description: String,
+    /// Weight of the feature in the pair's portfolio.
+    pub weight: f64,
+    /// Expectation of the feature distribution.
+    pub expectation: f64,
+    /// Standard deviation of the feature distribution.
+    pub std: f64,
+}
+
+/// The learnable risk model (Sections 4.2, 6 of the paper).
+///
+/// Parameters:
+/// * one weight `w_j` per rule feature (learnable),
+/// * one RSD per rule feature, giving `σ_j = RSD_j · μ_j` (learnable),
+/// * the influence-function shape `(α, β)` of the classifier-output feature
+///   (learnable),
+/// * one RSD per classifier-output bucket (learnable),
+/// * the rule expectations `μ_j`, treated as prior knowledge from the
+///   classifier-training data (fixed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnRiskModel {
+    /// The rule feature set with prior expectations.
+    pub features: RiskFeatureSet,
+    /// Learnable weight of each rule feature.
+    pub rule_weights: Vec<f64>,
+    /// Learnable RSD of each rule feature.
+    pub rule_rsd: Vec<f64>,
+    /// Learnable influence function of the classifier-output feature.
+    pub influence: InfluenceFunction,
+    /// Learnable RSD of each classifier-output bucket.
+    pub output_rsd: Vec<f64>,
+    /// Static configuration.
+    pub config: RiskModelConfig,
+}
+
+impl LearnRiskModel {
+    /// Creates a model with initial parameters from a feature set.
+    pub fn new(features: RiskFeatureSet, config: RiskModelConfig) -> Self {
+        let n = features.len();
+        Self {
+            rule_weights: vec![config.initial_rule_weight; n],
+            rule_rsd: vec![config.initial_rule_rsd; n],
+            influence: InfluenceFunction::default(),
+            output_rsd: vec![config.initial_output_rsd; config.output_buckets.max(1)],
+            features,
+            config,
+        }
+    }
+
+    /// The z-score of the VaR confidence level, used by the differentiable
+    /// training score.
+    pub fn z_theta(&self) -> f64 {
+        std_normal_quantile(self.config.theta)
+    }
+
+    /// Bucket index of a classifier output.
+    pub fn output_bucket(&self, output: f64) -> usize {
+        let k = self.output_rsd.len();
+        ((output.clamp(0.0, 1.0) * k as f64) as usize).min(k - 1)
+    }
+
+    /// Builds the portfolio components of a pair: its rule features plus the
+    /// classifier-output feature.
+    pub fn components(&self, input: &PairRiskInput) -> Vec<PortfolioComponent> {
+        let mut comps = Vec::with_capacity(input.rule_indices.len() + 1);
+        for &ri in &input.rule_indices {
+            let j = ri as usize;
+            let mu = self.features.expectations[j];
+            comps.push(PortfolioComponent {
+                weight: self.rule_weights[j].max(1e-6),
+                mean: mu,
+                std: (self.rule_rsd[j] * mu).max(0.0),
+            });
+        }
+        // Classifier-output feature: expectation is the output itself, weight
+        // comes from the influence function, std from the bucket RSD.
+        let p = input.classifier_output.clamp(0.0, 1.0);
+        let bucket = self.output_bucket(p);
+        comps.push(PortfolioComponent {
+            weight: self.influence.weight(p).max(1e-6),
+            mean: p,
+            std: (self.output_rsd[bucket] * p).max(0.0),
+        });
+        comps
+    }
+
+    /// The aggregated equivalence-probability distribution of a pair.
+    pub fn pair_distribution(&self, input: &PairRiskInput) -> PortfolioDistribution {
+        aggregate(&self.components(input))
+    }
+
+    /// The truncated-normal form of the pair distribution (for reporting).
+    pub fn pair_truncated(&self, input: &PairRiskInput) -> TruncatedNormal {
+        let d = self.pair_distribution(input);
+        TruncatedNormal::unit(Normal::new(d.mean, d.std()))
+    }
+
+    /// Risk score of a pair under the configured metric (VaR by default).
+    pub fn risk_score(&self, input: &PairRiskInput) -> f64 {
+        let d = self.pair_distribution(input);
+        pair_risk(self.config.metric, d.mean, d.std(), input.machine_says_match, self.config.theta)
+    }
+
+    /// Risk scores for a batch of pairs.
+    pub fn rank(&self, inputs: &[PairRiskInput]) -> Vec<f64> {
+        inputs.iter().map(|i| self.risk_score(i)).collect()
+    }
+
+    /// Interpretable explanation of a pair's risk: each active feature with
+    /// its weight, expectation and standard deviation (the "Feature
+    /// Description" panel of Figure 3).
+    pub fn explain(&self, input: &PairRiskInput) -> Vec<FeatureContribution> {
+        let mut out = Vec::with_capacity(input.rule_indices.len() + 1);
+        for &ri in &input.rule_indices {
+            let j = ri as usize;
+            let mu = self.features.expectations[j];
+            out.push(FeatureContribution {
+                description: self.features.describe(j),
+                weight: self.rule_weights[j],
+                expectation: mu,
+                std: self.rule_rsd[j] * mu,
+            });
+        }
+        let p = input.classifier_output.clamp(0.0, 1.0);
+        let bucket = self.output_bucket(p);
+        out.push(FeatureContribution {
+            description: format!("classifier_output = {p:.3}"),
+            weight: self.influence.weight(p),
+            expectation: p,
+            std: self.output_rsd[bucket] * p,
+        });
+        out
+    }
+
+    /// Total number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        // rule weights + rule RSDs + α + β + bucket RSDs
+        2 * self.features.len() + 2 + self.output_rsd.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+
+    fn feature_set() -> RiskFeatureSet {
+        // Rule 0: strong inequivalence evidence (μ ≈ 0.02);
+        // Rule 1: strong equivalence evidence (μ ≈ 0.97).
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 50, 0.98),
+            Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.5)], Label::Equivalent, 40, 0.97),
+        ];
+        let metrics = vec![
+            er_similarity::AttrMetric {
+                attr_index: 3,
+                attr_name: "year".into(),
+                kind: er_similarity::MetricKind::NumericNotEqual,
+            },
+            er_similarity::AttrMetric {
+                attr_index: 0,
+                attr_name: "title".into(),
+                kind: er_similarity::MetricKind::Jaccard,
+            },
+        ];
+        RiskFeatureSet {
+            rules,
+            metrics,
+            expectations: vec![0.02, 0.97],
+            support: vec![50, 40],
+        }
+    }
+
+    fn input(rules: Vec<u32>, output: f64, says_match: bool) -> PairRiskInput {
+        PairRiskInput { rule_indices: rules, classifier_output: output, machine_says_match: says_match, risk_label: 0 }
+    }
+
+    #[test]
+    fn contradicting_rule_raises_risk() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        // Machine says match with 0.9 confidence, but rule 0 (inequivalence
+        // evidence) fires: risk must exceed the same pair without the rule.
+        let with_rule = model.risk_score(&input(vec![0], 0.9, true));
+        let without_rule = model.risk_score(&input(vec![], 0.9, true));
+        assert!(with_rule > without_rule, "{with_rule} vs {without_rule}");
+        // Symmetrically for an unmatch-labeled pair and equivalence evidence.
+        let with_rule_u = model.risk_score(&input(vec![1], 0.1, false));
+        let without_rule_u = model.risk_score(&input(vec![], 0.1, false));
+        assert!(with_rule_u > without_rule_u);
+    }
+
+    #[test]
+    fn agreeing_rule_lowers_risk() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        let agree = model.risk_score(&input(vec![0], 0.1, false));
+        let ambiguous = model.risk_score(&input(vec![], 0.5, false));
+        assert!(agree < ambiguous);
+    }
+
+    #[test]
+    fn distribution_and_scores_are_bounded() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        for inp in [
+            input(vec![], 0.0, false),
+            input(vec![0, 1], 0.5, true),
+            input(vec![1], 1.0, true),
+        ] {
+            let d = model.pair_distribution(&inp);
+            assert!((0.0..=1.0).contains(&d.mean));
+            assert!(d.variance >= 0.0);
+            let score = model.risk_score(&inp);
+            assert!((0.0..=1.0).contains(&score), "score {score}");
+            let t = model.pair_truncated(&inp);
+            assert!(t.quantile(0.9) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn output_bucketing_covers_the_range() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        assert_eq!(model.output_bucket(0.0), 0);
+        assert_eq!(model.output_bucket(1.0), model.output_rsd.len() - 1);
+        assert_eq!(model.output_bucket(0.55), 5);
+        assert_eq!(model.output_bucket(-3.0), 0);
+        assert_eq!(model.output_bucket(7.0), model.output_rsd.len() - 1);
+    }
+
+    #[test]
+    fn explanation_lists_every_active_feature() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        let expl = model.explain(&input(vec![0, 1], 0.8, true));
+        assert_eq!(expl.len(), 3);
+        assert!(expl[2].description.contains("classifier_output"));
+        assert!(expl.iter().all(|c| c.weight > 0.0));
+        assert!((expl[0].expectation - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        assert_eq!(model.param_count(), 2 * 2 + 2 + 10);
+        assert!(model.z_theta() > 1.2 && model.z_theta() < 1.3);
+    }
+
+    #[test]
+    fn rank_orders_obviously_risky_pairs_above_safe_ones() {
+        // Even before training, the prior model must rank a pair whose rule
+        // evidence contradicts the machine label, and a pair with an ambiguous
+        // classifier output, above a pair where everything agrees.
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        let inputs = vec![
+            input(vec![0], 0.95, true),  // match label contradicted by a rule: risky
+            input(vec![1], 0.95, true),  // everything agrees: safe
+            input(vec![], 0.52, true),   // ambiguous output: risky
+        ];
+        let scores = model.rank(&inputs);
+        assert!(scores[0] > scores[1], "{scores:?}");
+        assert!(scores[2] > scores[1], "{scores:?}");
+    }
+}

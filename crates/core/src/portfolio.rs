@@ -1,0 +1,186 @@
+//! Portfolio aggregation of risk-feature distributions (Eq. 2–3 of the paper).
+//!
+//! Each labeled pair is a *portfolio* whose component *stocks* are its risk
+//! features.  The pair's equivalence-probability distribution is the weighted
+//! aggregate of the feature distributions:
+//!
+//! ```text
+//! μ_i  = Σ_j x_ij w_j μ_j   /  Σ_j x_ij w_j
+//! σ_i² = Σ_j x_ij w_j² σ_j² / (Σ_j x_ij w_j)²
+//! ```
+//!
+//! The division by the total active weight keeps μ a convex combination of the
+//! feature expectations (and hence a valid probability); the paper's Eq. 2–3
+//! assume the weights of the active features are already normalized — this
+//! module performs that normalization explicitly.
+
+use serde::{Deserialize, Serialize};
+
+/// One active feature of a pair's portfolio: its weight and distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioComponent {
+    /// Feature weight `w_j > 0`.
+    pub weight: f64,
+    /// Feature expectation `μ_j ∈ [0, 1]`.
+    pub mean: f64,
+    /// Feature standard deviation `σ_j ≥ 0`.
+    pub std: f64,
+}
+
+/// The aggregated distribution of a pair plus the intermediate sums needed for
+/// analytic gradients during training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioDistribution {
+    /// Aggregated expectation μ_i.
+    pub mean: f64,
+    /// Aggregated variance σ_i².
+    pub variance: f64,
+    /// Sum of active weights `s = Σ x_ij w_j`.
+    pub weight_sum: f64,
+}
+
+impl PortfolioDistribution {
+    /// Aggregated standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// Aggregates the component distributions of a pair.
+///
+/// # Panics
+/// Panics when `components` is empty or the total weight is not positive.
+pub fn aggregate(components: &[PortfolioComponent]) -> PortfolioDistribution {
+    assert!(!components.is_empty(), "a portfolio needs at least one component");
+    let weight_sum: f64 = components.iter().map(|c| c.weight).sum();
+    assert!(weight_sum > 0.0, "total portfolio weight must be positive");
+    let mean = components.iter().map(|c| c.weight * c.mean).sum::<f64>() / weight_sum;
+    let variance =
+        components.iter().map(|c| c.weight * c.weight * c.std * c.std).sum::<f64>() / (weight_sum * weight_sum);
+    PortfolioDistribution { mean, variance, weight_sum }
+}
+
+/// Gradients of the aggregated `(μ_i, σ_i)` with respect to one component's
+/// weight, mean and standard deviation.  Used by the risk-model trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentGradients {
+    /// ∂μ_i / ∂w_j
+    pub d_mean_d_weight: f64,
+    /// ∂σ_i / ∂w_j
+    pub d_std_d_weight: f64,
+    /// ∂σ_i / ∂σ_j
+    pub d_std_d_component_std: f64,
+    /// ∂μ_i / ∂μ_j
+    pub d_mean_d_component_mean: f64,
+}
+
+/// Computes the gradients of the aggregate with respect to component `j`.
+pub fn component_gradients(
+    components: &[PortfolioComponent],
+    aggregate: &PortfolioDistribution,
+    j: usize,
+) -> ComponentGradients {
+    let c = components[j];
+    let s = aggregate.weight_sum;
+    let sigma_i = aggregate.std().max(1e-9);
+    // μ_i = Σ w μ / s  ⇒  ∂μ_i/∂w_j = (μ_j - μ_i) / s.
+    let d_mean_d_weight = (c.mean - aggregate.mean) / s;
+    // σ_i² = A / s² with A = Σ w² σ² ⇒
+    // ∂σ_i²/∂w_j = 2 w_j σ_j² / s² − 2 A / s³ = 2 (w_j σ_j² − s σ_i²) / s².
+    let d_var_d_weight = 2.0 * (c.weight * c.std * c.std - s * aggregate.variance) / (s * s);
+    let d_std_d_weight = d_var_d_weight / (2.0 * sigma_i);
+    // ∂σ_i²/∂σ_j = 2 w_j² σ_j / s².
+    let d_var_d_std = 2.0 * c.weight * c.weight * c.std / (s * s);
+    let d_std_d_component_std = d_var_d_std / (2.0 * sigma_i);
+    // ∂μ_i/∂μ_j = w_j / s.
+    let d_mean_d_component_mean = c.weight / s;
+    ComponentGradients { d_mean_d_weight, d_std_d_weight, d_std_d_component_std, d_mean_d_component_mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Vec<PortfolioComponent> {
+        vec![
+            PortfolioComponent { weight: 1.0, mean: 0.9, std: 0.05 },
+            PortfolioComponent { weight: 2.0, mean: 0.1, std: 0.20 },
+            PortfolioComponent { weight: 0.5, mean: 0.5, std: 0.10 },
+        ]
+    }
+
+    #[test]
+    fn aggregate_is_a_weighted_average() {
+        let agg = aggregate(&example());
+        let expected_mean = (1.0 * 0.9 + 2.0 * 0.1 + 0.5 * 0.5) / 3.5;
+        assert!((agg.mean - expected_mean).abs() < 1e-12);
+        let expected_var = (1.0 * 0.0025 + 4.0 * 0.04 + 0.25 * 0.01) / (3.5 * 3.5);
+        assert!((agg.variance - expected_var).abs() < 1e-12);
+        assert!((agg.weight_sum - 3.5).abs() < 1e-12);
+        assert!((agg.std() - expected_var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_mean_stays_in_unit_interval() {
+        let agg = aggregate(&example());
+        assert!((0.0..=1.0).contains(&agg.mean));
+        // Single component: aggregate equals the component.
+        let single = aggregate(&[PortfolioComponent { weight: 3.0, mean: 0.7, std: 0.2 }]);
+        assert!((single.mean - 0.7).abs() < 1e-12);
+        assert!((single.std() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_weight_pulls_mean_toward_component() {
+        let mut comps = example();
+        let before = aggregate(&comps).mean;
+        comps[0].weight = 10.0; // component with mean 0.9
+        let after = aggregate(&comps).mean;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let comps = example();
+        let agg = aggregate(&comps);
+        let eps = 1e-6;
+        for j in 0..comps.len() {
+            let grads = component_gradients(&comps, &agg, j);
+            // Weight perturbation.
+            let mut plus = comps.clone();
+            plus[j].weight += eps;
+            let mut minus = comps.clone();
+            minus[j].weight -= eps;
+            let num_mean = (aggregate(&plus).mean - aggregate(&minus).mean) / (2.0 * eps);
+            let num_std = (aggregate(&plus).std() - aggregate(&minus).std()) / (2.0 * eps);
+            assert!((num_mean - grads.d_mean_d_weight).abs() < 1e-5, "j={j}");
+            assert!((num_std - grads.d_std_d_weight).abs() < 1e-5, "j={j}");
+            // Component std perturbation.
+            let mut plus = comps.clone();
+            plus[j].std += eps;
+            let mut minus = comps.clone();
+            minus[j].std -= eps;
+            let num = (aggregate(&plus).std() - aggregate(&minus).std()) / (2.0 * eps);
+            assert!((num - grads.d_std_d_component_std).abs() < 1e-5, "j={j}");
+            // Component mean perturbation.
+            let mut plus = comps.clone();
+            plus[j].mean += eps;
+            let mut minus = comps.clone();
+            minus[j].mean -= eps;
+            let num = (aggregate(&plus).mean - aggregate(&minus).mean) / (2.0 * eps);
+            assert!((num - grads.d_mean_d_component_mean).abs() < 1e-5, "j={j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_portfolio_panics() {
+        aggregate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_portfolio_panics() {
+        aggregate(&[PortfolioComponent { weight: 0.0, mean: 0.5, std: 0.1 }]);
+    }
+}

@@ -1,0 +1,448 @@
+//! Risk-model training: pairwise learning-to-rank with analytic gradients
+//! (Section 6.2 of the paper).
+//!
+//! The trainer tunes the rule weights, the rule RSDs, the influence-function
+//! shape `(α, β)` and the classifier-output bucket RSDs so that mislabeled
+//! pairs are ranked above correctly labeled ones.  The loss is the pairwise
+//! cross entropy of Eq. 13–15; the paper optimizes it with gradient descent on
+//! TensorFlow — here the gradients are derived analytically (portfolio
+//! aggregation → differentiable VaR score → RankNet-style loss) and verified
+//! against finite differences in the test suite.
+
+use crate::feature::PairRiskInput;
+use crate::model::LearnRiskModel;
+use crate::portfolio::{aggregate, component_gradients, PortfolioComponent};
+use crate::var::{training_risk_gradients, training_risk_score};
+use er_base::rng::substream;
+use er_base::stats::{clamp_prob, safe_ln, sigmoid};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of risk-model training.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RiskTrainConfig {
+    /// Number of optimization epochs (the paper uses 1000).
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L1 regularization on rule weights.
+    pub l1: f64,
+    /// L2 regularization on rule weights.
+    pub l2: f64,
+    /// Maximum number of ranking pairs sampled per epoch.
+    pub max_rank_pairs: usize,
+    /// Whether to use Adam (otherwise plain gradient descent, as in Eq. 16-17).
+    pub use_adam: bool,
+    /// Random seed for pair sampling.
+    pub seed: u64,
+}
+
+impl Default for RiskTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.02,
+            l1: 1e-4,
+            l2: 1e-3,
+            max_rank_pairs: 4000,
+            use_adam: true,
+            seed: 23,
+        }
+    }
+}
+
+/// Flat parameter vector layout:
+/// `[rule_weights | rule_rsd | alpha | beta | output_rsd]`.
+pub fn flatten_params(model: &LearnRiskModel) -> Vec<f64> {
+    let mut out = Vec::with_capacity(model.param_count());
+    out.extend_from_slice(&model.rule_weights);
+    out.extend_from_slice(&model.rule_rsd);
+    out.push(model.influence.alpha);
+    out.push(model.influence.beta);
+    out.extend_from_slice(&model.output_rsd);
+    out
+}
+
+/// Writes a flat parameter vector back into the model, projecting every
+/// parameter onto its feasible range.
+pub fn unflatten_params(model: &mut LearnRiskModel, params: &[f64]) {
+    let n = model.features.len();
+    let k = model.output_rsd.len();
+    assert_eq!(params.len(), 2 * n + 2 + k);
+    for (w, &p) in model.rule_weights.iter_mut().zip(&params[..n]) {
+        *w = p.clamp(1e-3, 1e3);
+    }
+    for (r, &p) in model.rule_rsd.iter_mut().zip(&params[n..2 * n]) {
+        *r = p.clamp(1e-3, 2.0);
+    }
+    model.influence.alpha = params[2 * n].clamp(0.05, 2.0);
+    model.influence.beta = params[2 * n + 1].clamp(0.0, 100.0);
+    for (r, &p) in model.output_rsd.iter_mut().zip(&params[2 * n + 2..]) {
+        *r = p.clamp(1e-3, 2.0);
+    }
+}
+
+/// The differentiable training risk score γ of one pair, plus its gradient
+/// with respect to the flat parameter vector (accumulated into `grad` scaled
+/// by `scale`).
+fn score_with_gradient(model: &LearnRiskModel, input: &PairRiskInput, scale: f64, grad: &mut [f64]) -> f64 {
+    let comps: Vec<PortfolioComponent> = model.components(input);
+    let agg = aggregate(&comps);
+    let z = model.z_theta();
+    let score = training_risk_score(agg.mean, agg.std(), input.machine_says_match, z);
+    if scale == 0.0 {
+        return score;
+    }
+    let (d_gamma_d_mean, d_gamma_d_std) = training_risk_gradients(input.machine_says_match, z);
+    let n = model.features.len();
+
+    // Rule-feature components come first, in the order of `rule_indices`.
+    for (slot, &ri) in input.rule_indices.iter().enumerate() {
+        let j = ri as usize;
+        let g = component_gradients(&comps, &agg, slot);
+        // ∂γ/∂w_j
+        let d_w = d_gamma_d_mean * g.d_mean_d_weight + d_gamma_d_std * g.d_std_d_weight;
+        grad[j] += scale * d_w;
+        // σ_j = RSD_j · μ_j  ⇒  ∂γ/∂RSD_j = ∂γ/∂σ_j · μ_j.
+        let mu_j = model.features.expectations[j];
+        let d_rsd = d_gamma_d_std * g.d_std_d_component_std * mu_j;
+        grad[n + j] += scale * d_rsd;
+    }
+
+    // Classifier-output component is last.
+    let slot = comps.len() - 1;
+    let g = component_gradients(&comps, &agg, slot);
+    let p = input.classifier_output.clamp(0.0, 1.0);
+    let d_weight = d_gamma_d_mean * g.d_mean_d_weight + d_gamma_d_std * g.d_std_d_weight;
+    // α and β act through the influence weight.
+    grad[2 * n] += scale * d_weight * model.influence.d_weight_d_alpha(p);
+    grad[2 * n + 1] += scale * d_weight * model.influence.d_weight_d_beta();
+    // Bucket RSD: σ_cls = RSD_bucket · p.
+    let bucket = model.output_bucket(p);
+    grad[2 * n + 2 + bucket] += scale * d_gamma_d_std * g.d_std_d_component_std * p;
+
+    score
+}
+
+/// Computes the pairwise ranking loss and its gradient over an explicit list
+/// of ordered index pairs `(a, b)`.
+///
+/// Exposed (rather than private to the trainer) so that tests can verify the
+/// analytic gradient against finite differences.
+pub fn loss_and_gradient(
+    model: &LearnRiskModel,
+    inputs: &[PairRiskInput],
+    rank_pairs: &[(u32, u32)],
+    config: &RiskTrainConfig,
+) -> (f64, Vec<f64>) {
+    let dim = model.param_count();
+    let mut grad = vec![0.0; dim];
+    let mut loss = 0.0;
+    let mut scratch = vec![0.0; dim];
+    let n_pairs = rank_pairs.len().max(1) as f64;
+
+    for &(a, b) in rank_pairs {
+        let ia = &inputs[a as usize];
+        let ib = &inputs[b as usize];
+        // Scores without gradient first to get the loss weight.
+        let gamma_a = score_with_gradient(model, ia, 0.0, &mut scratch);
+        let gamma_b = score_with_gradient(model, ib, 0.0, &mut scratch);
+        let p_ab = clamp_prob(sigmoid(gamma_a - gamma_b));
+        let target = 0.5 * (1.0 + ia.risk_label as f64 - ib.risk_label as f64);
+        loss += -(target * safe_ln(p_ab) + (1.0 - target) * safe_ln(1.0 - p_ab));
+        // dL/dγ_a = p_ab - target; dL/dγ_b = -(p_ab - target).
+        let d = (p_ab - target) / n_pairs;
+        score_with_gradient(model, ia, d, &mut grad);
+        score_with_gradient(model, ib, -d, &mut grad);
+    }
+    loss /= n_pairs;
+
+    // L1/L2 regularization on the rule weights only (the paper regularizes the
+    // learnable weights to counter overfitting).
+    let n = model.features.len();
+    for j in 0..n {
+        let w = model.rule_weights[j];
+        loss += config.l1 * w.abs() + config.l2 * w * w;
+        grad[j] += config.l1 * w.signum() + 2.0 * config.l2 * w;
+    }
+    (loss, grad)
+}
+
+/// Builds the ranking pairs of one epoch: every mislabeled training pair is
+/// matched with sampled correctly-labeled pairs (the informative orderings for
+/// the target of Eq. 14), capped at `max_rank_pairs`.
+pub fn sample_rank_pairs<R: Rng + ?Sized>(
+    inputs: &[PairRiskInput],
+    max_pairs: usize,
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
+    let positives: Vec<u32> = inputs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.risk_label == 1)
+        .map(|(i, _)| i as u32)
+        .collect();
+    let negatives: Vec<u32> = inputs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.risk_label == 0)
+        .map(|(i, _)| i as u32)
+        .collect();
+    if positives.is_empty() || negatives.is_empty() {
+        return Vec::new();
+    }
+    let total = positives.len() * negatives.len();
+    let mut pairs = Vec::with_capacity(total.min(max_pairs));
+    if total <= max_pairs {
+        for &p in &positives {
+            for &n in &negatives {
+                pairs.push((p, n));
+            }
+        }
+    } else {
+        for _ in 0..max_pairs {
+            let p = positives[rng.gen_range(0..positives.len())];
+            let n = negatives[rng.gen_range(0..negatives.len())];
+            pairs.push((p, n));
+        }
+    }
+    pairs.shuffle(rng);
+    pairs
+}
+
+/// Training history for diagnostics and the scalability experiments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Loss after each epoch.
+    pub losses: Vec<f64>,
+    /// Number of ranking pairs used per epoch.
+    pub rank_pairs_per_epoch: usize,
+}
+
+/// Trains the risk model on risk-training data (the validation split of the
+/// classifier, as in Section 4.3).
+pub fn train(model: &mut LearnRiskModel, inputs: &[PairRiskInput], config: &RiskTrainConfig) -> TrainReport {
+    let mut report = TrainReport::default();
+    if inputs.is_empty() {
+        return report;
+    }
+    let mut rng = substream(config.seed, 0x71);
+    let mut params = flatten_params(model);
+    // Adam state.
+    let mut m = vec![0.0; params.len()];
+    let mut v = vec![0.0; params.len()];
+    let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+
+    for epoch in 0..config.epochs {
+        let rank_pairs = sample_rank_pairs(inputs, config.max_rank_pairs, &mut rng);
+        if rank_pairs.is_empty() {
+            // Nothing to rank (no mislabeled pairs in the risk-training data):
+            // the model keeps its prior parameters.
+            break;
+        }
+        report.rank_pairs_per_epoch = rank_pairs.len();
+        let (loss, grad) = loss_and_gradient(model, inputs, &rank_pairs, config);
+        report.losses.push(loss);
+
+        if config.use_adam {
+            let t = (epoch + 1) as i32;
+            let bc1 = 1.0 - beta1.powi(t);
+            let bc2 = 1.0 - beta2.powi(t);
+            for i in 0..params.len() {
+                m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+                v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+                params[i] -= config.learning_rate * (m[i] / bc1) / ((v[i] / bc2).sqrt() + eps);
+            }
+        } else {
+            for (p, g) in params.iter_mut().zip(&grad) {
+                *p -= config.learning_rate * g;
+            }
+        }
+        unflatten_params(model, &params);
+        // Re-read the projected parameters so optimizer state stays consistent.
+        params = flatten_params(model);
+    }
+    report
+}
+
+/// Convenience: AUROC of the model's risk ranking against the risk labels of
+/// the inputs.
+pub fn evaluate_auroc(model: &LearnRiskModel, inputs: &[PairRiskInput]) -> f64 {
+    let scores = model.rank(inputs);
+    let labels: Vec<u8> = inputs.iter().map(|i| i.risk_label).collect();
+    er_base::auroc(&scores, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::RiskFeatureSet;
+    use crate::model::RiskModelConfig;
+    use er_base::rng::seeded;
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+
+    fn toy_model() -> LearnRiskModel {
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 50, 0.95),
+            Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.5)], Label::Equivalent, 40, 0.95),
+        ];
+        let fs = RiskFeatureSet {
+            rules,
+            metrics: vec![],
+            expectations: vec![0.05, 0.95],
+            support: vec![50, 40],
+        };
+        LearnRiskModel::new(fs, RiskModelConfig { output_buckets: 4, ..Default::default() })
+    }
+
+    /// Synthetic risk-training data: the classifier output is mostly right;
+    /// rule 0 fires on some pairs the classifier wrongly labels as matches and
+    /// rule 1 fires on pairs wrongly labeled as unmatches.
+    fn toy_inputs(n: usize, seed: u64) -> Vec<PairRiskInput> {
+        let mut rng = seeded(seed);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let truth_match = rng.gen_bool(0.4);
+            // Classifier: 80% accurate, more confident when right.
+            let correct = rng.gen_bool(0.8);
+            let says_match = if correct { truth_match } else { !truth_match };
+            let output: f64 = if says_match { rng.gen_range(0.55..0.99) } else { rng.gen_range(0.01..0.45) };
+            // Rules: the inequivalence rule fires for most true non-matches,
+            // the equivalence rule for most true matches (plus some noise).
+            let mut rules = Vec::new();
+            if !truth_match && rng.gen_bool(0.7) {
+                rules.push(0u32);
+            }
+            if truth_match && rng.gen_bool(0.7) {
+                rules.push(1u32);
+            }
+            if rng.gen_bool(0.05) {
+                rules.push(if rng.gen_bool(0.5) { 0 } else { 1 });
+            }
+            out.push(PairRiskInput {
+                rule_indices: rules,
+                classifier_output: output,
+                machine_says_match: says_match,
+                risk_label: u8::from(says_match != truth_match),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences() {
+        let model = toy_model();
+        let inputs = toy_inputs(40, 3);
+        let mut rng = seeded(4);
+        let rank_pairs = sample_rank_pairs(&inputs, 200, &mut rng);
+        assert!(!rank_pairs.is_empty());
+        let config = RiskTrainConfig { l1: 1e-3, l2: 1e-3, ..Default::default() };
+        let (_, grad) = loss_and_gradient(&model, &inputs, &rank_pairs, &config);
+
+        let params = flatten_params(&model);
+        let eps = 1e-6;
+        for idx in 0..params.len() {
+            let mut plus = model.clone();
+            let mut p_plus = params.clone();
+            p_plus[idx] += eps;
+            unflatten_params(&mut plus, &p_plus);
+            let mut minus = model.clone();
+            let mut p_minus = params.clone();
+            p_minus[idx] -= eps;
+            unflatten_params(&mut minus, &p_minus);
+            let (l_plus, _) = loss_and_gradient(&plus, &inputs, &rank_pairs, &config);
+            let (l_minus, _) = loss_and_gradient(&minus, &inputs, &rank_pairs, &config);
+            let numeric = (l_plus - l_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad[idx]).abs() < 1e-4,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_improves_auroc() {
+        let mut model = toy_model();
+        let train_inputs = toy_inputs(300, 5);
+        let test_inputs = toy_inputs(300, 6);
+        let before = evaluate_auroc(&model, &test_inputs);
+        let config = RiskTrainConfig { epochs: 120, learning_rate: 0.05, ..Default::default() };
+        let report = train(&mut model, &train_inputs, &config);
+        assert!(!report.losses.is_empty());
+        let first = report.losses.first().unwrap();
+        let last = report.losses.last().unwrap();
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+        let after = evaluate_auroc(&model, &test_inputs);
+        assert!(after >= before - 0.02, "AUROC should not degrade: {before} -> {after}");
+        assert!(after > 0.6, "trained AUROC too low: {after}");
+    }
+
+    #[test]
+    fn projection_keeps_parameters_feasible() {
+        let mut model = toy_model();
+        let mut params = flatten_params(&model);
+        params.iter_mut().for_each(|p| *p = -5.0);
+        unflatten_params(&mut model, &params);
+        assert!(model.rule_weights.iter().all(|&w| w >= 1e-3));
+        assert!(model.rule_rsd.iter().all(|&r| r >= 1e-3));
+        assert!(model.influence.alpha >= 0.05);
+        assert!(model.influence.beta >= 0.0);
+        assert!(model.output_rsd.iter().all(|&r| r >= 1e-3));
+    }
+
+    #[test]
+    fn sampling_handles_degenerate_label_sets() {
+        let mut rng = seeded(7);
+        let all_correct: Vec<PairRiskInput> = toy_inputs(20, 8)
+            .into_iter()
+            .map(|mut i| {
+                i.risk_label = 0;
+                i
+            })
+            .collect();
+        assert!(sample_rank_pairs(&all_correct, 100, &mut rng).is_empty());
+        // Training on data without any mislabeled pair is a no-op.
+        let mut model = toy_model();
+        let report = train(&mut model, &all_correct, &RiskTrainConfig::default());
+        assert!(report.losses.is_empty());
+        // Empty inputs likewise.
+        let report = train(&mut model, &[], &RiskTrainConfig::default());
+        assert!(report.losses.is_empty());
+    }
+
+    #[test]
+    fn sampling_caps_the_number_of_pairs() {
+        let inputs = toy_inputs(200, 9);
+        let mut rng = seeded(10);
+        let pairs = sample_rank_pairs(&inputs, 500, &mut rng);
+        assert!(pairs.len() <= 500);
+        assert!(!pairs.is_empty());
+        // Each sampled ordering is (mislabeled, correct).
+        for &(a, b) in &pairs {
+            assert_eq!(inputs[a as usize].risk_label, 1);
+            assert_eq!(inputs[b as usize].risk_label, 0);
+        }
+    }
+
+    #[test]
+    fn plain_gradient_descent_also_trains() {
+        let mut model = toy_model();
+        let inputs = toy_inputs(200, 11);
+        let config = RiskTrainConfig { epochs: 80, learning_rate: 0.05, use_adam: false, ..Default::default() };
+        let report = train(&mut model, &inputs, &config);
+        assert!(report.losses.last().unwrap() <= report.losses.first().unwrap());
+    }
+
+    #[test]
+    fn learned_weights_upweight_informative_rules() {
+        let mut model = toy_model();
+        let inputs = toy_inputs(400, 12);
+        train(&mut model, &inputs, &RiskTrainConfig { epochs: 150, learning_rate: 0.05, ..Default::default() });
+        // After training, the AUROC on the training data itself should be high.
+        let auroc = evaluate_auroc(&model, &inputs);
+        assert!(auroc > 0.7, "training-data AUROC {auroc}");
+    }
+}

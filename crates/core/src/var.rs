@@ -1,0 +1,178 @@
+//! Value-at-Risk (VaR) and Conditional Value-at-Risk (CVaR) risk metrics
+//! (Section 6.1 of the paper).
+//!
+//! Given a pair's equivalence-probability distribution and the machine's
+//! label, VaR at confidence θ is the largest mislabeling probability after
+//! excluding the worst `1 − θ` of outcomes:
+//!
+//! * machine label *unmatching*: loss = equivalence probability, so
+//!   `VaR = F⁻¹(θ)` (Eq. 9);
+//! * machine label *matching*: loss = 1 − equivalence probability, so
+//!   `VaR = 1 − F⁻¹(1 − θ)` (Eq. 10).
+
+use crate::distribution::{Normal, TruncatedNormal};
+use serde::{Deserialize, Serialize};
+
+/// Which risk metric quantifies the loss distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RiskMetric {
+    /// Value at Risk at the configured confidence level (the paper's choice).
+    ValueAtRisk,
+    /// Conditional Value at Risk (expected loss beyond the VaR quantile),
+    /// the metric used by the StaticRisk baseline.
+    ConditionalValueAtRisk,
+    /// Plain expected loss (ignores variance) — the ablation showing why the
+    /// distributional view matters.
+    Expectation,
+}
+
+/// Computes the mislabeling risk of a pair from its equivalence-probability
+/// distribution (`mean`, `std`, truncated to `[0,1]`), the machine label and
+/// the confidence level θ.
+pub fn pair_risk(metric: RiskMetric, mean: f64, std: f64, machine_says_match: bool, theta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&theta) || theta == 0.0 || (theta > 0.0 && theta < 1.0), "theta must be in (0,1)");
+    let dist = TruncatedNormal::unit(Normal::new(mean, std.max(0.0)));
+    match metric {
+        RiskMetric::ValueAtRisk => {
+            if machine_says_match {
+                1.0 - dist.quantile(1.0 - theta)
+            } else {
+                dist.quantile(theta)
+            }
+        }
+        RiskMetric::ConditionalValueAtRisk => cvar(&dist, machine_says_match, theta),
+        RiskMetric::Expectation => {
+            let m = dist.mean();
+            if machine_says_match {
+                1.0 - m
+            } else {
+                m
+            }
+        }
+    }
+}
+
+/// CVaR: the expected loss conditional on the loss exceeding its θ-quantile,
+/// approximated by averaging the quantile function over `[θ, 1]`.
+fn cvar(dist: &TruncatedNormal, machine_says_match: bool, theta: f64) -> f64 {
+    const STEPS: usize = 32;
+    let mut total = 0.0;
+    for k in 0..STEPS {
+        let p = theta + (1.0 - theta) * (k as f64 + 0.5) / STEPS as f64;
+        let loss = if machine_says_match { 1.0 - dist.quantile(1.0 - p) } else { dist.quantile(p) };
+        total += loss;
+    }
+    total / STEPS as f64
+}
+
+/// The *training-time* risk score: the same VaR formula but computed on the
+/// untruncated normal so it is differentiable everywhere.
+///
+/// For a machine label of unmatching, `γ = μ + z_θ σ`; for matching,
+/// `γ = (1 − μ) + z_θ σ`.  Clamping to `[0,1]` (the truncation) is applied
+/// only when reporting final scores, not during optimization, so gradients do
+/// not vanish at the boundary.
+pub fn training_risk_score(mean: f64, std: f64, machine_says_match: bool, z_theta: f64) -> f64 {
+    if machine_says_match {
+        (1.0 - mean) + z_theta * std
+    } else {
+        mean + z_theta * std
+    }
+}
+
+/// Gradients of [`training_risk_score`] with respect to the pair's mean and
+/// standard deviation.
+pub fn training_risk_gradients(machine_says_match: bool, z_theta: f64) -> (f64, f64) {
+    let d_mean = if machine_says_match { -1.0 } else { 1.0 };
+    (d_mean, z_theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::stats::std_normal_quantile;
+
+    #[test]
+    fn var_direction_follows_machine_label() {
+        // A pair labeled unmatching with a high equivalence expectation is risky.
+        let risky = pair_risk(RiskMetric::ValueAtRisk, 0.8, 0.05, false, 0.9);
+        let safe = pair_risk(RiskMetric::ValueAtRisk, 0.1, 0.05, false, 0.9);
+        assert!(risky > safe);
+        // A pair labeled matching with low equivalence expectation is risky.
+        let risky_m = pair_risk(RiskMetric::ValueAtRisk, 0.2, 0.05, true, 0.9);
+        let safe_m = pair_risk(RiskMetric::ValueAtRisk, 0.95, 0.05, true, 0.9);
+        assert!(risky_m > safe_m);
+    }
+
+    #[test]
+    fn variance_increases_var_risk() {
+        // Same expectation, larger fluctuation ⇒ larger VaR (the fluctuation
+        // risk the paper argues DNN output misses).
+        let low_var = pair_risk(RiskMetric::ValueAtRisk, 0.3, 0.02, false, 0.9);
+        let high_var = pair_risk(RiskMetric::ValueAtRisk, 0.3, 0.25, false, 0.9);
+        assert!(high_var > low_var);
+    }
+
+    #[test]
+    fn var_is_bounded_in_unit_interval() {
+        for &(mean, std, label) in &[(0.0, 0.5, true), (1.0, 0.5, false), (0.5, 1.5, true), (0.9, 0.0, false)] {
+            let v = pair_risk(RiskMetric::ValueAtRisk, mean, std, label, 0.9);
+            assert!((0.0..=1.0).contains(&v), "VaR {v} out of range");
+        }
+    }
+
+    #[test]
+    fn paper_figure7_example_shape() {
+        // Figure 7: an unmatching-labeled pair whose distribution puts θ = the
+        // area left of ~0.757; VaR is the θ-quantile.  Reproduce the shape: the
+        // quantile of the truncated distribution at θ=0.9.
+        let dist = TruncatedNormal::unit(Normal::new(0.6, 0.12));
+        let var = pair_risk(RiskMetric::ValueAtRisk, 0.6, 0.12, false, 0.9);
+        assert!((dist.quantile(0.9) - var).abs() < 1e-12);
+        assert!(var > 0.6 && var < 1.0);
+    }
+
+    #[test]
+    fn cvar_dominates_var() {
+        // CVaR averages the tail beyond VaR, so it is at least as large.
+        for &(mean, std) in &[(0.4, 0.1), (0.7, 0.2), (0.2, 0.05)] {
+            let var = pair_risk(RiskMetric::ValueAtRisk, mean, std, false, 0.9);
+            let cvar = pair_risk(RiskMetric::ConditionalValueAtRisk, mean, std, false, 0.9);
+            assert!(cvar >= var - 1e-9, "CVaR {cvar} < VaR {var}");
+        }
+    }
+
+    #[test]
+    fn expectation_metric_ignores_variance() {
+        let a = pair_risk(RiskMetric::Expectation, 0.3, 0.01, false, 0.9);
+        let b = pair_risk(RiskMetric::Expectation, 0.3, 0.01, true, 0.9);
+        assert!(a < 0.5 && b > 0.5);
+        // For a (near-)symmetric in-range distribution the truncated mean is
+        // essentially the mean, regardless of θ.
+        assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_score_matches_untruncated_quantile() {
+        let z = std_normal_quantile(0.9);
+        let score = training_risk_score(0.4, 0.1, false, z);
+        assert!((score - (0.4 + z * 0.1)).abs() < 1e-12);
+        let score_m = training_risk_score(0.4, 0.1, true, z);
+        assert!((score_m - (0.6 + z * 0.1)).abs() < 1e-12);
+        let (dm, ds) = training_risk_gradients(false, z);
+        assert_eq!(dm, 1.0);
+        assert_eq!(ds, z);
+        let (dm, _) = training_risk_gradients(true, z);
+        assert_eq!(dm, -1.0);
+    }
+
+    #[test]
+    fn training_score_agrees_with_var_away_from_boundaries() {
+        // When the distribution is well inside [0,1], the truncated and
+        // untruncated quantiles coincide closely.
+        let z = std_normal_quantile(0.9);
+        let var = pair_risk(RiskMetric::ValueAtRisk, 0.5, 0.05, false, 0.9);
+        let train = training_risk_score(0.5, 0.05, false, z);
+        assert!((var - train).abs() < 1e-3, "{var} vs {train}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # er-base
+//!
+//! Foundational types for the LearnRisk reproduction: records, schemas, tables,
+//! candidate pairs, labeled workloads, train/validation/test splits, evaluation
+//! metrics (ROC/AUROC, confusion matrices) and deterministic RNG helpers.
+//!
+//! Every other crate in the workspace builds on these types:
+//!
+//! * [`record`] / [`table`] — the data model of an ER task.
+//! * [`pair`] / [`workload`] — candidate pairs, classifier decisions, splits.
+//! * [`metrics`] — ROC / AUROC / F1 used throughout the paper's evaluation.
+//! * [`stats`] — shared numeric helpers (sigmoid, normal CDF/quantile, …).
+//! * [`rng`] — reproducible random streams.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod pair;
+pub mod record;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod workload;
+
+pub use metrics::{auroc, average_precision, ConfusionMatrix, RocCurve, RocPoint};
+pub use pair::{Decision, Label, LabeledPair, Pair, PairId};
+pub use record::{AttrDef, AttrType, AttrValue, Record, RecordId, Schema, SharedRecord};
+pub use table::Table;
+pub use workload::{LabeledWorkload, SplitRatio, Workload, WorkloadSplit};

@@ -1,0 +1,341 @@
+//! Evaluation metrics for risk analysis and classification.
+//!
+//! The paper evaluates risk analysis with the Receiver Operating Characteristic
+//! (ROC) curve and its area (AUROC), where a *positive* is a mislabeled pair
+//! and a *negative* is a correctly labeled pair (Section 3).  Classifier
+//! quality (Figure 14) is measured with F1.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// False positive rate at this threshold.
+    pub fpr: f64,
+    /// True positive rate at this threshold.
+    pub tpr: f64,
+    /// Score threshold that produced this point.
+    pub threshold: f64,
+}
+
+/// A full ROC curve with its AUROC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Curve points ordered by increasing FPR.
+    pub points: Vec<RocPoint>,
+    /// Area under the curve, in `[0, 1]`.
+    pub auroc: f64,
+}
+
+impl RocCurve {
+    /// Computes the ROC curve for risk scores against binary labels
+    /// (1 = positive = mislabeled pair).
+    ///
+    /// Ties in scores are handled by the standard trapezoidal construction:
+    /// all instances with an identical score move together, so tied scores
+    /// contribute a diagonal segment rather than an arbitrary step ordering.
+    ///
+    /// Returns a degenerate single-point curve with AUROC `0.5` when either
+    /// class is absent (the metric is undefined; `0.5` matches the trivial
+    /// no-discrimination model of the paper's Figure 2).
+    pub fn compute(scores: &[f64], labels: &[u8]) -> RocCurve {
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        let pos = labels.iter().filter(|&&l| l != 0).count();
+        let neg = labels.len() - pos;
+        if pos == 0 || neg == 0 {
+            return RocCurve {
+                points: vec![
+                    RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY },
+                    RocPoint { fpr: 1.0, tpr: 1.0, threshold: f64::NEG_INFINITY },
+                ],
+                auroc: 0.5,
+            };
+        }
+
+        // Sort by decreasing score.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut points = Vec::with_capacity(scores.len() + 2);
+        points.push(RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY });
+
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut auroc = 0.0f64;
+        let mut prev_fpr = 0.0f64;
+        let mut prev_tpr = 0.0f64;
+        let mut i = 0usize;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Advance over the tie group.
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] != 0 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            let tpr = tp as f64 / pos as f64;
+            let fpr = fp as f64 / neg as f64;
+            auroc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+            points.push(RocPoint { fpr, tpr, threshold });
+            prev_fpr = fpr;
+            prev_tpr = tpr;
+        }
+        RocCurve { points, auroc }
+    }
+
+    /// Samples the curve's TPR at evenly spaced FPR positions, for plotting.
+    pub fn sample_tpr(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let fpr = k as f64 / (n - 1) as f64;
+            out.push((fpr, self.tpr_at(fpr)));
+        }
+        out
+    }
+
+    /// TPR at a given FPR, linearly interpolated between curve points.
+    pub fn tpr_at(&self, fpr: f64) -> f64 {
+        let fpr = fpr.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        for &p in &self.points[1..] {
+            if p.fpr >= fpr {
+                if (p.fpr - prev.fpr).abs() < f64::EPSILON {
+                    return p.tpr.max(prev.tpr);
+                }
+                let t = (fpr - prev.fpr) / (p.fpr - prev.fpr);
+                return prev.tpr + t * (p.tpr - prev.tpr);
+            }
+            prev = p;
+        }
+        prev.tpr
+    }
+}
+
+/// Computes AUROC directly (convenience wrapper around [`RocCurve::compute`]).
+pub fn auroc(scores: &[f64], labels: &[u8]) -> f64 {
+    RocCurve::compute(scores, labels).auroc
+}
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from predictions and truths (1 = positive).
+    pub fn from_predictions(predicted: &[u8], truth: &[u8]) -> Self {
+        assert_eq!(predicted.len(), truth.len());
+        let mut m = ConfusionMatrix::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p != 0, t != 0) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Precision of the positive class, 0 if no positives predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall of the positive class, 0 if no positives exist.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 of the positive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// True positive rate (same as recall).
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// False positive rate.
+    pub fn fpr(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tn) as f64
+        }
+    }
+}
+
+/// Average precision (area under the precision-recall curve, step-wise).
+///
+/// Not reported in the paper's figures but useful as an auxiliary diagnostic
+/// because mislabeled pairs are a heavily imbalanced positive class.
+pub fn average_precision(scores: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l != 0).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    for (rank, &idx) in order.iter().enumerate() {
+        if labels[idx] != 0 {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auroc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        assert!((auroc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auroc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1, 1, 0, 0];
+        assert!(auroc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_constant_scores_have_auroc_half() {
+        let scores = [0.5; 10];
+        let labels = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0];
+        assert!((auroc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class_returns_half() {
+        assert!((auroc(&[0.1, 0.9], &[0, 0]) - 0.5).abs() < 1e-12);
+        assert!((auroc(&[0.1, 0.9], &[1, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_matches_pairwise_probability_interpretation() {
+        // AUROC equals the probability that a random positive outranks a random
+        // negative (Section 3 of the paper). Verify against brute force.
+        let scores = [0.9, 0.3, 0.75, 0.4, 0.6, 0.2, 0.55];
+        let labels = [1, 0, 1, 0, 0, 0, 1];
+        let mut wins = 0.0;
+        let mut total = 0.0;
+        for (i, &li) in labels.iter().enumerate() {
+            if li == 0 {
+                continue;
+            }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj == 1 {
+                    continue;
+                }
+                total += 1.0;
+                if scores[i] > scores[j] {
+                    wins += 1.0;
+                } else if scores[i] == scores[j] {
+                    wins += 0.5;
+                }
+            }
+        }
+        let expected = wins / total;
+        assert!((auroc(&scores, &labels) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_curve_is_monotone() {
+        let scores = [0.9, 0.8, 0.7, 0.65, 0.6, 0.4, 0.3, 0.2];
+        let labels = [1, 0, 1, 1, 0, 0, 1, 0];
+        let curve = RocCurve::compute(&scores, &labels);
+        for w in curve.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = curve.points.last().unwrap();
+        assert!((last.fpr - 1.0).abs() < 1e-12);
+        assert!((last.tpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpr_interpolation_and_sampling() {
+        let scores = [0.9, 0.1];
+        let labels = [1, 0];
+        let curve = RocCurve::compute(&scores, &labels);
+        assert!((curve.tpr_at(0.0) - 1.0).abs() < 1e-12);
+        let samples = curve.sample_tpr(5);
+        assert_eq!(samples.len(), 5);
+        assert!((samples[0].0 - 0.0).abs() < 1e-12);
+        assert!((samples[4].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_metrics() {
+        let predicted = [1, 1, 0, 0, 1, 0];
+        let truth = [1, 0, 0, 1, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&predicted, &truth);
+        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 2, fn_: 1 });
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.fpr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_matrix_is_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_empty() {
+        assert!((average_precision(&[0.9, 0.8, 0.1], &[1, 1, 0]) - 1.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[0.9, 0.8], &[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Record pairs, ground-truth labels and classifier decisions.
+
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a pair within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairId(pub u32);
+
+impl fmt::Display for PairId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Ground-truth equivalence status of a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The two records refer to the same real-world entity.
+    Equivalent,
+    /// The two records refer to different entities.
+    Inequivalent,
+}
+
+impl Label {
+    /// `true` for [`Label::Equivalent`].
+    pub fn is_match(self) -> bool {
+        matches!(self, Label::Equivalent)
+    }
+
+    /// Numeric encoding used by learners (1.0 = equivalent).
+    pub fn as_f64(self) -> f64 {
+        if self.is_match() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Builds a label from a boolean match flag.
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            Label::Equivalent
+        } else {
+            Label::Inequivalent
+        }
+    }
+}
+
+/// A classifier's decision on a pair: the label it emitted plus its raw
+/// equivalence probability output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Label emitted by the machine classifier (`matching` / `unmatching`).
+    pub predicted: Label,
+    /// The classifier's equivalence-probability output in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl Decision {
+    /// Builds a decision from a probability using the conventional 0.5 threshold.
+    pub fn from_probability(probability: f64) -> Self {
+        let p = probability.clamp(0.0, 1.0);
+        Decision { predicted: Label::from_bool(p >= 0.5), probability: p }
+    }
+
+    /// Whether this decision disagrees with the ground truth, i.e. the pair is
+    /// *mislabeled* — the positive class of risk analysis.
+    pub fn is_mislabeled(&self, truth: Label) -> bool {
+        self.predicted != truth
+    }
+
+    /// Ambiguity of the output: distance of the probability from the extremes,
+    /// `0.5 - |p - 0.5|`, in `[0, 0.5]`.  Used by the `Baseline` risk method.
+    pub fn ambiguity(&self) -> f64 {
+        0.5 - (self.probability - 0.5).abs()
+    }
+}
+
+/// A candidate pair: two records (possibly from different tables) plus the
+/// ground-truth label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pair {
+    /// Identifier within the workload.
+    pub id: PairId,
+    /// Record from the first (left) table.
+    pub left: Arc<Record>,
+    /// Record from the second (right) table.
+    pub right: Arc<Record>,
+    /// Ground-truth equivalence status.
+    pub truth: Label,
+}
+
+impl Pair {
+    /// Creates a pair.
+    pub fn new(id: PairId, left: Arc<Record>, right: Arc<Record>, truth: Label) -> Self {
+        Self { id, left, right, truth }
+    }
+}
+
+/// A pair that has been labeled by a machine classifier, the unit of risk
+/// analysis (Definition 1 of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledPair {
+    /// The underlying candidate pair with ground truth.
+    pub pair: Pair,
+    /// The classifier decision for the pair.
+    pub decision: Decision,
+}
+
+impl LabeledPair {
+    /// Creates a labeled pair.
+    pub fn new(pair: Pair, decision: Decision) -> Self {
+        Self { pair, decision }
+    }
+
+    /// Whether the classifier mislabeled the pair (risk-analysis positive).
+    pub fn is_mislabeled(&self) -> bool {
+        self.decision.is_mislabeled(self.pair.truth)
+    }
+
+    /// Risk label: 1 if mislabeled, 0 otherwise (ĝ in Eq. 14 of the paper).
+    pub fn risk_label(&self) -> u8 {
+        u8::from(self.is_mislabeled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AttrValue, RecordId};
+
+    fn rec(id: u32) -> Arc<Record> {
+        Arc::new(Record::new(RecordId(id), vec![AttrValue::from("x")]))
+    }
+
+    #[test]
+    fn label_encoding() {
+        assert!(Label::Equivalent.is_match());
+        assert!(!Label::Inequivalent.is_match());
+        assert_eq!(Label::Equivalent.as_f64(), 1.0);
+        assert_eq!(Label::Inequivalent.as_f64(), 0.0);
+        assert_eq!(Label::from_bool(true), Label::Equivalent);
+        assert_eq!(Label::from_bool(false), Label::Inequivalent);
+    }
+
+    #[test]
+    fn decision_thresholding_and_clamping() {
+        assert_eq!(Decision::from_probability(0.9).predicted, Label::Equivalent);
+        assert_eq!(Decision::from_probability(0.5).predicted, Label::Equivalent);
+        assert_eq!(Decision::from_probability(0.49).predicted, Label::Inequivalent);
+        assert_eq!(Decision::from_probability(1.7).probability, 1.0);
+        assert_eq!(Decision::from_probability(-0.2).probability, 0.0);
+    }
+
+    #[test]
+    fn ambiguity_peaks_at_half() {
+        assert!((Decision::from_probability(0.5).ambiguity() - 0.5).abs() < 1e-12);
+        assert!((Decision::from_probability(1.0).ambiguity() - 0.0).abs() < 1e-12);
+        assert!((Decision::from_probability(0.25).ambiguity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mislabeled_detection() {
+        let pair = Pair::new(PairId(0), rec(0), rec(1), Label::Equivalent);
+        let wrong = LabeledPair::new(pair.clone(), Decision::from_probability(0.1));
+        let right = LabeledPair::new(pair, Decision::from_probability(0.8));
+        assert!(wrong.is_mislabeled());
+        assert_eq!(wrong.risk_label(), 1);
+        assert!(!right.is_mislabeled());
+        assert_eq!(right.risk_label(), 0);
+    }
+
+    #[test]
+    fn pair_display() {
+        assert_eq!(PairId(11).to_string(), "d11");
+    }
+}

@@ -1,0 +1,298 @@
+//! Records, schemas and attribute values.
+//!
+//! An entity-resolution workload operates over *records* drawn from one or two
+//! tables.  Each record is a vector of attribute values that conforms to a
+//! [`Schema`].  The paper's risk features are built from comparisons between
+//! attribute values, so attribute *types* (entity name, entity set, text
+//! description, numeric, categorical) matter: they determine which similarity
+//! and difference metrics are applicable (Figure 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a record inside a [`crate::table::Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u32);
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The semantic type of an attribute.
+///
+/// The type drives the set of basic metrics generated for the attribute
+/// (Section 5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// A single entity name, e.g. a venue, a person name, a product brand.
+    /// Supports abbreviation-aware difference metrics.
+    EntityName,
+    /// A set of entity names with a splitter (e.g. an author list).
+    /// Supports `diff-cardinality` and `distinct-entity`.
+    EntitySet,
+    /// Free text consisting of one or more tokens (titles, descriptions).
+    /// Supports `diff-key-token`.
+    Text,
+    /// A numeric value (year, price, duration).
+    Numeric,
+    /// A small closed vocabulary (genre, category, gender).
+    Categorical,
+}
+
+impl AttrType {
+    /// Human readable name used when rendering rules.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::EntityName => "entity-name",
+            AttrType::EntitySet => "entity-set",
+            AttrType::Text => "text",
+            AttrType::Numeric => "numeric",
+            AttrType::Categorical => "categorical",
+        }
+    }
+
+    /// Whether the attribute holds string content.
+    pub fn is_string(self) -> bool {
+        !matches!(self, AttrType::Numeric)
+    }
+}
+
+/// A single attribute value of a record.
+///
+/// Values may be missing (`Null`) — dirtiness and incompleteness are a core
+/// motivation of the paper, so missing values are first-class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Missing / unknown value.
+    Null,
+    /// A string value (entity name, entity set rendered with its splitter, text).
+    Str(String),
+    /// A numeric value.
+    Num(f64),
+}
+
+impl AttrValue {
+    /// Returns `true` when the value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, AttrValue::Null)
+    }
+
+    /// Returns the string content if present.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric content if present.
+    ///
+    /// Strings that parse as numbers are *not* coerced; generators are
+    /// responsible for producing properly typed values.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value or empty string for `Null`/numeric values.
+    pub fn str_or_empty(&self) -> &str {
+        self.as_str().unwrap_or("")
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::Num(n)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::Num(n as f64)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Null => write!(f, "∅"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Description of one attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrDef {
+    /// Attribute name (e.g. `"title"`).
+    pub name: String,
+    /// Semantic type of the attribute.
+    pub ty: AttrType,
+}
+
+impl AttrDef {
+    /// Creates a new attribute definition.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of attribute definitions shared by all records of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute definitions.
+    pub fn new(attrs: Vec<AttrDef>) -> Self {
+        Self { attrs }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute definitions in order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Definition of attribute `idx`.
+    pub fn attr(&self, idx: usize) -> &AttrDef {
+        &self.attrs[idx]
+    }
+
+    /// Index of the attribute with the given name, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Iterator over `(index, definition)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &AttrDef)> {
+        self.attrs.iter().enumerate()
+    }
+}
+
+/// A record: an id plus one value per schema attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Identifier of the record within its table.
+    pub id: RecordId,
+    /// Values aligned with the table's [`Schema`].
+    pub values: Vec<AttrValue>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(id: RecordId, values: Vec<AttrValue>) -> Self {
+        Self { id, values }
+    }
+
+    /// Value at attribute `idx`.
+    pub fn value(&self, idx: usize) -> &AttrValue {
+        &self.values[idx]
+    }
+
+    /// Number of missing values.
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_null()).count()
+    }
+}
+
+/// A cheaply clonable handle to a record together with its schema.
+///
+/// Most of the pipeline passes records around read-only; `Arc` keeps the
+/// workload memory footprint flat even when the same record participates in
+/// many candidate pairs.
+pub type SharedRecord = Arc<Record>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::new("title", AttrType::Text),
+            AttrDef::new("authors", AttrType::EntitySet),
+            AttrDef::new("venue", AttrType::EntityName),
+            AttrDef::new("year", AttrType::Numeric),
+        ])
+    }
+
+    #[test]
+    fn schema_lookup_by_name() {
+        let s = paper_schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("authors"), Some(1));
+        assert_eq!(s.index_of("year"), Some(3));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.attr(0).ty, AttrType::Text);
+    }
+
+    #[test]
+    fn attr_value_accessors() {
+        let v = AttrValue::from("VLDB");
+        assert_eq!(v.as_str(), Some("VLDB"));
+        assert_eq!(v.as_num(), None);
+        assert!(!v.is_null());
+
+        let n = AttrValue::from(1999_i64);
+        assert_eq!(n.as_num(), Some(1999.0));
+        assert_eq!(n.as_str(), None);
+
+        let null = AttrValue::Null;
+        assert!(null.is_null());
+        assert_eq!(null.str_or_empty(), "");
+    }
+
+    #[test]
+    fn record_null_count() {
+        let r = Record::new(
+            RecordId(7),
+            vec![AttrValue::from("a title"), AttrValue::Null, AttrValue::Null, AttrValue::from(2001_i64)],
+        );
+        assert_eq!(r.null_count(), 2);
+        assert_eq!(r.value(0).as_str(), Some("a title"));
+    }
+
+    #[test]
+    fn attr_type_properties() {
+        assert!(AttrType::Text.is_string());
+        assert!(AttrType::EntityName.is_string());
+        assert!(!AttrType::Numeric.is_string());
+        assert_eq!(AttrType::EntitySet.name(), "entity-set");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(RecordId(3).to_string(), "r3");
+        assert_eq!(AttrValue::from("x").to_string(), "x");
+        assert_eq!(AttrValue::Null.to_string(), "∅");
+        assert_eq!(AttrValue::from(5.0).to_string(), "5");
+    }
+}

@@ -1,0 +1,139 @@
+//! Tables: collections of records that share a schema.
+
+use crate::record::{AttrValue, Record, RecordId, Schema};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A table of records conforming to a single [`Schema`].
+///
+/// ER workloads either match records across two tables (e.g. DBLP vs. Scholar)
+/// or deduplicate within a single table (e.g. Songs).  Tables own their
+/// records behind `Arc`s so that candidate pairs can reference them without
+/// copying attribute values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name, used in reports and rule rendering.
+    pub name: String,
+    schema: Arc<Schema>,
+    records: Vec<Arc<Record>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self { name: name.into(), schema: Arc::new(schema), records: Vec::new() }
+    }
+
+    /// Creates an empty table with pre-allocated capacity.
+    pub fn with_capacity(name: impl Into<String>, schema: Schema, cap: usize) -> Self {
+        Self { name: name.into(), schema: Arc::new(schema), records: Vec::with_capacity(cap) }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record built from raw values, assigning the next id.
+    ///
+    /// # Panics
+    /// Panics if the number of values does not match the schema arity.
+    pub fn push(&mut self, values: Vec<AttrValue>) -> RecordId {
+        assert_eq!(
+            values.len(),
+            self.schema.len(),
+            "record arity {} does not match schema arity {}",
+            values.len(),
+            self.schema.len()
+        );
+        let id = RecordId(self.records.len() as u32);
+        self.records.push(Arc::new(Record::new(id, values)));
+        id
+    }
+
+    /// Record by id.
+    pub fn record(&self, id: RecordId) -> &Arc<Record> {
+        &self.records[id.0 as usize]
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Arc<Record>] {
+        &self.records
+    }
+
+    /// Iterator over record handles.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Record>> {
+        self.records.iter()
+    }
+
+    /// Fraction of attribute cells that are missing, across the whole table.
+    ///
+    /// Useful for validating that synthetic generators hit a target dirtiness.
+    pub fn missing_rate(&self) -> f64 {
+        if self.records.is_empty() || self.schema.is_empty() {
+            return 0.0;
+        }
+        let total = self.records.len() * self.schema.len();
+        let nulls: usize = self.records.iter().map(|r| r.null_count()).sum();
+        nulls as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AttrDef, AttrType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::new("name", AttrType::EntityName),
+            AttrDef::new("price", AttrType::Numeric),
+        ])
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut t = Table::new("products", schema());
+        let a = t.push(vec!["iPod nano".into(), 149.0.into()]);
+        let b = t.push(vec!["Zune 30GB".into(), AttrValue::Null]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(a, RecordId(0));
+        assert_eq!(b, RecordId(1));
+        assert_eq!(t.record(a).value(0).as_str(), Some("iPod nano"));
+        assert!(t.record(b).value(1).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("p", schema());
+        t.push(vec!["only one value".into()]);
+    }
+
+    #[test]
+    fn missing_rate() {
+        let mut t = Table::new("p", schema());
+        t.push(vec!["a".into(), 1.0.into()]);
+        t.push(vec![AttrValue::Null, AttrValue::Null]);
+        assert!((t.missing_rate() - 0.5).abs() < 1e-12);
+
+        let empty = Table::new("e", schema());
+        assert_eq!(empty.missing_rate(), 0.0);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! ER workloads: sets of candidate pairs with ground truth and splits.
+
+use crate::pair::{Decision, Label, LabeledPair, Pair, PairId};
+use crate::record::Schema;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A workload `D` of candidate record pairs (Table 1 of the paper).
+///
+/// The workload owns the pairs; splitting produces index lists so that the
+/// same underlying pair storage backs the classifier-training, validation
+/// (risk-training) and test partitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Name used in reports (e.g. `"DS"`).
+    pub name: String,
+    /// Schema of the left table.
+    pub left_schema: Arc<Schema>,
+    /// Schema of the right table (identical to left for dedup workloads).
+    pub right_schema: Arc<Schema>,
+    pairs: Vec<Pair>,
+}
+
+impl Workload {
+    /// Creates a workload from pairs.
+    pub fn new(
+        name: impl Into<String>,
+        left_schema: Arc<Schema>,
+        right_schema: Arc<Schema>,
+        pairs: Vec<Pair>,
+    ) -> Self {
+        Self { name: name.into(), left_schema, right_schema, pairs }
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the workload has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// All pairs.
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Pair by id.
+    pub fn pair(&self, id: PairId) -> &Pair {
+        &self.pairs[id.0 as usize]
+    }
+
+    /// Number of equivalent (matching) pairs — the `# Matches` column of Table 2.
+    pub fn match_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.truth.is_match()).count()
+    }
+
+    /// Fraction of equivalent pairs.
+    pub fn match_rate(&self) -> f64 {
+        if self.pairs.is_empty() {
+            0.0
+        } else {
+            self.match_count() as f64 / self.pairs.len() as f64
+        }
+    }
+
+    /// Number of attributes of the left schema (the `# Attributes` column of Table 2).
+    pub fn attribute_count(&self) -> usize {
+        self.left_schema.len()
+    }
+
+    /// Splits the workload into train / validation / test partitions using the
+    /// ratio convention of the paper (e.g. `3:2:5`).
+    ///
+    /// The split is a random permutation under `rng`, stratified nothing —
+    /// matching the paper's plain random splits — but deterministic for a
+    /// given RNG seed.
+    pub fn split_by_ratio<R: Rng + ?Sized>(&self, ratio: SplitRatio, rng: &mut R) -> WorkloadSplit {
+        let mut indices: Vec<u32> = (0..self.pairs.len() as u32).collect();
+        indices.shuffle(rng);
+        let n = indices.len();
+        let n_train = ((ratio.train as usize) * n) / ratio.total();
+        let n_valid = ((ratio.valid as usize) * n) / ratio.total();
+        let train = indices[..n_train].iter().map(|&i| PairId(i)).collect();
+        let valid = indices[n_train..n_train + n_valid].iter().map(|&i| PairId(i)).collect();
+        let test = indices[n_train + n_valid..].iter().map(|&i| PairId(i)).collect();
+        WorkloadSplit { train, valid, test }
+    }
+
+    /// Returns the pairs referenced by ids.
+    pub fn select(&self, ids: &[PairId]) -> Vec<Pair> {
+        ids.iter().map(|id| self.pair(*id).clone()).collect()
+    }
+
+    /// Randomly samples `k` pair ids without replacement.
+    pub fn sample_ids<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<PairId> {
+        let mut indices: Vec<u32> = (0..self.pairs.len() as u32).collect();
+        indices.shuffle(rng);
+        indices.truncate(k.min(self.pairs.len()));
+        indices.into_iter().map(PairId).collect()
+    }
+}
+
+/// A `train:valid:test` ratio such as the paper's `1:2:7`, `2:2:6`, `3:2:5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitRatio {
+    /// Parts assigned to classifier training data.
+    pub train: u32,
+    /// Parts assigned to validation data (risk-model training data).
+    pub valid: u32,
+    /// Parts assigned to test data.
+    pub test: u32,
+}
+
+impl SplitRatio {
+    /// Creates a ratio.
+    pub const fn new(train: u32, valid: u32, test: u32) -> Self {
+        Self { train, valid, test }
+    }
+
+    /// Sum of the parts.
+    pub fn total(&self) -> usize {
+        (self.train + self.valid + self.test) as usize
+    }
+
+    /// Renders the ratio as in the paper, e.g. `"3:2:5"`.
+    pub fn label(&self) -> String {
+        format!("{}:{}:{}", self.train, self.valid, self.test)
+    }
+
+    /// The three ratios evaluated in Figure 9 of the paper.
+    pub fn paper_ratios() -> [SplitRatio; 3] {
+        [SplitRatio::new(1, 2, 7), SplitRatio::new(2, 2, 6), SplitRatio::new(3, 2, 5)]
+    }
+}
+
+/// Index lists describing a train / validation / test partition of a workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSplit {
+    /// Classifier-training pair ids.
+    pub train: Vec<PairId>,
+    /// Validation pair ids, used as risk-model training data.
+    pub valid: Vec<PairId>,
+    /// Test pair ids, the target of risk analysis.
+    pub test: Vec<PairId>,
+}
+
+impl WorkloadSplit {
+    /// Total number of pairs covered by the split.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// Whether the split covers no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A workload labeled by a classifier: the result set that risk analysis ranks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledWorkload {
+    /// Name of the underlying workload plus the classifier tag.
+    pub name: String,
+    /// The labeled pairs.
+    pub pairs: Vec<LabeledPair>,
+}
+
+impl LabeledWorkload {
+    /// Creates a labeled workload.
+    pub fn new(name: impl Into<String>, pairs: Vec<LabeledPair>) -> Self {
+        Self { name: name.into(), pairs }
+    }
+
+    /// Builds a labeled workload by zipping pairs with classifier probabilities.
+    ///
+    /// # Panics
+    /// Panics when the number of probabilities differs from the number of pairs.
+    pub fn from_probabilities(name: impl Into<String>, pairs: Vec<Pair>, probs: &[f64]) -> Self {
+        assert_eq!(pairs.len(), probs.len(), "one probability per pair required");
+        let labeled = pairs
+            .into_iter()
+            .zip(probs.iter())
+            .map(|(p, &prob)| LabeledPair::new(p, Decision::from_probability(prob)))
+            .collect();
+        Self::new(name, labeled)
+    }
+
+    /// Number of labeled pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no labeled pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of pairs mislabeled by the classifier (risk positives).
+    pub fn mislabeled_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.is_mislabeled()).count()
+    }
+
+    /// Classifier accuracy on this workload.
+    pub fn classifier_accuracy(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.mislabeled_count() as f64 / self.pairs.len() as f64
+    }
+
+    /// Classifier F1 on the equivalent class, the metric reported in Figure 14.
+    pub fn classifier_f1(&self) -> f64 {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for p in &self.pairs {
+            let pred = p.decision.predicted.is_match();
+            let truth = p.pair.truth.is_match();
+            match (pred, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        if tp == 0 {
+            return 0.0;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / (tp + fn_) as f64;
+        2.0 * precision * recall / (precision + recall)
+    }
+
+    /// Risk labels (1 = mislabeled) aligned with `pairs`.
+    pub fn risk_labels(&self) -> Vec<u8> {
+        self.pairs.iter().map(|p| p.risk_label()).collect()
+    }
+
+    /// The ground-truth labels of the pairs.
+    pub fn truths(&self) -> Vec<Label> {
+        self.pairs.iter().map(|p| p.pair.truth).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AttrDef, AttrType, AttrValue, Record, RecordId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_workload(n: usize) -> Workload {
+        let schema = Arc::new(Schema::new(vec![AttrDef::new("name", AttrType::Text)]));
+        let pairs = (0..n)
+            .map(|i| {
+                let l = Arc::new(Record::new(RecordId(i as u32), vec![AttrValue::from("a")]));
+                let r = Arc::new(Record::new(RecordId(i as u32), vec![AttrValue::from("b")]));
+                Pair::new(PairId(i as u32), l, r, Label::from_bool(i % 4 == 0))
+            })
+            .collect();
+        Workload::new("tiny", Arc::clone(&schema), schema, pairs)
+    }
+
+    #[test]
+    fn split_ratio_partitions_everything() {
+        let w = tiny_workload(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = w.split_by_ratio(SplitRatio::new(3, 2, 5), &mut rng);
+        assert_eq!(split.train.len(), 30);
+        assert_eq!(split.valid.len(), 20);
+        assert_eq!(split.test.len(), 50);
+        assert_eq!(split.len(), 100);
+
+        // No overlap between the three partitions.
+        let mut all: Vec<u32> = split
+            .train
+            .iter()
+            .chain(split.valid.iter())
+            .chain(split.test.iter())
+            .map(|p| p.0)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let w = tiny_workload(50);
+        let a = w.split_by_ratio(SplitRatio::new(1, 2, 7), &mut StdRng::seed_from_u64(3));
+        let b = w.split_by_ratio(SplitRatio::new(1, 2, 7), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn match_statistics() {
+        let w = tiny_workload(8);
+        assert_eq!(w.match_count(), 2);
+        assert!((w.match_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(w.attribute_count(), 1);
+    }
+
+    #[test]
+    fn labeled_workload_statistics() {
+        let w = tiny_workload(4);
+        // Probabilities chosen so pairs 0 (match) predicted unmatch => mislabeled,
+        // pair 1 (unmatch) predicted unmatch => correct, etc.
+        let probs = [0.2, 0.3, 0.9, 0.1];
+        let lw = LabeledWorkload::from_probabilities("tiny", w.pairs().to_vec(), &probs);
+        assert_eq!(lw.len(), 4);
+        assert_eq!(lw.mislabeled_count(), 2); // pair 0 (fn) and pair 2 (fp)
+        assert!((lw.classifier_accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(lw.risk_labels(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn f1_of_perfect_classifier_is_one() {
+        let w = tiny_workload(8);
+        let probs: Vec<f64> = w.pairs().iter().map(|p| p.truth.as_f64() * 0.98 + 0.01).collect();
+        let lw = LabeledWorkload::from_probabilities("tiny", w.pairs().to_vec(), &probs);
+        assert!((lw.classifier_f1() - 1.0).abs() < 1e-12);
+        assert_eq!(lw.mislabeled_count(), 0);
+    }
+
+    #[test]
+    fn ratio_labels() {
+        assert_eq!(SplitRatio::new(1, 2, 7).label(), "1:2:7");
+        assert_eq!(SplitRatio::paper_ratios()[2], SplitRatio::new(3, 2, 5));
+        assert_eq!(SplitRatio::new(2, 2, 6).total(), 10);
+    }
+
+    #[test]
+    fn sample_ids_bounded() {
+        let w = tiny_workload(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(w.sample_ids(3, &mut rng).len(), 3);
+        assert_eq!(w.sample_ids(99, &mut rng).len(), 10);
+    }
+}

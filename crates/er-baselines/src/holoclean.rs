@@ -1,0 +1,175 @@
+//! HoloClean adapted for ER risk analysis (Section 7.3 of the paper).
+//!
+//! HoloClean is a probabilistic data-repair system: it treats rules as
+//! integrity constraints over noisy data and infers marginal probabilities of
+//! the suggested repairs with a log-linear (factor-graph) model.  Following
+//! the paper's adaptation, a candidate pair is a tuple whose noisy cell is the
+//! machine label and whose constraints are two-sided labeling rules generated
+//! by a random forest.  Each satisfied rule contributes a weighted factor for
+//! its class; the machine label contributes a prior factor.  The inferred
+//! probability that the machine label is wrong is the pair's risk.
+
+use er_base::Label;
+use er_base::stats::sigmoid;
+use er_rulegen::Rule;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the HoloClean-style inference.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HoloCleanConfig {
+    /// Weight of the machine-label prior factor.
+    pub prior_weight: f64,
+    /// Cap on the log-odds contributed by a single rule.
+    pub max_rule_weight: f64,
+}
+
+impl Default for HoloCleanConfig {
+    fn default() -> Self {
+        Self { prior_weight: 1.0, max_rule_weight: 4.0 }
+    }
+}
+
+/// The HoloClean-style risk scorer over two-sided labeling rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoloCleanRisk {
+    rules: Vec<Rule>,
+    /// Log-odds weight of each rule, derived from its training purity.
+    rule_weights: Vec<f64>,
+    config: HoloCleanConfig,
+}
+
+impl HoloCleanRisk {
+    /// Builds the scorer from two-sided labeling rules (typically produced by
+    /// [`er_rulegen::RandomForest::rules`]).  Each rule's factor weight is the
+    /// log-odds of its purity, capped at `max_rule_weight`.
+    pub fn new(rules: Vec<Rule>, config: HoloCleanConfig) -> Self {
+        let rule_weights = rules
+            .iter()
+            .map(|r| {
+                let p = r.purity.clamp(0.5, 1.0 - 1e-6);
+                (p / (1.0 - p)).ln().min(config.max_rule_weight)
+            })
+            .collect();
+        Self { rules, rule_weights, config }
+    }
+
+    /// Number of labeling rules used by the inference.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Inferred probability that the pair is a match, combining the machine
+    /// label prior and the rule factors.
+    pub fn match_probability(&self, metric_row: &[f64], classifier_output: f64) -> f64 {
+        // Machine-label prior as log-odds of the classifier output.
+        let p = classifier_output.clamp(1e-6, 1.0 - 1e-6);
+        let mut logit = self.config.prior_weight * (p / (1.0 - p)).ln();
+        for (rule, &w) in self.rules.iter().zip(&self.rule_weights) {
+            if rule.covers(metric_row) {
+                match rule.target {
+                    Label::Equivalent => logit += w,
+                    Label::Inequivalent => logit -= w,
+                }
+            }
+        }
+        sigmoid(logit)
+    }
+
+    /// Risk of a pair: the inferred probability that its machine label is
+    /// wrong.
+    pub fn risk(&self, metric_row: &[f64], classifier_output: f64, machine_says_match: bool) -> f64 {
+        let p_match = self.match_probability(metric_row, classifier_output);
+        if machine_says_match {
+            1.0 - p_match
+        } else {
+            p_match
+        }
+    }
+
+    /// Risk scores for a batch of pairs.
+    pub fn scores(
+        &self,
+        metric_rows: &[Vec<f64>],
+        classifier_outputs: &[f64],
+        machine_says_match: &[bool],
+    ) -> Vec<f64> {
+        assert_eq!(metric_rows.len(), classifier_outputs.len());
+        assert_eq!(metric_rows.len(), machine_says_match.len());
+        metric_rows
+            .iter()
+            .zip(classifier_outputs)
+            .zip(machine_says_match)
+            .map(|((row, &p), &m)| self.risk(row, p, m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_rulegen::{CmpOp, Condition};
+
+    fn rules() -> Vec<Rule> {
+        vec![
+            // metric 0 high => equivalent (purity 0.95)
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.7)], Label::Equivalent, 40, 0.95),
+            // metric 1 high => inequivalent (purity 0.99)
+            Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.5)], Label::Inequivalent, 60, 0.99),
+            // weak rule (purity 0.6)
+            Rule::new(vec![Condition::new(2, CmpOp::Gt, 0.5)], Label::Inequivalent, 20, 0.6),
+        ]
+    }
+
+    #[test]
+    fn rule_factors_shift_the_match_probability() {
+        let hc = HoloCleanRisk::new(rules(), HoloCleanConfig::default());
+        assert_eq!(hc.rule_count(), 3);
+        let neutral = hc.match_probability(&[0.0, 0.0, 0.0], 0.5);
+        let pro_match = hc.match_probability(&[0.9, 0.0, 0.0], 0.5);
+        let anti_match = hc.match_probability(&[0.0, 0.9, 0.0], 0.5);
+        assert!((neutral - 0.5).abs() < 1e-9);
+        assert!(pro_match > 0.8);
+        assert!(anti_match < 0.2);
+    }
+
+    #[test]
+    fn stronger_rules_have_larger_influence() {
+        let hc = HoloCleanRisk::new(rules(), HoloCleanConfig::default());
+        let strong = hc.match_probability(&[0.0, 0.9, 0.0], 0.5); // purity 0.99 rule
+        let weak = hc.match_probability(&[0.0, 0.0, 0.9], 0.5); // purity 0.6 rule
+        assert!(strong < weak, "the high-purity rule should push harder: {strong} vs {weak}");
+    }
+
+    #[test]
+    fn risk_flags_label_rule_conflicts() {
+        let hc = HoloCleanRisk::new(rules(), HoloCleanConfig::default());
+        // Machine says match but the inequivalence rule fires strongly.
+        let conflicted = hc.risk(&[0.0, 0.9, 0.0], 0.8, true);
+        // Machine says match and the equivalence rule agrees.
+        let agreeing = hc.risk(&[0.9, 0.0, 0.0], 0.8, true);
+        assert!(conflicted > 0.5);
+        assert!(agreeing < 0.2);
+        assert!(conflicted > agreeing);
+    }
+
+    #[test]
+    fn classifier_prior_matters_without_rules() {
+        let hc = HoloCleanRisk::new(vec![], HoloCleanConfig::default());
+        assert_eq!(hc.rule_count(), 0);
+        // With no rules, risk reduces to disagreement with the classifier output.
+        assert!(hc.risk(&[], 0.9, false) > hc.risk(&[], 0.1, false));
+        assert!((hc.match_probability(&[], 0.7) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_scores_are_bounded() {
+        let hc = HoloCleanRisk::new(rules(), HoloCleanConfig::default());
+        let rows = vec![vec![0.9, 0.0, 0.0], vec![0.0, 0.9, 0.0], vec![0.0, 0.0, 0.0]];
+        let outputs = vec![0.9, 0.9, 0.5];
+        let labels = vec![true, true, false];
+        let scores = hc.scores(&rows, &outputs, &labels);
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert!(scores[1] > scores[0]);
+    }
+}

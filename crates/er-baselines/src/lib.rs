@@ -1,0 +1,22 @@
+//! # er-baselines
+//!
+//! The non-learnable risk-analysis baselines the paper compares against:
+//!
+//! * [`simple`] — `Baseline` (classifier-output ambiguity) and `Uncertainty`
+//!   (bootstrap-ensemble disagreement).
+//! * [`trust_score`] — `TrustScore` (cluster-distance ratio).
+//! * [`static_risk`] — `StaticRisk` (Bayesian posterior + CVaR).
+//! * [`holoclean`] — HoloClean adapted to risk analysis via weighted-rule
+//!   log-linear inference over two-sided labeling rules.
+
+#![warn(missing_docs)]
+
+pub mod holoclean;
+pub mod simple;
+pub mod static_risk;
+pub mod trust_score;
+
+pub use holoclean::{HoloCleanConfig, HoloCleanRisk};
+pub use simple::{baseline_scores, UncertaintyScorer};
+pub use static_risk::{StaticRisk, StaticRiskConfig};
+pub use trust_score::{TrustScore, TrustScoreConfig};

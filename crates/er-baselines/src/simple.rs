@@ -1,0 +1,74 @@
+//! The `Baseline` and `Uncertainty` risk scorers (Section 7 of the paper).
+
+use er_classifier::BootstrapEnsemble;
+
+/// `Baseline` [Hendrycks & Gimpel]: the risk of a pair is the ambiguity of its
+/// classifier output — outputs close to 0.5 are risky, extreme outputs are
+/// safe.  Returns one risk score per output.
+pub fn baseline_scores(outputs: &[f64]) -> Vec<f64> {
+    outputs.iter().map(|&p| 0.5 - (p.clamp(0.0, 1.0) - 0.5).abs()).collect()
+}
+
+/// `Uncertainty` [Mozafari et al.]: the risk of a pair is the disagreement of
+/// a bootstrap ensemble, `p(1-p)` of the ensemble vote fraction.
+pub struct UncertaintyScorer<'a> {
+    ensemble: &'a BootstrapEnsemble,
+}
+
+impl<'a> UncertaintyScorer<'a> {
+    /// Creates a scorer over a trained bootstrap ensemble.
+    pub fn new(ensemble: &'a BootstrapEnsemble) -> Self {
+        Self { ensemble }
+    }
+
+    /// Risk scores for feature vectors (one per pair).
+    pub fn scores(&self, features: &[Vec<f64>]) -> Vec<f64> {
+        features.iter().map(|x| self.ensemble.uncertainty(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_classifier::TrainConfig;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn baseline_ranks_ambiguous_outputs_highest() {
+        let outputs = [0.99, 0.55, 0.5, 0.02, 0.7];
+        let scores = baseline_scores(&outputs);
+        assert_eq!(scores.len(), 5);
+        // 0.5 is the riskiest, 0.99/0.02 the safest.
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 2);
+        assert!(scores[0] < scores[1]);
+        assert!(scores[3] < scores[4]);
+        // Out-of-range values are clamped rather than producing weird scores.
+        assert!((baseline_scores(&[1.3])[0] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertainty_scorer_wraps_ensemble_disagreement() {
+        let mut rng = seeded(1);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..300 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let noise: f64 = rng.gen_range(-0.3..0.3);
+            xs.push(vec![v]);
+            ys.push(if v + noise > 0.0 { 1.0 } else { 0.0 });
+        }
+        let ensemble = BootstrapEnsemble::train(&xs, &ys, 10, &TrainConfig { epochs: 30, ..Default::default() });
+        let scorer = UncertaintyScorer::new(&ensemble);
+        let scores = scorer.scores(&[vec![0.02], vec![0.95]]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0] >= scores[1], "boundary point should be at least as uncertain");
+        assert!(scores.iter().all(|s| (0.0..=0.25).contains(s)));
+    }
+}

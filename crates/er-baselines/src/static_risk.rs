@@ -1,0 +1,151 @@
+//! The `StaticRisk` baseline [Chen et al., 2018].
+//!
+//! StaticRisk estimates a pair's equivalence-probability distribution by
+//! Bayesian inference: the classifier output provides the prior expectation,
+//! and human-labeled pairs (the validation data) act as observed samples that
+//! update it to a Beta posterior.  The risk is then measured by Conditional
+//! Value-at-Risk on the (normal-approximated) posterior.  The model has no
+//! learnable parameters — it is the non-learnable distributional counterpart
+//! of LearnRisk.
+
+use learnrisk_core::{pair_risk, RiskMetric};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of StaticRisk.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StaticRiskConfig {
+    /// Pseudo-count of the prior derived from the classifier output.
+    pub prior_strength: f64,
+    /// Number of classifier-output bins used to group the labeled samples.
+    pub bins: usize,
+    /// CVaR confidence level.
+    pub theta: f64,
+}
+
+impl Default for StaticRiskConfig {
+    fn default() -> Self {
+        Self { prior_strength: 10.0, bins: 10, theta: 0.9 }
+    }
+}
+
+/// Fitted StaticRisk model: per-bin Beta posterior statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticRisk {
+    /// Per-bin (matches, total) counts from the labeled validation data.
+    bin_counts: Vec<(f64, f64)>,
+    config: StaticRiskConfig,
+}
+
+impl StaticRisk {
+    /// Fits the model from validation data: classifier outputs and ground
+    /// truth labels of the human-labeled pairs.
+    pub fn fit(valid_outputs: &[f64], valid_is_match: &[bool], config: StaticRiskConfig) -> Self {
+        assert_eq!(valid_outputs.len(), valid_is_match.len());
+        let bins = config.bins.max(1);
+        let mut bin_counts = vec![(0.0, 0.0); bins];
+        for (&p, &m) in valid_outputs.iter().zip(valid_is_match) {
+            let b = ((p.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+            bin_counts[b].1 += 1.0;
+            if m {
+                bin_counts[b].0 += 1.0;
+            }
+        }
+        Self { bin_counts, config }
+    }
+
+    /// Posterior Beta parameters `(α, β)` for a test pair with classifier
+    /// output `p`: prior `Beta(c·p, c·(1−p))` updated with the validation
+    /// samples falling in the same output bin.
+    pub fn posterior(&self, p: f64) -> (f64, f64) {
+        let p = p.clamp(1e-3, 1.0 - 1e-3);
+        let c = self.config.prior_strength;
+        let bins = self.bin_counts.len();
+        let b = ((p * bins as f64) as usize).min(bins - 1);
+        let (matches, total) = self.bin_counts[b];
+        (c * p + matches, c * (1.0 - p) + (total - matches))
+    }
+
+    /// Risk of one pair given its classifier output and the machine label.
+    pub fn risk(&self, output: f64, machine_says_match: bool) -> f64 {
+        let (alpha, beta) = self.posterior(output);
+        let n = alpha + beta;
+        let mean = alpha / n;
+        let var = alpha * beta / (n * n * (n + 1.0));
+        pair_risk(RiskMetric::ConditionalValueAtRisk, mean, var.sqrt(), machine_says_match, self.config.theta)
+    }
+
+    /// Risk scores for a batch of pairs.
+    pub fn scores(&self, outputs: &[f64], machine_says_match: &[bool]) -> Vec<f64> {
+        assert_eq!(outputs.len(), machine_says_match.len());
+        outputs.iter().zip(machine_says_match).map(|(&p, &m)| self.risk(p, m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Validation data where the classifier is well calibrated except in the
+    /// 0.6–0.7 bin, where it systematically overestimates equivalence.
+    fn validation() -> (Vec<f64>, Vec<bool>) {
+        let mut outputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let p = (i % 10) as f64 / 10.0 + 0.05;
+            let is_match = if (0.6..0.7).contains(&p) { i % 10 == 9 } else { (i % 100) as f64 / 100.0 < p };
+            outputs.push(p);
+            labels.push(is_match);
+        }
+        (outputs, labels)
+    }
+
+    #[test]
+    fn posterior_counts_follow_bins() {
+        let (o, l) = validation();
+        let sr = StaticRisk::fit(&o, &l, StaticRiskConfig::default());
+        let (a, b) = sr.posterior(0.95);
+        assert!(a > b, "high-output bin should be match-heavy");
+        let (a, b) = sr.posterior(0.05);
+        assert!(b > a, "low-output bin should be unmatch-heavy");
+    }
+
+    #[test]
+    fn validation_evidence_overrides_misleading_output() {
+        let (o, l) = validation();
+        let sr = StaticRisk::fit(&o, &l, StaticRiskConfig::default());
+        // In the 0.65 bin the validation data says most pairs are NOT matches,
+        // so a match-labeled pair there is riskier than one at 0.95.
+        let misleading = sr.risk(0.65, true);
+        let calibrated = sr.risk(0.95, true);
+        assert!(misleading > calibrated, "{misleading} vs {calibrated}");
+    }
+
+    #[test]
+    fn risk_direction_follows_machine_label() {
+        let (o, l) = validation();
+        let sr = StaticRisk::fit(&o, &l, StaticRiskConfig::default());
+        assert!(sr.risk(0.9, false) > sr.risk(0.9, true));
+        assert!(sr.risk(0.1, true) > sr.risk(0.1, false));
+    }
+
+    #[test]
+    fn works_without_validation_data() {
+        let sr = StaticRisk::fit(&[], &[], StaticRiskConfig::default());
+        // Falls back to the prior: ambiguous outputs are riskier than extremes.
+        assert!(sr.risk(0.5, true) > sr.risk(0.97, true));
+        let scores = sr.scores(&[0.2, 0.8], &[false, true]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn prior_strength_controls_adaptivity() {
+        let (o, l) = validation();
+        let weak = StaticRisk::fit(&o, &l, StaticRiskConfig { prior_strength: 1.0, ..Default::default() });
+        let strong = StaticRisk::fit(&o, &l, StaticRiskConfig { prior_strength: 1000.0, ..Default::default() });
+        // With an overwhelming prior, the misleading bin is no longer special.
+        let weak_gap = weak.risk(0.65, true) - weak.risk(0.95, true);
+        let strong_gap = strong.risk(0.65, true) - strong.risk(0.95, true);
+        assert!(weak_gap > strong_gap);
+    }
+}

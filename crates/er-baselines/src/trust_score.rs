@@ -1,0 +1,194 @@
+//! The `TrustScore` baseline [Jiang et al., NeurIPS 2018].
+//!
+//! A clustering-based risk scorer: one "cluster" (here: the set of training
+//! feature vectors, optionally density-filtered) is built per class.  For a
+//! test pair, let `ρ_Y` be its distance to the cluster of its *predicted*
+//! class and `ρ_N` its distance to the nearest cluster of a *different* class.
+//! The trust score is `ρ_N / ρ_Y`; we report the risk as its reciprocal
+//! ordering (`ρ_Y / ρ_N`), so that larger means riskier.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the TrustScore baseline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrustScoreConfig {
+    /// Number of nearest neighbours whose average distance defines the
+    /// distance to a class cluster.
+    pub k_neighbors: usize,
+    /// Fraction of the most isolated training points removed from each class
+    /// cluster (the α-filtering of the original method).
+    pub filter_fraction: f64,
+}
+
+impl Default for TrustScoreConfig {
+    fn default() -> Self {
+        Self { k_neighbors: 5, filter_fraction: 0.1 }
+    }
+}
+
+/// The fitted TrustScore model: per-class reference points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrustScore {
+    class_points: [Vec<Vec<f64>>; 2],
+    config: TrustScoreConfig,
+}
+
+fn sq_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl TrustScore {
+    /// Fits the model on training feature vectors and their binary labels
+    /// (`true` = matching class).
+    pub fn fit(features: &[Vec<f64>], labels: &[bool], config: TrustScoreConfig) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "TrustScore needs training data");
+        let mut class_points: [Vec<Vec<f64>>; 2] = [Vec::new(), Vec::new()];
+        for (x, &y) in features.iter().zip(labels) {
+            class_points[usize::from(y)].push(x.clone());
+        }
+        // α-filter: drop the most isolated fraction of each class.
+        for points in class_points.iter_mut() {
+            if points.len() < 5 || config.filter_fraction <= 0.0 {
+                continue;
+            }
+            let mut isolation: Vec<(usize, f64)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let mut dists: Vec<f64> = points
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, q)| sq_distance(p, q))
+                        .collect();
+                    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let k = config.k_neighbors.min(dists.len().max(1));
+                    (i, dists.iter().take(k).sum::<f64>() / k as f64)
+                })
+                .collect();
+            isolation.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let keep = ((points.len() as f64) * (1.0 - config.filter_fraction)).ceil() as usize;
+            let keep_indices: std::collections::HashSet<usize> =
+                isolation.iter().take(keep.max(1)).map(|(i, _)| *i).collect();
+            let mut idx = 0usize;
+            points.retain(|_| {
+                let keep = keep_indices.contains(&idx);
+                idx += 1;
+                keep
+            });
+        }
+        Self { class_points, config }
+    }
+
+    /// Average distance of `x` to its `k` nearest points of a class.
+    fn class_distance(&self, x: &[f64], class: usize) -> f64 {
+        let points = &self.class_points[class];
+        if points.is_empty() {
+            return f64::MAX / 4.0;
+        }
+        let mut dists: Vec<f64> = points.iter().map(|p| sq_distance(x, p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = self.config.k_neighbors.min(dists.len());
+        (dists.iter().take(k).sum::<f64>() / k as f64).sqrt()
+    }
+
+    /// Risk score of one pair given its features and the class predicted by
+    /// the machine (`true` = matching).  Larger means riskier.
+    pub fn risk(&self, x: &[f64], predicted_match: bool) -> f64 {
+        let same = self.class_distance(x, usize::from(predicted_match));
+        let other = self.class_distance(x, usize::from(!predicted_match));
+        // ρ_Y / ρ_N: far from the predicted class and close to the other class
+        // ⇒ high risk.  Guard against division by zero for exact duplicates.
+        same / other.max(1e-9)
+    }
+
+    /// Risk scores for a batch.
+    pub fn scores(&self, features: &[Vec<f64>], predicted_match: &[bool]) -> Vec<f64> {
+        assert_eq!(features.len(), predicted_match.len());
+        features.iter().zip(predicted_match).map(|(x, &p)| self.risk(x, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    /// Two Gaussian blobs: class 0 around (0,0), class 1 around (3,3).
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = seeded(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let is_one = rng.gen_bool(0.5);
+            let center = if is_one { 3.0 } else { 0.0 };
+            xs.push(vec![center + rng.gen_range(-0.5..0.5), center + rng.gen_range(-0.5..0.5)]);
+            ys.push(is_one);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn correct_predictions_near_their_cluster_have_low_risk() {
+        let (xs, ys) = blobs(200, 1);
+        let ts = TrustScore::fit(&xs, &ys, TrustScoreConfig::default());
+        // A point near the class-1 blob predicted as class 1: low risk.
+        let low = ts.risk(&[3.1, 2.9], true);
+        // The same point predicted as class 0: high risk.
+        let high = ts.risk(&[3.1, 2.9], false);
+        assert!(high > low * 3.0, "risk should flip with the predicted class: {low} vs {high}");
+    }
+
+    #[test]
+    fn boundary_points_have_intermediate_risk() {
+        let (xs, ys) = blobs(200, 2);
+        let ts = TrustScore::fit(&xs, &ys, TrustScoreConfig::default());
+        let confident = ts.risk(&[0.0, 0.0], false);
+        let boundary = ts.risk(&[1.5, 1.5], false);
+        assert!(boundary > confident);
+    }
+
+    #[test]
+    fn batch_scores_align_with_inputs() {
+        let (xs, ys) = blobs(100, 3);
+        let ts = TrustScore::fit(&xs, &ys, TrustScoreConfig::default());
+        let test = vec![vec![0.1, 0.1], vec![2.9, 3.1]];
+        let preds = vec![false, true];
+        let scores = ts.scores(&test, &preds);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn missing_class_degrades_gracefully() {
+        // Only class-0 examples in training.
+        let xs = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], vec![0.2, 0.1], vec![0.1, 0.2]];
+        let ys = vec![false; 5];
+        let ts = TrustScore::fit(&xs, &ys, TrustScoreConfig::default());
+        let r = ts.risk(&[0.0, 0.0], false);
+        assert!(r.is_finite());
+        assert!(r < 1.0, "point inside the only cluster should look safe");
+    }
+
+    #[test]
+    fn filtering_removes_isolated_points() {
+        let (mut xs, mut ys) = blobs(100, 4);
+        // Add one extreme outlier to class 1.
+        xs.push(vec![50.0, 50.0]);
+        ys.push(true);
+        let filtered = TrustScore::fit(&xs, &ys, TrustScoreConfig { filter_fraction: 0.1, k_neighbors: 5 });
+        let unfiltered = TrustScore::fit(&xs, &ys, TrustScoreConfig { filter_fraction: 0.0, k_neighbors: 5 });
+        // Near the outlier, the filtered model sees class 1 as far away -> higher risk for predicting class 1.
+        let r_filtered = filtered.risk(&[49.0, 49.0], true);
+        let r_unfiltered = unfiltered.risk(&[49.0, 49.0], true);
+        assert!(r_filtered > r_unfiltered);
+    }
+
+    #[test]
+    #[should_panic(expected = "training data")]
+    fn empty_training_panics() {
+        TrustScore::fit(&[], &[], TrustScoreConfig::default());
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion benches wrapping the figure/table experiment runners at a small
+//! scale, so every table and figure of the paper has a `cargo bench` target
+//! (the corresponding binaries regenerate the full series; these benches track
+//! end-to-end runtime and act as smoke tests under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_base::SplitRatio;
+use er_datasets::BenchmarkId;
+use er_eval::{
+    run_fig10_workload, run_fig12, run_fig13, run_fig14, run_fig9_cell, run_table2, ExperimentConfig, OodWorkload,
+};
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig { scale: 0.012, seed: 2020 }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/table2");
+    group.sample_size(10);
+    group.bench_function("dataset_statistics", |b| b.iter(|| std::hint::black_box(run_table2(&tiny()))));
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig9");
+    group.sample_size(10);
+    group.bench_function("ds_3_2_5_cell", |b| {
+        b.iter(|| std::hint::black_box(run_fig9_cell(BenchmarkId::DblpScholar, SplitRatio::new(3, 2, 5), &tiny())))
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig10");
+    group.sample_size(10);
+    group.bench_function("da2ds_ood", |b| {
+        b.iter(|| std::hint::black_box(run_fig10_workload(OodWorkload::Da2Ds, &tiny())))
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig11");
+    group.sample_size(10);
+    group.bench_function("holoclean_comparison_one_subset", |b| {
+        b.iter(|| std::hint::black_box(er_eval::run_fig11(&tiny(), 1)))
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig12");
+    group.sample_size(10);
+    group.bench_function("sensitivity_sweep", |b| b.iter(|| std::hint::black_box(run_fig12(&tiny()))));
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig13");
+    group.sample_size(10);
+    group.bench_function("scalability_two_sizes", |b| {
+        b.iter(|| std::hint::black_box(run_fig13(&tiny(), &[200, 400])))
+    });
+    group.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig14");
+    group.sample_size(10);
+    group.bench_function("active_learning_one_round", |b| {
+        b.iter(|| std::hint::black_box(run_fig14(&tiny(), 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14
+);
+criterion_main!(benches);

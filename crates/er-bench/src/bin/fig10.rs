@@ -1,0 +1,14 @@
+//! Regenerates Figure 10 (out-of-distribution evaluation).
+use er_eval::{render_auroc_table, run_fig10};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let results = run_fig10(&config);
+    println!(
+        "{}",
+        render_auroc_table(
+            &format!("Figure 10 — out-of-distribution AUROC (scale {})", config.scale),
+            &results
+        )
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 11 (comparison with HoloClean on sampled workloads).
+use er_eval::{render_auroc_table, run_fig11};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let results = run_fig11(&config, 3);
+    println!(
+        "{}",
+        render_auroc_table(
+            &format!("Figure 11 — LearnRisk vs HoloClean (scale {}, 3 subsets averaged)", config.scale),
+            &results
+        )
+    );
+}

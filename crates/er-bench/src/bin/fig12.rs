@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 (sensitivity to the size of risk-training data).
+use er_eval::{render_sensitivity, run_fig12};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let points = run_fig12(&config);
+    println!("{}", render_sensitivity(&points));
+}

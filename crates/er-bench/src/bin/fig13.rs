@@ -1,0 +1,9 @@
+//! Regenerates Figure 13 (scalability of rule generation and risk training).
+use er_eval::{render_scalability, run_fig13};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let sizes = [500, 1000, 2000, 3000, 4000, 6000];
+    let points = run_fig13(&config, &sizes);
+    println!("{}", render_scalability(&points));
+}

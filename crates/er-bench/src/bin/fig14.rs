@@ -1,0 +1,8 @@
+//! Regenerates Figure 14 (active learning with risk-driven selection).
+use er_eval::{render_active_learning, run_fig14};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let curves = run_fig14(&config, 8);
+    println!("{}", render_active_learning(&curves));
+}

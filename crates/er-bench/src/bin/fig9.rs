@@ -1,0 +1,14 @@
+//! Regenerates Figure 9 (comparative evaluation on DS/AB/AG/SG × 3 ratios).
+use er_eval::{render_auroc_table, run_fig9};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let results = run_fig9(&config);
+    println!(
+        "{}",
+        render_auroc_table(
+            &format!("Figure 9 — AUROC per risk method (scale {})", config.scale),
+            &results
+        )
+    );
+}

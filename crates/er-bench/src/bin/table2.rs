@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (dataset statistics).
+use er_eval::{render_table2, run_table2};
+
+fn main() {
+    let config = er_bench::config_from_args(0.05);
+    let rows = run_table2(&config);
+    println!("{}", render_table2(&rows));
+}

@@ -1,0 +1,44 @@
+//! # er-bench
+//!
+//! Benchmark harness of the reproduction: one binary per table/figure of the
+//! paper (printing the same rows/series the paper reports) and Criterion
+//! benches for the performance-sensitive building blocks.
+//!
+//! Binaries (run with `cargo run -p er-bench --release --bin <name> [scale]`):
+//!
+//! | Binary    | Reproduces |
+//! |-----------|------------|
+//! | `table2`  | Table 2 — dataset statistics |
+//! | `fig9`    | Figure 9 — comparative AUROC on DS/AB/AG/SG × 3 ratios |
+//! | `fig10`   | Figure 10 — out-of-distribution evaluation (DA2DS, AB2AG) |
+//! | `fig11`   | Figure 11 — LearnRisk vs HoloClean |
+//! | `fig12`   | Figure 12 — sensitivity to risk-training data size |
+//! | `fig13`   | Figure 13 — scalability of rule generation / risk training |
+//! | `fig14`   | Figure 14 — active learning |
+//! | `ablation`| Design-choice ablations called out in DESIGN.md |
+
+#![warn(missing_docs)]
+
+use er_eval::ExperimentConfig;
+
+/// Parses the workload scale from the first CLI argument (default
+/// `default_scale`), with the seed fixed at 2020 for reproducibility.
+pub fn config_from_args(default_scale: f64) -> ExperimentConfig {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(default_scale);
+    ExperimentConfig { scale, seed: 2020 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_used_without_args() {
+        let c = config_from_args(0.03);
+        assert!(c.scale > 0.0);
+        assert_eq!(c.seed, 2020);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bootstrap ensembles of classifiers.
+//!
+//! The `Uncertainty` baseline of the paper trains multiple classifiers on
+//! bootstrap resamples of the training data and measures a pair's risk by the
+//! disagreement of the ensemble (`p(1-p)` of the average vote).  The ensemble
+//! is also reusable for probability calibration and variance estimation.
+
+use crate::classifier::{Classifier, TrainConfig};
+use crate::linear::LogisticRegression;
+use er_base::rng::substream;
+use rand::Rng;
+
+/// A bootstrap ensemble of logistic-regression classifiers.
+pub struct BootstrapEnsemble {
+    members: Vec<LogisticRegression>,
+}
+
+impl BootstrapEnsemble {
+    /// Trains `n_members` classifiers on bootstrap resamples of `(xs, ys)`.
+    ///
+    /// The paper uses 20 deep-learning models; 20 logistic members reproduce
+    /// the same coarse-grained score distribution (an ensemble of n members
+    /// can emit only n+1 distinct vote fractions).
+    pub fn train(xs: &[Vec<f64>], ys: &[f64], n_members: usize, config: &TrainConfig) -> Self {
+        assert!(!xs.is_empty(), "cannot train an ensemble on empty data");
+        assert!(n_members > 0, "ensemble needs at least one member");
+        let dim = xs[0].len();
+        let mut members = Vec::with_capacity(n_members);
+        for m in 0..n_members {
+            let mut rng = substream(config.seed, 0x40 + m as u64);
+            // Bootstrap resample with replacement.
+            let mut bx = Vec::with_capacity(xs.len());
+            let mut by = Vec::with_capacity(ys.len());
+            for _ in 0..xs.len() {
+                let i = rng.gen_range(0..xs.len());
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            let mut member = LogisticRegression::new(dim);
+            let member_config = TrainConfig { seed: config.seed.wrapping_add(m as u64 + 1), ..*config };
+            member.train(&bx, &by, &member_config);
+            members.push(member);
+        }
+        Self { members }
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Fraction of members that vote "match" for a feature vector.
+    pub fn vote_fraction(&self, x: &[f64]) -> f64 {
+        let votes = self.members.iter().filter(|m| m.predict_proba(x) >= 0.5).count();
+        votes as f64 / self.members.len() as f64
+    }
+
+    /// Mean predicted probability across members.
+    pub fn mean_probability(&self, x: &[f64]) -> f64 {
+        self.members.iter().map(|m| m.predict_proba(x)).sum::<f64>() / self.members.len() as f64
+    }
+
+    /// Uncertainty score `p(1-p)` of the vote fraction — the risk measure of
+    /// the `Uncertainty` baseline.
+    pub fn uncertainty(&self, x: &[f64]) -> f64 {
+        let p = self.vote_fraction(x);
+        p * (1.0 - p)
+    }
+
+    /// Variance of the member probabilities (an alternative disagreement
+    /// measure, used in ablations).
+    pub fn probability_variance(&self, x: &[f64]) -> f64 {
+        let probs: Vec<f64> = self.members.iter().map(|m| m.predict_proba(x)).collect();
+        er_base::stats::variance(&probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    fn toy(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = seeded(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            // Noisy boundary at 0 so that members disagree near it.
+            let noise: f64 = rng.gen_range(-0.2..0.2);
+            xs.push(vec![a]);
+            ys.push(if a + noise > 0.0 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn ensemble_members_disagree_near_boundary() {
+        let (xs, ys) = toy(400, 1);
+        let config = TrainConfig { epochs: 40, ..TrainConfig::default() };
+        let ensemble = BootstrapEnsemble::train(&xs, &ys, 20, &config);
+        assert_eq!(ensemble.len(), 20);
+        let far = ensemble.uncertainty(&[0.9]);
+        let near = ensemble.uncertainty(&[0.01]);
+        assert!(near >= far, "uncertainty near boundary ({near}) should be >= far ({far})");
+        assert!(far < 0.05, "confident region should have low uncertainty: {far}");
+    }
+
+    #[test]
+    fn vote_fraction_has_limited_granularity() {
+        let (xs, ys) = toy(200, 2);
+        let ensemble = BootstrapEnsemble::train(&xs, &ys, 5, &TrainConfig { epochs: 20, ..Default::default() });
+        let mut rng = seeded(3);
+        for _ in 0..50 {
+            let x = vec![rng.gen_range(-1.0..1.0)];
+            let v = ensemble.vote_fraction(&x);
+            // Only multiples of 1/5 are possible.
+            let scaled = v * 5.0;
+            assert!((scaled - scaled.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_probability_and_variance_are_bounded() {
+        let (xs, ys) = toy(150, 4);
+        let ensemble = BootstrapEnsemble::train(&xs, &ys, 8, &TrainConfig { epochs: 20, ..Default::default() });
+        let p = ensemble.mean_probability(&[0.3]);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(ensemble.probability_variance(&[0.3]) >= 0.0);
+        assert!(!ensemble.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        BootstrapEnsemble::train(&[], &[], 3, &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        BootstrapEnsemble::train(&[vec![1.0]], &[1.0], 0, &TrainConfig::default());
+    }
+}

@@ -1,0 +1,30 @@
+//! # er-classifier
+//!
+//! Machine-learning ER matchers used as the classifier under risk analysis —
+//! the workspace's substitute for DeepMatcher (see `DESIGN.md`).
+//!
+//! * [`features`] — pair featurization from basic similarity metrics plus
+//!   standardization.
+//! * [`optim`] — SGD / Adam optimizers and L1/L2 regularization, shared with
+//!   the risk-model trainer.
+//! * [`linear`] — logistic regression.
+//! * [`mlp`] — a small multi-layer perceptron with manual backpropagation.
+//! * [`ensemble`] — bootstrap ensembles (the `Uncertainty` baseline substrate).
+//! * [`classifier`] — the [`classifier::Classifier`] trait and the end-to-end
+//!   [`classifier::ErMatcher`].
+
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod ensemble;
+pub mod features;
+pub mod linear;
+pub mod mlp;
+pub mod optim;
+
+pub use classifier::{Classifier, ErMatcher, MatcherKind, TrainConfig};
+pub use ensemble::BootstrapEnsemble;
+pub use features::{targets, PairFeaturizer, Standardizer};
+pub use linear::LogisticRegression;
+pub use mlp::Mlp;
+pub use optim::{Adam, Optimizer, Regularization, Sgd};

@@ -1,0 +1,191 @@
+//! Logistic-regression classifier.
+
+use crate::classifier::{Classifier, TrainConfig};
+use crate::optim::{Adam, Optimizer, Regularization};
+use er_base::rng::substream;
+use er_base::stats::{clamp_prob, safe_ln, sigmoid};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A binary logistic-regression model over dense feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model for `dim` features (all-zero weights).
+    pub fn new(dim: usize) -> Self {
+        Self { weights: vec![0.0; dim], bias: 0.0 }
+    }
+
+    /// Raw linear score of a feature vector.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// Mean cross-entropy loss over a dataset.
+    pub fn loss(&self, xs: &[Vec<f64>], ys: &[f64], reg: &Regularization) -> f64 {
+        let n = xs.len().max(1) as f64;
+        let data: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let p = clamp_prob(sigmoid(self.score(x)));
+                -(y * safe_ln(p) + (1.0 - y) * safe_ln(1.0 - p))
+            })
+            .sum::<f64>()
+            / n;
+        data + reg.penalty(&self.weights)
+    }
+
+    /// Trains the model with mini-batch Adam.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64], config: &TrainConfig) {
+        assert_eq!(xs.len(), ys.len(), "features and targets must align");
+        if xs.is_empty() {
+            return;
+        }
+        let dim = xs[0].len();
+        if self.weights.len() != dim {
+            self.weights = vec![0.0; dim];
+            self.bias = 0.0;
+        }
+        let mut optimizer = Adam::new(config.learning_rate);
+        let mut rng = substream(config.seed, 0x11);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let batch = config.batch_size.max(1).min(xs.len());
+        // Class weights to counter the heavy imbalance of ER workloads.
+        let pos = ys.iter().filter(|&&y| y >= 0.5).count().max(1) as f64;
+        let neg = (ys.len() as f64 - pos).max(1.0);
+        let pos_weight = if config.balance_classes { (neg / pos).min(50.0) } else { 1.0 };
+
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                let mut grads = vec![0.0; dim + 1];
+                for &i in chunk {
+                    let p = sigmoid(self.score(&xs[i]));
+                    let weight = if ys[i] >= 0.5 { pos_weight } else { 1.0 };
+                    let err = weight * (p - ys[i]);
+                    for (g, &x) in grads[..dim].iter_mut().zip(&xs[i]) {
+                        *g += err * x;
+                    }
+                    grads[dim] += err;
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                grads.iter_mut().for_each(|g| *g *= scale);
+                config.regularization.add_gradient(&self.weights, &mut grads[..dim]);
+                let mut params: Vec<f64> = self.weights.iter().copied().chain(std::iter::once(self.bias)).collect();
+                optimizer.step(&mut params, &grads);
+                self.bias = params[dim];
+                self.weights.copy_from_slice(&params[..dim]);
+            }
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn train(&mut self, xs: &[Vec<f64>], ys: &[f64], config: &TrainConfig) {
+        self.fit(xs, ys, config);
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.score(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    /// Linearly separable toy data: y = 1 iff x0 + x1 > 1.
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = seeded(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            xs.push(vec![a, b]);
+            ys.push(if a + b > 1.0 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (xs, ys) = toy_data(400, 1);
+        let mut model = LogisticRegression::new(2);
+        let config = TrainConfig { epochs: 150, learning_rate: 0.05, ..TrainConfig::default() };
+        model.train(&xs, &ys, &config);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (model.predict_proba(x) >= 0.5) == (y >= 0.5))
+            .count();
+        let acc = correct as f64 / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let (xs, ys) = toy_data(200, 2);
+        let mut model = LogisticRegression::new(2);
+        let reg = Regularization::NONE;
+        let before = model.loss(&xs, &ys, &reg);
+        model.fit(&xs, &ys, &TrainConfig { epochs: 50, ..TrainConfig::default() });
+        let after = model.loss(&xs, &ys, &reg);
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn untrained_model_outputs_half() {
+        let model = LogisticRegression::new(3);
+        assert!((model.predict_proba(&[1.0, -2.0, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training_is_noop() {
+        let mut model = LogisticRegression::new(2);
+        model.fit(&[], &[], &TrainConfig::default());
+        assert_eq!(model.weights, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn class_balancing_raises_minority_recall() {
+        // 95% negatives; positives live in a corner.
+        let mut rng = seeded(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..500 {
+            let pos = rng.gen_bool(0.05);
+            let x = if pos { rng.gen_range(0.8..1.0) } else { rng.gen_range(0.0..0.75) };
+            xs.push(vec![x]);
+            ys.push(if pos { 1.0 } else { 0.0 });
+        }
+        let mut balanced = LogisticRegression::new(1);
+        balanced.fit(&xs, &ys, &TrainConfig { epochs: 80, balance_classes: true, ..TrainConfig::default() });
+        let recall = |m: &LogisticRegression| {
+            let mut tp = 0;
+            let mut fn_ = 0;
+            for (x, &y) in xs.iter().zip(&ys) {
+                if y >= 0.5 {
+                    if m.predict_proba(x) >= 0.5 {
+                        tp += 1;
+                    } else {
+                        fn_ += 1;
+                    }
+                }
+            }
+            tp as f64 / (tp + fn_).max(1) as f64
+        };
+        assert!(recall(&balanced) > 0.6, "balanced recall {}", recall(&balanced));
+    }
+}

@@ -1,0 +1,307 @@
+//! A small multi-layer perceptron — the "deep" half of the DeepMatcher
+//! substitute.
+//!
+//! One or two hidden layers with ReLU activations and a sigmoid output,
+//! trained with mini-batch Adam and backpropagation.  Deliberately compact:
+//! the risk-analysis experiments only need a non-linear classifier whose
+//! probability outputs behave like a trained matcher's (confident on easy
+//! pairs, ambiguous or wrong on dirty ones).
+
+use crate::classifier::{Classifier, TrainConfig};
+use crate::optim::{Adam, Optimizer};
+use er_base::rng::{sample_normal, substream};
+use er_base::stats::sigmoid;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = activation(W x + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    /// Row-major weights, `out_dim × in_dim`.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut impl rand::Rng) -> Self {
+        // He initialization for ReLU layers.
+        let std = (2.0 / in_dim as f64).sqrt();
+        let weights = (0..in_dim * out_dim).map(|_| sample_normal(rng, 0.0, std)).collect();
+        Self { weights, bias: vec![0.0; out_dim], in_dim, out_dim }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            out.push(acc);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+/// Multi-layer perceptron with ReLU hidden layers and sigmoid output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    input_dim: usize,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given hidden layer sizes; the output layer has
+    /// a single unit.
+    pub fn new(input_dim: usize, hidden: &[usize], seed: u64) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        let mut rng = substream(seed, 0x31);
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut prev = input_dim;
+        for &h in hidden {
+            assert!(h > 0, "hidden layer sizes must be positive");
+            layers.push(Layer::new(prev, h, &mut rng));
+            prev = h;
+        }
+        layers.push(Layer::new(prev, 1, &mut rng));
+        Self { layers, input_dim }
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Forward pass keeping intermediate activations for backprop.
+    /// Returns `(pre_activations, post_activations)` per layer and the output
+    /// probability.
+    fn forward_full(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, f64) {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut current = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = Vec::new();
+            layer.forward(&current, &mut z);
+            pre.push(z.clone());
+            let is_output = li + 1 == self.layers.len();
+            let activated: Vec<f64> = if is_output { z } else { z.into_iter().map(|v| v.max(0.0)).collect() };
+            post.push(activated.clone());
+            current = activated;
+        }
+        let prob = sigmoid(post.last().unwrap()[0]);
+        (pre, post, prob)
+    }
+
+    /// Flattens all parameters into a single vector (layer by layer, weights
+    /// then biases).
+    fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.weights);
+            out.extend_from_slice(&l.bias);
+        }
+        out
+    }
+
+    fn unflatten(&mut self, params: &[f64]) {
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let w_len = l.weights.len();
+            let b_len = l.bias.len();
+            l.weights.copy_from_slice(&params[offset..offset + w_len]);
+            offset += w_len;
+            l.bias.copy_from_slice(&params[offset..offset + b_len]);
+            offset += b_len;
+        }
+        debug_assert_eq!(offset, params.len());
+    }
+
+    /// Accumulates the gradient of the cross-entropy loss for one example into
+    /// `grads` (same layout as [`Mlp::flatten`]).
+    fn accumulate_gradient(&self, x: &[f64], y: f64, weight: f64, grads: &mut [f64]) {
+        let (pre, post, prob) = self.forward_full(x);
+        // Delta of the output layer (sigmoid + cross entropy): p - y.
+        let mut delta = vec![weight * (prob - y)];
+        // Walk the layers backwards, writing gradients.
+        // Pre-compute per-layer gradient offsets.
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for l in &self.layers {
+            offsets.push(off);
+            off += l.param_count();
+        }
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let input: &[f64] = if li == 0 { x } else { &post[li - 1] };
+            let base = offsets[li];
+            // dW[o][i] = delta[o] * input[i]; db[o] = delta[o]
+            for o in 0..layer.out_dim {
+                let row = base + o * layer.in_dim;
+                for (i, &inp) in input.iter().enumerate() {
+                    grads[row + i] += delta[o] * inp;
+                }
+                grads[base + layer.weights.len() + o] += delta[o];
+            }
+            if li > 0 {
+                // Propagate delta to the previous layer through W and ReLU.
+                let prev_dim = layer.in_dim;
+                let mut new_delta = vec![0.0; prev_dim];
+                for o in 0..layer.out_dim {
+                    let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (i, &w) in row.iter().enumerate() {
+                        new_delta[i] += delta[o] * w;
+                    }
+                }
+                // ReLU derivative of the previous layer's pre-activation.
+                for (d, &z) in new_delta.iter_mut().zip(&pre[li - 1]) {
+                    if z <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                delta = new_delta;
+            }
+        }
+    }
+}
+
+impl Classifier for Mlp {
+    fn train(&mut self, xs: &[Vec<f64>], ys: &[f64], config: &TrainConfig) {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return;
+        }
+        assert_eq!(xs[0].len(), self.input_dim, "feature dimension mismatch");
+        let mut optimizer = Adam::new(config.learning_rate);
+        let mut rng = substream(config.seed, 0x32);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let batch = config.batch_size.max(1).min(xs.len());
+        let pos = ys.iter().filter(|&&y| y >= 0.5).count().max(1) as f64;
+        let neg = (ys.len() as f64 - pos).max(1.0);
+        let pos_weight = if config.balance_classes { (neg / pos).min(50.0) } else { 1.0 };
+
+        let mut params = self.flatten();
+        let mut grads = vec![0.0; params.len()];
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                grads.iter_mut().for_each(|g| *g = 0.0);
+                for &i in chunk {
+                    let w = if ys[i] >= 0.5 { pos_weight } else { 1.0 };
+                    self.accumulate_gradient(&xs[i], ys[i], w, &mut grads);
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                grads.iter_mut().for_each(|g| *g *= scale);
+                config.regularization.add_gradient(&params, &mut grads);
+                optimizer.step(&mut params, &grads);
+                self.unflatten(&params);
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let (_, _, p) = self.forward_full(x);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    /// XOR-like data that a linear model cannot fit.
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = seeded(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_range(0.0..1.0);
+            let b = rng.gen_range(0.0..1.0);
+            let label = ((a > 0.5) ^ (b > 0.5)) as u8 as f64;
+            xs.push(vec![a, b]);
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let (xs, ys) = xor_data(600, 5);
+        let mut mlp = Mlp::new(2, &[16, 8], 3);
+        let config = TrainConfig { epochs: 200, learning_rate: 0.01, batch_size: 32, ..TrainConfig::default() };
+        mlp.train(&xs, &ys, &config);
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (mlp.predict_proba(x) >= 0.5) == (y >= 0.5))
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.9, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut mlp = Mlp::new(3, &[4], 11);
+        let x = vec![0.3, -0.7, 1.2];
+        let y = 1.0;
+        let mut analytic = vec![0.0; mlp.param_count()];
+        mlp.accumulate_gradient(&x, y, 1.0, &mut analytic);
+
+        let loss = |m: &Mlp| {
+            let p = er_base::stats::clamp_prob(m.predict_proba(&x));
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        };
+        let params = mlp.flatten();
+        let eps = 1e-6;
+        for idx in [0usize, 3, 7, analytic.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            let mut m_plus = mlp.clone();
+            m_plus.unflatten(&plus);
+            let mut m_minus = mlp.clone();
+            m_minus.unflatten(&minus);
+            let numeric = (loss(&m_plus) - loss(&m_minus)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-4,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_a_probability() {
+        let mlp = Mlp::new(4, &[8], 1);
+        let mut rng = seeded(9);
+        for _ in 0..100 {
+            let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let p = mlp.predict_proba(&x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn param_count_is_consistent() {
+        let mlp = Mlp::new(10, &[16, 8], 2);
+        // (10*16 + 16) + (16*8 + 8) + (8*1 + 1)
+        assert_eq!(mlp.param_count(), 176 + 136 + 9);
+        assert_eq!(mlp.flatten().len(), mlp.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut mlp = Mlp::new(3, &[4], 1);
+        mlp.train(&[vec![1.0, 2.0]], &[1.0], &TrainConfig::default());
+    }
+}

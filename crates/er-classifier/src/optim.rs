@@ -1,0 +1,221 @@
+//! First-order optimizers used by the learners in this workspace.
+//!
+//! Both the classifier substitutes (logistic regression, MLP) and the LearnRisk
+//! risk model are trained by plain gradient descent, so a small shared
+//! optimizer abstraction keeps the training loops uniform.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer updating a flat parameter vector from a gradient.
+pub trait Optimizer {
+    /// Applies one update step: `params -= update(grads)`.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Resets any internal state (moment estimates, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with an optional momentum term.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates plain SGD (no momentum), the optimizer of Eq. 16–17 in the paper.
+    pub fn new(learning_rate: f64) -> Self {
+        Self { learning_rate, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(learning_rate: f64, momentum: f64) -> Self {
+        Self { learning_rate, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len());
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grads) {
+                *p -= self.learning_rate * g;
+            }
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+            *v = self.momentum * *v + g;
+            *p -= self.learning_rate * *v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub epsilon: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the conventional defaults (β1 = 0.9, β2 = 0.999).
+    pub fn new(learning_rate: f64) -> Self {
+        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+/// L1 + L2 regularization configuration shared by the learners.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Regularization {
+    /// L1 (lasso) coefficient.
+    pub l1: f64,
+    /// L2 (ridge) coefficient.
+    pub l2: f64,
+}
+
+impl Regularization {
+    /// No regularization.
+    pub const NONE: Regularization = Regularization { l1: 0.0, l2: 0.0 };
+
+    /// Creates a configuration.
+    pub fn new(l1: f64, l2: f64) -> Self {
+        Self { l1, l2 }
+    }
+
+    /// Adds the regularization gradient of `params` into `grads`.
+    pub fn add_gradient(&self, params: &[f64], grads: &mut [f64]) {
+        if self.l1 == 0.0 && self.l2 == 0.0 {
+            return;
+        }
+        for (g, &p) in grads.iter_mut().zip(params) {
+            *g += self.l2 * 2.0 * p + self.l1 * p.signum();
+        }
+    }
+
+    /// Regularization penalty value for reporting.
+    pub fn penalty(&self, params: &[f64]) -> f64 {
+        let l1: f64 = params.iter().map(|p| p.abs()).sum();
+        let l2: f64 = params.iter().map(|p| p * p).sum();
+        self.l1 * l1 + self.l2 * l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 with the given optimizer.
+    fn minimize<O: Optimizer>(mut opt: O, steps: usize) -> f64 {
+        let mut params = vec![0.0f64];
+        for _ in 0..steps {
+            let grads = vec![2.0 * (params[0] - 3.0)];
+            opt.step(&mut params, &grads);
+        }
+        params[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(Sgd::new(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimize(Sgd::with_momentum(0.05, 0.9), 300);
+        assert!((x - 3.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(Adam::new(0.1), 500);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adam = Adam::new(0.1);
+        let mut p = vec![1.0];
+        adam.step(&mut p, &[0.5]);
+        assert!(adam.t > 0);
+        adam.reset();
+        assert_eq!(adam.t, 0);
+
+        let mut sgd = Sgd::with_momentum(0.1, 0.9);
+        sgd.step(&mut p, &[0.5]);
+        assert!(!sgd.velocity.is_empty());
+        sgd.reset();
+        assert!(sgd.velocity.is_empty());
+    }
+
+    #[test]
+    fn regularization_gradient_and_penalty() {
+        let reg = Regularization::new(0.1, 0.5);
+        let params = vec![2.0, -1.0];
+        let mut grads = vec![0.0, 0.0];
+        reg.add_gradient(&params, &mut grads);
+        // d/dp (0.5 p^2*... ) -> l2*2p + l1*sign(p)
+        assert!((grads[0] - (0.5 * 4.0 + 0.1)).abs() < 1e-12);
+        assert!((grads[1] - (0.5 * -2.0 - 0.1)).abs() < 1e-12);
+        let penalty = reg.penalty(&params);
+        assert!((penalty - (0.1 * 3.0 + 0.5 * 5.0)).abs() < 1e-12);
+
+        let mut g2 = vec![1.0, 1.0];
+        Regularization::NONE.add_gradient(&params, &mut g2);
+        assert_eq!(g2, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut sgd = Sgd::new(0.1);
+        let mut p = vec![0.0, 1.0];
+        sgd.step(&mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Named benchmark configurations mirroring the paper's datasets (Table 2).
+//!
+//! The original datasets (after blocking) have the following statistics, which
+//! the generators reproduce *proportionally* at a configurable scale:
+//!
+//! | Dataset | Size    | # Matches | # Attributes |
+//! |---------|---------|-----------|--------------|
+//! | DS      | 41,416  | 5,073     | 4            |
+//! | AB      | 52,191  | 904       | 3            |
+//! | AG      | 13,049  | 1,150     | 4            |
+//! | SG      | 144,946 | 6,842     | 7            |
+//!
+//! A scale of `1.0` reproduces the paper's sizes; the default experiment scale
+//! is smaller so the full evaluation suite runs in minutes on a laptop while
+//! preserving the match rates and schema shapes.
+
+use crate::domains::{BibliographicDomain, ProductDomain, SongDomain};
+use crate::generator::{generate, DatasetConfig, GeneratedDataset};
+use crate::perturb::DirtinessProfile;
+use serde::{Deserialize, Serialize};
+
+/// The benchmark datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    /// DBLP – Google Scholar (bibliographic).
+    DblpScholar,
+    /// Abt – Buy (consumer electronics products).
+    AbtBuy,
+    /// Amazon – Google (software products).
+    AmazonGoogle,
+    /// Songs (single-table deduplication).
+    Songs,
+    /// DBLP – ACM (bibliographic, used as OOD training source).
+    DblpAcm,
+}
+
+impl BenchmarkId {
+    /// Short name used in the paper (DS, AB, AG, SG, DA).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            BenchmarkId::DblpScholar => "DS",
+            BenchmarkId::AbtBuy => "AB",
+            BenchmarkId::AmazonGoogle => "AG",
+            BenchmarkId::Songs => "SG",
+            BenchmarkId::DblpAcm => "DA",
+        }
+    }
+
+    /// The four datasets evaluated in Figure 9 / Table 2.
+    pub fn paper_datasets() -> [BenchmarkId; 4] {
+        [BenchmarkId::DblpScholar, BenchmarkId::AbtBuy, BenchmarkId::AmazonGoogle, BenchmarkId::Songs]
+    }
+
+    /// Table 2 pair count of the original dataset.
+    pub fn paper_size(self) -> usize {
+        match self {
+            BenchmarkId::DblpScholar => 41_416,
+            BenchmarkId::AbtBuy => 52_191,
+            BenchmarkId::AmazonGoogle => 13_049,
+            BenchmarkId::Songs => 144_946,
+            BenchmarkId::DblpAcm => 12_363,
+        }
+    }
+
+    /// Table 2 match count of the original dataset.
+    pub fn paper_matches(self) -> usize {
+        match self {
+            BenchmarkId::DblpScholar => 5_073,
+            BenchmarkId::AbtBuy => 904,
+            BenchmarkId::AmazonGoogle => 1_150,
+            BenchmarkId::Songs => 6_842,
+            BenchmarkId::DblpAcm => 2_220,
+        }
+    }
+
+    /// Number of attributes of the dataset (Table 2).
+    pub fn paper_attributes(self) -> usize {
+        match self {
+            BenchmarkId::DblpScholar => 4,
+            BenchmarkId::AbtBuy => 3,
+            BenchmarkId::AmazonGoogle => 4,
+            BenchmarkId::Songs => 7,
+            BenchmarkId::DblpAcm => 4,
+        }
+    }
+
+    /// Match rate of the original dataset.
+    pub fn paper_match_rate(self) -> f64 {
+        self.paper_matches() as f64 / self.paper_size() as f64
+    }
+}
+
+/// Builds the [`DatasetConfig`] for a benchmark at a given scale.
+///
+/// `scale = 1.0` reproduces the paper's pair counts; smaller scales shrink
+/// the workload proportionally (minimum 600 pairs) while keeping the match
+/// rate.  The paper's match rates are low (1.7 %–12 %); to keep the scaled
+/// workloads statistically useful we floor the match rate at 4 %.
+pub fn benchmark_config(id: BenchmarkId, scale: f64, seed: u64) -> DatasetConfig {
+    let target_pairs = ((id.paper_size() as f64 * scale) as usize).max(600);
+    let target_match_rate = id.paper_match_rate().max(0.04);
+    let target_matches = (target_pairs as f64 * target_match_rate).ceil() as usize;
+    // Each duplicated entity yields roughly one equivalent pair, so size the
+    // entity pool from the match target.
+    let duplicate_rate = 0.65;
+    let n_entities = ((target_matches as f64 / duplicate_rate) * 1.25).ceil() as usize;
+
+    let (left_profile, right_profile, sibling_rate, dedup) = match id {
+        BenchmarkId::DblpScholar => (DirtinessProfile::LIGHT.scaled(1.5), DirtinessProfile::MODERATE.scaled(1.4), 0.40, false),
+        BenchmarkId::DblpAcm => (DirtinessProfile::LIGHT, DirtinessProfile::LIGHT.scaled(1.3), 0.30, false),
+        BenchmarkId::AbtBuy => (DirtinessProfile::MODERATE.scaled(1.2), DirtinessProfile::HEAVY.scaled(1.2), 0.55, false),
+        BenchmarkId::AmazonGoogle => (DirtinessProfile::MODERATE.scaled(1.2), DirtinessProfile::HEAVY.scaled(1.1), 0.50, false),
+        BenchmarkId::Songs => (DirtinessProfile::LIGHT.scaled(1.4), DirtinessProfile::MODERATE.scaled(1.3), 0.40, true),
+    };
+
+    DatasetConfig {
+        name: id.short_name().to_owned(),
+        n_entities: n_entities.max(120),
+        duplicate_rate,
+        sibling_rate,
+        left_profile,
+        right_profile,
+        target_pairs,
+        target_match_rate,
+        dedup,
+        seed,
+    }
+}
+
+/// Generates a benchmark dataset at the given scale and seed.
+pub fn generate_benchmark(id: BenchmarkId, scale: f64, seed: u64) -> GeneratedDataset {
+    let config = benchmark_config(id, scale, seed);
+    match id {
+        BenchmarkId::DblpScholar => generate(&BibliographicDomain::dblp_scholar(), &config),
+        BenchmarkId::DblpAcm => generate(&BibliographicDomain::dblp_acm(), &config),
+        BenchmarkId::AbtBuy => generate(&ProductDomain::abt_buy(), &config),
+        BenchmarkId::AmazonGoogle => generate(&ProductDomain::amazon_google(), &config),
+        BenchmarkId::Songs => generate(&SongDomain::songs(), &config),
+    }
+}
+
+/// Statistics row of Table 2 (paper statistics plus the generated workload's).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Dataset short name.
+    pub dataset: String,
+    /// Paper pair count.
+    pub paper_size: usize,
+    /// Paper match count.
+    pub paper_matches: usize,
+    /// Paper attribute count.
+    pub paper_attributes: usize,
+    /// Generated pair count.
+    pub generated_size: usize,
+    /// Generated match count.
+    pub generated_matches: usize,
+    /// Generated attribute count.
+    pub generated_attributes: usize,
+}
+
+/// Produces the Table 2 reproduction rows for the four paper datasets.
+pub fn table2(scale: f64, seed: u64) -> Vec<Table2Row> {
+    BenchmarkId::paper_datasets()
+        .into_iter()
+        .map(|id| {
+            let ds = generate_benchmark(id, scale, seed);
+            Table2Row {
+                dataset: id.short_name().to_owned(),
+                paper_size: id.paper_size(),
+                paper_matches: id.paper_matches(),
+                paper_attributes: id.paper_attributes(),
+                generated_size: ds.workload.len(),
+                generated_matches: ds.workload.match_count(),
+                generated_attributes: ds.workload.attribute_count(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_statistics_match_table2() {
+        assert_eq!(BenchmarkId::DblpScholar.paper_size(), 41_416);
+        assert_eq!(BenchmarkId::AbtBuy.paper_matches(), 904);
+        assert_eq!(BenchmarkId::Songs.paper_attributes(), 7);
+        assert_eq!(BenchmarkId::AmazonGoogle.short_name(), "AG");
+        assert!(BenchmarkId::AbtBuy.paper_match_rate() < 0.02);
+        assert_eq!(BenchmarkId::paper_datasets().len(), 4);
+    }
+
+    #[test]
+    fn generated_benchmarks_have_expected_schemas() {
+        for id in BenchmarkId::paper_datasets() {
+            let ds = generate_benchmark(id, 0.02, 3);
+            assert_eq!(ds.workload.attribute_count(), id.paper_attributes(), "{id:?}");
+            assert!(ds.workload.len() >= 600, "{id:?} too small: {}", ds.workload.len());
+            assert!(ds.workload.match_count() > 0, "{id:?} has no matches");
+        }
+    }
+
+    #[test]
+    fn songs_benchmark_is_dedup() {
+        let config = benchmark_config(BenchmarkId::Songs, 0.01, 1);
+        assert!(config.dedup);
+        let config = benchmark_config(BenchmarkId::DblpScholar, 0.01, 1);
+        assert!(!config.dedup);
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = benchmark_config(BenchmarkId::DblpScholar, 0.02, 1);
+        let large = benchmark_config(BenchmarkId::DblpScholar, 0.1, 1);
+        assert!(large.target_pairs > small.target_pairs * 3);
+        // Scale 1.0 reproduces the paper's size.
+        let full = benchmark_config(BenchmarkId::DblpScholar, 1.0, 1);
+        assert_eq!(full.target_pairs, 41_416);
+    }
+
+    #[test]
+    fn table2_rows_cover_all_datasets() {
+        let rows = table2(0.015, 5);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.generated_attributes, row.paper_attributes);
+            assert!(row.generated_matches > 0);
+            assert!(row.generated_size >= row.generated_matches);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Domain generators emulating the paper's benchmark datasets.
+//!
+//! * [`BibliographicDomain`] — DBLP-Scholar (DS) and DBLP-ACM style paper
+//!   records: title, author list, venue, year.
+//! * [`ProductDomain`] — Abt-Buy (AB, consumer electronics, 3 attributes) and
+//!   Amazon-Google (AG, mainly software, 4 attributes) style product records.
+//! * [`SongDomain`] — Songs (SG) style single-table deduplication with 7
+//!   attributes.
+//!
+//! All generators synthesize data from scratch; they target the *shape* of the
+//! original datasets (schema, dirtiness, imbalance), not their content.
+
+use crate::generator::{CleanEntity, Domain};
+use crate::perturb::{self, DirtinessProfile};
+use crate::vocab;
+use er_base::{AttrDef, AttrType, AttrValue, Schema};
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// Bibliographic domain (DS, DBLP-ACM)
+// ---------------------------------------------------------------------------
+
+/// Generator of bibliographic (paper) records.
+#[derive(Debug, Clone)]
+pub struct BibliographicDomain {
+    /// Range of title lengths in tokens.
+    pub title_len: (usize, usize),
+    /// Range of author counts.
+    pub author_count: (usize, usize),
+    /// Range of publication years.
+    pub year_range: (i64, i64),
+}
+
+impl BibliographicDomain {
+    /// Configuration emulating DBLP–Google Scholar.
+    pub fn dblp_scholar() -> Self {
+        Self { title_len: (4, 9), author_count: (1, 5), year_range: (1985, 2010) }
+    }
+
+    /// Configuration emulating DBLP–ACM (slightly shorter titles, same schema).
+    pub fn dblp_acm() -> Self {
+        Self { title_len: (3, 8), author_count: (1, 4), year_range: (1994, 2003) }
+    }
+}
+
+impl Domain for BibliographicDomain {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            AttrDef::new("title", AttrType::Text),
+            AttrDef::new("authors", AttrType::EntitySet),
+            AttrDef::new("venue", AttrType::EntityName),
+            AttrDef::new("year", AttrType::Numeric),
+        ])
+    }
+
+    fn generate_entity<R: Rng + ?Sized>(&self, rng: &mut R, entity_id: u64) -> CleanEntity {
+        let title_len = rng.gen_range(self.title_len.0..=self.title_len.1);
+        let title = vocab::phrase(rng, vocab::TITLE_WORDS, title_len);
+        let n_authors = rng.gen_range(self.author_count.0..=self.author_count.1);
+        let authors: Vec<String> = (0..n_authors).map(|_| vocab::person_name(rng)).collect();
+        let venue = vocab::VENUES[rng.gen_range(0..vocab::VENUES.len())];
+        let year = rng.gen_range(self.year_range.0..=self.year_range.1);
+        CleanEntity {
+            entity_id,
+            values: vec![
+                AttrValue::Str(title),
+                AttrValue::Str(authors.join(", ")),
+                // Canonical form stores "short|long" so derive_record can pick.
+                AttrValue::Str(format!("{}|{}", venue.0, venue.1)),
+                AttrValue::Num(year as f64),
+            ],
+        }
+    }
+
+    fn generate_sibling<R: Rng + ?Sized>(&self, rng: &mut R, base: &CleanEntity, entity_id: u64) -> CleanEntity {
+        // A different paper by (mostly) the same authors: extended/follow-up
+        // version with an overlapping title, a different year and possibly a
+        // different venue. These become hard negative pairs.
+        let mut values = base.values.clone();
+        let title = values[0].str_or_empty().to_owned();
+        let extra = vocab::phrase(rng, vocab::TITLE_WORDS, 2);
+        values[0] = AttrValue::Str(format!("{title} {extra}"));
+        if rng.gen_bool(0.5) {
+            let venue = vocab::VENUES[rng.gen_range(0..vocab::VENUES.len())];
+            values[2] = AttrValue::Str(format!("{}|{}", venue.0, venue.1));
+        }
+        let year = values[3].as_num().unwrap_or(2000.0) + rng.gen_range(1..=3) as f64;
+        values[3] = AttrValue::Num(year);
+        CleanEntity { entity_id, values }
+    }
+
+    fn derive_record<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &CleanEntity,
+        profile: &DirtinessProfile,
+    ) -> Vec<AttrValue> {
+        let title = entity.values[0].str_or_empty();
+        let authors = entity.values[1].str_or_empty();
+        let venue_raw = entity.values[2].str_or_empty();
+        let (venue_short, venue_long) = venue_raw.split_once('|').unwrap_or((venue_raw, venue_raw));
+        let year = entity.values[3].as_num().unwrap_or(2000.0);
+        vec![
+            perturb::perturb_text(rng, title, profile, vocab::TITLE_WORDS),
+            perturb::perturb_entity_set(rng, authors, profile),
+            perturb::perturb_entity_name(rng, venue_short, venue_long, profile),
+            perturb::perturb_numeric(rng, year, profile, 2.0),
+        ]
+    }
+
+    fn blocking_attrs(&self) -> Vec<usize> {
+        vec![0, 1]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Product domain (AB, AG)
+// ---------------------------------------------------------------------------
+
+/// Whether the product generator emulates consumer electronics (Abt-Buy) or
+/// software (Amazon-Google).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductStyle {
+    /// Consumer electronics, 3 attributes: name, description, price.
+    Electronics,
+    /// Software products, 4 attributes: name, manufacturer, description, price.
+    Software,
+}
+
+/// Generator of product records.
+#[derive(Debug, Clone)]
+pub struct ProductDomain {
+    /// Which benchmark the generator emulates.
+    pub style: ProductStyle,
+    /// Range of description lengths in tokens.
+    pub description_len: (usize, usize),
+    /// Price range.
+    pub price_range: (f64, f64),
+}
+
+impl ProductDomain {
+    /// Configuration emulating Abt-Buy (electronics, 3 attributes).
+    pub fn abt_buy() -> Self {
+        Self { style: ProductStyle::Electronics, description_len: (5, 14), price_range: (15.0, 1200.0) }
+    }
+
+    /// Configuration emulating Amazon-Google (software, 4 attributes).
+    pub fn amazon_google() -> Self {
+        Self { style: ProductStyle::Software, description_len: (4, 12), price_range: (20.0, 600.0) }
+    }
+
+    fn noun_pool(&self) -> &'static [&'static str] {
+        match self.style {
+            ProductStyle::Electronics => vocab::PRODUCT_NOUNS,
+            ProductStyle::Software => vocab::SOFTWARE_NOUNS,
+        }
+    }
+}
+
+impl Domain for ProductDomain {
+    fn schema(&self) -> Schema {
+        match self.style {
+            ProductStyle::Electronics => Schema::new(vec![
+                AttrDef::new("name", AttrType::Text),
+                AttrDef::new("description", AttrType::Text),
+                AttrDef::new("price", AttrType::Numeric),
+            ]),
+            ProductStyle::Software => Schema::new(vec![
+                AttrDef::new("name", AttrType::Text),
+                AttrDef::new("manufacturer", AttrType::EntityName),
+                AttrDef::new("description", AttrType::Text),
+                AttrDef::new("price", AttrType::Numeric),
+            ]),
+        }
+    }
+
+    fn generate_entity<R: Rng + ?Sized>(&self, rng: &mut R, entity_id: u64) -> CleanEntity {
+        let brand = vocab::pick(rng, vocab::BRANDS).to_owned();
+        let noun = vocab::pick(rng, self.noun_pool()).to_owned();
+        let qualifier = vocab::pick(rng, vocab::PRODUCT_QUALIFIERS).to_owned();
+        let model = vocab::model_code(rng);
+        let name = format!("{brand} {noun} {model} {qualifier}");
+        let desc_len = rng.gen_range(self.description_len.0..=self.description_len.1);
+        let description = format!(
+            "{} {} {}",
+            brand,
+            vocab::phrase(rng, vocab::PRODUCT_QUALIFIERS, desc_len.min(vocab::PRODUCT_QUALIFIERS.len() - 1)),
+            noun
+        );
+        let price = rng.gen_range(self.price_range.0..self.price_range.1);
+        let price = (price * 100.0).round() / 100.0;
+        let values = match self.style {
+            ProductStyle::Electronics => vec![
+                AttrValue::Str(name),
+                AttrValue::Str(description),
+                AttrValue::Num(price),
+            ],
+            ProductStyle::Software => vec![
+                AttrValue::Str(name),
+                AttrValue::Str(brand.to_owned()),
+                AttrValue::Str(description),
+                AttrValue::Num(price),
+            ],
+        };
+        CleanEntity { entity_id, values }
+    }
+
+    fn generate_sibling<R: Rng + ?Sized>(&self, rng: &mut R, base: &CleanEntity, entity_id: u64) -> CleanEntity {
+        // Same brand and category, different model number (hard negatives like
+        // "canon eos 450d" vs "canon eos 500d").
+        let mut values = base.values.clone();
+        let name = values[0].str_or_empty().to_owned();
+        let mut toks: Vec<&str> = name.split(' ').collect();
+        let new_model = vocab::model_code(rng);
+        if toks.len() >= 3 {
+            toks[2] = &new_model;
+            values[0] = AttrValue::Str(toks.join(" "));
+        } else {
+            values[0] = AttrValue::Str(format!("{name} {new_model}"));
+        }
+        let price_idx = values.len() - 1;
+        let price = values[price_idx].as_num().unwrap_or(100.0);
+        values[price_idx] = AttrValue::Num((price * rng.gen_range(0.8..1.2) * 100.0).round() / 100.0);
+        CleanEntity { entity_id, values }
+    }
+
+    fn derive_record<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &CleanEntity,
+        profile: &DirtinessProfile,
+    ) -> Vec<AttrValue> {
+        match self.style {
+            ProductStyle::Electronics => {
+                let name = entity.values[0].str_or_empty();
+                let description = entity.values[1].str_or_empty();
+                let price = entity.values[2].as_num().unwrap_or(0.0);
+                vec![
+                    perturb::perturb_text(rng, name, profile, vocab::PRODUCT_QUALIFIERS),
+                    perturb::perturb_text(rng, description, profile, vocab::PRODUCT_QUALIFIERS),
+                    perturb::perturb_numeric(rng, price, profile, (price * 0.15).max(1.0)),
+                ]
+            }
+            ProductStyle::Software => {
+                let name = entity.values[0].str_or_empty();
+                let manufacturer = entity.values[1].str_or_empty();
+                let description = entity.values[2].str_or_empty();
+                let price = entity.values[3].as_num().unwrap_or(0.0);
+                vec![
+                    perturb::perturb_text(rng, name, profile, vocab::PRODUCT_QUALIFIERS),
+                    perturb::perturb_entity_name(rng, manufacturer, manufacturer, profile),
+                    perturb::perturb_text(rng, description, profile, vocab::PRODUCT_QUALIFIERS),
+                    perturb::perturb_numeric(rng, price, profile, (price * 0.15).max(1.0)),
+                ]
+            }
+        }
+    }
+
+    fn blocking_attrs(&self) -> Vec<usize> {
+        vec![0]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Song domain (SG)
+// ---------------------------------------------------------------------------
+
+/// Generator of song records (single-table deduplication, 7 attributes).
+#[derive(Debug, Clone, Default)]
+pub struct SongDomain;
+
+impl SongDomain {
+    /// Configuration emulating the Songs benchmark.
+    pub fn songs() -> Self {
+        SongDomain
+    }
+}
+
+impl Domain for SongDomain {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            AttrDef::new("title", AttrType::Text),
+            AttrDef::new("artist", AttrType::EntitySet),
+            AttrDef::new("album", AttrType::Text),
+            AttrDef::new("year", AttrType::Numeric),
+            AttrDef::new("duration", AttrType::Numeric),
+            AttrDef::new("genre", AttrType::Categorical),
+            AttrDef::new("track", AttrType::Numeric),
+        ])
+    }
+
+    fn generate_entity<R: Rng + ?Sized>(&self, rng: &mut R, entity_id: u64) -> CleanEntity {
+        let title_len = rng.gen_range(1..=4);
+        let title = vocab::phrase(rng, vocab::SONG_WORDS, title_len);
+        let n_artists = if rng.gen_bool(0.15) { 2 } else { 1 };
+        let artists: Vec<String> = (0..n_artists).map(|_| vocab::person_name(rng)).collect();
+        let album_len = rng.gen_range(1..=3);
+        let album = vocab::phrase(rng, vocab::ALBUM_WORDS, album_len);
+        let year = rng.gen_range(1960..=2015);
+        let duration = rng.gen_range(120..=420);
+        let genre = vocab::pick(rng, vocab::GENRES).to_owned();
+        let track = rng.gen_range(1..=18);
+        CleanEntity {
+            entity_id,
+            values: vec![
+                AttrValue::Str(title),
+                AttrValue::Str(artists.join(", ")),
+                AttrValue::Str(album),
+                AttrValue::Num(year as f64),
+                AttrValue::Num(duration as f64),
+                AttrValue::Str(genre.to_owned()),
+                AttrValue::Num(track as f64),
+            ],
+        }
+    }
+
+    fn generate_sibling<R: Rng + ?Sized>(&self, rng: &mut R, base: &CleanEntity, entity_id: u64) -> CleanEntity {
+        // A different recording of a song with the same title: live / cover
+        // version on another album with a different duration.
+        let mut values = base.values.clone();
+        let album_len = rng.gen_range(1..=3);
+        let album = vocab::phrase(rng, vocab::ALBUM_WORDS, album_len);
+        values[2] = AttrValue::Str(format!("{album} live"));
+        if rng.gen_bool(0.5) {
+            values[1] = AttrValue::Str(vocab::person_name(rng));
+        }
+        let year = values[3].as_num().unwrap_or(2000.0) + rng.gen_range(1..=10) as f64;
+        values[3] = AttrValue::Num(year);
+        let duration = values[4].as_num().unwrap_or(200.0) + rng.gen_range(10..=60) as f64;
+        values[4] = AttrValue::Num(duration);
+        CleanEntity { entity_id, values }
+    }
+
+    fn derive_record<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        entity: &CleanEntity,
+        profile: &DirtinessProfile,
+    ) -> Vec<AttrValue> {
+        let title = entity.values[0].str_or_empty();
+        let artist = entity.values[1].str_or_empty();
+        let album = entity.values[2].str_or_empty();
+        let year = entity.values[3].as_num().unwrap_or(2000.0);
+        let duration = entity.values[4].as_num().unwrap_or(200.0);
+        let genre = entity.values[5].str_or_empty();
+        let track = entity.values[6].as_num().unwrap_or(1.0);
+        vec![
+            perturb::perturb_text(rng, title, profile, vocab::SONG_WORDS),
+            perturb::perturb_entity_set(rng, artist, profile),
+            perturb::perturb_text(rng, album, profile, vocab::ALBUM_WORDS),
+            perturb::perturb_numeric(rng, year, profile, 1.0),
+            perturb::perturb_numeric(rng, duration, profile, 10.0),
+            perturb::perturb_text(rng, genre, profile, vocab::GENRES),
+            perturb::perturb_numeric(rng, track, profile, 2.0),
+        ]
+    }
+
+    fn blocking_attrs(&self) -> Vec<usize> {
+        vec![0, 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+
+    #[test]
+    fn bibliographic_schema_matches_table2() {
+        let d = BibliographicDomain::dblp_scholar();
+        assert_eq!(d.schema().len(), 4);
+        assert_eq!(d.schema().attr(1).ty, AttrType::EntitySet);
+        assert_eq!(BibliographicDomain::dblp_acm().schema().len(), 4);
+    }
+
+    #[test]
+    fn product_schemas_match_table2() {
+        assert_eq!(ProductDomain::abt_buy().schema().len(), 3);
+        assert_eq!(ProductDomain::amazon_google().schema().len(), 4);
+    }
+
+    #[test]
+    fn song_schema_has_seven_attributes() {
+        assert_eq!(SongDomain::songs().schema().len(), 7);
+    }
+
+    #[test]
+    fn bibliographic_entity_is_well_formed() {
+        let d = BibliographicDomain::dblp_scholar();
+        let mut rng = seeded(1);
+        let e = d.generate_entity(&mut rng, 0);
+        assert_eq!(e.values.len(), 4);
+        let year = e.values[3].as_num().unwrap();
+        assert!((1985.0..=2010.0).contains(&year));
+        assert!(e.values[2].str_or_empty().contains('|'));
+        let record = d.derive_record(&mut rng, &e, &DirtinessProfile::CLEAN);
+        // Clean derivation keeps the long venue form, no pipe separator.
+        assert!(!record[2].str_or_empty().contains('|'));
+    }
+
+    #[test]
+    fn sibling_is_similar_but_distinct() {
+        let d = BibliographicDomain::dblp_scholar();
+        let mut rng = seeded(2);
+        let e = d.generate_entity(&mut rng, 0);
+        let s = d.generate_sibling(&mut rng, &e, 1);
+        assert_ne!(s.entity_id, e.entity_id);
+        // Sibling title extends the base title.
+        assert!(s.values[0].str_or_empty().starts_with(e.values[0].str_or_empty()));
+        // Year differs.
+        assert_ne!(s.values[3].as_num(), e.values[3].as_num());
+    }
+
+    #[test]
+    fn product_sibling_changes_model_code() {
+        let d = ProductDomain::abt_buy();
+        let mut rng = seeded(3);
+        let e = d.generate_entity(&mut rng, 0);
+        let s = d.generate_sibling(&mut rng, &e, 1);
+        let base_name = e.values[0].str_or_empty();
+        let sib_name = s.values[0].str_or_empty();
+        assert_ne!(base_name, sib_name);
+        // Brand (first token) stays the same.
+        assert_eq!(base_name.split(' ').next(), sib_name.split(' ').next());
+    }
+
+    #[test]
+    fn software_products_have_manufacturer() {
+        let d = ProductDomain::amazon_google();
+        let mut rng = seeded(4);
+        let e = d.generate_entity(&mut rng, 0);
+        assert_eq!(e.values.len(), 4);
+        let brand = e.values[1].str_or_empty();
+        assert!(e.values[0].str_or_empty().starts_with(brand));
+    }
+
+    #[test]
+    fn song_entities_have_valid_ranges() {
+        let d = SongDomain::songs();
+        let mut rng = seeded(5);
+        for i in 0..50 {
+            let e = d.generate_entity(&mut rng, i);
+            let year = e.values[3].as_num().unwrap();
+            let duration = e.values[4].as_num().unwrap();
+            assert!((1960.0..=2015.0).contains(&year));
+            assert!((120.0..=420.0).contains(&duration));
+            assert!(vocab::GENRES.contains(&e.values[5].str_or_empty()));
+        }
+    }
+
+    #[test]
+    fn song_sibling_is_distinct_recording() {
+        let d = SongDomain::songs();
+        let mut rng = seeded(6);
+        let e = d.generate_entity(&mut rng, 0);
+        let s = d.generate_sibling(&mut rng, &e, 1);
+        assert_eq!(s.values[0], e.values[0], "sibling keeps the title");
+        assert_ne!(s.values[2], e.values[2], "sibling changes the album");
+        assert!(s.values[4].as_num().unwrap() > e.values[4].as_num().unwrap());
+    }
+}

@@ -1,0 +1,30 @@
+//! # er-datasets
+//!
+//! Synthetic ER benchmark generators that emulate the datasets evaluated in
+//! the paper (DBLP-Scholar, Abt-Buy, Amazon-Google, Songs, DBLP-ACM), plus the
+//! token-blocking step that turns tables into candidate-pair workloads.
+//!
+//! The original benchmark files are not redistributed here; instead, seeded
+//! generators reproduce their *shape* — schema, dirtiness profile, class
+//! imbalance and size (see `DESIGN.md` for the substitution rationale).
+//!
+//! * [`vocab`] — word pools for titles, names, venues, products and songs.
+//! * [`perturb`] — dirtiness operators (typos, abbreviation, missing values…).
+//! * [`generator`] — the generic entity/record/workload builder.
+//! * [`domains`] — bibliographic, product and song domain generators.
+//! * [`blocking`] — token blocking and blocking-quality measures.
+//! * [`benchmark`] — named configurations mirroring Table 2 of the paper.
+
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod blocking;
+pub mod domains;
+pub mod generator;
+pub mod perturb;
+pub mod vocab;
+
+pub use benchmark::{benchmark_config, generate_benchmark, table2, BenchmarkId, Table2Row};
+pub use domains::{BibliographicDomain, ProductDomain, ProductStyle, SongDomain};
+pub use generator::{generate, CleanEntity, DatasetConfig, Domain, GeneratedDataset};
+pub use perturb::DirtinessProfile;

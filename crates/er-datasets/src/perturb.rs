@@ -1,0 +1,366 @@
+//! Perturbation operators that make duplicate records *dirty*.
+//!
+//! Real ER benchmarks are hard because the two descriptions of the same entity
+//! differ: typos, dropped tokens, abbreviated names, missing attributes,
+//! inconsistent numeric values.  The generators apply these operators to the
+//! clean entity view with per-dataset probabilities (the *dirtiness profile*),
+//! which controls how often a classifier will be wrong — exactly the signal
+//! risk analysis must pick up.
+
+use er_base::AttrValue;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-attribute perturbation probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirtinessProfile {
+    /// Probability of introducing a character-level typo into a random token.
+    pub typo: f64,
+    /// Probability of dropping one token from a multi-token value.
+    pub token_drop: f64,
+    /// Probability of appending an extraneous token.
+    pub token_add: f64,
+    /// Probability of abbreviating (first letters of the leading tokens).
+    pub abbreviate: f64,
+    /// Probability of nulling the value entirely.
+    pub missing: f64,
+    /// Probability of shifting a numeric value.
+    pub numeric_shift: f64,
+    /// Probability of reordering tokens (e.g. "surname, given name").
+    pub reorder: f64,
+}
+
+impl DirtinessProfile {
+    /// A clean profile: no perturbation at all.
+    pub const CLEAN: DirtinessProfile = DirtinessProfile {
+        typo: 0.0,
+        token_drop: 0.0,
+        token_add: 0.0,
+        abbreviate: 0.0,
+        missing: 0.0,
+        numeric_shift: 0.0,
+        reorder: 0.0,
+    };
+
+    /// A lightly dirty profile (well-curated sources such as DBLP or ACM).
+    pub const LIGHT: DirtinessProfile = DirtinessProfile {
+        typo: 0.03,
+        token_drop: 0.03,
+        token_add: 0.02,
+        abbreviate: 0.05,
+        missing: 0.02,
+        numeric_shift: 0.02,
+        reorder: 0.05,
+    };
+
+    /// A moderately dirty profile (web-scraped sources such as Google Scholar
+    /// or online retailers).
+    pub const MODERATE: DirtinessProfile = DirtinessProfile {
+        typo: 0.10,
+        token_drop: 0.12,
+        token_add: 0.08,
+        abbreviate: 0.15,
+        missing: 0.08,
+        numeric_shift: 0.06,
+        reorder: 0.10,
+    };
+
+    /// A heavily dirty profile (noisy product feeds, user-generated content).
+    pub const HEAVY: DirtinessProfile = DirtinessProfile {
+        typo: 0.18,
+        token_drop: 0.22,
+        token_add: 0.15,
+        abbreviate: 0.20,
+        missing: 0.15,
+        numeric_shift: 0.12,
+        reorder: 0.15,
+    };
+
+    /// Scales every probability by `factor`, clamped to `[0, 1]`.
+    pub fn scaled(&self, factor: f64) -> DirtinessProfile {
+        let clamp = |p: f64| (p * factor).clamp(0.0, 1.0);
+        DirtinessProfile {
+            typo: clamp(self.typo),
+            token_drop: clamp(self.token_drop),
+            token_add: clamp(self.token_add),
+            abbreviate: clamp(self.abbreviate),
+            missing: clamp(self.missing),
+            numeric_shift: clamp(self.numeric_shift),
+            reorder: clamp(self.reorder),
+        }
+    }
+}
+
+/// Introduces a single character-level typo (substitution, deletion, insertion
+/// or adjacent transposition) into a random position of the string.
+pub fn typo<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_owned();
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // substitution with a nearby letter
+            out[pos] = random_letter(rng);
+        }
+        1 => {
+            // deletion
+            out.remove(pos);
+        }
+        2 => {
+            // insertion
+            out.insert(pos, random_letter(rng));
+        }
+        _ => {
+            // adjacent transposition
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else if pos > 0 {
+                out.swap(pos - 1, pos);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+/// Drops one random token from a multi-token string.
+pub fn drop_token<R: Rng + ?Sized>(rng: &mut R, s: &str) -> String {
+    let toks: Vec<&str> = s.split(' ').filter(|t| !t.is_empty()).collect();
+    if toks.len() <= 1 {
+        return s.to_owned();
+    }
+    let victim = rng.gen_range(0..toks.len());
+    toks.iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, t)| *t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Appends an extra token to the string.
+pub fn add_token<R: Rng + ?Sized>(rng: &mut R, s: &str, pool: &[&str]) -> String {
+    if pool.is_empty() {
+        return s.to_owned();
+    }
+    let extra = pool[rng.gen_range(0..pool.len())];
+    if s.is_empty() {
+        extra.to_owned()
+    } else {
+        format!("{s} {extra}")
+    }
+}
+
+/// Abbreviates the given-name parts of a person name, e.g.
+/// `"hans kriegel"` → `"h kriegel"`.
+pub fn abbreviate_name(s: &str) -> String {
+    let toks: Vec<&str> = s.split(' ').filter(|t| !t.is_empty()).collect();
+    if toks.len() <= 1 {
+        return s.to_owned();
+    }
+    let mut out: Vec<String> = Vec::with_capacity(toks.len());
+    for (i, t) in toks.iter().enumerate() {
+        if i + 1 == toks.len() {
+            out.push((*t).to_owned());
+        } else {
+            out.push(t.chars().take(1).collect());
+        }
+    }
+    out.join(" ")
+}
+
+/// Reorders a person name into `"surname given"` order.
+pub fn reorder_name(s: &str) -> String {
+    let toks: Vec<&str> = s.split(' ').filter(|t| !t.is_empty()).collect();
+    if toks.len() <= 1 {
+        return s.to_owned();
+    }
+    let mut out = vec![*toks.last().unwrap()];
+    out.extend_from_slice(&toks[..toks.len() - 1]);
+    out.join(" ")
+}
+
+/// Applies the profile to a free-text value, returning a perturbed copy.
+pub fn perturb_text<R: Rng + ?Sized>(rng: &mut R, value: &str, profile: &DirtinessProfile, noise_pool: &[&str]) -> AttrValue {
+    if rng.gen_bool(profile.missing) {
+        return AttrValue::Null;
+    }
+    let mut s = value.to_owned();
+    if rng.gen_bool(profile.token_drop) {
+        s = drop_token(rng, &s);
+    }
+    if rng.gen_bool(profile.token_add) {
+        s = add_token(rng, &s, noise_pool);
+    }
+    if rng.gen_bool(profile.typo) {
+        s = typo(rng, &s);
+    }
+    AttrValue::Str(s)
+}
+
+/// Applies the profile to an entity-set value (e.g. an author list): each
+/// entity may be abbreviated or reordered, one entity may be dropped.
+pub fn perturb_entity_set<R: Rng + ?Sized>(rng: &mut R, value: &str, profile: &DirtinessProfile) -> AttrValue {
+    if rng.gen_bool(profile.missing) {
+        return AttrValue::Null;
+    }
+    let mut names: Vec<String> = value.split(", ").map(str::to_owned).collect();
+    if names.len() > 1 && rng.gen_bool(profile.token_drop) {
+        let victim = rng.gen_range(0..names.len());
+        names.remove(victim);
+    }
+    for name in names.iter_mut() {
+        if rng.gen_bool(profile.abbreviate) {
+            *name = abbreviate_name(name);
+        }
+        if rng.gen_bool(profile.reorder) {
+            *name = reorder_name(name);
+        }
+        if rng.gen_bool(profile.typo) {
+            *name = typo(rng, name);
+        }
+    }
+    AttrValue::Str(names.join(", "))
+}
+
+/// Applies the profile to an entity-name value (venue, brand, artist).
+pub fn perturb_entity_name<R: Rng + ?Sized>(
+    rng: &mut R,
+    short: &str,
+    long: &str,
+    profile: &DirtinessProfile,
+) -> AttrValue {
+    if rng.gen_bool(profile.missing) {
+        return AttrValue::Null;
+    }
+    // Choose between the abbreviation and the expanded form.
+    let mut s = if rng.gen_bool(profile.abbreviate) { short.to_owned() } else { long.to_owned() };
+    if rng.gen_bool(profile.typo) {
+        s = typo(rng, &s);
+    }
+    AttrValue::Str(s)
+}
+
+/// Applies the profile to a numeric value.
+pub fn perturb_numeric<R: Rng + ?Sized>(rng: &mut R, value: f64, profile: &DirtinessProfile, max_shift: f64) -> AttrValue {
+    if rng.gen_bool(profile.missing) {
+        return AttrValue::Null;
+    }
+    if rng.gen_bool(profile.numeric_shift) {
+        let shift = rng.gen_range(1.0..=max_shift.max(1.0));
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        AttrValue::Num(value + sign * shift)
+    } else {
+        AttrValue::Num(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+
+    #[test]
+    fn typo_changes_string_but_not_too_much() {
+        let mut rng = seeded(1);
+        let original = "entity resolution";
+        let mut changed = 0;
+        for _ in 0..50 {
+            let t = typo(&mut rng, original);
+            let dist = er_similarity::edit::levenshtein(original, &t);
+            assert!(dist <= 2, "typo should be a single edit (distance {dist})");
+            if dist > 0 {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "typos should usually change the string");
+        assert_eq!(typo(&mut rng, ""), "");
+    }
+
+    #[test]
+    fn drop_token_removes_exactly_one() {
+        let mut rng = seeded(2);
+        let s = "a b c d";
+        let dropped = drop_token(&mut rng, s);
+        assert_eq!(dropped.split(' ').count(), 3);
+        assert_eq!(drop_token(&mut rng, "single"), "single");
+    }
+
+    #[test]
+    fn add_token_appends() {
+        let mut rng = seeded(3);
+        let s = add_token(&mut rng, "sony camera", &["bundle", "kit"]);
+        assert_eq!(s.split(' ').count(), 3);
+        assert_eq!(add_token(&mut rng, "x", &[]), "x");
+        assert_eq!(add_token(&mut rng, "", &["solo"]), "solo");
+    }
+
+    #[test]
+    fn abbreviate_and_reorder_names() {
+        assert_eq!(abbreviate_name("hans peter kriegel"), "h p kriegel");
+        assert_eq!(abbreviate_name("cher"), "cher");
+        assert_eq!(reorder_name("hans kriegel"), "kriegel hans");
+        assert_eq!(reorder_name("solo"), "solo");
+    }
+
+    #[test]
+    fn clean_profile_is_identity_for_text() {
+        let mut rng = seeded(4);
+        let v = perturb_text(&mut rng, "some value here", &DirtinessProfile::CLEAN, &[]);
+        assert_eq!(v.as_str(), Some("some value here"));
+        let n = perturb_numeric(&mut rng, 1999.0, &DirtinessProfile::CLEAN, 3.0);
+        assert_eq!(n.as_num(), Some(1999.0));
+        let e = perturb_entity_set(&mut rng, "a smith, b jones", &DirtinessProfile::CLEAN);
+        assert_eq!(e.as_str(), Some("a smith, b jones"));
+    }
+
+    #[test]
+    fn heavy_profile_produces_missing_values() {
+        let mut rng = seeded(5);
+        let mut nulls = 0;
+        for _ in 0..300 {
+            if perturb_text(&mut rng, "abc def", &DirtinessProfile::HEAVY, &[]).is_null() {
+                nulls += 1;
+            }
+        }
+        // missing = 0.15 -> expect roughly 45.
+        assert!(nulls > 20 && nulls < 80, "nulls {nulls}");
+    }
+
+    #[test]
+    fn numeric_shift_respects_bound() {
+        let mut rng = seeded(6);
+        let profile = DirtinessProfile { numeric_shift: 1.0, missing: 0.0, ..DirtinessProfile::CLEAN };
+        for _ in 0..100 {
+            let v = perturb_numeric(&mut rng, 2000.0, &profile, 3.0).as_num().unwrap();
+            assert!((v - 2000.0).abs() <= 3.0 + 1e-9);
+            assert!((v - 2000.0).abs() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn entity_name_prefers_long_form_when_not_abbreviating() {
+        let mut rng = seeded(7);
+        let profile = DirtinessProfile::CLEAN;
+        let v = perturb_entity_name(&mut rng, "VLDB", "Very Large Data Bases", &profile);
+        assert_eq!(v.as_str(), Some("Very Large Data Bases"));
+        let always_abbr = DirtinessProfile { abbreviate: 1.0, ..DirtinessProfile::CLEAN };
+        let v = perturb_entity_name(&mut rng, "VLDB", "Very Large Data Bases", &always_abbr);
+        assert_eq!(v.as_str(), Some("VLDB"));
+    }
+
+    #[test]
+    fn scaled_profile_clamps() {
+        let p = DirtinessProfile::HEAVY.scaled(10.0);
+        assert!(p.token_drop <= 1.0);
+        assert!(p.typo <= 1.0);
+        let zero = DirtinessProfile::HEAVY.scaled(0.0);
+        assert_eq!(zero.typo, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Vocabularies used by the synthetic dataset generators.
+//!
+//! The word pools are intentionally modest — what matters for the risk-analysis
+//! experiments is the *distributional shape* of the data (token overlap between
+//! duplicates, rare discriminating tokens, name abbreviations), not lexical
+//! realism.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Common research-paper title words (bibliographic domain).
+pub const TITLE_WORDS: &[&str] = &[
+    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "approximate",
+    "optimal", "robust", "interactive", "dynamic", "secure", "probabilistic", "declarative",
+    "processing", "query", "queries", "join", "joins", "index", "indexing", "mining", "learning",
+    "clustering", "classification", "integration", "resolution", "matching", "cleaning", "repair",
+    "storage", "transaction", "transactions", "stream", "streams", "graph", "graphs", "spatial",
+    "temporal", "relational", "database", "databases", "data", "big", "knowledge", "entity",
+    "record", "linkage", "deduplication", "crowdsourcing", "optimization", "evaluation", "analysis",
+    "management", "systems", "system", "engine", "framework", "approach", "model", "models",
+    "semantics", "schema", "xml", "web", "cloud", "memory", "disk", "cache", "compression",
+    "sampling", "estimation", "cardinality", "selectivity", "partitioning", "replication",
+];
+
+/// Surnames used for authors and artists.
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "wilson",
+    "anderson", "taylor", "thomas", "moore", "jackson", "martin", "lee", "thompson", "white",
+    "harris", "clark", "lewis", "walker", "hall", "young", "king", "wright", "scott", "green",
+    "baker", "adams", "nelson", "carter", "mitchell", "roberts", "turner", "phillips", "campbell",
+    "parker", "evans", "edwards", "collins", "stewart", "morris", "murphy", "cook", "rogers",
+    "peterson", "cooper", "reed", "bailey", "kriegel", "stonebraker", "widom", "dewitt", "gray",
+    "ullman", "abiteboul", "bernstein", "chaudhuri", "hellerstein", "franklin", "naughton",
+];
+
+/// Given-name initials / first names.
+pub const GIVEN_NAMES: &[&str] = &[
+    "james", "john", "robert", "michael", "william", "david", "richard", "joseph", "thomas",
+    "charles", "mary", "patricia", "jennifer", "linda", "elizabeth", "susan", "jessica", "sarah",
+    "karen", "wei", "lei", "jun", "hans", "peter", "anna", "maria", "luis", "carlos", "yuki",
+    "akira", "raj", "priya", "ahmed", "fatima", "olga", "ivan", "pierre", "claire",
+];
+
+/// Publication venues with their abbreviations.
+pub const VENUES: &[(&str, &str)] = &[
+    ("SIGMOD", "ACM SIGMOD International Conference on Management of Data"),
+    ("VLDB", "Very Large Data Bases"),
+    ("ICDE", "IEEE International Conference on Data Engineering"),
+    ("KDD", "ACM SIGKDD Conference on Knowledge Discovery and Data Mining"),
+    ("EDBT", "International Conference on Extending Database Technology"),
+    ("CIKM", "ACM International Conference on Information and Knowledge Management"),
+    ("TKDE", "IEEE Transactions on Knowledge and Data Engineering"),
+    ("PODS", "Symposium on Principles of Database Systems"),
+    ("WWW", "The Web Conference"),
+    ("WSDM", "ACM International Conference on Web Search and Data Mining"),
+];
+
+/// Product brands (product domain).
+pub const BRANDS: &[&str] = &[
+    "sony", "apple", "samsung", "canon", "nikon", "panasonic", "toshiba", "philips", "lg",
+    "microsoft", "logitech", "hp", "dell", "lenovo", "asus", "garmin", "bose", "jbl", "sandisk",
+    "kingston", "netgear", "linksys", "epson", "brother", "sharp", "pioneer", "kenwood", "yamaha",
+];
+
+/// Product category nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "camera", "camcorder", "laptop", "notebook", "monitor", "printer", "scanner", "router",
+    "keyboard", "mouse", "headphones", "speaker", "speakers", "television", "tv", "projector",
+    "receiver", "player", "recorder", "drive", "adapter", "charger", "battery", "case", "dock",
+    "tablet", "phone", "smartphone", "watch", "console", "controller", "microphone", "webcam",
+];
+
+/// Product qualifier words (colors, sizes, editions).
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "black", "white", "silver", "red", "blue", "portable", "wireless", "bluetooth", "digital",
+    "compact", "professional", "premium", "ultra", "mini", "slim", "pro", "plus", "deluxe",
+    "series", "edition", "bundle", "kit", "refurbished", "widescreen", "hd", "4k",
+];
+
+/// Software product nouns (the Amazon-Google workload is mainly software).
+pub const SOFTWARE_NOUNS: &[&str] = &[
+    "antivirus", "office", "suite", "studio", "photoshop", "illustrator", "encyclopedia",
+    "dictionary", "tutorial", "upgrade", "license", "subscription", "backup", "firewall",
+    "security", "accounting", "payroll", "tax", "design", "publisher", "converter", "editor",
+    "server", "workstation", "education", "student", "teacher", "home", "business", "enterprise",
+];
+
+/// Song title words (music domain).
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "heart", "baby", "dance", "dream", "fire", "rain", "summer", "girl", "boy",
+    "home", "road", "river", "moon", "star", "sky", "light", "shadow", "blue", "golden", "broken",
+    "sweet", "wild", "young", "forever", "tonight", "yesterday", "tomorrow", "again", "away",
+    "alone", "together", "crazy", "beautiful", "freedom", "soul", "rock", "roll", "blues", "time",
+];
+
+/// Album qualifiers.
+pub const ALBUM_WORDS: &[&str] = &[
+    "greatest", "hits", "live", "unplugged", "sessions", "collection", "anthology", "deluxe",
+    "remastered", "acoustic", "volume", "best", "of", "singles", "essential", "gold", "platinum",
+];
+
+/// Music genres (categorical attribute).
+pub const GENRES: &[&str] =
+    &["rock", "pop", "jazz", "blues", "country", "electronic", "hip-hop", "classical", "folk", "metal"];
+
+/// Picks a random element of a string slice.
+pub fn pick<'a, R: Rng + ?Sized>(rng: &mut R, items: &'a [&'a str]) -> &'a str {
+    items.choose(rng).expect("vocabulary must not be empty")
+}
+
+/// Generates a person name `"<given> <surname>"`.
+pub fn person_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("{} {}", pick(rng, GIVEN_NAMES), pick(rng, SURNAMES))
+}
+
+/// Generates a phrase of `n` words from a pool (words may repeat across calls
+/// but not inside one phrase when the pool is large enough).
+pub fn phrase<R: Rng + ?Sized>(rng: &mut R, pool: &[&str], n: usize) -> String {
+    let mut chosen: Vec<&str> = Vec::with_capacity(n);
+    let mut guard = 0;
+    while chosen.len() < n && guard < n * 10 {
+        let w = pick(rng, pool);
+        if !chosen.contains(&w) || pool.len() < n {
+            chosen.push(w);
+        }
+        guard += 1;
+    }
+    chosen.join(" ")
+}
+
+/// Generates an alphanumeric model code such as `"dsc-w120"` or `"x1500"`.
+pub fn model_code<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let letters = b"abcdefghjkmnprstuvwxz";
+    let prefix_len = rng.gen_range(1..=3);
+    let mut s = String::new();
+    for _ in 0..prefix_len {
+        s.push(letters[rng.gen_range(0..letters.len())] as char);
+    }
+    if rng.gen_bool(0.3) {
+        s.push('-');
+    }
+    let number = rng.gen_range(10..10_000);
+    s.push_str(&number.to_string());
+    if rng.gen_bool(0.25) {
+        s.push(letters[rng.gen_range(0..letters.len())] as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phrase_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 1..8 {
+            let p = phrase(&mut rng, TITLE_WORDS, n);
+            assert_eq!(p.split(' ').count(), n);
+        }
+    }
+
+    #[test]
+    fn person_name_has_two_parts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let name = person_name(&mut rng);
+            assert_eq!(name.split(' ').count(), 2);
+        }
+    }
+
+    #[test]
+    fn model_code_contains_digits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let code = model_code(&mut rng);
+            assert!(code.chars().any(|c| c.is_ascii_digit()), "{code}");
+            assert!(code.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn vocabularies_are_non_trivial() {
+        assert!(TITLE_WORDS.len() > 50);
+        assert!(SURNAMES.len() > 40);
+        assert!(VENUES.len() >= 10);
+        assert!(BRANDS.len() > 20);
+        assert!(SONG_WORDS.len() > 30);
+        assert_eq!(GENRES.len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..5).map(|_| person_name(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..5).map(|_| person_name(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! Out-of-distribution (OOD) workload construction (Figure 10 of the paper).
+//!
+//! In the OOD setting the classifier-training data come from one benchmark
+//! while the validation (risk-training) and test data come from another:
+//! `DA2DS` trains on DBLP-ACM and evaluates on DBLP-Scholar, `AB2AG` trains on
+//! Abt-Buy and evaluates on Amazon-Google.  Because Abt-Buy and Amazon-Google
+//! have different schemas (3 vs 4 attributes), the target workload is first
+//! *projected* onto the source schema by attribute name so that the classifier
+//! and the risk features operate on a shared feature space.
+
+use er_base::{Pair, Record, Schema, Workload};
+use std::sync::Arc;
+
+/// Projects a workload onto a subset of its attributes, by name, producing a
+/// workload whose records follow `target_schema`'s attribute order.
+///
+/// Attributes of `target_schema` missing from the source schema are filled
+/// with `Null` (carrying no evidence), which mirrors applying a pre-trained
+/// model to a schema-aligned view of new data.
+pub fn project_workload(workload: &Workload, target_schema: &Arc<Schema>) -> Workload {
+    let source = &workload.left_schema;
+    let mapping: Vec<Option<usize>> =
+        target_schema.attrs().iter().map(|a| source.index_of(&a.name)).collect();
+
+    let project_record = |r: &Arc<Record>| -> Arc<Record> {
+        let values = mapping
+            .iter()
+            .map(|m| match m {
+                Some(i) => r.values[*i].clone(),
+                None => er_base::AttrValue::Null,
+            })
+            .collect();
+        Arc::new(Record::new(r.id, values))
+    };
+
+    let pairs = workload
+        .pairs()
+        .iter()
+        .map(|p| Pair::new(p.id, project_record(&p.left), project_record(&p.right), p.truth))
+        .collect();
+    Workload::new(workload.name.clone(), Arc::clone(target_schema), Arc::clone(target_schema), pairs)
+}
+
+/// Checks whether two workloads already share a schema (attribute names and
+/// types in order), in which case projection is unnecessary.
+pub fn schemas_compatible(a: &Workload, b: &Workload) -> bool {
+    a.left_schema.as_ref() == b.left_schema.as_ref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datasets::{generate_benchmark, BenchmarkId};
+
+    #[test]
+    fn dblp_acm_and_scholar_share_schema() {
+        let da = generate_benchmark(BenchmarkId::DblpAcm, 0.02, 1);
+        let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.02, 2);
+        assert!(schemas_compatible(&da.workload, &ds.workload));
+    }
+
+    #[test]
+    fn amazon_google_projects_onto_abt_buy_schema() {
+        let ab = generate_benchmark(BenchmarkId::AbtBuy, 0.008, 3);
+        let ag = generate_benchmark(BenchmarkId::AmazonGoogle, 0.03, 4);
+        assert!(!schemas_compatible(&ab.workload, &ag.workload));
+        let projected = project_workload(&ag.workload, &ab.workload.left_schema);
+        assert_eq!(projected.attribute_count(), 3);
+        assert_eq!(projected.len(), ag.workload.len());
+        assert_eq!(projected.match_count(), ag.workload.match_count());
+        // The name attribute survives the projection with its content.
+        let p = &projected.pairs()[0];
+        let orig = &ag.workload.pairs()[0];
+        assert_eq!(p.left.values[0], orig.left.values[0]);
+    }
+
+    #[test]
+    fn missing_attributes_become_null() {
+        let ab = generate_benchmark(BenchmarkId::AbtBuy, 0.008, 5);
+        let ag = generate_benchmark(BenchmarkId::AmazonGoogle, 0.03, 6);
+        // Project AB (3 attrs: name, description, price) onto AG's 4-attr schema;
+        // the manufacturer attribute does not exist in AB and must be Null.
+        let projected = project_workload(&ab.workload, &ag.workload.left_schema);
+        assert_eq!(projected.attribute_count(), 4);
+        let manu_idx = ag.workload.left_schema.index_of("manufacturer").unwrap();
+        assert!(projected.pairs().iter().all(|p| p.left.values[manu_idx].is_null()));
+    }
+}

@@ -1,0 +1,120 @@
+//! Rule conditions: threshold comparisons over basic metric values.
+
+use er_similarity::AttrMetric;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator of a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Metric value strictly greater than the threshold.
+    Gt,
+    /// Metric value less than or equal to the threshold.
+    Le,
+}
+
+impl CmpOp {
+    /// The opposite operator (used for the sibling branch of a split).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Gt,
+        }
+    }
+
+    /// Symbol for rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+        }
+    }
+}
+
+/// A single condition `metric(attr) <op> threshold` over the basic-metric
+/// vector of a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Index into the basic-metric vector.
+    pub metric_index: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Threshold value chosen by the tree builder.
+    pub threshold: f64,
+}
+
+impl Condition {
+    /// Creates a condition.
+    pub fn new(metric_index: usize, op: CmpOp, threshold: f64) -> Self {
+        Self { metric_index, op, threshold }
+    }
+
+    /// Whether a metric vector satisfies the condition.
+    pub fn matches(&self, metrics: &[f64]) -> bool {
+        let v = metrics[self.metric_index];
+        match self.op {
+            CmpOp::Gt => v > self.threshold,
+            CmpOp::Le => v <= self.threshold,
+        }
+    }
+
+    /// The sibling condition (same split, other side).
+    pub fn negated(&self) -> Condition {
+        Condition { metric_index: self.metric_index, op: self.op.negated(), threshold: self.threshold }
+    }
+
+    /// Renders the condition using metric metadata, e.g.
+    /// `"num_not_equal(year) > 0.500"`.
+    pub fn render(&self, metrics: &[AttrMetric]) -> String {
+        let m = &metrics[self.metric_index];
+        format!("{}({}) {} {:.3}", m.kind.name(), m.attr_name, self.op.symbol(), self.threshold)
+    }
+
+    /// Approximate equality used for rule deduplication.
+    pub fn approx_eq(&self, other: &Condition) -> bool {
+        self.metric_index == other.metric_index
+            && self.op == other.op
+            && (self.threshold - other.threshold).abs() < 1e-9
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{} {} {:.3}", self.metric_index, self.op.symbol(), self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_similarity::MetricKind;
+
+    #[test]
+    fn matching_semantics() {
+        let c = Condition::new(1, CmpOp::Gt, 0.5);
+        assert!(c.matches(&[0.0, 0.7]));
+        assert!(!c.matches(&[0.0, 0.5]));
+        let n = c.negated();
+        assert_eq!(n.op, CmpOp::Le);
+        assert!(n.matches(&[0.0, 0.5]));
+        assert!(!n.matches(&[0.0, 0.7]));
+    }
+
+    #[test]
+    fn rendering_uses_metric_names() {
+        let metrics = vec![AttrMetric { attr_index: 3, attr_name: "year".into(), kind: MetricKind::NumericNotEqual }];
+        let c = Condition::new(0, CmpOp::Gt, 0.5);
+        assert_eq!(c.render(&metrics), "num_not_equal(year) > 0.500");
+        assert_eq!(c.to_string(), "m0 > 0.500");
+        assert_eq!(CmpOp::Le.symbol(), "<=");
+    }
+
+    #[test]
+    fn approx_equality() {
+        let a = Condition::new(2, CmpOp::Le, 0.25);
+        let b = Condition::new(2, CmpOp::Le, 0.25 + 1e-12);
+        let c = Condition::new(2, CmpOp::Gt, 0.25);
+        assert!(a.approx_eq(&b));
+        assert!(!a.approx_eq(&c));
+    }
+}

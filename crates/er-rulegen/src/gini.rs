@@ -1,0 +1,156 @@
+//! Gini impurity measures, including the paper's one-sided Gini index (Eq. 5–7).
+
+/// Class counts of a pair subset, optionally weighted.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassCounts {
+    /// (Weighted) number of equivalent pairs.
+    pub matches: f64,
+    /// (Weighted) number of inequivalent pairs.
+    pub unmatches: f64,
+}
+
+impl ClassCounts {
+    /// Creates counts.
+    pub fn new(matches: f64, unmatches: f64) -> Self {
+        Self { matches, unmatches }
+    }
+
+    /// Total (weighted) size.
+    pub fn total(&self) -> f64 {
+        self.matches + self.unmatches
+    }
+
+    /// Gini impurity `1 - t_M^2 - t_U^2` (Eq. 6).  Empty subsets have zero
+    /// impurity.
+    pub fn gini(&self) -> f64 {
+        let n = self.total();
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let tm = self.matches / n;
+        let tu = self.unmatches / n;
+        1.0 - tm * tm - tu * tu
+    }
+
+    /// Impurity with respect to the *majority* class: the fraction of
+    /// instances not belonging to the dominant class.  This is the purity test
+    /// used to qualify one-sided rules.
+    pub fn minority_fraction(&self) -> f64 {
+        let n = self.total();
+        if n <= 0.0 {
+            return 0.0;
+        }
+        self.matches.min(self.unmatches) / n
+    }
+
+    /// The dominant class: `true` when matches outnumber unmatches.
+    pub fn majority_is_match(&self) -> bool {
+        self.matches > self.unmatches
+    }
+}
+
+/// Two-sided Gini index of a split (Eq. 5): the size-weighted average impurity
+/// of the two subsets.
+pub fn two_sided_gini(left: ClassCounts, right: ClassCounts) -> f64 {
+    let n = left.total() + right.total();
+    if n <= 0.0 {
+        return 0.0;
+    }
+    (left.total() / n) * left.gini() + (right.total() / n) * right.gini()
+}
+
+/// One-sided Gini index of a split (Eq. 7):
+/// `min( λ/|D_L| + (1−λ)·G(D_L),  λ/|D_R| + (1−λ)·G(D_R) )`.
+///
+/// A small `λ` (the paper suggests 0.2) prefers purity over size, so the best
+/// split carves out one highly pure subset regardless of the other side.
+pub fn one_sided_gini(left: ClassCounts, right: ClassCounts, lambda: f64) -> f64 {
+    let side = |c: ClassCounts| {
+        if c.total() <= 0.0 {
+            f64::INFINITY
+        } else {
+            lambda / c.total() + (1.0 - lambda) * c.gini()
+        }
+    };
+    side(left).min(side(right))
+}
+
+/// Which side of a split the one-sided Gini selects (`true` = left).
+pub fn one_sided_prefers_left(left: ClassCounts, right: ClassCounts, lambda: f64) -> bool {
+    let side = |c: ClassCounts| {
+        if c.total() <= 0.0 {
+            f64::INFINITY
+        } else {
+            lambda / c.total() + (1.0 - lambda) * c.gini()
+        }
+    };
+    side(left) <= side(right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_pure_and_balanced() {
+        assert_eq!(ClassCounts::new(10.0, 0.0).gini(), 0.0);
+        assert_eq!(ClassCounts::new(0.0, 10.0).gini(), 0.0);
+        assert!((ClassCounts::new(5.0, 5.0).gini() - 0.5).abs() < 1e-12);
+        assert_eq!(ClassCounts::default().gini(), 0.0);
+    }
+
+    #[test]
+    fn minority_fraction_and_majority() {
+        let c = ClassCounts::new(2.0, 8.0);
+        assert!((c.minority_fraction() - 0.2).abs() < 1e-12);
+        assert!(!c.majority_is_match());
+        assert!(ClassCounts::new(9.0, 1.0).majority_is_match());
+        assert_eq!(ClassCounts::default().minority_fraction(), 0.0);
+    }
+
+    #[test]
+    fn two_sided_gini_weights_by_size() {
+        // Left: pure (8 unmatches); right: balanced (1/1).
+        let g = two_sided_gini(ClassCounts::new(0.0, 8.0), ClassCounts::new(1.0, 1.0));
+        assert!((g - (0.8 * 0.0 + 0.2 * 0.5)).abs() < 1e-12);
+        assert_eq!(two_sided_gini(ClassCounts::default(), ClassCounts::default()), 0.0);
+    }
+
+    #[test]
+    fn one_sided_gini_prefers_a_pure_side() {
+        let lambda = 0.2;
+        // Split A: one side perfectly pure and large.
+        let a = one_sided_gini(ClassCounts::new(0.0, 50.0), ClassCounts::new(25.0, 25.0), lambda);
+        // Split B: both sides mixed.
+        let b = one_sided_gini(ClassCounts::new(20.0, 30.0), ClassCounts::new(5.0, 45.0), lambda);
+        assert!(a < b, "pure-side split should score lower: {a} vs {b}");
+    }
+
+    #[test]
+    fn small_lambda_prefers_purity_over_size() {
+        // Choice between a tiny pure subset and a big slightly-impure subset.
+        let tiny_pure = ClassCounts::new(0.0, 6.0);
+        let big_impure = ClassCounts::new(10.0, 90.0);
+        let rest = ClassCounts::new(40.0, 40.0);
+        let score_tiny = one_sided_gini(tiny_pure, rest, 0.2);
+        let score_big = one_sided_gini(big_impure, rest, 0.2);
+        assert!(score_tiny < score_big, "λ=0.2 should prefer the pure subset");
+        // With a large λ the big subset wins despite impurity.
+        let score_tiny_hi = one_sided_gini(tiny_pure, rest, 0.95);
+        let score_big_hi = one_sided_gini(big_impure, rest, 0.95);
+        assert!(score_big_hi < score_tiny_hi, "λ≈1 should prefer the larger subset");
+    }
+
+    #[test]
+    fn preferred_side_detection() {
+        assert!(one_sided_prefers_left(ClassCounts::new(0.0, 30.0), ClassCounts::new(10.0, 10.0), 0.2));
+        assert!(!one_sided_prefers_left(ClassCounts::new(10.0, 10.0), ClassCounts::new(0.0, 30.0), 0.2));
+    }
+
+    #[test]
+    fn empty_side_is_never_selected() {
+        let g = one_sided_gini(ClassCounts::default(), ClassCounts::new(3.0, 3.0), 0.2);
+        assert!(g.is_finite());
+        assert!(!one_sided_prefers_left(ClassCounts::default(), ClassCounts::new(3.0, 3.0), 0.2));
+    }
+}

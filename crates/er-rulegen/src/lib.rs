@@ -1,0 +1,25 @@
+//! # er-rulegen
+//!
+//! Rule (risk-feature) generation for entity resolution.
+//!
+//! * [`condition`] / [`rule`] — threshold conditions over basic-metric vectors
+//!   and one-sided rules (`conditions -> class`).
+//! * [`gini`] — Gini impurity and the paper's one-sided Gini index (Eq. 5–7).
+//! * [`tree`] — one-sided decision-tree construction (Algorithm 1), the source
+//!   of LearnRisk's interpretable risk features.
+//! * [`two_sided`] — conventional CART trees and random forests, used to
+//!   generate the two-sided labeling rules consumed by the HoloClean baseline.
+
+#![warn(missing_docs)]
+
+pub mod condition;
+pub mod gini;
+pub mod rule;
+pub mod tree;
+pub mod two_sided;
+
+pub use condition::{CmpOp, Condition};
+pub use gini::{one_sided_gini, two_sided_gini, ClassCounts};
+pub use rule::{coverage, dedup_rules, Rule};
+pub use tree::{generate_rules, OneSidedTreeBuilder, OneSidedTreeConfig};
+pub use two_sided::{RandomForest, TwoSidedTree, TwoSidedTreeConfig};

@@ -1,0 +1,158 @@
+//! One-sided rules: conjunctions of conditions implying a class.
+
+use crate::condition::Condition;
+use er_base::Label;
+use er_similarity::AttrMetric;
+use serde::{Deserialize, Serialize};
+
+/// A one-sided rule: if all conditions hold on a pair's basic-metric vector,
+/// the pair very likely belongs to `target`; nothing is implied otherwise
+/// (Section 5 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Conjunction of conditions (the path from the tree root to the leaf).
+    pub conditions: Vec<Condition>,
+    /// The class implied when the conditions hold.
+    pub target: Label,
+    /// Number of training pairs satisfying the conditions.
+    pub support: usize,
+    /// Fraction of supporting training pairs whose label equals `target`.
+    pub purity: f64,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(conditions: Vec<Condition>, target: Label, support: usize, purity: f64) -> Self {
+        Self { conditions, target, support, purity }
+    }
+
+    /// Whether a pair (given its basic-metric vector) satisfies the rule.
+    pub fn covers(&self, metrics: &[f64]) -> bool {
+        self.conditions.iter().all(|c| c.matches(metrics))
+    }
+
+    /// Number of conditions (tree depth of the leaf).
+    pub fn depth(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Renders the rule in the paper's notation, e.g.
+    /// `"num_not_equal(year) > 0.500 -> inequivalent  [support=120, purity=0.98]"`.
+    pub fn render(&self, metrics: &[AttrMetric]) -> String {
+        let lhs = self
+            .conditions
+            .iter()
+            .map(|c| c.render(metrics))
+            .collect::<Vec<_>>()
+            .join(" AND ");
+        let rhs = match self.target {
+            Label::Equivalent => "equivalent",
+            Label::Inequivalent => "inequivalent",
+        };
+        format!("{lhs} -> {rhs}  [support={}, purity={:.2}]", self.support, self.purity)
+    }
+
+    /// Whether two rules have the same condition set and target (used for
+    /// deduplication; condition order is irrelevant).
+    pub fn is_duplicate_of(&self, other: &Rule) -> bool {
+        if self.target != other.target || self.conditions.len() != other.conditions.len() {
+            return false;
+        }
+        self.conditions
+            .iter()
+            .all(|c| other.conditions.iter().any(|o| c.approx_eq(o)))
+    }
+}
+
+/// Removes duplicate rules (same conditions and target), keeping the first
+/// occurrence (Algorithm 1, line 5).
+pub fn dedup_rules(rules: Vec<Rule>) -> Vec<Rule> {
+    let mut out: Vec<Rule> = Vec::with_capacity(rules.len());
+    for rule in rules {
+        if !out.iter().any(|r| r.is_duplicate_of(&rule)) {
+            out.push(rule);
+        }
+    }
+    out
+}
+
+/// Fraction of pairs (rows of the metric matrix) covered by at least one rule.
+pub fn coverage(rules: &[Rule], metric_rows: &[Vec<f64>]) -> f64 {
+    if metric_rows.is_empty() {
+        return 0.0;
+    }
+    let covered = metric_rows.iter().filter(|row| rules.iter().any(|r| r.covers(row))).count();
+    covered as f64 / metric_rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::CmpOp;
+
+    fn rule(target: Label) -> Rule {
+        Rule::new(
+            vec![Condition::new(0, CmpOp::Gt, 0.5), Condition::new(1, CmpOp::Le, 0.2)],
+            target,
+            30,
+            0.97,
+        )
+    }
+
+    #[test]
+    fn coverage_requires_all_conditions() {
+        let r = rule(Label::Inequivalent);
+        assert!(r.covers(&[0.9, 0.1]));
+        assert!(!r.covers(&[0.9, 0.5]));
+        assert!(!r.covers(&[0.2, 0.1]));
+        assert_eq!(r.depth(), 2);
+    }
+
+    #[test]
+    fn rendering_mentions_both_sides() {
+        let metrics = vec![
+            AttrMetric { attr_index: 0, attr_name: "title".into(), kind: er_similarity::MetricKind::Jaccard },
+            AttrMetric { attr_index: 3, attr_name: "year".into(), kind: er_similarity::MetricKind::NumericNotEqual },
+        ];
+        let text = rule(Label::Equivalent).render(&metrics);
+        assert!(text.contains("jaccard(title) > 0.500"));
+        assert!(text.contains("AND"));
+        assert!(text.contains("-> equivalent"));
+        assert!(text.contains("purity=0.97"));
+        let text2 = rule(Label::Inequivalent).render(&metrics);
+        assert!(text2.contains("-> inequivalent"));
+    }
+
+    #[test]
+    fn duplicate_detection_ignores_order() {
+        let a = Rule::new(
+            vec![Condition::new(0, CmpOp::Gt, 0.5), Condition::new(1, CmpOp::Le, 0.2)],
+            Label::Equivalent,
+            10,
+            0.9,
+        );
+        let b = Rule::new(
+            vec![Condition::new(1, CmpOp::Le, 0.2), Condition::new(0, CmpOp::Gt, 0.5)],
+            Label::Equivalent,
+            99,
+            0.8,
+        );
+        let c = Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Equivalent, 10, 0.9);
+        assert!(a.is_duplicate_of(&b));
+        assert!(!a.is_duplicate_of(&c));
+        let deduped = dedup_rules(vec![a.clone(), b, c]);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].support, 10, "first occurrence wins");
+    }
+
+    #[test]
+    fn workload_coverage() {
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Equivalent, 5, 1.0),
+            Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.5)], Label::Inequivalent, 5, 1.0),
+        ];
+        let rows = vec![vec![0.9, 0.0], vec![0.0, 0.9], vec![0.0, 0.0], vec![0.9, 0.9]];
+        assert!((coverage(&rules, &rows) - 0.75).abs() < 1e-12);
+        assert_eq!(coverage(&rules, &[]), 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! One-sided decision-tree construction (Algorithm 1 of the paper).
+//!
+//! The builder searches, at every node, over all basic metrics and two class
+//! weightings (unweighted and match-boosted) for the split minimizing the
+//! one-sided Gini index (Eq. 7).  The pure side of a split becomes a rule
+//! candidate when its (unweighted) impurity does not exceed the threshold; the
+//! impure side is recursed into.  Exploring every `(metric, weight)` branch at
+//! every node reproduces the paper's forest of one-sided trees; the
+//! `beam_width` knob optionally restricts the branching to the best few splits
+//! per node so that rule generation stays fast on large training sets.
+
+use crate::condition::{CmpOp, Condition};
+use crate::gini::{one_sided_gini, one_sided_prefers_left, ClassCounts};
+use crate::rule::{dedup_rules, Rule};
+use er_base::Label;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the one-sided tree builder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OneSidedTreeConfig {
+    /// Impurity threshold τ: a leaf qualifies as a rule when its minority
+    /// fraction is at most τ.
+    pub impurity_threshold: f64,
+    /// Maximum tree depth h (number of conditions per rule).
+    pub max_depth: usize,
+    /// Minimum number of training pairs in an extracted subset.
+    pub min_leaf_size: usize,
+    /// λ of the one-sided Gini index (small prefers purity over size).
+    pub lambda: f64,
+    /// Class weight applied to matching pairs when searching for matching
+    /// rules (the paper uses 1000 to overcome class imbalance).
+    pub match_class_weight: f64,
+    /// Number of candidate splits explored per node; `usize::MAX` reproduces
+    /// the exhaustive search of Algorithm 1.
+    pub beam_width: usize,
+}
+
+impl Default for OneSidedTreeConfig {
+    fn default() -> Self {
+        Self {
+            impurity_threshold: 0.05,
+            max_depth: 3,
+            min_leaf_size: 5,
+            lambda: 0.2,
+            match_class_weight: 1000.0,
+            beam_width: 6,
+        }
+    }
+}
+
+/// Builder state for one-sided rule generation.
+pub struct OneSidedTreeBuilder<'a> {
+    /// Row-major basic-metric matrix of the training pairs.
+    metrics: &'a [Vec<f64>],
+    /// Ground-truth labels aligned with `metrics`.
+    labels: &'a [Label],
+    config: OneSidedTreeConfig,
+}
+
+/// A candidate split of a node.
+#[derive(Debug, Clone, Copy)]
+struct Split {
+    condition: Condition,
+    score: f64,
+}
+
+impl<'a> OneSidedTreeBuilder<'a> {
+    /// Creates a builder over a metric matrix and labels.
+    pub fn new(metrics: &'a [Vec<f64>], labels: &'a [Label], config: OneSidedTreeConfig) -> Self {
+        assert_eq!(metrics.len(), labels.len(), "metrics and labels must align");
+        Self { metrics, labels, config }
+    }
+
+    /// Runs rule generation (Algorithm 1) and returns the deduplicated rules.
+    pub fn generate(&self) -> Vec<Rule> {
+        if self.metrics.is_empty() {
+            return Vec::new();
+        }
+        let all: Vec<u32> = (0..self.metrics.len() as u32).collect();
+        let mut rules = Vec::new();
+        self.construct(&all, 0, &mut Vec::new(), &mut rules);
+        dedup_rules(rules)
+    }
+
+    /// Class counts of a subset, optionally weighting matches.
+    fn counts(&self, subset: &[u32], match_weight: f64) -> ClassCounts {
+        let mut c = ClassCounts::default();
+        for &i in subset {
+            if self.labels[i as usize].is_match() {
+                c.matches += match_weight;
+            } else {
+                c.unmatches += 1.0;
+            }
+        }
+        c
+    }
+
+    /// Unweighted counts (used for purity checks and rule statistics).
+    fn raw_counts(&self, subset: &[u32]) -> ClassCounts {
+        self.counts(subset, 1.0)
+    }
+
+    /// Finds the best threshold for one metric under one class weighting.
+    fn best_split_for_metric(&self, subset: &[u32], metric: usize, match_weight: f64) -> Option<Split> {
+        // Sort subset by the metric value.
+        let mut order: Vec<u32> = subset.to_vec();
+        order.sort_by(|&a, &b| {
+            self.metrics[a as usize][metric]
+                .partial_cmp(&self.metrics[b as usize][metric])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total = self.counts(subset, match_weight);
+        if total.total() <= 0.0 {
+            return None;
+        }
+
+        let mut left = ClassCounts::default();
+        let mut best: Option<Split> = None;
+        for w in 0..order.len().saturating_sub(1) {
+            let i = order[w] as usize;
+            let weight = if self.labels[i].is_match() { match_weight } else { 1.0 };
+            if self.labels[i].is_match() {
+                left.matches += weight;
+            } else {
+                left.unmatches += 1.0;
+            }
+            let v = self.metrics[i][metric];
+            let next = self.metrics[order[w + 1] as usize][metric];
+            if next <= v + 1e-12 {
+                continue; // cannot split between equal values
+            }
+            // Enforce the minimum subset size on the raw (unweighted) counts.
+            let left_n = w + 1;
+            let right_n = order.len() - left_n;
+            if left_n < self.config.min_leaf_size || right_n < self.config.min_leaf_size {
+                continue;
+            }
+            let right = ClassCounts::new(total.matches - left.matches, total.unmatches - left.unmatches);
+            let score = one_sided_gini(left, right, self.config.lambda);
+            let threshold = (v + next) / 2.0;
+            if best.map_or(true, |b| score < b.score) {
+                best = Some(Split { condition: Condition::new(metric, CmpOp::Le, threshold), score });
+            }
+        }
+        best
+    }
+
+    /// All candidate splits of a node, ranked by one-sided Gini.
+    fn candidate_splits(&self, subset: &[u32]) -> Vec<Split> {
+        let n_metrics = self.metrics[0].len();
+        let mut splits = Vec::with_capacity(n_metrics * 2);
+        for metric in 0..n_metrics {
+            for &weight in &[1.0, self.config.match_class_weight] {
+                if let Some(split) = self.best_split_for_metric(subset, metric, weight) {
+                    splits.push(split);
+                }
+            }
+        }
+        splits.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+        splits.truncate(self.config.beam_width);
+        splits
+    }
+
+    /// Emits a rule for a subset if it is pure and large enough.
+    fn try_emit(&self, subset: &[u32], path: &[Condition], rules: &mut Vec<Rule>) {
+        if subset.len() < self.config.min_leaf_size || path.is_empty() {
+            return;
+        }
+        let counts = self.raw_counts(subset);
+        if counts.minority_fraction() <= self.config.impurity_threshold {
+            let target = Label::from_bool(counts.majority_is_match());
+            let purity = 1.0 - counts.minority_fraction();
+            rules.push(Rule::new(path.to_vec(), target, subset.len(), purity));
+        }
+    }
+
+    /// Recursive construction (the `ConstructTree` procedure of Algorithm 1).
+    fn construct(&self, subset: &[u32], depth: usize, path: &mut Vec<Condition>, rules: &mut Vec<Rule>) {
+        if subset.len() < 2 * self.config.min_leaf_size {
+            self.try_emit(subset, path, rules);
+            return;
+        }
+        if depth >= self.config.max_depth {
+            self.try_emit(subset, path, rules);
+            return;
+        }
+        let splits = self.candidate_splits(subset);
+        if splits.is_empty() {
+            self.try_emit(subset, path, rules);
+            return;
+        }
+        for split in splits {
+            let cond_le = split.condition;
+            let cond_gt = cond_le.negated();
+            let (le_side, gt_side): (Vec<u32>, Vec<u32>) = subset
+                .iter()
+                .partition(|&&i| cond_le.matches(&self.metrics[i as usize]));
+            if le_side.len() < self.config.min_leaf_size || gt_side.len() < self.config.min_leaf_size {
+                continue;
+            }
+            let le_counts = self.raw_counts(&le_side);
+            let gt_counts = self.raw_counts(&gt_side);
+            let tau = self.config.impurity_threshold;
+            let (le_imp, gt_imp) = (le_counts.minority_fraction(), gt_counts.minority_fraction());
+
+            // Qualified (pure) sides become rules.
+            if le_imp <= tau {
+                path.push(cond_le);
+                self.try_emit(&le_side, path, rules);
+                path.pop();
+            }
+            if gt_imp <= tau {
+                path.push(cond_gt);
+                self.try_emit(&gt_side, path, rules);
+                path.pop();
+            }
+
+            // Stop recursion when both sides are pure or both are impure
+            // beyond saving (τ_min >= τ handled by pure-emission above);
+            // otherwise recurse into the impure side (Algorithm 1, lines 14-21).
+            let recurse_into_le = le_imp > tau && gt_imp <= tau;
+            let recurse_into_gt = gt_imp > tau && le_imp <= tau;
+            // When both are impure, follow the side preferred by the one-sided
+            // Gini so that the search keeps carving out the purer region.
+            let both_impure = le_imp > tau && gt_imp > tau;
+            let prefer_le = one_sided_prefers_left(le_counts, gt_counts, self.config.lambda);
+
+            if recurse_into_le || (both_impure && prefer_le) {
+                path.push(cond_le);
+                self.construct(&le_side, depth + 1, path, rules);
+                path.pop();
+            }
+            if recurse_into_gt || (both_impure && !prefer_le) {
+                path.push(cond_gt);
+                self.construct(&gt_side, depth + 1, path, rules);
+                path.pop();
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: generates one-sided rules from a metric matrix.
+pub fn generate_rules(metrics: &[Vec<f64>], labels: &[Label], config: OneSidedTreeConfig) -> Vec<Rule> {
+    OneSidedTreeBuilder::new(metrics, labels, config).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    /// Synthetic metric matrix with two informative metrics:
+    /// metric 0 ≈ title similarity (high ⇒ match), metric 1 = year mismatch
+    /// indicator (1 ⇒ unmatch).  Metric 2 is noise.
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Label>) {
+        let mut rng = seeded(seed);
+        let mut metrics = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.gen_bool(0.3);
+            let sim: f64 = if is_match { rng.gen_range(0.7..1.0) } else { rng.gen_range(0.0..0.65) };
+            let year_diff = if is_match {
+                if rng.gen_bool(0.05) { 1.0 } else { 0.0 }
+            } else if rng.gen_bool(0.7) {
+                1.0
+            } else {
+                0.0
+            };
+            let noise: f64 = rng.gen_range(0.0..1.0);
+            metrics.push(vec![sim, year_diff, noise]);
+            labels.push(Label::from_bool(is_match));
+        }
+        (metrics, labels)
+    }
+
+    #[test]
+    fn generates_rules_for_both_classes() {
+        let (metrics, labels) = synthetic(600, 1);
+        let rules = generate_rules(&metrics, &labels, OneSidedTreeConfig::default());
+        assert!(!rules.is_empty(), "no rules generated");
+        assert!(rules.iter().any(|r| r.target == Label::Equivalent), "no matching rules");
+        assert!(rules.iter().any(|r| r.target == Label::Inequivalent), "no unmatching rules");
+        // All rules satisfy the purity and support constraints.
+        for r in &rules {
+            assert!(r.purity >= 1.0 - OneSidedTreeConfig::default().impurity_threshold - 1e-9);
+            assert!(r.support >= OneSidedTreeConfig::default().min_leaf_size);
+            assert!(r.depth() <= OneSidedTreeConfig::default().max_depth);
+        }
+    }
+
+    #[test]
+    fn rules_pick_the_informative_metrics() {
+        let (metrics, labels) = synthetic(600, 2);
+        let rules = generate_rules(&metrics, &labels, OneSidedTreeConfig::default());
+        // Single-condition rules should use metric 0 or 1, not the noise metric 2.
+        let shallow: Vec<&Rule> = rules.iter().filter(|r| r.depth() == 1).collect();
+        assert!(!shallow.is_empty(), "expected some single-condition rules");
+        for r in shallow {
+            assert_ne!(r.conditions[0].metric_index, 2, "noise metric used as a top rule: {r:?}");
+        }
+    }
+
+    #[test]
+    fn rule_accuracy_holds_out_of_sample() {
+        let (train_m, train_l) = synthetic(500, 3);
+        let (test_m, test_l) = synthetic(500, 4);
+        let rules = generate_rules(&train_m, &train_l, OneSidedTreeConfig::default());
+        // On unseen data, each rule should remain predominantly correct.
+        for r in &rules {
+            let covered: Vec<usize> = (0..test_m.len()).filter(|&i| r.covers(&test_m[i])).collect();
+            if covered.len() < 10 {
+                continue;
+            }
+            let correct = covered
+                .iter()
+                .filter(|&&i| test_l[i] == r.target)
+                .count() as f64
+                / covered.len() as f64;
+            assert!(correct > 0.75, "rule generalizes poorly ({correct:.2}): {r:?}");
+        }
+    }
+
+    #[test]
+    fn purity_threshold_filters_rules() {
+        let (metrics, labels) = synthetic(400, 5);
+        let strict = generate_rules(
+            &metrics,
+            &labels,
+            OneSidedTreeConfig { impurity_threshold: 0.0, ..Default::default() },
+        );
+        let lenient = generate_rules(
+            &metrics,
+            &labels,
+            OneSidedTreeConfig { impurity_threshold: 0.2, ..Default::default() },
+        );
+        assert!(lenient.len() >= strict.len());
+        for r in &strict {
+            assert!((r.purity - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let rules = generate_rules(&[], &[], OneSidedTreeConfig::default());
+        assert!(rules.is_empty());
+        // All-same-class data: no split can satisfy min size on both sides of
+        // any threshold (values identical), so no rules — and no panic.
+        let metrics = vec![vec![0.5]; 20];
+        let labels = vec![Label::Equivalent; 20];
+        let rules = generate_rules(&metrics, &labels, OneSidedTreeConfig::default());
+        assert!(rules.iter().all(|r| r.target == Label::Equivalent));
+    }
+
+    #[test]
+    fn min_leaf_size_is_respected() {
+        let (metrics, labels) = synthetic(300, 6);
+        let config = OneSidedTreeConfig { min_leaf_size: 40, ..Default::default() };
+        let rules = generate_rules(&metrics, &labels, config);
+        for r in &rules {
+            assert!(r.support >= 40, "rule support {} below min leaf size", r.support);
+        }
+    }
+
+    #[test]
+    fn exhaustive_beam_finds_at_least_as_many_rules() {
+        let (metrics, labels) = synthetic(300, 7);
+        let narrow = generate_rules(
+            &metrics,
+            &labels,
+            OneSidedTreeConfig { beam_width: 2, ..Default::default() },
+        );
+        let wide = generate_rules(
+            &metrics,
+            &labels,
+            OneSidedTreeConfig { beam_width: usize::MAX, ..Default::default() },
+        );
+        assert!(wide.len() >= narrow.len());
+    }
+}

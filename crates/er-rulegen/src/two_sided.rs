@@ -1,0 +1,379 @@
+//! Standard two-sided decision trees and random forests.
+//!
+//! These are *not* part of LearnRisk itself; they implement the conventional
+//! labeling-rule generation used by the HoloClean comparison (Section 7.3 of
+//! the paper): a random forest is trained on the same basic metrics, and each
+//! root-to-leaf path becomes a two-sided labeling rule.
+
+use crate::condition::{CmpOp, Condition};
+use crate::gini::{two_sided_gini, ClassCounts};
+use crate::rule::{dedup_rules, Rule};
+use er_base::rng::substream;
+use er_base::Label;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the two-sided tree / random forest builder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TwoSidedTreeConfig {
+    /// Maximum tree depth (the paper uses 4 for the HoloClean rules).
+    pub max_depth: usize,
+    /// Minimum number of samples in a leaf (the paper uses 5).
+    pub min_leaf_size: usize,
+    /// Number of trees in the forest.
+    pub n_trees: usize,
+    /// Fraction of metrics considered at each split (feature bagging).
+    pub feature_fraction: f64,
+    /// Class weight applied to matching pairs (imbalance handling).
+    pub match_class_weight: f64,
+    /// Random seed for bagging.
+    pub seed: u64,
+}
+
+impl Default for TwoSidedTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            min_leaf_size: 5,
+            n_trees: 8,
+            feature_fraction: 0.7,
+            match_class_weight: 10.0,
+            seed: 13,
+        }
+    }
+}
+
+/// A node of a two-sided decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Majority class of the leaf.
+        label: Label,
+        /// Fraction of training pairs in the leaf belonging to the majority class.
+        purity: f64,
+        /// Number of training pairs in the leaf.
+        support: usize,
+    },
+    Split {
+        condition: Condition,
+        /// Child for pairs satisfying the condition (`<=`).
+        left: Box<Node>,
+        /// Child for the rest (`>`).
+        right: Box<Node>,
+    },
+}
+
+/// A CART-style two-sided decision tree over basic metric vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoSidedTree {
+    root: Node,
+}
+
+impl TwoSidedTree {
+    /// Trains a tree on a metric matrix and labels.
+    pub fn fit(metrics: &[Vec<f64>], labels: &[Label], config: &TwoSidedTreeConfig, feature_mask: Option<&[usize]>) -> Self {
+        assert_eq!(metrics.len(), labels.len());
+        assert!(!metrics.is_empty(), "cannot fit a tree on no data");
+        let all: Vec<u32> = (0..metrics.len() as u32).collect();
+        let features: Vec<usize> = match feature_mask {
+            Some(m) => m.to_vec(),
+            None => (0..metrics[0].len()).collect(),
+        };
+        let root = Self::build(metrics, labels, &all, &features, 0, config);
+        Self { root }
+    }
+
+    fn counts(labels: &[Label], subset: &[u32], match_weight: f64) -> ClassCounts {
+        let mut c = ClassCounts::default();
+        for &i in subset {
+            if labels[i as usize].is_match() {
+                c.matches += match_weight;
+            } else {
+                c.unmatches += 1.0;
+            }
+        }
+        c
+    }
+
+    fn leaf(labels: &[Label], subset: &[u32], match_weight: f64) -> Node {
+        let weighted = Self::counts(labels, subset, match_weight);
+        let raw = Self::counts(labels, subset, 1.0);
+        Node::Leaf {
+            label: Label::from_bool(weighted.majority_is_match()),
+            purity: 1.0 - raw.minority_fraction(),
+            support: subset.len(),
+        }
+    }
+
+    fn build(
+        metrics: &[Vec<f64>],
+        labels: &[Label],
+        subset: &[u32],
+        features: &[usize],
+        depth: usize,
+        config: &TwoSidedTreeConfig,
+    ) -> Node {
+        let counts = Self::counts(labels, subset, config.match_class_weight);
+        if depth >= config.max_depth
+            || subset.len() < 2 * config.min_leaf_size
+            || counts.gini() == 0.0
+        {
+            return Self::leaf(labels, subset, config.match_class_weight);
+        }
+
+        // Find the best split over the allowed features.
+        let mut best: Option<(Condition, f64)> = None;
+        for &metric in features {
+            let mut order: Vec<u32> = subset.to_vec();
+            order.sort_by(|&a, &b| {
+                metrics[a as usize][metric]
+                    .partial_cmp(&metrics[b as usize][metric])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let total = Self::counts(labels, subset, config.match_class_weight);
+            let mut left = ClassCounts::default();
+            for w in 0..order.len().saturating_sub(1) {
+                let i = order[w] as usize;
+                if labels[i].is_match() {
+                    left.matches += config.match_class_weight;
+                } else {
+                    left.unmatches += 1.0;
+                }
+                let v = metrics[i][metric];
+                let next = metrics[order[w + 1] as usize][metric];
+                if next <= v + 1e-12 {
+                    continue;
+                }
+                if w + 1 < config.min_leaf_size || order.len() - w - 1 < config.min_leaf_size {
+                    continue;
+                }
+                let right = ClassCounts::new(total.matches - left.matches, total.unmatches - left.unmatches);
+                let score = two_sided_gini(left, right);
+                if best.as_ref().map_or(true, |(_, s)| score < *s) {
+                    best = Some((Condition::new(metric, CmpOp::Le, (v + next) / 2.0), score));
+                }
+            }
+        }
+
+        let Some((condition, _)) = best else {
+            return Self::leaf(labels, subset, config.match_class_weight);
+        };
+        let (le, gt): (Vec<u32>, Vec<u32>) =
+            subset.iter().partition(|&&i| condition.matches(&metrics[i as usize]));
+        if le.len() < config.min_leaf_size || gt.len() < config.min_leaf_size {
+            return Self::leaf(labels, subset, config.match_class_weight);
+        }
+        Node::Split {
+            condition,
+            left: Box::new(Self::build(metrics, labels, &le, features, depth + 1, config)),
+            right: Box::new(Self::build(metrics, labels, &gt, features, depth + 1, config)),
+        }
+    }
+
+    /// Predicts the label of a metric vector.
+    pub fn predict(&self, metrics: &[f64]) -> Label {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split { condition, left, right } => {
+                    node = if condition.matches(metrics) { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Extracts every root-to-leaf path as a two-sided labeling rule.
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        Self::collect(&self.root, &mut path, &mut out);
+        out
+    }
+
+    fn collect(node: &Node, path: &mut Vec<Condition>, out: &mut Vec<Rule>) {
+        match node {
+            Node::Leaf { label, purity, support } => {
+                if !path.is_empty() {
+                    out.push(Rule::new(path.clone(), *label, *support, *purity));
+                }
+            }
+            Node::Split { condition, left, right } => {
+                path.push(*condition);
+                Self::collect(left, path, out);
+                path.pop();
+                path.push(condition.negated());
+                Self::collect(right, path, out);
+                path.pop();
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+/// A random forest of two-sided trees (bagging + feature subsampling).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<TwoSidedTree>,
+}
+
+impl RandomForest {
+    /// Trains a forest.
+    pub fn fit(metrics: &[Vec<f64>], labels: &[Label], config: &TwoSidedTreeConfig) -> Self {
+        assert!(!metrics.is_empty(), "cannot fit a forest on no data");
+        let n_features = metrics[0].len();
+        let k = ((n_features as f64 * config.feature_fraction).ceil() as usize).clamp(1, n_features);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for t in 0..config.n_trees {
+            let mut rng = substream(config.seed, 0x60 + t as u64);
+            // Bootstrap sample.
+            let mut sample_metrics = Vec::with_capacity(metrics.len());
+            let mut sample_labels = Vec::with_capacity(labels.len());
+            for _ in 0..metrics.len() {
+                let i = rng.gen_range(0..metrics.len());
+                sample_metrics.push(metrics[i].clone());
+                sample_labels.push(labels[i]);
+            }
+            // Feature subsample.
+            let mut features: Vec<usize> = (0..n_features).collect();
+            features.shuffle(&mut rng);
+            features.truncate(k);
+            trees.push(TwoSidedTree::fit(&sample_metrics, &sample_labels, config, Some(&features)));
+        }
+        Self { trees }
+    }
+
+    /// Fraction of trees voting "match".
+    pub fn predict_proba(&self, metrics: &[f64]) -> f64 {
+        let votes = self.trees.iter().filter(|t| t.predict(metrics).is_match()).count();
+        votes as f64 / self.trees.len() as f64
+    }
+
+    /// All labeling rules of the forest (deduplicated), up to `limit` rules,
+    /// highest-purity first — mirroring how the paper caps the HoloClean rule
+    /// count to match LearnRisk's.
+    pub fn rules(&self, limit: usize) -> Vec<Rule> {
+        let mut all: Vec<Rule> = self.trees.iter().flat_map(|t| t.rules()).collect();
+        all.sort_by(|a, b| {
+            b.purity
+                .partial_cmp(&a.purity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.support.cmp(&a.support))
+        });
+        let mut deduped = dedup_rules(all);
+        deduped.truncate(limit);
+        deduped
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::rng::seeded;
+    use rand::Rng;
+
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Label>) {
+        let mut rng = seeded(seed);
+        let mut metrics = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let is_match = rng.gen_bool(0.25);
+            let sim: f64 = if is_match { rng.gen_range(0.65..1.0) } else { rng.gen_range(0.0..0.7) };
+            let diff = if is_match { 0.0 } else if rng.gen_bool(0.6) { 1.0 } else { 0.0 };
+            metrics.push(vec![sim, diff]);
+            labels.push(Label::from_bool(is_match));
+        }
+        (metrics, labels)
+    }
+
+    #[test]
+    fn tree_fits_and_predicts() {
+        let (m, l) = synthetic(500, 1);
+        let tree = TwoSidedTree::fit(&m, &l, &TwoSidedTreeConfig::default(), None);
+        let correct = m.iter().zip(&l).filter(|(x, &y)| tree.predict(x) == y).count();
+        let acc = correct as f64 / m.len() as f64;
+        assert!(acc > 0.85, "tree training accuracy {acc}");
+        assert!(tree.leaf_count() >= 2);
+    }
+
+    #[test]
+    fn tree_rules_cover_the_space() {
+        let (m, l) = synthetic(400, 2);
+        let tree = TwoSidedTree::fit(&m, &l, &TwoSidedTreeConfig::default(), None);
+        let rules = tree.rules();
+        assert_eq!(rules.len(), tree.leaf_count());
+        // Every example is covered by exactly one rule.
+        for row in &m {
+            let covering = rules.iter().filter(|r| r.covers(row)).count();
+            assert_eq!(covering, 1, "two-sided rules must partition the space");
+        }
+    }
+
+    #[test]
+    fn forest_probability_is_bounded_and_accurate() {
+        let (m, l) = synthetic(600, 3);
+        let forest = RandomForest::fit(&m, &l, &TwoSidedTreeConfig::default());
+        assert_eq!(forest.len(), TwoSidedTreeConfig::default().n_trees);
+        let correct = m
+            .iter()
+            .zip(&l)
+            .filter(|(x, &y)| (forest.predict_proba(x) >= 0.5) == y.is_match())
+            .count();
+        let acc = correct as f64 / m.len() as f64;
+        assert!(acc > 0.85, "forest accuracy {acc}");
+        for row in &m {
+            let p = forest.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn forest_rule_limit_is_respected() {
+        let (m, l) = synthetic(500, 4);
+        let forest = RandomForest::fit(&m, &l, &TwoSidedTreeConfig::default());
+        let rules = forest.rules(10);
+        assert!(rules.len() <= 10);
+        assert!(!rules.is_empty());
+        // Sorted by purity descending.
+        for w in rules.windows(2) {
+            assert!(w[0].purity >= w[1].purity - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let m = vec![vec![0.2], vec![0.3], vec![0.4], vec![0.5]];
+        let l = vec![Label::Inequivalent; 4];
+        let tree = TwoSidedTree::fit(&m, &l, &TwoSidedTreeConfig::default(), None);
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.rules().is_empty(), "a single root leaf has no path conditions");
+        assert_eq!(tree.predict(&[0.9]), Label::Inequivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_forest_panics() {
+        RandomForest::fit(&[], &[], &TwoSidedTreeConfig::default());
+    }
+}

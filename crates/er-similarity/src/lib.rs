@@ -1,0 +1,28 @@
+//! # er-similarity
+//!
+//! Similarity and difference metrics over ER attribute values, plus the
+//! metric registry that binds them to schema attributes (the paper's *basic
+//! metrics*, Section 5.1 / Figure 5).
+//!
+//! * [`tokenize`] — normalization, tokenization, entity splitting, abbreviation.
+//! * [`edit`] — Levenshtein, Jaro, Jaro–Winkler.
+//! * [`token_sim`] — Jaccard, Dice, overlap, cosine (TF and TF-IDF), Monge–Elkan.
+//! * [`sequence`] — LCS and longest-common-substring similarity.
+//! * [`difference`] — the paper's difference metrics (non-substring/prefix/suffix,
+//!   abbreviation variants, diff-cardinality, distinct-entity, diff-key-token,
+//!   numeric differences).
+//! * [`metric`] — [`metric::MetricKind`], [`metric::AttrMetric`] and
+//!   [`metric::MetricEvaluator`], which evaluate the basic metric vector of a
+//!   record pair.
+
+#![warn(missing_docs)]
+
+pub mod difference;
+pub mod edit;
+pub mod metric;
+pub mod sequence;
+pub mod token_sim;
+pub mod tokenize;
+
+pub use metric::{default_metrics, eval_metric_kind, AttrMetric, MetricEvaluator, MetricKind};
+pub use token_sim::IdfTable;

@@ -1,0 +1,108 @@
+//! Sequence similarity metrics: longest common subsequence and substring.
+
+/// Length of the longest common subsequence of two strings (character level).
+pub fn lcs_length(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    for &lc in long.iter() {
+        for (j, &sc) in short.iter().enumerate() {
+            cur[j + 1] = if lc == sc { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.iter_mut().for_each(|x| *x = 0);
+    }
+    prev[short.len()]
+}
+
+/// Normalized LCS similarity in `[0, 1]`: `lcs / max(|a|, |b|)`.
+///
+/// This is the `LCS` comparison used in the paper's example rules (Figure 6).
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    lcs_length(a, b) as f64 / max_len as f64
+}
+
+/// Length of the longest common contiguous substring (character level).
+pub fn longest_common_substring(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    let mut best = 0usize;
+    for &ca in a.iter() {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Normalized longest-common-substring similarity in `[0, 1]`, relative to the
+/// shorter string.  A value of 1 means one value is fully contained in the
+/// other.
+pub fn substring_similarity(a: &str, b: &str) -> f64 {
+    let min_len = a.chars().count().min(b.chars().count());
+    if min_len == 0 {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    longest_common_substring(a, b) as f64 / min_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_length_basic() {
+        assert_eq!(lcs_length("abcde", "ace"), 3);
+        assert_eq!(lcs_length("abc", "abc"), 3);
+        assert_eq!(lcs_length("abc", "def"), 0);
+        assert_eq!(lcs_length("", "abc"), 0);
+    }
+
+    #[test]
+    fn lcs_similarity_range() {
+        assert!((lcs_similarity("", "") - 1.0).abs() < 1e-12);
+        assert!((lcs_similarity("abcd", "abcd") - 1.0).abs() < 1e-12);
+        assert!((lcs_similarity("abcde", "ace") - 0.6).abs() < 1e-12);
+        let near = lcs_similarity("spatial join processing", "spatial join procesing");
+        assert!(near > 0.9);
+    }
+
+    #[test]
+    fn lcs_is_symmetric() {
+        for (a, b) in [("database", "databse"), ("query optimizer", "optimizer"), ("x", "")] {
+            assert_eq!(lcs_length(a, b), lcs_length(b, a));
+        }
+    }
+
+    #[test]
+    fn longest_common_substring_basic() {
+        assert_eq!(longest_common_substring("abcdef", "zcdefy"), 4);
+        assert_eq!(longest_common_substring("abc", "abc"), 3);
+        assert_eq!(longest_common_substring("abc", "xyz"), 0);
+        assert_eq!(longest_common_substring("", "x"), 0);
+    }
+
+    #[test]
+    fn substring_similarity_containment() {
+        assert!((substring_similarity("ipod nano", "apple ipod nano 4gb") - 1.0).abs() < 1e-12);
+        assert!((substring_similarity("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(substring_similarity("", "x"), 0.0);
+        assert!(substring_similarity("canon", "nikon") < 0.5);
+    }
+}

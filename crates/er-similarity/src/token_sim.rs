@@ -1,0 +1,286 @@
+//! Token- and set-based similarity metrics.
+
+use crate::edit::jaro_winkler;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Jaccard index of two token multisets (treated as sets).
+pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: HashSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient `2|A∩B| / (|A| + |B|)` over token sets.
+pub fn dice<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: HashSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    let denom = sa.len() + sb.len();
+    if denom == 0 {
+        return 1.0;
+    }
+    2.0 * sa.intersection(&sb).count() as f64 / denom as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|, |B|)` over token sets.
+pub fn overlap<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: HashSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    let min = sa.len().min(sb.len());
+    if min == 0 {
+        return 0.0;
+    }
+    sa.intersection(&sb).count() as f64 / min as f64
+}
+
+/// Cosine similarity of term-frequency vectors built from the token lists.
+pub fn cosine_tf<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    fn count<'a, S: AsRef<str>>(xs: &'a [S]) -> BTreeMap<&'a str, f64> {
+        let mut m: BTreeMap<&str, f64> = BTreeMap::new();
+        for x in xs {
+            *m.entry(x.as_ref()).or_insert(0.0) += 1.0;
+        }
+        m
+    }
+    let ca = count(a);
+    let cb = count(b);
+    let mut dot = 0.0;
+    for (t, &wa) in &ca {
+        if let Some(&wb) = cb.get(t) {
+            dot += wa * wb;
+        }
+    }
+    let na: f64 = ca.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|w| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Monge–Elkan similarity: for each token of `a`, the best Jaro–Winkler match
+/// in `b`, averaged.  Tolerant to token-level typos and reorderings, useful for
+/// person-name lists.
+pub fn monge_elkan<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ta in a {
+        let mut best = 0.0f64;
+        for tb in b {
+            best = best.max(jaro_winkler(ta.as_ref(), tb.as_ref()));
+        }
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+/// Symmetric Monge–Elkan: the mean of both directions, making the metric
+/// order-independent.
+pub fn monge_elkan_sym<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    (monge_elkan(a, b) + monge_elkan(b, a)) / 2.0
+}
+
+/// A corpus-level inverse-document-frequency table over tokens.
+///
+/// `diff-key-token` and TF-IDF cosine need to know which tokens are
+/// *discriminating*; IDF computed over all attribute values of a workload
+/// provides that signal.
+#[derive(Debug, Clone, Default)]
+pub struct IdfTable {
+    doc_count: usize,
+    doc_freq: HashMap<String, usize>,
+}
+
+impl IdfTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document's tokens (counted once per document).
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.doc_count += 1;
+        let uniq: HashSet<&str> = tokens.iter().map(AsRef::as_ref).collect();
+        for t in uniq {
+            *self.doc_freq.entry(t.to_owned()).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents added.
+    pub fn documents(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Smoothed IDF of a token: `ln((1 + N) / (1 + df)) + 1`.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        ((1.0 + self.doc_count as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Whether a token is a *key* (discriminating) token: its document
+    /// frequency is at most `max_df_ratio` of the corpus, or it looks
+    /// intrinsically specific (contains digits / long).
+    pub fn is_key_token(&self, token: &str, max_df_ratio: f64) -> bool {
+        if crate::tokenize::is_specific_token(token) {
+            return true;
+        }
+        if self.doc_count == 0 {
+            return false;
+        }
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        (df as f64 / self.doc_count as f64) <= max_df_ratio
+    }
+
+    /// Cosine similarity of TF-IDF weighted token vectors.
+    pub fn cosine_tfidf<S: AsRef<str>>(&self, a: &[S], b: &[S]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        fn weigh<'a, S: AsRef<str>>(table: &IdfTable, xs: &'a [S]) -> BTreeMap<&'a str, f64> {
+            let mut m: BTreeMap<&str, f64> = BTreeMap::new();
+            for x in xs {
+                *m.entry(x.as_ref()).or_insert(0.0) += 1.0;
+            }
+            for (t, w) in m.iter_mut() {
+                *w *= table.idf(t);
+            }
+            m
+        }
+        let wa = weigh(self, a);
+        let wb = weigh(self, b);
+        let mut dot = 0.0;
+        for (t, &x) in &wa {
+            if let Some(&y) = wb.get(t) {
+                dot += x * y;
+            }
+        }
+        let na: f64 = wa.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = wb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokens;
+
+    #[test]
+    fn jaccard_basic() {
+        let a = tokens("efficient processing of spatial joins");
+        let b = tokens("efficient processing of joins");
+        let j = jaccard(&a, &b);
+        assert!((j - 4.0 / 5.0).abs() < 1e-12);
+        assert!((jaccard::<&str>(&[], &[]) - 1.0).abs() < 1e-12);
+        assert_eq!(jaccard(&["a".to_string()], &["b".to_string()]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_entity_jaccard() {
+        // Example 1 of the paper: author sets of sizes 4 and 3 sharing 3 entities.
+        let s1 = crate::tokenize::entities("T Brinkhoff, H Kriegel, R Schneider, B Seeger");
+        let s2 = crate::tokenize::entities("T Brinkhoff, H Kriegel, B Seeger");
+        assert!((jaccard(&s1, &s2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_and_overlap() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "z".to_string()];
+        assert!((dice(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((overlap(&a, &b) - 0.5).abs() < 1e-12);
+        let sub = vec!["y".to_string()];
+        assert!((overlap(&a, &sub) - 1.0).abs() < 1e-12);
+        assert!((dice::<&str>(&[], &[]) - 1.0).abs() < 1e-12);
+        assert!((overlap::<&str>(&[], &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_tf_identical_and_disjoint() {
+        let a = tokens("big data systems");
+        assert!((cosine_tf(&a, &a) - 1.0).abs() < 1e-12);
+        let b = tokens("tiny things");
+        assert_eq!(cosine_tf(&a, &b), 0.0);
+        assert_eq!(cosine_tf::<&str>(&[], &["x"]), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_typos() {
+        let a = tokens("hans kriegel");
+        let b = tokens("hans peter kriegel");
+        assert!(monge_elkan(&a, &b) > 0.95);
+        let c = tokens("michael stonebraker");
+        assert!(monge_elkan_sym(&a, &c) < 0.7);
+        assert!((monge_elkan_sym::<&str>(&[], &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_symmetric_version_is_symmetric() {
+        let a = tokens("the quick brown fox");
+        let b = tokens("quick fox");
+        assert!((monge_elkan_sym(&a, &b) - monge_elkan_sym(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_table_marks_rare_tokens_as_key() {
+        let mut idf = IdfTable::new();
+        for _ in 0..50 {
+            idf.add_document(&tokens("apple ipod nano silver"));
+        }
+        idf.add_document(&tokens("apple ipod shuffle 512mb"));
+        assert_eq!(idf.documents(), 51);
+        // "apple" occurs everywhere -> not a key token; "shuffle" is rare -> key.
+        assert!(!idf.is_key_token("apple", 0.2));
+        assert!(idf.is_key_token("shuffle", 0.2));
+        // Digits are always specific.
+        assert!(idf.is_key_token("512mb", 0.2));
+        assert!(idf.idf("shuffle") > idf.idf("apple"));
+    }
+
+    #[test]
+    fn tfidf_cosine_downweights_common_tokens() {
+        let mut idf = IdfTable::new();
+        idf.add_document(&tokens("sony vaio laptop"));
+        idf.add_document(&tokens("sony bravia tv"));
+        idf.add_document(&tokens("sony walkman player"));
+        let a = tokens("sony vaio");
+        let b = tokens("sony walkman");
+        let c = tokens("sony vaio laptop");
+        // Sharing only the ubiquitous "sony" scores lower than sharing "vaio".
+        assert!(idf.cosine_tfidf(&a, &c) > idf.cosine_tfidf(&a, &b));
+        assert!((idf.cosine_tfidf(&a, &a) - 1.0).abs() < 1e-9);
+    }
+}

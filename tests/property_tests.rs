@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) of the core invariants:
+//! metric ranges and symmetry, ROC/AUROC properties, portfolio aggregation,
+//! VaR monotonicity, rule semantics and dataset-generator guarantees.
+
+use learnrisk_repro::base::{auroc, Label, RocCurve};
+use learnrisk_repro::core::{aggregate, pair_risk, PortfolioComponent, RiskMetric};
+use learnrisk_repro::rulegen::{generate_rules, OneSidedTreeConfig};
+use learnrisk_repro::similarity::difference::{diff_cardinality, distinct_entity, non_prefix, non_substring, non_suffix};
+use learnrisk_repro::similarity::edit::{edit_similarity, jaro_winkler, levenshtein};
+use learnrisk_repro::similarity::sequence::{lcs_similarity, substring_similarity};
+use learnrisk_repro::similarity::token_sim::{dice, jaccard, overlap};
+use learnrisk_repro::similarity::tokenize::tokens;
+use proptest::prelude::*;
+
+/// Strategy producing short alphanumeric strings (with spaces).
+fn text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ]{0,24}").unwrap()
+}
+
+/// Strategy producing comma-separated entity lists.
+fn entity_list() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{1,8} [a-z]{1,8}", 0..5).prop_map(|v| v.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Similarity metrics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn similarity_metrics_are_bounded_and_symmetric(a in text(), b in text()) {
+        for (name, value, swapped) in [
+            ("edit", edit_similarity(&a, &b), edit_similarity(&b, &a)),
+            ("jaro_winkler", jaro_winkler(&a, &b), jaro_winkler(&b, &a)),
+            ("lcs", lcs_similarity(&a, &b), lcs_similarity(&b, &a)),
+            ("substring", substring_similarity(&a, &b), substring_similarity(&b, &a)),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&value), "{name} out of range: {value}");
+            // Jaro-Winkler's prefix boost is symmetric too (common prefix is shared).
+            prop_assert!((value - swapped).abs() < 1e-9, "{name} not symmetric");
+        }
+        let ta = tokens(&a);
+        let tb = tokens(&b);
+        for (name, value) in [("jaccard", jaccard(&ta, &tb)), ("dice", dice(&ta, &tb)), ("overlap", overlap(&ta, &tb))] {
+            prop_assert!((0.0..=1.0).contains(&value), "{name} out of range: {value}");
+        }
+    }
+
+    #[test]
+    fn identical_strings_are_maximally_similar(a in text()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((lcs_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let ta = tokens(&a);
+        prop_assert!((jaccard(&ta, &ta) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levenshtein_satisfies_triangle_inequality(a in text(), b in text(), c in text()) {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle inequality violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn difference_metrics_are_binary_or_counts_and_zero_on_self(a in text(), b in text()) {
+        for value in [non_substring(&a, &b), non_prefix(&a, &b), non_suffix(&a, &b)] {
+            prop_assert!(value == 0.0 || value == 1.0);
+        }
+        prop_assert_eq!(non_substring(&a, &a), 0.0);
+        prop_assert_eq!(non_prefix(&a, &a), 0.0);
+        prop_assert_eq!(non_suffix(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn entity_set_differences_are_consistent(a in entity_list(), b in entity_list()) {
+        let d = distinct_entity(&a, &b);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(distinct_entity(&a, &a), 0.0);
+        let c = diff_cardinality(&a, &b);
+        prop_assert!(c == 0.0 || c == 1.0);
+        prop_assert_eq!(diff_cardinality(&a, &a), 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // ROC / AUROC
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn auroc_is_bounded_and_invariant_to_monotone_transforms(
+        scores in proptest::collection::vec(0.0f64..1.0, 10..60),
+        labels in proptest::collection::vec(0u8..2, 10..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let a = auroc(scores, labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // A strictly monotone transform of the scores leaves AUROC unchanged.
+        let transformed: Vec<f64> = scores.iter().map(|s| 3.0 * s + 7.0).collect();
+        let b = auroc(&transformed, labels);
+        prop_assert!((a - b).abs() < 1e-9, "AUROC changed under monotone transform: {a} vs {b}");
+        // Negating the scores flips the ranking.
+        let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let c = auroc(&negated, labels);
+        let has_both = labels.contains(&0) && labels.contains(&1);
+        if has_both {
+            prop_assert!((a + c - 1.0).abs() < 1e-9, "AUROC of negated scores should be 1 - AUROC");
+        }
+    }
+
+    #[test]
+    fn roc_curve_is_monotone_nondecreasing(
+        scores in proptest::collection::vec(0.0f64..1.0, 5..50),
+        labels in proptest::collection::vec(0u8..2, 5..50),
+    ) {
+        let n = scores.len().min(labels.len());
+        let curve = RocCurve::compute(&scores[..n], &labels[..n]);
+        for w in curve.points.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Portfolio aggregation and VaR
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn portfolio_mean_is_a_convex_combination(
+        comps in proptest::collection::vec((0.01f64..10.0, 0.0f64..1.0, 0.0f64..0.5), 1..8)
+    ) {
+        let components: Vec<PortfolioComponent> = comps
+            .iter()
+            .map(|&(w, m, s)| PortfolioComponent { weight: w, mean: m, std: s })
+            .collect();
+        let agg = aggregate(&components);
+        let min_mean = components.iter().map(|c| c.mean).fold(f64::INFINITY, f64::min);
+        let max_mean = components.iter().map(|c| c.mean).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(agg.mean >= min_mean - 1e-9 && agg.mean <= max_mean + 1e-9);
+        prop_assert!(agg.variance >= 0.0);
+        // Aggregated std never exceeds the largest component std.
+        let max_std = components.iter().map(|c| c.std).fold(0.0f64, f64::max);
+        prop_assert!(agg.std() <= max_std + 1e-9);
+    }
+
+    #[test]
+    fn var_is_bounded_and_monotone_in_the_mean(
+        mean in 0.0f64..1.0,
+        std in 0.0f64..0.5,
+        delta in 0.0f64..0.3,
+    ) {
+        let v = pair_risk(RiskMetric::ValueAtRisk, mean, std, false, 0.9);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // For an unmatch-labeled pair, increasing the equivalence expectation
+        // cannot decrease the risk.
+        let higher = pair_risk(RiskMetric::ValueAtRisk, (mean + delta).min(1.0), std, false, 0.9);
+        prop_assert!(higher >= v - 1e-9);
+        // The matching direction is the mirror image.
+        let m = pair_risk(RiskMetric::ValueAtRisk, mean, std, true, 0.9);
+        let m_higher = pair_risk(RiskMetric::ValueAtRisk, (mean + delta).min(1.0), std, true, 0.9);
+        prop_assert!(m_higher <= m + 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Rule generation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn generated_rules_respect_purity_and_support_constraints(
+        rows in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 40..120),
+        threshold in 0.3f64..0.7,
+    ) {
+        // Labels correlated with the first metric so rules exist.
+        let metrics: Vec<Vec<f64>> = rows.iter().map(|&(a, b)| vec![a, b]).collect();
+        let labels: Vec<Label> = rows.iter().map(|&(a, _)| Label::from_bool(a > threshold)).collect();
+        let config = OneSidedTreeConfig::default();
+        let rules = generate_rules(&metrics, &labels, config);
+        for rule in &rules {
+            prop_assert!(rule.support >= config.min_leaf_size);
+            prop_assert!(rule.purity >= 1.0 - config.impurity_threshold - 1e-9);
+            prop_assert!(rule.depth() <= config.max_depth);
+            // The reported support/purity must be consistent with the data.
+            let covered: Vec<usize> = (0..metrics.len()).filter(|&i| rule.covers(&metrics[i])).collect();
+            prop_assert_eq!(covered.len(), rule.support);
+            let agree = covered.iter().filter(|&&i| labels[i] == rule.target).count();
+            let purity = agree as f64 / covered.len().max(1) as f64;
+            prop_assert!((purity - rule.purity).abs() < 1e-9);
+        }
+    }
+}
