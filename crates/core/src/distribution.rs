@@ -23,7 +23,10 @@ impl Normal {
     /// # Panics
     /// Panics when `std` is negative or not finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(std >= 0.0 && std.is_finite(), "standard deviation must be non-negative, got {std}");
+        assert!(
+            std >= 0.0 && std.is_finite(),
+            "standard deviation must be non-negative, got {std}"
+        );
         Self { mean, std }
     }
 
@@ -38,7 +41,11 @@ impl Normal {
     /// Probability density function.
     pub fn pdf(&self, x: f64) -> f64 {
         if self.std == 0.0 {
-            return if (x - self.mean).abs() < f64::EPSILON { f64::INFINITY } else { 0.0 };
+            return if (x - self.mean).abs() < f64::EPSILON {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         std_normal_pdf((x - self.mean) / self.std) / self.std
     }
@@ -115,7 +122,9 @@ impl TruncatedNormal {
             return self.hi;
         }
         let target = self.base.cdf(self.lo) + p * self.mass();
-        self.base.quantile(target.clamp(1e-12, 1.0 - 1e-12)).clamp(self.lo, self.hi)
+        self.base
+            .quantile(target.clamp(1e-12, 1.0 - 1e-12))
+            .clamp(self.lo, self.hi)
     }
 
     /// Mean of the truncated distribution.

@@ -143,7 +143,13 @@ impl LearnRiskModel {
     /// Risk score of a pair under the configured metric (VaR by default).
     pub fn risk_score(&self, input: &PairRiskInput) -> f64 {
         let d = self.pair_distribution(input);
-        pair_risk(self.config.metric, d.mean, d.std(), input.machine_says_match, self.config.theta)
+        pair_risk(
+            self.config.metric,
+            d.mean,
+            d.std(),
+            input.machine_says_match,
+            self.config.theta,
+        )
     }
 
     /// Risk scores for a batch of pairs.
@@ -218,7 +224,12 @@ mod tests {
     }
 
     fn input(rules: Vec<u32>, output: f64, says_match: bool) -> PairRiskInput {
-        PairRiskInput { rule_indices: rules, classifier_output: output, machine_says_match: says_match, risk_label: 0 }
+        PairRiskInput {
+            rule_indices: rules,
+            classifier_output: output,
+            machine_says_match: says_match,
+            risk_label: 0,
+        }
     }
 
     #[test]
@@ -295,9 +306,9 @@ mod tests {
         // classifier output, above a pair where everything agrees.
         let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
         let inputs = vec![
-            input(vec![0], 0.95, true),  // match label contradicted by a rule: risky
-            input(vec![1], 0.95, true),  // everything agrees: safe
-            input(vec![], 0.52, true),   // ambiguous output: risky
+            input(vec![0], 0.95, true), // match label contradicted by a rule: risky
+            input(vec![1], 0.95, true), // everything agrees: safe
+            input(vec![], 0.52, true),  // ambiguous output: risky
         ];
         let scores = model.rank(&inputs);
         assert!(scores[0] > scores[1], "{scores:?}");

@@ -55,9 +55,16 @@ pub fn aggregate(components: &[PortfolioComponent]) -> PortfolioDistribution {
     let weight_sum: f64 = components.iter().map(|c| c.weight).sum();
     assert!(weight_sum > 0.0, "total portfolio weight must be positive");
     let mean = components.iter().map(|c| c.weight * c.mean).sum::<f64>() / weight_sum;
-    let variance =
-        components.iter().map(|c| c.weight * c.weight * c.std * c.std).sum::<f64>() / (weight_sum * weight_sum);
-    PortfolioDistribution { mean, variance, weight_sum }
+    let variance = components
+        .iter()
+        .map(|c| c.weight * c.weight * c.std * c.std)
+        .sum::<f64>()
+        / (weight_sum * weight_sum);
+    PortfolioDistribution {
+        mean,
+        variance,
+        weight_sum,
+    }
 }
 
 /// Gradients of the aggregated `(μ_i, σ_i)` with respect to one component's
@@ -94,7 +101,12 @@ pub fn component_gradients(
     let d_std_d_component_std = d_var_d_std / (2.0 * sigma_i);
     // ∂μ_i/∂μ_j = w_j / s.
     let d_mean_d_component_mean = c.weight / s;
-    ComponentGradients { d_mean_d_weight, d_std_d_weight, d_std_d_component_std, d_mean_d_component_mean }
+    ComponentGradients {
+        d_mean_d_weight,
+        d_std_d_weight,
+        d_std_d_component_std,
+        d_mean_d_component_mean,
+    }
 }
 
 #[cfg(test)]
@@ -103,9 +115,21 @@ mod tests {
 
     fn example() -> Vec<PortfolioComponent> {
         vec![
-            PortfolioComponent { weight: 1.0, mean: 0.9, std: 0.05 },
-            PortfolioComponent { weight: 2.0, mean: 0.1, std: 0.20 },
-            PortfolioComponent { weight: 0.5, mean: 0.5, std: 0.10 },
+            PortfolioComponent {
+                weight: 1.0,
+                mean: 0.9,
+                std: 0.05,
+            },
+            PortfolioComponent {
+                weight: 2.0,
+                mean: 0.1,
+                std: 0.20,
+            },
+            PortfolioComponent {
+                weight: 0.5,
+                mean: 0.5,
+                std: 0.10,
+            },
         ]
     }
 
@@ -125,7 +149,11 @@ mod tests {
         let agg = aggregate(&example());
         assert!((0.0..=1.0).contains(&agg.mean));
         // Single component: aggregate equals the component.
-        let single = aggregate(&[PortfolioComponent { weight: 3.0, mean: 0.7, std: 0.2 }]);
+        let single = aggregate(&[PortfolioComponent {
+            weight: 3.0,
+            mean: 0.7,
+            std: 0.2,
+        }]);
         assert!((single.mean - 0.7).abs() < 1e-12);
         assert!((single.std() - 0.2).abs() < 1e-12);
     }
@@ -181,6 +209,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_weight_portfolio_panics() {
-        aggregate(&[PortfolioComponent { weight: 0.0, mean: 0.5, std: 0.1 }]);
+        aggregate(&[PortfolioComponent {
+            weight: 0.0,
+            mean: 0.5,
+            std: 0.1,
+        }]);
     }
 }

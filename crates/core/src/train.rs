@@ -161,10 +161,9 @@ pub fn loss_and_gradient(
     // L1/L2 regularization on the rule weights only (the paper regularizes the
     // learnable weights to counter overfitting).
     let n = model.features.len();
-    for j in 0..n {
-        let w = model.rule_weights[j];
+    for (g, &w) in grad.iter_mut().zip(&model.rule_weights).take(n) {
         loss += config.l1 * w.abs() + config.l2 * w * w;
-        grad[j] += config.l1 * w.signum() + 2.0 * config.l2 * w;
+        *g += config.l1 * w.signum() + 2.0 * config.l2 * w;
     }
     (loss, grad)
 }
@@ -172,11 +171,7 @@ pub fn loss_and_gradient(
 /// Builds the ranking pairs of one epoch: every mislabeled training pair is
 /// matched with sampled correctly-labeled pairs (the informative orderings for
 /// the target of Eq. 14), capped at `max_rank_pairs`.
-pub fn sample_rank_pairs<R: Rng + ?Sized>(
-    inputs: &[PairRiskInput],
-    max_pairs: usize,
-    rng: &mut R,
-) -> Vec<(u32, u32)> {
+pub fn sample_rank_pairs<R: Rng + ?Sized>(inputs: &[PairRiskInput], max_pairs: usize, rng: &mut R) -> Vec<(u32, u32)> {
     let positives: Vec<u32> = inputs
         .iter()
         .enumerate()
@@ -294,7 +289,13 @@ mod tests {
             expectations: vec![0.05, 0.95],
             support: vec![50, 40],
         };
-        LearnRiskModel::new(fs, RiskModelConfig { output_buckets: 4, ..Default::default() })
+        LearnRiskModel::new(
+            fs,
+            RiskModelConfig {
+                output_buckets: 4,
+                ..Default::default()
+            },
+        )
     }
 
     /// Synthetic risk-training data: the classifier output is mostly right;
@@ -308,7 +309,11 @@ mod tests {
             // Classifier: 80% accurate, more confident when right.
             let correct = rng.gen_bool(0.8);
             let says_match = if correct { truth_match } else { !truth_match };
-            let output: f64 = if says_match { rng.gen_range(0.55..0.99) } else { rng.gen_range(0.01..0.45) };
+            let output: f64 = if says_match {
+                rng.gen_range(0.55..0.99)
+            } else {
+                rng.gen_range(0.01..0.45)
+            };
             // Rules: the inequivalence rule fires for most true non-matches,
             // the equivalence rule for most true matches (plus some noise).
             let mut rules = Vec::new();
@@ -338,7 +343,11 @@ mod tests {
         let mut rng = seeded(4);
         let rank_pairs = sample_rank_pairs(&inputs, 200, &mut rng);
         assert!(!rank_pairs.is_empty());
-        let config = RiskTrainConfig { l1: 1e-3, l2: 1e-3, ..Default::default() };
+        let config = RiskTrainConfig {
+            l1: 1e-3,
+            l2: 1e-3,
+            ..Default::default()
+        };
         let (_, grad) = loss_and_gradient(&model, &inputs, &rank_pairs, &config);
 
         let params = flatten_params(&model);
@@ -369,7 +378,11 @@ mod tests {
         let train_inputs = toy_inputs(300, 5);
         let test_inputs = toy_inputs(300, 6);
         let before = evaluate_auroc(&model, &test_inputs);
-        let config = RiskTrainConfig { epochs: 120, learning_rate: 0.05, ..Default::default() };
+        let config = RiskTrainConfig {
+            epochs: 120,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
         let report = train(&mut model, &train_inputs, &config);
         assert!(!report.losses.is_empty());
         let first = report.losses.first().unwrap();
@@ -431,7 +444,12 @@ mod tests {
     fn plain_gradient_descent_also_trains() {
         let mut model = toy_model();
         let inputs = toy_inputs(200, 11);
-        let config = RiskTrainConfig { epochs: 80, learning_rate: 0.05, use_adam: false, ..Default::default() };
+        let config = RiskTrainConfig {
+            epochs: 80,
+            learning_rate: 0.05,
+            use_adam: false,
+            ..Default::default()
+        };
         let report = train(&mut model, &inputs, &config);
         assert!(report.losses.last().unwrap() <= report.losses.first().unwrap());
     }
@@ -440,7 +458,15 @@ mod tests {
     fn learned_weights_upweight_informative_rules() {
         let mut model = toy_model();
         let inputs = toy_inputs(400, 12);
-        train(&mut model, &inputs, &RiskTrainConfig { epochs: 150, learning_rate: 0.05, ..Default::default() });
+        train(
+            &mut model,
+            &inputs,
+            &RiskTrainConfig {
+                epochs: 150,
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+        );
         // After training, the AUROC on the training data itself should be high.
         let auroc = evaluate_auroc(&model, &inputs);
         assert!(auroc > 0.7, "training-data AUROC {auroc}");

@@ -30,7 +30,7 @@ pub enum RiskMetric {
 /// distribution (`mean`, `std`, truncated to `[0,1]`), the machine label and
 /// the confidence level θ.
 pub fn pair_risk(metric: RiskMetric, mean: f64, std: f64, machine_says_match: bool, theta: f64) -> f64 {
-    assert!((0.0..1.0).contains(&theta) || theta == 0.0 || (theta > 0.0 && theta < 1.0), "theta must be in (0,1)");
+    assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
     let dist = TruncatedNormal::unit(Normal::new(mean, std.max(0.0)));
     match metric {
         RiskMetric::ValueAtRisk => {
@@ -59,7 +59,11 @@ fn cvar(dist: &TruncatedNormal, machine_says_match: bool, theta: f64) -> f64 {
     let mut total = 0.0;
     for k in 0..STEPS {
         let p = theta + (1.0 - theta) * (k as f64 + 0.5) / STEPS as f64;
-        let loss = if machine_says_match { 1.0 - dist.quantile(1.0 - p) } else { dist.quantile(p) };
+        let loss = if machine_says_match {
+            1.0 - dist.quantile(1.0 - p)
+        } else {
+            dist.quantile(p)
+        };
         total += loss;
     }
     total / STEPS as f64

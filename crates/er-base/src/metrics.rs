@@ -45,8 +45,16 @@ impl RocCurve {
         if pos == 0 || neg == 0 {
             return RocCurve {
                 points: vec![
-                    RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY },
-                    RocPoint { fpr: 1.0, tpr: 1.0, threshold: f64::NEG_INFINITY },
+                    RocPoint {
+                        fpr: 0.0,
+                        tpr: 0.0,
+                        threshold: f64::INFINITY,
+                    },
+                    RocPoint {
+                        fpr: 1.0,
+                        tpr: 1.0,
+                        threshold: f64::NEG_INFINITY,
+                    },
                 ],
                 auroc: 0.5,
             };
@@ -57,7 +65,11 @@ impl RocCurve {
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut points = Vec::with_capacity(scores.len() + 2);
-        points.push(RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY });
+        points.push(RocPoint {
+            fpr: 0.0,
+            tpr: 0.0,
+            threshold: f64::INFINITY,
+        });
 
         let mut tp = 0usize;
         let mut fp = 0usize;
@@ -316,7 +328,15 @@ mod tests {
         let predicted = [1, 1, 0, 0, 1, 0];
         let truth = [1, 0, 0, 1, 1, 0];
         let m = ConfusionMatrix::from_predictions(&predicted, &truth);
-        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 2, fn_: 1 });
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 2,
+                fn_: 1
+            }
+        );
         assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);

@@ -63,7 +63,10 @@ impl Decision {
     /// Builds a decision from a probability using the conventional 0.5 threshold.
     pub fn from_probability(probability: f64) -> Self {
         let p = probability.clamp(0.0, 1.0);
-        Decision { predicted: Label::from_bool(p >= 0.5), probability: p }
+        Decision {
+            predicted: Label::from_bool(p >= 0.5),
+            probability: p,
+        }
     }
 
     /// Whether this decision disagrees with the ground truth, i.e. the pair is

@@ -274,7 +274,12 @@ mod tests {
     fn record_null_count() {
         let r = Record::new(
             RecordId(7),
-            vec![AttrValue::from("a title"), AttrValue::Null, AttrValue::Null, AttrValue::from(2001_i64)],
+            vec![
+                AttrValue::from("a title"),
+                AttrValue::Null,
+                AttrValue::Null,
+                AttrValue::from(2001_i64),
+            ],
         );
         assert_eq!(r.null_count(), 2);
         assert_eq!(r.value(0).as_str(), Some("a title"));

@@ -49,8 +49,8 @@ pub fn erf(x: f64) -> f64 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
-    let poly = t
-        * (0.254_829_592 + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let poly =
+        t * (0.254_829_592 + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -68,6 +68,9 @@ pub fn std_normal_pdf(x: f64) -> f64 {
 ///
 /// Uses the Acklam rational approximation (relative error < 1.15e-9), refined
 /// with one Newton step against [`std_normal_cdf`].
+// The coefficients below are Acklam's published constants; keep them verbatim
+// (trailing zeros included) rather than truncating to satisfy the lint.
+#[allow(clippy::excessive_precision)]
 pub fn std_normal_quantile(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
     // Coefficients of the Acklam approximation.

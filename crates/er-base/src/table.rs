@@ -21,12 +21,20 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Self { name: name.into(), schema: Arc::new(schema), records: Vec::new() }
+        Self {
+            name: name.into(),
+            schema: Arc::new(schema),
+            records: Vec::new(),
+        }
     }
 
     /// Creates an empty table with pre-allocated capacity.
     pub fn with_capacity(name: impl Into<String>, schema: Schema, cap: usize) -> Self {
-        Self { name: name.into(), schema: Arc::new(schema), records: Vec::with_capacity(cap) }
+        Self {
+            name: name.into(),
+            schema: Arc::new(schema),
+            records: Vec::with_capacity(cap),
+        }
     }
 
     /// The table's schema.

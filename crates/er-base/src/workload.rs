@@ -25,13 +25,13 @@ pub struct Workload {
 
 impl Workload {
     /// Creates a workload from pairs.
-    pub fn new(
-        name: impl Into<String>,
-        left_schema: Arc<Schema>,
-        right_schema: Arc<Schema>,
-        pairs: Vec<Pair>,
-    ) -> Self {
-        Self { name: name.into(), left_schema, right_schema, pairs }
+    pub fn new(name: impl Into<String>, left_schema: Arc<Schema>, right_schema: Arc<Schema>, pairs: Vec<Pair>) -> Self {
+        Self {
+            name: name.into(),
+            left_schema,
+            right_schema,
+            pairs,
+        }
     }
 
     /// Number of candidate pairs.
@@ -134,7 +134,11 @@ impl SplitRatio {
 
     /// The three ratios evaluated in Figure 9 of the paper.
     pub fn paper_ratios() -> [SplitRatio; 3] {
-        [SplitRatio::new(1, 2, 7), SplitRatio::new(2, 2, 6), SplitRatio::new(3, 2, 5)]
+        [
+            SplitRatio::new(1, 2, 7),
+            SplitRatio::new(2, 2, 6),
+            SplitRatio::new(3, 2, 5),
+        ]
     }
 }
 
@@ -173,7 +177,10 @@ pub struct LabeledWorkload {
 impl LabeledWorkload {
     /// Creates a labeled workload.
     pub fn new(name: impl Into<String>, pairs: Vec<LabeledPair>) -> Self {
-        Self { name: name.into(), pairs }
+        Self {
+            name: name.into(),
+            pairs,
+        }
     }
 
     /// Builds a labeled workload by zipping pairs with classifier probabilities.

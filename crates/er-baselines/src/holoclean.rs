@@ -9,8 +9,8 @@
 //! its class; the machine label contributes a prior factor.  The inferred
 //! probability that the machine label is wrong is the pair's risk.
 
-use er_base::Label;
 use er_base::stats::sigmoid;
+use er_base::Label;
 use er_rulegen::Rule;
 use serde::{Deserialize, Serialize};
 
@@ -25,7 +25,10 @@ pub struct HoloCleanConfig {
 
 impl Default for HoloCleanConfig {
     fn default() -> Self {
-        Self { prior_weight: 1.0, max_rule_weight: 4.0 }
+        Self {
+            prior_weight: 1.0,
+            max_rule_weight: 4.0,
+        }
     }
 }
 
@@ -50,7 +53,11 @@ impl HoloCleanRisk {
                 (p / (1.0 - p)).ln().min(config.max_rule_weight)
             })
             .collect();
-        Self { rules, rule_weights, config }
+        Self {
+            rules,
+            rule_weights,
+            config,
+        }
     }
 
     /// Number of labeling rules used by the inference.
@@ -137,7 +144,10 @@ mod tests {
         let hc = HoloCleanRisk::new(rules(), HoloCleanConfig::default());
         let strong = hc.match_probability(&[0.0, 0.9, 0.0], 0.5); // purity 0.99 rule
         let weak = hc.match_probability(&[0.0, 0.0, 0.9], 0.5); // purity 0.6 rule
-        assert!(strong < weak, "the high-purity rule should push harder: {strong} vs {weak}");
+        assert!(
+            strong < weak,
+            "the high-purity rule should push harder: {strong} vs {weak}"
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@ impl<'a> UncertaintyScorer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use er_classifier::TrainConfig;
     use er_base::rng::seeded;
+    use er_classifier::TrainConfig;
     use rand::Rng;
 
     #[test]
@@ -64,7 +64,15 @@ mod tests {
             xs.push(vec![v]);
             ys.push(if v + noise > 0.0 { 1.0 } else { 0.0 });
         }
-        let ensemble = BootstrapEnsemble::train(&xs, &ys, 10, &TrainConfig { epochs: 30, ..Default::default() });
+        let ensemble = BootstrapEnsemble::train(
+            &xs,
+            &ys,
+            10,
+            &TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         let scorer = UncertaintyScorer::new(&ensemble);
         let scores = scorer.scores(&[vec![0.02], vec![0.95]]);
         assert_eq!(scores.len(), 2);

@@ -24,7 +24,11 @@ pub struct StaticRiskConfig {
 
 impl Default for StaticRiskConfig {
     fn default() -> Self {
-        Self { prior_strength: 10.0, bins: 10, theta: 0.9 }
+        Self {
+            prior_strength: 10.0,
+            bins: 10,
+            theta: 0.9,
+        }
     }
 }
 
@@ -71,13 +75,23 @@ impl StaticRisk {
         let n = alpha + beta;
         let mean = alpha / n;
         let var = alpha * beta / (n * n * (n + 1.0));
-        pair_risk(RiskMetric::ConditionalValueAtRisk, mean, var.sqrt(), machine_says_match, self.config.theta)
+        pair_risk(
+            RiskMetric::ConditionalValueAtRisk,
+            mean,
+            var.sqrt(),
+            machine_says_match,
+            self.config.theta,
+        )
     }
 
     /// Risk scores for a batch of pairs.
     pub fn scores(&self, outputs: &[f64], machine_says_match: &[bool]) -> Vec<f64> {
         assert_eq!(outputs.len(), machine_says_match.len());
-        outputs.iter().zip(machine_says_match).map(|(&p, &m)| self.risk(p, m)).collect()
+        outputs
+            .iter()
+            .zip(machine_says_match)
+            .map(|(&p, &m)| self.risk(p, m))
+            .collect()
     }
 }
 
@@ -92,7 +106,11 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..200 {
             let p = (i % 10) as f64 / 10.0 + 0.05;
-            let is_match = if (0.6..0.7).contains(&p) { i % 10 == 9 } else { (i % 100) as f64 / 100.0 < p };
+            let is_match = if (0.6..0.7).contains(&p) {
+                i % 10 == 9
+            } else {
+                (i % 100) as f64 / 100.0 < p
+            };
             outputs.push(p);
             labels.push(is_match);
         }
@@ -141,8 +159,22 @@ mod tests {
     #[test]
     fn prior_strength_controls_adaptivity() {
         let (o, l) = validation();
-        let weak = StaticRisk::fit(&o, &l, StaticRiskConfig { prior_strength: 1.0, ..Default::default() });
-        let strong = StaticRisk::fit(&o, &l, StaticRiskConfig { prior_strength: 1000.0, ..Default::default() });
+        let weak = StaticRisk::fit(
+            &o,
+            &l,
+            StaticRiskConfig {
+                prior_strength: 1.0,
+                ..Default::default()
+            },
+        );
+        let strong = StaticRisk::fit(
+            &o,
+            &l,
+            StaticRiskConfig {
+                prior_strength: 1000.0,
+                ..Default::default()
+            },
+        );
         // With an overwhelming prior, the misleading bin is no longer special.
         let weak_gap = weak.risk(0.65, true) - weak.risk(0.95, true);
         let strong_gap = strong.risk(0.65, true) - strong.risk(0.95, true);

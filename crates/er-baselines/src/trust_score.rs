@@ -22,7 +22,10 @@ pub struct TrustScoreConfig {
 
 impl Default for TrustScoreConfig {
     fn default() -> Self {
-        Self { k_neighbors: 5, filter_fraction: 0.1 }
+        Self {
+            k_neighbors: 5,
+            filter_fraction: 0.1,
+        }
     }
 }
 
@@ -106,7 +109,11 @@ impl TrustScore {
     /// Risk scores for a batch.
     pub fn scores(&self, features: &[Vec<f64>], predicted_match: &[bool]) -> Vec<f64> {
         assert_eq!(features.len(), predicted_match.len());
-        features.iter().zip(predicted_match).map(|(x, &p)| self.risk(x, p)).collect()
+        features
+            .iter()
+            .zip(predicted_match)
+            .map(|(x, &p)| self.risk(x, p))
+            .collect()
     }
 }
 
@@ -124,7 +131,10 @@ mod tests {
         for _ in 0..n {
             let is_one = rng.gen_bool(0.5);
             let center = if is_one { 3.0 } else { 0.0 };
-            xs.push(vec![center + rng.gen_range(-0.5..0.5), center + rng.gen_range(-0.5..0.5)]);
+            xs.push(vec![
+                center + rng.gen_range(-0.5..0.5),
+                center + rng.gen_range(-0.5..0.5),
+            ]);
             ys.push(is_one);
         }
         (xs, ys)
@@ -138,7 +148,10 @@ mod tests {
         let low = ts.risk(&[3.1, 2.9], true);
         // The same point predicted as class 0: high risk.
         let high = ts.risk(&[3.1, 2.9], false);
-        assert!(high > low * 3.0, "risk should flip with the predicted class: {low} vs {high}");
+        assert!(
+            high > low * 3.0,
+            "risk should flip with the predicted class: {low} vs {high}"
+        );
     }
 
     #[test]
@@ -164,7 +177,13 @@ mod tests {
     #[test]
     fn missing_class_degrades_gracefully() {
         // Only class-0 examples in training.
-        let xs = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], vec![0.2, 0.1], vec![0.1, 0.2]];
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+        ];
         let ys = vec![false; 5];
         let ts = TrustScore::fit(&xs, &ys, TrustScoreConfig::default());
         let r = ts.risk(&[0.0, 0.0], false);
@@ -178,8 +197,22 @@ mod tests {
         // Add one extreme outlier to class 1.
         xs.push(vec![50.0, 50.0]);
         ys.push(true);
-        let filtered = TrustScore::fit(&xs, &ys, TrustScoreConfig { filter_fraction: 0.1, k_neighbors: 5 });
-        let unfiltered = TrustScore::fit(&xs, &ys, TrustScoreConfig { filter_fraction: 0.0, k_neighbors: 5 });
+        let filtered = TrustScore::fit(
+            &xs,
+            &ys,
+            TrustScoreConfig {
+                filter_fraction: 0.1,
+                k_neighbors: 5,
+            },
+        );
+        let unfiltered = TrustScore::fit(
+            &xs,
+            &ys,
+            TrustScoreConfig {
+                filter_fraction: 0.0,
+                k_neighbors: 5,
+            },
+        );
         // Near the outlier, the filtered model sees class 1 as far away -> higher risk for predicting class 1.
         let r_filtered = filtered.risk(&[49.0, 49.0], true);
         let r_unfiltered = unfiltered.risk(&[49.0, 49.0], true);

@@ -57,7 +57,10 @@ fn bench_risk_training_and_scoring(c: &mut Criterion) {
     let feature_set = RiskFeatureSet::from_training(rules, evaluator.metrics().to_vec(), &rows, &labels);
 
     // Labeled validation data (synthetic classifier: mostly right).
-    let probs: Vec<f64> = valid.iter().map(|p| if p.truth.is_match() { 0.85 } else { 0.15 }).collect();
+    let probs: Vec<f64> = valid
+        .iter()
+        .map(|p| if p.truth.is_match() { 0.85 } else { 0.15 })
+        .collect();
     let labeled = er_base::LabeledWorkload::from_probabilities("bench", valid.clone(), &probs);
     let model = LearnRiskModel::new(feature_set, RiskModelConfig::default());
     let inputs = build_inputs_from_labeled(&evaluator, &model.features, &labeled);
@@ -67,7 +70,14 @@ fn bench_risk_training_and_scoring(c: &mut Criterion) {
     group.bench_function("risk_training_50_epochs", |b| {
         b.iter(|| {
             let mut m = model.clone();
-            train_risk(&mut m, &inputs, &RiskTrainConfig { epochs: 50, ..Default::default() });
+            train_risk(
+                &mut m,
+                &inputs,
+                &RiskTrainConfig {
+                    epochs: 50,
+                    ..Default::default()
+                },
+            );
             std::hint::black_box(m.rule_weights.len())
         })
     });
@@ -80,5 +90,10 @@ fn bench_risk_training_and_scoring(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_metric_evaluation, bench_rule_generation, bench_risk_training_and_scoring);
+criterion_group!(
+    benches,
+    bench_metric_evaluation,
+    bench_rule_generation,
+    bench_risk_training_and_scoring
+);
 criterion_main!(benches);

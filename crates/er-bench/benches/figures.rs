@@ -11,13 +11,18 @@ use er_eval::{
 };
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig { scale: 0.012, seed: 2020 }
+    ExperimentConfig {
+        scale: 0.012,
+        seed: 2020,
+    }
 }
 
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper/table2");
     group.sample_size(10);
-    group.bench_function("dataset_statistics", |b| b.iter(|| std::hint::black_box(run_table2(&tiny()))));
+    group.bench_function("dataset_statistics", |b| {
+        b.iter(|| std::hint::black_box(run_table2(&tiny())))
+    });
     group.finish();
 }
 
@@ -25,7 +30,13 @@ fn bench_fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper/fig9");
     group.sample_size(10);
     group.bench_function("ds_3_2_5_cell", |b| {
-        b.iter(|| std::hint::black_box(run_fig9_cell(BenchmarkId::DblpScholar, SplitRatio::new(3, 2, 5), &tiny())))
+        b.iter(|| {
+            std::hint::black_box(run_fig9_cell(
+                BenchmarkId::DblpScholar,
+                SplitRatio::new(3, 2, 5),
+                &tiny(),
+            ))
+        })
     });
     group.finish();
 }
@@ -51,7 +62,9 @@ fn bench_fig11(c: &mut Criterion) {
 fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper/fig12");
     group.sample_size(10);
-    group.bench_function("sensitivity_sweep", |b| b.iter(|| std::hint::black_box(run_fig12(&tiny()))));
+    group.bench_function("sensitivity_sweep", |b| {
+        b.iter(|| std::hint::black_box(run_fig12(&tiny())))
+    });
     group.finish();
 }
 

@@ -48,35 +48,62 @@ fn main() {
     println!("{:<44} {:>8}", "Variant", "AUROC");
 
     let variants: Vec<(&str, RiskModelConfig, bool, bool)> = vec![
-        ("LearnRisk (VaR, trained, rules+output)", RiskModelConfig::default(), true, true),
+        (
+            "LearnRisk (VaR, trained, rules+output)",
+            RiskModelConfig::default(),
+            true,
+            true,
+        ),
         (
             "risk metric = expectation (no variance)",
-            RiskModelConfig { metric: RiskMetric::Expectation, ..Default::default() },
+            RiskModelConfig {
+                metric: RiskMetric::Expectation,
+                ..Default::default()
+            },
             true,
             true,
         ),
         (
             "risk metric = CVaR",
-            RiskModelConfig { metric: RiskMetric::ConditionalValueAtRisk, ..Default::default() },
+            RiskModelConfig {
+                metric: RiskMetric::ConditionalValueAtRisk,
+                ..Default::default()
+            },
             true,
             true,
         ),
         ("prior only (no risk training)", RiskModelConfig::default(), false, true),
-        ("classifier output only (no rules)", RiskModelConfig::default(), true, false),
+        (
+            "classifier output only (no rules)",
+            RiskModelConfig::default(),
+            true,
+            false,
+        ),
     ];
 
     for (name, risk_config, do_train, use_rules) in variants {
         let fs = if use_rules {
             feature_set.clone()
         } else {
-            RiskFeatureSet { rules: vec![], metrics: vec![], expectations: vec![], support: vec![] }
+            RiskFeatureSet {
+                rules: vec![],
+                metrics: vec![],
+                expectations: vec![],
+                support: vec![],
+            }
         };
         let mut model = LearnRiskModel::new(fs, risk_config);
-        let valid_inputs: Vec<PairRiskInput> =
-            build_inputs_from_labeled(&evaluator, &model.features, &valid_labeled);
+        let valid_inputs: Vec<PairRiskInput> = build_inputs_from_labeled(&evaluator, &model.features, &valid_labeled);
         let test_inputs: Vec<PairRiskInput> = build_inputs_from_labeled(&evaluator, &model.features, &test_labeled);
         if do_train {
-            train_risk(&mut model, &valid_inputs, &RiskTrainConfig { epochs: 120, ..Default::default() });
+            train_risk(
+                &mut model,
+                &valid_inputs,
+                &RiskTrainConfig {
+                    epochs: 120,
+                    ..Default::default()
+                },
+            );
         }
         let auroc = evaluate_auroc(&model, &test_inputs);
         println!("{name:<44} {auroc:>8.3}");

@@ -7,7 +7,10 @@ fn main() {
     println!(
         "{}",
         render_auroc_table(
-            &format!("Figure 11 — LearnRisk vs HoloClean (scale {}, 3 subsets averaged)", config.scale),
+            &format!(
+                "Figure 11 — LearnRisk vs HoloClean (scale {}, 3 subsets averaged)",
+                config.scale
+            ),
             &results
         )
     );

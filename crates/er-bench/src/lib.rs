@@ -23,11 +23,20 @@ use er_eval::ExperimentConfig;
 
 /// Parses the workload scale from the first CLI argument (default
 /// `default_scale`), with the seed fixed at 2020 for reproducibility.
+///
+/// An unparsable argument falls back to the default but warns on stderr, so a
+/// typo cannot silently run a long experiment at the wrong scale.
 pub fn config_from_args(default_scale: f64) -> ExperimentConfig {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(default_scale);
+    let scale = match std::env::args().nth(1) {
+        None => default_scale,
+        Some(arg) => match arg.trim().parse::<f64>() {
+            Ok(scale) => scale,
+            Err(_) => {
+                eprintln!("warning: could not parse scale argument {arg:?}; using default {default_scale}");
+                default_scale
+            }
+        },
+    };
     ExperimentConfig { scale, seed: 2020 }
 }
 

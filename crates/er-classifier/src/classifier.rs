@@ -77,7 +77,13 @@ pub struct ErMatcher {
 impl ErMatcher {
     /// Creates a matcher over a metric evaluator.
     pub fn new(evaluator: MetricEvaluator, kind: MatcherKind, config: TrainConfig) -> Self {
-        Self { featurizer: PairFeaturizer::new(evaluator), kind, logistic: None, mlp: None, config }
+        Self {
+            featurizer: PairFeaturizer::new(evaluator),
+            kind,
+            logistic: None,
+            mlp: None,
+            config,
+        }
     }
 
     /// The matcher's featurizer (shared with baselines that need raw features).
@@ -147,7 +153,14 @@ mod tests {
         let pairs = ds.workload.pairs();
         let (train, test) = split_pairs(pairs, 0.5);
         let evaluator = MetricEvaluator::from_pairs(ds.workload.left_schema.clone(), &train);
-        let mut matcher = ErMatcher::new(evaluator, MatcherKind::Logistic, TrainConfig { epochs: 40, ..Default::default() });
+        let mut matcher = ErMatcher::new(
+            evaluator,
+            MatcherKind::Logistic,
+            TrainConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
         matcher.train(&train);
         let labeled = matcher.label_workload("DS-test", &test);
         let f1 = labeled.classifier_f1();
@@ -163,7 +176,11 @@ mod tests {
         let pairs = ds.workload.pairs();
         let (train, test) = split_pairs(pairs, 0.5);
         let evaluator = MetricEvaluator::from_pairs(ds.workload.left_schema.clone(), &train);
-        let config = TrainConfig { epochs: 25, learning_rate: 0.01, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 25,
+            learning_rate: 0.01,
+            ..Default::default()
+        };
         let mut matcher = ErMatcher::new(evaluator, MatcherKind::Mlp, config);
         matcher.train(&train);
         let probs = matcher.predict(&test);

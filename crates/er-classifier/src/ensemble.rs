@@ -37,7 +37,10 @@ impl BootstrapEnsemble {
                 by.push(ys[i]);
             }
             let mut member = LogisticRegression::new(dim);
-            let member_config = TrainConfig { seed: config.seed.wrapping_add(m as u64 + 1), ..*config };
+            let member_config = TrainConfig {
+                seed: config.seed.wrapping_add(m as u64 + 1),
+                ..*config
+            };
             member.train(&bx, &by, &member_config);
             members.push(member);
         }
@@ -103,19 +106,33 @@ mod tests {
     #[test]
     fn ensemble_members_disagree_near_boundary() {
         let (xs, ys) = toy(400, 1);
-        let config = TrainConfig { epochs: 40, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 40,
+            ..TrainConfig::default()
+        };
         let ensemble = BootstrapEnsemble::train(&xs, &ys, 20, &config);
         assert_eq!(ensemble.len(), 20);
         let far = ensemble.uncertainty(&[0.9]);
         let near = ensemble.uncertainty(&[0.01]);
-        assert!(near >= far, "uncertainty near boundary ({near}) should be >= far ({far})");
+        assert!(
+            near >= far,
+            "uncertainty near boundary ({near}) should be >= far ({far})"
+        );
         assert!(far < 0.05, "confident region should have low uncertainty: {far}");
     }
 
     #[test]
     fn vote_fraction_has_limited_granularity() {
         let (xs, ys) = toy(200, 2);
-        let ensemble = BootstrapEnsemble::train(&xs, &ys, 5, &TrainConfig { epochs: 20, ..Default::default() });
+        let ensemble = BootstrapEnsemble::train(
+            &xs,
+            &ys,
+            5,
+            &TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         let mut rng = seeded(3);
         for _ in 0..50 {
             let x = vec![rng.gen_range(-1.0..1.0)];
@@ -129,7 +146,15 @@ mod tests {
     #[test]
     fn mean_probability_and_variance_are_bounded() {
         let (xs, ys) = toy(150, 4);
-        let ensemble = BootstrapEnsemble::train(&xs, &ys, 8, &TrainConfig { epochs: 20, ..Default::default() });
+        let ensemble = BootstrapEnsemble::train(
+            &xs,
+            &ys,
+            8,
+            &TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         let p = ensemble.mean_probability(&[0.3]);
         assert!((0.0..=1.0).contains(&p));
         assert!(ensemble.probability_variance(&[0.3]) >= 0.0);

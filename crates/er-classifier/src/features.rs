@@ -71,7 +71,10 @@ impl PairFeaturizer {
     /// Creates a featurizer over an existing metric evaluator; the
     /// standardizer is fitted lazily by [`PairFeaturizer::fit`].
     pub fn new(evaluator: MetricEvaluator) -> Self {
-        Self { evaluator, standardizer: None }
+        Self {
+            evaluator,
+            standardizer: None,
+        }
     }
 
     /// Number of features produced per pair.
@@ -131,12 +134,30 @@ mod tests {
             AttrDef::new("year", AttrType::Numeric),
         ]));
         let rec = |id: u32, name: &str, year: f64| {
-            Arc::new(Record::new(RecordId(id), vec![AttrValue::from(name), AttrValue::Num(year)]))
+            Arc::new(Record::new(
+                RecordId(id),
+                vec![AttrValue::from(name), AttrValue::Num(year)],
+            ))
         };
         let ps = vec![
-            Pair::new(PairId(0), rec(0, "deep learning for matching", 2018.0), rec(1, "deep learning for matching", 2018.0), Label::Equivalent),
-            Pair::new(PairId(1), rec(2, "spatial join processing", 1993.0), rec(3, "graph mining at scale", 2009.0), Label::Inequivalent),
-            Pair::new(PairId(2), rec(4, "query optimization", 1988.0), rec(5, "query optimization revisited", 1989.0), Label::Inequivalent),
+            Pair::new(
+                PairId(0),
+                rec(0, "deep learning for matching", 2018.0),
+                rec(1, "deep learning for matching", 2018.0),
+                Label::Equivalent,
+            ),
+            Pair::new(
+                PairId(1),
+                rec(2, "spatial join processing", 1993.0),
+                rec(3, "graph mining at scale", 2009.0),
+                Label::Inequivalent,
+            ),
+            Pair::new(
+                PairId(2),
+                rec(4, "query optimization", 1988.0),
+                rec(5, "query optimization revisited", 1989.0),
+                Label::Inequivalent,
+            ),
         ];
         (schema, ps)
     }

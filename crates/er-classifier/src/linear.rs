@@ -19,7 +19,10 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Creates an untrained model for `dim` features (all-zero weights).
     pub fn new(dim: usize) -> Self {
-        Self { weights: vec![0.0; dim], bias: 0.0 }
+        Self {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        }
     }
 
     /// Raw linear score of a feature vector.
@@ -61,7 +64,11 @@ impl LogisticRegression {
         // Class weights to counter the heavy imbalance of ER workloads.
         let pos = ys.iter().filter(|&&y| y >= 0.5).count().max(1) as f64;
         let neg = (ys.len() as f64 - pos).max(1.0);
-        let pos_weight = if config.balance_classes { (neg / pos).min(50.0) } else { 1.0 };
+        let pos_weight = if config.balance_classes {
+            (neg / pos).min(50.0)
+        } else {
+            1.0
+        };
 
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
@@ -123,7 +130,11 @@ mod tests {
     fn learns_linearly_separable_data() {
         let (xs, ys) = toy_data(400, 1);
         let mut model = LogisticRegression::new(2);
-        let config = TrainConfig { epochs: 150, learning_rate: 0.05, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 150,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
         model.train(&xs, &ys, &config);
         let correct = xs
             .iter()
@@ -140,7 +151,14 @@ mod tests {
         let mut model = LogisticRegression::new(2);
         let reg = Regularization::NONE;
         let before = model.loss(&xs, &ys, &reg);
-        model.fit(&xs, &ys, &TrainConfig { epochs: 50, ..TrainConfig::default() });
+        model.fit(
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 50,
+                ..TrainConfig::default()
+            },
+        );
         let after = model.loss(&xs, &ys, &reg);
         assert!(after < before, "loss should decrease: {before} -> {after}");
     }
@@ -166,12 +184,24 @@ mod tests {
         let mut ys = Vec::new();
         for _ in 0..500 {
             let pos = rng.gen_bool(0.05);
-            let x = if pos { rng.gen_range(0.8..1.0) } else { rng.gen_range(0.0..0.75) };
+            let x = if pos {
+                rng.gen_range(0.8..1.0)
+            } else {
+                rng.gen_range(0.0..0.75)
+            };
             xs.push(vec![x]);
             ys.push(if pos { 1.0 } else { 0.0 });
         }
         let mut balanced = LogisticRegression::new(1);
-        balanced.fit(&xs, &ys, &TrainConfig { epochs: 80, balance_classes: true, ..TrainConfig::default() });
+        balanced.fit(
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 80,
+                balance_classes: true,
+                ..TrainConfig::default()
+            },
+        );
         let recall = |m: &LogisticRegression| {
             let mut tp = 0;
             let mut fn_ = 0;

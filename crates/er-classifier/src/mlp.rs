@@ -29,7 +29,12 @@ impl Layer {
         // He initialization for ReLU layers.
         let std = (2.0 / in_dim as f64).sqrt();
         let weights = (0..in_dim * out_dim).map(|_| sample_normal(rng, 0.0, std)).collect();
-        Self { weights, bias: vec![0.0; out_dim], in_dim, out_dim }
+        Self {
+            weights,
+            bias: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+        }
     }
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
@@ -91,7 +96,11 @@ impl Mlp {
             layer.forward(&current, &mut z);
             pre.push(z.clone());
             let is_output = li + 1 == self.layers.len();
-            let activated: Vec<f64> = if is_output { z } else { z.into_iter().map(|v| v.max(0.0)).collect() };
+            let activated: Vec<f64> = if is_output {
+                z
+            } else {
+                z.into_iter().map(|v| v.max(0.0)).collect()
+            };
             post.push(activated.clone());
             current = activated;
         }
@@ -153,10 +162,10 @@ impl Mlp {
                 // Propagate delta to the previous layer through W and ReLU.
                 let prev_dim = layer.in_dim;
                 let mut new_delta = vec![0.0; prev_dim];
-                for o in 0..layer.out_dim {
+                for (o, &d) in delta.iter().enumerate() {
                     let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
                     for (i, &w) in row.iter().enumerate() {
-                        new_delta[i] += delta[o] * w;
+                        new_delta[i] += d * w;
                     }
                 }
                 // ReLU derivative of the previous layer's pre-activation.
@@ -184,7 +193,11 @@ impl Classifier for Mlp {
         let batch = config.batch_size.max(1).min(xs.len());
         let pos = ys.iter().filter(|&&y| y >= 0.5).count().max(1) as f64;
         let neg = (ys.len() as f64 - pos).max(1.0);
-        let pos_weight = if config.balance_classes { (neg / pos).min(50.0) } else { 1.0 };
+        let pos_weight = if config.balance_classes {
+            (neg / pos).min(50.0)
+        } else {
+            1.0
+        };
 
         let mut params = self.flatten();
         let mut grads = vec![0.0; params.len()];
@@ -236,7 +249,12 @@ mod tests {
     fn mlp_learns_xor() {
         let (xs, ys) = xor_data(600, 5);
         let mut mlp = Mlp::new(2, &[16, 8], 3);
-        let config = TrainConfig { epochs: 200, learning_rate: 0.01, batch_size: 32, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 200,
+            learning_rate: 0.01,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
         mlp.train(&xs, &ys, &config);
         let acc = xs
             .iter()
@@ -249,7 +267,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let mut mlp = Mlp::new(3, &[4], 11);
+        let mlp = Mlp::new(3, &[4], 11);
         let x = vec![0.3, -0.7, 1.2];
         let y = 1.0;
         let mut analytic = vec![0.0; mlp.param_count()];

@@ -28,12 +28,20 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD (no momentum), the optimizer of Eq. 16–17 in the paper.
     pub fn new(learning_rate: f64) -> Self {
-        Self { learning_rate, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            learning_rate,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates SGD with momentum.
     pub fn with_momentum(learning_rate: f64, momentum: f64) -> Self {
-        Self { learning_rate, momentum, velocity: Vec::new() }
+        Self {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -79,7 +87,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the conventional defaults (β1 = 0.9, β2 = 0.999).
     pub fn new(learning_rate: f64) -> Self {
-        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 }
 

@@ -48,7 +48,12 @@ impl BenchmarkId {
 
     /// The four datasets evaluated in Figure 9 / Table 2.
     pub fn paper_datasets() -> [BenchmarkId; 4] {
-        [BenchmarkId::DblpScholar, BenchmarkId::AbtBuy, BenchmarkId::AmazonGoogle, BenchmarkId::Songs]
+        [
+            BenchmarkId::DblpScholar,
+            BenchmarkId::AbtBuy,
+            BenchmarkId::AmazonGoogle,
+            BenchmarkId::Songs,
+        ]
     }
 
     /// Table 2 pair count of the original dataset.
@@ -106,11 +111,36 @@ pub fn benchmark_config(id: BenchmarkId, scale: f64, seed: u64) -> DatasetConfig
     let n_entities = ((target_matches as f64 / duplicate_rate) * 1.25).ceil() as usize;
 
     let (left_profile, right_profile, sibling_rate, dedup) = match id {
-        BenchmarkId::DblpScholar => (DirtinessProfile::LIGHT.scaled(1.5), DirtinessProfile::MODERATE.scaled(1.4), 0.40, false),
-        BenchmarkId::DblpAcm => (DirtinessProfile::LIGHT, DirtinessProfile::LIGHT.scaled(1.3), 0.30, false),
-        BenchmarkId::AbtBuy => (DirtinessProfile::MODERATE.scaled(1.2), DirtinessProfile::HEAVY.scaled(1.2), 0.55, false),
-        BenchmarkId::AmazonGoogle => (DirtinessProfile::MODERATE.scaled(1.2), DirtinessProfile::HEAVY.scaled(1.1), 0.50, false),
-        BenchmarkId::Songs => (DirtinessProfile::LIGHT.scaled(1.4), DirtinessProfile::MODERATE.scaled(1.3), 0.40, true),
+        BenchmarkId::DblpScholar => (
+            DirtinessProfile::LIGHT.scaled(1.5),
+            DirtinessProfile::MODERATE.scaled(1.4),
+            0.40,
+            false,
+        ),
+        BenchmarkId::DblpAcm => (
+            DirtinessProfile::LIGHT,
+            DirtinessProfile::LIGHT.scaled(1.3),
+            0.30,
+            false,
+        ),
+        BenchmarkId::AbtBuy => (
+            DirtinessProfile::MODERATE.scaled(1.2),
+            DirtinessProfile::HEAVY.scaled(1.2),
+            0.55,
+            false,
+        ),
+        BenchmarkId::AmazonGoogle => (
+            DirtinessProfile::MODERATE.scaled(1.2),
+            DirtinessProfile::HEAVY.scaled(1.1),
+            0.50,
+            false,
+        ),
+        BenchmarkId::Songs => (
+            DirtinessProfile::LIGHT.scaled(1.4),
+            DirtinessProfile::MODERATE.scaled(1.3),
+            0.40,
+            true,
+        ),
     };
 
     DatasetConfig {

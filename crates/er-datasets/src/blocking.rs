@@ -131,7 +131,7 @@ mod tests {
     }
 
     #[test]
-    fn short_tokens_are_ignored(){
+    fn short_tokens_are_ignored() {
         let left = table(&["ab cd", "xy zw"]);
         let right = table(&["ab thing", "zw other"]);
         let pairs = token_blocking_pairs(&left, &right, &[0], false);

@@ -34,12 +34,20 @@ pub struct BibliographicDomain {
 impl BibliographicDomain {
     /// Configuration emulating DBLP–Google Scholar.
     pub fn dblp_scholar() -> Self {
-        Self { title_len: (4, 9), author_count: (1, 5), year_range: (1985, 2010) }
+        Self {
+            title_len: (4, 9),
+            author_count: (1, 5),
+            year_range: (1985, 2010),
+        }
     }
 
     /// Configuration emulating DBLP–ACM (slightly shorter titles, same schema).
     pub fn dblp_acm() -> Self {
-        Self { title_len: (3, 8), author_count: (1, 4), year_range: (1994, 2003) }
+        Self {
+            title_len: (3, 8),
+            author_count: (1, 4),
+            year_range: (1994, 2003),
+        }
     }
 }
 
@@ -141,12 +149,20 @@ pub struct ProductDomain {
 impl ProductDomain {
     /// Configuration emulating Abt-Buy (electronics, 3 attributes).
     pub fn abt_buy() -> Self {
-        Self { style: ProductStyle::Electronics, description_len: (5, 14), price_range: (15.0, 1200.0) }
+        Self {
+            style: ProductStyle::Electronics,
+            description_len: (5, 14),
+            price_range: (15.0, 1200.0),
+        }
     }
 
     /// Configuration emulating Amazon-Google (software, 4 attributes).
     pub fn amazon_google() -> Self {
-        Self { style: ProductStyle::Software, description_len: (4, 12), price_range: (20.0, 600.0) }
+        Self {
+            style: ProductStyle::Software,
+            description_len: (4, 12),
+            price_range: (20.0, 600.0),
+        }
     }
 
     fn noun_pool(&self) -> &'static [&'static str] {
@@ -184,17 +200,17 @@ impl Domain for ProductDomain {
         let description = format!(
             "{} {} {}",
             brand,
-            vocab::phrase(rng, vocab::PRODUCT_QUALIFIERS, desc_len.min(vocab::PRODUCT_QUALIFIERS.len() - 1)),
+            vocab::phrase(
+                rng,
+                vocab::PRODUCT_QUALIFIERS,
+                desc_len.min(vocab::PRODUCT_QUALIFIERS.len() - 1)
+            ),
             noun
         );
         let price = rng.gen_range(self.price_range.0..self.price_range.1);
         let price = (price * 100.0).round() / 100.0;
         let values = match self.style {
-            ProductStyle::Electronics => vec![
-                AttrValue::Str(name),
-                AttrValue::Str(description),
-                AttrValue::Num(price),
-            ],
+            ProductStyle::Electronics => vec![AttrValue::Str(name), AttrValue::Str(description), AttrValue::Num(price)],
             ProductStyle::Software => vec![
                 AttrValue::Str(name),
                 AttrValue::Str(brand.to_owned()),

@@ -158,9 +158,17 @@ pub fn generate<D: Domain>(domain: &D, config: &DatasetConfig) -> GeneratedDatas
         // Single logical table: we still fill `left` and `right` with the same
         // records so downstream code can treat both workload styles uniformly.
         for e in &entities {
-            let n_copies = if rng_records.gen_bool(config.duplicate_rate) { 2 } else { 1 };
+            let n_copies = if rng_records.gen_bool(config.duplicate_rate) {
+                2
+            } else {
+                1
+            };
             for c in 0..n_copies {
-                let profile = if c == 0 { &config.left_profile } else { &config.right_profile };
+                let profile = if c == 0 {
+                    &config.left_profile
+                } else {
+                    &config.right_profile
+                };
                 let values = domain.derive_record(&mut rng_records, e, profile);
                 left.push(values.clone());
                 left_entities.push(e.entity_id);
@@ -203,7 +211,13 @@ pub fn generate<D: Domain>(domain: &D, config: &DatasetConfig) -> GeneratedDatas
         &mut rng_pairs,
     );
 
-    GeneratedDataset { left, right, left_entities, right_entities, workload }
+    GeneratedDataset {
+        left,
+        right,
+        left_entities,
+        right_entities,
+        workload,
+    }
 }
 
 /// Assembles the candidate-pair workload with the target size and match rate.
@@ -273,8 +287,10 @@ fn build_workload<R: Rng + ?Sized>(
             &er_similarity::tokenize::tokens(&text_r),
         )
     };
-    let mut scored: Vec<((u32, u32), f64)> =
-        blocked_nonmatches.drain(..).map(|p| (p, similarity_proxy(&p))).collect();
+    let mut scored: Vec<((u32, u32), f64)> = blocked_nonmatches
+        .drain(..)
+        .map(|p| (p, similarity_proxy(&p)))
+        .collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
     // Two thirds of the negatives come from the hardest candidates, the rest is
@@ -359,10 +375,7 @@ mod tests {
         assert_eq!(a.workload.len(), b.workload.len());
         assert_eq!(a.workload.match_count(), b.workload.match_count());
         // Spot-check a record.
-        assert_eq!(
-            a.left.record(RecordId(0)).values,
-            b.left.record(RecordId(0)).values
-        );
+        assert_eq!(a.left.record(RecordId(0)).values, b.left.record(RecordId(0)).values);
     }
 
     #[test]
@@ -374,10 +387,7 @@ mod tests {
         c2.seed = 2;
         let a = generate(&domain, &c1);
         let b = generate(&domain, &c2);
-        assert_ne!(
-            a.left.record(RecordId(0)).values,
-            b.left.record(RecordId(0)).values
-        );
+        assert_ne!(a.left.record(RecordId(0)).values, b.left.record(RecordId(0)).values);
     }
 
     #[test]
@@ -397,7 +407,11 @@ mod tests {
         let ds = generate(&domain, &DatasetConfig::small("DS-test"));
         let mut seen = HashSet::new();
         for p in ds.workload.pairs() {
-            assert!(seen.insert((p.left.id, p.right.id)), "duplicate pair {:?}", (p.left.id, p.right.id));
+            assert!(
+                seen.insert((p.left.id, p.right.id)),
+                "duplicate pair {:?}",
+                (p.left.id, p.right.id)
+            );
         }
     }
 }

@@ -187,7 +187,12 @@ pub fn reorder_name(s: &str) -> String {
 }
 
 /// Applies the profile to a free-text value, returning a perturbed copy.
-pub fn perturb_text<R: Rng + ?Sized>(rng: &mut R, value: &str, profile: &DirtinessProfile, noise_pool: &[&str]) -> AttrValue {
+pub fn perturb_text<R: Rng + ?Sized>(
+    rng: &mut R,
+    value: &str,
+    profile: &DirtinessProfile,
+    noise_pool: &[&str],
+) -> AttrValue {
     if rng.gen_bool(profile.missing) {
         return AttrValue::Null;
     }
@@ -240,7 +245,11 @@ pub fn perturb_entity_name<R: Rng + ?Sized>(
         return AttrValue::Null;
     }
     // Choose between the abbreviation and the expanded form.
-    let mut s = if rng.gen_bool(profile.abbreviate) { short.to_owned() } else { long.to_owned() };
+    let mut s = if rng.gen_bool(profile.abbreviate) {
+        short.to_owned()
+    } else {
+        long.to_owned()
+    };
     if rng.gen_bool(profile.typo) {
         s = typo(rng, &s);
     }
@@ -248,7 +257,12 @@ pub fn perturb_entity_name<R: Rng + ?Sized>(
 }
 
 /// Applies the profile to a numeric value.
-pub fn perturb_numeric<R: Rng + ?Sized>(rng: &mut R, value: f64, profile: &DirtinessProfile, max_shift: f64) -> AttrValue {
+pub fn perturb_numeric<R: Rng + ?Sized>(
+    rng: &mut R,
+    value: f64,
+    profile: &DirtinessProfile,
+    max_shift: f64,
+) -> AttrValue {
     if rng.gen_bool(profile.missing) {
         return AttrValue::Null;
     }
@@ -336,7 +350,11 @@ mod tests {
     #[test]
     fn numeric_shift_respects_bound() {
         let mut rng = seeded(6);
-        let profile = DirtinessProfile { numeric_shift: 1.0, missing: 0.0, ..DirtinessProfile::CLEAN };
+        let profile = DirtinessProfile {
+            numeric_shift: 1.0,
+            missing: 0.0,
+            ..DirtinessProfile::CLEAN
+        };
         for _ in 0..100 {
             let v = perturb_numeric(&mut rng, 2000.0, &profile, 3.0).as_num().unwrap();
             assert!((v - 2000.0).abs() <= 3.0 + 1e-9);
@@ -350,7 +368,10 @@ mod tests {
         let profile = DirtinessProfile::CLEAN;
         let v = perturb_entity_name(&mut rng, "VLDB", "Very Large Data Bases", &profile);
         assert_eq!(v.as_str(), Some("Very Large Data Bases"));
-        let always_abbr = DirtinessProfile { abbreviate: 1.0, ..DirtinessProfile::CLEAN };
+        let always_abbr = DirtinessProfile {
+            abbreviate: 1.0,
+            ..DirtinessProfile::CLEAN
+        };
         let v = perturb_entity_name(&mut rng, "VLDB", "Very Large Data Bases", &always_abbr);
         assert_eq!(v.as_str(), Some("VLDB"));
     }

@@ -10,35 +10,190 @@ use rand::Rng;
 
 /// Common research-paper title words (bibliographic domain).
 pub const TITLE_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "approximate",
-    "optimal", "robust", "interactive", "dynamic", "secure", "probabilistic", "declarative",
-    "processing", "query", "queries", "join", "joins", "index", "indexing", "mining", "learning",
-    "clustering", "classification", "integration", "resolution", "matching", "cleaning", "repair",
-    "storage", "transaction", "transactions", "stream", "streams", "graph", "graphs", "spatial",
-    "temporal", "relational", "database", "databases", "data", "big", "knowledge", "entity",
-    "record", "linkage", "deduplication", "crowdsourcing", "optimization", "evaluation", "analysis",
-    "management", "systems", "system", "engine", "framework", "approach", "model", "models",
-    "semantics", "schema", "xml", "web", "cloud", "memory", "disk", "cache", "compression",
-    "sampling", "estimation", "cardinality", "selectivity", "partitioning", "replication",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "approximate",
+    "optimal",
+    "robust",
+    "interactive",
+    "dynamic",
+    "secure",
+    "probabilistic",
+    "declarative",
+    "processing",
+    "query",
+    "queries",
+    "join",
+    "joins",
+    "index",
+    "indexing",
+    "mining",
+    "learning",
+    "clustering",
+    "classification",
+    "integration",
+    "resolution",
+    "matching",
+    "cleaning",
+    "repair",
+    "storage",
+    "transaction",
+    "transactions",
+    "stream",
+    "streams",
+    "graph",
+    "graphs",
+    "spatial",
+    "temporal",
+    "relational",
+    "database",
+    "databases",
+    "data",
+    "big",
+    "knowledge",
+    "entity",
+    "record",
+    "linkage",
+    "deduplication",
+    "crowdsourcing",
+    "optimization",
+    "evaluation",
+    "analysis",
+    "management",
+    "systems",
+    "system",
+    "engine",
+    "framework",
+    "approach",
+    "model",
+    "models",
+    "semantics",
+    "schema",
+    "xml",
+    "web",
+    "cloud",
+    "memory",
+    "disk",
+    "cache",
+    "compression",
+    "sampling",
+    "estimation",
+    "cardinality",
+    "selectivity",
+    "partitioning",
+    "replication",
 ];
 
 /// Surnames used for authors and artists.
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "wilson",
-    "anderson", "taylor", "thomas", "moore", "jackson", "martin", "lee", "thompson", "white",
-    "harris", "clark", "lewis", "walker", "hall", "young", "king", "wright", "scott", "green",
-    "baker", "adams", "nelson", "carter", "mitchell", "roberts", "turner", "phillips", "campbell",
-    "parker", "evans", "edwards", "collins", "stewart", "morris", "murphy", "cook", "rogers",
-    "peterson", "cooper", "reed", "bailey", "kriegel", "stonebraker", "widom", "dewitt", "gray",
-    "ullman", "abiteboul", "bernstein", "chaudhuri", "hellerstein", "franklin", "naughton",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "wilson",
+    "anderson",
+    "taylor",
+    "thomas",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "thompson",
+    "white",
+    "harris",
+    "clark",
+    "lewis",
+    "walker",
+    "hall",
+    "young",
+    "king",
+    "wright",
+    "scott",
+    "green",
+    "baker",
+    "adams",
+    "nelson",
+    "carter",
+    "mitchell",
+    "roberts",
+    "turner",
+    "phillips",
+    "campbell",
+    "parker",
+    "evans",
+    "edwards",
+    "collins",
+    "stewart",
+    "morris",
+    "murphy",
+    "cook",
+    "rogers",
+    "peterson",
+    "cooper",
+    "reed",
+    "bailey",
+    "kriegel",
+    "stonebraker",
+    "widom",
+    "dewitt",
+    "gray",
+    "ullman",
+    "abiteboul",
+    "bernstein",
+    "chaudhuri",
+    "hellerstein",
+    "franklin",
+    "naughton",
 ];
 
 /// Given-name initials / first names.
 pub const GIVEN_NAMES: &[&str] = &[
-    "james", "john", "robert", "michael", "william", "david", "richard", "joseph", "thomas",
-    "charles", "mary", "patricia", "jennifer", "linda", "elizabeth", "susan", "jessica", "sarah",
-    "karen", "wei", "lei", "jun", "hans", "peter", "anna", "maria", "luis", "carlos", "yuki",
-    "akira", "raj", "priya", "ahmed", "fatima", "olga", "ivan", "pierre", "claire",
+    "james",
+    "john",
+    "robert",
+    "michael",
+    "william",
+    "david",
+    "richard",
+    "joseph",
+    "thomas",
+    "charles",
+    "mary",
+    "patricia",
+    "jennifer",
+    "linda",
+    "elizabeth",
+    "susan",
+    "jessica",
+    "sarah",
+    "karen",
+    "wei",
+    "lei",
+    "jun",
+    "hans",
+    "peter",
+    "anna",
+    "maria",
+    "luis",
+    "carlos",
+    "yuki",
+    "akira",
+    "raj",
+    "priya",
+    "ahmed",
+    "fatima",
+    "olga",
+    "ivan",
+    "pierre",
+    "claire",
 ];
 
 /// Publication venues with their abbreviations.
@@ -48,7 +203,10 @@ pub const VENUES: &[(&str, &str)] = &[
     ("ICDE", "IEEE International Conference on Data Engineering"),
     ("KDD", "ACM SIGKDD Conference on Knowledge Discovery and Data Mining"),
     ("EDBT", "International Conference on Extending Database Technology"),
-    ("CIKM", "ACM International Conference on Information and Knowledge Management"),
+    (
+        "CIKM",
+        "ACM International Conference on Information and Knowledge Management",
+    ),
     ("TKDE", "IEEE Transactions on Knowledge and Data Engineering"),
     ("PODS", "Symposium on Principles of Database Systems"),
     ("WWW", "The Web Conference"),
@@ -57,51 +215,216 @@ pub const VENUES: &[(&str, &str)] = &[
 
 /// Product brands (product domain).
 pub const BRANDS: &[&str] = &[
-    "sony", "apple", "samsung", "canon", "nikon", "panasonic", "toshiba", "philips", "lg",
-    "microsoft", "logitech", "hp", "dell", "lenovo", "asus", "garmin", "bose", "jbl", "sandisk",
-    "kingston", "netgear", "linksys", "epson", "brother", "sharp", "pioneer", "kenwood", "yamaha",
+    "sony",
+    "apple",
+    "samsung",
+    "canon",
+    "nikon",
+    "panasonic",
+    "toshiba",
+    "philips",
+    "lg",
+    "microsoft",
+    "logitech",
+    "hp",
+    "dell",
+    "lenovo",
+    "asus",
+    "garmin",
+    "bose",
+    "jbl",
+    "sandisk",
+    "kingston",
+    "netgear",
+    "linksys",
+    "epson",
+    "brother",
+    "sharp",
+    "pioneer",
+    "kenwood",
+    "yamaha",
 ];
 
 /// Product category nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "camera", "camcorder", "laptop", "notebook", "monitor", "printer", "scanner", "router",
-    "keyboard", "mouse", "headphones", "speaker", "speakers", "television", "tv", "projector",
-    "receiver", "player", "recorder", "drive", "adapter", "charger", "battery", "case", "dock",
-    "tablet", "phone", "smartphone", "watch", "console", "controller", "microphone", "webcam",
+    "camera",
+    "camcorder",
+    "laptop",
+    "notebook",
+    "monitor",
+    "printer",
+    "scanner",
+    "router",
+    "keyboard",
+    "mouse",
+    "headphones",
+    "speaker",
+    "speakers",
+    "television",
+    "tv",
+    "projector",
+    "receiver",
+    "player",
+    "recorder",
+    "drive",
+    "adapter",
+    "charger",
+    "battery",
+    "case",
+    "dock",
+    "tablet",
+    "phone",
+    "smartphone",
+    "watch",
+    "console",
+    "controller",
+    "microphone",
+    "webcam",
 ];
 
 /// Product qualifier words (colors, sizes, editions).
 pub const PRODUCT_QUALIFIERS: &[&str] = &[
-    "black", "white", "silver", "red", "blue", "portable", "wireless", "bluetooth", "digital",
-    "compact", "professional", "premium", "ultra", "mini", "slim", "pro", "plus", "deluxe",
-    "series", "edition", "bundle", "kit", "refurbished", "widescreen", "hd", "4k",
+    "black",
+    "white",
+    "silver",
+    "red",
+    "blue",
+    "portable",
+    "wireless",
+    "bluetooth",
+    "digital",
+    "compact",
+    "professional",
+    "premium",
+    "ultra",
+    "mini",
+    "slim",
+    "pro",
+    "plus",
+    "deluxe",
+    "series",
+    "edition",
+    "bundle",
+    "kit",
+    "refurbished",
+    "widescreen",
+    "hd",
+    "4k",
 ];
 
 /// Software product nouns (the Amazon-Google workload is mainly software).
 pub const SOFTWARE_NOUNS: &[&str] = &[
-    "antivirus", "office", "suite", "studio", "photoshop", "illustrator", "encyclopedia",
-    "dictionary", "tutorial", "upgrade", "license", "subscription", "backup", "firewall",
-    "security", "accounting", "payroll", "tax", "design", "publisher", "converter", "editor",
-    "server", "workstation", "education", "student", "teacher", "home", "business", "enterprise",
+    "antivirus",
+    "office",
+    "suite",
+    "studio",
+    "photoshop",
+    "illustrator",
+    "encyclopedia",
+    "dictionary",
+    "tutorial",
+    "upgrade",
+    "license",
+    "subscription",
+    "backup",
+    "firewall",
+    "security",
+    "accounting",
+    "payroll",
+    "tax",
+    "design",
+    "publisher",
+    "converter",
+    "editor",
+    "server",
+    "workstation",
+    "education",
+    "student",
+    "teacher",
+    "home",
+    "business",
+    "enterprise",
 ];
 
 /// Song title words (music domain).
 pub const SONG_WORDS: &[&str] = &[
-    "love", "night", "heart", "baby", "dance", "dream", "fire", "rain", "summer", "girl", "boy",
-    "home", "road", "river", "moon", "star", "sky", "light", "shadow", "blue", "golden", "broken",
-    "sweet", "wild", "young", "forever", "tonight", "yesterday", "tomorrow", "again", "away",
-    "alone", "together", "crazy", "beautiful", "freedom", "soul", "rock", "roll", "blues", "time",
+    "love",
+    "night",
+    "heart",
+    "baby",
+    "dance",
+    "dream",
+    "fire",
+    "rain",
+    "summer",
+    "girl",
+    "boy",
+    "home",
+    "road",
+    "river",
+    "moon",
+    "star",
+    "sky",
+    "light",
+    "shadow",
+    "blue",
+    "golden",
+    "broken",
+    "sweet",
+    "wild",
+    "young",
+    "forever",
+    "tonight",
+    "yesterday",
+    "tomorrow",
+    "again",
+    "away",
+    "alone",
+    "together",
+    "crazy",
+    "beautiful",
+    "freedom",
+    "soul",
+    "rock",
+    "roll",
+    "blues",
+    "time",
 ];
 
 /// Album qualifiers.
 pub const ALBUM_WORDS: &[&str] = &[
-    "greatest", "hits", "live", "unplugged", "sessions", "collection", "anthology", "deluxe",
-    "remastered", "acoustic", "volume", "best", "of", "singles", "essential", "gold", "platinum",
+    "greatest",
+    "hits",
+    "live",
+    "unplugged",
+    "sessions",
+    "collection",
+    "anthology",
+    "deluxe",
+    "remastered",
+    "acoustic",
+    "volume",
+    "best",
+    "of",
+    "singles",
+    "essential",
+    "gold",
+    "platinum",
 ];
 
 /// Music genres (categorical attribute).
-pub const GENRES: &[&str] =
-    &["rock", "pop", "jazz", "blues", "country", "electronic", "hip-hop", "classical", "folk", "metal"];
+pub const GENRES: &[&str] = &[
+    "rock",
+    "pop",
+    "jazz",
+    "blues",
+    "country",
+    "electronic",
+    "hip-hop",
+    "classical",
+    "folk",
+    "metal",
+];
 
 /// Picks a random element of a string slice.
 pub fn pick<'a, R: Rng + ?Sized>(rng: &mut R, items: &'a [&'a str]) -> &'a str {

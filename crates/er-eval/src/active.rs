@@ -67,9 +67,15 @@ impl Default for ActiveLearningConfig {
             batch_size: 64,
             rounds: 9,
             matcher: MatcherKind::Logistic,
-            matcher_config: TrainConfig { epochs: 30, ..Default::default() },
+            matcher_config: TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
             rule_config: OneSidedTreeConfig::default(),
-            risk_train_config: RiskTrainConfig { epochs: 60, ..Default::default() },
+            risk_train_config: RiskTrainConfig {
+                epochs: 60,
+                ..Default::default()
+            },
             seed: 29,
         }
     }
@@ -149,7 +155,10 @@ pub fn run_active_learning(
             matcher.train(&labeled);
         }
         let test_labeled = matcher.label_workload("al-test", test);
-        points.push(ActiveLearningPoint { labeled: labeled.len(), f1: test_labeled.classifier_f1() });
+        points.push(ActiveLearningPoint {
+            labeled: labeled.len(),
+            f1: test_labeled.classifier_f1(),
+        });
 
         if round == config.rounds {
             break;
@@ -176,7 +185,10 @@ pub fn run_active_learning(
         }
     }
 
-    ActiveLearningCurve { strategy: strategy.name().to_owned(), points }
+    ActiveLearningCurve {
+        strategy: strategy.name().to_owned(),
+        points,
+    }
 }
 
 /// Risk scores of the unlabeled pool under a LearnRisk model trained on the
@@ -223,7 +235,10 @@ mod tests {
         let test = &pairs[n_pool..];
         let config = ActiveLearningConfig {
             rounds: 3,
-            matcher_config: TrainConfig { epochs: 20, ..Default::default() },
+            matcher_config: TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let curve = run_active_learning(
@@ -251,11 +266,21 @@ mod tests {
         let test = &pairs[n_pool..];
         let config = ActiveLearningConfig {
             rounds: 2,
-            matcher_config: TrainConfig { epochs: 15, ..Default::default() },
-            risk_train_config: RiskTrainConfig { epochs: 25, ..Default::default() },
+            matcher_config: TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+            risk_train_config: RiskTrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        for strategy in [SelectionStrategy::LeastConfidence, SelectionStrategy::Entropy, SelectionStrategy::LearnRisk] {
+        for strategy in [
+            SelectionStrategy::LeastConfidence,
+            SelectionStrategy::Entropy,
+            SelectionStrategy::LearnRisk,
+        ] {
             let curve = run_active_learning(ds.workload.left_schema.clone(), pool, test, strategy, &config);
             assert_eq!(curve.strategy, strategy.name());
             assert_eq!(curve.points.len(), 3);
@@ -268,7 +293,10 @@ mod tests {
     fn tiny_pool_panics() {
         let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.01, 53);
         let pairs = ds.workload.pairs();
-        let config = ActiveLearningConfig { initial_labeled: 10_000, ..Default::default() };
+        let config = ActiveLearningConfig {
+            initial_labeled: 10_000,
+            ..Default::default()
+        };
         run_active_learning(
             ds.workload.left_schema.clone(),
             &pairs[..100],

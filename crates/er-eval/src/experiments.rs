@@ -28,21 +28,33 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { scale: 0.05, seed: 2020 }
+        Self {
+            scale: 0.05,
+            seed: 2020,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A configuration small enough for CI tests.
     pub fn tiny() -> Self {
-        Self { scale: 0.02, seed: 2020 }
+        Self {
+            scale: 0.02,
+            seed: 2020,
+        }
     }
 }
 
 fn default_pipeline(seed: u64) -> PipelineConfig {
     PipelineConfig {
-        matcher_config: TrainConfig { epochs: 30, ..Default::default() },
-        risk_train_config: RiskTrainConfig { epochs: 120, ..Default::default() },
+        matcher_config: TrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+        risk_train_config: RiskTrainConfig {
+            epochs: 120,
+            ..Default::default()
+        },
         seed,
         ..Default::default()
     }
@@ -174,7 +186,10 @@ pub fn run_fig11(config: &ExperimentConfig, subsets: usize) -> Vec<PipelineResul
         for s in 0..subsets.max(1) {
             let ds = generate_benchmark(id, config.scale, config.seed.wrapping_add(s as u64));
             let workload = subsample_workload(&ds.workload, sample_size, config.seed.wrapping_add(s as u64));
-            let pipeline = PipelineConfig { run_holoclean: true, ..default_pipeline(config.seed) };
+            let pipeline = PipelineConfig {
+                run_holoclean: true,
+                ..default_pipeline(config.seed)
+            };
             let (result, _) = run_pipeline(&workload, SplitRatio::new(3, 2, 5), &pipeline);
             aggregated = Some(match aggregated {
                 None => result,
@@ -276,8 +291,7 @@ pub fn run_fig12(config: &ExperimentConfig) -> Vec<SensitivityPoint> {
         let pipeline = default_pipeline(config.seed);
         // Train the classifier once to get ambiguity scores over the pool.
         let evaluator = er_similarity::MetricEvaluator::from_pairs(Arc::clone(&workload.left_schema), &train);
-        let mut matcher =
-            er_classifier::ErMatcher::new(evaluator, pipeline.matcher, pipeline.matcher_config);
+        let mut matcher = er_classifier::ErMatcher::new(evaluator, pipeline.matcher, pipeline.matcher_config);
         matcher.train(&train);
         let pool_probs = matcher.predict(&pool);
         let mut order: Vec<usize> = (0..pool.len()).collect();
@@ -334,10 +348,7 @@ pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize]) -> Vec<ScalabilityP
     let scale = (max_size as f64 * 2.5) / BenchmarkId::DblpScholar.paper_size() as f64;
     let ds = generate_benchmark(BenchmarkId::DblpScholar, scale.max(0.02), config.seed);
     let workload = &ds.workload;
-    let evaluator = er_similarity::MetricEvaluator::from_pairs(
-        Arc::clone(&workload.left_schema),
-        workload.pairs(),
-    );
+    let evaluator = er_similarity::MetricEvaluator::from_pairs(Arc::clone(&workload.left_schema), workload.pairs());
     let all_rows = evaluator.eval_pairs(workload.pairs());
     let all_labels: Vec<er_base::Label> = workload.pairs().iter().map(|p| p.truth).collect();
 
@@ -356,22 +367,21 @@ pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize]) -> Vec<ScalabilityP
 
         // Risk-training runtime (feature construction + optimization), using a
         // synthetic labeled view of the same prefix as risk-training data.
-        let feature_set = learnrisk_core::RiskFeatureSet::from_training(
-            rules,
-            evaluator.metrics().to_vec(),
-            rows,
-            labels,
-        );
+        let feature_set =
+            learnrisk_core::RiskFeatureSet::from_training(rules, evaluator.metrics().to_vec(), rows, labels);
         let mut model = learnrisk_core::LearnRiskModel::new(feature_set, Default::default());
         let probs: Vec<f64> = labels.iter().map(|l| if l.is_match() { 0.8 } else { 0.2 }).collect();
-        let labeled = er_base::LabeledWorkload::from_probabilities(
-            "fig13",
-            workload.pairs()[..n].to_vec(),
-            &probs,
-        );
+        let labeled = er_base::LabeledWorkload::from_probabilities("fig13", workload.pairs()[..n].to_vec(), &probs);
         let start = Instant::now();
         let inputs = crate::pipeline::build_inputs_from_labeled(&evaluator, &model.features, &labeled);
-        learnrisk_core::train(&mut model, &inputs, &RiskTrainConfig { epochs: 50, ..Default::default() });
+        learnrisk_core::train(
+            &mut model,
+            &inputs,
+            &RiskTrainConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         out.push(ScalabilityPoint {
             stage: "risk_training".into(),
             training_size: n,
@@ -393,11 +403,19 @@ pub fn run_fig14(config: &ExperimentConfig, rounds: usize) -> Vec<ActiveLearning
     let n_pool = pairs.len() * 6 / 10;
     let pool = &pairs[..n_pool];
     let test = &pairs[n_pool..];
-    let al_config = ActiveLearningConfig { rounds, seed: config.seed, ..Default::default() };
-    [SelectionStrategy::LeastConfidence, SelectionStrategy::Entropy, SelectionStrategy::LearnRisk]
-        .into_iter()
-        .map(|s| run_active_learning(ds.workload.left_schema.clone(), pool, test, s, &al_config))
-        .collect()
+    let al_config = ActiveLearningConfig {
+        rounds,
+        seed: config.seed,
+        ..Default::default()
+    };
+    [
+        SelectionStrategy::LeastConfidence,
+        SelectionStrategy::Entropy,
+        SelectionStrategy::LearnRisk,
+    ]
+    .into_iter()
+    .map(|s| run_active_learning(ds.workload.left_schema.clone(), pool, test, s, &al_config))
+    .collect()
 }
 
 #[cfg(test)]
@@ -415,7 +433,11 @@ mod tests {
 
     #[test]
     fn fig9_cell_runs_end_to_end() {
-        let result = run_fig9_cell(BenchmarkId::AmazonGoogle, SplitRatio::new(3, 2, 5), &ExperimentConfig::tiny());
+        let result = run_fig9_cell(
+            BenchmarkId::AmazonGoogle,
+            SplitRatio::new(3, 2, 5),
+            &ExperimentConfig::tiny(),
+        );
         assert_eq!(result.methods.len(), 5);
         assert!(result.auroc_of("LearnRisk").is_some());
         assert!(result.test_mislabeled > 0);

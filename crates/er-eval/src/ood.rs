@@ -19,8 +19,7 @@ use std::sync::Arc;
 /// model to a schema-aligned view of new data.
 pub fn project_workload(workload: &Workload, target_schema: &Arc<Schema>) -> Workload {
     let source = &workload.left_schema;
-    let mapping: Vec<Option<usize>> =
-        target_schema.attrs().iter().map(|a| source.index_of(&a.name)).collect();
+    let mapping: Vec<Option<usize>> = target_schema.attrs().iter().map(|a| source.index_of(&a.name)).collect();
 
     let project_record = |r: &Arc<Record>| -> Arc<Record> {
         let values = mapping
@@ -38,7 +37,12 @@ pub fn project_workload(workload: &Workload, target_schema: &Arc<Schema>) -> Wor
         .iter()
         .map(|p| Pair::new(p.id, project_record(&p.left), project_record(&p.right), p.truth))
         .collect();
-    Workload::new(workload.name.clone(), Arc::clone(target_schema), Arc::clone(target_schema), pairs)
+    Workload::new(
+        workload.name.clone(),
+        Arc::clone(target_schema),
+        Arc::clone(target_schema),
+        pairs,
+    )
 }
 
 /// Checks whether two workloads already share a schema (attribute names and

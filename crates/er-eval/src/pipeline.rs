@@ -51,10 +51,17 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
             matcher: MatcherKind::Mlp,
-            matcher_config: TrainConfig { epochs: 30, learning_rate: 0.01, ..Default::default() },
+            matcher_config: TrainConfig {
+                epochs: 30,
+                learning_rate: 0.01,
+                ..Default::default()
+            },
             rule_config: OneSidedTreeConfig::default(),
             risk_config: RiskModelConfig::default(),
-            risk_train_config: RiskTrainConfig { epochs: 120, ..Default::default() },
+            risk_train_config: RiskTrainConfig {
+                epochs: 120,
+                ..Default::default()
+            },
             ensemble_members: 20,
             run_holoclean: false,
             seed: 17,
@@ -130,9 +137,20 @@ pub fn run_pipeline_on_splits(
     test: &[Pair],
     config: &PipelineConfig,
 ) -> (PipelineResult, PipelineArtifacts) {
-    assert!(!train.is_empty() && !valid.is_empty() && !test.is_empty(), "all three splits must be non-empty");
-    assert_eq!(schema.len(), train[0].left.values.len(), "schema arity mismatch with training pairs");
-    assert_eq!(train[0].left.values.len(), test[0].left.values.len(), "train/test schema mismatch");
+    assert!(
+        !train.is_empty() && !valid.is_empty() && !test.is_empty(),
+        "all three splits must be non-empty"
+    );
+    assert_eq!(
+        schema.len(),
+        train[0].left.values.len(),
+        "schema arity mismatch with training pairs"
+    );
+    assert_eq!(
+        train[0].left.values.len(),
+        test[0].left.values.len(),
+        "train/test schema mismatch"
+    );
 
     // --- classifier -------------------------------------------------------
     let evaluator = MetricEvaluator::from_pairs(schema, train);
@@ -148,48 +166,66 @@ pub fn run_pipeline_on_splits(
     let train_labels: Vec<Label> = train.iter().map(|p| p.truth).collect();
     let train_is_match: Vec<bool> = train_labels.iter().map(|l| l.is_match()).collect();
     let test_outputs: Vec<f64> = test_labeled.pairs.iter().map(|p| p.decision.probability).collect();
-    let test_says_match: Vec<bool> = test_labeled.pairs.iter().map(|p| p.decision.predicted.is_match()).collect();
+    let test_says_match: Vec<bool> = test_labeled
+        .pairs
+        .iter()
+        .map(|p| p.decision.predicted.is_match())
+        .collect();
     let test_risk_labels: Vec<u8> = test_labeled.risk_labels();
 
     let mut methods = Vec::new();
 
     // --- Baseline -----------------------------------------------------------
     let scores = baseline_scores(&test_outputs);
-    methods.push(MethodResult { method: "Baseline".into(), auroc: auroc(&scores, &test_risk_labels), scores });
+    methods.push(MethodResult {
+        method: "Baseline".into(),
+        auroc: auroc(&scores, &test_risk_labels),
+        scores,
+    });
 
     // --- Uncertainty --------------------------------------------------------
     let ensemble = BootstrapEnsemble::train(
         &train_features,
         &train_labels.iter().map(|l| l.as_f64()).collect::<Vec<_>>(),
         config.ensemble_members,
-        &TrainConfig { epochs: 20, ..config.matcher_config },
+        &TrainConfig {
+            epochs: 20,
+            ..config.matcher_config
+        },
     );
     let scores = UncertaintyScorer::new(&ensemble).scores(&test_features);
-    methods.push(MethodResult { method: "Uncertainty".into(), auroc: auroc(&scores, &test_risk_labels), scores });
+    methods.push(MethodResult {
+        method: "Uncertainty".into(),
+        auroc: auroc(&scores, &test_risk_labels),
+        scores,
+    });
 
     // --- TrustScore ---------------------------------------------------------
     let trust = TrustScore::fit(&train_features, &train_is_match, TrustScoreConfig::default());
     let scores = trust.scores(&test_features, &test_says_match);
-    methods.push(MethodResult { method: "TrustScore".into(), auroc: auroc(&scores, &test_risk_labels), scores });
+    methods.push(MethodResult {
+        method: "TrustScore".into(),
+        auroc: auroc(&scores, &test_risk_labels),
+        scores,
+    });
 
     // --- StaticRisk ---------------------------------------------------------
     let valid_outputs: Vec<f64> = valid_labeled.pairs.iter().map(|p| p.decision.probability).collect();
     let valid_is_match: Vec<bool> = valid_labeled.pairs.iter().map(|p| p.pair.truth.is_match()).collect();
     let static_risk = StaticRisk::fit(&valid_outputs, &valid_is_match, StaticRiskConfig::default());
     let scores = static_risk.scores(&test_outputs, &test_says_match);
-    methods.push(MethodResult { method: "StaticRisk".into(), auroc: auroc(&scores, &test_risk_labels), scores });
+    methods.push(MethodResult {
+        method: "StaticRisk".into(),
+        auroc: auroc(&scores, &test_risk_labels),
+        scores,
+    });
 
     // --- LearnRisk ----------------------------------------------------------
     let rule_timer = Instant::now();
     let train_rows = evaluator.eval_pairs(train);
     let rules = er_rulegen::generate_rules(&train_rows, &train_labels, config.rule_config);
     let rule_generation_secs = rule_timer.elapsed().as_secs_f64();
-    let feature_set = RiskFeatureSet::from_training(
-        rules,
-        evaluator.metrics().to_vec(),
-        &train_rows,
-        &train_labels,
-    );
+    let feature_set = RiskFeatureSet::from_training(rules, evaluator.metrics().to_vec(), &train_rows, &train_labels);
     let rule_count = feature_set.len();
 
     let risk_timer = Instant::now();
@@ -211,13 +247,20 @@ pub fn run_pipeline_on_splits(
         let forest = RandomForest::fit(
             &train_rows,
             &train_labels,
-            &TwoSidedTreeConfig { max_depth: config.rule_config.max_depth.max(4), ..Default::default() },
+            &TwoSidedTreeConfig {
+                max_depth: config.rule_config.max_depth.max(4),
+                ..Default::default()
+            },
         );
         let two_sided_rules = forest.rules(rule_count.max(10));
         let hc = HoloCleanRisk::new(two_sided_rules, HoloCleanConfig::default());
         let test_rows = evaluator.eval_pairs(test);
         let scores = hc.scores(&test_rows, &test_outputs, &test_says_match);
-        methods.push(MethodResult { method: "HoloClean".into(), auroc: auroc(&scores, &test_risk_labels), scores });
+        methods.push(MethodResult {
+            method: "HoloClean".into(),
+            auroc: auroc(&scores, &test_risk_labels),
+            scores,
+        });
     }
 
     let result = PipelineResult {
@@ -231,7 +274,12 @@ pub fn run_pipeline_on_splits(
         rule_generation_secs,
         risk_training_secs,
     };
-    let artifacts = PipelineArtifacts { matcher, evaluator, risk_model, test_inputs };
+    let artifacts = PipelineArtifacts {
+        matcher,
+        evaluator,
+        risk_model,
+        test_inputs,
+    };
     (result, artifacts)
 }
 
@@ -283,15 +331,31 @@ mod tests {
         let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.025, 41);
         let config = PipelineConfig {
             matcher: MatcherKind::Logistic,
-            matcher_config: TrainConfig { epochs: 25, ..Default::default() },
-            risk_train_config: RiskTrainConfig { epochs: 60, ..Default::default() },
+            matcher_config: TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+            risk_train_config: RiskTrainConfig {
+                epochs: 60,
+                ..Default::default()
+            },
             ensemble_members: 8,
             run_holoclean: true,
             ..Default::default()
         };
         let (result, artifacts) = run_pipeline(&ds.workload, SplitRatio::new(3, 2, 5), &config);
         let names: Vec<&str> = result.methods.iter().map(|m| m.method.as_str()).collect();
-        assert_eq!(names, vec!["Baseline", "Uncertainty", "TrustScore", "StaticRisk", "LearnRisk", "HoloClean"]);
+        assert_eq!(
+            names,
+            vec![
+                "Baseline",
+                "Uncertainty",
+                "TrustScore",
+                "StaticRisk",
+                "LearnRisk",
+                "HoloClean"
+            ]
+        );
         assert!(result.test_mislabeled > 0, "need mislabeled pairs to rank");
         assert!(result.rule_count > 0, "no risk features generated");
         for m in &result.methods {
@@ -302,7 +366,10 @@ mod tests {
         let learn = result.auroc_of("LearnRisk").unwrap();
         let base = result.auroc_of("Baseline").unwrap();
         assert!(learn > 0.6, "LearnRisk AUROC too low: {learn}");
-        assert!(learn >= base - 0.05, "LearnRisk ({learn}) should not lose badly to Baseline ({base})");
+        assert!(
+            learn >= base - 0.05,
+            "LearnRisk ({learn}) should not lose badly to Baseline ({base})"
+        );
         assert_eq!(artifacts.test_inputs.len(), result.test_size);
         assert!(result.rule_generation_secs >= 0.0 && result.risk_training_secs >= 0.0);
     }

@@ -125,8 +125,16 @@ mod tests {
             test_mislabeled: 12,
             rule_count: 30,
             methods: vec![
-                MethodResult { method: "Baseline".into(), auroc: 0.7, scores: vec![] },
-                MethodResult { method: "LearnRisk".into(), auroc, scores: vec![] },
+                MethodResult {
+                    method: "Baseline".into(),
+                    auroc: 0.7,
+                    scores: vec![],
+                },
+                MethodResult {
+                    method: "LearnRisk".into(),
+                    auroc,
+                    scores: vec![],
+                },
             ],
             rule_generation_secs: 0.1,
             risk_training_secs: 0.2,

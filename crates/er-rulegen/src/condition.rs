@@ -46,7 +46,11 @@ pub struct Condition {
 impl Condition {
     /// Creates a condition.
     pub fn new(metric_index: usize, op: CmpOp, threshold: f64) -> Self {
-        Self { metric_index, op, threshold }
+        Self {
+            metric_index,
+            op,
+            threshold,
+        }
     }
 
     /// Whether a metric vector satisfies the condition.
@@ -60,14 +64,24 @@ impl Condition {
 
     /// The sibling condition (same split, other side).
     pub fn negated(&self) -> Condition {
-        Condition { metric_index: self.metric_index, op: self.op.negated(), threshold: self.threshold }
+        Condition {
+            metric_index: self.metric_index,
+            op: self.op.negated(),
+            threshold: self.threshold,
+        }
     }
 
     /// Renders the condition using metric metadata, e.g.
     /// `"num_not_equal(year) > 0.500"`.
     pub fn render(&self, metrics: &[AttrMetric]) -> String {
         let m = &metrics[self.metric_index];
-        format!("{}({}) {} {:.3}", m.kind.name(), m.attr_name, self.op.symbol(), self.threshold)
+        format!(
+            "{}({}) {} {:.3}",
+            m.kind.name(),
+            m.attr_name,
+            self.op.symbol(),
+            self.threshold
+        )
     }
 
     /// Approximate equality used for rule deduplication.
@@ -102,7 +116,11 @@ mod tests {
 
     #[test]
     fn rendering_uses_metric_names() {
-        let metrics = vec![AttrMetric { attr_index: 3, attr_name: "year".into(), kind: MetricKind::NumericNotEqual }];
+        let metrics = vec![AttrMetric {
+            attr_index: 3,
+            attr_name: "year".into(),
+            kind: MetricKind::NumericNotEqual,
+        }];
         let c = Condition::new(0, CmpOp::Gt, 0.5);
         assert_eq!(c.render(&metrics), "num_not_equal(year) > 0.500");
         assert_eq!(c.to_string(), "m0 > 0.500");

@@ -143,14 +143,26 @@ mod tests {
 
     #[test]
     fn preferred_side_detection() {
-        assert!(one_sided_prefers_left(ClassCounts::new(0.0, 30.0), ClassCounts::new(10.0, 10.0), 0.2));
-        assert!(!one_sided_prefers_left(ClassCounts::new(10.0, 10.0), ClassCounts::new(0.0, 30.0), 0.2));
+        assert!(one_sided_prefers_left(
+            ClassCounts::new(0.0, 30.0),
+            ClassCounts::new(10.0, 10.0),
+            0.2
+        ));
+        assert!(!one_sided_prefers_left(
+            ClassCounts::new(10.0, 10.0),
+            ClassCounts::new(0.0, 30.0),
+            0.2
+        ));
     }
 
     #[test]
     fn empty_side_is_never_selected() {
         let g = one_sided_gini(ClassCounts::default(), ClassCounts::new(3.0, 3.0), 0.2);
         assert!(g.is_finite());
-        assert!(!one_sided_prefers_left(ClassCounts::default(), ClassCounts::new(3.0, 3.0), 0.2));
+        assert!(!one_sided_prefers_left(
+            ClassCounts::default(),
+            ClassCounts::new(3.0, 3.0),
+            0.2
+        ));
     }
 }

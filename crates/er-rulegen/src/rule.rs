@@ -23,7 +23,12 @@ pub struct Rule {
 impl Rule {
     /// Creates a rule.
     pub fn new(conditions: Vec<Condition>, target: Label, support: usize, purity: f64) -> Self {
-        Self { conditions, target, support, purity }
+        Self {
+            conditions,
+            target,
+            support,
+            purity,
+        }
     }
 
     /// Whether a pair (given its basic-metric vector) satisfies the rule.
@@ -81,7 +86,10 @@ pub fn coverage(rules: &[Rule], metric_rows: &[Vec<f64>]) -> f64 {
     if metric_rows.is_empty() {
         return 0.0;
     }
-    let covered = metric_rows.iter().filter(|row| rules.iter().any(|r| r.covers(row))).count();
+    let covered = metric_rows
+        .iter()
+        .filter(|row| rules.iter().any(|r| r.covers(row)))
+        .count();
     covered as f64 / metric_rows.len() as f64
 }
 
@@ -111,8 +119,16 @@ mod tests {
     #[test]
     fn rendering_mentions_both_sides() {
         let metrics = vec![
-            AttrMetric { attr_index: 0, attr_name: "title".into(), kind: er_similarity::MetricKind::Jaccard },
-            AttrMetric { attr_index: 3, attr_name: "year".into(), kind: er_similarity::MetricKind::NumericNotEqual },
+            AttrMetric {
+                attr_index: 0,
+                attr_name: "title".into(),
+                kind: er_similarity::MetricKind::Jaccard,
+            },
+            AttrMetric {
+                attr_index: 3,
+                attr_name: "year".into(),
+                kind: er_similarity::MetricKind::NumericNotEqual,
+            },
         ];
         let text = rule(Label::Equivalent).render(&metrics);
         assert!(text.contains("jaccard(title) > 0.500"));

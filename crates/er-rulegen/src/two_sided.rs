@@ -72,7 +72,12 @@ pub struct TwoSidedTree {
 
 impl TwoSidedTree {
     /// Trains a tree on a metric matrix and labels.
-    pub fn fit(metrics: &[Vec<f64>], labels: &[Label], config: &TwoSidedTreeConfig, feature_mask: Option<&[usize]>) -> Self {
+    pub fn fit(
+        metrics: &[Vec<f64>],
+        labels: &[Label],
+        config: &TwoSidedTreeConfig,
+        feature_mask: Option<&[usize]>,
+    ) -> Self {
         assert_eq!(metrics.len(), labels.len());
         assert!(!metrics.is_empty(), "cannot fit a tree on no data");
         let all: Vec<u32> = (0..metrics.len() as u32).collect();
@@ -115,10 +120,7 @@ impl TwoSidedTree {
         config: &TwoSidedTreeConfig,
     ) -> Node {
         let counts = Self::counts(labels, subset, config.match_class_weight);
-        if depth >= config.max_depth
-            || subset.len() < 2 * config.min_leaf_size
-            || counts.gini() == 0.0
-        {
+        if depth >= config.max_depth || subset.len() < 2 * config.min_leaf_size || counts.gini() == 0.0 {
             return Self::leaf(labels, subset, config.match_class_weight);
         }
 
@@ -150,7 +152,7 @@ impl TwoSidedTree {
                 }
                 let right = ClassCounts::new(total.matches - left.matches, total.unmatches - left.unmatches);
                 let score = two_sided_gini(left, right);
-                if best.as_ref().map_or(true, |(_, s)| score < *s) {
+                if best.as_ref().is_none_or(|(_, s)| score < *s) {
                     best = Some((Condition::new(metric, CmpOp::Le, (v + next) / 2.0), score));
                 }
             }
@@ -159,8 +161,7 @@ impl TwoSidedTree {
         let Some((condition, _)) = best else {
             return Self::leaf(labels, subset, config.match_class_weight);
         };
-        let (le, gt): (Vec<u32>, Vec<u32>) =
-            subset.iter().partition(|&&i| condition.matches(&metrics[i as usize]));
+        let (le, gt): (Vec<u32>, Vec<u32>) = subset.iter().partition(|&&i| condition.matches(&metrics[i as usize]));
         if le.len() < config.min_leaf_size || gt.len() < config.min_leaf_size {
             return Self::leaf(labels, subset, config.match_class_weight);
         }
@@ -249,7 +250,12 @@ impl RandomForest {
             let mut features: Vec<usize> = (0..n_features).collect();
             features.shuffle(&mut rng);
             features.truncate(k);
-            trees.push(TwoSidedTree::fit(&sample_metrics, &sample_labels, config, Some(&features)));
+            trees.push(TwoSidedTree::fit(
+                &sample_metrics,
+                &sample_labels,
+                config,
+                Some(&features),
+            ));
         }
         Self { trees }
     }
@@ -299,8 +305,18 @@ mod tests {
         let mut labels = Vec::new();
         for _ in 0..n {
             let is_match = rng.gen_bool(0.25);
-            let sim: f64 = if is_match { rng.gen_range(0.65..1.0) } else { rng.gen_range(0.0..0.7) };
-            let diff = if is_match { 0.0 } else if rng.gen_bool(0.6) { 1.0 } else { 0.0 };
+            let sim: f64 = if is_match {
+                rng.gen_range(0.65..1.0)
+            } else {
+                rng.gen_range(0.0..0.7)
+            };
+            let diff = if is_match {
+                0.0
+            } else if rng.gen_bool(0.6) {
+                1.0
+            } else {
+                0.0
+            };
             metrics.push(vec![sim, diff]);
             labels.push(Label::from_bool(is_match));
         }

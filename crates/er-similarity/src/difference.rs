@@ -194,7 +194,9 @@ pub fn diff_key_token(a: &str, b: &str, idf: &IdfTable, max_df_ratio: f64) -> f6
     let sa: HashSet<&str> = ta.iter().map(String::as_str).collect();
     let sb: HashSet<&str> = tb.iter().map(String::as_str).collect();
     let count_one_sided = |xs: &HashSet<&str>, ys: &HashSet<&str>| -> usize {
-        xs.iter().filter(|t| !ys.contains(*t) && idf.is_key_token(t, max_df_ratio)).count()
+        xs.iter()
+            .filter(|t| !ys.contains(*t) && idf.is_key_token(t, max_df_ratio))
+            .count()
     };
     (count_one_sided(&sa, &sb) + count_one_sided(&sb, &sa)) as f64
 }
@@ -210,7 +212,9 @@ pub fn diff_specific_token(a: &str, b: &str) -> f64 {
     let sa: HashSet<&str> = ta.iter().map(String::as_str).collect();
     let sb: HashSet<&str> = tb.iter().map(String::as_str).collect();
     let one_sided = |xs: &HashSet<&str>, ys: &HashSet<&str>| -> usize {
-        xs.iter().filter(|t| !ys.contains(*t) && crate::tokenize::is_specific_token(t)).count()
+        xs.iter()
+            .filter(|t| !ys.contains(*t) && crate::tokenize::is_specific_token(t))
+            .count()
     };
     (one_sided(&sa, &sb) + one_sided(&sb, &sa)) as f64
 }
@@ -289,7 +293,10 @@ mod tests {
     fn abbr_matches_two_abbreviations() {
         // Both sides abbreviate to similar acronyms.
         assert_eq!(
-            abbr_non_substring("Intl Conf on Data Engineering", "International Conference on Data Engineering"),
+            abbr_non_substring(
+                "Intl Conf on Data Engineering",
+                "International Conference on Data Engineering"
+            ),
             0.0
         );
     }
@@ -329,7 +336,12 @@ mod tests {
         idf.add_document(&tok("apple ipod nano red edition"));
         idf.add_document(&tok("apple ipod nano blue edition"));
         // "red"/"blue" are rare -> key tokens that differ.
-        let d = diff_key_token("apple ipod nano red edition", "apple ipod nano blue edition", &idf, 0.25);
+        let d = diff_key_token(
+            "apple ipod nano red edition",
+            "apple ipod nano blue edition",
+            &idf,
+            0.25,
+        );
         assert!((d - 2.0).abs() < 1e-12);
         // Same values -> no difference.
         assert_eq!(diff_key_token("apple ipod nano", "apple ipod nano", &idf, 0.25), 0.0);

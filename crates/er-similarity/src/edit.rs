@@ -67,8 +67,18 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions among matched characters.
-    let a_ms: Vec<char> = a.iter().enumerate().filter(|(i, _)| a_matched[*i]).map(|(_, &c)| c).collect();
-    let b_ms: Vec<char> = b.iter().enumerate().filter(|(j, _)| b_matched[*j]).map(|(_, &c)| c).collect();
+    let a_ms: Vec<char> = a
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| a_matched[*i])
+        .map(|(_, &c)| c)
+        .collect();
+    let b_ms: Vec<char> = b
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| b_matched[*j])
+        .map(|(_, &c)| c)
+        .collect();
     let transpositions = a_ms.iter().zip(b_ms.iter()).filter(|(x, y)| x != y).count() / 2;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
@@ -78,12 +88,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// cap of 4 characters.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 

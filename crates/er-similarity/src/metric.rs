@@ -182,7 +182,12 @@ impl MetricEvaluator {
                 }
             }
         }
-        Self { schema, metrics, idf, key_token_max_df: 0.05 }
+        Self {
+            schema,
+            metrics,
+            idf,
+            key_token_max_df: 0.05,
+        }
     }
 
     /// Builds an evaluator gathering corpus statistics from the records of a
@@ -366,7 +371,11 @@ pub fn default_metrics(schema: &Schema) -> Vec<AttrMetric> {
             AttrType::Categorical => &[MetricKind::EditSimilarity, MetricKind::NonSubstring],
         };
         for &kind in kinds {
-            out.push(AttrMetric { attr_index: i, attr_name: attr.name.clone(), kind });
+            out.push(AttrMetric {
+                attr_index: i,
+                attr_name: attr.name.clone(),
+                kind,
+            });
         }
     }
     out
@@ -404,18 +413,44 @@ mod tests {
         let metrics = default_metrics(&schema);
         // Text: 5, EntitySet: 4, EntityName: 6, Numeric: 3.
         assert_eq!(metrics.len(), 18);
-        assert!(metrics.iter().any(|m| m.attr_name == "year" && m.kind == MetricKind::NumericNotEqual));
-        assert!(metrics.iter().any(|m| m.attr_name == "authors" && m.kind == MetricKind::DistinctEntity));
-        assert!(metrics.iter().any(|m| m.attr_name == "title" && m.kind == MetricKind::DiffKeyToken));
-        assert!(metrics.iter().any(|m| m.attr_name == "venue" && m.kind == MetricKind::AbbrNonSubstring));
+        assert!(metrics
+            .iter()
+            .any(|m| m.attr_name == "year" && m.kind == MetricKind::NumericNotEqual));
+        assert!(metrics
+            .iter()
+            .any(|m| m.attr_name == "authors" && m.kind == MetricKind::DistinctEntity));
+        assert!(metrics
+            .iter()
+            .any(|m| m.attr_name == "title" && m.kind == MetricKind::DiffKeyToken));
+        assert!(metrics
+            .iter()
+            .any(|m| m.attr_name == "venue" && m.kind == MetricKind::AbbrNonSubstring));
     }
 
     #[test]
     fn evaluator_computes_all_metrics() {
         let schema = Arc::new(paper_schema());
-        let r1 = record(0, "Efficient Processing of Spatial Joins", "T Brinkhoff, H Kriegel, B Seeger", "SIGMOD", Some(1993.0));
-        let r2 = record(1, "Efficient Processing of Spatial Joins Using R-Trees", "T Brinkhoff, H Kriegel, B Seeger", "SIGMOD Conference", Some(1993.0));
-        let r3 = record(2, "The Design of Postgres", "M Stonebraker, L Rowe", "SIGMOD", Some(1986.0));
+        let r1 = record(
+            0,
+            "Efficient Processing of Spatial Joins",
+            "T Brinkhoff, H Kriegel, B Seeger",
+            "SIGMOD",
+            Some(1993.0),
+        );
+        let r2 = record(
+            1,
+            "Efficient Processing of Spatial Joins Using R-Trees",
+            "T Brinkhoff, H Kriegel, B Seeger",
+            "SIGMOD Conference",
+            Some(1993.0),
+        );
+        let r3 = record(
+            2,
+            "The Design of Postgres",
+            "M Stonebraker, L Rowe",
+            "SIGMOD",
+            Some(1986.0),
+        );
         let corpus = [r1.clone(), r2.clone(), r3.clone()];
         let evaluator = MetricEvaluator::new(Arc::clone(&schema), corpus.iter());
         let v12 = evaluator.eval_all(&r1, &r2);
@@ -443,10 +478,16 @@ mod tests {
         let schema = Arc::new(paper_schema());
         let evaluator = MetricEvaluator::new(Arc::clone(&schema), std::iter::empty::<&Record>());
         let full = record(0, "A Title", "A Smith", "VLDB", Some(2000.0));
-        let hole = Record::new(RecordId(1), vec![AttrValue::Null, AttrValue::Null, AttrValue::Null, AttrValue::Null]);
+        let hole = Record::new(
+            RecordId(1),
+            vec![AttrValue::Null, AttrValue::Null, AttrValue::Null, AttrValue::Null],
+        );
         for (metric, value) in evaluator.metrics().iter().zip(evaluator.eval_all(&full, &hole)) {
             if metric.kind.is_difference() {
-                assert_eq!(value, 0.0, "difference metric {metric} should give no evidence on nulls");
+                assert_eq!(
+                    value, 0.0,
+                    "difference metric {metric} should give no evidence on nulls"
+                );
             } else {
                 assert_eq!(value, 0.5, "similarity metric {metric} should be neutral on nulls");
             }
@@ -465,7 +506,11 @@ mod tests {
 
     #[test]
     fn attr_metric_display() {
-        let m = AttrMetric { attr_index: 3, attr_name: "year".into(), kind: MetricKind::NumericNotEqual };
+        let m = AttrMetric {
+            attr_index: 3,
+            attr_name: "year".into(),
+            kind: MetricKind::NumericNotEqual,
+        };
         assert_eq!(m.to_string(), "num_not_equal(year)");
     }
 

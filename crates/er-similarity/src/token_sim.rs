@@ -55,7 +55,7 @@ pub fn cosine_tf<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    fn count<'a, S: AsRef<str>>(xs: &'a [S]) -> BTreeMap<&'a str, f64> {
+    fn count<S: AsRef<str>>(xs: &[S]) -> BTreeMap<&str, f64> {
         let mut m: BTreeMap<&str, f64> = BTreeMap::new();
         for x in xs {
             *m.entry(x.as_ref()).or_insert(0.0) += 1.0;

@@ -27,7 +27,11 @@ pub fn normalize(s: &str) -> String {
 
 /// Splits a string into lower-cased alphanumeric tokens.
 pub fn tokens(s: &str) -> Vec<String> {
-    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_owned).collect()
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
 }
 
 /// Splits an entity-set value into its entity names.
@@ -38,7 +42,7 @@ pub fn tokens(s: &str) -> Vec<String> {
 /// Jaccard) can compare whole names.
 pub fn entities(s: &str) -> Vec<String> {
     let mut out = Vec::new();
-    for chunk in s.split(|c| c == ',' || c == ';' || c == '&' || c == '|') {
+    for chunk in s.split([',', ';', '&', '|']) {
         for part in chunk.split(" and ") {
             let norm = normalize(part);
             if !norm.is_empty() {
@@ -94,7 +98,10 @@ mod tests {
 
     #[test]
     fn tokens_split_on_punctuation() {
-        assert_eq!(tokens("The R*-Tree: An Efficient Index"), vec!["the", "r", "tree", "an", "efficient", "index"]);
+        assert_eq!(
+            tokens("The R*-Tree: An Efficient Index"),
+            vec!["the", "r", "tree", "an", "efficient", "index"]
+        );
         assert!(tokens("").is_empty());
     }
 

@@ -25,17 +25,24 @@ fn main() {
 
     let config = ActiveLearningConfig {
         rounds: 6,
-        matcher_config: TrainConfig { epochs: 30, ..Default::default() },
+        matcher_config: TrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
 
     let mut curves = Vec::new();
-    for strategy in [SelectionStrategy::LeastConfidence, SelectionStrategy::Entropy, SelectionStrategy::LearnRisk] {
+    for strategy in [
+        SelectionStrategy::LeastConfidence,
+        SelectionStrategy::Entropy,
+        SelectionStrategy::LearnRisk,
+    ] {
         let curve = run_active_learning(dataset.workload.left_schema.clone(), pool, test, strategy, &config);
         curves.push(curve);
     }
 
-    println!("\n{:<18} {}", "Strategy", "F1 per labeled-set size");
+    println!("\n{:<18} F1 per labeled-set size", "Strategy");
     for curve in &curves {
         print!("{:<18}", curve.strategy);
         for point in &curve.points {

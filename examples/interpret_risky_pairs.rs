@@ -34,12 +34,19 @@ fn main() {
     }
 
     // Rank the test pairs by LearnRisk and inspect the top 10.
-    let learnrisk = result.methods.iter().find(|m| m.method == "LearnRisk").expect("LearnRisk scores");
+    let learnrisk = result
+        .methods
+        .iter()
+        .find(|m| m.method == "LearnRisk")
+        .expect("LearnRisk scores");
     let mut order: Vec<usize> = (0..learnrisk.scores.len()).collect();
     order.sort_by(|&a, &b| learnrisk.scores[b].partial_cmp(&learnrisk.scores[a]).unwrap());
 
     println!("\nTop-10 riskiest test pairs:");
-    println!("{:<6} {:>8} {:>10} {:>10} {:<30}", "rank", "risk", "clf p", "machine", "top evidence");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:<30}",
+        "rank", "risk", "clf p", "machine", "top evidence"
+    );
     for (rank, &idx) in order.iter().take(10).enumerate() {
         let input = &artifacts.test_inputs[idx];
         let explanation = artifacts.risk_model.explain(input);

@@ -29,7 +29,10 @@ fn main() {
     let (result, artifacts) = run_pipeline(workload, SplitRatio::new(3, 2, 5), &config);
 
     println!("\nClassifier F1 on the test split: {:.3}", result.classifier_f1);
-    println!("Mislabeled test pairs: {} / {}", result.test_mislabeled, result.test_size);
+    println!(
+        "Mislabeled test pairs: {} / {}",
+        result.test_mislabeled, result.test_size
+    );
     println!("Generated risk features (rules): {}\n", result.rule_count);
 
     println!("{:<14} {:>8}", "Method", "AUROC");
@@ -38,7 +41,11 @@ fn main() {
     }
 
     // 3. Inspect the interpretable explanation of the riskiest test pair.
-    let learnrisk = result.methods.iter().find(|m| m.method == "LearnRisk").expect("LearnRisk result");
+    let learnrisk = result
+        .methods
+        .iter()
+        .find(|m| m.method == "LearnRisk")
+        .expect("LearnRisk result");
     let riskiest = learnrisk
         .scores
         .iter()
@@ -46,7 +53,10 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(i, _)| i)
         .expect("non-empty test split");
-    println!("\nRiskiest test pair (risk = {:.3}) — feature contributions:", learnrisk.scores[riskiest]);
+    println!(
+        "\nRiskiest test pair (risk = {:.3}) — feature contributions:",
+        learnrisk.scores[riskiest]
+    );
     for contribution in artifacts.risk_model.explain(&artifacts.test_inputs[riskiest]) {
         println!(
             "  w={:<6.2} mu={:<5.2} sigma={:<5.2}  {}",

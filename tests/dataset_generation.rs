@@ -47,7 +47,10 @@ fn every_benchmark_yields_an_imperfect_but_useful_classifier() {
         let mut matcher = ErMatcher::new(
             evaluator,
             MatcherKind::Logistic,
-            TrainConfig { epochs: 30, ..Default::default() },
+            TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
         );
         matcher.train(&train);
         let labeled = matcher.label_workload("it", &test);

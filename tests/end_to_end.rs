@@ -5,17 +5,23 @@
 
 use learnrisk_repro::base::{SplitRatio, Workload};
 use learnrisk_repro::classifier::TrainConfig;
+use learnrisk_repro::core::RiskTrainConfig;
 use learnrisk_repro::datasets::{generate_benchmark, BenchmarkId};
 use learnrisk_repro::eval::{
     run_fig10_workload, run_pipeline, ExperimentConfig, OodWorkload, PipelineConfig, PipelineResult,
 };
-use learnrisk_repro::core::RiskTrainConfig;
 
 fn fast_config(seed: u64) -> PipelineConfig {
     PipelineConfig {
         matcher: learnrisk_repro::classifier::MatcherKind::Logistic,
-        matcher_config: TrainConfig { epochs: 25, ..Default::default() },
-        risk_train_config: RiskTrainConfig { epochs: 150, ..Default::default() },
+        matcher_config: TrainConfig {
+            epochs: 25,
+            ..Default::default()
+        },
+        risk_train_config: RiskTrainConfig {
+            epochs: 150,
+            ..Default::default()
+        },
         ensemble_members: 8,
         seed,
         ..Default::default()
@@ -34,7 +40,10 @@ fn pipeline_runs_on_every_benchmark_dataset() {
         let (workload, result) = run(id, 0.02, 101);
         assert_eq!(result.dataset, workload.name);
         assert_eq!(result.methods.len(), 5, "{id:?}");
-        assert!(result.test_mislabeled > 0, "{id:?}: classifier makes no mistakes — nothing to rank");
+        assert!(
+            result.test_mislabeled > 0,
+            "{id:?}: classifier makes no mistakes — nothing to rank"
+        );
         assert!(result.rule_count > 0, "{id:?}: no risk features generated");
         for method in &result.methods {
             assert!(
@@ -99,7 +108,10 @@ fn learnrisk_is_competitive_with_every_alternative_across_datasets() {
         learnrisk >= best_other - 0.06,
         "LearnRisk ({learnrisk:.3}) should stay within noise of the best alternative ({best_other:.3})"
     );
-    assert!(learnrisk > 0.85, "average LearnRisk AUROC unexpectedly low: {learnrisk:.3}");
+    assert!(
+        learnrisk > 0.85,
+        "average LearnRisk AUROC unexpectedly low: {learnrisk:.3}"
+    );
 }
 
 #[test]
@@ -126,15 +138,20 @@ fn pipeline_is_deterministic_for_a_fixed_seed() {
     assert_eq!(a.rule_count, b.rule_count);
     for (ma, mb) in a.methods.iter().zip(&b.methods) {
         assert_eq!(ma.method, mb.method);
-        assert!((ma.auroc - mb.auroc).abs() < 1e-12, "{}: {} vs {}", ma.method, ma.auroc, mb.auroc);
+        assert!(
+            (ma.auroc - mb.auroc).abs() < 1e-12,
+            "{}: {} vs {}",
+            ma.method,
+            ma.auroc,
+            mb.auroc
+        );
     }
 }
 
 #[test]
 fn risk_scores_rank_mislabeled_pairs_above_correct_ones_on_average() {
     let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.03, 606);
-    let (result, artifacts) =
-        run_pipeline(&ds.workload, SplitRatio::new(2, 2, 6), &fast_config(606));
+    let (result, artifacts) = run_pipeline(&ds.workload, SplitRatio::new(2, 2, 6), &fast_config(606));
     let learnrisk = result.methods.iter().find(|m| m.method == "LearnRisk").unwrap();
     let mut mis_sum = 0.0;
     let mut mis_n = 0.0;

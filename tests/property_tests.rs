@@ -5,7 +5,9 @@
 use learnrisk_repro::base::{auroc, Label, RocCurve};
 use learnrisk_repro::core::{aggregate, pair_risk, PortfolioComponent, RiskMetric};
 use learnrisk_repro::rulegen::{generate_rules, OneSidedTreeConfig};
-use learnrisk_repro::similarity::difference::{diff_cardinality, distinct_entity, non_prefix, non_substring, non_suffix};
+use learnrisk_repro::similarity::difference::{
+    diff_cardinality, distinct_entity, non_prefix, non_substring, non_suffix,
+};
 use learnrisk_repro::similarity::edit::{edit_similarity, jaro_winkler, levenshtein};
 use learnrisk_repro::similarity::sequence::{lcs_similarity, substring_similarity};
 use learnrisk_repro::similarity::token_sim::{dice, jaccard, overlap};

@@ -1,0 +1,69 @@
+//! Workspace-wiring smoke test: every façade re-export must resolve, and a
+//! minimal end-to-end round-trip (generate → match → rule-gen → risk-train →
+//! score) must run through `er-eval::pipeline`. This guards the Cargo
+//! workspace itself — manifest edges, façade re-exports, feature wiring —
+//! independently of the heavier integration tests in `end_to_end.rs`.
+
+use learnrisk_repro::base::{auroc, SplitRatio};
+use learnrisk_repro::baselines::baseline_scores;
+use learnrisk_repro::classifier::{MatcherKind, TrainConfig};
+use learnrisk_repro::core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig, RiskTrainConfig};
+use learnrisk_repro::datasets::{generate_benchmark, BenchmarkId};
+use learnrisk_repro::eval::{run_pipeline, PipelineConfig};
+use learnrisk_repro::rulegen::OneSidedTreeConfig;
+use learnrisk_repro::similarity::edit::jaro_winkler;
+
+/// Every workspace crate is reachable through the façade under its
+/// re-exported name, and basic items from each resolve.
+#[test]
+fn facade_reexports_resolve() {
+    // er-similarity
+    assert!((jaro_winkler("learnrisk", "learnrisk") - 1.0).abs() < 1e-12);
+    // er-base
+    let a = auroc(&[0.9, 0.1], &[1, 0]);
+    assert!((a - 1.0).abs() < 1e-12);
+    // er-rulegen
+    let rule_config = OneSidedTreeConfig::default();
+    assert!(rule_config.max_depth >= 1);
+    // learnrisk-core: a model is constructible from an empty feature set.
+    let model = LearnRiskModel::new(RiskFeatureSet::default(), RiskModelConfig::default());
+    assert_eq!(model.rule_weights.len(), 0);
+    // er-baselines
+    assert_eq!(baseline_scores(&[0.5, 0.9]).len(), 2);
+}
+
+/// One tiny train/eval round-trip through `er-eval::pipeline`.
+#[test]
+fn tiny_pipeline_round_trip() {
+    let ds = generate_benchmark(BenchmarkId::DblpScholar, 0.012, 7);
+    let config = PipelineConfig {
+        matcher: MatcherKind::Logistic,
+        matcher_config: TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        risk_train_config: RiskTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+        ensemble_members: 3,
+        ..Default::default()
+    };
+    let (result, artifacts) = run_pipeline(&ds.workload, SplitRatio::new(3, 2, 5), &config);
+    assert_eq!(result.dataset, ds.workload.name);
+    assert!(result.test_size > 0);
+    assert!(!result.methods.is_empty(), "pipeline produced no method results");
+    for method in &result.methods {
+        assert!(
+            (0.0..=1.0).contains(&method.auroc),
+            "{}: AUROC {} out of range",
+            method.method,
+            method.auroc
+        );
+        assert_eq!(method.scores.len(), result.test_size);
+    }
+    // The trained risk model scores the test inputs to finite values.
+    for input in &artifacts.test_inputs {
+        assert!(artifacts.risk_model.risk_score(input).is_finite());
+    }
+}

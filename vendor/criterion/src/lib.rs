@@ -1,0 +1,202 @@
+//! Offline stand-in for the slice of Criterion this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::{bench_function,
+//! benchmark_group}`, `BenchmarkGroup::{sample_size, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::from_parameter`, `Bencher::iter`
+//! and `black_box`.
+//!
+//! The build environment cannot reach crates.io, so instead of Criterion's
+//! statistical machinery this harness runs a short warm-up, then measures a
+//! fixed wall-clock window per benchmark and reports mean/min iteration times.
+//! That keeps `cargo bench` (and the CI smoke tier) fast while still printing
+//! a usable per-benchmark number. Swapping in real Criterion only requires
+//! editing `[workspace.dependencies]`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `BenchmarkId::from_parameter(500)`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id whose display text is the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name plus a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in the measured closure.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Shortest single iteration.
+    min: Duration,
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            min: Duration::MAX,
+            budget,
+        }
+    }
+
+    /// Runs `routine` repeatedly: a few warm-up calls, then measured calls
+    /// until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let loop_start = Instant::now();
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed();
+            self.elapsed += once;
+            self.iters += 1;
+            self.min = self.min.min(once);
+            if loop_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<55} (no iterations)");
+            return;
+        }
+        let mean = self.elapsed / self.iters as u32;
+        println!(
+            "bench {name:<55} mean {mean:>12?}   min {:>12?}   iters {}",
+            self.min, self.iters
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_BUDGET_MS trims the per-benchmark window (the CI smoke
+        // tier sets it low so `cargo bench` stays fast).
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed time budget makes the
+    /// requested sample count moot.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.parent.budget);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.parent.budget);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; they are
+            // irrelevant to this fixed-budget harness.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,437 @@
+//! Offline stand-in for the slice of `proptest` this workspace's property
+//! tests use: the [`Strategy`] trait (ranges, tuples, `&str` regexes,
+//! [`collection::vec`], [`Strategy::prop_map`]), [`string::string_regex`],
+//! [`test_runner::ProptestConfig`] and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros.
+//!
+//! The build environment cannot reach crates.io, so this crate re-implements
+//! random-input generation (no shrinking: a failing case reports its inputs
+//! via the assertion message instead of minimizing them) on top of the
+//! vendored deterministic `rand`. Swapping in real proptest only requires
+//! editing `[workspace.dependencies]`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::Rng;
+
+/// The RNG driving every generated value; deterministic per test binary.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A `&str` is a strategy producing strings matching it as a regex, exactly
+/// as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .expect("invalid regex strategy")
+            .generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is uniform in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Error produced by [`string_regex`] on an unsupported pattern.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// One regex atom: the set of characters it can produce.
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    /// An atom plus its repetition bounds (inclusive).
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy returned by [`string_regex`].
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..count {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(chars) => {
+                            out.push(chars[rng.gen_range(0..chars.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses the regex subset the workspace uses — literal characters,
+    /// character classes like `[a-z0-9 ]`, and the quantifiers `{n}`,
+    /// `{m,n}`, `?`, `*`, `+` (unbounded repetition is capped at 8) — and
+    /// returns a strategy generating matching strings.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(c) = chars.next() else {
+                            return Err(Error(format!("unterminated character class in {pattern:?}")));
+                        };
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                                let lo = prev.take().expect("checked above");
+                                let hi = chars.next().expect("peeked above");
+                                if hi < lo {
+                                    return Err(Error(format!("invalid range {lo}-{hi} in {pattern:?}")));
+                                }
+                                // `lo` is already in the set; add the rest.
+                                set.extend(((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32));
+                            }
+                            c => {
+                                set.push(c);
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error(format!("empty character class in {pattern:?}")));
+                    }
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    let Some(escaped) = chars.next() else {
+                        return Err(Error(format!("dangling escape in {pattern:?}")));
+                    };
+                    Atom::Literal(escaped)
+                }
+                '{' | '}' | '?' | '*' | '+' => {
+                    return Err(Error(format!("dangling quantifier {c:?} in {pattern:?}")));
+                }
+                c => Atom::Literal(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| Error(format!("bad quantifier {{{body}}} in {pattern:?}")))
+                    };
+                    match body.split_once(',') {
+                        None => {
+                            let n = parse(&body)?;
+                            (n, n)
+                        }
+                        Some((lo, "")) => {
+                            let lo = parse(lo)?;
+                            (lo, lo + 8)
+                        }
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error(format!(
+                    "quantifier lower bound exceeds upper bound in {pattern:?}"
+                )));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+}
+
+/// Test-runner configuration (`proptest::test_runner`).
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's run configuration: the number of generated cases.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Builds the RNG for one property: deterministic by default,
+    /// reseedable through `PROPTEST_SEED` for exploration.
+    pub fn new_rng() -> TestRng {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x70726f_70746573u64);
+        TestRng::seed_from_u64(seed)
+    }
+}
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Fails the surrounding property (with an optional formatted message) without
+/// panicking, so the runner can report the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Callers legitimately write `prop_assert!(a >= b)` on floats; the
+        // negated partial-ord lint would fire on the generated `!`.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against `config.cases` generated
+/// inputs. Mirrors proptest's macro of the same name (without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::new_rng();
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        ::std::panic!(
+                            "property {} failed at case {}/{}: {}\ninputs: {:?}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message,
+                            ($(&$arg,)*)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn string_regex_generates_matching_strings() {
+        let strat = crate::string::string_regex("[a-z]{1,8} [0-9]{2}x?").unwrap();
+        let mut rng = new_rng();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            let bytes = s.as_bytes();
+            let space = s.find(' ').expect("space literal missing");
+            assert!((1..=8).contains(&space), "head length out of range: {s:?}");
+            assert!(bytes[..space].iter().all(|b| b.is_ascii_lowercase()));
+            let tail = &s[space + 1..];
+            assert!(
+                tail.len() == 2 || (tail.len() == 3 && tail.ends_with('x')),
+                "bad tail: {s:?}"
+            );
+            assert!(tail[..2].bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_bad_patterns() {
+        assert!(crate::string::string_regex("[a-z").is_err());
+        assert!(crate::string::string_regex("{3}").is_err());
+        assert!(crate::string::string_regex("a\\").is_err());
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let strat = crate::collection::vec(0.0f64..1.0, 2..5);
+        let mut rng = new_rng();
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(a in 0u8..10, pair in (0.0f64..1.0, 1usize..4)) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&pair.0), "pair.0 out of range: {}", pair.0);
+            prop_assert_eq!(pair.1.min(3), pair.1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config_compiles(x in 0.0f64..1.0) {
+            prop_assert!(x >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the parts of `serde` this workspace touches.
+//!
+//! The tree derives `Serialize` / `Deserialize` on its public data types as
+//! forward-looking annotations but never serializes anything, and the build
+//! environment cannot reach crates.io. This crate mirrors serde's import
+//! surface (`use serde::{Deserialize, Serialize}` resolves both the traits and
+//! the derive macros) so the real crate can be dropped in later by only
+//! editing `[workspace.dependencies]`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; the vendored derive emits no impl
+/// because nothing in the workspace consumes the bound.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
