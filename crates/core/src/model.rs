@@ -108,6 +108,16 @@ impl LearnRiskModel {
     /// classifier-output feature.
     pub fn components(&self, input: &PairRiskInput) -> Vec<PortfolioComponent> {
         let mut comps = Vec::with_capacity(input.rule_indices.len() + 1);
+        self.components_into(input, &mut comps);
+        comps
+    }
+
+    /// [`Self::components`] into a caller-owned buffer (cleared first), so
+    /// per-pair scoring on the serving hot path allocates nothing once the
+    /// buffer has warmed up.
+    pub fn components_into(&self, input: &PairRiskInput, comps: &mut Vec<PortfolioComponent>) {
+        comps.clear();
+        comps.reserve(input.rule_indices.len() + 1);
         for &ri in &input.rule_indices {
             let j = ri as usize;
             let mu = self.features.expectations[j];
@@ -126,7 +136,6 @@ impl LearnRiskModel {
             mean: p,
             std: (self.output_rsd[bucket] * p).max(0.0),
         });
-        comps
     }
 
     /// The aggregated equivalence-probability distribution of a pair.
@@ -142,7 +151,17 @@ impl LearnRiskModel {
 
     /// Risk score of a pair under the configured metric (VaR by default).
     pub fn risk_score(&self, input: &PairRiskInput) -> f64 {
-        let d = self.pair_distribution(input);
+        let mut comps = Vec::with_capacity(input.rule_indices.len() + 1);
+        self.risk_score_with(input, &mut comps)
+    }
+
+    /// [`Self::risk_score`] reusing a caller-owned component buffer — the
+    /// allocation-free form the serving engine calls per request. The
+    /// arithmetic is identical to [`Self::risk_score`] (same component
+    /// order, same aggregation), so the two produce bit-equal scores.
+    pub fn risk_score_with(&self, input: &PairRiskInput, comps: &mut Vec<PortfolioComponent>) -> f64 {
+        self.components_into(input, comps);
+        let d = aggregate(comps);
         pair_risk(
             self.config.metric,
             d.mean,
@@ -187,6 +206,68 @@ impl LearnRiskModel {
     pub fn param_count(&self) -> usize {
         // rule weights + rule RSDs + α + β + bucket RSDs
         2 * self.features.len() + 2 + self.output_rsd.len()
+    }
+
+    /// Checks the structural invariants a trained model must satisfy before it
+    /// can be served: parameter vectors aligned with the feature set, a
+    /// non-degenerate influence function and a usable VaR confidence level.
+    ///
+    /// Serving loads models from external artifacts, so a corrupt or
+    /// hand-edited file must be rejected with a description of what is wrong
+    /// rather than panicking (or silently mis-scoring) at request time.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.features.len();
+        for (what, len) in [
+            ("rule_weights", self.rule_weights.len()),
+            ("rule_rsd", self.rule_rsd.len()),
+            ("feature expectations", self.features.expectations.len()),
+            ("feature support", self.features.support.len()),
+        ] {
+            if len != n {
+                return Err(format!("{what} has {len} entries but the model has {n} rule features"));
+            }
+        }
+        let buckets = self.config.output_buckets.max(1);
+        if self.output_rsd.len() != buckets {
+            return Err(format!(
+                "output_rsd has {} entries but the config declares {buckets} buckets",
+                self.output_rsd.len()
+            ));
+        }
+        for (what, values) in [
+            ("rule_weights", &self.rule_weights),
+            ("rule_rsd", &self.rule_rsd),
+            ("feature expectations", &self.features.expectations),
+            ("output_rsd", &self.output_rsd),
+        ] {
+            if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+                return Err(format!("{what} contains a non-finite value {bad}"));
+            }
+        }
+        for (ri, rule) in self.features.rules.iter().enumerate() {
+            if let Some(cond) = rule.conditions.iter().find(|c| !c.threshold.is_finite()) {
+                // A NaN threshold never matches offline (`v <= NaN` is false)
+                // but would confuse the serving engine's sorted threshold
+                // index, so reject it outright.
+                return Err(format!(
+                    "rule {ri} has a non-finite condition threshold {} on metric {}",
+                    cond.threshold, cond.metric_index
+                ));
+            }
+        }
+        if !(self.influence.alpha.is_finite() && self.influence.alpha > 0.0) {
+            return Err(format!(
+                "influence alpha must be positive, got {}",
+                self.influence.alpha
+            ));
+        }
+        if !self.influence.beta.is_finite() {
+            return Err(format!("influence beta must be finite, got {}", self.influence.beta));
+        }
+        if !(self.config.theta > 0.0 && self.config.theta < 1.0) {
+            return Err(format!("theta must lie in (0, 1), got {}", self.config.theta));
+        }
+        Ok(())
     }
 }
 
@@ -297,6 +378,55 @@ mod tests {
         let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
         assert_eq!(model.param_count(), 2 * 2 + 2 + 10);
         assert!(model.z_theta() > 1.2 && model.z_theta() < 1.3);
+    }
+
+    #[test]
+    fn buffered_scoring_is_bit_identical_to_plain_scoring() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        let mut comps = Vec::new();
+        for inp in [
+            input(vec![], 0.0, false),
+            input(vec![0], 0.9, true),
+            input(vec![0, 1], 0.5, true),
+            input(vec![1], 1.0, false),
+        ] {
+            let plain = model.risk_score(&inp);
+            let buffered = model.risk_score_with(&inp, &mut comps);
+            assert_eq!(plain.to_bits(), buffered.to_bits());
+            // Reuse across calls must not leak state.
+            let again = model.risk_score_with(&inp, &mut comps);
+            assert_eq!(plain.to_bits(), again.to_bits());
+        }
+    }
+
+    #[test]
+    fn validate_accepts_fresh_models_and_flags_corruption() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        assert_eq!(model.validate(), Ok(()));
+
+        let mut truncated = model.clone();
+        truncated.rule_weights.pop();
+        assert!(truncated.validate().unwrap_err().contains("rule_weights"));
+
+        let mut nan = model.clone();
+        nan.rule_rsd[0] = f64::NAN;
+        assert!(nan.validate().unwrap_err().contains("non-finite"));
+
+        let mut bad_buckets = model.clone();
+        bad_buckets.output_rsd.pop();
+        assert!(bad_buckets.validate().unwrap_err().contains("buckets"));
+
+        let mut bad_threshold = model.clone();
+        bad_threshold.features.rules[0].conditions[0].threshold = f64::NAN;
+        assert!(bad_threshold.validate().unwrap_err().contains("threshold"));
+
+        let mut bad_expectation = model.clone();
+        bad_expectation.features.expectations[1] = f64::INFINITY;
+        assert!(bad_expectation.validate().unwrap_err().contains("expectations"));
+
+        let mut bad_theta = model;
+        bad_theta.config.theta = 1.5;
+        assert!(bad_theta.validate().unwrap_err().contains("theta"));
     }
 
     #[test]

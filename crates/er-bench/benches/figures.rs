@@ -72,7 +72,7 @@ fn bench_fig13(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper/fig13");
     group.sample_size(10);
     group.bench_function("scalability_two_sizes", |b| {
-        b.iter(|| std::hint::black_box(run_fig13(&tiny(), &[200, 400])))
+        b.iter(|| std::hint::black_box(run_fig13(&tiny(), &[200, 400], &[1, 2])))
     });
     group.finish();
 }

@@ -1,9 +1,11 @@
-//! Regenerates Figure 13 (scalability of rule generation and risk training).
+//! Regenerates Figure 13 (scalability of rule generation and risk training),
+//! extended with the `er-serve` engine's batched-scoring throughput per
+//! `--threads` entry so offline and serving scalability land in one table.
 use er_eval::{render_scalability, run_fig13};
 
 fn main() {
-    let config = er_bench::config_from_args(0.05);
+    let args = er_bench::parse_args(0.05);
     let sizes = [500, 1000, 2000, 3000, 4000, 6000];
-    let points = run_fig13(&config, &sizes);
+    let points = run_fig13(&args.config, &sizes, &args.threads);
     println!("{}", render_scalability(&points));
 }

@@ -1,53 +1,166 @@
 //! # er-bench
 //!
 //! Benchmark harness of the reproduction: one binary per table/figure of the
-//! paper (printing the same rows/series the paper reports) and Criterion
-//! benches for the performance-sensitive building blocks.
+//! paper (printing the same rows/series the paper reports), the `serve_bench`
+//! traffic-replay benchmark of the online engine, and Criterion benches for
+//! the performance-sensitive building blocks.
 //!
-//! Binaries (run with `cargo run -p er-bench --release --bin <name> [scale]`):
+//! Binaries (run with
+//! `cargo run -p er-bench --release --bin <name> [scale] [--threads 1,2,4]`):
 //!
-//! | Binary    | Reproduces |
-//! |-----------|------------|
-//! | `table2`  | Table 2 — dataset statistics |
-//! | `fig9`    | Figure 9 — comparative AUROC on DS/AB/AG/SG × 3 ratios |
-//! | `fig10`   | Figure 10 — out-of-distribution evaluation (DA2DS, AB2AG) |
-//! | `fig11`   | Figure 11 — LearnRisk vs HoloClean |
-//! | `fig12`   | Figure 12 — sensitivity to risk-training data size |
-//! | `fig13`   | Figure 13 — scalability of rule generation / risk training |
-//! | `fig14`   | Figure 14 — active learning |
-//! | `ablation`| Design-choice ablations called out in DESIGN.md |
+//! | Binary       | Reproduces |
+//! |--------------|------------|
+//! | `table2`     | Table 2 — dataset statistics |
+//! | `fig9`       | Figure 9 — comparative AUROC on DS/AB/AG/SG × 3 ratios |
+//! | `fig10`      | Figure 10 — out-of-distribution evaluation (DA2DS, AB2AG) |
+//! | `fig11`      | Figure 11 — LearnRisk vs HoloClean |
+//! | `fig12`      | Figure 12 — sensitivity to risk-training data size |
+//! | `fig13`      | Figure 13 — scalability (rule generation / risk training / engine scoring) |
+//! | `fig14`      | Figure 14 — active learning |
+//! | `ablation`   | Design-choice ablations called out in DESIGN.md |
+//! | `serve_bench`| Zipf traffic replay against the `er-serve` engine |
+//!
+//! All binaries share one argument parser ([`parse_args`]): an optional
+//! positional workload scale plus `--threads a,b,c` for the binaries that
+//! exercise the multi-threaded serving path (`fig13`, `serve_bench`).
 
 #![warn(missing_docs)]
 
 use er_eval::ExperimentConfig;
 
-/// Parses the workload scale from the first CLI argument (default
-/// `default_scale`), with the seed fixed at 2020 for reproducibility.
+/// Parsed command-line arguments shared by every benchmark binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Workload scale and seed (the seed is fixed at 2020 for
+    /// reproducibility).
+    pub config: ExperimentConfig,
+    /// Thread counts for the serving-path binaries, from `--threads`;
+    /// defaults to [`default_thread_counts`].
+    pub threads: Vec<usize>,
+}
+
+/// Parses the process arguments: `[scale] [--threads a,b,c]`.
 ///
-/// An unparsable argument falls back to the default but warns on stderr, so a
-/// typo cannot silently run a long experiment at the wrong scale.
-pub fn config_from_args(default_scale: f64) -> ExperimentConfig {
-    let scale = match std::env::args().nth(1) {
-        None => default_scale,
-        Some(arg) => match arg.trim().parse::<f64>() {
-            Ok(scale) => scale,
-            Err(_) => {
-                eprintln!("warning: could not parse scale argument {arg:?}; using default {default_scale}");
-                default_scale
+/// Keeps the harness's warn-don't-die behavior: an unparsable scale or
+/// thread list falls back to its default with a warning on stderr, so a typo
+/// cannot silently run a long experiment at the wrong configuration.
+pub fn parse_args(default_scale: f64) -> BenchArgs {
+    parse_args_from(std::env::args().skip(1), default_scale)
+}
+
+/// [`parse_args`] over an explicit argument list (testable form).
+pub fn parse_args_from(args: impl IntoIterator<Item = String>, default_scale: f64) -> BenchArgs {
+    let mut scale = default_scale;
+    let mut scale_seen = false;
+    let mut threads = default_thread_counts();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if let Some(list) = arg
+            .strip_prefix("--threads=")
+            .map(str::to_owned)
+            .or_else(|| (arg == "--threads").then(|| iter.next().unwrap_or_default()))
+        {
+            match parse_thread_list(&list) {
+                Some(parsed) => threads = parsed,
+                None => {
+                    eprintln!("warning: could not parse --threads value {list:?}; using default {threads:?}");
+                }
             }
-        },
-    };
-    ExperimentConfig { scale, seed: 2020 }
+        } else if !scale_seen {
+            scale_seen = true;
+            match arg.trim().parse::<f64>() {
+                Ok(parsed) => scale = parsed,
+                Err(_) => {
+                    eprintln!("warning: could not parse scale argument {arg:?}; using default {default_scale}");
+                }
+            }
+        } else {
+            eprintln!("warning: ignoring unrecognized argument {arg:?}");
+        }
+    }
+    BenchArgs {
+        config: ExperimentConfig { scale, seed: 2020 },
+        threads,
+    }
+}
+
+/// Backwards-compatible helper: parses only the workload scale from the
+/// process arguments (see [`parse_args`]).
+pub fn config_from_args(default_scale: f64) -> ExperimentConfig {
+    parse_args(default_scale).config
+}
+
+/// Default thread counts for the serving-path binaries: powers of two up to
+/// the machine's parallelism, always including at least 1 and 2 so the
+/// single- vs multi-threaded comparison is always reported.
+pub fn default_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= max && counts.len() < 4 {
+        counts.push(t);
+        t *= 2;
+    }
+    if counts.len() == 1 {
+        counts.push(2);
+    }
+    counts
+}
+
+fn parse_thread_list(list: &str) -> Option<Vec<usize>> {
+    let parsed: Option<Vec<usize>> = list
+        .split(',')
+        .map(|part| part.trim().parse::<usize>().ok().filter(|&t| t > 0))
+        .collect();
+    parsed.filter(|v| !v.is_empty())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> BenchArgs {
+        parse_args_from(list.iter().map(|s| s.to_string()), 0.03)
+    }
+
     #[test]
     fn default_scale_is_used_without_args() {
-        let c = config_from_args(0.03);
-        assert!(c.scale > 0.0);
-        assert_eq!(c.seed, 2020);
+        let a = args(&[]);
+        assert_eq!(a.config.scale, 0.03);
+        assert_eq!(a.config.seed, 2020);
+        assert!(a.threads.len() >= 2, "always at least two thread counts");
+        assert_eq!(a.threads[0], 1);
+    }
+
+    #[test]
+    fn positional_scale_is_parsed() {
+        assert_eq!(args(&["0.1"]).config.scale, 0.1);
+    }
+
+    #[test]
+    fn bad_scale_falls_back_with_default() {
+        assert_eq!(args(&["zoom"]).config.scale, 0.03);
+    }
+
+    #[test]
+    fn threads_flag_both_spellings() {
+        assert_eq!(args(&["--threads", "1,2,8"]).threads, vec![1, 2, 8]);
+        assert_eq!(args(&["--threads=4"]).threads, vec![4]);
+        assert_eq!(args(&["0.2", "--threads", "2, 3"]).threads, vec![2, 3]);
+    }
+
+    #[test]
+    fn bad_threads_fall_back_to_defaults() {
+        let defaults = default_thread_counts();
+        assert_eq!(args(&["--threads", "fast"]).threads, defaults);
+        assert_eq!(args(&["--threads", "0"]).threads, defaults);
+        assert_eq!(args(&["--threads", ""]).threads, defaults);
+        assert_eq!(args(&["--threads"]).threads, defaults);
+    }
+
+    #[test]
+    fn extra_positionals_are_ignored_not_fatal() {
+        let a = args(&["0.5", "unexpected"]);
+        assert_eq!(a.config.scale, 0.5);
     }
 }

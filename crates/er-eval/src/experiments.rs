@@ -330,17 +330,24 @@ pub fn run_fig12(config: &ExperimentConfig) -> Vec<SensitivityPoint> {
 /// One point of the Figure 13 scalability curves.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScalabilityPoint {
-    /// Which stage is being measured (`"rule_generation"` or `"risk_training"`).
+    /// Which stage is being measured (`"rule_generation"`, `"risk_training"`
+    /// or `"engine_scoring[tN]"` for the serving engine at N threads).
     pub stage: String,
     /// Number of training pairs.
     pub training_size: usize,
     /// Wall-clock runtime in seconds.
     pub runtime_secs: f64,
+    /// Scored pairs per second (serving stages only).
+    pub throughput_pairs_per_sec: Option<f64>,
 }
 
-/// Reproduces Figure 13: runtime of rule generation and of risk-model training
-/// as a function of the training-data size, on DS-style workloads.
-pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize]) -> Vec<ScalabilityPoint> {
+/// Reproduces Figure 13, extended with the serving engine: runtime of rule
+/// generation and of risk-model training as a function of the training-data
+/// size on DS-style workloads, plus the `er-serve` engine's batched-scoring
+/// throughput on the same pairs at each requested thread count — so the
+/// paper's offline scalability and the serving-path scalability land in one
+/// table.
+pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize], threads: &[usize]) -> Vec<ScalabilityPoint> {
     let mut out = Vec::new();
     let max_size = sizes.iter().copied().max().unwrap_or(2000);
     // Generate one large workload and take prefixes, so the curves measure the
@@ -363,6 +370,7 @@ pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize]) -> Vec<ScalabilityP
             stage: "rule_generation".into(),
             training_size: n,
             runtime_secs: start.elapsed().as_secs_f64(),
+            throughput_pairs_per_sec: None,
         });
 
         // Risk-training runtime (feature construction + optimization), using a
@@ -386,7 +394,38 @@ pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize]) -> Vec<ScalabilityP
             stage: "risk_training".into(),
             training_size: n,
             runtime_secs: start.elapsed().as_secs_f64(),
+            throughput_pairs_per_sec: None,
         });
+
+        // Serving-path scalability: batched scoring of the same pairs through
+        // the compiled engine, per requested thread count. The batch is
+        // replayed enough times that even the smallest sizes measure more
+        // than scheduler noise; caching is disabled so the number is pure
+        // scoring throughput.
+        let requests = crate::serving::requests_from_rows(rows, &probs);
+        let engine = er_serve::ScoringEngine::new(model.clone());
+        let reps = (8_000 / n.max(1)).clamp(1, 40);
+        for &t in threads {
+            let executor = er_serve::ShardedExecutor::new(
+                engine.clone(),
+                er_serve::ServeConfig {
+                    threads: t.max(1),
+                    cache_capacity: 0,
+                    cache_shards: 1,
+                },
+            );
+            let start = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(executor.score_batch(&requests));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            out.push(ScalabilityPoint {
+                stage: format!("engine_scoring[t{t}]"),
+                training_size: n,
+                runtime_secs: elapsed / reps as f64,
+                throughput_pairs_per_sec: Some((n * reps) as f64 / elapsed.max(1e-12)),
+            });
+        }
     }
     out
 }
@@ -462,10 +501,27 @@ mod tests {
 
     #[test]
     fn fig13_runtimes_are_measured() {
-        let points = run_fig13(&ExperimentConfig::tiny(), &[200, 400]);
-        assert_eq!(points.len(), 4);
+        let points = run_fig13(&ExperimentConfig::tiny(), &[200, 400], &[1, 2]);
+        // Two sizes × (rule_generation + risk_training + two serving stages).
+        assert_eq!(points.len(), 8);
         assert!(points.iter().all(|p| p.runtime_secs >= 0.0));
         assert!(points.iter().any(|p| p.stage == "rule_generation"));
         assert!(points.iter().any(|p| p.stage == "risk_training"));
+        let serving: Vec<_> = points
+            .iter()
+            .filter(|p| p.stage.starts_with("engine_scoring"))
+            .collect();
+        assert_eq!(serving.len(), 4);
+        for p in &serving {
+            let tp = p.throughput_pairs_per_sec.expect("serving stages report throughput");
+            assert!(tp > 0.0, "{} throughput {tp}", p.stage);
+        }
+        assert!(
+            points
+                .iter()
+                .filter(|p| !p.stage.starts_with("engine_scoring"))
+                .all(|p| p.throughput_pairs_per_sec.is_none()),
+            "offline stages carry no throughput"
+        );
     }
 }

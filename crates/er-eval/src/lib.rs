@@ -8,6 +8,8 @@
 //! * [`active`] — active learning with risk-driven instance selection
 //!   (Figure 14).
 //! * [`experiments`] — per-figure experiment runners (Table 2, Figures 9–14).
+//! * [`serving`] — the train → export → load → score round trip onto the
+//!   `er-serve` online engine.
 //! * [`report`] — plain-text rendering of the results.
 
 #![warn(missing_docs)]
@@ -17,6 +19,7 @@ pub mod experiments;
 pub mod ood;
 pub mod pipeline;
 pub mod report;
+pub mod serving;
 
 pub use active::{run_active_learning, ActiveLearningConfig, ActiveLearningCurve, SelectionStrategy};
 pub use experiments::{
@@ -29,3 +32,6 @@ pub use pipeline::{
     PipelineResult,
 };
 pub use report::{render_active_learning, render_auroc_table, render_scalability, render_sensitivity, render_table2};
+pub use serving::{
+    build_score_requests, export_and_load_engine, requests_from_rows, round_trip_engine, verify_round_trip,
+};

@@ -85,13 +85,26 @@ pub fn render_sensitivity(points: &[SensitivityPoint]) -> String {
     s
 }
 
-/// Renders the Figure 13 scalability points.
+/// Renders the Figure 13 scalability points (offline stages plus the serving
+/// engine's batched-scoring throughput).
 pub fn render_scalability(points: &[ScalabilityPoint]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Figure 13 — runtime vs training-data size");
-    let _ = writeln!(s, "{:<18} {:>10} {:>12}", "Stage", "Size", "Runtime (s)");
+    let _ = writeln!(
+        s,
+        "{:<20} {:>10} {:>12} {:>14}",
+        "Stage", "Size", "Runtime (s)", "Pairs/s"
+    );
     for p in points {
-        let _ = writeln!(s, "{:<18} {:>10} {:>12.3}", p.stage, p.training_size, p.runtime_secs);
+        let throughput = match p.throughput_pairs_per_sec {
+            Some(tp) => format!("{tp:>14.0}"),
+            None => format!("{:>14}", "-"),
+        };
+        let _ = writeln!(
+            s,
+            "{:<20} {:>10} {:>12.3} {throughput}",
+            p.stage, p.training_size, p.runtime_secs
+        );
     }
     s
 }
@@ -177,13 +190,25 @@ mod tests {
             auroc: 0.96,
         }]);
         assert!(sens.contains("random"));
-        let scal = render_scalability(&[ScalabilityPoint {
-            stage: "rule_generation".into(),
-            training_size: 2000,
-            runtime_secs: 1.5,
-        }]);
+        let scal = render_scalability(&[
+            ScalabilityPoint {
+                stage: "rule_generation".into(),
+                training_size: 2000,
+                runtime_secs: 1.5,
+                throughput_pairs_per_sec: None,
+            },
+            ScalabilityPoint {
+                stage: "engine_scoring[t4]".into(),
+                training_size: 2000,
+                runtime_secs: 0.004,
+                throughput_pairs_per_sec: Some(500_000.0),
+            },
+        ]);
         assert!(scal.contains("rule_generation"));
         assert!(scal.contains("2000"));
+        assert!(scal.contains("engine_scoring[t4]"));
+        assert!(scal.contains("500000"));
+        assert!(scal.contains(" -\n"), "offline stages render a dash for throughput");
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Versioned persistence of a trained risk model.
+//!
+//! A [`ModelArtifact`] captures the *full* trained state of a
+//! [`LearnRiskModel`] — generated rules, prior expectations, learned rule
+//! weights/RSDs, the influence-function shape, per-bucket output RSDs and the
+//! VaR configuration — as deterministic JSON. The loader is strict: it
+//! refuses artifacts written under a different format version and artifacts
+//! whose model fails [`LearnRiskModel::validate`], so a serving process can
+//! never come up on a model it would mis-score.
+
+use learnrisk_core::LearnRiskModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// The artifact format version this build reads and writes.
+///
+/// Bump whenever the serialized shape of [`LearnRiskModel`] (or this wrapper)
+/// changes incompatibly; old binaries will then reject new artifacts with a
+/// [`ArtifactError::VersionMismatch`] instead of misinterpreting them.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A trained risk model packaged for serving.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Format version the artifact was written under (see [`FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Human-readable producer tag (crate name/version), for provenance only.
+    pub producer: String,
+    /// The full trained model state.
+    pub model: LearnRiskModel,
+}
+
+/// Why an artifact could not be written or loaded.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure while reading or writing the artifact.
+    Io(std::io::Error),
+    /// The payload is not a well-formed artifact document.
+    Malformed(serde::Error),
+    /// The artifact was written under a different format version.
+    VersionMismatch {
+        /// Version recorded in the artifact.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The artifact parsed but its model fails structural validation.
+    InvalidModel(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Malformed(e) => write!(f, "malformed artifact: {e}"),
+            ArtifactError::VersionMismatch { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported by this build (expected {supported}); \
+                 re-export the model with a matching er-serve version"
+            ),
+            ArtifactError::InvalidModel(why) => write!(f, "artifact model failed validation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl ModelArtifact {
+    /// Packages a trained model under the current [`FORMAT_VERSION`].
+    pub fn new(model: LearnRiskModel) -> Self {
+        Self {
+            format_version: FORMAT_VERSION,
+            producer: format!("{} {}", env!("CARGO_PKG_NAME"), env!("CARGO_PKG_VERSION")),
+            model,
+        }
+    }
+
+    /// Serializes the artifact as pretty-printed JSON.
+    ///
+    /// The encoding is deterministic (ordered keys, shortest round-trip float
+    /// formatting), so identical models produce byte-identical artifacts.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses and fully validates an artifact document.
+    ///
+    /// The format version is checked *before* the model payload is decoded,
+    /// so a future-format artifact fails with a clear [`ArtifactError::VersionMismatch`]
+    /// rather than a confusing field-level parse error.
+    pub fn from_json(text: &str) -> Result<Self, ArtifactError> {
+        let value = serde::json::parse(text).map_err(ArtifactError::Malformed)?;
+        let found: u32 = match value.get("format_version") {
+            Some(v) => serde::from_value(v).map_err(ArtifactError::Malformed)?,
+            None => {
+                return Err(ArtifactError::Malformed(serde::Error::new(
+                    "artifact is missing the `format_version` field",
+                )))
+            }
+        };
+        if found != FORMAT_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let artifact: ModelArtifact = serde::from_value(&value).map_err(ArtifactError::Malformed)?;
+        artifact.model.validate().map_err(ArtifactError::InvalidModel)?;
+        Ok(artifact)
+    }
+
+    /// Writes the artifact to a file, creating parent directories as needed.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads and validates an artifact from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use learnrisk_core::{RiskFeatureSet, RiskModelConfig};
+
+    fn tiny_model() -> LearnRiskModel {
+        use er_base::Label;
+        use er_rulegen::{CmpOp, Condition, Rule};
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 12, 0.95),
+            Rule::new(
+                vec![Condition::new(1, CmpOp::Le, 0.25), Condition::new(0, CmpOp::Gt, 0.1)],
+                Label::Equivalent,
+                7,
+                0.9,
+            ),
+        ];
+        let fs = RiskFeatureSet {
+            rules,
+            metrics: vec![],
+            expectations: vec![0.04, 0.96],
+            support: vec![12, 7],
+        };
+        LearnRiskModel::new(fs, RiskModelConfig::default())
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_parameter() {
+        let mut model = tiny_model();
+        // Perturb learnable parameters to non-default values with awkward
+        // binary representations.
+        model.rule_weights = vec![1.0 / 3.0, 0.1 + 0.2];
+        model.rule_rsd = vec![0.123456789012345, 5e-17f64.max(1e-3)];
+        model.influence.alpha = 0.2000000000000001;
+        model.influence.beta = 3.9999999999999996;
+        let artifact = ModelArtifact::new(model);
+        let restored = ModelArtifact::from_json(&artifact.to_json()).expect("round trip");
+        assert_eq!(restored.format_version, FORMAT_VERSION);
+        assert_eq!(restored.model.rule_weights, artifact.model.rule_weights);
+        assert_eq!(restored.model.rule_rsd, artifact.model.rule_rsd);
+        assert_eq!(restored.model.influence, artifact.model.influence);
+        assert_eq!(restored.model.output_rsd, artifact.model.output_rsd);
+        assert_eq!(restored.model.features.rules, artifact.model.features.rules);
+        assert_eq!(
+            restored.model.features.expectations,
+            artifact.model.features.expectations
+        );
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected_with_a_clear_error() {
+        let artifact = ModelArtifact::new(tiny_model());
+        let bumped = artifact.to_json().replace(
+            &format!("\"format_version\": {FORMAT_VERSION}"),
+            &format!("\"format_version\": {}", FORMAT_VERSION + 1),
+        );
+        let err = ModelArtifact::from_json(&bumped).unwrap_err();
+        match err {
+            ArtifactError::VersionMismatch { found, supported } => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other}"),
+        }
+        assert!(err.to_string().contains("format version"), "{err}");
+    }
+
+    #[test]
+    fn missing_version_and_garbage_are_malformed() {
+        assert!(matches!(
+            ModelArtifact::from_json("{}"),
+            Err(ArtifactError::Malformed(_))
+        ));
+        assert!(matches!(
+            ModelArtifact::from_json("not json"),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_models_fail_validation_on_load() {
+        let artifact = ModelArtifact::new(tiny_model());
+        // Drop one rule weight: lengths no longer line up with the rules.
+        let corrupt = artifact.to_json().replace(
+            "\"rule_weights\": [\n      1.0,\n      1.0\n    ]",
+            "\"rule_weights\": [\n      1.0\n    ]",
+        );
+        assert_ne!(corrupt, artifact.to_json(), "corruption must hit the payload");
+        match ModelArtifact::from_json(&corrupt) {
+            Err(ArtifactError::InvalidModel(why)) => assert!(why.contains("rule_weights"), "{why}"),
+            other => panic!("expected InvalidModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("er-serve-artifact-test");
+        let path = dir.join("nested").join("model.json");
+        let artifact = ModelArtifact::new(tiny_model());
+        artifact.save(&path).expect("save");
+        let loaded = ModelArtifact::load(&path).expect("load");
+        assert_eq!(loaded.to_json(), artifact.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

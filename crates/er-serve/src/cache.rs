@@ -1,0 +1,217 @@
+//! A bounded least-recently-used cache over a slab-backed intrusive list.
+//!
+//! The serving executor keys one of these per shard on pair id, so repeated
+//! pairs in skewed traffic are answered without re-scoring. All operations
+//! are `O(1)`: the entries live in a slab (`Vec`) threaded with an intrusive
+//! doubly-linked recency list, and a `HashMap` maps keys to slab slots.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded LRU map. Capacity 0 is allowed and caches nothing.
+#[derive(Debug, Clone)]
+pub struct LruCache<K: Eq + Hash + Copy, V: Copy> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Copy, V: Copy> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        self.move_to_front(slot);
+        Some(self.nodes[slot].value)
+    }
+
+    /// Inserts or refreshes an entry, evicting the least recently used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.nodes[slot].value = value;
+            self.move_to_front(slot);
+            return;
+        }
+        let slot = if self.map.len() == self.capacity {
+            // Recycle the LRU slot in place.
+            let slot = self.tail;
+            self.detach(slot);
+            self.map.remove(&self.nodes[slot].key);
+            self.nodes[slot].key = key;
+            self.nodes[slot].value = value;
+            slot
+        } else {
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn move_to_front(&mut self, slot: usize) {
+        if self.head != slot {
+            self.detach(slot);
+            self.attach_front(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1u64, 10.0f64);
+        cache.insert(2, 20.0);
+        assert_eq!(cache.get(&1), Some(10.0)); // 1 is now MRU
+        cache.insert(3, 30.0); // evicts 2
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(10.0));
+        assert_eq!(cache.get(&3), Some(30.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_keys() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1u32, 1i32);
+        cache.insert(2, 2);
+        cache.insert(1, 11); // refresh value and recency
+        cache.insert(3, 3); // evicts 2, not 1
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&3), Some(3));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1u64, 1.0f64);
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cache_keeps_the_latest() {
+        let mut cache = LruCache::new(1);
+        for k in 0u64..10 {
+            cache.insert(k, k as f64);
+            assert_eq!(cache.get(&k), Some(k as f64));
+            if k > 0 {
+                assert_eq!(cache.get(&(k - 1)), None);
+            }
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stress_against_a_naive_model() {
+        // Mirror the cache against a brute-force recency list.
+        let mut cache = LruCache::new(8);
+        let mut model: Vec<(u64, f64)> = Vec::new();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..10_000 {
+            // xorshift64* — deterministic operation stream.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let key = (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) % 24; // 24 hot keys
+            let value = key as f64 * 1.5;
+            if x & 1 == 0 {
+                cache.insert(key, value);
+                if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                    model.remove(pos);
+                }
+                model.insert(0, (key, value));
+                model.truncate(8);
+            } else {
+                let expected = model.iter().position(|&(k, _)| k == key).map(|pos| {
+                    let entry = model.remove(pos);
+                    model.insert(0, entry);
+                    entry.1
+                });
+                assert_eq!(cache.get(&key), expected, "key {key}");
+            }
+            assert_eq!(cache.len(), model.len());
+        }
+    }
+}

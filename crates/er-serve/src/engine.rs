@@ -1,0 +1,226 @@
+//! The scoring engine: a trained model plus its compiled rule index.
+//!
+//! [`ScoringEngine::score_request`] resolves which rules fire on a raw
+//! basic-metric row through the [`CompiledRuleIndex`], then scores through
+//! the exact same [`LearnRiskModel::risk_score`] code path the batch
+//! pipeline uses — the fired-rule list is produced in the same (ascending)
+//! order the offline linear scan yields, so online scores are bit-identical
+//! to offline ones. This is what makes the artifact round-trip property
+//! (train → save → load → serve) testable to full `f64` precision.
+
+use crate::index::{CompiledRuleIndex, MatchScratch};
+use learnrisk_core::{LearnRiskModel, PairRiskInput, PortfolioComponent};
+use serde::{Deserialize, Serialize};
+
+/// One scoring request: a candidate pair reduced to its serving inputs.
+///
+/// The caller (feature service / classifier front-end) supplies the pair's
+/// basic-metric row and the classifier decision; the engine resolves rule
+/// coverage and the risk score.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreRequest {
+    /// Caller-assigned pair identity, used as the cache key for repeated
+    /// traffic. Requests with equal ids must describe the same pair.
+    pub pair_id: u64,
+    /// The pair's basic-metric row (same layout the rules were trained on).
+    pub metric_row: Vec<f64>,
+    /// Classifier equivalence-probability output.
+    pub classifier_output: f64,
+    /// Whether the classifier labeled the pair as matching.
+    pub machine_says_match: bool,
+}
+
+/// Reusable per-worker scratch for the engine (rule-match counters plus the
+/// assembled [`PairRiskInput`]); create one per thread via
+/// [`ScoringEngine::scratch`].
+#[derive(Debug, Clone)]
+pub struct EngineScratch {
+    matcher: MatchScratch,
+    input: PairRiskInput,
+    components: Vec<PortfolioComponent>,
+}
+
+/// A servable risk model: the trained state plus the compiled rule index.
+#[derive(Debug, Clone)]
+pub struct ScoringEngine {
+    model: LearnRiskModel,
+    index: CompiledRuleIndex,
+}
+
+impl ScoringEngine {
+    /// Compiles the rule index and wraps the model for serving.
+    ///
+    /// # Panics
+    /// Panics if the model fails [`LearnRiskModel::validate`]; load models
+    /// from artifacts (which validate on load) or pass freshly trained ones.
+    pub fn new(model: LearnRiskModel) -> Self {
+        if let Err(why) = model.validate() {
+            panic!("refusing to serve an invalid model: {why}");
+        }
+        let index = CompiledRuleIndex::compile(&model.features.rules);
+        Self { model, index }
+    }
+
+    /// The underlying trained model.
+    pub fn model(&self) -> &LearnRiskModel {
+        &self.model
+    }
+
+    /// The compiled rule index.
+    pub fn index(&self) -> &CompiledRuleIndex {
+        &self.index
+    }
+
+    /// Creates scratch state sized for this engine.
+    pub fn scratch(&self) -> EngineScratch {
+        EngineScratch {
+            matcher: self.index.scratch(),
+            input: PairRiskInput {
+                rule_indices: Vec::with_capacity(16),
+                classifier_output: 0.0,
+                machine_says_match: false,
+                risk_label: 0,
+            },
+            components: Vec::with_capacity(17),
+        }
+    }
+
+    /// Scores one request, reusing `scratch` (no per-request allocation once
+    /// the scratch vectors have warmed up).
+    pub fn score_request(&self, request: &ScoreRequest, scratch: &mut EngineScratch) -> f64 {
+        self.index.matching_rules_into(
+            &request.metric_row,
+            &mut scratch.matcher,
+            &mut scratch.input.rule_indices,
+        );
+        scratch.input.classifier_output = request.classifier_output;
+        scratch.input.machine_says_match = request.machine_says_match;
+        self.model.risk_score_with(&scratch.input, &mut scratch.components)
+    }
+
+    /// Scores a pre-resolved risk input (rule coverage already known), e.g.
+    /// when replaying batch-pipeline outputs.
+    pub fn score_pair(&self, input: &PairRiskInput) -> f64 {
+        self.model.risk_score(input)
+    }
+
+    /// Scores a batch sequentially. For multi-threaded batches with caching,
+    /// wrap the engine in a [`crate::ShardedExecutor`].
+    pub fn score_batch(&self, requests: &[ScoreRequest]) -> Vec<f64> {
+        let mut scratch = self.scratch();
+        requests.iter().map(|r| self.score_request(r, &mut scratch)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::{Decision, Label, LabeledPair, Pair, PairId, Record, RecordId};
+    use er_rulegen::{CmpOp, Condition, Rule};
+    use learnrisk_core::{build_input_from_row, RiskFeatureSet, RiskModelConfig};
+    use std::sync::Arc;
+
+    fn model() -> LearnRiskModel {
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 20, 0.97),
+            Rule::new(
+                vec![Condition::new(1, CmpOp::Le, 0.3), Condition::new(2, CmpOp::Gt, 0.6)],
+                Label::Equivalent,
+                15,
+                0.93,
+            ),
+            Rule::new(vec![Condition::new(2, CmpOp::Le, 0.2)], Label::Inequivalent, 9, 0.9),
+        ];
+        let fs = RiskFeatureSet {
+            rules,
+            metrics: vec![],
+            expectations: vec![0.05, 0.92, 0.1],
+            support: vec![20, 15, 9],
+        };
+        let mut m = LearnRiskModel::new(fs, RiskModelConfig::default());
+        m.rule_weights = vec![1.3, 0.7, 2.1];
+        m.rule_rsd = vec![0.25, 0.4, 0.31];
+        m
+    }
+
+    fn offline_score(model: &LearnRiskModel, req: &ScoreRequest) -> f64 {
+        // The batch path: linear-scan rule resolution via build_input_from_row.
+        let rec = |id| Arc::new(Record::new(RecordId(id), vec![]));
+        let lp = LabeledPair::new(
+            Pair::new(PairId(req.pair_id as u32), rec(0), rec(1), Label::Equivalent),
+            Decision::from_probability(req.classifier_output),
+        );
+        let input = build_input_from_row(&model.features, &req.metric_row, &lp);
+        model.risk_score(&input)
+    }
+
+    fn request(pair_id: u64, row: Vec<f64>, p: f64) -> ScoreRequest {
+        ScoreRequest {
+            pair_id,
+            metric_row: row,
+            classifier_output: p,
+            machine_says_match: p >= 0.5,
+        }
+    }
+
+    #[test]
+    fn online_scores_are_bit_identical_to_the_offline_path() {
+        let model = model();
+        let engine = ScoringEngine::new(model.clone());
+        let mut scratch = engine.scratch();
+        for (i, row) in [
+            vec![0.9, 0.1, 0.8],
+            vec![0.2, 0.9, 0.1],
+            vec![0.51, 0.3, 0.61],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for p in [0.03, 0.49, 0.5, 0.97] {
+                let req = request(i as u64, row.clone(), p);
+                let online = engine.score_request(&req, &mut scratch);
+                let offline = offline_score(&model, &req);
+                assert_eq!(online.to_bits(), offline.to_bits(), "row {row:?} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_batch_matches_per_request_scoring() {
+        let engine = ScoringEngine::new(model());
+        let reqs: Vec<ScoreRequest> = (0..20)
+            .map(|i| {
+                let x = i as f64 / 20.0;
+                request(i, vec![x, 1.0 - x, (x * 7.0).fract()], x)
+            })
+            .collect();
+        let batch = engine.score_batch(&reqs);
+        let mut scratch = engine.scratch();
+        for (req, &score) in reqs.iter().zip(&batch) {
+            assert_eq!(engine.score_request(req, &mut scratch).to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn score_pair_delegates_to_the_model() {
+        let model = model();
+        let engine = ScoringEngine::new(model.clone());
+        let input = PairRiskInput {
+            rule_indices: vec![0, 2],
+            classifier_output: 0.8,
+            machine_says_match: true,
+            risk_label: 0,
+        };
+        assert_eq!(engine.score_pair(&input).to_bits(), model.risk_score(&input).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to serve an invalid model")]
+    fn invalid_models_are_refused() {
+        let mut bad = model();
+        bad.rule_weights.pop();
+        ScoringEngine::new(bad);
+    }
+}

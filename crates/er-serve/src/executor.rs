@@ -1,0 +1,299 @@
+//! The sharded multi-threaded executor.
+//!
+//! [`ShardedExecutor::score_batch`] splits a batch into contiguous chunks
+//! and scores them on `threads` scoped worker threads
+//! (`std::thread::scope`), each with its own [`EngineScratch`]. A bounded
+//! LRU result cache, sharded across mutexes and keyed on pair id, serves
+//! repeated-pair traffic without re-scoring. Scoring is a pure function of
+//! the request, so results are deterministic: the same batch produces the
+//! same scores for every thread count and cache state (the concurrency test
+//! suite asserts this bit-exactly).
+
+use crate::cache::LruCache;
+use crate::engine::{EngineScratch, ScoreRequest, ScoringEngine};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a [`ShardedExecutor`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Worker threads used by [`ShardedExecutor::score_batch`].
+    pub threads: usize,
+    /// Total cached scores across all shards; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            cache_capacity: 16_384,
+            cache_shards: 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// This configuration with a different thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
+    }
+}
+
+/// Cache hit/miss counters of an executor.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to be scored.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A [`ScoringEngine`] behind worker threads and a sharded score cache.
+pub struct ShardedExecutor {
+    engine: ScoringEngine,
+    config: ServeConfig,
+    shards: Vec<Mutex<LruCache<u64, f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedExecutor {
+    /// Wraps an engine. `config.threads` and `config.cache_shards` are
+    /// floored at 1; `cache_capacity` splits across the shards rounding *up*,
+    /// so a non-zero requested capacity always caches at least one entry per
+    /// shard (the total may exceed the request by up to `cache_shards - 1`).
+    pub fn new(engine: ScoringEngine, config: ServeConfig) -> Self {
+        let shard_count = config.cache_shards.max(1);
+        let per_shard = config.cache_capacity.div_ceil(shard_count);
+        let shards = (0..shard_count).map(|_| Mutex::new(LruCache::new(per_shard))).collect();
+        Self {
+            engine,
+            config,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Cache hit/miss counters since construction (or the last reset).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the hit/miss counters (the cache contents stay warm).
+    pub fn reset_cache_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shard_of(&self, pair_id: u64) -> usize {
+        // SplitMix64 finalizer: pair ids are often sequential, so spread them
+        // before taking the shard residue.
+        let mut z = pair_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % self.shards.len()
+    }
+
+    /// Scores one request through the cache.
+    ///
+    /// The shard lock is released while computing a miss, so two threads may
+    /// race to score the same cold pair; both compute the identical value, so
+    /// the cache stays consistent.
+    pub fn score_one(&self, request: &ScoreRequest, scratch: &mut EngineScratch) -> f64 {
+        if self.config.cache_capacity == 0 {
+            return self.engine.score_request(request, scratch);
+        }
+        let shard = self.shard_of(request.pair_id);
+        if let Some(score) = self.shards[shard]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&request.pair_id)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return score;
+        }
+        let score = self.engine.score_request(request, scratch);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(request.pair_id, score);
+        score
+    }
+
+    /// Scores a batch across `config.threads` scoped worker threads,
+    /// preserving request order in the returned scores.
+    pub fn score_batch(&self, requests: &[ScoreRequest]) -> Vec<f64> {
+        let mut scores = vec![0.0f64; requests.len()];
+        let threads = self.config.threads.max(1);
+        if threads == 1 || requests.len() <= 1 {
+            let mut scratch = self.engine.scratch();
+            for (request, slot) in requests.iter().zip(&mut scores) {
+                *slot = self.score_one(request, &mut scratch);
+            }
+            return scores;
+        }
+        let chunk = requests.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (request_chunk, score_chunk) in requests.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    let mut scratch = self.engine.scratch();
+                    for (request, slot) in request_chunk.iter().zip(score_chunk) {
+                        *slot = self.score_one(request, &mut scratch);
+                    }
+                });
+            }
+        });
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+    use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+
+    fn engine() -> ScoringEngine {
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 20, 0.97),
+            Rule::new(vec![Condition::new(1, CmpOp::Le, 0.3)], Label::Equivalent, 15, 0.93),
+        ];
+        let fs = RiskFeatureSet {
+            rules,
+            metrics: vec![],
+            expectations: vec![0.05, 0.92],
+            support: vec![20, 15],
+        };
+        ScoringEngine::new(LearnRiskModel::new(fs, RiskModelConfig::default()))
+    }
+
+    fn requests(n: usize, distinct: u64) -> Vec<ScoreRequest> {
+        (0..n)
+            .map(|i| {
+                let id = i as u64 % distinct;
+                let x = (id as f64 * 0.37).fract();
+                ScoreRequest {
+                    pair_id: id,
+                    metric_row: vec![x, 1.0 - x],
+                    classifier_output: x,
+                    machine_says_match: x >= 0.5,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_scores_are_identical_across_thread_counts() {
+        let reqs = requests(500, 100);
+        let baseline = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(1)).score_batch(&reqs);
+        for threads in [2, 3, 8] {
+            let exec = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(threads));
+            let scores = exec.score_batch(&reqs);
+            let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+            let base_bits: Vec<u64> = baseline.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(bits, base_bits, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_pairs() {
+        let exec = ShardedExecutor::new(
+            engine(),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 64,
+                cache_shards: 4,
+            },
+        );
+        let reqs = requests(300, 10); // 10 distinct pairs, replayed 30×
+        let scores = exec.score_batch(&reqs);
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 10, "one miss per distinct pair");
+        assert_eq!(stats.hits, 290);
+        assert!(stats.hit_rate() > 0.96);
+        // Cached scores equal computed scores.
+        let uncached = ShardedExecutor::new(
+            engine(),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 0,
+                cache_shards: 1,
+            },
+        );
+        let plain = uncached.score_batch(&reqs);
+        assert_eq!(uncached.cache_stats().hits, 0);
+        for (a, b) in scores.iter().zip(&plain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn small_capacities_still_cache() {
+        // A capacity below the shard count must not silently disable caching.
+        let exec = ShardedExecutor::new(
+            engine(),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 8,
+                cache_shards: 16,
+            },
+        );
+        let reqs = requests(40, 4); // 4 distinct pairs, replayed 10×
+        exec.score_batch(&reqs);
+        let stats = exec.cache_stats();
+        assert!(stats.hits > 0, "requested capacity 8 but nothing was cached: {stats:?}");
+    }
+
+    #[test]
+    fn stats_reset_keeps_cache_warm() {
+        let exec = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(1));
+        let reqs = requests(50, 5);
+        exec.score_batch(&reqs);
+        exec.reset_cache_stats();
+        exec.score_batch(&reqs);
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 0, "warm cache answers everything");
+        assert_eq!(stats.hits, 50);
+    }
+
+    #[test]
+    fn empty_and_tiny_batches_work_at_any_thread_count() {
+        let exec = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(7));
+        assert!(exec.score_batch(&[]).is_empty());
+        let one = requests(1, 1);
+        assert_eq!(exec.score_batch(&one).len(), 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! The compiled rule index: attribute-indexed threshold lists.
+//!
+//! Offline, rule matching tests every condition of every rule against the
+//! pair's basic-metric row (`O(total conditions)` per pair). Online that scan
+//! is the hot path, so at engine load time the rule set is compiled into one
+//! sorted threshold list per *metric* and *operator*:
+//!
+//! * `Gt` conditions on metric `m`, sorted ascending — the conditions
+//!   satisfied by a value `v` are exactly the prefix with `threshold < v`;
+//! * `Le` conditions on metric `m`, sorted ascending — the satisfied ones are
+//!   exactly the suffix with `threshold >= v`.
+//!
+//! Matching a row is then one binary search per (metric, operator) list plus
+//! a counter increment per *satisfied* condition; a rule fires when its
+//! counter reaches its condition count. Only metrics that actually carry
+//! conditions are visited, and the fired set is returned in ascending rule
+//! order — the same order the offline linear scan produces, which keeps the
+//! downstream floating-point aggregation bit-identical.
+
+use er_rulegen::{CmpOp, Rule};
+
+/// One metric's compiled condition lists (see the module docs).
+#[derive(Debug, Clone, Default)]
+struct MetricConditions {
+    /// `Gt` thresholds ascending, with the owning rule of each condition.
+    gt_thresholds: Vec<f64>,
+    gt_rules: Vec<u32>,
+    /// `Le` thresholds ascending, with the owning rule of each condition.
+    le_thresholds: Vec<f64>,
+    le_rules: Vec<u32>,
+}
+
+/// The rule set of a risk model, pre-compiled for per-request matching.
+#[derive(Debug, Clone)]
+pub struct CompiledRuleIndex {
+    rule_count: usize,
+    /// Number of conditions each rule needs before it fires.
+    condition_counts: Vec<u32>,
+    /// Rules with no conditions fire on every row.
+    always_fire: Vec<u32>,
+    /// Per-metric condition lists, indexed by `Condition::metric_index`.
+    metrics: Vec<MetricConditions>,
+    /// Metric indices that carry at least one condition.
+    active_metrics: Vec<u32>,
+}
+
+/// Reusable per-worker scratch state for [`CompiledRuleIndex::matching_rules_into`].
+///
+/// Keeping the counters outside the index lets many threads match against the
+/// same shared index without synchronization or per-request allocation.
+#[derive(Debug, Clone)]
+pub struct MatchScratch {
+    /// Satisfied-condition counter per rule.
+    counters: Vec<u32>,
+    /// Rules whose counter is non-zero (reset list).
+    touched: Vec<u32>,
+}
+
+impl CompiledRuleIndex {
+    /// Compiles a rule set.
+    pub fn compile(rules: &[Rule]) -> Self {
+        assert!(
+            u32::try_from(rules.len()).is_ok(),
+            "rule sets beyond u32::MAX rules are not supported"
+        );
+        let num_metrics = rules
+            .iter()
+            .flat_map(|r| r.conditions.iter())
+            .map(|c| c.metric_index + 1)
+            .max()
+            .unwrap_or(0);
+        let mut metrics = vec![MetricConditions::default(); num_metrics];
+        let mut condition_counts = Vec::with_capacity(rules.len());
+        let mut always_fire = Vec::new();
+
+        // Gather (threshold, rule) pairs per metric/operator...
+        let mut gt: Vec<Vec<(f64, u32)>> = vec![Vec::new(); num_metrics];
+        let mut le: Vec<Vec<(f64, u32)>> = vec![Vec::new(); num_metrics];
+        for (ri, rule) in rules.iter().enumerate() {
+            condition_counts.push(rule.conditions.len() as u32);
+            if rule.conditions.is_empty() {
+                always_fire.push(ri as u32);
+            }
+            for cond in &rule.conditions {
+                match cond.op {
+                    CmpOp::Gt => gt[cond.metric_index].push((cond.threshold, ri as u32)),
+                    CmpOp::Le => le[cond.metric_index].push((cond.threshold, ri as u32)),
+                }
+            }
+        }
+        // ...and freeze them as parallel sorted arrays.
+        for (m, (mut g, mut l)) in gt.into_iter().zip(le).enumerate() {
+            g.sort_by(|a, b| a.0.total_cmp(&b.0));
+            l.sort_by(|a, b| a.0.total_cmp(&b.0));
+            metrics[m].gt_thresholds = g.iter().map(|&(t, _)| t).collect();
+            metrics[m].gt_rules = g.iter().map(|&(_, r)| r).collect();
+            metrics[m].le_thresholds = l.iter().map(|&(t, _)| t).collect();
+            metrics[m].le_rules = l.iter().map(|&(_, r)| r).collect();
+        }
+        let active_metrics = metrics
+            .iter()
+            .enumerate()
+            .filter(|(_, mc)| !mc.gt_thresholds.is_empty() || !mc.le_thresholds.is_empty())
+            .map(|(m, _)| m as u32)
+            .collect();
+        Self {
+            rule_count: rules.len(),
+            condition_counts,
+            always_fire,
+            metrics,
+            active_metrics,
+        }
+    }
+
+    /// Number of rules in the index.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// Smallest metric-row length the index can match against.
+    pub fn required_row_len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Creates scratch state sized for this index.
+    pub fn scratch(&self) -> MatchScratch {
+        MatchScratch {
+            counters: vec![0; self.rule_count],
+            touched: Vec::with_capacity(16),
+        }
+    }
+
+    /// Collects the indices of the rules covering `row` into `out`, in
+    /// ascending rule order (matching the offline linear scan).
+    ///
+    /// # Panics
+    /// Panics if `row` is shorter than [`Self::required_row_len`] or `scratch`
+    /// was built for a different index.
+    pub fn matching_rules_into(&self, row: &[f64], scratch: &mut MatchScratch, out: &mut Vec<u32>) {
+        assert!(
+            row.len() >= self.metrics.len(),
+            "metric row has {} entries but the rule set references metric index {}",
+            row.len(),
+            self.metrics.len() - 1
+        );
+        assert_eq!(scratch.counters.len(), self.rule_count, "scratch/index mismatch");
+        out.clear();
+        out.extend_from_slice(&self.always_fire);
+        for &m in &self.active_metrics {
+            let v = row[m as usize];
+            if v.is_nan() {
+                // NaN satisfies neither `>` nor `<=`, same as `Rule::covers`.
+                continue;
+            }
+            let mc = &self.metrics[m as usize];
+            // Gt: satisfied iff threshold < v — an ascending prefix.
+            let end = mc.gt_thresholds.partition_point(|&t| t < v);
+            for &rule in &mc.gt_rules[..end] {
+                Self::bump(&self.condition_counts, scratch, out, rule);
+            }
+            // Le: satisfied iff v <= threshold — an ascending suffix.
+            let start = mc.le_thresholds.partition_point(|&t| t < v);
+            for &rule in &mc.le_rules[start..] {
+                Self::bump(&self.condition_counts, scratch, out, rule);
+            }
+        }
+        for &rule in &scratch.touched {
+            scratch.counters[rule as usize] = 0;
+        }
+        scratch.touched.clear();
+        // Few rules fire per pair, so the final ordering sort is cheap.
+        out.sort_unstable();
+    }
+
+    /// Convenience wrapper allocating fresh scratch and output.
+    pub fn matching_rules(&self, row: &[f64]) -> Vec<u32> {
+        let mut scratch = self.scratch();
+        let mut out = Vec::new();
+        self.matching_rules_into(row, &mut scratch, &mut out);
+        out
+    }
+
+    #[inline]
+    fn bump(condition_counts: &[u32], scratch: &mut MatchScratch, out: &mut Vec<u32>, rule: u32) {
+        let counter = &mut scratch.counters[rule as usize];
+        if *counter == 0 {
+            scratch.touched.push(rule);
+        }
+        *counter += 1;
+        if *counter == condition_counts[rule as usize] {
+            out.push(rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_base::Label;
+    use er_rulegen::Condition;
+    use proptest::prelude::*;
+
+    fn linear_scan(rules: &[Rule], row: &[f64]) -> Vec<u32> {
+        rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.covers(row))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn rule(conds: Vec<(usize, CmpOp, f64)>) -> Rule {
+        Rule::new(
+            conds.into_iter().map(|(m, op, t)| Condition::new(m, op, t)).collect(),
+            Label::Equivalent,
+            10,
+            0.9,
+        )
+    }
+
+    #[test]
+    fn single_condition_rules_match_like_the_scan() {
+        let rules = vec![
+            rule(vec![(0, CmpOp::Gt, 0.5)]),
+            rule(vec![(0, CmpOp::Le, 0.5)]),
+            rule(vec![(1, CmpOp::Gt, 0.2)]),
+        ];
+        let index = CompiledRuleIndex::compile(&rules);
+        for row in [[0.6, 0.1], [0.5, 0.3], [0.0, 0.0], [1.0, 1.0]] {
+            assert_eq!(index.matching_rules(&row), linear_scan(&rules, &row), "row {row:?}");
+        }
+        assert_eq!(index.rule_count(), 3);
+        assert_eq!(index.required_row_len(), 2);
+    }
+
+    #[test]
+    fn conjunctions_require_every_condition() {
+        let rules = vec![rule(vec![
+            (0, CmpOp::Gt, 0.5),
+            (1, CmpOp::Le, 0.2),
+            (2, CmpOp::Gt, 0.9),
+        ])];
+        let index = CompiledRuleIndex::compile(&rules);
+        assert_eq!(index.matching_rules(&[0.6, 0.1, 0.95]), vec![0]);
+        assert!(index.matching_rules(&[0.6, 0.1, 0.9]).is_empty());
+        assert!(index.matching_rules(&[0.6, 0.3, 0.95]).is_empty());
+        assert!(index.matching_rules(&[0.5, 0.1, 0.95]).is_empty());
+    }
+
+    #[test]
+    fn repeated_metric_conditions_count_separately() {
+        // A tree path can split the same metric twice (a range constraint).
+        let rules = vec![rule(vec![(0, CmpOp::Gt, 0.2), (0, CmpOp::Le, 0.8)])];
+        let index = CompiledRuleIndex::compile(&rules);
+        assert_eq!(index.matching_rules(&[0.5]), vec![0]);
+        assert!(index.matching_rules(&[0.1]).is_empty());
+        assert!(index.matching_rules(&[0.9]).is_empty());
+    }
+
+    #[test]
+    fn empty_rule_sets_and_condition_free_rules() {
+        let index = CompiledRuleIndex::compile(&[]);
+        assert!(index.matching_rules(&[]).is_empty());
+        let rules = vec![rule(vec![]), rule(vec![(0, CmpOp::Gt, 0.5)])];
+        let index = CompiledRuleIndex::compile(&rules);
+        assert_eq!(index.matching_rules(&[0.0]), vec![0]);
+        assert_eq!(index.matching_rules(&[0.9]), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric row has")]
+    fn short_rows_panic_with_context() {
+        let index = CompiledRuleIndex::compile(&[rule(vec![(3, CmpOp::Gt, 0.5)])]);
+        index.matching_rules(&[0.1, 0.2]);
+    }
+
+    /// Strategy producing random rule sets over `metrics` metric slots.
+    fn arb_rules(metrics: usize) -> impl Strategy<Value = Vec<Rule>> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (0usize..metrics, 0u8..2, 0.0f64..1.0).prop_map(|(m, op, t)| {
+                    let op = if op == 0 { CmpOp::Gt } else { CmpOp::Le };
+                    (m, op, t)
+                }),
+                0..4,
+            )
+            .prop_map(rule),
+            1..12,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn index_agrees_with_linear_scan(
+            rules in arb_rules(5),
+            rows in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 5..6), 1..8),
+        ) {
+            let index = CompiledRuleIndex::compile(&rules);
+            let mut scratch = index.scratch();
+            let mut out = Vec::new();
+            for row in &rows {
+                index.matching_rules_into(row, &mut scratch, &mut out);
+                prop_assert_eq!(&out, &linear_scan(&rules, row));
+            }
+        }
+
+        #[test]
+        fn scratch_reuse_is_stateless(
+            rules in arb_rules(4),
+            row in proptest::collection::vec(0.0f64..1.0, 4..5),
+        ) {
+            let index = CompiledRuleIndex::compile(&rules);
+            let mut scratch = index.scratch();
+            let mut first = Vec::new();
+            index.matching_rules_into(&row, &mut scratch, &mut first);
+            let mut second = Vec::new();
+            index.matching_rules_into(&row, &mut scratch, &mut second);
+            prop_assert_eq!(first, second);
+        }
+    }
+}

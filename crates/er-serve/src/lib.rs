@@ -1,0 +1,40 @@
+//! # er-serve
+//!
+//! The online serving layer of the LearnRisk reproduction: everything needed
+//! to take a risk model trained by the batch pipeline and stand it up behind
+//! a request stream, as the risk-aware human-machine workflows of r-HUMO and
+//! its successors assume.
+//!
+//! * [`artifact`] — versioned, validated persistence of the full trained
+//!   state ([`ModelArtifact`]); the loader rejects format-version mismatches
+//!   and structurally corrupt models.
+//! * [`index`] — [`CompiledRuleIndex`]: the rule set pre-compiled into
+//!   per-metric sorted threshold lists, so per-request rule matching is a
+//!   handful of binary searches instead of a linear scan over every rule
+//!   condition.
+//! * [`engine`] — [`ScoringEngine`]: `score_request` / `score_batch` over
+//!   raw metric rows, bit-identical to the offline
+//!   [`learnrisk_core::LearnRiskModel::risk_score`] path.
+//! * [`cache`] — a bounded intrusive-list [`LruCache`] for repeated-pair
+//!   traffic.
+//! * [`executor`] — [`ShardedExecutor`]: N scoped worker threads over a
+//!   batch plus a shard-locked result cache keyed on pair id.
+//! * [`replay`] — a Zipf-skewed synthetic traffic generator and a
+//!   closed-loop replay harness reporting throughput and p50/p95/p99
+//!   latency.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod engine;
+pub mod executor;
+pub mod index;
+pub mod replay;
+
+pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
+pub use cache::LruCache;
+pub use engine::{EngineScratch, ScoreRequest, ScoringEngine};
+pub use executor::{CacheStats, ServeConfig, ShardedExecutor};
+pub use index::{CompiledRuleIndex, MatchScratch};
+pub use replay::{run_replay, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};

@@ -1,0 +1,297 @@
+//! Traffic replay: Zipf-skewed synthetic request streams and a closed-loop
+//! load harness.
+//!
+//! Real ER serving traffic is heavily skewed — a small set of contested
+//! pairs (popular products, prolific authors) is re-scored far more often
+//! than the long tail — so the generator draws pairs from a Zipf
+//! distribution over a seeded permutation of the pool. The harness replays
+//! the stream through a [`ShardedExecutor`] with one closed loop per worker
+//! thread, timing every request, and reports throughput plus p50/p95/p99
+//! latency.
+
+use crate::engine::ScoreRequest;
+use crate::executor::ShardedExecutor;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Shape of a synthetic request stream.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Zipf exponent `s` (popularity of rank `r` ∝ `1/r^s`); 0 is uniform,
+    /// ~1 matches typical web-workload skew.
+    pub zipf_exponent: f64,
+    /// Seed of the popularity permutation and the draw stream.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            requests: 40_000,
+            zipf_exponent: 1.1,
+            seed: 2020,
+        }
+    }
+}
+
+/// Generates a Zipf-skewed stream of requests drawn from `pool`.
+///
+/// Popularity ranks are assigned by a seeded permutation of the pool, so two
+/// streams with the same seed hit the same hot pairs. Panics if the pool is
+/// empty.
+pub fn zipf_stream(pool: &[ScoreRequest], config: &ReplayConfig) -> Vec<ScoreRequest> {
+    assert!(!pool.is_empty(), "cannot generate traffic from an empty pool");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Rank → pool index, via a seeded shuffle.
+    let mut ranked: Vec<usize> = (0..pool.len()).collect();
+    ranked.shuffle(&mut rng);
+
+    // Cumulative popularity mass of 1/(rank+1)^s.
+    let mut cdf = Vec::with_capacity(pool.len());
+    let mut total = 0.0f64;
+    for rank in 0..pool.len() {
+        total += 1.0 / ((rank + 1) as f64).powf(config.zipf_exponent);
+        cdf.push(total);
+    }
+
+    (0..config.requests)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            let rank = cdf.partition_point(|&c| c < u).min(pool.len() - 1);
+            pool[ranked[rank]].clone()
+        })
+        .collect()
+}
+
+/// Latency percentiles of one replay run, in microseconds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median request latency.
+    pub p50_us: f64,
+    /// 95th-percentile latency.
+    pub p95_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+}
+
+/// Result of replaying one stream through an executor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Wall-clock duration of the replay.
+    pub elapsed_secs: f64,
+    /// Requests per second across all workers.
+    pub throughput_rps: f64,
+    /// Per-request service-latency percentiles.
+    pub latency: LatencySummary,
+    /// Fraction of requests answered from the score cache.
+    pub cache_hit_rate: f64,
+}
+
+/// Replays `stream` through the executor (closed loop, one worker per
+/// configured thread) and reports throughput and latency percentiles.
+pub fn run_replay(executor: &ShardedExecutor, stream: &[ScoreRequest]) -> ReplayReport {
+    let threads = executor.config().threads.max(1);
+    executor.reset_cache_stats();
+    let start = Instant::now();
+    let mut latencies_ns: Vec<u64> = if stream.is_empty() {
+        Vec::new()
+    } else if threads == 1 {
+        replay_worker(executor, stream)
+    } else {
+        let chunk = stream.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = stream
+                .chunks(chunk)
+                .map(|chunk| scope.spawn(move || replay_worker(executor, chunk)))
+                .collect();
+            let mut all = Vec::with_capacity(stream.len());
+            for handle in handles {
+                all.extend(handle.join().expect("replay worker panicked"));
+            }
+            all
+        })
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies_ns.sort_unstable();
+    ReplayReport {
+        threads,
+        requests: stream.len(),
+        elapsed_secs: elapsed,
+        throughput_rps: if elapsed > 0.0 {
+            stream.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency: summarize(&latencies_ns),
+        cache_hit_rate: executor.cache_stats().hit_rate(),
+    }
+}
+
+fn replay_worker(executor: &ShardedExecutor, requests: &[ScoreRequest]) -> Vec<u64> {
+    let mut scratch = executor.engine().scratch();
+    let mut latencies = Vec::with_capacity(requests.len());
+    for request in requests {
+        let t0 = Instant::now();
+        std::hint::black_box(executor.score_one(request, &mut scratch));
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    }
+    latencies
+}
+
+fn summarize(sorted_ns: &[u64]) -> LatencySummary {
+    if sorted_ns.is_empty() {
+        return LatencySummary {
+            p50_us: 0.0,
+            p95_us: 0.0,
+            p99_us: 0.0,
+            mean_us: 0.0,
+            max_us: 0.0,
+        };
+    }
+    let pct = |q: f64| -> f64 {
+        let idx = ((q * (sorted_ns.len() - 1) as f64).round() as usize).min(sorted_ns.len() - 1);
+        sorted_ns[idx] as f64 / 1_000.0
+    };
+    let mean_ns = sorted_ns.iter().sum::<u64>() as f64 / sorted_ns.len() as f64;
+    LatencySummary {
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us: mean_ns / 1_000.0,
+        max_us: *sorted_ns.last().expect("non-empty") as f64 / 1_000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScoringEngine;
+    use crate::executor::ServeConfig;
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+    use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+
+    fn pool(n: usize) -> Vec<ScoreRequest> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.61).fract();
+                ScoreRequest {
+                    pair_id: i as u64,
+                    metric_row: vec![x, 1.0 - x],
+                    classifier_output: x,
+                    machine_says_match: x >= 0.5,
+                }
+            })
+            .collect()
+    }
+
+    fn executor(threads: usize) -> ShardedExecutor {
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 20, 0.97),
+            Rule::new(vec![Condition::new(1, CmpOp::Le, 0.3)], Label::Equivalent, 15, 0.93),
+        ];
+        let fs = RiskFeatureSet {
+            rules,
+            metrics: vec![],
+            expectations: vec![0.05, 0.92],
+            support: vec![20, 15],
+        };
+        let engine = ScoringEngine::new(LearnRiskModel::new(fs, RiskModelConfig::default()));
+        ShardedExecutor::new(engine, ServeConfig::default().with_threads(threads))
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_skewed() {
+        let pool = pool(200);
+        let config = ReplayConfig {
+            requests: 5_000,
+            zipf_exponent: 1.2,
+            seed: 7,
+        };
+        let a = zipf_stream(&pool, &config);
+        let b = zipf_stream(&pool, &config);
+        assert_eq!(a.len(), 5_000);
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.pair_id == y.pair_id),
+            "same seed, same stream"
+        );
+        let c = zipf_stream(&pool, &ReplayConfig { seed: 8, ..config });
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.pair_id != y.pair_id),
+            "different seed differs"
+        );
+
+        // Skew: the most popular pair dominates a uniform share by a wide
+        // margin.
+        let mut counts = vec![0usize; 200];
+        for r in &a {
+            counts[r.pair_id as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        assert!(max > 5_000 / 200 * 10, "hot pair only drew {max} of 5000");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_roughly_uniform() {
+        let pool = pool(10);
+        let stream = zipf_stream(
+            &pool,
+            &ReplayConfig {
+                requests: 10_000,
+                zipf_exponent: 0.0,
+                seed: 3,
+            },
+        );
+        let mut counts = [0usize; 10];
+        for r in &stream {
+            counts[r.pair_id as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "pair {i} drew {c} of 10000");
+        }
+    }
+
+    #[test]
+    fn replay_reports_sane_numbers() {
+        let pool = pool(50);
+        let stream = zipf_stream(
+            &pool,
+            &ReplayConfig {
+                requests: 2_000,
+                ..Default::default()
+            },
+        );
+        for threads in [1, 2] {
+            let exec = executor(threads);
+            let report = run_replay(&exec, &stream);
+            assert_eq!(report.threads, threads);
+            assert_eq!(report.requests, 2_000);
+            assert!(report.throughput_rps > 0.0);
+            assert!(report.elapsed_secs > 0.0);
+            assert!(report.latency.p50_us <= report.latency.p95_us);
+            assert!(report.latency.p95_us <= report.latency.p99_us);
+            assert!(report.latency.p99_us <= report.latency.max_us);
+            assert!(report.cache_hit_rate > 0.5, "zipf stream over 50 pairs must mostly hit");
+        }
+    }
+
+    #[test]
+    fn empty_stream_reports_zeroes() {
+        let exec = executor(2);
+        let report = run_replay(&exec, &[]);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.latency.p99_us, 0.0);
+    }
+}

@@ -12,7 +12,11 @@ cd "$(dirname "$0")/.."
 # (non-empty splits, mislabeled pairs to rank, rules to generate).
 SCALE="${KICK_TIRES_SCALE:-0.012}"
 OUT=out/kick-tires
-BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation)
+BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench)
+
+# serve_bench also emits machine-readable results (BENCH_*.json trajectory);
+# keep them at a stable path so future PRs can diff serving performance.
+export SERVE_BENCH_JSON=out/serve_bench.json
 
 echo "== kick-tires: release build =="
 cargo build --release -p er-bench
@@ -28,4 +32,6 @@ done
 
 echo "== kick-tires: outputs =="
 ls -l "$OUT"
+test -s "$SERVE_BENCH_JSON" || { echo "missing $SERVE_BENCH_JSON" >&2; exit 1; }
+echo "serve_bench JSON at $SERVE_BENCH_JSON"
 echo "kick-tires OK"

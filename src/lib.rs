@@ -16,6 +16,9 @@
 //!   StaticRisk and the HoloClean adaptation.
 //! * [`eval`] (`er-eval`) — end-to-end experiment pipelines for every table
 //!   and figure of the paper.
+//! * [`serve`] (`er-serve`) — the online serving layer: versioned model
+//!   artifacts, the compiled rule index, the sharded scoring executor and
+//!   the traffic-replay harness.
 //!
 //! See the `examples/` directory for runnable end-to-end walkthroughs and
 //! `EXPERIMENTS.md` for the measured reproduction results.
@@ -28,5 +31,6 @@ pub use er_classifier as classifier;
 pub use er_datasets as datasets;
 pub use er_eval as eval;
 pub use er_rulegen as rulegen;
+pub use er_serve as serve;
 pub use er_similarity as similarity;
 pub use learnrisk_core as core;

@@ -11,6 +11,7 @@ use learnrisk_repro::core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig, Ris
 use learnrisk_repro::datasets::{generate_benchmark, BenchmarkId};
 use learnrisk_repro::eval::{run_pipeline, PipelineConfig};
 use learnrisk_repro::rulegen::OneSidedTreeConfig;
+use learnrisk_repro::serve::{ModelArtifact, ScoringEngine, ServeConfig, ShardedExecutor, FORMAT_VERSION};
 use learnrisk_repro::similarity::edit::jaro_winkler;
 
 /// Every workspace crate is reachable through the façade under its
@@ -30,6 +31,8 @@ fn facade_reexports_resolve() {
     assert_eq!(model.rule_weights.len(), 0);
     // er-baselines
     assert_eq!(baseline_scores(&[0.5, 0.9]).len(), 2);
+    // er-serve
+    assert_eq!(FORMAT_VERSION, 1);
 }
 
 /// One tiny train/eval round-trip through `er-eval::pipeline`.
@@ -65,5 +68,23 @@ fn tiny_pipeline_round_trip() {
     // The trained risk model scores the test inputs to finite values.
     for input in &artifacts.test_inputs {
         assert!(artifacts.risk_model.risk_score(input).is_finite());
+    }
+
+    // ...and serves through the façade: artifact round trip, compiled engine,
+    // sharded executor — bit-identical to the in-memory model.
+    let artifact = ModelArtifact::new(artifacts.risk_model.clone());
+    let reloaded = ModelArtifact::from_json(&artifact.to_json()).expect("artifact round trip");
+    let engine = ScoringEngine::new(reloaded.model);
+    let executor = ShardedExecutor::new(engine.clone(), ServeConfig::default().with_threads(2));
+    let pool = learnrisk_repro::eval::build_score_requests(
+        &artifacts.evaluator,
+        &artifacts.matcher,
+        &ds.workload.pairs()[..ds.workload.len().min(50)],
+    );
+    let served = executor.score_batch(&pool);
+    let direct = ScoringEngine::new(artifacts.risk_model.clone()).score_batch(&pool);
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(s.to_bits(), d.to_bits(), "served score diverged from the trained model");
     }
 }

@@ -1,0 +1,544 @@
+//! JSON encoding of [`Value`] trees, mirroring the `serde_json` entry points.
+//!
+//! Floats are written with Rust's shortest round-trip formatting (`{:?}`),
+//! which preserves every `f64` bit pattern including `-0.0`; the non-finite
+//! values use the bare tokens `NaN`, `Infinity` and `-Infinity` (as Python's
+//! `json` module emits), which the parser accepts back. Map entries keep
+//! their insertion order, so encoding is deterministic.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Encodes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    out
+}
+
+/// Encodes a value as indented JSON (two spaces, like `serde_json`'s pretty
+/// writer).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    out.push('\n');
+    out
+}
+
+/// Parses JSON text and deserializes it into `T`.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Maximum container nesting the parser accepts (mirrors `serde_json`'s
+/// default recursion limit), so a corrupt or hostile document fails with a
+/// parse error instead of overflowing the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_compound(out, indent, depth, '[', ']', items.iter(), |out, item, depth| {
+            write_value(out, item, indent, depth)
+        }),
+        Value::Map(entries) => write_compound(out, indent, depth, '{', '}', entries.iter(), |out, (k, v), depth| {
+            write_string(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, indent, depth);
+        }),
+    }
+}
+
+fn write_compound<I: ExactSizeIterator>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if !empty {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        // `{:?}` always includes a fraction or exponent ("2.0", "-0.0",
+        // "1e300"), so the token re-parses into the float domain, and the
+        // shortest-representation guarantee makes the round trip bit-exact.
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Current container nesting, bounded by [`MAX_DEPTH`].
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl std::fmt::Display) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting exceeds the maximum depth of {MAX_DEPTH}")));
+        }
+        Ok(())
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'N') => {
+                if self.eat("NaN") {
+                    Ok(Value::Float(f64::NAN))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'I') => {
+                if self.eat("Infinity") {
+                    Ok(Value::Float(f64::INFINITY))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-') if self.bytes[self.pos + 1..].starts_with(b"Infinity") => {
+                self.pos += 1 + "Infinity".len();
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.error(format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in sequence")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.pos += 1; // '{'
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected string key in map"));
+            }
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            if self.peek() != Some(b':') {
+                return Err(self.error("expected ':' after map key"));
+            }
+            self.pos += 1;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in map")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("dangling escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: expect a low surrogate next.
+                                if !self.eat("\\u") {
+                                    return Err(self.error("unpaired UTF-16 surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                first
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error(format!("invalid code point {code:#x}"))),
+                            }
+                        }
+                        other => return Err(self.error(format!("invalid escape {:?}", other as char))),
+                    }
+                }
+                // Multi-byte UTF-8: copy the raw bytes through (input is a
+                // valid &str, so continuation bytes follow).
+                c => {
+                    let start = self.pos - 1;
+                    let width = utf8_width(c);
+                    self.pos = start + width;
+                    if self.pos > self.bytes.len() {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error::new(format!("invalid UTF-8 in string at byte {start}")))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex =
+            std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else {
+            // Integer-looking token too large for 64 bits: fall back to float.
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+        }
+    }
+}
+
+fn utf8_width(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        parse(&to_string(v)).expect("round trip parse")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::UInt(u64::MAX),
+            Value::Str("hello \"world\"\n\t\\ ∅ 🦀".into()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for f in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::EPSILON,
+            5e-324, // smallest subnormal
+            1e300,
+            -2.2250738585072014e-308,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let text = to_string(&f);
+            let back: f64 = from_str(&text).expect("parse float");
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} encoded as {text}");
+        }
+        let nan: f64 = from_str(&to_string(&f64::NAN)).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn integral_floats_keep_their_fraction_marker() {
+        assert_eq!(to_string(&2.0f64), "2.0");
+        assert_eq!(to_string(&-0.0f64), "-0.0");
+        let back: f64 = from_str("2.0").unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn compound_values_round_trip() {
+        let v = Value::Map(vec![
+            ("empty_seq".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+            (
+                "nested".into(),
+                Value::Seq(vec![
+                    Value::Map(vec![("k".into(), Value::Float(0.25))]),
+                    Value::Null,
+                    Value::Seq(vec![Value::UInt(1), Value::Int(-2)]),
+                ]),
+            ),
+        ]);
+        assert_eq!(round_trip(&v), v);
+        // Pretty printing parses back to the same tree.
+        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
+        // Escaped surrogate pair for 🦀 (U+1F980), and the raw UTF-8 form.
+        assert_eq!(parse(r#""\ud83e\udd80""#).unwrap(), Value::Str("🦀".into()));
+        assert_eq!(parse(r#""🦀""#).unwrap(), Value::Str("🦀".into()));
+        assert_eq!(parse(r#""é\n""#).unwrap(), Value::Str("é\n".into()));
+        assert!(parse(r#""\ud83e""#).is_err(), "unpaired surrogate must fail");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "nul",
+            "tru",
+            "01x",
+            "\"abc",
+            "[1] trailing",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_fails_with_an_error_instead_of_overflowing() {
+        // Within the limit: fine.
+        let ok = format!("{}{}{}", "[".repeat(MAX_DEPTH), "1", "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // A pathological document (e.g. a corrupt artifact) must fail cleanly.
+        let bomb = "[".repeat(200_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.to_string().contains("maximum depth"), "{err}");
+        let mixed = format!("{}{}", "{\"k\":".repeat(MAX_DEPTH + 1), "1");
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = parse(" {\n  \"a\" : [ 1 , 2 ] \t}\r\n").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![("a".into(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)]))])
+        );
+    }
+}

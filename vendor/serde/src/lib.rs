@@ -1,19 +1,515 @@
-//! Offline stand-in for the parts of `serde` this workspace touches.
+//! Offline stand-in for `serde` with a *working* self-describing data model.
 //!
-//! The tree derives `Serialize` / `Deserialize` on its public data types as
-//! forward-looking annotations but never serializes anything, and the build
-//! environment cannot reach crates.io. This crate mirrors serde's import
-//! surface (`use serde::{Deserialize, Serialize}` resolves both the traits and
-//! the derive macros) so the real crate can be dropped in later by only
-//! editing `[workspace.dependencies]`.
+//! Earlier revisions of this crate only mirrored serde's import surface with
+//! marker traits; the serving subsystem (`er-serve`) needs real model
+//! persistence, so the stand-in now implements a value-tree serialization
+//! model:
+//!
+//! * [`Value`] — a JSON-like self-describing tree (null, bool, integers,
+//!   floats, strings, sequences, ordered maps);
+//! * [`Serialize`] / [`Deserialize`] — converted to/from [`Value`] via
+//!   [`Serialize::to_value`] and [`Deserialize::from_value`], derived for
+//!   structs and enums by the companion `serde_derive` crate;
+//! * [`json`] — a JSON writer/parser for [`Value`] with **bit-exact** `f64`
+//!   round-tripping (floats are rendered with Rust's shortest round-trip
+//!   formatting and non-finite values use the `NaN` / `Infinity` tokens).
+//!
+//! The API is intentionally a simplification of real serde (no `Serializer`
+//! visitors, no zero-copy borrowing): callers serialize through
+//! [`json::to_string`] / [`json::from_str`], which mirror `serde_json`. To
+//! swap in the real crates, point `[workspace.dependencies]` at the registry
+//! and replace `serde::json::` call sites with `serde_json::`.
 
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::sync::Arc;
+
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker counterpart of `serde::Serialize`; the vendored derive emits no impl
-/// because nothing in the workspace consumes the bound.
-pub trait Serialize {}
+pub mod json;
 
-/// Marker counterpart of `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// A self-describing serialized value: the JSON data model plus a
+/// signed/unsigned integer split so `u64`/`i64` round-trip without loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (used for negative integers).
+    Int(i64),
+    /// Unsigned integer (used for non-negative integers).
+    UInt(u64),
+    /// IEEE-754 double. Round-trips bit-exactly through [`json`].
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered map with string keys (insertion order is preserved so output
+    /// is deterministic).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short human-readable name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The entries of a map value.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string content of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a serialized value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+///
+/// The `'de` lifetime mirrors real serde's signature so `use serde::{...}`
+/// and derive bounds stay source-compatible; this stand-in always copies out
+/// of the tree instead of borrowing.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a serialized value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Converts any serializable value into a [`Value`] tree (mirrors
+/// `serde_json::to_value`).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a value from a [`Value`] tree (mirrors
+/// `serde_json::from_value`).
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Looks up `key` in a struct's serialized map and deserializes it, attaching
+/// field context to errors. A missing key is deserialized from [`Value::Null`]
+/// (so `Option` fields absent from older artifacts read as `None`), and only
+/// errors if the field type rejects null.
+///
+/// This is the runtime support function used by the derived `Deserialize`
+/// impls; it is not intended to be called manually.
+pub fn field<T: for<'de> Deserialize<'de>>(entries: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::new(format!("{ty}.{key}: {e}"))),
+        None => T::from_value(&Value::Null).map_err(|_| Error::new(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and common std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::new(format!("integer {u} out of range for i64")))?,
+                    other => {
+                        return Err(Error::new(format!("expected integer, found {}", other.kind())))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            // Integral floats print without a fraction and parse back as
+            // integers; fold them back into the float domain.
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 → f64 widening is exact, so the f64 path round-trips f32 too.
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new(format!("expected single-character string, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::new(format!("expected sequence, found {}", value.kind())))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| T::from_value(v).map_err(|e| Error::new(format!("[{i}]: {e}"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::new(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // Sharing is not preserved: each occurrence deserializes into its own
+        // allocation. Acceptable for the model-artifact payloads this crate
+        // serves; do not rely on pointer identity after a round trip.
+        T::from_value(value).map(Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: for<'x> Deserialize<'x>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| Error::new(format!("expected sequence, found {}", value.kind())))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::new(format!(
+                        "expected {expected}-tuple, found sequence of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u32::from_value(&7u32.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(usize::from_value(&Value::Int(5)), Ok(5));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+        assert_eq!(char::from_value(&'q'.to_value()), Ok('q'));
+        assert_eq!(Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()), Ok(vec![1u8, 2, 3]));
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::UInt(4)), Ok(Some(4)));
+        assert_eq!(<(u8, f64)>::from_value(&(3u8, 0.25f64).to_value()), Ok((3u8, 0.25)));
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(i8::from_value(&Value::Int(200)).is_err());
+        assert!(i64::from_value(&Value::UInt(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn type_mismatches_report_kinds() {
+        let err = bool::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected bool"), "{err}");
+        let err = Vec::<f64>::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("expected sequence"), "{err}");
+    }
+
+    #[test]
+    fn integral_floats_survive_integer_folding() {
+        // 2.0 may serialize through the integer domain in JSON; f64's
+        // deserializer folds it back.
+        assert_eq!(f64::from_value(&Value::UInt(2)), Ok(2.0));
+        assert_eq!(f64::from_value(&Value::Int(-2)), Ok(-2.0));
+    }
+
+    #[test]
+    fn arc_and_box_round_trip_by_value() {
+        let arc = Arc::new(41u32);
+        assert_eq!(Arc::<u32>::from_value(&arc.to_value()), Ok(Arc::new(41)));
+        let boxed = Box::new(0.5f64);
+        assert_eq!(Box::<f64>::from_value(&boxed.to_value()), Ok(Box::new(0.5)));
+    }
+
+    #[test]
+    fn value_lookup_helpers() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Seq(vec![Value::Null])),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.kind(), "map");
+        assert_eq!(Value::Null.kind(), "null");
+        assert_eq!(field::<u8>(v.as_map().unwrap(), "a", "T"), Ok(1));
+        assert!(field::<u8>(v.as_map().unwrap(), "missing", "T")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field"));
+    }
+}

@@ -1,21 +1,424 @@
-//! No-op stand-ins for `serde_derive`'s `Serialize` / `Deserialize` derives.
+//! Working stand-ins for `serde_derive`'s `Serialize` / `Deserialize` derives.
 //!
-//! The workspace only uses serde derives as annotations (no code in the tree
-//! performs actual serialization), and the build environment has no network
-//! access to crates.io, so these derives expand to nothing. Swapping the
-//! `vendor/serde*` path dependencies for the real crates re-enables full
-//! serialization support without touching any other source file.
+//! Earlier revisions expanded to nothing; the serving subsystem needs real
+//! model persistence, so these derives now emit genuine implementations of
+//! the vendored `serde`'s value-tree traits ([`serde::Serialize::to_value`] /
+//! [`serde::Deserialize::from_value`]). The input item is parsed directly
+//! from the token stream (no `syn`/`quote` in the offline environment) and
+//! the generated impl is assembled as source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields → map keyed by field name;
+//! * tuple structs — one field serializes as the inner value (newtype, like
+//!   serde), several as a sequence;
+//! * unit structs → null;
+//! * enums with unit / tuple / struct variants → externally tagged, exactly
+//!   like serde's default representation (`"Variant"` or
+//!   `{"Variant": ...}`).
+//!
+//! Generic types are not supported and produce a compile error pointing
+//! here. `#[serde(...)]` attributes are accepted but ignored.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Accepts everything `#[derive(Serialize)]` accepts and emits no code.
+/// Derives `serde::Serialize` (value-tree flavor) for a struct or enum.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, emit_serialize)
 }
 
-/// Accepts everything `#[derive(Deserialize)]` accepts and emits no code.
+/// Derives `serde::Deserialize` (value-tree flavor) for a struct or enum.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, emit_deserialize)
+}
+
+fn expand(input: TokenStream, emit: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => emit(&item),
+        Err(message) => format!("::core::compile_error!({message:?});"),
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Input model and parser
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generic types (deriving on `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: Kind::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                if variants.is_empty() {
+                    return Err(format!("cannot derive serde traits for empty enum `{name}`"));
+                }
+                Ok(Item {
+                    name,
+                    kind: Kind::Enum(variants),
+                })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1; // '[...]'
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+            *i += 1; // '(crate)' etc.
+        }
+    }
+}
+
+/// Splits a token stream on commas that sit outside any `<...>` nesting
+/// (delimited groups are single tokens, so only angle brackets need manual
+/// depth tracking).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    let mut prev_was_joint_minus = false;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // Ignore the '>' of a '->' so return types in fn-pointer
+                // fields don't unbalance the depth counter.
+                '>' if !prev_was_joint_minus => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    prev_was_joint_minus = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_was_joint_minus = p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+        } else {
+            prev_was_joint_minus = false;
+        }
+        chunks.last_mut().expect("chunks is never empty").push(tree);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0usize;
+            skip_attributes(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!("expected field name, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0usize;
+            skip_attributes(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream())?)
+                }
+                // `None` or an explicit `= discriminant` are unit variants.
+                _ => VariantFields::Unit,
+            };
+            Ok(Variant { name, fields })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders = (0..*n).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Value::Seq(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vn}({binders}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), {inner})]),"
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, {f:?}, {name:?})?,"))
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "let entries = value.as_map().ok_or_else(|| ::serde::Error::new(::std::format!(\
+                 \"expected map for struct {name}, found {{}}\", value.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n                {inits}\n            }})"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items = value.as_seq().ok_or_else(|| ::serde::Error::new(::std::format!(\
+                 \"expected sequence for tuple struct {name}, found {{}}\", value.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                     \"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let tagged_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => unreachable!("filtered above"),
+                        VariantFields::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let items = inner.as_seq().ok_or_else(|| ::serde::Error::new(\
+                                     ::std::format!(\"expected sequence for variant {name}::{vn}, found {{}}\", inner.kind())))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                                         \"expected {n} elements for {name}::{vn}, found {{}}\", items.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                                 }}"
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::field(entries, {f:?}, \"{name}::{vn}\")?,")
+                                })
+                                .collect::<Vec<_>>()
+                                .join("\n                        ");
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let entries = inner.as_map().ok_or_else(|| ::serde::Error::new(\
+                                     ::std::format!(\"expected map for variant {name}::{vn}, found {{}}\", inner.kind())))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{\n                        {inits}\n                    }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                         \"unknown unit variant `{{other}}` for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(map_entries) if map_entries.len() == 1 => {{\n\
+                         let (tag, inner) = &map_entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                             \"unknown variant `{{other}}` for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+                     \"expected string or single-entry map for enum {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
 }
