@@ -14,7 +14,11 @@
 //! * [`model`] — the [`model::LearnRiskModel`] with its learnable parameters
 //!   and interpretation output.
 //! * [`train`] — pairwise learning-to-rank training with analytic gradients
-//!   (Eq. 13–17), plus L1/L2 regularization.
+//!   (Eq. 13–17), plus L1/L2 regularization.  The trainer's hot path is
+//!   *lambda-factorized*: one forward and one gradient model evaluation per
+//!   input per epoch (instead of four per ranking pair), allocation-free
+//!   after warm-up, parallelized with a bit-deterministic sharded reduction
+//!   ([`train::EpochScratch`]).
 
 #![warn(missing_docs)]
 
@@ -31,5 +35,8 @@ pub use feature::{build_input_from_row, build_inputs, metric_rows, rule_coverage
 pub use influence::InfluenceFunction;
 pub use model::{FeatureContribution, LearnRiskModel, RiskModelConfig};
 pub use portfolio::{aggregate, PortfolioComponent, PortfolioDistribution};
-pub use train::{evaluate_auroc, train, RiskTrainConfig, TrainReport};
+pub use train::{
+    default_train_threads, evaluate_auroc, flatten_params, loss_and_gradient, sample_rank_pairs, train,
+    train_with_threads, unflatten_params, EpochScratch, RankPairSampler, RiskTrainConfig, TrainReport,
+};
 pub use var::{pair_risk, RiskMetric};

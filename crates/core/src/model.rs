@@ -4,7 +4,7 @@ use crate::distribution::{Normal, TruncatedNormal};
 use crate::feature::{PairRiskInput, RiskFeatureSet};
 use crate::influence::InfluenceFunction;
 use crate::portfolio::{aggregate, PortfolioComponent, PortfolioDistribution};
-use crate::var::{pair_risk, RiskMetric};
+use crate::var::{pair_risk, training_risk_score, RiskMetric};
 use er_base::stats::std_normal_quantile;
 use serde::{Deserialize, Serialize};
 
@@ -169,6 +169,28 @@ impl LearnRiskModel {
             input.machine_says_match,
             self.config.theta,
         )
+    }
+
+    /// The differentiable *training-time* risk score γ of a pair (the
+    /// untruncated VaR surrogate of Eq. 13 the trainer optimizes), reusing a
+    /// caller-owned component buffer so batch forward passes allocate
+    /// nothing after warm-up.
+    pub fn training_score_with(&self, input: &PairRiskInput, comps: &mut Vec<PortfolioComponent>) -> f64 {
+        self.training_score_with_z(input, self.z_theta(), comps)
+    }
+
+    /// [`Self::training_score_with`] with a precomputed `z_theta` — the
+    /// per-input form of the trainer's forward pass, which hoists the
+    /// quantile computation out of the loop.
+    pub fn training_score_with_z(
+        &self,
+        input: &PairRiskInput,
+        z_theta: f64,
+        comps: &mut Vec<PortfolioComponent>,
+    ) -> f64 {
+        self.components_into(input, comps);
+        let d = aggregate(comps);
+        training_risk_score(d.mean, d.std(), input.machine_says_match, z_theta)
     }
 
     /// Risk scores for a batch of pairs.
@@ -396,6 +418,26 @@ mod tests {
             // Reuse across calls must not leak state.
             let again = model.risk_score_with(&inp, &mut comps);
             assert_eq!(plain.to_bits(), again.to_bits());
+        }
+    }
+
+    #[test]
+    fn training_score_is_stable_across_buffer_reuse() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        let z = model.z_theta();
+        let mut comps = Vec::new();
+        for inp in [
+            input(vec![], 0.0, false),
+            input(vec![0], 0.9, true),
+            input(vec![0, 1], 0.5, true),
+            input(vec![1], 1.0, false),
+        ] {
+            let fresh = model.training_score_with(&inp, &mut Vec::new());
+            let buffered = model.training_score_with(&inp, &mut comps);
+            let hoisted = model.training_score_with_z(&inp, z, &mut comps);
+            assert_eq!(fresh.to_bits(), buffered.to_bits());
+            assert_eq!(fresh.to_bits(), hoisted.to_bits());
+            assert!(fresh.is_finite());
         }
     }
 

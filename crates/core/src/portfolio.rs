@@ -50,6 +50,7 @@ impl PortfolioDistribution {
 ///
 /// # Panics
 /// Panics when `components` is empty or the total weight is not positive.
+#[inline]
 pub fn aggregate(components: &[PortfolioComponent]) -> PortfolioDistribution {
     assert!(!components.is_empty(), "a portfolio needs at least one component");
     let weight_sum: f64 = components.iter().map(|c| c.weight).sum();
@@ -82,6 +83,7 @@ pub struct ComponentGradients {
 }
 
 /// Computes the gradients of the aggregate with respect to component `j`.
+#[inline]
 pub fn component_gradients(
     components: &[PortfolioComponent],
     aggregate: &PortfolioDistribution,

@@ -8,10 +8,33 @@
 //! TensorFlow — here the gradients are derived analytically (portfolio
 //! aggregation → differentiable VaR score → RankNet-style loss) and verified
 //! against finite differences in the test suite.
+//!
+//! # The factorized hot path
+//!
+//! The naive epoch evaluates the model four times per ranking pair (twice for
+//! the loss, twice for the gradient), making it O(rank_pairs × features) with
+//! a component-vector allocation per evaluation.  Because the pairwise loss
+//! is a function of per-input scores only, its gradient *factorizes*:
+//!
+//! ```text
+//! ∂L/∂θ = Σ_i λ_i · ∂γ_i/∂θ,   λ_i = Σ_{(a,b): a=i} d_ab − Σ_{(a,b): b=i} d_ab,
+//! d_ab = (p_ab − target_ab) / |pairs|
+//! ```
+//!
+//! so one epoch needs exactly one forward evaluation and (at most) one
+//! gradient evaluation per *input*, plus an O(rank_pairs) scalar sweep.
+//! [`EpochScratch`] implements the three passes with reusable buffers — after
+//! the first epoch the trainer performs no heap allocation — and parallelizes
+//! the forward and gradient passes over `std::thread::scope` workers.  The
+//! gradient is accumulated into fixed-size per-chunk shards that are reduced
+//! in chunk order, so training is bit-identical for every thread count.
+//!
+//! [`loss_and_gradient`] keeps the per-pair reference implementation; tests
+//! (and `train_bench`) verify the factorized epoch against it.
 
 use crate::feature::PairRiskInput;
 use crate::model::LearnRiskModel;
-use crate::portfolio::{aggregate, component_gradients, PortfolioComponent};
+use crate::portfolio::{aggregate, component_gradients, PortfolioComponent, PortfolioDistribution};
 use crate::var::{training_risk_gradients, training_risk_score};
 use er_base::rng::substream;
 use er_base::stats::{clamp_prob, safe_ln, sigmoid};
@@ -56,12 +79,20 @@ impl Default for RiskTrainConfig {
 /// `[rule_weights | rule_rsd | alpha | beta | output_rsd]`.
 pub fn flatten_params(model: &LearnRiskModel) -> Vec<f64> {
     let mut out = Vec::with_capacity(model.param_count());
+    flatten_params_into(model, &mut out);
+    out
+}
+
+/// [`flatten_params`] into a caller-owned buffer (cleared first), so the
+/// per-epoch projection round trip allocates nothing after warm-up.
+pub fn flatten_params_into(model: &LearnRiskModel, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(model.param_count());
     out.extend_from_slice(&model.rule_weights);
     out.extend_from_slice(&model.rule_rsd);
     out.push(model.influence.alpha);
     out.push(model.influence.beta);
     out.extend_from_slice(&model.output_rsd);
-    out
 }
 
 /// Writes a flat parameter vector back into the model, projecting every
@@ -83,24 +114,28 @@ pub fn unflatten_params(model: &mut LearnRiskModel, params: &[f64]) {
     }
 }
 
-/// The differentiable training risk score γ of one pair, plus its gradient
-/// with respect to the flat parameter vector (accumulated into `grad` scaled
-/// by `scale`).
-fn score_with_gradient(model: &LearnRiskModel, input: &PairRiskInput, scale: f64, grad: &mut [f64]) -> f64 {
-    let comps: Vec<PortfolioComponent> = model.components(input);
-    let agg = aggregate(&comps);
-    let z = model.z_theta();
-    let score = training_risk_score(agg.mean, agg.std(), input.machine_says_match, z);
-    if scale == 0.0 {
-        return score;
-    }
-    let (d_gamma_d_mean, d_gamma_d_std) = training_risk_gradients(input.machine_says_match, z);
+/// Accumulates `scale · ∂γ/∂θ` of one input into the flat gradient vector,
+/// given the input's freshly built portfolio components and their aggregate.
+///
+/// Shared by the per-pair reference path ([`loss_and_gradient`]) and the
+/// factorized epoch ([`EpochScratch::gradient_pass`]), so both compute the
+/// same per-input derivative with the same operation order.
+fn accumulate_score_gradient(
+    model: &LearnRiskModel,
+    input: &PairRiskInput,
+    comps: &[PortfolioComponent],
+    agg: &PortfolioDistribution,
+    z_theta: f64,
+    scale: f64,
+    grad: &mut [f64],
+) {
+    let (d_gamma_d_mean, d_gamma_d_std) = training_risk_gradients(input.machine_says_match, z_theta);
     let n = model.features.len();
 
     // Rule-feature components come first, in the order of `rule_indices`.
     for (slot, &ri) in input.rule_indices.iter().enumerate() {
         let j = ri as usize;
-        let g = component_gradients(&comps, &agg, slot);
+        let g = component_gradients(comps, agg, slot);
         // ∂γ/∂w_j
         let d_w = d_gamma_d_mean * g.d_mean_d_weight + d_gamma_d_std * g.d_std_d_weight;
         grad[j] += scale * d_w;
@@ -112,7 +147,7 @@ fn score_with_gradient(model: &LearnRiskModel, input: &PairRiskInput, scale: f64
 
     // Classifier-output component is last.
     let slot = comps.len() - 1;
-    let g = component_gradients(&comps, &agg, slot);
+    let g = component_gradients(comps, agg, slot);
     let p = input.classifier_output.clamp(0.0, 1.0);
     let d_weight = d_gamma_d_mean * g.d_mean_d_weight + d_gamma_d_std * g.d_std_d_weight;
     // α and β act through the influence weight.
@@ -121,15 +156,46 @@ fn score_with_gradient(model: &LearnRiskModel, input: &PairRiskInput, scale: f64
     // Bucket RSD: σ_cls = RSD_bucket · p.
     let bucket = model.output_bucket(p);
     grad[2 * n + 2 + bucket] += scale * d_gamma_d_std * g.d_std_d_component_std * p;
+}
 
+/// The differentiable training risk score γ of one pair, plus its gradient
+/// with respect to the flat parameter vector (accumulated into `grad` scaled
+/// by `scale`), reusing a caller-owned component buffer.
+fn score_with_gradient(
+    model: &LearnRiskModel,
+    input: &PairRiskInput,
+    scale: f64,
+    grad: &mut [f64],
+    comps: &mut Vec<PortfolioComponent>,
+) -> f64 {
+    model.components_into(input, comps);
+    let agg = aggregate(comps);
+    let z = model.z_theta();
+    let score = training_risk_score(agg.mean, agg.std(), input.machine_says_match, z);
+    if scale != 0.0 {
+        accumulate_score_gradient(model, input, comps, &agg, z, scale, grad);
+    }
     score
 }
 
+/// Adds the L1/L2 penalty on the rule weights to `loss` and `grad` (the paper
+/// regularizes the learnable weights to counter overfitting).
+fn regularize(model: &LearnRiskModel, config: &RiskTrainConfig, loss: &mut f64, grad: &mut [f64]) {
+    let n = model.features.len();
+    for (g, &w) in grad.iter_mut().zip(&model.rule_weights).take(n) {
+        *loss += config.l1 * w.abs() + config.l2 * w * w;
+        *g += config.l1 * w.signum() + 2.0 * config.l2 * w;
+    }
+}
+
 /// Computes the pairwise ranking loss and its gradient over an explicit list
-/// of ordered index pairs `(a, b)`.
+/// of ordered index pairs `(a, b)` — the per-pair *reference* path, which
+/// evaluates the model four times per pair.
 ///
 /// Exposed (rather than private to the trainer) so that tests can verify the
-/// analytic gradient against finite differences.
+/// analytic gradient against finite differences and the factorized epoch
+/// ([`EpochScratch`]) against this implementation; `train_bench` uses it as
+/// the old-path-equivalent baseline.
 pub fn loss_and_gradient(
     model: &LearnRiskModel,
     inputs: &[PairRiskInput],
@@ -139,71 +205,390 @@ pub fn loss_and_gradient(
     let dim = model.param_count();
     let mut grad = vec![0.0; dim];
     let mut loss = 0.0;
-    let mut scratch = vec![0.0; dim];
+    let mut comps = Vec::new();
     let n_pairs = rank_pairs.len().max(1) as f64;
 
     for &(a, b) in rank_pairs {
         let ia = &inputs[a as usize];
         let ib = &inputs[b as usize];
         // Scores without gradient first to get the loss weight.
-        let gamma_a = score_with_gradient(model, ia, 0.0, &mut scratch);
-        let gamma_b = score_with_gradient(model, ib, 0.0, &mut scratch);
+        let gamma_a = score_with_gradient(model, ia, 0.0, &mut grad, &mut comps);
+        let gamma_b = score_with_gradient(model, ib, 0.0, &mut grad, &mut comps);
         let p_ab = clamp_prob(sigmoid(gamma_a - gamma_b));
         let target = 0.5 * (1.0 + ia.risk_label as f64 - ib.risk_label as f64);
         loss += -(target * safe_ln(p_ab) + (1.0 - target) * safe_ln(1.0 - p_ab));
         // dL/dγ_a = p_ab - target; dL/dγ_b = -(p_ab - target).
         let d = (p_ab - target) / n_pairs;
-        score_with_gradient(model, ia, d, &mut grad);
-        score_with_gradient(model, ib, -d, &mut grad);
+        score_with_gradient(model, ia, d, &mut grad, &mut comps);
+        score_with_gradient(model, ib, -d, &mut grad, &mut comps);
     }
     loss /= n_pairs;
-
-    // L1/L2 regularization on the rule weights only (the paper regularizes the
-    // learnable weights to counter overfitting).
-    let n = model.features.len();
-    for (g, &w) in grad.iter_mut().zip(&model.rule_weights).take(n) {
-        loss += config.l1 * w.abs() + config.l2 * w * w;
-        *g += config.l1 * w.signum() + 2.0 * config.l2 * w;
-    }
+    regularize(model, config, &mut loss, &mut grad);
     (loss, grad)
 }
 
-/// Builds the ranking pairs of one epoch: every mislabeled training pair is
-/// matched with sampled correctly-labeled pairs (the informative orderings for
-/// the target of Eq. 14), capped at `max_rank_pairs`.
-pub fn sample_rank_pairs<R: Rng + ?Sized>(inputs: &[PairRiskInput], max_pairs: usize, rng: &mut R) -> Vec<(u32, u32)> {
-    let positives: Vec<u32> = inputs
-        .iter()
-        .enumerate()
-        .filter(|(_, i)| i.risk_label == 1)
-        .map(|(i, _)| i as u32)
-        .collect();
-    let negatives: Vec<u32> = inputs
-        .iter()
-        .enumerate()
-        .filter(|(_, i)| i.risk_label == 0)
-        .map(|(i, _)| i as u32)
-        .collect();
-    if positives.is_empty() || negatives.is_empty() {
-        return Vec::new();
+/// Inputs per gradient-accumulation chunk.  The chunk grid is a function of
+/// the input count only — never of the thread count — and chunk shards are
+/// reduced in chunk order, which is what makes training bit-identical across
+/// thread counts.
+const GRAD_CHUNK: usize = 128;
+
+/// Minimum forward-pass inputs per worker before another worker is spawned;
+/// below this the scoped-thread overhead exceeds the scoring work.
+const MIN_FORWARD_INPUTS_PER_WORKER: usize = 512;
+
+/// How many workers to actually spawn for `work_items` units of work.
+fn effective_workers(threads: usize, work_items: usize, min_per_worker: usize) -> usize {
+    threads.max(1).min(work_items.div_ceil(min_per_worker.max(1))).max(1)
+}
+
+/// Reusable buffers of the factorized training epoch (see the module docs):
+/// per-input forward scores, per-input λ coefficients, per-chunk gradient
+/// shards and per-worker component scratch.  Construct once, reuse across
+/// epochs (and across models of the same feature set); after the first epoch
+/// no pass allocates.
+#[derive(Default)]
+pub struct EpochScratch {
+    /// Forward score γ_i per input.
+    scores: Vec<f64>,
+    /// λ_i per input (see the module docs).
+    lambdas: Vec<f64>,
+    /// One flat gradient shard per λ-active fixed-size input chunk.
+    chunk_grads: Vec<Vec<f64>>,
+    /// One component buffer per worker thread.
+    worker_comps: Vec<Vec<PortfolioComponent>>,
+    /// Distinct input indices referenced by the epoch's rank pairs, in first-
+    /// appearance order.
+    active: Vec<u32>,
+    /// Gradient-chunk indices containing a non-zero λ, ascending.
+    active_chunks: Vec<usize>,
+    /// Per-input membership flags backing `active`.
+    touched: Vec<bool>,
+    /// Forward scores of the active inputs, aligned with `active`.
+    active_scores: Vec<f64>,
+}
+
+impl EpochScratch {
+    /// Creates empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let total = positives.len() * negatives.len();
-    let mut pairs = Vec::with_capacity(total.min(max_pairs));
-    if total <= max_pairs {
-        for &p in &positives {
-            for &n in &negatives {
-                pairs.push((p, n));
+
+    /// Forward scores of the last forward pass, aligned with its inputs.
+    /// After [`EpochScratch::factorized_loss_and_gradient`], inputs that no
+    /// rank pair referenced hold 0.0 (they were not scored).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    fn ensure_worker_buffers(&mut self, workers: usize) {
+        while self.worker_comps.len() < workers {
+            self.worker_comps.push(Vec::new());
+        }
+    }
+
+    /// Step 1: computes each input's training score γ_i exactly once —
+    /// O(inputs), not O(rank_pairs) — in parallel over at most `threads`
+    /// scoped workers.  Each score lands in its own slot, so the result does
+    /// not depend on the thread count.
+    pub fn forward_pass(&mut self, model: &LearnRiskModel, inputs: &[PairRiskInput], threads: usize) {
+        self.active.clear();
+        self.active.extend(0..inputs.len() as u32);
+        self.forward_pass_active(model, inputs, threads);
+    }
+
+    /// Collects the distinct input indices referenced by `rank_pairs` into
+    /// `active` (first-appearance order, so the list is independent of the
+    /// thread count).
+    fn mark_active(&mut self, n_inputs: usize, rank_pairs: &[(u32, u32)]) {
+        self.touched.clear();
+        self.touched.resize(n_inputs, false);
+        self.active.clear();
+        for &(a, b) in rank_pairs {
+            for i in [a, b] {
+                let flag = &mut self.touched[i as usize];
+                if !*flag {
+                    *flag = true;
+                    self.active.push(i);
+                }
             }
         }
-    } else {
-        for _ in 0..max_pairs {
-            let p = positives[rng.gen_range(0..positives.len())];
-            let n = negatives[rng.gen_range(0..negatives.len())];
-            pairs.push((p, n));
+    }
+
+    /// Forward scoring of the input indices currently in `active` (all of
+    /// them for [`EpochScratch::forward_pass`], the pair-referenced subset
+    /// from `mark_active` on the factorized path).  In the sampled regime —
+    /// many inputs, a capped pair budget — only O(min(2·rank_pairs, inputs))
+    /// model evaluations run instead of O(inputs).  Scores of untouched
+    /// inputs are left at 0.0; the λ sweep never reads them.
+    fn forward_pass_active(&mut self, model: &LearnRiskModel, inputs: &[PairRiskInput], threads: usize) {
+        self.scores.clear();
+        self.scores.resize(inputs.len(), 0.0);
+        self.active_scores.clear();
+        self.active_scores.resize(self.active.len(), 0.0);
+        let workers = effective_workers(threads, self.active.len(), MIN_FORWARD_INPUTS_PER_WORKER);
+        self.ensure_worker_buffers(workers);
+        let z = model.z_theta();
+        let active = &self.active;
+        if workers <= 1 {
+            let comps = &mut self.worker_comps[0];
+            for (&i, slot) in active.iter().zip(&mut self.active_scores) {
+                *slot = model.training_score_with_z(&inputs[i as usize], z, comps);
+            }
+        } else {
+            let per = active.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ((index_chunk, score_chunk), comps) in active
+                    .chunks(per)
+                    .zip(self.active_scores.chunks_mut(per))
+                    .zip(self.worker_comps.iter_mut())
+                {
+                    scope.spawn(move || {
+                        for (&i, slot) in index_chunk.iter().zip(score_chunk) {
+                            *slot = model.training_score_with_z(&inputs[i as usize], z, comps);
+                        }
+                    });
+                }
+            });
+        }
+        // Scatter back to the per-input slots the λ sweep indexes by.
+        for (&i, &score) in active.iter().zip(&self.active_scores) {
+            self.scores[i as usize] = score;
         }
     }
-    pairs.shuffle(rng);
-    pairs
+
+    /// Step 2: sweeps the rank-pair list once, accumulating each input's λ
+    /// coefficient and the epoch loss (unregularized).  O(rank_pairs) scalar
+    /// work — no model evaluation.  Requires a preceding
+    /// [`EpochScratch::forward_pass`] over the same inputs.
+    pub fn lambda_pass(&mut self, inputs: &[PairRiskInput], rank_pairs: &[(u32, u32)]) -> f64 {
+        assert_eq!(
+            self.scores.len(),
+            inputs.len(),
+            "forward_pass must run on the same inputs first"
+        );
+        self.lambdas.clear();
+        self.lambdas.resize(inputs.len(), 0.0);
+        let n_pairs = rank_pairs.len().max(1) as f64;
+        let mut loss = 0.0;
+        for &(a, b) in rank_pairs {
+            let (a, b) = (a as usize, b as usize);
+            let p_ab = clamp_prob(sigmoid(self.scores[a] - self.scores[b]));
+            let target = 0.5 * (1.0 + inputs[a].risk_label as f64 - inputs[b].risk_label as f64);
+            loss += -(target * safe_ln(p_ab) + (1.0 - target) * safe_ln(1.0 - p_ab));
+            // dL/dγ_a = p_ab - target; dL/dγ_b = -(p_ab - target).
+            let d = (p_ab - target) / n_pairs;
+            self.lambdas[a] += d;
+            self.lambdas[b] -= d;
+        }
+        loss / n_pairs
+    }
+
+    /// Step 3: one gradient evaluation per input with a non-zero λ, in
+    /// parallel over fixed-size input chunks.  Only chunks containing a
+    /// non-zero λ get a shard (so the pass is O(λ-active inputs) plus one
+    /// scalar sweep of λ, not O(inputs)); each shard accumulates its chunk's
+    /// inputs in index order, and the shards are reduced into `grad` in
+    /// ascending chunk order on the calling thread — the chunk grid depends
+    /// only on the input count, so the result is bit-identical for every
+    /// thread count.  Requires a preceding [`EpochScratch::lambda_pass`].
+    pub fn gradient_pass(
+        &mut self,
+        model: &LearnRiskModel,
+        inputs: &[PairRiskInput],
+        threads: usize,
+        grad: &mut [f64],
+    ) {
+        let dim = model.param_count();
+        assert_eq!(grad.len(), dim, "gradient buffer must match the parameter count");
+        assert_eq!(
+            self.lambdas.len(),
+            inputs.len(),
+            "lambda_pass must run on the same inputs first"
+        );
+        // Chunks with at least one non-zero λ, in ascending order.
+        let n_chunks = inputs.len().div_ceil(GRAD_CHUNK);
+        self.active_chunks.clear();
+        for c in 0..n_chunks {
+            let start = c * GRAD_CHUNK;
+            let end = (start + GRAD_CHUNK).min(inputs.len());
+            if self.lambdas[start..end].iter().any(|&l| l != 0.0) {
+                self.active_chunks.push(c);
+            }
+        }
+        grad.fill(0.0);
+        let n_active = self.active_chunks.len();
+        if n_active == 0 {
+            return;
+        }
+        while self.chunk_grads.len() < n_active {
+            self.chunk_grads.push(Vec::new());
+        }
+        for shard in &mut self.chunk_grads[..n_active] {
+            shard.clear();
+            shard.resize(dim, 0.0);
+        }
+        let workers = effective_workers(threads, n_active, 1);
+        self.ensure_worker_buffers(workers);
+        let z = model.z_theta();
+        let lambdas = &self.lambdas;
+        let active_chunks = &self.active_chunks;
+        let shards = &mut self.chunk_grads[..n_active];
+        if workers <= 1 {
+            let comps = &mut self.worker_comps[0];
+            for (shard, &c) in shards.iter_mut().zip(active_chunks) {
+                gradient_chunk(model, inputs, lambdas, z, c, comps, shard);
+            }
+        } else {
+            let per = n_active.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ((shard_slice, chunk_ids), comps) in shards
+                    .chunks_mut(per)
+                    .zip(active_chunks.chunks(per))
+                    .zip(self.worker_comps.iter_mut())
+                {
+                    scope.spawn(move || {
+                        for (shard, &c) in shard_slice.iter_mut().zip(chunk_ids) {
+                            gradient_chunk(model, inputs, lambdas, z, c, comps, shard);
+                        }
+                    });
+                }
+            });
+        }
+        // Reduce the shards in fixed (ascending) chunk order.
+        for shard in self.chunk_grads[..n_active].iter() {
+            for (g, s) in grad.iter_mut().zip(shard) {
+                *g += s;
+            }
+        }
+    }
+
+    /// One factorized epoch: forward pass + λ sweep + gradient pass +
+    /// regularization.  Drop-in replacement for [`loss_and_gradient`] (the
+    /// gradient lands in `grad`, the regularized loss is returned) that is
+    /// O(inputs + rank_pairs) instead of O(rank_pairs × features) and
+    /// allocation-free once the scratch has warmed up.
+    pub fn factorized_loss_and_gradient(
+        &mut self,
+        model: &LearnRiskModel,
+        inputs: &[PairRiskInput],
+        rank_pairs: &[(u32, u32)],
+        config: &RiskTrainConfig,
+        threads: usize,
+        grad: &mut [f64],
+    ) -> f64 {
+        // Forward-score only the inputs the pairs reference: in the sampled
+        // regime (inputs ≫ max_rank_pairs) scoring every input would make
+        // the epoch O(inputs) even when only a fraction participates.
+        self.mark_active(inputs.len(), rank_pairs);
+        self.forward_pass_active(model, inputs, threads);
+        let mut loss = self.lambda_pass(inputs, rank_pairs);
+        self.gradient_pass(model, inputs, threads, grad);
+        regularize(model, config, &mut loss, grad);
+        loss
+    }
+}
+
+/// Gradient accumulation of one fixed-size input chunk into its shard.
+fn gradient_chunk(
+    model: &LearnRiskModel,
+    inputs: &[PairRiskInput],
+    lambdas: &[f64],
+    z_theta: f64,
+    chunk_index: usize,
+    comps: &mut Vec<PortfolioComponent>,
+    shard: &mut [f64],
+) {
+    let start = chunk_index * GRAD_CHUNK;
+    let end = (start + GRAD_CHUNK).min(inputs.len());
+    for i in start..end {
+        let lambda = lambdas[i];
+        if lambda == 0.0 {
+            continue;
+        }
+        let input = &inputs[i];
+        model.components_into(input, comps);
+        let agg = aggregate(comps);
+        accumulate_score_gradient(model, input, comps, &agg, z_theta, lambda, shard);
+    }
+}
+
+/// Whether the positive × negative cartesian product should be enumerated
+/// exhaustively (it fits the pair budget) — overflow-safe, so absurdly large
+/// input sets fall back to sampling instead of wrapping around.
+fn enumerate_exhaustively(positives: usize, negatives: usize, max_pairs: usize) -> bool {
+    positives.checked_mul(negatives).is_some_and(|total| total <= max_pairs)
+}
+
+/// Reusable rank-pair sampler: splits the inputs into mislabeled (positive)
+/// and correct (negative) index sets once, then samples each epoch's pair
+/// list into a caller-owned buffer without re-scanning the inputs.
+pub struct RankPairSampler {
+    positives: Vec<u32>,
+    negatives: Vec<u32>,
+}
+
+impl RankPairSampler {
+    /// Indexes the inputs by risk label.
+    pub fn new(inputs: &[PairRiskInput]) -> Self {
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            if input.risk_label == 1 {
+                positives.push(i as u32);
+            } else {
+                negatives.push(i as u32);
+            }
+        }
+        Self { positives, negatives }
+    }
+
+    /// Whether no informative ordering exists (one of the label sets is
+    /// empty).
+    pub fn is_degenerate(&self) -> bool {
+        self.positives.is_empty() || self.negatives.is_empty()
+    }
+
+    /// Builds the ranking pairs of one epoch into `out` (cleared first):
+    /// every mislabeled training pair is matched with sampled
+    /// correctly-labeled pairs (the informative orderings for the target of
+    /// Eq. 14), capped at `max_pairs`.
+    ///
+    /// When the full cartesian product fits the cap it is enumerated in index
+    /// order with an exact reservation and no shuffle — pair order does not
+    /// affect the trainer, so shuffling the full product was pure overhead.
+    /// The product is computed with `checked_mul`, falling back to the
+    /// sampling branch on overflow.
+    pub fn sample_into<R: Rng + ?Sized>(&self, max_pairs: usize, rng: &mut R, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        if self.is_degenerate() {
+            return;
+        }
+        if enumerate_exhaustively(self.positives.len(), self.negatives.len(), max_pairs) {
+            out.reserve(self.positives.len() * self.negatives.len());
+            for &p in &self.positives {
+                for &n in &self.negatives {
+                    out.push((p, n));
+                }
+            }
+        } else {
+            out.reserve(max_pairs);
+            for _ in 0..max_pairs {
+                let p = self.positives[rng.gen_range(0..self.positives.len())];
+                let n = self.negatives[rng.gen_range(0..self.negatives.len())];
+                out.push((p, n));
+            }
+            out.shuffle(rng);
+        }
+    }
+}
+
+/// Builds the ranking pairs of one epoch (see [`RankPairSampler::sample_into`],
+/// which the trainer uses to avoid the per-epoch allocation).
+pub fn sample_rank_pairs<R: Rng + ?Sized>(inputs: &[PairRiskInput], max_pairs: usize, rng: &mut R) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    RankPairSampler::new(inputs).sample_into(max_pairs, rng, &mut out);
+    out
 }
 
 /// Training history for diagnostics and the scalability experiments.
@@ -211,33 +596,62 @@ pub fn sample_rank_pairs<R: Rng + ?Sized>(inputs: &[PairRiskInput], max_pairs: u
 pub struct TrainReport {
     /// Loss after each epoch.
     pub losses: Vec<f64>,
-    /// Number of ranking pairs used per epoch.
+    /// Number of ranking pairs sampled in each epoch (aligned with `losses`),
+    /// so sampling variance across epochs is reportable.
+    pub rank_pair_counts: Vec<usize>,
+    /// Number of ranking pairs of the *last* epoch — kept for compatibility
+    /// with consumers of the old scalar field; `rank_pair_counts` has the
+    /// full per-epoch series.
     pub rank_pairs_per_epoch: usize,
 }
 
+/// Worker threads [`train`] uses by default: every CPU available to the
+/// process.  Training is bit-identical for every thread count (see
+/// [`EpochScratch`]), so the default only affects speed, never results.
+pub fn default_train_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Trains the risk model on risk-training data (the validation split of the
-/// classifier, as in Section 4.3).
+/// classifier, as in Section 4.3), using [`default_train_threads`] workers.
 pub fn train(model: &mut LearnRiskModel, inputs: &[PairRiskInput], config: &RiskTrainConfig) -> TrainReport {
+    train_with_threads(model, inputs, config, default_train_threads())
+}
+
+/// [`train`] with an explicit worker-thread count.  The factorized epoch is
+/// deterministic across thread counts: for the same model, inputs and config,
+/// every `threads` value produces bit-identical losses and parameters.
+pub fn train_with_threads(
+    model: &mut LearnRiskModel,
+    inputs: &[PairRiskInput],
+    config: &RiskTrainConfig,
+    threads: usize,
+) -> TrainReport {
     let mut report = TrainReport::default();
     if inputs.is_empty() {
         return report;
     }
     let mut rng = substream(config.seed, 0x71);
+    let sampler = RankPairSampler::new(inputs);
     let mut params = flatten_params(model);
+    let mut grad = vec![0.0; params.len()];
+    let mut rank_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut scratch = EpochScratch::new();
     // Adam state.
     let mut m = vec![0.0; params.len()];
     let mut v = vec![0.0; params.len()];
     let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
 
     for epoch in 0..config.epochs {
-        let rank_pairs = sample_rank_pairs(inputs, config.max_rank_pairs, &mut rng);
+        sampler.sample_into(config.max_rank_pairs, &mut rng, &mut rank_pairs);
         if rank_pairs.is_empty() {
             // Nothing to rank (no mislabeled pairs in the risk-training data):
             // the model keeps its prior parameters.
             break;
         }
+        report.rank_pair_counts.push(rank_pairs.len());
         report.rank_pairs_per_epoch = rank_pairs.len();
-        let (loss, grad) = loss_and_gradient(model, inputs, &rank_pairs, config);
+        let loss = scratch.factorized_loss_and_gradient(model, inputs, &rank_pairs, config, threads, &mut grad);
         report.losses.push(loss);
 
         if config.use_adam {
@@ -256,7 +670,7 @@ pub fn train(model: &mut LearnRiskModel, inputs: &[PairRiskInput], config: &Risk
         }
         unflatten_params(model, &params);
         // Re-read the projected parameters so optimizer state stays consistent.
-        params = flatten_params(model);
+        flatten_params_into(model, &mut params);
     }
     report
 }
@@ -373,6 +787,152 @@ mod tests {
     }
 
     #[test]
+    fn factorized_epoch_matches_the_per_pair_reference() {
+        let model = toy_model();
+        let inputs = toy_inputs(120, 13);
+        let mut rng = seeded(14);
+        let rank_pairs = sample_rank_pairs(&inputs, 600, &mut rng);
+        assert!(!rank_pairs.is_empty());
+        let config = RiskTrainConfig::default();
+        let (loss_ref, grad_ref) = loss_and_gradient(&model, &inputs, &rank_pairs, &config);
+
+        let mut scratch = EpochScratch::new();
+        let mut grad = vec![0.0; model.param_count()];
+        for threads in [1usize, 3] {
+            let loss = scratch.factorized_loss_and_gradient(&model, &inputs, &rank_pairs, &config, threads, &mut grad);
+            assert!(
+                (loss - loss_ref).abs() < 1e-9,
+                "threads {threads}: loss {loss} vs reference {loss_ref}"
+            );
+            for (idx, (f, r)) in grad.iter().zip(&grad_ref).enumerate() {
+                assert!(
+                    (f - r).abs() < 1e-9,
+                    "threads {threads}, param {idx}: factorized {f} vs reference {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factorized_epoch_matches_reference_when_most_inputs_are_inactive() {
+        // A tiny pair budget over many inputs: the active-input optimization
+        // must only score what the pairs reference and still agree with the
+        // per-pair path.
+        let model = toy_model();
+        let inputs = toy_inputs(2000, 17);
+        let mut rng = seeded(18);
+        let rank_pairs = sample_rank_pairs(&inputs, 40, &mut rng);
+        assert!(!rank_pairs.is_empty() && rank_pairs.len() <= 40);
+        let config = RiskTrainConfig::default();
+        let (loss_ref, grad_ref) = loss_and_gradient(&model, &inputs, &rank_pairs, &config);
+        let mut scratch = EpochScratch::new();
+        let mut grad = vec![0.0; model.param_count()];
+        for threads in [1usize, 4] {
+            let loss = scratch.factorized_loss_and_gradient(&model, &inputs, &rank_pairs, &config, threads, &mut grad);
+            assert!((loss - loss_ref).abs() < 1e-9);
+            for (f, r) in grad.iter().zip(&grad_ref) {
+                assert!((f - r).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_produce_bit_identical_training() {
+        let inputs = toy_inputs(300, 21);
+        let config = RiskTrainConfig {
+            epochs: 40,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
+        let mut baseline = toy_model();
+        let baseline_report = train_with_threads(&mut baseline, &inputs, &config, 1);
+        assert!(!baseline_report.losses.is_empty());
+        for threads in [2usize, 4, 7] {
+            let mut model = toy_model();
+            let report = train_with_threads(&mut model, &inputs, &config, threads);
+            let loss_bits: Vec<u64> = report.losses.iter().map(|l| l.to_bits()).collect();
+            let base_bits: Vec<u64> = baseline_report.losses.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(loss_bits, base_bits, "losses diverged at {threads} threads");
+            let param_bits: Vec<u64> = flatten_params(&model).iter().map(|p| p.to_bits()).collect();
+            let base_param_bits: Vec<u64> = flatten_params(&baseline).iter().map(|p| p.to_bits()).collect();
+            assert_eq!(param_bits, base_param_bits, "parameters diverged at {threads} threads");
+        }
+    }
+
+    /// The pre-factorization trainer, re-implemented on the per-pair
+    /// reference epoch: same sampling stream, same optimizer.  Guards the
+    /// acceptance criterion that factorizing the epoch does not change what
+    /// the trainer learns.
+    fn reference_train(model: &mut LearnRiskModel, inputs: &[PairRiskInput], config: &RiskTrainConfig) -> TrainReport {
+        let mut report = TrainReport::default();
+        let mut rng = substream(config.seed, 0x71);
+        let sampler = RankPairSampler::new(inputs);
+        let mut params = flatten_params(model);
+        let mut rank_pairs = Vec::new();
+        let mut m = vec![0.0; params.len()];
+        let mut v = vec![0.0; params.len()];
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        for epoch in 0..config.epochs {
+            sampler.sample_into(config.max_rank_pairs, &mut rng, &mut rank_pairs);
+            if rank_pairs.is_empty() {
+                break;
+            }
+            let (loss, grad) = loss_and_gradient(model, inputs, &rank_pairs, config);
+            report.losses.push(loss);
+            if config.use_adam {
+                let t = (epoch + 1) as i32;
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc2 = 1.0 - beta2.powi(t);
+                for i in 0..params.len() {
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+                    params[i] -= config.learning_rate * (m[i] / bc1) / ((v[i] / bc2).sqrt() + eps);
+                }
+            } else {
+                for (p, g) in params.iter_mut().zip(&grad) {
+                    *p -= config.learning_rate * g;
+                }
+            }
+            unflatten_params(model, &params);
+            params = flatten_params(model);
+        }
+        report
+    }
+
+    #[test]
+    fn factorized_training_matches_the_reference_trainer() {
+        let inputs = toy_inputs(300, 5);
+        let test_inputs = toy_inputs(300, 6);
+        let config = RiskTrainConfig {
+            epochs: 120,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
+        let mut reference = toy_model();
+        let reference_report = reference_train(&mut reference, &inputs, &config);
+        let mut factorized = toy_model();
+        let factorized_report = train(&mut factorized, &inputs, &config);
+        assert_eq!(reference_report.losses.len(), factorized_report.losses.len());
+        for (epoch, (r, f)) in reference_report
+            .losses
+            .iter()
+            .zip(&factorized_report.losses)
+            .enumerate()
+        {
+            assert!(
+                (r - f).abs() < 1e-7,
+                "epoch {epoch}: reference loss {r} vs factorized {f}"
+            );
+        }
+        let auroc_ref = evaluate_auroc(&reference, &test_inputs);
+        let auroc_fac = evaluate_auroc(&factorized, &test_inputs);
+        assert!(
+            (auroc_ref - auroc_fac).abs() < 1e-6,
+            "AUROC diverged: reference {auroc_ref} vs factorized {auroc_fac}"
+        );
+    }
+
+    #[test]
     fn training_reduces_loss_and_improves_auroc() {
         let mut model = toy_model();
         let train_inputs = toy_inputs(300, 5);
@@ -391,6 +951,33 @@ mod tests {
         let after = evaluate_auroc(&model, &test_inputs);
         assert!(after >= before - 0.02, "AUROC should not degrade: {before} -> {after}");
         assert!(after > 0.6, "trained AUROC too low: {after}");
+    }
+
+    #[test]
+    fn report_records_per_epoch_pair_counts() {
+        let mut model = toy_model();
+        let inputs = toy_inputs(200, 31);
+        let config = RiskTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        };
+        let report = train(&mut model, &inputs, &config);
+        assert_eq!(report.rank_pair_counts.len(), report.losses.len());
+        assert_eq!(
+            report.rank_pair_counts.last().copied().unwrap_or_default(),
+            report.rank_pairs_per_epoch,
+            "the compatibility scalar must equal the last epoch's count"
+        );
+        assert!(report.rank_pair_counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn exhaustive_enumeration_guards_against_overflow() {
+        assert!(enumerate_exhaustively(3, 4, 12));
+        assert!(!enumerate_exhaustively(3, 5, 12));
+        // A product that overflows usize must fall back to sampling, not wrap.
+        assert!(!enumerate_exhaustively(usize::MAX, 2, usize::MAX));
+        assert!(!enumerate_exhaustively(usize::MAX / 2, 3, usize::MAX));
     }
 
     #[test]
@@ -438,6 +1025,24 @@ mod tests {
             assert_eq!(inputs[a as usize].risk_label, 1);
             assert_eq!(inputs[b as usize].risk_label, 0);
         }
+    }
+
+    #[test]
+    fn exhaustive_sampling_emits_the_full_product_without_rng() {
+        let inputs = toy_inputs(40, 15);
+        let sampler = RankPairSampler::new(&inputs);
+        assert!(!sampler.is_degenerate());
+        let mut rng = seeded(16);
+        let mut pairs = Vec::new();
+        sampler.sample_into(usize::MAX, &mut rng, &mut pairs);
+        let positives = inputs.iter().filter(|i| i.risk_label == 1).count();
+        let negatives = inputs.len() - positives;
+        assert_eq!(pairs.len(), positives * negatives);
+        // Exhaustive enumeration is deterministic: a second pass (any RNG
+        // state) produces the identical list.
+        let mut again = Vec::new();
+        sampler.sample_into(usize::MAX, &mut seeded(99), &mut again);
+        assert_eq!(pairs, again);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Cross-cutting properties of the factorized risk trainer:
+//!
+//! * **factorization correctness** — for random models and risk-training
+//!   inputs, the factorized epoch (`EpochScratch`) reproduces the per-pair
+//!   reference `loss_and_gradient` within 1e-9 on the loss and on every
+//!   gradient component;
+//! * **thread determinism** — training with 1 thread and with N threads
+//!   produces bit-identical loss curves and final parameters (the sharded
+//!   gradient reduction runs in fixed chunk order).
+
+use er_base::Label;
+use er_rulegen::{CmpOp, Condition, Rule};
+use learnrisk_core::{
+    flatten_params, loss_and_gradient, sample_rank_pairs, train_with_threads, EpochScratch, LearnRiskModel,
+    PairRiskInput, RiskFeatureSet, RiskModelConfig, RiskTrainConfig,
+};
+use proptest::prelude::*;
+
+/// Rule features every generated model carries.
+const RULES: usize = 3;
+
+/// A model over [`RULES`] toy rules with learnable parameters drawn from
+/// their feasible ranges (the same ranges the trainer projects onto).
+fn model_from(weights: Vec<f64>, rsds: Vec<f64>, alpha: f64, beta: f64) -> LearnRiskModel {
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 50, 0.95),
+        Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.5)], Label::Equivalent, 40, 0.95),
+        Rule::new(vec![Condition::new(0, CmpOp::Le, 0.2)], Label::Equivalent, 30, 0.9),
+    ];
+    let fs = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.05, 0.95, 0.8],
+        support: vec![50, 40, 30],
+    };
+    let mut model = LearnRiskModel::new(
+        fs,
+        RiskModelConfig {
+            output_buckets: 4,
+            ..Default::default()
+        },
+    );
+    model.rule_weights = weights;
+    model.rule_rsd = rsds;
+    model.influence.alpha = alpha;
+    model.influence.beta = beta;
+    model
+}
+
+/// Decodes `(rule bitmask, classifier output, flags)` rows into risk inputs.
+fn inputs_from(rows: Vec<(usize, f64, u8, u8)>) -> Vec<PairRiskInput> {
+    rows.into_iter()
+        .map(|(mask, output, says, label)| PairRiskInput {
+            rule_indices: (0..RULES as u32).filter(|i| mask & (1 << i) != 0).collect(),
+            classifier_output: output,
+            machine_says_match: says == 1,
+            risk_label: label % 2,
+        })
+        .collect()
+}
+
+fn arb_case() -> impl Strategy<Value = (LearnRiskModel, Vec<PairRiskInput>)> {
+    (
+        proptest::collection::vec((0usize..(1 << RULES), 0.0f64..1.0, 0u8..2, 0u8..2), 8..120),
+        proptest::collection::vec(1e-3f64..5.0, RULES..RULES + 1),
+        proptest::collection::vec(1e-3f64..1.5, RULES..RULES + 1),
+        (0.05f64..2.0, 0.0f64..10.0),
+    )
+        .prop_map(|(rows, weights, rsds, (alpha, beta))| (model_from(weights, rsds, alpha, beta), inputs_from(rows)))
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn factorized_epoch_matches_per_pair_reference(case in arb_case(), seed in 0u64..1000) {
+        let (model, inputs) = &case;
+        let mut rng = er_base::rng::seeded(seed);
+        let rank_pairs = sample_rank_pairs(inputs, 400, &mut rng);
+        if rank_pairs.is_empty() {
+            // Degenerate label draw (all-correct or all-mislabeled): nothing
+            // to rank, nothing to compare.
+            return Ok(());
+        }
+        let config = RiskTrainConfig::default();
+        let (loss_ref, grad_ref) = loss_and_gradient(model, inputs, &rank_pairs, &config);
+        let mut scratch = EpochScratch::new();
+        let mut grad = vec![0.0; model.param_count()];
+        for threads in [1usize, 4] {
+            let loss = scratch.factorized_loss_and_gradient(model, inputs, &rank_pairs, &config, threads, &mut grad);
+            prop_assert!((loss - loss_ref).abs() < 1e-9, "threads {}: loss {} vs {}", threads, loss, loss_ref);
+            for (idx, (f, r)) in grad.iter().zip(&grad_ref).enumerate() {
+                prop_assert!((f - r).abs() < 1e-9, "threads {}, param {}: {} vs {}", threads, idx, f, r);
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_bit_deterministic_across_thread_counts(case in arb_case(), threads in 2usize..8) {
+        let (model, inputs) = &case;
+        let config = RiskTrainConfig {
+            epochs: 8,
+            max_rank_pairs: 300,
+            ..Default::default()
+        };
+        let mut single = model.clone();
+        let single_report = train_with_threads(&mut single, inputs, &config, 1);
+        let mut multi = model.clone();
+        let multi_report = train_with_threads(&mut multi, inputs, &config, threads);
+        prop_assert_eq!(bits(&single_report.losses), bits(&multi_report.losses));
+        prop_assert_eq!(bits(&flatten_params(&single)), bits(&flatten_params(&multi)));
+        prop_assert_eq!(single_report.rank_pair_counts, multi_report.rank_pair_counts);
+    }
+}

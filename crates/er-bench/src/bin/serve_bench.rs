@@ -28,6 +28,10 @@ use std::path::PathBuf;
 struct ServeBenchSummary {
     scale: f64,
     seed: u64,
+    /// CPUs available to the benchmarking process — lets perf-trajectory
+    /// consumers tell single-CPU container runs apart from real multicore
+    /// results.
+    available_parallelism: usize,
     pool_pairs: usize,
     rule_count: usize,
     requests: usize,
@@ -37,22 +41,9 @@ struct ServeBenchSummary {
     runs_cached: Vec<ReplayReport>,
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Err(_) => default,
-        Ok(raw) => match raw.trim().parse() {
-            Ok(v) => v,
-            Err(_) => {
-                eprintln!("warning: could not parse {name}={raw:?}; using default {default}");
-                default
-            }
-        },
-    }
-}
-
 fn main() {
     let args = er_bench::parse_args(0.02);
-    let requests = env_usize("SERVE_BENCH_REQUESTS", 40_000);
+    let requests = er_bench::env_usize("SERVE_BENCH_REQUESTS", 40_000);
     let json_path = PathBuf::from(std::env::var("SERVE_BENCH_JSON").unwrap_or_else(|_| "out/serve_bench.json".into()));
 
     // --- train ------------------------------------------------------------
@@ -158,7 +149,7 @@ fn main() {
             best.threads,
             best.throughput_rps / single.throughput_rps.max(1e-9),
         );
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores = er_bench::available_parallelism();
         if cores == 1 {
             println!(
                 "serve_bench: note — only 1 CPU is available to this process; \
@@ -170,6 +161,7 @@ fn main() {
     let summary = ServeBenchSummary {
         scale: args.config.scale,
         seed: args.config.seed,
+        available_parallelism: er_bench::available_parallelism(),
         pool_pairs: pool.len(),
         rule_count: result.rule_count,
         requests,

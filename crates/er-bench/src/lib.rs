@@ -19,10 +19,12 @@
 //! | `fig14`      | Figure 14 — active learning |
 //! | `ablation`   | Design-choice ablations called out in DESIGN.md |
 //! | `serve_bench`| Zipf traffic replay against the `er-serve` engine |
+//! | `train_bench`| Factorized vs per-pair risk-training epoch benchmark |
 //!
 //! All binaries share one argument parser ([`parse_args`]): an optional
 //! positional workload scale plus `--threads a,b,c` for the binaries that
-//! exercise the multi-threaded serving path (`fig13`, `serve_bench`).
+//! exercise a multi-threaded path (`fig13`, `serve_bench`, `train_bench`),
+//! and the [`env_usize`] helper for their environment overrides.
 
 #![warn(missing_docs)]
 
@@ -105,6 +107,75 @@ pub fn default_thread_counts() -> Vec<usize> {
         counts.push(2);
     }
     counts
+}
+
+/// CPUs available to this process (1 when undeterminable) — the value the
+/// `*_bench` binaries embed in their JSON so perf-trajectory consumers can
+/// tell single-CPU container runs apart from real multicore results.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a `usize` environment variable, keeping the harness's
+/// warn-don't-die behavior: unset uses the default silently, an unparsable
+/// value warns on stderr and uses the default.  Shared by the `*_bench`
+/// binaries' request/size overrides.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: could not parse {name}={raw:?}; using default {default}");
+                default
+            }
+        },
+    }
+}
+
+/// A DS-style risk-training workload shared by `train_bench` and the
+/// `train_epoch` Criterion bench: rules generated from the data, risk inputs
+/// labeled by a synthetic classifier, so both time the identical setup.
+pub struct TrainWorkload {
+    /// Untrained model over the generated rule features.
+    pub model: learnrisk_core::LearnRiskModel,
+    /// Risk-training inputs for every workload pair.
+    pub inputs: Vec<learnrisk_core::PairRiskInput>,
+    /// Number of mislabeled pairs (risk positives) among the inputs.
+    pub mislabeled: usize,
+}
+
+impl TrainWorkload {
+    /// Number of generated rule features.
+    pub fn rule_count(&self) -> usize {
+        self.model.features.len()
+    }
+}
+
+/// Builds a [`TrainWorkload`]: generates DS at `config.scale`, derives rules
+/// and the risk feature set from the data, then labels every pair with a
+/// synthetic classifier of the given `accuracy` (confidence 0.8 / 0.2) so
+/// mislabeled pairs exist and the rank-pair list is non-trivial.
+pub fn train_workload(config: &ExperimentConfig, accuracy: f64) -> TrainWorkload {
+    let ds = er_datasets::generate_benchmark(er_datasets::BenchmarkId::DblpScholar, config.scale, config.seed);
+    let workload = &ds.workload;
+    let evaluator =
+        er_similarity::MetricEvaluator::from_pairs(std::sync::Arc::clone(&workload.left_schema), workload.pairs());
+    let rows = evaluator.eval_pairs(workload.pairs());
+    let labels: Vec<er_base::Label> = workload.pairs().iter().map(|p| p.truth).collect();
+    let rules = er_rulegen::generate_rules(&rows, &labels, er_rulegen::OneSidedTreeConfig::default());
+    let feature_set =
+        learnrisk_core::RiskFeatureSet::from_training(rules, evaluator.metrics().to_vec(), &rows, &labels);
+    let model = learnrisk_core::LearnRiskModel::new(feature_set, Default::default());
+    let mut prob_rng = er_base::rng::substream(config.seed, 0x7B);
+    let probs = er_eval::synthetic_classifier_probs(&labels, accuracy, &mut prob_rng);
+    let labeled = er_base::LabeledWorkload::from_probabilities("train-workload", workload.pairs().to_vec(), &probs);
+    let inputs = er_eval::build_inputs_from_labeled(&evaluator, &model.features, &labeled);
+    TrainWorkload {
+        model,
+        inputs,
+        mislabeled: labeled.mislabeled_count(),
+    }
 }
 
 fn parse_thread_list(list: &str) -> Option<Vec<usize>> {

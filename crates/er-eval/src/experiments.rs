@@ -13,6 +13,7 @@ use er_classifier::TrainConfig;
 use er_datasets::{generate_benchmark, table2, BenchmarkId, Table2Row};
 use er_rulegen::OneSidedTreeConfig;
 use learnrisk_core::RiskTrainConfig;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -341,6 +342,27 @@ pub struct ScalabilityPoint {
     pub throughput_pairs_per_sec: Option<f64>,
 }
 
+/// Classifier-output probabilities of a synthetic classifier with the given
+/// `accuracy` over ground-truth labels: each pair is labeled correctly with
+/// probability `accuracy` and carries confidence 0.8 (match) / 0.2 (unmatch).
+///
+/// Shared by the fig13 scalability experiment and `er-bench`'s training
+/// workload builder, so both synthesize risk-training data (including actual
+/// mislabeled pairs to rank) the same way.
+pub fn synthetic_classifier_probs<R: Rng + ?Sized>(labels: &[er_base::Label], accuracy: f64, rng: &mut R) -> Vec<f64> {
+    labels
+        .iter()
+        .map(|l| {
+            let says_match = rng.gen_bool(accuracy) == l.is_match();
+            if says_match {
+                0.8
+            } else {
+                0.2
+            }
+        })
+        .collect()
+}
+
 /// Reproduces Figure 13, extended with the serving engine: runtime of rule
 /// generation and of risk-model training as a function of the training-data
 /// size on DS-style workloads, plus the `er-serve` engine's batched-scoring
@@ -373,29 +395,56 @@ pub fn run_fig13(config: &ExperimentConfig, sizes: &[usize], threads: &[usize]) 
             throughput_pairs_per_sec: None,
         });
 
-        // Risk-training runtime (feature construction + optimization), using a
-        // synthetic labeled view of the same prefix as risk-training data.
+        // Risk-training runtime (feature construction + optimization), using
+        // a synthetic ~85%-accurate classifier over the same prefix so the
+        // risk-training data contains mislabeled pairs to rank (a perfectly
+        // aligned classifier would make training a no-op).
         let feature_set =
             learnrisk_core::RiskFeatureSet::from_training(rules, evaluator.metrics().to_vec(), rows, labels);
-        let mut model = learnrisk_core::LearnRiskModel::new(feature_set, Default::default());
-        let probs: Vec<f64> = labels.iter().map(|l| if l.is_match() { 0.8 } else { 0.2 }).collect();
+        let model = learnrisk_core::LearnRiskModel::new(feature_set, Default::default());
+        let mut prob_rng = er_base::rng::substream(config.seed, 0xF13 ^ n as u64);
+        let probs = synthetic_classifier_probs(labels, 0.85, &mut prob_rng);
         let labeled = er_base::LabeledWorkload::from_probabilities("fig13", workload.pairs()[..n].to_vec(), &probs);
+        let train_config = RiskTrainConfig {
+            epochs: 50,
+            ..Default::default()
+        };
         let start = Instant::now();
         let inputs = crate::pipeline::build_inputs_from_labeled(&evaluator, &model.features, &labeled);
-        learnrisk_core::train(
-            &mut model,
-            &inputs,
-            &RiskTrainConfig {
-                epochs: 50,
-                ..Default::default()
-            },
-        );
+        let input_secs = start.elapsed().as_secs_f64();
+        let mut trained = model.clone();
+        let start = Instant::now();
+        learnrisk_core::train_with_threads(&mut trained, &inputs, &train_config, 1);
+        let single_thread_secs = start.elapsed().as_secs_f64();
         out.push(ScalabilityPoint {
             stage: "risk_training".into(),
             training_size: n,
-            runtime_secs: start.elapsed().as_secs_f64(),
+            runtime_secs: input_secs + single_thread_secs,
             throughput_pairs_per_sec: None,
         });
+
+        // Factorized-trainer thread scaling: optimization only (inputs are
+        // prebuilt), one stage per requested thread count.  Training is
+        // bit-deterministic across thread counts, so these stages measure
+        // pure speedup — and the 1-thread stage reuses the headline run's
+        // measurement instead of training a second time.
+        for &t in threads {
+            let runtime_secs = if t.max(1) == 1 {
+                single_thread_secs
+            } else {
+                let mut m = model.clone();
+                let start = Instant::now();
+                learnrisk_core::train_with_threads(&mut m, &inputs, &train_config, t);
+                start.elapsed().as_secs_f64()
+            };
+            out.push(ScalabilityPoint {
+                stage: format!("risk_training[t{t}]"),
+                training_size: n,
+                runtime_secs,
+                throughput_pairs_per_sec: None,
+            });
+        }
+        let model = trained;
 
         // Serving-path scalability: batched scoring of the same pairs through
         // the compiled engine, per requested thread count. The batch is
@@ -502,11 +551,17 @@ mod tests {
     #[test]
     fn fig13_runtimes_are_measured() {
         let points = run_fig13(&ExperimentConfig::tiny(), &[200, 400], &[1, 2]);
-        // Two sizes × (rule_generation + risk_training + two serving stages).
-        assert_eq!(points.len(), 8);
+        // Two sizes × (rule_generation + risk_training + two per-thread
+        // training stages + two serving stages).
+        assert_eq!(points.len(), 12);
         assert!(points.iter().all(|p| p.runtime_secs >= 0.0));
         assert!(points.iter().any(|p| p.stage == "rule_generation"));
         assert!(points.iter().any(|p| p.stage == "risk_training"));
+        let training: Vec<_> = points
+            .iter()
+            .filter(|p| p.stage.starts_with("risk_training[t"))
+            .collect();
+        assert_eq!(training.len(), 4, "one training stage per size per thread count");
         let serving: Vec<_> = points
             .iter()
             .filter(|p| p.stage.starts_with("engine_scoring"))

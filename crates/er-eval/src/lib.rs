@@ -24,7 +24,7 @@ pub mod serving;
 pub use active::{run_active_learning, ActiveLearningConfig, ActiveLearningCurve, SelectionStrategy};
 pub use experiments::{
     run_fig10, run_fig10_workload, run_fig11, run_fig12, run_fig13, run_fig14, run_fig9, run_fig9_cell, run_table2,
-    ExperimentConfig, OodWorkload, ScalabilityPoint, SensitivityPoint,
+    synthetic_classifier_probs, ExperimentConfig, OodWorkload, ScalabilityPoint, SensitivityPoint,
 };
 pub use ood::{project_workload, schemas_compatible};
 pub use pipeline::{

@@ -19,8 +19,8 @@ use er_classifier::{BootstrapEnsemble, ErMatcher, MatcherKind, TrainConfig};
 use er_rulegen::{OneSidedTreeConfig, RandomForest, TwoSidedTreeConfig};
 use er_similarity::MetricEvaluator;
 use learnrisk_core::{
-    build_input_from_row, evaluate_auroc, train as train_risk, LearnRiskModel, PairRiskInput, RiskFeatureSet,
-    RiskModelConfig, RiskTrainConfig,
+    build_input_from_row, default_train_threads, evaluate_auroc, train_with_threads, LearnRiskModel, PairRiskInput,
+    RiskFeatureSet, RiskModelConfig, RiskTrainConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -38,6 +38,10 @@ pub struct PipelineConfig {
     pub risk_config: RiskModelConfig,
     /// Risk-model training configuration.
     pub risk_train_config: RiskTrainConfig,
+    /// Worker threads for risk-model training.  The factorized trainer is
+    /// bit-deterministic across thread counts, so this only affects speed,
+    /// never results.
+    pub risk_train_threads: usize,
     /// Number of bootstrap-ensemble members for the Uncertainty baseline
     /// (the paper trains 20 models).
     pub ensemble_members: usize,
@@ -62,6 +66,7 @@ impl Default for PipelineConfig {
                 epochs: 120,
                 ..Default::default()
             },
+            risk_train_threads: default_train_threads(),
             ensemble_members: 20,
             run_holoclean: false,
             seed: 17,
@@ -232,7 +237,12 @@ pub fn run_pipeline_on_splits(
     let mut risk_model = LearnRiskModel::new(feature_set, config.risk_config);
     let valid_inputs = build_inputs_from_labeled(&evaluator, &risk_model.features, &valid_labeled);
     let test_inputs = build_inputs_from_labeled(&evaluator, &risk_model.features, &test_labeled);
-    train_risk(&mut risk_model, &valid_inputs, &config.risk_train_config);
+    train_with_threads(
+        &mut risk_model,
+        &valid_inputs,
+        &config.risk_train_config,
+        config.risk_train_threads,
+    );
     let risk_training_secs = risk_timer.elapsed().as_secs_f64();
 
     let scores = risk_model.rank(&test_inputs);

@@ -11,9 +11,10 @@ cd "$(dirname "$0")/.."
 # the paper's dataset sizes (runtime grows roughly quadratically in scale).
 SCALE="${FULL_SCALE:-0.05}"
 OUT=out/full
-BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench)
+BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench train_bench)
 
 export SERVE_BENCH_JSON="$OUT/serve_bench.json"
+export TRAIN_BENCH_JSON="$OUT/train_bench.json"
 
 echo "== full: release build =="
 cargo build --release --workspace

@@ -12,11 +12,13 @@ cd "$(dirname "$0")/.."
 # (non-empty splits, mislabeled pairs to rank, rules to generate).
 SCALE="${KICK_TIRES_SCALE:-0.012}"
 OUT=out/kick-tires
-BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench)
+BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench train_bench)
 
-# serve_bench also emits machine-readable results (BENCH_*.json trajectory);
-# keep them at a stable path so future PRs can diff serving performance.
+# serve_bench and train_bench also emit machine-readable results (the
+# BENCH_*.json perf trajectory); keep them at stable paths so future PRs can
+# diff serving and training performance.
 export SERVE_BENCH_JSON=out/serve_bench.json
+export TRAIN_BENCH_JSON=out/train_bench.json
 
 echo "== kick-tires: release build =="
 cargo build --release -p er-bench
@@ -33,5 +35,7 @@ done
 echo "== kick-tires: outputs =="
 ls -l "$OUT"
 test -s "$SERVE_BENCH_JSON" || { echo "missing $SERVE_BENCH_JSON" >&2; exit 1; }
+test -s "$TRAIN_BENCH_JSON" || { echo "missing $TRAIN_BENCH_JSON" >&2; exit 1; }
 echo "serve_bench JSON at $SERVE_BENCH_JSON"
+echo "train_bench JSON at $TRAIN_BENCH_JSON"
 echo "kick-tires OK"
