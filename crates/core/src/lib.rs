@@ -8,7 +8,9 @@
 //! * [`distribution`] — normal / truncated-normal equivalence-probability
 //!   distributions.
 //! * [`portfolio`] — the investment-portfolio aggregation of feature
-//!   distributions (Eq. 2–3).
+//!   distributions (Eq. 2–3), in two bit-identical layouts: the AoS
+//!   reference path and the SoA [`portfolio::ComponentBlock`] hot path,
+//!   whose fused chunk-order reduction autovectorizes.
 //! * [`influence`] — the classifier-output influence function (Eq. 11).
 //! * [`var`] — Value-at-Risk / CVaR risk metrics (Eq. 8–10).
 //! * [`model`] — the [`model::LearnRiskModel`] with its learnable parameters
@@ -34,7 +36,10 @@ pub use distribution::{Normal, TruncatedNormal};
 pub use feature::{build_input_from_row, build_inputs, metric_rows, rule_coverage, PairRiskInput, RiskFeatureSet};
 pub use influence::InfluenceFunction;
 pub use model::{FeatureContribution, LearnRiskModel, RiskModelConfig};
-pub use portfolio::{aggregate, PortfolioComponent, PortfolioDistribution};
+pub use portfolio::{
+    aggregate, component_gradients, try_aggregate, ComponentBlock, ComponentGradients, GradientBlock,
+    PortfolioComponent, PortfolioDistribution, PortfolioError,
+};
 pub use train::{
     default_train_threads, evaluate_auroc, flatten_params, loss_and_gradient, sample_rank_pairs, train,
     train_with_threads, unflatten_params, EpochScratch, RankPairSampler, RiskTrainConfig, TrainReport,

@@ -3,7 +3,7 @@
 use crate::distribution::{Normal, TruncatedNormal};
 use crate::feature::{PairRiskInput, RiskFeatureSet};
 use crate::influence::InfluenceFunction;
-use crate::portfolio::{aggregate, PortfolioComponent, PortfolioDistribution};
+use crate::portfolio::{aggregate, ComponentBlock, PortfolioComponent, PortfolioDistribution, PortfolioError};
 use crate::var::{pair_risk, training_risk_score, RiskMetric};
 use er_base::stats::std_normal_quantile;
 use serde::{Deserialize, Serialize};
@@ -112,6 +112,28 @@ impl LearnRiskModel {
         comps
     }
 
+    /// The `(weight, mean, std)` of rule feature `j`'s portfolio component —
+    /// the single source of the clamping rules, shared by both layout fill
+    /// paths so their bit-identity cannot drift apart.
+    #[inline]
+    fn rule_component(&self, j: usize) -> (f64, f64, f64) {
+        let mu = self.features.expectations[j];
+        (self.rule_weights[j].max(1e-6), mu, (self.rule_rsd[j] * mu).max(0.0))
+    }
+
+    /// The `(weight, mean, std)` of the classifier-output component for the
+    /// already-clamped output `p`: expectation is the output itself, weight
+    /// comes from the influence function, std from the bucket RSD.
+    #[inline]
+    fn classifier_component(&self, p: f64) -> (f64, f64, f64) {
+        let bucket = self.output_bucket(p);
+        (
+            self.influence.weight(p).max(1e-6),
+            p,
+            (self.output_rsd[bucket] * p).max(0.0),
+        )
+    }
+
     /// [`Self::components`] into a caller-owned buffer (cleared first), so
     /// per-pair scoring on the serving hot path allocates nothing once the
     /// buffer has warmed up.
@@ -119,23 +141,29 @@ impl LearnRiskModel {
         comps.clear();
         comps.reserve(input.rule_indices.len() + 1);
         for &ri in &input.rule_indices {
-            let j = ri as usize;
-            let mu = self.features.expectations[j];
-            comps.push(PortfolioComponent {
-                weight: self.rule_weights[j].max(1e-6),
-                mean: mu,
-                std: (self.rule_rsd[j] * mu).max(0.0),
-            });
+            let (weight, mean, std) = self.rule_component(ri as usize);
+            comps.push(PortfolioComponent { weight, mean, std });
         }
-        // Classifier-output feature: expectation is the output itself, weight
-        // comes from the influence function, std from the bucket RSD.
-        let p = input.classifier_output.clamp(0.0, 1.0);
-        let bucket = self.output_bucket(p);
-        comps.push(PortfolioComponent {
-            weight: self.influence.weight(p).max(1e-6),
-            mean: p,
-            std: (self.output_rsd[bucket] * p).max(0.0),
-        });
+        let (weight, mean, std) = self.classifier_component(input.classifier_output.clamp(0.0, 1.0));
+        comps.push(PortfolioComponent { weight, mean, std });
+    }
+
+    /// [`Self::components_into`] in structure-of-arrays layout: fills a
+    /// reusable [`ComponentBlock`] (cleared first) with the identical
+    /// components in the identical order (both paths call the same
+    /// component constructors), so [`ComponentBlock::aggregate`] over it is
+    /// bit-identical to [`aggregate`] over [`Self::components_into`]'s
+    /// output.  This is what the training and serving hot paths call per
+    /// pair.
+    pub fn components_into_block(&self, input: &PairRiskInput, block: &mut ComponentBlock) {
+        block.clear();
+        block.reserve(input.rule_indices.len() + 1);
+        for &ri in &input.rule_indices {
+            let (weight, mean, std) = self.rule_component(ri as usize);
+            block.push(weight, mean, std);
+        }
+        let (weight, mean, std) = self.classifier_component(input.classifier_output.clamp(0.0, 1.0));
+        block.push(weight, mean, std);
     }
 
     /// The aggregated equivalence-probability distribution of a pair.
@@ -151,17 +179,18 @@ impl LearnRiskModel {
 
     /// Risk score of a pair under the configured metric (VaR by default).
     pub fn risk_score(&self, input: &PairRiskInput) -> f64 {
-        let mut comps = Vec::with_capacity(input.rule_indices.len() + 1);
-        self.risk_score_with(input, &mut comps)
+        let mut block = ComponentBlock::with_capacity(input.rule_indices.len() + 1);
+        self.risk_score_with(input, &mut block)
     }
 
-    /// [`Self::risk_score`] reusing a caller-owned component buffer — the
+    /// [`Self::risk_score`] reusing a caller-owned SoA component block — the
     /// allocation-free form the serving engine calls per request. The
-    /// arithmetic is identical to [`Self::risk_score`] (same component
-    /// order, same aggregation), so the two produce bit-equal scores.
-    pub fn risk_score_with(&self, input: &PairRiskInput, comps: &mut Vec<PortfolioComponent>) -> f64 {
-        self.components_into(input, comps);
-        let d = aggregate(comps);
+    /// arithmetic is bit-identical to the AoS reference path (same component
+    /// order, same canonical chunked aggregation), so the two produce
+    /// bit-equal scores.
+    pub fn risk_score_with(&self, input: &PairRiskInput, block: &mut ComponentBlock) -> f64 {
+        self.components_into_block(input, block);
+        let d = block.aggregate();
         pair_risk(
             self.config.metric,
             d.mean,
@@ -171,25 +200,40 @@ impl LearnRiskModel {
         )
     }
 
+    /// Fallible [`Self::risk_score_with`]: a degenerate portfolio (no
+    /// components, non-positive total weight — e.g. from a hand-corrupted
+    /// artifact) becomes a [`PortfolioError`] instead of a panic, so a
+    /// serving worker can turn it into a request error.
+    pub fn try_risk_score_with(
+        &self,
+        input: &PairRiskInput,
+        block: &mut ComponentBlock,
+    ) -> Result<f64, PortfolioError> {
+        self.components_into_block(input, block);
+        let d = block.try_aggregate()?;
+        Ok(pair_risk(
+            self.config.metric,
+            d.mean,
+            d.std(),
+            input.machine_says_match,
+            self.config.theta,
+        ))
+    }
+
     /// The differentiable *training-time* risk score γ of a pair (the
     /// untruncated VaR surrogate of Eq. 13 the trainer optimizes), reusing a
-    /// caller-owned component buffer so batch forward passes allocate
+    /// caller-owned SoA component block so batch forward passes allocate
     /// nothing after warm-up.
-    pub fn training_score_with(&self, input: &PairRiskInput, comps: &mut Vec<PortfolioComponent>) -> f64 {
-        self.training_score_with_z(input, self.z_theta(), comps)
+    pub fn training_score_with(&self, input: &PairRiskInput, block: &mut ComponentBlock) -> f64 {
+        self.training_score_with_z(input, self.z_theta(), block)
     }
 
     /// [`Self::training_score_with`] with a precomputed `z_theta` — the
     /// per-input form of the trainer's forward pass, which hoists the
     /// quantile computation out of the loop.
-    pub fn training_score_with_z(
-        &self,
-        input: &PairRiskInput,
-        z_theta: f64,
-        comps: &mut Vec<PortfolioComponent>,
-    ) -> f64 {
-        self.components_into(input, comps);
-        let d = aggregate(comps);
+    pub fn training_score_with_z(&self, input: &PairRiskInput, z_theta: f64, block: &mut ComponentBlock) -> f64 {
+        self.components_into_block(input, block);
+        let d = block.aggregate();
         training_risk_score(d.mean, d.std(), input.machine_says_match, z_theta)
     }
 
@@ -405,7 +449,7 @@ mod tests {
     #[test]
     fn buffered_scoring_is_bit_identical_to_plain_scoring() {
         let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
-        let mut comps = Vec::new();
+        let mut block = ComponentBlock::new();
         for inp in [
             input(vec![], 0.0, false),
             input(vec![0], 0.9, true),
@@ -413,11 +457,36 @@ mod tests {
             input(vec![1], 1.0, false),
         ] {
             let plain = model.risk_score(&inp);
-            let buffered = model.risk_score_with(&inp, &mut comps);
+            let buffered = model.risk_score_with(&inp, &mut block);
             assert_eq!(plain.to_bits(), buffered.to_bits());
             // Reuse across calls must not leak state.
-            let again = model.risk_score_with(&inp, &mut comps);
+            let again = model.risk_score_with(&inp, &mut block);
             assert_eq!(plain.to_bits(), again.to_bits());
+            // The fallible path computes the identical score.
+            let fallible = model.try_risk_score_with(&inp, &mut block).expect("valid portfolio");
+            assert_eq!(plain.to_bits(), fallible.to_bits());
+        }
+    }
+
+    #[test]
+    fn soa_block_matches_aos_components() {
+        let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
+        let mut block = ComponentBlock::new();
+        for inp in [
+            input(vec![], 0.3, false),
+            input(vec![0], 0.9, true),
+            input(vec![0, 1], 0.5, true),
+        ] {
+            let comps = model.components(&inp);
+            model.components_into_block(&inp, &mut block);
+            assert_eq!(block.len(), comps.len());
+            for (j, c) in comps.iter().enumerate() {
+                assert_eq!(block.component(j), *c, "component {j}");
+            }
+            let aos = aggregate(&comps);
+            let soa = block.aggregate();
+            assert_eq!(aos.mean.to_bits(), soa.mean.to_bits());
+            assert_eq!(aos.variance.to_bits(), soa.variance.to_bits());
         }
     }
 
@@ -425,16 +494,16 @@ mod tests {
     fn training_score_is_stable_across_buffer_reuse() {
         let model = LearnRiskModel::new(feature_set(), RiskModelConfig::default());
         let z = model.z_theta();
-        let mut comps = Vec::new();
+        let mut block = ComponentBlock::new();
         for inp in [
             input(vec![], 0.0, false),
             input(vec![0], 0.9, true),
             input(vec![0, 1], 0.5, true),
             input(vec![1], 1.0, false),
         ] {
-            let fresh = model.training_score_with(&inp, &mut Vec::new());
-            let buffered = model.training_score_with(&inp, &mut comps);
-            let hoisted = model.training_score_with_z(&inp, z, &mut comps);
+            let fresh = model.training_score_with(&inp, &mut ComponentBlock::new());
+            let buffered = model.training_score_with(&inp, &mut block);
+            let hoisted = model.training_score_with_z(&inp, z, &mut block);
             assert_eq!(fresh.to_bits(), buffered.to_bits());
             assert_eq!(fresh.to_bits(), hoisted.to_bits());
             assert!(fresh.is_finite());

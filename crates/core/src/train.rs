@@ -29,12 +29,21 @@
 //! gradient is accumulated into fixed-size per-chunk shards that are reduced
 //! in chunk order, so training is bit-identical for every thread count.
 //!
+//! Per-input portfolios are built in structure-of-arrays
+//! [`ComponentBlock`]s and aggregated through the canonical chunked SoA
+//! kernel (see [`crate::portfolio`]), which is bit-identical to the AoS
+//! reference layout — so the factorization *and* the layout change are both
+//! verified against [`loss_and_gradient`], which deliberately stays on the
+//! AoS path.
+//!
 //! [`loss_and_gradient`] keeps the per-pair reference implementation; tests
 //! (and `train_bench`) verify the factorized epoch against it.
 
 use crate::feature::PairRiskInput;
 use crate::model::LearnRiskModel;
-use crate::portfolio::{aggregate, component_gradients, PortfolioComponent, PortfolioDistribution};
+use crate::portfolio::{
+    aggregate, component_gradients, ComponentBlock, ComponentGradients, GradientBlock, PortfolioComponent,
+};
 use crate::var::{training_risk_gradients, training_risk_score};
 use er_base::rng::substream;
 use er_base::stats::{clamp_prob, safe_ln, sigmoid};
@@ -114,20 +123,23 @@ pub fn unflatten_params(model: &mut LearnRiskModel, params: &[f64]) {
     }
 }
 
-/// Accumulates `scale · ∂γ/∂θ` of one input into the flat gradient vector,
-/// given the input's freshly built portfolio components and their aggregate.
+/// Scatters `scale · ∂γ/∂θ` of one input into the flat gradient vector,
+/// reading each portfolio slot's [`ComponentGradients`] from `term`.
 ///
-/// Shared by the per-pair reference path ([`loss_and_gradient`]) and the
-/// factorized epoch ([`EpochScratch::gradient_pass`]), so both compute the
-/// same per-input derivative with the same operation order.
-fn accumulate_score_gradient(
+/// Shared by the per-pair AoS reference path ([`loss_and_gradient`], where
+/// `term` computes per-slot gradients on the fly) and the factorized SoA
+/// epoch ([`EpochScratch::gradient_pass`], where `term` reads the bulk
+/// [`GradientBlock`]).  The gradient values of the two sources are
+/// bit-identical (see `portfolio`), so both paths compute the same per-input
+/// derivative with the same operation order.
+fn scatter_score_gradient(
     model: &LearnRiskModel,
     input: &PairRiskInput,
-    comps: &[PortfolioComponent],
-    agg: &PortfolioDistribution,
+    n_components: usize,
     z_theta: f64,
     scale: f64,
     grad: &mut [f64],
+    term: impl Fn(usize) -> ComponentGradients,
 ) {
     let (d_gamma_d_mean, d_gamma_d_std) = training_risk_gradients(input.machine_says_match, z_theta);
     let n = model.features.len();
@@ -135,7 +147,7 @@ fn accumulate_score_gradient(
     // Rule-feature components come first, in the order of `rule_indices`.
     for (slot, &ri) in input.rule_indices.iter().enumerate() {
         let j = ri as usize;
-        let g = component_gradients(comps, agg, slot);
+        let g = term(slot);
         // ∂γ/∂w_j
         let d_w = d_gamma_d_mean * g.d_mean_d_weight + d_gamma_d_std * g.d_std_d_weight;
         grad[j] += scale * d_w;
@@ -146,8 +158,7 @@ fn accumulate_score_gradient(
     }
 
     // Classifier-output component is last.
-    let slot = comps.len() - 1;
-    let g = component_gradients(comps, agg, slot);
+    let g = term(n_components - 1);
     let p = input.classifier_output.clamp(0.0, 1.0);
     let d_weight = d_gamma_d_mean * g.d_mean_d_weight + d_gamma_d_std * g.d_std_d_weight;
     // α and β act through the influence weight.
@@ -160,7 +171,8 @@ fn accumulate_score_gradient(
 
 /// The differentiable training risk score γ of one pair, plus its gradient
 /// with respect to the flat parameter vector (accumulated into `grad` scaled
-/// by `scale`), reusing a caller-owned component buffer.
+/// by `scale`), reusing a caller-owned AoS component buffer — the per-pair
+/// *reference* implementation the factorized SoA epoch is verified against.
 fn score_with_gradient(
     model: &LearnRiskModel,
     input: &PairRiskInput,
@@ -173,7 +185,9 @@ fn score_with_gradient(
     let z = model.z_theta();
     let score = training_risk_score(agg.mean, agg.std(), input.machine_says_match, z);
     if scale != 0.0 {
-        accumulate_score_gradient(model, input, comps, &agg, z, scale, grad);
+        scatter_score_gradient(model, input, comps.len(), z, scale, grad, |slot| {
+            component_gradients(comps, &agg, slot)
+        });
     }
     score
 }
@@ -244,9 +258,15 @@ fn effective_workers(threads: usize, work_items: usize, min_per_worker: usize) -
 
 /// Reusable buffers of the factorized training epoch (see the module docs):
 /// per-input forward scores, per-input λ coefficients, per-chunk gradient
-/// shards and per-worker component scratch.  Construct once, reuse across
-/// epochs (and across models of the same feature set); after the first epoch
-/// no pass allocates.
+/// shards and per-worker SoA scratch.  Construct once, reuse across epochs
+/// (and across models of the same feature set); after the first epoch no
+/// pass allocates.
+///
+/// Both the forward and the gradient pass build each input's portfolio in a
+/// per-worker [`ComponentBlock`] and reduce it through the canonical chunked
+/// SoA kernel — bit-identical to the AoS reference path, and (as before)
+/// bit-identical across thread counts thanks to the fixed chunk-order shard
+/// reduction.
 #[derive(Default)]
 pub struct EpochScratch {
     /// Forward score γ_i per input.
@@ -255,8 +275,10 @@ pub struct EpochScratch {
     lambdas: Vec<f64>,
     /// One flat gradient shard per λ-active fixed-size input chunk.
     chunk_grads: Vec<Vec<f64>>,
-    /// One component buffer per worker thread.
-    worker_comps: Vec<Vec<PortfolioComponent>>,
+    /// One SoA component block per worker thread.
+    worker_comps: Vec<ComponentBlock>,
+    /// One SoA gradient-term block per worker thread (gradient pass only).
+    worker_terms: Vec<GradientBlock>,
     /// Distinct input indices referenced by the epoch's rank pairs, in first-
     /// appearance order.
     active: Vec<u32>,
@@ -283,7 +305,10 @@ impl EpochScratch {
 
     fn ensure_worker_buffers(&mut self, workers: usize) {
         while self.worker_comps.len() < workers {
-            self.worker_comps.push(Vec::new());
+            self.worker_comps.push(ComponentBlock::new());
+        }
+        while self.worker_terms.len() < workers {
+            self.worker_terms.push(GradientBlock::new());
         }
     }
 
@@ -436,20 +461,22 @@ impl EpochScratch {
         let shards = &mut self.chunk_grads[..n_active];
         if workers <= 1 {
             let comps = &mut self.worker_comps[0];
+            let terms = &mut self.worker_terms[0];
             for (shard, &c) in shards.iter_mut().zip(active_chunks) {
-                gradient_chunk(model, inputs, lambdas, z, c, comps, shard);
+                gradient_chunk(model, inputs, lambdas, z, c, comps, terms, shard);
             }
         } else {
             let per = n_active.div_ceil(workers);
             std::thread::scope(|scope| {
-                for ((shard_slice, chunk_ids), comps) in shards
+                for (((shard_slice, chunk_ids), comps), terms) in shards
                     .chunks_mut(per)
                     .zip(active_chunks.chunks(per))
                     .zip(self.worker_comps.iter_mut())
+                    .zip(self.worker_terms.iter_mut())
                 {
                     scope.spawn(move || {
                         for (shard, &c) in shard_slice.iter_mut().zip(chunk_ids) {
-                            gradient_chunk(model, inputs, lambdas, z, c, comps, shard);
+                            gradient_chunk(model, inputs, lambdas, z, c, comps, terms, shard);
                         }
                     });
                 }
@@ -489,14 +516,19 @@ impl EpochScratch {
     }
 }
 
-/// Gradient accumulation of one fixed-size input chunk into its shard.
+/// Gradient accumulation of one fixed-size input chunk into its shard: per
+/// λ-active input, build the SoA portfolio, aggregate it with the fused
+/// chunked kernel, compute every component's gradient terms in one bulk
+/// elementwise pass, then scatter them into the shard.
+#[allow(clippy::too_many_arguments)]
 fn gradient_chunk(
     model: &LearnRiskModel,
     inputs: &[PairRiskInput],
     lambdas: &[f64],
     z_theta: f64,
     chunk_index: usize,
-    comps: &mut Vec<PortfolioComponent>,
+    comps: &mut ComponentBlock,
+    terms: &mut GradientBlock,
     shard: &mut [f64],
 ) {
     let start = chunk_index * GRAD_CHUNK;
@@ -507,9 +539,12 @@ fn gradient_chunk(
             continue;
         }
         let input = &inputs[i];
-        model.components_into(input, comps);
-        let agg = aggregate(comps);
-        accumulate_score_gradient(model, input, comps, &agg, z_theta, lambda, shard);
+        model.components_into_block(input, comps);
+        let agg = comps.aggregate();
+        comps.component_gradients_into(&agg, terms);
+        scatter_score_gradient(model, input, comps.len(), z_theta, lambda, shard, |slot| {
+            terms.gradients(slot)
+        });
     }
 }
 

@@ -1,0 +1,196 @@
+//! Bit-exactness properties of the structure-of-arrays portfolio path.
+//!
+//! The SoA [`ComponentBlock`] reimplements aggregation and the per-component
+//! gradient terms with fused, lane-chunked reductions; the AoS
+//! [`aggregate`] / [`component_gradients`] functions are the reference.  The
+//! two layouts must agree to the last `f64` bit — for random portfolios of
+//! every size (including single-component portfolios and near-zero weights),
+//! for the scalar and the bulk gradient forms, and for the fallible
+//! `try_aggregate` paths.
+
+use learnrisk_core::{
+    aggregate, component_gradients, try_aggregate, ComponentBlock, GradientBlock, LearnRiskModel, PairRiskInput,
+    PortfolioComponent, PortfolioError, RiskFeatureSet, RiskModelConfig,
+};
+use proptest::prelude::*;
+
+/// Random component weights spanning ordinary, large and near-zero values —
+/// near-zero weights stress the normalization (tiny `weight_sum`) and the
+/// cancellation-heavy variance gradient.
+fn arb_weight() -> impl Strategy<Value = f64> {
+    (0usize..6, 0.0f64..1.0).prop_map(|(kind, x)| match kind {
+        0 => 1e-12 + x * 1e-6, // near-zero
+        1 => 10.0 + x * 1e4,   // large
+        _ => 1e-3 + x * 10.0,  // ordinary
+    })
+}
+
+fn arb_component() -> impl Strategy<Value = PortfolioComponent> {
+    (arb_weight(), 0.0f64..1.0, 0.0f64..0.6).prop_map(|(weight, mean, std)| PortfolioComponent { weight, mean, std })
+}
+
+/// Portfolios from a single component up to several lane-chunks plus a tail.
+fn arb_portfolio() -> impl Strategy<Value = Vec<PortfolioComponent>> {
+    proptest::collection::vec(arb_component(), 1..40)
+}
+
+fn block_of(components: &[PortfolioComponent]) -> ComponentBlock {
+    let mut block = ComponentBlock::new();
+    block.copy_from(components);
+    block
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn soa_aggregate_is_bit_identical_to_aos(comps in arb_portfolio()) {
+        let aos = aggregate(&comps);
+        let soa = block_of(&comps).aggregate();
+        prop_assert_eq!(aos.mean.to_bits(), soa.mean.to_bits());
+        prop_assert_eq!(aos.variance.to_bits(), soa.variance.to_bits());
+        prop_assert_eq!(aos.weight_sum.to_bits(), soa.weight_sum.to_bits());
+        prop_assert_eq!(aos.std().to_bits(), soa.std().to_bits());
+    }
+
+    #[test]
+    fn soa_gradients_are_bit_identical_to_aos(comps in arb_portfolio()) {
+        let agg = aggregate(&comps);
+        let block = block_of(&comps);
+        let mut bulk = GradientBlock::new();
+        block.component_gradients_into(&agg, &mut bulk);
+        prop_assert_eq!(bulk.len(), comps.len());
+        for j in 0..comps.len() {
+            let reference = component_gradients(&comps, &agg, j);
+            let scalar = block.component_gradients(&agg, j);
+            let from_bulk = bulk.gradients(j);
+            for soa in [scalar, from_bulk] {
+                prop_assert_eq!(reference.d_mean_d_weight.to_bits(), soa.d_mean_d_weight.to_bits());
+                prop_assert_eq!(reference.d_std_d_weight.to_bits(), soa.d_std_d_weight.to_bits());
+                prop_assert_eq!(
+                    reference.d_std_d_component_std.to_bits(),
+                    soa.d_std_d_component_std.to_bits()
+                );
+                prop_assert_eq!(
+                    reference.d_mean_d_component_mean.to_bits(),
+                    soa.d_mean_d_component_mean.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_portfolios_agree_in_both_layouts(c in arb_component()) {
+        let comps = vec![c];
+        let aos = aggregate(&comps);
+        let soa = block_of(&comps).aggregate();
+        prop_assert_eq!(aos.mean.to_bits(), soa.mean.to_bits());
+        prop_assert_eq!(aos.variance.to_bits(), soa.variance.to_bits());
+        // A single component aggregates to (approximately) itself.
+        prop_assert!((aos.mean - c.mean).abs() < 1e-12);
+        let g_aos = component_gradients(&comps, &aos, 0);
+        let g_soa = block_of(&comps).component_gradients(&soa, 0);
+        prop_assert_eq!(g_aos.d_mean_d_weight.to_bits(), g_soa.d_mean_d_weight.to_bits());
+        prop_assert_eq!(g_aos.d_std_d_weight.to_bits(), g_soa.d_std_d_weight.to_bits());
+    }
+
+    #[test]
+    fn fallible_aggregation_agrees_between_layouts(comps in arb_portfolio()) {
+        let aos = try_aggregate(&comps);
+        let soa = block_of(&comps).try_aggregate();
+        match (aos, soa) {
+            (Ok(a), Ok(s)) => {
+                prop_assert_eq!(a.mean.to_bits(), s.mean.to_bits());
+                prop_assert_eq!(a.variance.to_bits(), s.variance.to_bits());
+            }
+            (a, s) => prop_assert_eq!(a, s),
+        }
+    }
+
+    #[test]
+    fn fallible_aggregation_never_panics_on_hostile_weights(
+        weights in proptest::collection::vec(
+            (0usize..4, 0.0f64..1.0).prop_map(|(kind, x)| match kind {
+                0 => 0.0,
+                1 => -1.0,
+                2 => f64::NAN,
+                _ => x,
+            }),
+            0..12,
+        )
+    ) {
+        let comps: Vec<PortfolioComponent> = weights
+            .iter()
+            .map(|&weight| PortfolioComponent { weight, mean: 0.5, std: 0.1 })
+            .collect();
+        let aos = try_aggregate(&comps);
+        let soa = block_of(&comps).try_aggregate();
+        // Both fallible paths return (they may legitimately succeed when the
+        // hostile draw still sums positive), and they agree on whether and
+        // why aggregation fails.
+        match (aos, soa) {
+            (Ok(a), Ok(s)) => {
+                prop_assert_eq!(a.mean.to_bits(), s.mean.to_bits());
+            }
+            (Err(PortfolioError::Empty), Err(PortfolioError::Empty)) => {
+                prop_assert!(comps.is_empty());
+            }
+            (Err(PortfolioError::NonPositiveWeight { .. }), Err(PortfolioError::NonPositiveWeight { .. })) => {}
+            (a, s) => {
+                prop_assert!(false, "layouts disagree: AoS {:?} vs SoA {:?}", a, s);
+            }
+        }
+    }
+
+    #[test]
+    fn model_scoring_is_bit_identical_across_layouts(
+        rule_mask in 0usize..8,
+        output in 0.0f64..1.0,
+        says_match_bit in 0u8..2,
+    ) {
+        let says_match = says_match_bit == 1;
+        // End-to-end through LearnRiskModel: the SoA scoring path
+        // (components_into_block + block aggregate) must reproduce the AoS
+        // component list bit-for-bit.
+        let model = toy_model();
+        let input = PairRiskInput {
+            rule_indices: (0..3u32).filter(|i| rule_mask & (1 << i) != 0).collect(),
+            classifier_output: output,
+            machine_says_match: says_match,
+            risk_label: 0,
+        };
+        let comps = model.components(&input);
+        let aos = aggregate(&comps);
+        let mut block = ComponentBlock::new();
+        model.components_into_block(&input, &mut block);
+        let soa = block.aggregate();
+        prop_assert_eq!(aos.mean.to_bits(), soa.mean.to_bits());
+        prop_assert_eq!(aos.variance.to_bits(), soa.variance.to_bits());
+        let score = model.risk_score(&input);
+        let buffered = model.risk_score_with(&input, &mut block);
+        prop_assert_eq!(score.to_bits(), buffered.to_bits());
+    }
+}
+
+fn toy_model() -> LearnRiskModel {
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 50, 0.95),
+        Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.5)], Label::Equivalent, 40, 0.95),
+        Rule::new(vec![Condition::new(0, CmpOp::Le, 0.2)], Label::Equivalent, 30, 0.9),
+    ];
+    let fs = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.05, 0.95, 0.8],
+        support: vec![50, 40, 30],
+    };
+    LearnRiskModel::new(
+        fs,
+        RiskModelConfig {
+            output_buckets: 4,
+            ..Default::default()
+        },
+    )
+}

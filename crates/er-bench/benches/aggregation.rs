@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of portfolio aggregation and the
+//! per-component gradient terms, AoS reference vs SoA `ComponentBlock` —
+//! the building block behind both the trainer's per-input passes and the
+//! serving engine's per-request scoring.  Synthetic portfolio sizes bracket
+//! the lane width; the workload-derived group times the exact portfolios the
+//! DS workload produces (what `train_bench`/`serve_bench` embed in their
+//! JSON as `aggregation.soa_speedup`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CriterionId, Criterion};
+use er_eval::ExperimentConfig;
+use learnrisk_core::{aggregate, component_gradients, ComponentBlock, GradientBlock, PortfolioComponent};
+
+/// Deterministic synthetic portfolio of `n` components.
+fn portfolio(n: usize) -> Vec<PortfolioComponent> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 7 + 3) % 97) as f64 / 97.0;
+            PortfolioComponent {
+                weight: 0.1 + x,
+                mean: x,
+                std: 0.05 + x * 0.2,
+            }
+        })
+        .collect()
+}
+
+fn block_of(components: &[PortfolioComponent]) -> ComponentBlock {
+    let mut block = ComponentBlock::new();
+    block.copy_from(components);
+    block
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio/aggregate");
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let comps = portfolio(n);
+        let block = block_of(&comps);
+        group.bench_with_input(CriterionId::new("aos", n), &n, |b, _| {
+            b.iter(|| criterion::black_box(aggregate(&comps).mean))
+        });
+        group.bench_with_input(CriterionId::new("soa", n), &n, |b, _| {
+            b.iter(|| criterion::black_box(block.aggregate().mean))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient_terms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio/gradient_terms");
+    for &n in &[4usize, 16, 64] {
+        let comps = portfolio(n);
+        let block = block_of(&comps);
+        let agg = aggregate(&comps);
+        group.bench_with_input(CriterionId::new("aos_per_slot", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for j in 0..comps.len() {
+                    acc += component_gradients(&comps, &agg, j).d_std_d_weight;
+                }
+                criterion::black_box(acc)
+            })
+        });
+        group.bench_with_input(CriterionId::new("soa_bulk", n), &n, |b, _| {
+            let mut terms = GradientBlock::new();
+            b.iter(|| {
+                block.component_gradients_into(&agg, &mut terms);
+                criterion::black_box(terms.d_std_d_weight.iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_portfolios(c: &mut Criterion) {
+    // The DS-derived portfolios the *_bench binaries time: fill + aggregate
+    // per input, the serving engine's per-request portfolio math.
+    let workload = er_bench::train_workload(&ExperimentConfig { scale: 0.02, seed: 9 }, 0.8);
+    let (model, inputs) = (&workload.model, &workload.inputs);
+    let mut group = c.benchmark_group("portfolio/workload_scoring");
+    group.sample_size(10);
+    group.bench_function("aos_fill_and_aggregate", |b| {
+        let mut comps = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for input in inputs {
+                model.components_into(input, &mut comps);
+                acc += aggregate(&comps).mean;
+            }
+            criterion::black_box(acc)
+        })
+    });
+    group.bench_function("soa_fill_and_aggregate", |b| {
+        let mut block = ComponentBlock::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for input in inputs {
+                model.components_into_block(input, &mut block);
+                acc += block.aggregate().mean;
+            }
+            criterion::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregate,
+    bench_gradient_terms,
+    bench_workload_portfolios
+);
+criterion_main!(benches);

@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks of the factorized training epoch's inner
 //! loops — the forward-score pass and the gradient pass separately, plus the
 //! λ sweep and the per-pair reference epoch — so a regression in either pass
-//! is visible without running the full `train_bench` binary.
+//! is visible without running the full `train_bench` binary.  The passes run
+//! on the SoA (`ComponentBlock`) hot path; `benches/aggregation.rs` isolates
+//! the underlying portfolio kernels against the AoS reference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use er_eval::ExperimentConfig;
 use learnrisk_core::{
-    loss_and_gradient, sample_rank_pairs, EpochScratch, LearnRiskModel, PairRiskInput, RiskTrainConfig,
+    loss_and_gradient, sample_rank_pairs, ComponentBlock, EpochScratch, GradientBlock, LearnRiskModel, PairRiskInput,
+    RiskTrainConfig,
 };
 
 /// DS-style risk-training setup shared by every bench (and with the
@@ -68,6 +71,24 @@ fn bench_train_epoch(c: &mut Criterion) {
 
     group.bench_function("per_pair_reference_epoch", |b| {
         b.iter(|| criterion::black_box(loss_and_gradient(&model, &inputs, &rank_pairs, &config)))
+    });
+
+    // The per-input portfolio math of the gradient pass in isolation (SoA
+    // fill + fused aggregate + bulk gradient terms) — the kernel the SoA
+    // refactor rebuilt, over the same inputs as the full passes above.
+    group.bench_function("portfolio_math_per_input", |b| {
+        let mut block = ComponentBlock::new();
+        let mut terms = GradientBlock::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for input in &inputs {
+                model.components_into_block(input, &mut block);
+                let agg = block.aggregate();
+                block.component_gradients_into(&agg, &mut terms);
+                acc += agg.mean + terms.d_std_d_weight.iter().sum::<f64>();
+            }
+            criterion::black_box(acc)
+        })
     });
 
     group.finish();

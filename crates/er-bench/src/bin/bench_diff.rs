@@ -1,0 +1,154 @@
+//! `bench_diff` — the CI perf-regression gate.
+//!
+//! Diffs the current `out/serve_bench.json` + `out/train_bench.json` (as
+//! written by `scripts/kick-tires.sh`) against the committed baseline under
+//! `out/baseline/`, prints and writes a classification report, and exits
+//! non-zero when any metric regresses beyond tolerance.  See
+//! [`er_bench::diff`] for the comparison rules (ratio metrics are gated
+//! across hardware, absolute metrics only on matching hardware, latency has
+//! an absolute noise floor).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff [--baseline-dir out/baseline] [--current-dir out]
+//!            [--tolerance 0.25] [--report out/bench-diff.txt]
+//!            [--write-baseline]
+//! ```
+//!
+//! Environment overrides: `BENCH_DIFF_BASELINE_DIR`, `BENCH_DIFF_CURRENT_DIR`,
+//! `BENCH_DIFF_TOLERANCE`, `BENCH_DIFF_REPORT`, `BENCH_DIFF_LATENCY_FLOOR_US`.
+//!
+//! `--write-baseline` refreshes the committed baseline from the current
+//! files instead of diffing (run it after a PR that intentionally moves
+//! performance, then commit the result).
+//!
+//! Exit codes: 0 = pass, 1 = regression detected, 2 = setup error (missing
+//! or malformed input files).
+
+use er_bench::diff::{diff_all, DiffConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    config: DiffConfig,
+    report_path: PathBuf,
+    write_baseline: bool,
+}
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline_dir = PathBuf::from(env_or("BENCH_DIFF_BASELINE_DIR", "out/baseline"));
+    let mut current_dir = PathBuf::from(env_or("BENCH_DIFF_CURRENT_DIR", "out"));
+    let mut report_path = PathBuf::from(env_or("BENCH_DIFF_REPORT", "out/bench-diff.txt"));
+    let mut config = DiffConfig::default();
+    if let Ok(raw) = std::env::var("BENCH_DIFF_TOLERANCE") {
+        config.tolerance = raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad BENCH_DIFF_TOLERANCE {raw:?}"))?;
+    }
+    if let Ok(raw) = std::env::var("BENCH_DIFF_LATENCY_FLOOR_US") {
+        config.latency_floor_us = raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad BENCH_DIFF_LATENCY_FLOOR_US {raw:?}"))?;
+    }
+    let mut write_baseline = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--baseline-dir" => baseline_dir = PathBuf::from(value_of("--baseline-dir")?),
+            "--current-dir" => current_dir = PathBuf::from(value_of("--current-dir")?),
+            "--report" => report_path = PathBuf::from(value_of("--report")?),
+            "--tolerance" => {
+                let raw = value_of("--tolerance")?;
+                config.tolerance = raw.trim().parse().map_err(|_| format!("bad --tolerance {raw:?}"))?;
+            }
+            "--write-baseline" => write_baseline = true,
+            other => return Err(format!("unrecognized argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        baseline_dir,
+        current_dir,
+        config,
+        report_path,
+        write_baseline,
+    })
+}
+
+fn read(dir: &Path, file: &str) -> Result<String, String> {
+    let path = dir.join(file);
+    std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run scripts/kick-tires.sh to produce current results, \
+             or bench_diff --write-baseline to seed the baseline)",
+            path.display()
+        )
+    })
+}
+
+fn write_baseline(args: &Args) -> Result<(), String> {
+    std::fs::create_dir_all(&args.baseline_dir).map_err(|e| format!("create {}: {e}", args.baseline_dir.display()))?;
+    for file in ["serve_bench.json", "train_bench.json"] {
+        let from = args.current_dir.join(file);
+        let to = args.baseline_dir.join(file);
+        std::fs::copy(&from, &to).map_err(|e| format!("copy {} -> {}: {e}", from.display(), to.display()))?;
+        println!("bench_diff: refreshed {}", to.display());
+    }
+    println!(
+        "bench_diff: baseline refreshed — commit {} to adopt it",
+        args.baseline_dir.display()
+    );
+    Ok(())
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.write_baseline {
+        write_baseline(&args)?;
+        return Ok(true);
+    }
+    let report = diff_all(
+        &read(&args.baseline_dir, "serve_bench.json")?,
+        &read(&args.current_dir, "serve_bench.json")?,
+        &read(&args.baseline_dir, "train_bench.json")?,
+        &read(&args.current_dir, "train_bench.json")?,
+        &args.config,
+    )?;
+    let rendered = format!(
+        "bench_diff: {} vs baseline {} (tolerance {:.0}%, latency floor {}µs)\n\n{}",
+        args.current_dir.display(),
+        args.baseline_dir.display(),
+        args.config.tolerance * 100.0,
+        args.config.latency_floor_us,
+        report
+    );
+    print!("{rendered}");
+    if let Some(parent) = args.report_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&args.report_path, &rendered).map_err(|e| format!("write {}: {e}", args.report_path.display()))?;
+    println!("bench_diff: wrote {}", args.report_path.display());
+    Ok(report.regressions().is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("bench_diff: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -16,7 +16,7 @@ use er_classifier::{MatcherKind, TrainConfig};
 use er_datasets::{generate_benchmark, BenchmarkId};
 use er_eval::{build_score_requests, export_and_load_engine, run_pipeline, verify_round_trip, PipelineConfig};
 use er_serve::{run_replay, zipf_stream, ReplayConfig, ReplayReport, ServeConfig, ShardedExecutor};
-use learnrisk_core::RiskTrainConfig;
+use learnrisk_core::{PairRiskInput, RiskTrainConfig};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -37,6 +37,9 @@ struct ServeBenchSummary {
     requests: usize,
     zipf_exponent: f64,
     round_trip_bit_exact: bool,
+    /// SoA-vs-AoS portfolio-aggregation timing over the served pairs'
+    /// portfolios — the layout win of the engine's per-request hot path.
+    aggregation: er_bench::AggregationBench,
     runs_uncached: Vec<ReplayReport>,
     runs_cached: Vec<ReplayReport>,
 }
@@ -91,6 +94,25 @@ fn main() {
             panic!("artifact round trip diverged on pair {i}: served {served}, expected {expected}")
         }
     }
+
+    // --- aggregation micro-benchmark --------------------------------------
+    // Resolve each request's rule coverage once through the compiled index
+    // (exactly what the engine does per request), then time the SoA-vs-AoS
+    // aggregation of the resulting portfolios.
+    let serve_inputs: Vec<PairRiskInput> = pool
+        .iter()
+        .map(|r| PairRiskInput {
+            rule_indices: engine.index().matching_rules(&r.metric_row),
+            classifier_output: r.classifier_output,
+            machine_says_match: r.machine_says_match,
+            risk_label: 0,
+        })
+        .collect();
+    let aggregation = er_bench::aggregation_bench(engine.model(), &serve_inputs, 5);
+    println!(
+        "serve_bench: SoA aggregation speedup {:.2}x over AoS ({} portfolios, {:.1} components each)",
+        aggregation.soa_speedup, aggregation.portfolios, aggregation.mean_components
+    );
 
     // --- replay -----------------------------------------------------------
     let stream = zipf_stream(
@@ -167,6 +189,7 @@ fn main() {
         requests,
         zipf_exponent: 1.1,
         round_trip_bit_exact: check.is_ok(),
+        aggregation,
         runs_uncached,
         runs_cached,
     };

@@ -60,6 +60,9 @@ struct TrainBenchSummary {
     rule_count: usize,
     max_rank_pairs: usize,
     timing_reps: usize,
+    /// SoA-vs-AoS portfolio-aggregation timing over this workload's risk
+    /// inputs — the layout win of the trainer's per-input hot path.
+    aggregation: er_bench::AggregationBench,
     points: Vec<TrainBenchPoint>,
 }
 
@@ -93,6 +96,14 @@ fn main() {
         rule_count,
         inputs.len(),
         workload.mislabeled
+    );
+
+    // SoA-vs-AoS aggregation micro-benchmark over the same portfolios the
+    // epoch passes aggregate (bit-identity is asserted before timing).
+    let aggregation = er_bench::aggregation_bench(model, inputs, reps);
+    println!(
+        "train_bench: SoA aggregation speedup {:.2}x over AoS ({} portfolios, {:.1} components each)",
+        aggregation.soa_speedup, aggregation.portfolios, aggregation.mean_components
     );
 
     // Input-size ladder, clipped to the available inputs (rank_pairs ≫ inputs
@@ -220,6 +231,7 @@ fn main() {
         rule_count,
         max_rank_pairs,
         timing_reps: reps,
+        aggregation,
         points,
     };
     if let Some(parent) = json_path.parent() {

@@ -1,0 +1,644 @@
+//! Perf-trajectory regression detection: diffs a current
+//! `serve_bench.json` + `train_bench.json` pair against a committed
+//! baseline (`out/baseline/*.json`) and classifies every comparable metric.
+//!
+//! The `bench_diff` binary wraps this module; CI's `perf-gate` job fails
+//! when any metric regresses beyond tolerance.  Design rules:
+//!
+//! * **Ratio metrics** (`aggregation.soa_speedup`,
+//!   `single_thread_speedup`) are machine-local ratios of two measurements
+//!   taken back-to-back in one process — they are compared even when the
+//!   baseline was recorded on different hardware.
+//! * **Absolute metrics** (`throughput_rps`, latency percentiles) shift
+//!   with the runner, so they are only compared when both runs report the
+//!   same `available_parallelism`; otherwise they are skipped with a note.
+//! * **Noise guards**: a configurable relative tolerance (default 25%)
+//!   plus an absolute latency floor — sub-`latency_floor_us` percentiles
+//!   are timer jitter, not signal.
+//! * A current run whose `round_trip_bit_exact` is anything but `true`
+//!   (false, missing, renamed) always fails: serving correctness is not a
+//!   perf tradeoff.  Likewise a comparison that yields zero metrics
+//!   (schema drift) or a non-finite metric value is a failure, never a
+//!   vacuous pass.
+
+use serde::{json, Value};
+use std::fmt;
+
+/// Tunables of a diff run.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Relative worsening beyond which a metric regresses (0.25 = 25%).
+    pub tolerance: f64,
+    /// Latency percentiles below this many microseconds (in both runs) are
+    /// skipped as timer jitter.
+    pub latency_floor_us: f64,
+    /// Tolerance multiplier applied to ratio metrics when the two runs
+    /// report different hardware (`available_parallelism`) — speedup ratios
+    /// are machine-local but their magnitude still shifts with cache sizes
+    /// and ALU latencies, so the cross-hardware gate is looser (it still
+    /// catches halvings, the signature of a broken hot path).
+    pub cross_hardware_factor: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.25,
+            latency_floor_us: 20.0,
+            cross_hardware_factor: 2.0,
+        }
+    }
+}
+
+/// Which direction is better for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are better (throughput, speedups).
+    HigherIsBetter,
+    /// Smaller numbers are better (latency).
+    LowerIsBetter,
+}
+
+/// Classification of one metric's baseline → current movement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Status {
+    /// Within tolerance.
+    Ok,
+    /// Better than baseline beyond tolerance — a baseline-refresh candidate.
+    Improved,
+    /// Worse than baseline beyond tolerance — fails the gate.
+    Regressed,
+    /// Not compared, with the reason.
+    Skipped(String),
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Dotted path identifying the metric (e.g.
+    /// `serve.runs_uncached[threads=2].throughput_rps`).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Metric direction.
+    pub direction: Direction,
+    /// Relative change in the *better* direction: positive = improvement.
+    pub change: f64,
+    /// Classification under the configured tolerance.
+    pub status: Status,
+}
+
+/// The full diff of one baseline/current pair.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Every metric considered, in extraction order.
+    pub metrics: Vec<MetricDiff>,
+    /// Context notes (hardware mismatches, unmatched configurations).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Metrics that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&MetricDiff> {
+        self.metrics.iter().filter(|m| m.status == Status::Regressed).collect()
+    }
+
+    /// Metrics that improved beyond tolerance (baseline-refresh candidates).
+    pub fn improvements(&self) -> Vec<&MetricDiff> {
+        self.metrics.iter().filter(|m| m.status == Status::Improved).collect()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<58} {:>14} {:>14} {:>9}  Status",
+            "Metric", "Baseline", "Current", "Change"
+        )?;
+        for m in &self.metrics {
+            let status = match &m.status {
+                Status::Ok => "ok".to_string(),
+                Status::Improved => "IMPROVED".to_string(),
+                Status::Regressed => "REGRESSED".to_string(),
+                Status::Skipped(reason) => format!("skipped ({reason})"),
+            };
+            writeln!(
+                f,
+                "{:<58} {:>14.4} {:>14.4} {:>+8.1}%  {}",
+                m.name,
+                m.baseline,
+                m.current,
+                m.change * 100.0,
+                status
+            )?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        let regressions = self.regressions().len();
+        let improvements = self.improvements().len();
+        writeln!(
+            f,
+            "summary: {} metrics, {} regressed, {} improved",
+            self.metrics.len(),
+            regressions,
+            improvements
+        )?;
+        if regressions > 0 {
+            writeln!(
+                f,
+                "PERF GATE: FAIL — investigate or (if intended) refresh out/baseline/"
+            )?;
+        } else {
+            writeln!(f, "PERF GATE: PASS")?;
+            if improvements > 0 {
+                writeln!(
+                    f,
+                    "hint: improvements beyond tolerance — consider refreshing the baseline \
+                     (`cargo run -p er-bench --release --bin bench_diff -- --write-baseline`)"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads a numeric field from a JSON value tree.
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(x) => Some(*x),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn field_num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(num)
+}
+
+/// Classifies one metric under the given relative tolerance.
+fn classify(name: &str, baseline: f64, current: f64, direction: Direction, tolerance: f64) -> MetricDiff {
+    // Relative change in the better direction: positive = improvement.
+    let change = if baseline.abs() > 0.0 {
+        match direction {
+            Direction::HigherIsBetter => (current - baseline) / baseline,
+            Direction::LowerIsBetter => (baseline - current) / baseline,
+        }
+    } else {
+        0.0
+    };
+    let status = if !baseline.is_finite() || !current.is_finite() {
+        // A non-finite perf metric means the benchmark itself is broken —
+        // that must fail the gate, not sail through as "no change".
+        Status::Regressed
+    } else if baseline.abs() == 0.0 {
+        Status::Skipped("baseline is zero".into())
+    } else if change < -tolerance {
+        Status::Regressed
+    } else if change > tolerance {
+        Status::Improved
+    } else {
+        Status::Ok
+    };
+    MetricDiff {
+        name: name.to_string(),
+        baseline,
+        current,
+        direction,
+        change,
+        status,
+    }
+}
+
+fn push_metric(
+    report: &mut DiffReport,
+    name: &str,
+    baseline: Option<f64>,
+    current: Option<f64>,
+    direction: Direction,
+    tolerance: f64,
+) {
+    match (baseline, current) {
+        (Some(b), Some(c)) => report.metrics.push(classify(name, b, c, direction, tolerance)),
+        // A gated signal the baseline measured has vanished from the current
+        // run — that is schema drift disarming the gate, and must fail.
+        (Some(b), None) => report.metrics.push(MetricDiff {
+            name: name.to_string(),
+            baseline: b,
+            current: f64::NAN,
+            direction,
+            change: -1.0,
+            status: Status::Regressed,
+        }),
+        // A metric the baseline never measured (newly added): nothing to
+        // compare yet — note it so the baseline gets refreshed.
+        _ => report.notes.push(format!(
+            "{name}: absent from the baseline, not compared — refresh out/baseline/"
+        )),
+    }
+}
+
+/// Whether both runs report the same CPU budget — absolute throughput and
+/// latency numbers are only comparable when they do.
+fn same_hardware(baseline: &Value, current: &Value) -> bool {
+    match (
+        field_num(baseline, "available_parallelism"),
+        field_num(current, "available_parallelism"),
+    ) {
+        (Some(b), Some(c)) => b == c,
+        _ => false,
+    }
+}
+
+/// Finds the element of a JSON sequence whose `key` field equals `value`.
+fn find_by<'v>(seq: Option<&'v Value>, key: &str, value: f64) -> Option<&'v Value> {
+    seq?.as_seq()?.iter().find(|e| field_num(e, key) == Some(value))
+}
+
+/// Diffs two `train_bench.json` trees into `report`.
+pub fn diff_train(baseline: &Value, current: &Value, config: &DiffConfig, report: &mut DiffReport) {
+    let ratio_tolerance = if same_hardware(baseline, current) {
+        config.tolerance
+    } else {
+        report.notes.push(format!(
+            "train: available_parallelism differs between baseline and current run; \
+             ratio metrics gated at {:.0}% instead of {:.0}%",
+            config.tolerance * config.cross_hardware_factor * 100.0,
+            config.tolerance * 100.0
+        ));
+        config.tolerance * config.cross_hardware_factor
+    };
+    push_metric(
+        report,
+        "train.aggregation.soa_speedup",
+        baseline.get("aggregation").and_then(|a| field_num(a, "soa_speedup")),
+        current.get("aggregation").and_then(|a| field_num(a, "soa_speedup")),
+        Direction::HigherIsBetter,
+        ratio_tolerance,
+    );
+    let base_points = baseline.get("points").and_then(Value::as_seq).unwrap_or(&[]);
+    for point in base_points {
+        let Some(inputs) = field_num(point, "inputs") else {
+            continue;
+        };
+        let Some(matching) = find_by(current.get("points"), "inputs", inputs) else {
+            report
+                .notes
+                .push(format!("train.points[inputs={inputs}]: no matching current point"));
+            continue;
+        };
+        push_metric(
+            report,
+            &format!("train.points[inputs={inputs}].single_thread_speedup"),
+            field_num(point, "single_thread_speedup"),
+            field_num(matching, "single_thread_speedup"),
+            Direction::HigherIsBetter,
+            ratio_tolerance,
+        );
+    }
+}
+
+/// Diffs two `serve_bench.json` trees into `report`.
+pub fn diff_serve(baseline: &Value, current: &Value, config: &DiffConfig, report: &mut DiffReport) {
+    // Serving correctness is not a perf tradeoff: anything other than an
+    // explicit `true` round-trip flag in the current run (false, missing, or
+    // a renamed field) fails the gate outright.
+    if current.get("round_trip_bit_exact") != Some(&Value::Bool(true)) {
+        report.metrics.push(MetricDiff {
+            name: "serve.round_trip_bit_exact".into(),
+            baseline: 1.0,
+            current: 0.0,
+            direction: Direction::HigherIsBetter,
+            change: -1.0,
+            status: Status::Regressed,
+        });
+    }
+    let hardware_matches = same_hardware(baseline, current);
+    let ratio_tolerance = if hardware_matches {
+        config.tolerance
+    } else {
+        config.tolerance * config.cross_hardware_factor
+    };
+    if !hardware_matches {
+        report.notes.push(
+            "serve: available_parallelism differs between baseline and current run; absolute \
+             throughput/latency metrics skipped (ratio metrics still gated, loosened)"
+                .into(),
+        );
+    }
+    push_metric(
+        report,
+        "serve.aggregation.soa_speedup",
+        baseline.get("aggregation").and_then(|a| field_num(a, "soa_speedup")),
+        current.get("aggregation").and_then(|a| field_num(a, "soa_speedup")),
+        Direction::HigherIsBetter,
+        ratio_tolerance,
+    );
+    for mode in ["runs_uncached", "runs_cached"] {
+        let base_runs = baseline.get(mode).and_then(Value::as_seq).unwrap_or(&[]);
+        for run in base_runs {
+            let Some(threads) = field_num(run, "threads") else {
+                continue;
+            };
+            let Some(matching) = find_by(current.get(mode), "threads", threads) else {
+                report
+                    .notes
+                    .push(format!("serve.{mode}[threads={threads}]: no matching current run"));
+                continue;
+            };
+            let prefix = format!("serve.{mode}[threads={threads}]");
+            if !hardware_matches {
+                continue;
+            }
+            push_metric(
+                report,
+                &format!("{prefix}.throughput_rps"),
+                field_num(run, "throughput_rps"),
+                field_num(matching, "throughput_rps"),
+                Direction::HigherIsBetter,
+                config.tolerance,
+            );
+            for pct in ["p50_us", "p95_us", "p99_us"] {
+                let base_latency = run.get("latency").and_then(|l| field_num(l, pct));
+                let current_latency = matching.get("latency").and_then(|l| field_num(l, pct));
+                if let (Some(b), Some(c)) = (base_latency, current_latency) {
+                    if b < config.latency_floor_us && c < config.latency_floor_us {
+                        report.metrics.push(MetricDiff {
+                            name: format!("{prefix}.latency.{pct}"),
+                            baseline: b,
+                            current: c,
+                            direction: Direction::LowerIsBetter,
+                            change: 0.0,
+                            status: Status::Skipped(format!("below {}µs noise floor", config.latency_floor_us)),
+                        });
+                        continue;
+                    }
+                }
+                push_metric(
+                    report,
+                    &format!("{prefix}.latency.{pct}"),
+                    base_latency,
+                    current_latency,
+                    Direction::LowerIsBetter,
+                    config.tolerance,
+                );
+            }
+        }
+    }
+}
+
+/// Parses and diffs both benchmark files; `*_json` arguments are the raw
+/// file contents (baseline, current) for (serve, train).
+pub fn diff_all(
+    serve_baseline: &str,
+    serve_current: &str,
+    train_baseline: &str,
+    train_current: &str,
+    config: &DiffConfig,
+) -> Result<DiffReport, String> {
+    let parse = |label: &str, text: &str| json::parse(text).map_err(|e| format!("{label}: {e}"));
+    let serve_base = parse("baseline serve_bench.json", serve_baseline)?;
+    let serve_cur = parse("current serve_bench.json", serve_current)?;
+    let train_base = parse("baseline train_bench.json", train_baseline)?;
+    let train_cur = parse("current train_bench.json", train_current)?;
+    let mut report = DiffReport::default();
+    diff_train(&train_base, &train_cur, config, &mut report);
+    diff_serve(&serve_base, &serve_cur, config, &mut report);
+    // A gate that compared nothing protects nothing: a schema drift that
+    // empties the metric set must be a hard error, not a vacuous pass.
+    if report.metrics.is_empty() {
+        return Err(format!(
+            "no comparable metrics found — benchmark JSON schema drifted? notes: {}",
+            report.notes.join("; ")
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_json(speedup: f64, agg: f64) -> String {
+        format!(
+            r#"{{"available_parallelism": 1, "aggregation": {{"soa_speedup": {agg}}},
+                 "points": [{{"inputs": 500, "single_thread_speedup": {speedup}}}]}}"#
+        )
+    }
+
+    fn serve_json(parallelism: u32, rps: f64, p99: f64, agg: f64, bit_exact: bool) -> String {
+        format!(
+            r#"{{"available_parallelism": {parallelism}, "round_trip_bit_exact": {bit_exact},
+                 "aggregation": {{"soa_speedup": {agg}}},
+                 "runs_uncached": [{{"threads": 1, "throughput_rps": {rps},
+                    "latency": {{"p50_us": 1.0, "p95_us": 2.0, "p99_us": {p99}}}}}],
+                 "runs_cached": []}}"#
+        )
+    }
+
+    fn run(serve_b: &str, serve_c: &str, train_b: &str, train_c: &str) -> DiffReport {
+        diff_all(serve_b, serve_c, train_b, train_c, &DiffConfig::default()).expect("parse")
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let (s, t) = (serve_json(1, 1e6, 50.0, 1.5, true), train_json(15.0, 1.5));
+        let report = run(&s, &s, &t, &t);
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report.improvements().is_empty());
+        assert!(report.metrics.len() >= 5);
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 0.9e6, 58.0, 1.4, true), // -10% rps, +16% p99
+            &train_json(15.0, 1.5),
+            &train_json(13.0, 1.4),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+    }
+
+    #[test]
+    fn injected_throughput_regression_fails() {
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 0.5e6, 50.0, 1.5, true), // -50% throughput
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert!(regressed[0].name.contains("throughput_rps"));
+    }
+
+    #[test]
+    fn injected_speedup_regression_fails_even_across_hardware() {
+        // Different CPU budgets: absolute metrics skipped, ratio metrics
+        // still gated — a halved factorization speedup must fail.
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(4, 4e6, 10.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(6.0, 1.5), // -60% single-thread speedup
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert!(regressed[0].name.contains("single_thread_speedup"));
+        assert!(report.notes.iter().any(|n| n.contains("available_parallelism")));
+        assert!(!report.metrics.iter().any(|m| m.name.contains("throughput")));
+    }
+
+    #[test]
+    fn latency_regressions_beyond_tolerance_fail() {
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 1e6, 90.0, 1.5, true), // +80% p99
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert!(regressed[0].name.contains("p99"));
+    }
+
+    #[test]
+    fn sub_floor_latencies_are_noise_not_signal() {
+        // p99 "doubles" from 1µs to 2µs: below the 20µs floor, skipped.
+        let report = run(
+            &serve_json(1, 1e6, 1.0, 1.5, true),
+            &serve_json(1, 1e6, 2.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report
+            .metrics
+            .iter()
+            .any(|m| m.name.contains("p99") && matches!(m.status, Status::Skipped(_))));
+    }
+
+    #[test]
+    fn broken_round_trip_fails_the_gate() {
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 1e6, 50.0, 1.5, false),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report
+            .regressions()
+            .iter()
+            .any(|m| m.name == "serve.round_trip_bit_exact"));
+    }
+
+    #[test]
+    fn improvements_are_flagged_for_baseline_refresh() {
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 2e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty());
+        assert_eq!(report.improvements().len(), 1);
+        assert!(report.to_string().contains("refreshing the baseline"));
+    }
+
+    #[test]
+    fn unmatched_configurations_note_but_do_not_fail() {
+        let base_train = r#"{"available_parallelism": 1, "aggregation": {"soa_speedup": 1.5},
+            "points": [{"inputs": 9999, "single_thread_speedup": 12.0}]}"#;
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            base_train,
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report.notes.iter().any(|n| n.contains("inputs=9999")));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_pass() {
+        let err = diff_all("{", "{}", "{}", "{}", &DiffConfig::default()).unwrap_err();
+        assert!(err.contains("serve_bench"), "{err}");
+    }
+
+    #[test]
+    fn a_vanished_gated_metric_fails_the_gate() {
+        // The baseline measured soa_speedup but the current file lost it
+        // (field renamed/dropped): partial schema drift must fail, not
+        // degrade to a note while the gate stays green.
+        let current_train = r#"{"available_parallelism": 1, "aggregation": {},
+            "points": [{"inputs": 500, "single_thread_speedup": 15.0}]}"#;
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            current_train,
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert_eq!(regressed[0].name, "train.aggregation.soa_speedup");
+        // The reverse direction (baseline lacks a newly added metric) only
+        // notes a refresh — there is nothing to compare against yet.
+        let old_baseline_train = r#"{"available_parallelism": 1,
+            "points": [{"inputs": 500, "single_thread_speedup": 15.0}]}"#;
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            old_baseline_train,
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report.notes.iter().any(|n| n.contains("absent from the baseline")));
+    }
+
+    #[test]
+    fn schema_drift_that_empties_the_metric_set_is_an_error() {
+        // Current files that parse but expose no recognizable metrics (e.g.
+        // after a field rename) must be a hard error, not a vacuous pass.
+        let bare_serve = r#"{"round_trip_bit_exact": true}"#;
+        let err = diff_all(bare_serve, bare_serve, "{}", "{}", &DiffConfig::default()).unwrap_err();
+        assert!(err.contains("no comparable metrics"), "{err}");
+    }
+
+    #[test]
+    fn missing_round_trip_flag_fails_the_gate() {
+        // A current serve file without the bit-exactness flag (renamed or
+        // dropped) must fail — correctness attestation cannot silently vanish.
+        let current = r#"{"available_parallelism": 1,
+            "aggregation": {"soa_speedup": 1.5}, "runs_uncached": [], "runs_cached": []}"#;
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            current,
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report
+            .regressions()
+            .iter()
+            .any(|m| m.name == "serve.round_trip_bit_exact"));
+    }
+
+    #[test]
+    fn non_finite_metrics_fail_the_gate() {
+        // The vendored JSON round-trips NaN; a NaN metric means the benchmark
+        // run is broken and must fail, not read as "no change".
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, f64::NAN, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert!(regressed[0].name.contains("throughput_rps"));
+    }
+}

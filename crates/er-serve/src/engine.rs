@@ -8,9 +8,10 @@
 //! to offline ones. This is what makes the artifact round-trip property
 //! (train → save → load → serve) testable to full `f64` precision.
 
-use crate::index::{CompiledRuleIndex, MatchScratch};
-use learnrisk_core::{LearnRiskModel, PairRiskInput, PortfolioComponent};
+use crate::index::{CompiledRuleIndex, MatchScratch, RowLengthError};
+use learnrisk_core::{ComponentBlock, LearnRiskModel, PairRiskInput, PortfolioError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One scoring request: a candidate pair reduced to its serving inputs.
 ///
@@ -30,14 +31,38 @@ pub struct ScoreRequest {
     pub machine_says_match: bool,
 }
 
-/// Reusable per-worker scratch for the engine (rule-match counters plus the
-/// assembled [`PairRiskInput`]); create one per thread via
+/// Why a request could not be scored — the error the fallible serving path
+/// returns instead of panicking, so one malformed artifact or request
+/// degrades to an error response rather than killing a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreError {
+    /// The request's metric row is shorter than the rule set requires.
+    Row(RowLengthError),
+    /// The pair's portfolio could not be aggregated (e.g. a corrupt artifact
+    /// producing a non-positive total weight).
+    Portfolio(PortfolioError),
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::Row(e) => write!(f, "{e}"),
+            ScoreError::Portfolio(e) => write!(f, "cannot aggregate the pair's portfolio: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// Reusable per-worker scratch for the engine (rule-match counters, the
+/// assembled [`PairRiskInput`], and the SoA portfolio block the model
+/// aggregates through); create one per thread via
 /// [`ScoringEngine::scratch`].
 #[derive(Debug, Clone)]
 pub struct EngineScratch {
     matcher: MatchScratch,
     input: PairRiskInput,
-    components: Vec<PortfolioComponent>,
+    components: ComponentBlock,
 }
 
 /// A servable risk model: the trained state plus the compiled rule index.
@@ -81,21 +106,38 @@ impl ScoringEngine {
                 machine_says_match: false,
                 risk_label: 0,
             },
-            components: Vec::with_capacity(17),
+            components: ComponentBlock::with_capacity(17),
         }
     }
 
     /// Scores one request, reusing `scratch` (no per-request allocation once
     /// the scratch vectors have warmed up).
+    ///
+    /// # Panics
+    /// Panics on a malformed request or artifact (short metric row,
+    /// un-aggregatable portfolio); [`Self::try_score_request`] is the
+    /// non-panicking form the executor's request path uses.
     pub fn score_request(&self, request: &ScoreRequest, scratch: &mut EngineScratch) -> f64 {
-        self.index.matching_rules_into(
-            &request.metric_row,
-            &mut scratch.matcher,
-            &mut scratch.input.rule_indices,
-        );
+        self.try_score_request(request, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::score_request`]: a malformed request (metric row
+    /// shorter than the rule set requires) or a degenerate portfolio from a
+    /// corrupt artifact becomes a [`ScoreError`] instead of a panic.
+    pub fn try_score_request(&self, request: &ScoreRequest, scratch: &mut EngineScratch) -> Result<f64, ScoreError> {
+        self.index
+            .try_matching_rules_into(
+                &request.metric_row,
+                &mut scratch.matcher,
+                &mut scratch.input.rule_indices,
+            )
+            .map_err(ScoreError::Row)?;
         scratch.input.classifier_output = request.classifier_output;
         scratch.input.machine_says_match = request.machine_says_match;
-        self.model.risk_score_with(&scratch.input, &mut scratch.components)
+        self.model
+            .try_risk_score_with(&scratch.input, &mut scratch.components)
+            .map_err(ScoreError::Portfolio)
     }
 
     /// Scores a pre-resolved risk input (rule coverage already known), e.g.
@@ -222,5 +264,23 @@ mod tests {
         let mut bad = model();
         bad.rule_weights.pop();
         ScoringEngine::new(bad);
+    }
+
+    #[test]
+    fn malformed_requests_degrade_to_errors_on_the_fallible_path() {
+        let engine = ScoringEngine::new(model());
+        let mut scratch = engine.scratch();
+        // Well-formed request: the fallible path returns the identical score.
+        let ok = request(0, vec![0.9, 0.1, 0.8], 0.7);
+        let plain = engine.score_request(&ok, &mut scratch);
+        let fallible = engine.try_score_request(&ok, &mut scratch).expect("well-formed");
+        assert_eq!(plain.to_bits(), fallible.to_bits());
+        // Short metric row: an error, not a panic — and the scratch survives.
+        let short = request(1, vec![0.9], 0.7);
+        let err = engine.try_score_request(&short, &mut scratch).unwrap_err();
+        assert!(matches!(err, ScoreError::Row(_)), "{err}");
+        assert!(err.to_string().contains("metric row has 1 entries"));
+        let after = engine.try_score_request(&ok, &mut scratch).expect("scratch reusable");
+        assert_eq!(plain.to_bits(), after.to_bits());
     }
 }

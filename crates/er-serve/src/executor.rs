@@ -10,10 +10,30 @@
 //! suite asserts this bit-exactly).
 
 use crate::cache::LruCache;
-use crate::engine::{EngineScratch, ScoreRequest, ScoringEngine};
+use crate::engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A [`ScoreError`] attributed to its position in a batch — the error
+/// [`ShardedExecutor::try_score_batch`] reports, so a caller can reject the
+/// offending request instead of losing a worker thread to a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchScoreError {
+    /// Index of the first malformed request in the batch.
+    pub request_index: usize,
+    /// Why it could not be scored.
+    pub error: ScoreError,
+}
+
+impl fmt::Display for BatchScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request {} cannot be scored: {}", self.request_index, self.error)
+    }
+}
+
+impl std::error::Error for BatchScoreError {}
 
 /// Configuration of a [`ShardedExecutor`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -130,9 +150,21 @@ impl ShardedExecutor {
     /// The shard lock is released while computing a miss, so two threads may
     /// race to score the same cold pair; both compute the identical value, so
     /// the cache stays consistent.
+    ///
+    /// # Panics
+    /// Panics on a malformed request; [`Self::try_score_one`] is the
+    /// non-panicking request path.
     pub fn score_one(&self, request: &ScoreRequest, scratch: &mut EngineScratch) -> f64 {
+        self.try_score_one(request, scratch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::score_one`]: a malformed request or a degenerate
+    /// portfolio becomes a [`ScoreError`] instead of a panic.  Errors are
+    /// never cached, so a rejected request does not poison later traffic for
+    /// the same pair id.
+    pub fn try_score_one(&self, request: &ScoreRequest, scratch: &mut EngineScratch) -> Result<f64, ScoreError> {
         if self.config.cache_capacity == 0 {
-            return self.engine.score_request(request, scratch);
+            return self.engine.try_score_request(request, scratch);
         }
         let shard = self.shard_of(request.pair_id);
         if let Some(score) = self.shards[shard]
@@ -141,41 +173,81 @@ impl ShardedExecutor {
             .get(&request.pair_id)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return score;
+            return Ok(score);
         }
-        let score = self.engine.score_request(request, scratch);
+        let score = self.engine.try_score_request(request, scratch)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.shards[shard]
             .lock()
             .expect("cache shard poisoned")
             .insert(request.pair_id, score);
-        score
+        Ok(score)
     }
 
     /// Scores a batch across `config.threads` scoped worker threads,
     /// preserving request order in the returned scores.
+    ///
+    /// # Panics
+    /// Panics on the first malformed request; [`Self::try_score_batch`] is
+    /// the non-panicking form.
     pub fn score_batch(&self, requests: &[ScoreRequest]) -> Vec<f64> {
+        self.try_score_batch(requests).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::score_batch`]: scores the batch and reports the
+    /// *first* malformed request (smallest batch index, deterministic for
+    /// every thread count) as a [`BatchScoreError`] instead of panicking a
+    /// worker.  Each worker stops its chunk at its first error, so a poisoned
+    /// batch fails fast rather than burning the remaining scoring work.
+    pub fn try_score_batch(&self, requests: &[ScoreRequest]) -> Result<Vec<f64>, BatchScoreError> {
         let mut scores = vec![0.0f64; requests.len()];
         let threads = self.config.threads.max(1);
         if threads == 1 || requests.len() <= 1 {
             let mut scratch = self.engine.scratch();
-            for (request, slot) in requests.iter().zip(&mut scores) {
-                *slot = self.score_one(request, &mut scratch);
+            for (index, (request, slot)) in requests.iter().zip(&mut scores).enumerate() {
+                *slot = self
+                    .try_score_one(request, &mut scratch)
+                    .map_err(|error| BatchScoreError {
+                        request_index: index,
+                        error,
+                    })?;
             }
-            return scores;
+            return Ok(scores);
         }
         let chunk = requests.len().div_ceil(threads);
+        // Every erroring worker reports its chunk's first error; the smallest
+        // request index across chunks is the batch's first error overall.
+        let first_error: Mutex<Option<BatchScoreError>> = Mutex::new(None);
         std::thread::scope(|scope| {
-            for (request_chunk, score_chunk) in requests.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+            for (chunk_index, (request_chunk, score_chunk)) in
+                requests.chunks(chunk).zip(scores.chunks_mut(chunk)).enumerate()
+            {
+                let first_error = &first_error;
                 scope.spawn(move || {
                     let mut scratch = self.engine.scratch();
-                    for (request, slot) in request_chunk.iter().zip(score_chunk) {
-                        *slot = self.score_one(request, &mut scratch);
+                    for (offset, (request, slot)) in request_chunk.iter().zip(score_chunk).enumerate() {
+                        match self.try_score_one(request, &mut scratch) {
+                            Ok(score) => *slot = score,
+                            Err(error) => {
+                                let found = BatchScoreError {
+                                    request_index: chunk_index * chunk + offset,
+                                    error,
+                                };
+                                let mut slot = first_error.lock().expect("error slot poisoned");
+                                if slot.is_none_or(|prior| found.request_index < prior.request_index) {
+                                    *slot = Some(found);
+                                }
+                                return;
+                            }
+                        }
                     }
                 });
             }
         });
-        scores
+        match first_error.into_inner().expect("error slot poisoned") {
+            Some(error) => Err(error),
+            None => Ok(scores),
+        }
     }
 }
 
@@ -295,5 +367,50 @@ mod tests {
         assert!(exec.score_batch(&[]).is_empty());
         let one = requests(1, 1);
         assert_eq!(exec.score_batch(&one).len(), 1);
+    }
+
+    #[test]
+    fn malformed_batch_requests_surface_as_errors_not_panics() {
+        let good = requests(50, 50);
+        for threads in [1usize, 4] {
+            let exec = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(threads));
+            // Poison two requests: the *first* (smallest index) is reported,
+            // regardless of the thread count.
+            let mut poisoned = good.clone();
+            poisoned[13].metric_row = vec![0.4]; // too short for 2 metrics
+            poisoned[37].metric_row = vec![];
+            let err = exec.try_score_batch(&poisoned).unwrap_err();
+            assert_eq!(err.request_index, 13, "threads = {threads}");
+            assert!(matches!(err.error, ScoreError::Row(_)));
+            assert!(err.to_string().contains("request 13"));
+            // The executor survives and keeps serving clean traffic through
+            // the same fallible path.
+            let scores = exec.try_score_batch(&good).expect("still serving");
+            assert_eq!(scores.len(), good.len());
+        }
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let exec = ShardedExecutor::new(
+            engine(),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 64,
+                cache_shards: 4,
+            },
+        );
+        let mut scratch = exec.engine().scratch();
+        let mut bad = requests(1, 1).remove(0);
+        bad.metric_row = vec![];
+        assert!(exec.try_score_one(&bad, &mut scratch).is_err());
+        // The same pair id with a well-formed row scores fresh (a miss, not a
+        // poisoned hit).
+        let good = requests(1, 1).remove(0);
+        let score = exec.try_score_one(&good, &mut scratch).expect("well-formed");
+        assert!(score.is_finite());
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
     }
 }

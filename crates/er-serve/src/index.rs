@@ -18,6 +18,33 @@
 //! downstream floating-point aggregation bit-identical.
 
 use er_rulegen::{CmpOp, Rule};
+use std::fmt;
+
+/// A metric row too short for the rule set — the request-level error the
+/// fallible matching path reports instead of panicking, so a malformed
+/// request cannot kill a serving worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowLengthError {
+    /// Entries in the offending row.
+    pub row_len: usize,
+    /// Smallest row length the rule set can match against.
+    pub required: usize,
+}
+
+impl fmt::Display for RowLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metric row has {} entries but the rule set references metric index {}",
+            self.row_len,
+            // The fields are public, so guard the degenerate required == 0
+            // (an error type whose Display can panic defeats its purpose).
+            self.required.saturating_sub(1)
+        )
+    }
+}
+
+impl std::error::Error for RowLengthError {}
 
 /// One metric's compiled condition lists (see the module docs).
 #[derive(Debug, Clone, Default)]
@@ -135,14 +162,30 @@ impl CompiledRuleIndex {
     ///
     /// # Panics
     /// Panics if `row` is shorter than [`Self::required_row_len`] or `scratch`
-    /// was built for a different index.
+    /// was built for a different index.  [`Self::try_matching_rules_into`] is
+    /// the non-panicking form the serving request path uses.
     pub fn matching_rules_into(&self, row: &[f64], scratch: &mut MatchScratch, out: &mut Vec<u32>) {
-        assert!(
-            row.len() >= self.metrics.len(),
-            "metric row has {} entries but the rule set references metric index {}",
-            row.len(),
-            self.metrics.len() - 1
-        );
+        self.try_matching_rules_into(row, scratch, out)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Self::matching_rules_into`]: a row shorter than
+    /// [`Self::required_row_len`] becomes a [`RowLengthError`] instead of a
+    /// panic (`out` is left cleared).  A `scratch` built for a different
+    /// index is still a programming error and panics.
+    pub fn try_matching_rules_into(
+        &self,
+        row: &[f64],
+        scratch: &mut MatchScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<(), RowLengthError> {
+        if row.len() < self.metrics.len() {
+            out.clear();
+            return Err(RowLengthError {
+                row_len: row.len(),
+                required: self.metrics.len(),
+            });
+        }
         assert_eq!(scratch.counters.len(), self.rule_count, "scratch/index mismatch");
         out.clear();
         out.extend_from_slice(&self.always_fire);
@@ -170,6 +213,7 @@ impl CompiledRuleIndex {
         scratch.touched.clear();
         // Few rules fire per pair, so the final ordering sort is cheap.
         out.sort_unstable();
+        Ok(())
     }
 
     /// Convenience wrapper allocating fresh scratch and output.
@@ -272,6 +316,37 @@ mod tests {
     fn short_rows_panic_with_context() {
         let index = CompiledRuleIndex::compile(&[rule(vec![(3, CmpOp::Gt, 0.5)])]);
         index.matching_rules(&[0.1, 0.2]);
+    }
+
+    #[test]
+    fn short_rows_degrade_to_an_error_on_the_fallible_path() {
+        let index = CompiledRuleIndex::compile(&[rule(vec![(3, CmpOp::Gt, 0.5)])]);
+        let mut scratch = index.scratch();
+        let mut out = vec![7u32];
+        let err = index
+            .try_matching_rules_into(&[0.1, 0.2], &mut scratch, &mut out)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RowLengthError {
+                row_len: 2,
+                required: 4
+            }
+        );
+        assert!(err.to_string().contains("metric row has 2 entries"));
+        assert!(out.is_empty(), "failed matches must not leave stale rules behind");
+        // The fields are public: the degenerate required == 0 must format
+        // (not underflow) — an error Display that panics defeats its purpose.
+        let degenerate = RowLengthError {
+            row_len: 0,
+            required: 0,
+        };
+        assert!(degenerate.to_string().contains("metric row has 0 entries"));
+        // The scratch stays usable for well-formed rows afterwards.
+        index
+            .try_matching_rules_into(&[0.0, 0.0, 0.0, 0.9], &mut scratch, &mut out)
+            .expect("long enough row");
+        assert_eq!(out, vec![0]);
     }
 
     /// Strategy producing random rule sets over `metrics` metric slots.

@@ -34,7 +34,7 @@ pub mod replay;
 
 pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
 pub use cache::LruCache;
-pub use engine::{EngineScratch, ScoreRequest, ScoringEngine};
-pub use executor::{CacheStats, ServeConfig, ShardedExecutor};
-pub use index::{CompiledRuleIndex, MatchScratch};
+pub use engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
+pub use executor::{BatchScoreError, CacheStats, ServeConfig, ShardedExecutor};
+pub use index::{CompiledRuleIndex, MatchScratch, RowLengthError};
 pub use replay::{run_replay, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};

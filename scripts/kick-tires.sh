@@ -38,4 +38,13 @@ test -s "$SERVE_BENCH_JSON" || { echo "missing $SERVE_BENCH_JSON" >&2; exit 1; }
 test -s "$TRAIN_BENCH_JSON" || { echo "missing $TRAIN_BENCH_JSON" >&2; exit 1; }
 echo "serve_bench JSON at $SERVE_BENCH_JSON"
 echo "train_bench JSON at $TRAIN_BENCH_JSON"
+
+# Informational perf diff against the committed baseline (the CI perf-gate
+# job runs the same diff fatally; locally a regression only warns, since dev
+# hardware legitimately differs from the baseline machine).
+if [[ -f out/baseline/serve_bench.json && -f out/baseline/train_bench.json ]]; then
+    echo "== kick-tires: perf diff vs out/baseline (informational) =="
+    ./target/release/bench_diff \
+        || echo "kick-tires: WARNING — bench_diff reported regressions; CI perf-gate will fail"
+fi
 echo "kick-tires OK"
