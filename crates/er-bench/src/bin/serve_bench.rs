@@ -15,10 +15,19 @@ use er_base::SplitRatio;
 use er_classifier::{MatcherKind, TrainConfig};
 use er_datasets::{generate_benchmark, BenchmarkId};
 use er_eval::{build_score_requests, export_and_load_engine, run_pipeline, verify_round_trip, PipelineConfig};
-use er_serve::{run_replay, zipf_stream, ReplayConfig, ReplayReport, ServeConfig, ShardedExecutor};
-use learnrisk_core::{PairRiskInput, RiskTrainConfig};
+use er_serve::{
+    http_roundtrip, parse_score_response, run_replay, summarize_latencies, zipf_stream, LatencySummary, ModelArtifact,
+    ReloadableExecutor, ReplayConfig, ReplayReport, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig,
+    ServerConfig, ServerStats, ShardedExecutor,
+};
+use learnrisk_core::{LearnRiskModel, PairRiskInput, RiskTrainConfig};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Machine-readable result of one `serve_bench` invocation (the
 /// `BENCH_*.json` perf-trajectory format). `runs_uncached` measures pure
@@ -42,6 +51,67 @@ struct ServeBenchSummary {
     aggregation: er_bench::AggregationBench,
     runs_uncached: Vec<ReplayReport>,
     runs_cached: Vec<ReplayReport>,
+    /// HTTP front-end replay: socket round-trip latency, latency under a
+    /// mid-replay hot reload, and the deliberate backpressure smoke.
+    frontend: FrontendBench,
+}
+
+/// One front-end socket replay: closed-loop clients posting the stream one
+/// request at a time, with every response's score bit-compared against the
+/// in-process engine of the version it reports.
+#[derive(Debug, Serialize)]
+struct FrontendRun {
+    clients: usize,
+    requests: usize,
+    elapsed_secs: f64,
+    throughput_rps: f64,
+    /// Socket round-trip (request write → response parsed) percentiles.
+    latency: LatencySummary,
+    non_2xx: u64,
+    /// Every socket score matched the in-process engine bit for bit.
+    bit_exact: bool,
+}
+
+/// The latency-under-reload series: the same replay with hot reloads fired
+/// at request-count milestones while traffic is in flight.
+#[derive(Debug, Serialize)]
+struct FrontendReload {
+    clients: usize,
+    requests: usize,
+    /// Hot reloads applied mid-replay.
+    reloads: u64,
+    /// Distinct `model_version` tags observed across all responses.
+    versions_observed: Vec<u64>,
+    elapsed_secs: f64,
+    throughput_rps: f64,
+    latency: LatencySummary,
+    non_2xx: u64,
+    /// Every response's score matched a fresh engine of exactly the version
+    /// it was tagged with (no torn batches, no stale cache hits).
+    bit_exact_per_version: bool,
+}
+
+/// The deliberate backpressure phase: intake paused, queue filled, one
+/// overflow request that must bounce with 429, then full recovery.
+#[derive(Debug, Serialize)]
+struct FrontendBackpressure {
+    queue_capacity: usize,
+    deliberate_rejections_429: u64,
+    recovered_2xx: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FrontendBench {
+    threads: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+    batch_window_us: u64,
+    replay: FrontendRun,
+    reload: FrontendReload,
+    backpressure: FrontendBackpressure,
+    /// Final server counters; 4xx/5xx must be zero and 429 must equal the
+    /// deliberate rejections (asserted before the JSON is written).
+    statuses: ServerStats,
 }
 
 fn main() {
@@ -158,6 +228,23 @@ fn main() {
     let runs_uncached = run_mode("scoring (cache off)", 0);
     let runs_cached = run_mode("cached serving (LRU on)", ServeConfig::default().cache_capacity);
 
+    // --- HTTP front-end ---------------------------------------------------
+    // Socket round trips are orders of magnitude slower than in-process
+    // calls, so the front-end replays a prefix of the stream (override with
+    // SERVE_BENCH_FRONTEND_REQUESTS / SERVE_BENCH_CLIENTS).
+    let frontend_requests = er_bench::env_usize("SERVE_BENCH_FRONTEND_REQUESTS", 4_000)
+        .min(stream.len())
+        .max(1);
+    let clients = er_bench::env_usize("SERVE_BENCH_CLIENTS", 4).max(1);
+    let frontend_threads = args.threads.iter().copied().max().unwrap_or(1);
+    let frontend = frontend_bench(
+        &engine,
+        &artifact_path,
+        &stream[..frontend_requests],
+        clients,
+        frontend_threads,
+    );
+
     // --- summary ----------------------------------------------------------
     if let Some(single) = runs_uncached.iter().find(|r| r.threads == 1) {
         let best = runs_uncached
@@ -192,6 +279,7 @@ fn main() {
         aggregation,
         runs_uncached,
         runs_cached,
+        frontend,
     };
     if let Some(parent) = json_path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -200,4 +288,330 @@ fn main() {
     }
     std::fs::write(&json_path, serde::json::to_string_pretty(&summary)).expect("write serve_bench JSON");
     println!("serve_bench: wrote {}", json_path.display());
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front-end replay
+// ---------------------------------------------------------------------------
+
+/// A deterministic "retrained" variant of the served model: rule weights
+/// nudged alternately up/down within their feasible range, standing in for
+/// the next active-learning round's retrain. Scores differ from the original
+/// on rule-covered pairs, which is what makes per-version bit-exactness a
+/// real assertion during the reload replay.
+fn retrained_variant(model: &LearnRiskModel) -> LearnRiskModel {
+    let mut variant = model.clone();
+    for (i, w) in variant.rule_weights.iter_mut().enumerate() {
+        *w = (*w * if i % 2 == 0 { 1.07 } else { 0.93 }).clamp(1e-3, 1e3);
+    }
+    variant.validate().expect("perturbed model must stay valid");
+    variant
+}
+
+#[derive(Serialize)]
+struct ReloadBody {
+    path: String,
+}
+
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    non_2xx: u64,
+    bit_exact: bool,
+    versions: BTreeSet<u64>,
+}
+
+impl Default for ClientOutcome {
+    fn default() -> Self {
+        Self {
+            latencies_ns: Vec::new(),
+            non_2xx: 0,
+            bit_exact: true,
+            versions: BTreeSet::new(),
+        }
+    }
+}
+
+struct SocketReplayOutcome {
+    latency: LatencySummary,
+    elapsed_secs: f64,
+    throughput_rps: f64,
+    non_2xx: u64,
+    bit_exact: bool,
+    versions: Vec<u64>,
+}
+
+/// Replays `stream` against the server with closed-loop clients (one
+/// keep-alive connection each), timing every socket round trip and
+/// bit-comparing every score against the in-process expectation of the
+/// version the response reports: odd versions carry the original model's
+/// scores (`expected_odd`), even versions the retrained variant's
+/// (`expected_even`) — reloads alternate the two artifacts.
+fn run_socket_replay(
+    addr: SocketAddr,
+    stream: &[ScoreRequest],
+    clients: usize,
+    expected_odd: &[f64],
+    expected_even: &[f64],
+    progress: &AtomicUsize,
+) -> SocketReplayOutcome {
+    let start = Instant::now();
+    let chunk = stream.len().div_ceil(clients.max(1));
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .enumerate()
+            .map(|(client_index, requests)| {
+                let offset = client_index * chunk;
+                scope.spawn(move || {
+                    let mut conn = TcpStream::connect(addr).expect("frontend: connect to the score server");
+                    let mut out = ClientOutcome::default();
+                    for (i, request) in requests.iter().enumerate() {
+                        let body = serde::json::to_string(request);
+                        let t0 = Instant::now();
+                        // Any transport error is a dropped request — the
+                        // zero-drop guarantee the front-end makes, so panic.
+                        let response = http_roundtrip(&mut conn, "POST", "/score", Some(&body))
+                            .expect("frontend: connection dropped mid-replay");
+                        out.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        if response.status != 200 {
+                            out.non_2xx += 1;
+                        } else {
+                            let (version, scores) =
+                                parse_score_response(&response.body).expect("frontend: malformed score body");
+                            out.versions.insert(version);
+                            let expected = if version % 2 == 1 { expected_odd } else { expected_even };
+                            if scores.len() != 1 || scores[0].to_bits() != expected[offset + i].to_bits() {
+                                out.bit_exact = false;
+                            }
+                        }
+                        progress.fetch_add(1, Ordering::Relaxed);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("frontend client panicked"))
+            .collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let mut latencies_ns = Vec::with_capacity(stream.len());
+    let mut non_2xx = 0;
+    let mut bit_exact = true;
+    let mut versions = BTreeSet::new();
+    for outcome in outcomes {
+        latencies_ns.extend(outcome.latencies_ns);
+        non_2xx += outcome.non_2xx;
+        bit_exact &= outcome.bit_exact;
+        versions.extend(outcome.versions);
+    }
+    SocketReplayOutcome {
+        latency: summarize_latencies(&mut latencies_ns),
+        elapsed_secs,
+        throughput_rps: if elapsed_secs > 0.0 {
+            stream.len() as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        non_2xx,
+        bit_exact,
+        versions: versions.into_iter().collect(),
+    }
+}
+
+/// Runs the three front-end phases against a live [`ScoreServer`]: plain
+/// socket replay, the same replay with hot reloads fired mid-flight, and the
+/// deliberate backpressure smoke. Panics (failing the smoke tiers) on any
+/// non-2xx outside the backpressure phase, any score-bit divergence, or a
+/// dropped request.
+fn frontend_bench(
+    engine: &ScoringEngine,
+    artifact_v1_path: &Path,
+    stream: &[ScoreRequest],
+    clients: usize,
+    threads: usize,
+) -> FrontendBench {
+    const RELOADS: u64 = 3;
+    // The retrained artifact the mid-replay reloads alternate with.
+    let retrained = retrained_variant(engine.model());
+    let artifact_v2_path = artifact_v1_path.with_file_name("serve_model_v2.json");
+    ModelArtifact::new(retrained.clone())
+        .save(&artifact_v2_path)
+        .expect("save retrained artifact");
+    let expected_v1 = engine.score_batch(stream);
+    let expected_v2 = ScoringEngine::new(retrained).score_batch(stream);
+
+    let server_config = ServerConfig {
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    };
+    // Captured before the config moves into the server, so the JSON block
+    // records the shape actually served (not `ServerConfig::default()`).
+    let queue_capacity = server_config.queue_capacity;
+    let max_batch = server_config.max_batch;
+    let batch_window_us = server_config.batch_window.as_micros() as u64;
+    let executor = Arc::new(ReloadableExecutor::new(
+        engine.clone(),
+        ServeConfig::default().with_threads(threads),
+    ));
+    let server = ScoreServer::start(Arc::clone(&executor), server_config).expect("bind score server");
+    let addr = server.local_addr();
+    println!();
+    println!(
+        "-- HTTP front-end on {addr} ({} requests, {clients} clients, {threads} executor threads) --",
+        stream.len()
+    );
+
+    // Phase 1: plain socket replay, version constant.
+    let progress = AtomicUsize::new(0);
+    let outcome = run_socket_replay(addr, stream, clients, &expected_v1, &expected_v1, &progress);
+    assert_eq!(outcome.non_2xx, 0, "front-end replay must be all-2xx");
+    assert!(outcome.bit_exact, "socket scores diverged from in-process scoring");
+    assert_eq!(outcome.versions, vec![1], "no reload happened yet");
+    println!(
+        "frontend replay: {:>10.0} req/s  p50 {:>7.1}µs  p95 {:>7.1}µs  p99 {:>7.1}µs",
+        outcome.throughput_rps, outcome.latency.p50_us, outcome.latency.p95_us, outcome.latency.p99_us
+    );
+    let replay = FrontendRun {
+        clients,
+        requests: stream.len(),
+        elapsed_secs: outcome.elapsed_secs,
+        throughput_rps: outcome.throughput_rps,
+        latency: outcome.latency,
+        non_2xx: outcome.non_2xx,
+        bit_exact: outcome.bit_exact,
+    };
+
+    // Phase 2: the same replay with RELOADS hot reloads fired at
+    // request-count milestones while traffic is in flight.
+    let progress = AtomicUsize::new(0);
+    let outcome = std::thread::scope(|scope| {
+        let progress = &progress;
+        let total = stream.len();
+        let v1 = artifact_v1_path.to_path_buf();
+        let v2 = artifact_v2_path.clone();
+        let controller = scope.spawn(move || {
+            for k in 1..=RELOADS {
+                let milestone = (k as usize * total) / (RELOADS as usize + 1);
+                while progress.load(Ordering::Relaxed) < milestone {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                // Reload k produces version k+1: odd reloads promote the
+                // retrained artifact (even versions), even reloads roll back.
+                let path = if k % 2 == 1 { &v2 } else { &v1 };
+                let body = serde::json::to_string(&ReloadBody {
+                    path: path.display().to_string(),
+                });
+                let mut conn = TcpStream::connect(addr).expect("frontend: connect for reload");
+                let response =
+                    http_roundtrip(&mut conn, "POST", "/reload", Some(&body)).expect("frontend: reload round trip");
+                assert_eq!(response.status, 200, "mid-replay reload {k} failed: {}", response.body);
+            }
+        });
+        let outcome = run_socket_replay(addr, stream, clients, &expected_v1, &expected_v2, progress);
+        controller.join().expect("reload controller panicked");
+        outcome
+    });
+    assert_eq!(
+        outcome.non_2xx, 0,
+        "reload replay must be all-2xx (zero dropped requests)"
+    );
+    assert!(
+        outcome.bit_exact,
+        "a score did not match the artifact version it was tagged with"
+    );
+    assert_eq!(executor.version(), 1 + RELOADS, "every reload must have been applied");
+    assert!(
+        outcome.versions.iter().all(|v| (1..=1 + RELOADS).contains(v)),
+        "impossible version tags: {:?}",
+        outcome.versions
+    );
+    println!(
+        "frontend reload: {:>10.0} req/s  p50 {:>7.1}µs  p95 {:>7.1}µs  p99 {:>7.1}µs  ({} reloads, versions {:?})",
+        outcome.throughput_rps,
+        outcome.latency.p50_us,
+        outcome.latency.p95_us,
+        outcome.latency.p99_us,
+        RELOADS,
+        outcome.versions
+    );
+    let reload = FrontendReload {
+        clients,
+        requests: stream.len(),
+        reloads: RELOADS,
+        versions_observed: outcome.versions,
+        elapsed_secs: outcome.elapsed_secs,
+        throughput_rps: outcome.throughput_rps,
+        latency: outcome.latency,
+        non_2xx: outcome.non_2xx,
+        bit_exact_per_version: outcome.bit_exact,
+    };
+
+    // Phase 3: deliberate backpressure. Pause the batcher, fill the
+    // admission queue with blocked in-flight requests, and require the
+    // overflow request to bounce with a deterministic 429 — then recover.
+    server.pause_intake();
+    let sample = stream[0].clone();
+    let blocked: Vec<std::thread::JoinHandle<u16>> = (0..queue_capacity)
+        .map(|_| {
+            let request = sample.clone();
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("frontend: connect while paused");
+                let body = serde::json::to_string(&request);
+                http_roundtrip(&mut conn, "POST", "/score", Some(&body))
+                    .expect("frontend: blocked request dropped")
+                    .status
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while server.queued_jobs() < queue_capacity {
+        assert!(
+            Instant::now() < deadline,
+            "backpressure phase: queue never filled ({} of {queue_capacity})",
+            server.queued_jobs()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut conn = TcpStream::connect(addr).expect("frontend: connect for overflow");
+    let body = serde::json::to_string(&sample);
+    let rejected = http_roundtrip(&mut conn, "POST", "/score", Some(&body)).expect("frontend: overflow round trip");
+    assert_eq!(
+        rejected.status, 429,
+        "overflow beyond the admission queue must bounce with 429, got {}: {}",
+        rejected.status, rejected.body
+    );
+    server.resume_intake();
+    for handle in blocked {
+        let status = handle.join().expect("blocked client panicked");
+        assert_eq!(status, 200, "a queued request was dropped instead of scored");
+    }
+    let recovered = http_roundtrip(&mut conn, "POST", "/score", Some(&body)).expect("frontend: recovery round trip");
+    assert_eq!(recovered.status, 200, "server did not recover after backpressure");
+    println!("frontend backpressure: queue {queue_capacity} filled, overflow bounced 429, recovered");
+    let backpressure = FrontendBackpressure {
+        queue_capacity,
+        deliberate_rejections_429: 1,
+        recovered_2xx: true,
+    };
+
+    let statuses = server.stats();
+    assert_eq!(statuses.responses_4xx, 0, "unexpected 4xx responses: {statuses:?}");
+    assert_eq!(statuses.responses_5xx, 0, "unexpected 5xx responses: {statuses:?}");
+    assert_eq!(
+        statuses.responses_429, backpressure.deliberate_rejections_429,
+        "429s outside the deliberate backpressure phase: {statuses:?}"
+    );
+    server.shutdown();
+    FrontendBench {
+        threads,
+        queue_capacity,
+        max_batch,
+        batch_window_us,
+        replay,
+        reload,
+        backpressure,
+        statuses,
+    }
 }

@@ -20,6 +20,11 @@
 //!   perf tradeoff.  Likewise a comparison that yields zero metrics
 //!   (schema drift) or a non-finite metric value is a failure, never a
 //!   vacuous pass.
+//! * **Front-end block** (`frontend.replay` socket round-trips,
+//!   `frontend.reload` latency under hot reload): absolute metrics follow
+//!   the same same-hardware + noise-floor rules; the bit-exactness
+//!   attestations (`bit_exact`, `bit_exact_per_version`) are hard-gated
+//!   like `round_trip_bit_exact` once the committed baseline carries them.
 
 use serde::{json, Value};
 use std::fmt;
@@ -354,40 +359,102 @@ pub fn diff_serve(baseline: &Value, current: &Value, config: &DiffConfig, report
             if !hardware_matches {
                 continue;
             }
-            push_metric(
-                report,
-                &format!("{prefix}.throughput_rps"),
-                field_num(run, "throughput_rps"),
-                field_num(matching, "throughput_rps"),
-                Direction::HigherIsBetter,
-                config.tolerance,
-            );
-            for pct in ["p50_us", "p95_us", "p99_us"] {
-                let base_latency = run.get("latency").and_then(|l| field_num(l, pct));
-                let current_latency = matching.get("latency").and_then(|l| field_num(l, pct));
-                if let (Some(b), Some(c)) = (base_latency, current_latency) {
-                    if b < config.latency_floor_us && c < config.latency_floor_us {
-                        report.metrics.push(MetricDiff {
-                            name: format!("{prefix}.latency.{pct}"),
-                            baseline: b,
-                            current: c,
-                            direction: Direction::LowerIsBetter,
-                            change: 0.0,
-                            status: Status::Skipped(format!("below {}µs noise floor", config.latency_floor_us)),
-                        });
-                        continue;
-                    }
-                }
-                push_metric(
-                    report,
-                    &format!("{prefix}.latency.{pct}"),
-                    base_latency,
-                    current_latency,
-                    Direction::LowerIsBetter,
-                    config.tolerance,
-                );
+            diff_run_metrics(report, &prefix, run, matching, config);
+        }
+    }
+    diff_frontend(baseline, current, config, hardware_matches, report);
+}
+
+/// Compares one replay run's absolute metrics (`throughput_rps` plus the
+/// latency percentiles under the noise floor) — shared by the in-process
+/// replay modes and the HTTP front-end blocks.
+fn diff_run_metrics(report: &mut DiffReport, prefix: &str, base_run: &Value, current_run: &Value, config: &DiffConfig) {
+    push_metric(
+        report,
+        &format!("{prefix}.throughput_rps"),
+        field_num(base_run, "throughput_rps"),
+        field_num(current_run, "throughput_rps"),
+        Direction::HigherIsBetter,
+        config.tolerance,
+    );
+    for pct in ["p50_us", "p95_us", "p99_us"] {
+        let base_latency = base_run.get("latency").and_then(|l| field_num(l, pct));
+        let current_latency = current_run.get("latency").and_then(|l| field_num(l, pct));
+        if let (Some(b), Some(c)) = (base_latency, current_latency) {
+            if b < config.latency_floor_us && c < config.latency_floor_us {
+                report.metrics.push(MetricDiff {
+                    name: format!("{prefix}.latency.{pct}"),
+                    baseline: b,
+                    current: c,
+                    direction: Direction::LowerIsBetter,
+                    change: 0.0,
+                    status: Status::Skipped(format!("below {}µs noise floor", config.latency_floor_us)),
+                });
+                continue;
             }
         }
+        push_metric(
+            report,
+            &format!("{prefix}.latency.{pct}"),
+            base_latency,
+            current_latency,
+            Direction::LowerIsBetter,
+            config.tolerance,
+        );
+    }
+}
+
+/// Diffs the HTTP front-end block (`frontend.replay` socket round-trip
+/// latency, `frontend.reload` latency-under-reload). Correctness
+/// attestations (`bit_exact`, `bit_exact_per_version`) are hard-gated like
+/// `round_trip_bit_exact` *once the baseline carries them*: from then on a
+/// current run where they are false, renamed or missing fails the gate —
+/// socket-vs-in-process bit-exactness cannot silently stop being attested.
+fn diff_frontend(
+    baseline: &Value,
+    current: &Value,
+    config: &DiffConfig,
+    hardware_matches: bool,
+    report: &mut DiffReport,
+) {
+    let Some(base_front) = baseline.get("frontend") else {
+        if current.get("frontend").is_some() {
+            report
+                .notes
+                .push("serve.frontend: absent from the baseline, not compared — refresh out/baseline/".to_string());
+        }
+        return;
+    };
+    let current_front = current.get("frontend");
+    for (section, flag) in [("replay", "bit_exact"), ("reload", "bit_exact_per_version")] {
+        let attested_in_baseline = base_front.get(section).and_then(|s| s.get(flag)).is_some();
+        let current_flag = current_front.and_then(|f| f.get(section)).and_then(|s| s.get(flag));
+        if attested_in_baseline && current_flag != Some(&Value::Bool(true)) {
+            report.metrics.push(MetricDiff {
+                name: format!("serve.frontend.{section}.{flag}"),
+                baseline: 1.0,
+                current: 0.0,
+                direction: Direction::HigherIsBetter,
+                change: -1.0,
+                status: Status::Regressed,
+            });
+        }
+    }
+    if !hardware_matches {
+        return;
+    }
+    for section in ["replay", "reload"] {
+        let (Some(base_run), Some(current_run)) = (base_front.get(section), current_front.and_then(|f| f.get(section)))
+        else {
+            continue;
+        };
+        diff_run_metrics(
+            report,
+            &format!("serve.frontend.{section}"),
+            base_run,
+            current_run,
+            config,
+        );
     }
 }
 
@@ -625,6 +692,151 @@ mod tests {
             .regressions()
             .iter()
             .any(|m| m.name == "serve.round_trip_bit_exact"));
+    }
+
+    fn serve_json_with_frontend(
+        parallelism: u32,
+        reload_p99: f64,
+        replay_bit_exact: bool,
+        reload_bit_exact: bool,
+    ) -> String {
+        format!(
+            r#"{{"available_parallelism": {parallelism}, "round_trip_bit_exact": true,
+                 "aggregation": {{"soa_speedup": 1.5}},
+                 "runs_uncached": [], "runs_cached": [],
+                 "frontend": {{
+                    "replay": {{"throughput_rps": 5000.0, "bit_exact": {replay_bit_exact},
+                                "latency": {{"p50_us": 80.0, "p95_us": 150.0, "p99_us": 200.0}}}},
+                    "reload": {{"throughput_rps": 4500.0, "bit_exact_per_version": {reload_bit_exact},
+                                "latency": {{"p50_us": 85.0, "p95_us": 160.0, "p99_us": {reload_p99}}}}}
+                 }}}}"#
+        )
+    }
+
+    #[test]
+    fn latency_exactly_at_the_noise_floor_is_signal_not_noise() {
+        // The floor is exclusive: percentiles *at* the 20µs floor are
+        // compared (only strictly-below-floor pairs are timer jitter), so a
+        // regression from exactly 20µs must fail, not be skipped.
+        let report = run(
+            &serve_json(1, 1e6, 20.0, 1.5, true),
+            &serve_json(1, 1e6, 40.0, 1.5, true), // +100% p99 from the boundary
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert!(regressed[0].name.contains("p99"));
+        // One microsecond under the floor on both sides: skipped.
+        let report = run(
+            &serve_json(1, 1e6, 19.0, 1.5, true),
+            &serve_json(1, 1e6, 19.99, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report
+            .metrics
+            .iter()
+            .any(|m| m.name.contains("p99") && matches!(m.status, Status::Skipped(_))));
+    }
+
+    #[test]
+    fn cross_hardware_ratio_drift_within_loosened_tolerance_passes() {
+        // Different CPU budgets loosen ratio gating by cross_hardware_factor
+        // (2× → 50%): a 33% speedup drop would fail same-hardware but must
+        // pass cross-hardware, while the matching-hardware run still fails.
+        let cross_train = r#"{"available_parallelism": 4, "aggregation": {"soa_speedup": 1.2},
+                 "points": [{"inputs": 500, "single_thread_speedup": 10.0}]}"#;
+        let cross = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(4, 4e6, 10.0, 1.2, true), // agg 1.5 → 1.2 (-20%)
+            &train_json(15.0, 1.5),
+            cross_train, // speedup 15 → 10 (-33%) on different hardware
+        );
+        assert!(cross.regressions().is_empty(), "{cross}");
+        assert!(cross.notes.iter().any(|n| n.contains("available_parallelism")));
+        let same = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(10.0, 1.2), // same -33% on matching hardware
+        );
+        let regressed = same.regressions();
+        assert_eq!(regressed.len(), 1, "{same}");
+        assert!(regressed[0].name.contains("single_thread_speedup"));
+    }
+
+    #[test]
+    fn frontend_attestations_are_hard_gated_once_baselined() {
+        // Baseline attests socket bit-exactness; a current run where the
+        // attestation is false must fail…
+        let report = run(
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &serve_json_with_frontend(1, 200.0, false, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.replay.bit_exact"),
+            "{report}"
+        );
+        // …and so must a current run that lost the frontend block entirely
+        // (schema drift disarming the gate).
+        let report = run(
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let names: Vec<&str> = report.regressions().iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"serve.frontend.replay.bit_exact"), "{report}");
+        assert!(
+            names.contains(&"serve.frontend.reload.bit_exact_per_version"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn frontend_only_in_current_notes_a_baseline_refresh() {
+        // The reverse direction: a baseline recorded before the front-end
+        // existed compares nothing frontend — it only notes the refresh.
+        let report = run(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report.notes.iter().any(|n| n.contains("serve.frontend")), "{report}");
+    }
+
+    #[test]
+    fn frontend_latency_under_reload_regression_fails() {
+        let report = run(
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &serve_json_with_frontend(1, 500.0, true, true), // +150% reload p99
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert_eq!(regressed[0].name, "serve.frontend.reload.latency.p99_us");
+        // Cross-hardware, the same absolute drift is skipped entirely.
+        let report = run(
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &serve_json_with_frontend(4, 500.0, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(!report
+            .metrics
+            .iter()
+            .any(|m| m.name.contains("frontend.reload.latency")));
     }
 
     #[test]

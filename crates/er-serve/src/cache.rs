@@ -184,6 +184,80 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_insert_then_insert_again_stays_empty() {
+        // Re-inserting into a capacity-0 cache must not panic or leak slots
+        // (the eviction branch must never run when nothing was stored).
+        let mut cache = LruCache::new(0);
+        for _ in 0..3 {
+            cache.insert(42u64, 1.0f64);
+            cache.insert(42u64, 2.0f64);
+        }
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(&42), None);
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn evicted_key_can_be_reinserted() {
+        // Eviction recycles the slab slot in place; a re-insert of the
+        // evicted key must land in a (possibly recycled) slot with the new
+        // value and full recency, not resurrect the stale mapping.
+        let mut cache = LruCache::new(2);
+        cache.insert(1u64, 10.0f64);
+        cache.insert(2, 20.0);
+        cache.insert(3, 30.0); // evicts 1
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 11.0); // re-insert the evicted key (evicts 2)
+        assert_eq!(cache.get(&1), Some(11.0), "re-inserted key serves the new value");
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&3), Some(30.0));
+        assert_eq!(cache.len(), 2);
+        // The slab must not have grown beyond capacity while recycling.
+        cache.insert(4, 40.0);
+        cache.insert(5, 50.0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn a_hit_reorders_eviction_to_spare_the_touched_key() {
+        // Fill to capacity, touch the oldest entry, then insert: the victim
+        // must be the least recently *used* entry, not the oldest insert.
+        let mut cache = LruCache::new(3);
+        cache.insert(1u64, 1.0f64);
+        cache.insert(2, 2.0);
+        cache.insert(3, 3.0);
+        assert_eq!(cache.get(&1), Some(1.0)); // recency now [1, 3, 2]
+        cache.insert(4, 4.0); // must evict 2
+        assert_eq!(cache.get(&2), None, "hit on 1 must redirect eviction to 2");
+        assert_eq!(cache.get(&1), Some(1.0));
+        assert_eq!(cache.get(&3), Some(3.0));
+        assert_eq!(cache.get(&4), Some(4.0));
+        // Chain of hits: touching 3 then 1 leaves 4 as the victim.
+        cache.get(&3);
+        cache.get(&1);
+        cache.insert(5, 5.0);
+        assert_eq!(cache.get(&4), None);
+        assert_eq!(cache.get(&3), Some(3.0));
+    }
+
+    #[test]
+    fn single_slot_refresh_does_not_evict_itself() {
+        // Capacity 1 + insert of the *same* key must take the refresh path,
+        // not evict-then-reinsert (which would churn the slab pointlessly
+        // and, with a buggy detach, corrupt the single-node list).
+        let mut cache = LruCache::new(1);
+        cache.insert(9u64, 1.0f64);
+        cache.insert(9, 2.0);
+        assert_eq!(cache.get(&9), Some(2.0));
+        assert_eq!(cache.len(), 1);
+        // And a hit on the only entry must be a no-op reorder.
+        assert_eq!(cache.get(&9), Some(2.0));
+        cache.insert(10, 3.0);
+        assert_eq!(cache.get(&9), None);
+        assert_eq!(cache.get(&10), Some(3.0));
+    }
+
+    #[test]
     fn stress_against_a_naive_model() {
         // Mirror the cache against a brute-force recency list.
         let mut cache = LruCache::new(8);

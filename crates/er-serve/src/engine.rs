@@ -96,6 +96,13 @@ impl ScoringEngine {
         &self.index
     }
 
+    /// Shortest metric row this engine can score (delegates to the index);
+    /// the serving front-end uses this to turn short rows into 422 responses
+    /// instead of worker panics.
+    pub fn required_row_len(&self) -> usize {
+        self.index.required_row_len()
+    }
+
     /// Creates scratch state sized for this engine.
     pub fn scratch(&self) -> EngineScratch {
         EngineScratch {

@@ -61,6 +61,12 @@ impl ServeConfig {
     pub fn with_threads(self, threads: usize) -> Self {
         Self { threads, ..self }
     }
+
+    /// This configuration with a different total cache capacity (0 disables
+    /// the score cache).
+    pub fn with_cache_capacity(self, cache_capacity: usize) -> Self {
+        Self { cache_capacity, ..self }
+    }
 }
 
 /// Cache hit/miss counters of an executor.

@@ -19,6 +19,13 @@
 //!   traffic.
 //! * [`executor`] — [`ShardedExecutor`]: N scoped worker threads over a
 //!   batch plus a shard-locked result cache keyed on pair id.
+//! * [`reload`] — [`ReloadableExecutor`]: versioned artifact hot-reload
+//!   (load → validate → verify round trip → atomic swap), so a retrained
+//!   model rolls out without draining traffic and every response is
+//!   attributable to exactly one artifact version.
+//! * [`server`] — [`ScoreServer`]: a dependency-free HTTP/1.1 front-end with
+//!   a bounded admission queue, micro-batching windows coalescing requests
+//!   into `try_score_batch` calls, and deterministic 429/503 backpressure.
 //! * [`replay`] — a Zipf-skewed synthetic traffic generator and a
 //!   closed-loop replay harness reporting throughput and p50/p95/p99
 //!   latency.
@@ -30,11 +37,15 @@ pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod index;
+pub mod reload;
 pub mod replay;
+pub mod server;
 
 pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
 pub use cache::LruCache;
 pub use engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
 pub use executor::{BatchScoreError, CacheStats, ServeConfig, ShardedExecutor};
 pub use index::{CompiledRuleIndex, MatchScratch, RowLengthError};
-pub use replay::{run_replay, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};
+pub use reload::{synthesize_probes, ReloadError, ReloadableExecutor, VersionedExecutor};
+pub use replay::{run_replay, summarize_latencies, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};
+pub use server::{http_roundtrip, parse_score_response, HttpResponse, ScoreServer, ServerConfig, ServerStats};

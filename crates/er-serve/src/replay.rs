@@ -139,6 +139,15 @@ pub fn run_replay(executor: &ShardedExecutor, stream: &[ScoreRequest]) -> Replay
     }
 }
 
+/// Sorts raw per-request latencies (nanoseconds) and summarizes them with
+/// the same percentile definitions the in-process replay reports — shared
+/// with `serve_bench`'s HTTP front-end replay so socket and in-process
+/// latency series are directly comparable.
+pub fn summarize_latencies(latencies_ns: &mut [u64]) -> LatencySummary {
+    latencies_ns.sort_unstable();
+    summarize(latencies_ns)
+}
+
 fn replay_worker(executor: &ShardedExecutor, requests: &[ScoreRequest]) -> Vec<u64> {
     let mut scratch = executor.engine().scratch();
     let mut latencies = Vec::with_capacity(requests.len());

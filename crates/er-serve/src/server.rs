@@ -1,0 +1,1198 @@
+//! A dependency-free HTTP/1.1 front-end over [`std::net::TcpListener`].
+//!
+//! The serving lifecycle the rest of the crate builds toward: a
+//! [`ScoreServer`] accepts connections, admits scoring requests into a
+//! **bounded queue**, and a batcher thread coalesces admitted requests into
+//! **micro-batches** (up to [`ServerConfig::max_batch`] requests or
+//! [`ServerConfig::batch_window`], whichever comes first) scored through one
+//! [`crate::ShardedExecutor::try_score_batch`] call per window. Every
+//! micro-batch is scored through a single [`ReloadableExecutor`] snapshot, so
+//! each HTTP response carries exactly one artifact version (the
+//! `model_version` field / `X-Model-Version` header) even while a hot reload
+//! is in flight.
+//!
+//! **Backpressure is explicit and deterministic**: when the admission queue
+//! is full the server answers `429 Too Many Requests` immediately (with a
+//! JSON error body and `Retry-After: 0`), and once shutdown has begun it
+//! answers `503 Service Unavailable` — requests are never silently dropped
+//! and connections are never severed mid-request.
+//!
+//! ## Wire format
+//!
+//! | Method & path      | Body                                   | Success |
+//! |--------------------|----------------------------------------|---------|
+//! | `POST /score`      | one [`ScoreRequest`] object or an array | `200` `{"model_version": v, "scores": [..]}` |
+//! | `GET /healthz`     | —                                      | `200` `{"status": "ok", "model_version": v}` |
+//! | `GET /version`     | —                                      | `200` `{"model_version": v, "producer": .., "format_version": ..}` |
+//! | `GET /stats`       | —                                      | `200` response counters + micro-batch stats |
+//! | `POST /reload`     | `{"path": "artifact.json"}`            | `200` `{"model_version": v+1}` |
+//! | `POST /admin/pause` / `POST /admin/resume` | —              | `200` `{"paused": ..}` |
+//!
+//! Error responses always carry a JSON `{"error": ..}` body: `400` malformed
+//! HTTP or JSON, `404`/`405` unknown path/method, `409` refused reload (the
+//! old version keeps serving), `413` oversized body, `422` well-formed but
+//! unscorable request (e.g. short metric row, with `request_index`), `429`
+//! admission queue full, `503` draining. Scores round-trip **bit-exactly**
+//! over the wire: the JSON float encoding is shortest-round-trip (see the
+//! vendored `serde`), so socket scores equal in-process scores to the last
+//! `f64` bit — the integration suite asserts exactly that.
+
+use crate::engine::ScoreRequest;
+use crate::reload::ReloadableExecutor;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`ScoreServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Maximum admitted-but-unscored jobs (one HTTP scoring request = one
+    /// job); the queue answers 429 beyond this.
+    pub queue_capacity: usize,
+    /// Micro-batch size: the batcher closes a window once this many requests
+    /// have coalesced.
+    pub max_batch: usize,
+    /// Micro-batch window: the longest the batcher waits for more requests
+    /// after the first one arrives.
+    pub batch_window: Duration,
+    /// Maximum accepted request-body size in bytes (413 beyond it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 256,
+            max_batch: 128,
+            batch_window: Duration::from_micros(200),
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Response and micro-batching counters of a running server (a monotonic
+/// snapshot; the smoke tiers assert "zero non-2xx outside the deliberate
+/// backpressure phase" from these).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Successful responses (2xx).
+    pub responses_2xx: u64,
+    /// Client errors other than backpressure (400/404/405/413/422).
+    pub responses_4xx: u64,
+    /// Backpressure rejections (429).
+    pub responses_429: u64,
+    /// Server errors including draining 503s.
+    pub responses_5xx: u64,
+    /// Micro-batches scored.
+    pub batches: u64,
+    /// Requests scored across all micro-batches (`/ batches` = mean
+    /// coalescing factor).
+    pub batched_requests: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_429: AtomicU64,
+    responses_5xx: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl StatCounters {
+    fn count_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            429 => &self.responses_429,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_429: self.responses_429.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+// ---------------------------------------------------------------------------
+
+/// A scoring job failed; maps to a 422 response.
+#[derive(Debug, Clone)]
+struct JobFailure {
+    request_index: usize,
+    message: String,
+}
+
+type JobOutcome = Result<(u64, Vec<f64>), JobFailure>;
+
+struct Job {
+    requests: Vec<ScoreRequest>,
+    reply: SyncSender<JobOutcome>,
+}
+
+enum AdmitError {
+    /// Queue at capacity → 429.
+    Full,
+    /// Server draining → 503.
+    Closed,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    paused: bool,
+    closed: bool,
+}
+
+/// The bounded admission queue between connection handlers and the batcher.
+struct AdmissionQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, job: Job) -> Result<(), AdmitError> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if inner.closed {
+            return Err(AdmitError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(AdmitError::Full);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("admission queue poisoned").jobs.len()
+    }
+
+    fn set_paused(&self, paused: bool) {
+        self.inner.lock().expect("admission queue poisoned").paused = paused;
+        self.ready.notify_all();
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("admission queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for work, then coalesces jobs into one micro-batch: drains
+    /// until `max_requests` requests have accumulated or `window` has passed
+    /// since the first job was taken. Returns `None` when the queue is closed
+    /// and fully drained (pause is ignored once closed, so shutdown never
+    /// strands an admitted job).
+    fn pop_batch(&self, max_requests: usize, window: Duration) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if inner.closed {
+                if inner.jobs.is_empty() {
+                    return None;
+                }
+                break;
+            }
+            if !inner.paused && !inner.jobs.is_empty() {
+                break;
+            }
+            inner = self.ready.wait(inner).expect("admission queue poisoned");
+        }
+        let mut batch = Vec::new();
+        let mut total = 0usize;
+        Self::drain_into(&mut inner, &mut batch, &mut total, max_requests);
+        if total < max_requests && !inner.closed {
+            let deadline = Instant::now() + window;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .expect("admission queue poisoned");
+                inner = guard;
+                if !inner.paused || inner.closed {
+                    Self::drain_into(&mut inner, &mut batch, &mut total, max_requests);
+                }
+                if total >= max_requests || inner.closed {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    fn drain_into(inner: &mut QueueInner, batch: &mut Vec<Job>, total: &mut usize, max_requests: usize) {
+        while *total < max_requests {
+            let Some(job) = inner.jobs.pop_front() else { break };
+            *total += job.requests.len().max(1);
+            batch.push(job);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    executor: Arc<ReloadableExecutor>,
+    queue: AdmissionQueue,
+    stats: StatCounters,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running HTTP scoring server; see the [module docs](self) for the wire
+/// format. Dropping the handle shuts the server down gracefully (drains the
+/// admitted queue, joins every thread).
+pub struct ScoreServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScoreServer {
+    /// Binds `config.addr` and starts the acceptor and batcher threads.
+    /// The caller keeps the [`ReloadableExecutor`] handle, so in-process
+    /// reloads and the HTTP `POST /reload` endpoint coexist.
+    pub fn start(executor: Arc<ReloadableExecutor>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            executor,
+            queue: AdmissionQueue::new(config.queue_capacity),
+            stats: StatCounters::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batch_loop(shared))
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The hot-reloadable serving state behind this server.
+    pub fn executor(&self) -> &Arc<ReloadableExecutor> {
+        &self.shared.executor
+    }
+
+    /// Response/batching counters since start.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Admitted-but-unscored jobs currently queued.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Stops the batcher from draining the queue (requests keep being
+    /// admitted until the queue fills and 429s begin) — the deliberate
+    /// backpressure switch the smoke tiers flip. Also reachable over the
+    /// wire via `POST /admin/pause`.
+    pub fn pause_intake(&self) {
+        self.shared.queue.set_paused(true);
+    }
+
+    /// Resumes draining after [`Self::pause_intake`].
+    pub fn resume_intake(&self) {
+        self.shared.queue.set_paused(false);
+    }
+
+    /// Graceful shutdown: stop accepting, answer in-flight admissions with
+    /// 503, score every already-admitted job, join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue.close();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScoreServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Reap finished handlers so a long-lived server over many
+        // short-lived connections holds join state only for live ones.
+        handlers.retain(|handle| !handle.is_finished());
+        let shared = Arc::clone(&shared);
+        handlers.push(std::thread::spawn(move || handle_connection(stream, shared)));
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn batch_loop(shared: Arc<Shared>) {
+    loop {
+        let Some(batch) = shared
+            .queue
+            .pop_batch(shared.config.max_batch, shared.config.batch_window)
+        else {
+            return;
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        // One snapshot per micro-batch: every response in it is attributable
+        // to exactly this artifact version, even mid-reload.
+        let snapshot = shared.executor.snapshot();
+        let total: usize = batch.iter().map(|j| j.requests.len()).sum();
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared.stats.batched_requests.fetch_add(total as u64, Ordering::Relaxed);
+        let all: Vec<ScoreRequest> = batch.iter().flat_map(|j| j.requests.iter().cloned()).collect();
+        match snapshot.executor().try_score_batch(&all) {
+            Ok(scores) => {
+                let mut offset = 0;
+                for job in batch {
+                    let slice = scores[offset..offset + job.requests.len()].to_vec();
+                    offset += job.requests.len();
+                    let _ = job.reply.send(Ok((snapshot.version, slice)));
+                }
+            }
+            Err(_) => {
+                // At least one coalesced request is malformed. Re-score per
+                // job so only the offending response degrades to 422 and the
+                // innocent neighbors in the same window still get scores.
+                for job in batch {
+                    let outcome = snapshot
+                        .executor()
+                        .try_score_batch(&job.requests)
+                        .map(|scores| (snapshot.version, scores))
+                        .map_err(|e| JobFailure {
+                            request_index: e.request_index,
+                            message: e.to_string(),
+                        });
+                    let _ = job.reply.send(outcome);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// How long a handler waits for the batcher to score its job.
+const SCORE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut stream = stream;
+    let mut buffer: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        let request = match read_http_request(&mut stream, &mut buffer, &shared) {
+            Ok(Some(request)) => request,
+            // Clean close (EOF between requests, or shutdown while idle).
+            Ok(None) => return,
+            Err(failure) => {
+                let _ = respond_json(
+                    &mut stream,
+                    &shared,
+                    failure.status,
+                    &error_body(&failure.message, None),
+                    &[],
+                );
+                return;
+            }
+        };
+        let close_after = request.close;
+        route(&mut stream, &shared, &request);
+        if close_after {
+            return;
+        }
+    }
+}
+
+struct ParsedRequest {
+    method: String,
+    path: String,
+    body: String,
+    close: bool,
+}
+
+struct RequestFailure {
+    status: u16,
+    message: String,
+}
+
+impl RequestFailure {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request from the stream, polling the shutdown flag on
+/// read timeouts. `Ok(None)` means the connection closed cleanly.
+fn read_http_request(
+    stream: &mut TcpStream,
+    buffer: &mut Vec<u8>,
+    shared: &Shared,
+) -> Result<Option<ParsedRequest>, RequestFailure> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = find_head_end(buffer) {
+            let head = std::str::from_utf8(&buffer[..head_end])
+                .map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
+            let (method, path, content_length, close) = parse_head(head)?;
+            if content_length > shared.config.max_body_bytes {
+                return Err(RequestFailure::new(
+                    413,
+                    format!(
+                        "request body of {content_length} bytes exceeds the {}-byte limit",
+                        shared.config.max_body_bytes
+                    ),
+                ));
+            }
+            let total = head_end + 4 + content_length;
+            if buffer.len() >= total {
+                let body = String::from_utf8(buffer[head_end + 4..total].to_vec())
+                    .map_err(|_| RequestFailure::new(400, "request body is not UTF-8"))?;
+                buffer.drain(..total);
+                return Ok(Some(ParsedRequest {
+                    method,
+                    path,
+                    body,
+                    close,
+                }));
+            }
+        } else if buffer.len() > MAX_HEAD_BYTES {
+            return Err(RequestFailure::new(431, "request head too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buffer.is_empty() {
+                    return Ok(None);
+                }
+                return Err(RequestFailure::new(400, "connection closed mid-request"));
+            }
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                // Close on shutdown even mid-request: a half-received head
+                // can never be admitted, and waiting for its remainder would
+                // block the drain (and the joining acceptor) forever.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head(head: &str) -> Result<(String, String, usize, bool), RequestFailure> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(RequestFailure::new(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestFailure::new(400, format!("unsupported protocol {version}")));
+    }
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| RequestFailure::new(400, format!("bad Content-Length {value:?}")))?;
+            }
+            "transfer-encoding" => {
+                return Err(RequestFailure::new(
+                    400,
+                    "chunked bodies are not supported; send Content-Length",
+                ));
+            }
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    Ok((method.to_string(), path.to_string(), content_length, close))
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct ScoreResponse {
+    model_version: u64,
+    scores: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct ErrorResponse {
+    error: String,
+    request_index: Option<usize>,
+}
+
+#[derive(Serialize)]
+struct HealthResponse {
+    status: String,
+    model_version: u64,
+}
+
+#[derive(Serialize)]
+struct VersionResponse {
+    model_version: u64,
+    producer: String,
+    format_version: u32,
+}
+
+#[derive(Serialize)]
+struct ReloadResponse {
+    model_version: u64,
+}
+
+#[derive(Deserialize)]
+struct ReloadRequest {
+    path: String,
+}
+
+#[derive(Serialize)]
+struct PausedResponse {
+    paused: bool,
+}
+
+fn error_body(message: &str, request_index: Option<usize>) -> String {
+    serde::json::to_string(&ErrorResponse {
+        error: message.to_string(),
+        request_index,
+    })
+}
+
+fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest) {
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/score") => handle_score(stream, shared, &request.body),
+        ("GET", "/healthz") => {
+            let body = serde::json::to_string(&HealthResponse {
+                status: "ok".to_string(),
+                model_version: shared.executor.version(),
+            });
+            respond_json(stream, shared, 200, &body, &[])
+        }
+        ("GET", "/version") => {
+            let snapshot = shared.executor.snapshot();
+            let body = serde::json::to_string(&VersionResponse {
+                model_version: snapshot.version,
+                producer: snapshot.producer.clone(),
+                format_version: crate::artifact::FORMAT_VERSION,
+            });
+            respond_json(stream, shared, 200, &body, &[])
+        }
+        ("GET", "/stats") => {
+            let body = serde::json::to_string(&shared.stats.snapshot());
+            respond_json(stream, shared, 200, &body, &[])
+        }
+        ("POST", "/reload") => handle_reload(stream, shared, &request.body),
+        ("POST", "/admin/pause") => {
+            shared.queue.set_paused(true);
+            respond_json(
+                stream,
+                shared,
+                200,
+                &serde::json::to_string(&PausedResponse { paused: true }),
+                &[],
+            )
+        }
+        ("POST", "/admin/resume") => {
+            shared.queue.set_paused(false);
+            respond_json(
+                stream,
+                shared,
+                200,
+                &serde::json::to_string(&PausedResponse { paused: false }),
+                &[],
+            )
+        }
+        (_, "/score" | "/healthz" | "/version" | "/stats" | "/reload" | "/admin/pause" | "/admin/resume") => {
+            respond_json(stream, shared, 405, &error_body("method not allowed", None), &[])
+        }
+        _ => respond_json(
+            stream,
+            shared,
+            404,
+            &error_body(&format!("no route for {}", request.path), None),
+            &[],
+        ),
+    };
+    let _ = result;
+}
+
+fn parse_score_body(body: &str) -> Result<Vec<ScoreRequest>, String> {
+    let value = serde::json::parse(body).map_err(|e| format!("malformed JSON body: {e}"))?;
+    match &value {
+        serde::Value::Seq(_) => serde::from_value::<Vec<ScoreRequest>>(&value).map_err(|e| e.to_string()),
+        serde::Value::Map(_) => serde::from_value::<ScoreRequest>(&value)
+            .map(|r| vec![r])
+            .map_err(|e| e.to_string()),
+        other => Err(format!("expected a request object or array, found {}", other.kind())),
+    }
+}
+
+fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Result<()> {
+    let requests = match parse_score_body(body) {
+        Ok(requests) => requests,
+        Err(message) => return respond_json(stream, shared, 400, &error_body(&message, None), &[]),
+    };
+    if requests.is_empty() {
+        let body = serde::json::to_string(&ScoreResponse {
+            model_version: shared.executor.version(),
+            scores: Vec::new(),
+        });
+        return respond_json(stream, shared, 200, &body, &[]);
+    }
+    let (reply, outcome) = sync_channel::<JobOutcome>(1);
+    match shared.queue.push(Job { requests, reply }) {
+        Err(AdmitError::Full) => {
+            return respond_json(
+                stream,
+                shared,
+                429,
+                &error_body("admission queue full; retry", None),
+                &[("Retry-After", "0".to_string())],
+            );
+        }
+        Err(AdmitError::Closed) => {
+            return respond_json(stream, shared, 503, &error_body("server is draining", None), &[]);
+        }
+        Ok(()) => {}
+    }
+    match outcome.recv_timeout(SCORE_REPLY_TIMEOUT) {
+        Ok(Ok((model_version, scores))) => {
+            let body = serde::json::to_string(&ScoreResponse { model_version, scores });
+            respond_json(
+                stream,
+                shared,
+                200,
+                &body,
+                &[("X-Model-Version", model_version.to_string())],
+            )
+        }
+        Ok(Err(failure)) => respond_json(
+            stream,
+            shared,
+            422,
+            &error_body(&failure.message, Some(failure.request_index)),
+            &[],
+        ),
+        Err(_) => respond_json(stream, shared, 500, &error_body("scoring pipeline stalled", None), &[]),
+    }
+}
+
+fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Result<()> {
+    let request: ReloadRequest = match serde::json::from_str(body) {
+        Ok(request) => request,
+        Err(e) => {
+            return respond_json(
+                stream,
+                shared,
+                400,
+                &error_body(&format!("malformed reload body (expected {{\"path\": ..}}): {e}"), None),
+                &[],
+            )
+        }
+    };
+    match shared.executor.reload_from_path(&request.path, &[]) {
+        Ok(model_version) => {
+            let body = serde::json::to_string(&ReloadResponse { model_version });
+            respond_json(
+                stream,
+                shared,
+                200,
+                &body,
+                &[("X-Model-Version", model_version.to_string())],
+            )
+        }
+        // The old version keeps serving; 409 tells the operator the rollout
+        // did not happen.
+        Err(e) => respond_json(stream, shared, 409, &error_body(&e.to_string(), None), &[]),
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn respond_json(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    shared.stats.count_status(status);
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status_reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
+    stream.write_all(response.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal blocking client (tests, benches, smoke tiers)
+// ---------------------------------------------------------------------------
+
+/// A parsed HTTP response from [`http_roundtrip`].
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one HTTP/1.1 request over an existing connection and reads the
+/// response (Content-Length framed). This is the raw-socket client the
+/// integration tests and `serve_bench`'s front-end replay drive the server
+/// with — deliberately minimal, not a general HTTP client.
+pub fn http_roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: er-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    read_http_response(stream)
+}
+
+fn read_http_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+    let mut buffer = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buffer) {
+            break end;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ))
+            }
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    let head = String::from_utf8(buffer[..head_end].to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))?;
+    Ok(HttpResponse { status, headers, body })
+}
+
+/// Parses the `{"model_version": v, "scores": [..]}` body of a successful
+/// `POST /score` response.
+pub fn parse_score_response(body: &str) -> Result<(u64, Vec<f64>), serde::Error> {
+    #[derive(Deserialize)]
+    struct Wire {
+        model_version: u64,
+        scores: Vec<f64>,
+    }
+    let wire: Wire = serde::json::from_str(body)?;
+    Ok((wire.model_version, wire.scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScoringEngine;
+    use crate::executor::ServeConfig;
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+    use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+
+    fn model(weight0: f64) -> LearnRiskModel {
+        let rules = vec![
+            Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 20, 0.97),
+            Rule::new(vec![Condition::new(1, CmpOp::Le, 0.3)], Label::Equivalent, 15, 0.93),
+        ];
+        let fs = RiskFeatureSet {
+            rules,
+            metrics: vec![],
+            expectations: vec![0.05, 0.92],
+            support: vec![20, 15],
+        };
+        let mut m = LearnRiskModel::new(fs, RiskModelConfig::default());
+        m.rule_weights = vec![weight0, 0.7];
+        m
+    }
+
+    fn start_server(queue_capacity: usize) -> (ScoreServer, Arc<ReloadableExecutor>) {
+        let executor = Arc::new(ReloadableExecutor::new(
+            ScoringEngine::new(model(1.3)),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 64,
+                cache_shards: 4,
+            },
+        ));
+        let server = ScoreServer::start(
+            Arc::clone(&executor),
+            ServerConfig {
+                queue_capacity,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        (server, executor)
+    }
+
+    fn connect(server: &ScoreServer) -> TcpStream {
+        TcpStream::connect(server.local_addr()).expect("connect")
+    }
+
+    fn request_json(pair_id: u64, x: f64) -> String {
+        let request = ScoreRequest {
+            pair_id,
+            metric_row: vec![x, 1.0 - x],
+            classifier_output: x,
+            machine_says_match: x >= 0.5,
+        };
+        serde::json::to_string(&request)
+    }
+
+    #[test]
+    fn health_version_and_stats_respond() {
+        let (server, _executor) = start_server(16);
+        let mut stream = connect(&server);
+        let health = http_roundtrip(&mut stream, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"ok\""), "{}", health.body);
+        let version = http_roundtrip(&mut stream, "GET", "/version", None).expect("version");
+        assert_eq!(version.status, 200);
+        assert!(version.body.contains("\"model_version\":1"), "{}", version.body);
+        let stats = http_roundtrip(&mut stream, "GET", "/stats", None).expect("stats");
+        assert_eq!(stats.status, 200);
+        let parsed: ServerStats = serde::json::from_str(&stats.body).expect("stats body");
+        assert_eq!(parsed.responses_2xx, 2, "healthz + version preceded the stats call");
+    }
+
+    #[test]
+    fn scores_over_the_socket_match_in_process_bit_for_bit() {
+        let (server, executor) = start_server(16);
+        let requests: Vec<ScoreRequest> = (0..20)
+            .map(|i| {
+                let x = (i as f64 * 0.37).fract();
+                ScoreRequest {
+                    pair_id: i,
+                    metric_row: vec![x, 1.0 - x],
+                    classifier_output: x,
+                    machine_says_match: x >= 0.5,
+                }
+            })
+            .collect();
+        let expected = executor.snapshot().executor().score_batch(&requests);
+        let mut stream = connect(&server);
+        // Single-object form.
+        let single = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(0, 0.0))).expect("score");
+        assert_eq!(single.status, 200, "{}", single.body);
+        let (version, scores) = parse_score_response(&single.body).expect("body");
+        assert_eq!(version, 1);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].to_bits(), expected[0].to_bits());
+        assert_eq!(single.header("x-model-version"), Some("1"));
+        // Array form, coalesced through the same micro-batching path.
+        let body = serde::json::to_string(&requests);
+        let batch = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("score batch");
+        assert_eq!(batch.status, 200, "{}", batch.body);
+        let (_, scores) = parse_score_response(&batch.body).expect("body");
+        let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+        let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(bits, expected_bits);
+    }
+
+    #[test]
+    fn malformed_requests_get_deterministic_error_bodies_not_dropped_connections() {
+        let (server, _executor) = start_server(16);
+        let mut stream = connect(&server);
+        // Unparseable JSON → 400 with an error body.
+        let bad_json = http_roundtrip(&mut stream, "POST", "/score", Some("{not json")).expect("response");
+        assert_eq!(bad_json.status, 400);
+        assert!(bad_json.body.contains("\"error\""), "{}", bad_json.body);
+        // Parseable but unscorable (short metric row) → 422 with the index.
+        let short_row =
+            r#"[{"pair_id": 0, "metric_row": [0.5], "classifier_output": 0.5, "machine_says_match": true}]"#;
+        let unscorable = http_roundtrip(&mut stream, "POST", "/score", Some(short_row)).expect("response");
+        assert_eq!(unscorable.status, 422, "{}", unscorable.body);
+        assert!(unscorable.body.contains("\"request_index\":0"), "{}", unscorable.body);
+        // The same connection still serves well-formed traffic.
+        let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(1, 0.4))).expect("response");
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        // Unknown route and wrong method are 404/405, not hangs.
+        assert_eq!(
+            http_roundtrip(&mut stream, "GET", "/nope", None).expect("404").status,
+            404
+        );
+        assert_eq!(
+            http_roundtrip(&mut stream, "GET", "/score", None).expect("405").status,
+            405
+        );
+    }
+
+    #[test]
+    fn full_queue_backpressure_is_429_and_recovers() {
+        let (server, _executor) = start_server(2);
+        server.pause_intake();
+        // Two in-flight jobs fill the queue (their handlers block on the
+        // batcher); they are issued from their own connections.
+        let addr = server.local_addr();
+        let blocked: Vec<std::thread::JoinHandle<u16>> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(i, 0.3)))
+                        .expect("eventually scored")
+                        .status
+                })
+            })
+            .collect();
+        // Wait until both jobs are admitted.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.queued_jobs() < 2 {
+            assert!(Instant::now() < deadline, "jobs were not admitted in time");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The next request must bounce with a deterministic 429.
+        let mut stream = connect(&server);
+        let rejected = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(9, 0.6))).expect("response");
+        assert_eq!(rejected.status, 429, "{}", rejected.body);
+        assert_eq!(rejected.header("retry-after"), Some("0"));
+        assert!(rejected.body.contains("admission queue full"), "{}", rejected.body);
+        // Resume: the blocked jobs complete and fresh traffic flows again.
+        server.resume_intake();
+        for handle in blocked {
+            assert_eq!(handle.join().expect("client thread"), 200);
+        }
+        let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(9, 0.6))).expect("response");
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert_eq!(server.stats().responses_429, 1);
+    }
+
+    #[test]
+    fn reload_over_http_swaps_the_version_and_refuses_garbage() {
+        let (server, executor) = start_server(16);
+        let dir = std::env::temp_dir().join("er-serve-server-reload-test");
+        let path = dir.join("v2.json");
+        crate::artifact::ModelArtifact::new(model(2.6))
+            .save(&path)
+            .expect("save");
+        let mut stream = connect(&server);
+
+        let body = format!("{{\"path\": {:?}}}", path.display().to_string());
+        let reloaded = http_roundtrip(&mut stream, "POST", "/reload", Some(&body)).expect("reload");
+        assert_eq!(reloaded.status, 200, "{}", reloaded.body);
+        assert!(reloaded.body.contains("\"model_version\":2"), "{}", reloaded.body);
+        assert_eq!(executor.version(), 2);
+
+        // Scores now come from the new model, tagged with the new version.
+        let scored = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(0, 0.8))).expect("score");
+        let (version, scores) = parse_score_response(&scored.body).expect("body");
+        assert_eq!(version, 2);
+        let expected = ScoringEngine::new(model(2.6)).score_batch(&[ScoreRequest {
+            pair_id: 0,
+            metric_row: vec![0.8, 0.2],
+            classifier_output: 0.8,
+            machine_says_match: true,
+        }]);
+        assert_eq!(scores[0].to_bits(), expected[0].to_bits());
+
+        // A missing artifact is refused with 409 and the version stays.
+        let missing = format!("{{\"path\": {:?}}}", dir.join("nope.json").display().to_string());
+        let refused = http_roundtrip(&mut stream, "POST", "/reload", Some(&missing)).expect("response");
+        assert_eq!(refused.status, 409, "{}", refused.body);
+        assert_eq!(executor.version(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_does_not_hang_on_a_half_received_request() {
+        let (server, _executor) = start_server(8);
+        let mut stream = connect(&server);
+        // A request head fragment with no terminating blank line: the
+        // handler buffers it and keeps polling for the rest. Shutdown must
+        // still close the connection and return instead of joining forever.
+        stream
+            .write_all(b"POST /score HTTP/1.1\r\nContent-Length: 10\r\n")
+            .expect("send partial head");
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs() {
+        let (server, _executor) = start_server(8);
+        let mut stream = connect(&server);
+        let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(0, 0.2))).expect("score");
+        assert_eq!(ok.status, 200);
+        server.shutdown();
+        // The connection is gone after shutdown; a fresh request fails to
+        // connect or errors out rather than hanging.
+        assert!(http_roundtrip(&mut stream, "GET", "/healthz", None).is_err());
+    }
+}

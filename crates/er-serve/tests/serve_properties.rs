@@ -5,12 +5,19 @@
 //! * **determinism under sharding** — `score_batch` with 1 thread and N
 //!   threads produces identical results on the same batch, cache on or off;
 //! * **version gating** — a bumped format version is rejected with a clear
-//!   error (public-API check; the unit suite covers the error variants).
+//!   error (public-API check; the unit suite covers the error variants);
+//! * **hot-reload atomicity** — under concurrent scoring threads, every
+//!   response scored through a [`ReloadableExecutor`] snapshot carries a
+//!   version tag that is exactly the old or the new artifact version, with
+//!   scores bit-identical to a fresh engine of that version (never a torn
+//!   mix), and post-swap scores equal a fresh engine built from the new
+//!   artifact.
 
 use er_base::Label;
 use er_rulegen::{CmpOp, Condition, Rule};
 use er_serve::{
-    ModelArtifact, ReplayConfig, ScoreRequest, ScoringEngine, ServeConfig, ShardedExecutor, FORMAT_VERSION,
+    ModelArtifact, ReloadableExecutor, ReplayConfig, ScoreRequest, ScoringEngine, ServeConfig, ShardedExecutor,
+    FORMAT_VERSION,
 };
 use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
 use proptest::prelude::*;
@@ -165,6 +172,80 @@ proptest! {
         let sharded = ShardedExecutor::new(engine.clone(), ServeConfig::default().with_threads(4))
             .score_batch(&stream);
         prop_assert_eq!(bits(&sharded), bits(&sequential));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hot_reload_is_atomic_under_concurrent_scoring(
+        old_model in arb_model(),
+        new_model in arb_model(),
+        requests in arb_requests(),
+    ) {
+        let old_expected = bits(&ScoringEngine::new(old_model.clone()).score_batch(&requests));
+        let new_expected = bits(&ScoringEngine::new(new_model.clone()).score_batch(&requests));
+
+        let handle = ReloadableExecutor::new(
+            ScoringEngine::new(old_model.clone()),
+            ServeConfig { threads: 1, cache_capacity: 64, cache_shards: 4 },
+        );
+        let artifact = ModelArtifact::new(new_model.clone());
+
+        // Scorer threads hammer the handle while the main thread swaps the
+        // artifact in; every observed (version, scores) pair must be wholly
+        // attributable to one version's engine.
+        let observations: Vec<(u64, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let requests = &requests;
+                    let handle = &handle;
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        for _ in 0..40 {
+                            let snapshot = handle.snapshot();
+                            let scores = snapshot.executor().score_batch(requests);
+                            seen.push((snapshot.version, bits(&scores)));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            let reloaded_to = handle.reload_artifact(artifact, &requests).expect("reload");
+            assert_eq!(reloaded_to, 2);
+            // One post-reload observation from this thread guarantees the
+            // new version appears in the record even if the scorers were
+            // scheduled entirely before the swap (single-CPU runners).
+            let snapshot = handle.snapshot();
+            let post_swap = (snapshot.version, bits(&snapshot.executor().score_batch(&requests)));
+            let mut all: Vec<(u64, Vec<u64>)> =
+                handles.into_iter().flat_map(|h| h.join().expect("scorer panicked")).collect();
+            all.push(post_swap);
+            all
+        });
+
+        let mut versions_seen = [false; 2];
+        for (version, observed) in &observations {
+            prop_assert!(
+                *version == 1 || *version == 2,
+                "impossible version tag {version}"
+            );
+            versions_seen[(*version - 1) as usize] = true;
+            let expected = if *version == 1 { &old_expected } else { &new_expected };
+            // Equality against exactly one version's engine is the
+            // no-torn-batch property: a mixed-version batch cannot match.
+            prop_assert_eq!(observed, expected);
+        }
+        // The swap happened while scorers ran, so the new version must have
+        // been observed by the tail iterations at the latest.
+        prop_assert!(versions_seen[1], "no scorer ever saw the new version");
+
+        // Post-swap, a fresh snapshot is bit-identical to a fresh engine
+        // built directly from the new artifact.
+        let post = handle.snapshot();
+        prop_assert_eq!(post.version, 2);
+        prop_assert_eq!(bits(&post.executor().score_batch(&requests)), new_expected);
     }
 }
 

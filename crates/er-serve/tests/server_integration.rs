@@ -1,0 +1,255 @@
+//! End-to-end integration of the HTTP front-end: **train → export → load →
+//! serve**, driven over a raw [`TcpStream`] exactly as an external client
+//! would.
+//!
+//! The train step is a real [`learnrisk_core::train`] run over synthetic
+//! risk inputs (not a hand-assembled model), the export/load step goes
+//! through a temp-dir [`ModelArtifact`] file, and the serve step asserts the
+//! socket-returned scores are **bit-identical** to in-process
+//! [`ScoringEngine::score_batch`] on the same requests — including that a
+//! malformed request gets a deterministic JSON error body on a connection
+//! that keeps serving, never a dropped connection.
+
+use er_base::Label;
+use er_rulegen::{CmpOp, Condition, Rule};
+use er_serve::{
+    http_roundtrip, parse_score_response, ModelArtifact, ReloadableExecutor, ScoreRequest, ScoreServer, ScoringEngine,
+    ServeConfig, ServerConfig,
+};
+use learnrisk_core::{train, LearnRiskModel, PairRiskInput, RiskFeatureSet, RiskModelConfig, RiskTrainConfig};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const METRICS: usize = 3;
+
+/// An untrained model over a hand-written rule set (stands in for the
+/// rule-generation stage, which has its own pipeline tests in `er-eval`).
+fn untrained_model() -> LearnRiskModel {
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.55)], Label::Inequivalent, 24, 0.95),
+        Rule::new(
+            vec![Condition::new(1, CmpOp::Le, 0.35), Condition::new(2, CmpOp::Gt, 0.5)],
+            Label::Equivalent,
+            17,
+            0.9,
+        ),
+        Rule::new(vec![Condition::new(2, CmpOp::Le, 0.25)], Label::Inequivalent, 11, 0.88),
+        Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.7)], Label::Equivalent, 9, 0.86),
+    ];
+    let feature_set = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.06, 0.91, 0.12, 0.88],
+        support: vec![24, 17, 11, 9],
+    };
+    LearnRiskModel::new(feature_set, RiskModelConfig::default())
+}
+
+/// Deterministic synthetic metric rows: quasi-random in [0, 1).
+fn metric_row(i: u64) -> Vec<f64> {
+    (0..METRICS)
+        .map(|j| ((i as f64) * 0.618_033_988_749_895 + (j as f64) * 0.414_213_562_373_095).fract())
+        .collect()
+}
+
+/// Risk-training inputs with a deterministic mislabeled minority, so the
+/// rank-pair sampler has positives to rank and training actually moves the
+/// parameters.
+fn training_inputs(model: &LearnRiskModel, n: u64) -> Vec<PairRiskInput> {
+    let engine = ScoringEngine::new(model.clone());
+    (0..n)
+        .map(|i| {
+            let row = metric_row(i);
+            let classifier_output = ((i as f64) * 0.271_828_182_845_904).fract();
+            PairRiskInput {
+                rule_indices: engine.index().matching_rules(&row),
+                classifier_output,
+                machine_says_match: classifier_output >= 0.5,
+                risk_label: u8::from(i % 7 == 0),
+            }
+        })
+        .collect()
+}
+
+fn serving_requests(n: u64) -> Vec<ScoreRequest> {
+    (0..n)
+        .map(|i| {
+            let classifier_output = ((i as f64) * 0.271_828_182_845_904).fract();
+            ScoreRequest {
+                pair_id: i,
+                metric_row: metric_row(i),
+                classifier_output,
+                machine_says_match: classifier_output >= 0.5,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn train_export_load_serve_over_a_raw_socket_is_bit_identical() {
+    // --- train ---
+    let mut model = untrained_model();
+    let untrained_weights = model.rule_weights.clone();
+    let inputs = training_inputs(&model, 160);
+    let report = train(
+        &mut model,
+        &inputs,
+        &RiskTrainConfig {
+            epochs: 25,
+            ..Default::default()
+        },
+    );
+    assert!(!report.losses.is_empty(), "training must have run epochs");
+    assert_ne!(model.rule_weights, untrained_weights, "training must move the weights");
+
+    // --- export → load ---
+    let dir = std::env::temp_dir().join("er-serve-server-integration");
+    let path = dir.join("trained.json");
+    ModelArtifact::new(model.clone()).save(&path).expect("export artifact");
+    let loaded = ModelArtifact::load(&path).expect("load artifact");
+
+    // --- serve ---
+    let executor = Arc::new(
+        ReloadableExecutor::from_artifact(loaded, ServeConfig::default().with_threads(2)).expect("boot from artifact"),
+    );
+    let server = ScoreServer::start(Arc::clone(&executor), ServerConfig::default()).expect("bind");
+    let requests = serving_requests(120);
+    let expected = ScoringEngine::new(model).score_batch(&requests);
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // One-by-one over a keep-alive connection: every socket score matches
+    // the in-process engine to the last bit, and carries the version tag.
+    for (request, expected_score) in requests.iter().zip(&expected) {
+        let body = serde::json::to_string(request);
+        let response = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("score round trip");
+        assert_eq!(response.status, 200, "{}", response.body);
+        let (version, scores) = parse_score_response(&response.body).expect("score body");
+        assert_eq!(version, 1);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(
+            scores[0].to_bits(),
+            expected_score.to_bits(),
+            "socket score diverged on pair {}",
+            request.pair_id
+        );
+    }
+    // The whole pool as one batched POST: same bits, one version.
+    let body = serde::json::to_string(&requests);
+    let response = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("batch round trip");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let (version, scores) = parse_score_response(&response.body).expect("batch body");
+    assert_eq!(version, 1);
+    let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+    let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(bits, expected_bits);
+
+    // /version reports the artifact's provenance, not a placeholder.
+    let version_response = http_roundtrip(&mut stream, "GET", "/version", None).expect("version");
+    assert_eq!(version_response.status, 200);
+    assert!(
+        version_response.body.contains("er-serve"),
+        "producer missing from {}",
+        version_response.body
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_get_error_bodies_and_the_connection_survives() {
+    let mut model = untrained_model();
+    let inputs = training_inputs(&model, 80);
+    train(
+        &mut model,
+        &inputs,
+        &RiskTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let executor = Arc::new(ReloadableExecutor::new(
+        ScoringEngine::new(model.clone()),
+        ServeConfig::default().with_threads(1),
+    ));
+    let server = ScoreServer::start(executor, ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Syntactically broken JSON → 400 with a deterministic error body.
+    let bad = http_roundtrip(&mut stream, "POST", "/score", Some("[{\"pair_id\": }")).expect("still a response");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.starts_with("{\"error\":"), "{}", bad.body);
+
+    // Well-formed JSON that is not a score request → 400, naming the field.
+    let wrong_shape = http_roundtrip(&mut stream, "POST", "/score", Some("{\"hello\": 1}")).expect("still a response");
+    assert_eq!(wrong_shape.status, 400, "{}", wrong_shape.body);
+
+    // A short metric row inside a batch → 422 naming the offending index,
+    // and the well-formed neighbors of the same batch are not penalized on
+    // the retry without the bad request.
+    let mut batch = serving_requests(4);
+    batch[2].metric_row = vec![0.5];
+    let body = serde::json::to_string(&batch);
+    let unscorable = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("still a response");
+    assert_eq!(unscorable.status, 422, "{}", unscorable.body);
+    assert!(unscorable.body.contains("\"request_index\":2"), "{}", unscorable.body);
+
+    // The same connection keeps serving after every rejection.
+    let good = serving_requests(3);
+    let expected = ScoringEngine::new(model).score_batch(&good);
+    let body = serde::json::to_string(&good);
+    let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("survives");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    let (_, scores) = parse_score_response(&ok.body).expect("body");
+    let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+    let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(bits, expected_bits);
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_coalesce_into_micro_batches_without_score_drift() {
+    let mut model = untrained_model();
+    let inputs = training_inputs(&model, 80);
+    train(
+        &mut model,
+        &inputs,
+        &RiskTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let executor = Arc::new(ReloadableExecutor::new(
+        ScoringEngine::new(model.clone()),
+        ServeConfig::default().with_threads(2),
+    ));
+    let server = ScoreServer::start(executor, ServerConfig::default()).expect("bind");
+    let requests = serving_requests(60);
+    let expected = ScoringEngine::new(model).score_batch(&requests);
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for chunk in requests.chunks(15).zip(expected.chunks(15)) {
+            let (requests, expected) = chunk;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                for (request, expected_score) in requests.iter().zip(expected) {
+                    let body = serde::json::to_string(request);
+                    let response = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("round trip");
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    let (_, scores) = parse_score_response(&response.body).expect("body");
+                    assert_eq!(scores[0].to_bits(), expected_score.to_bits());
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(
+        stats.responses_4xx + stats.responses_429 + stats.responses_5xx,
+        0,
+        "{stats:?}"
+    );
+    assert_eq!(stats.batched_requests, 60);
+    server.shutdown();
+}

@@ -39,6 +39,18 @@ test -s "$TRAIN_BENCH_JSON" || { echo "missing $TRAIN_BENCH_JSON" >&2; exit 1; }
 echo "serve_bench JSON at $SERVE_BENCH_JSON"
 echo "train_bench JSON at $TRAIN_BENCH_JSON"
 
+# The serve_bench run above is also the HTTP front-end smoke: it starts the
+# score server on an ephemeral port, replays traffic over raw sockets,
+# hot-reloads a retrained artifact mid-replay, and runs the deliberate
+# backpressure phase — exiting non-zero on any non-2xx outside that phase,
+# any score-bit divergence, or a dropped request. Assert the evidence landed
+# in the JSON so a silently skipped front-end phase cannot pass this tier.
+grep -q '"frontend"' "$SERVE_BENCH_JSON" || { echo "serve_bench JSON is missing the frontend block" >&2; exit 1; }
+grep -q '"bit_exact": true' "$SERVE_BENCH_JSON" || { echo "front-end replay did not attest bit-exactness" >&2; exit 1; }
+grep -q '"bit_exact_per_version": true' "$SERVE_BENCH_JSON" \
+    || { echo "mid-replay reload did not attest per-version bit-exactness" >&2; exit 1; }
+echo "front-end replay + mid-replay reload + backpressure smoke OK"
+
 # Informational perf diff against the committed baseline (the CI perf-gate
 # job runs the same diff fatally; locally a regression only warns, since dev
 # hardware legitimately differs from the baseline machine).

@@ -17,8 +17,9 @@
 //! * [`eval`] (`er-eval`) — end-to-end experiment pipelines for every table
 //!   and figure of the paper.
 //! * [`serve`] (`er-serve`) — the online serving layer: versioned model
-//!   artifacts, the compiled rule index, the sharded scoring executor and
-//!   the traffic-replay harness.
+//!   artifacts, the compiled rule index, the sharded scoring executor, the
+//!   HTTP/1.1 front-end with micro-batching and backpressure, versioned
+//!   artifact hot-reload and the traffic-replay harness.
 //!
 //! See the `examples/` directory for runnable end-to-end walkthroughs and
 //! `EXPERIMENTS.md` for the measured reproduction results.
