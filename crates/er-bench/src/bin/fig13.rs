@@ -1,11 +1,47 @@
 //! Regenerates Figure 13 (scalability of rule generation and risk training),
 //! extended with the `er-serve` engine's batched-scoring throughput per
 //! `--threads` entry so offline and serving scalability land in one table.
-use er_eval::{render_scalability, run_fig13};
+//!
+//! Besides the rendered table, the run is written as machine-readable JSON
+//! (default `out/fig13.json`, override with `FIG13_JSON`) in the same
+//! perf-trajectory format as `serve_bench`/`train_bench`; `bench_diff` gates
+//! the per-thread `risk_training[tN]` runtimes and `engine_scoring[tN]`
+//! throughputs against the committed baseline.
+use er_eval::{render_scalability, run_fig13, ScalabilityPoint};
+use serde::Serialize;
+use std::path::Path;
+
+/// Machine-readable result of one `fig13` invocation.
+#[derive(Debug, Serialize)]
+struct Fig13Summary {
+    scale: f64,
+    seed: u64,
+    available_parallelism: usize,
+    threads: Vec<usize>,
+    sizes: Vec<usize>,
+    points: Vec<ScalabilityPoint>,
+}
 
 fn main() {
     let args = er_bench::parse_args(0.05);
     let sizes = [500, 1000, 2000, 3000, 4000, 6000];
     let points = run_fig13(&args.config, &sizes, &args.threads);
     println!("{}", render_scalability(&points));
+
+    let summary = Fig13Summary {
+        scale: args.config.scale,
+        seed: args.config.seed,
+        available_parallelism: er_bench::available_parallelism(),
+        threads: args.threads.clone(),
+        sizes: sizes.to_vec(),
+        points,
+    };
+    let path = std::env::var("FIG13_JSON").unwrap_or_else(|_| "out/fig13.json".into());
+    if let Some(parent) = Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, serde::json::to_string_pretty(&summary)).expect("write fig13 JSON");
+    println!("fig13: wrote {path}");
 }

@@ -16,9 +16,9 @@ use er_classifier::{MatcherKind, TrainConfig};
 use er_datasets::{generate_benchmark, BenchmarkId};
 use er_eval::{build_score_requests, export_and_load_engine, run_pipeline, verify_round_trip, PipelineConfig};
 use er_serve::{
-    http_roundtrip, parse_score_response, run_replay, summarize_latencies, zipf_stream, LatencySummary, ModelArtifact,
-    ReloadableExecutor, ReplayConfig, ReplayReport, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig,
-    ServerConfig, ServerStats, ShardedExecutor,
+    extract_histogram, http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response, run_replay,
+    summarize_latencies, zipf_stream, LatencySummary, ModelArtifact, RateLimitConfig, ReloadableExecutor, ReplayConfig,
+    ReplayReport, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig, ServerConfig, ServerStats, ShardedExecutor,
 };
 use learnrisk_core::{LearnRiskModel, PairRiskInput, RiskTrainConfig};
 use serde::Serialize;
@@ -100,6 +100,40 @@ struct FrontendBackpressure {
     recovered_2xx: bool,
 }
 
+/// The `/metrics` scrape taken right after the plain replay, with both
+/// reconciliations the perf gate attests: the exposition parses and its
+/// `er_serve_score_requests_total` equals the replay's own request count,
+/// and the `request_duration` histogram brackets the replay's measured
+/// p50/p95/p99 (±1 bucket, [`PERCENTILE_SLACK_SECS`] absolute slack).
+#[derive(Debug, Serialize)]
+struct FrontendMetrics {
+    snapshot_path: String,
+    scrape_parsed: bool,
+    /// Sum of `er_serve_score_requests_total` across versions at scrape time.
+    score_requests_total: u64,
+    /// `score_requests_total == replay.requests`.
+    reconciles_with_replay: bool,
+    /// Histogram-derived p50/p95/p99 bracket the replay's socket-measured
+    /// percentiles.
+    histogram_reconciled: bool,
+}
+
+/// The rate-limit smoke (its own server, so the canonical phase counters
+/// stay clean): one client exhausts its burst and must get 429 +
+/// `X-RateLimit-*`, while a second client on the same peer IP flows freely.
+#[derive(Debug, Serialize)]
+struct RateLimitSmoke {
+    rate_per_sec: f64,
+    burst: f64,
+    /// The over-budget client got a 429.
+    limited_429: bool,
+    /// …carrying all three `X-RateLimit-*` headers and a non-zero
+    /// `Retry-After` (distinguishing it from a queue-full 429).
+    headers_present: bool,
+    /// The second client's request scored 200 after the first was limited.
+    second_client_unaffected: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct FrontendBench {
     threads: usize,
@@ -107,6 +141,14 @@ struct FrontendBench {
     max_batch: usize,
     batch_window_us: u64,
     replay: FrontendRun,
+    /// The same replay against a `metrics_enabled: false` server — the A/B
+    /// control behind `metrics_on_relative_throughput`.
+    replay_metrics_off: FrontendRun,
+    /// Metrics-on throughput over metrics-off throughput; ~1.0 when the
+    /// registry's atomics are free, gated by `bench_diff` as a ratio metric.
+    metrics_on_relative_throughput: f64,
+    metrics: FrontendMetrics,
+    rate_limit: RateLimitSmoke,
     reload: FrontendReload,
     backpressure: FrontendBackpressure,
     /// Final server counters; 4xx/5xx must be zero and 429 must equal the
@@ -451,6 +493,56 @@ fn frontend_bench(
     let queue_capacity = server_config.queue_capacity;
     let max_batch = server_config.max_batch;
     let batch_window_us = server_config.batch_window.as_micros() as u64;
+
+    // Phase 0: the metrics-off control — the identical replay against its
+    // own fresh server with every registry observation compiled out of the
+    // hot path. Runs first so neither series inherits the other's warmup.
+    let replay_metrics_off = {
+        let executor = Arc::new(ReloadableExecutor::new(
+            engine.clone(),
+            ServeConfig::default().with_threads(threads),
+        ));
+        let server = ScoreServer::start(
+            executor,
+            ServerConfig {
+                metrics_enabled: false,
+                ..server_config.clone()
+            },
+        )
+        .expect("bind metrics-off score server");
+        println!();
+        println!(
+            "-- HTTP front-end on {} (metrics OFF control, {} requests, {clients} clients) --",
+            server.local_addr(),
+            stream.len()
+        );
+        let progress = AtomicUsize::new(0);
+        let outcome = run_socket_replay(
+            server.local_addr(),
+            stream,
+            clients,
+            &expected_v1,
+            &expected_v1,
+            &progress,
+        );
+        assert_eq!(outcome.non_2xx, 0, "metrics-off replay must be all-2xx");
+        assert!(outcome.bit_exact, "metrics-off socket scores diverged");
+        println!(
+            "frontend replay (metrics off): {:>10.0} req/s  p50 {:>7.1}µs  p95 {:>7.1}µs  p99 {:>7.1}µs",
+            outcome.throughput_rps, outcome.latency.p50_us, outcome.latency.p95_us, outcome.latency.p99_us
+        );
+        server.shutdown();
+        FrontendRun {
+            clients,
+            requests: stream.len(),
+            elapsed_secs: outcome.elapsed_secs,
+            throughput_rps: outcome.throughput_rps,
+            latency: outcome.latency,
+            non_2xx: outcome.non_2xx,
+            bit_exact: outcome.bit_exact,
+        }
+    };
+
     let executor = Arc::new(ReloadableExecutor::new(
         engine.clone(),
         ServeConfig::default().with_threads(threads),
@@ -482,6 +574,12 @@ fn frontend_bench(
         non_2xx: outcome.non_2xx,
         bit_exact: outcome.bit_exact,
     };
+    let metrics_on_relative_throughput = replay.throughput_rps / replay_metrics_off.throughput_rps.max(1e-9);
+    println!("frontend metrics on/off throughput ratio: {metrics_on_relative_throughput:.3}");
+
+    // Scrape `/metrics` while the registry holds exactly the plain replay's
+    // traffic, and reconcile it against what the replay itself measured.
+    let metrics = scrape_and_reconcile(addr, &replay);
 
     // Phase 2: the same replay with RELOADS hot reloads fired at
     // request-count milestones while traffic is in flight.
@@ -582,6 +680,11 @@ fn frontend_bench(
         "overflow beyond the admission queue must bounce with 429, got {}: {}",
         rejected.status, rejected.body
     );
+    assert!(
+        rejected.header("x-ratelimit-limit").is_none() && rejected.header("retry-after") == Some("0"),
+        "a queue-full 429 must not look like a rate-limit 429: {:?}",
+        rejected.headers
+    );
     server.resume_intake();
     for handle in blocked {
         let status = handle.join().expect("blocked client panicked");
@@ -604,14 +707,162 @@ fn frontend_bench(
         "429s outside the deliberate backpressure phase: {statuses:?}"
     );
     server.shutdown();
+
+    // The rate-limit smoke runs on its own server so the canonical phase
+    // counters above stay exactly attributable.
+    let rate_limit = rate_limit_smoke(engine, &stream[0], threads);
+
     FrontendBench {
         threads,
         queue_capacity,
         max_batch,
         batch_window_us,
         replay,
+        replay_metrics_off,
+        metrics_on_relative_throughput,
+        metrics,
+        rate_limit,
         reload,
         backpressure,
         statuses,
+    }
+}
+
+/// Absolute slack when bracketing a socket-measured percentile inside a
+/// server-side histogram bucket range: the client round trip includes
+/// syscall and wire time the server-side `request_duration` histogram
+/// cannot see.
+const PERCENTILE_SLACK_SECS: f64 = 500e-6;
+
+/// Scrapes `GET /metrics`, writes the raw exposition to
+/// `SERVE_BENCH_METRICS_SNAPSHOT` (default `out/metrics-snapshot.prom`) for
+/// the smoke tiers, and asserts both reconciliations.
+fn scrape_and_reconcile(addr: SocketAddr, replay: &FrontendRun) -> FrontendMetrics {
+    let mut conn = TcpStream::connect(addr).expect("frontend: connect for /metrics");
+    let response = http_roundtrip(&mut conn, "GET", "/metrics", None).expect("frontend: scrape round trip");
+    assert_eq!(response.status, 200, "scrape failed: {}", response.body);
+    let snapshot_path =
+        std::env::var("SERVE_BENCH_METRICS_SNAPSHOT").unwrap_or_else(|_| "out/metrics-snapshot.prom".into());
+    if let Some(parent) = Path::new(&snapshot_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create snapshot directory");
+        }
+    }
+    std::fs::write(&snapshot_path, &response.body).expect("write metrics snapshot");
+
+    let samples = parse_exposition(&response.body)
+        .unwrap_or_else(|e| panic!("scraped exposition does not parse: {e}\n{}", response.body));
+    let score_requests_total: u64 = samples
+        .iter()
+        .filter(|s| s.name == "er_serve_score_requests_total")
+        .map(|s| s.value as u64)
+        .sum();
+    let reconciles_with_replay = score_requests_total == replay.requests as u64;
+    assert!(
+        reconciles_with_replay,
+        "er_serve_score_requests_total {} != replayed requests {}",
+        score_requests_total, replay.requests
+    );
+
+    // The replay measured each socket round trip itself; the histogram saw
+    // the server-side slice of the same requests. Each measured percentile
+    // must land inside the histogram's quantile bucket, widened by one
+    // bucket each side plus wire-time slack.
+    let histogram = extract_histogram(&samples, "er_serve_request_duration_seconds", &[("route", "/score")])
+        .expect("request_duration{route=\"/score\"} histogram present and consistent");
+    assert_eq!(histogram.count, replay.requests as u64, "histogram count mismatch");
+    let mut histogram_reconciled = true;
+    for (q, measured_us) in [
+        (0.50, replay.latency.p50_us),
+        (0.95, replay.latency.p95_us),
+        (0.99, replay.latency.p99_us),
+    ] {
+        let (lo, hi) = histogram.quantile_bounds(q, 1).expect("non-empty histogram");
+        let measured = measured_us * 1e-6;
+        let ok = measured >= lo - PERCENTILE_SLACK_SECS && measured <= hi + PERCENTILE_SLACK_SECS;
+        println!(
+            "frontend scrape: p{:.0} histogram bucket [{:.1}µs, {:.1}µs] vs replay {measured_us:.1}µs — {}",
+            q * 100.0,
+            lo * 1e6,
+            hi * 1e6,
+            if ok { "reconciled" } else { "DIVERGED" }
+        );
+        histogram_reconciled &= ok;
+    }
+    assert!(
+        histogram_reconciled,
+        "histogram-derived percentiles do not bracket the replay's own measurements"
+    );
+    println!(
+        "frontend scrape: exposition parsed ({} samples), score_requests_total {score_requests_total} reconciled, snapshot at {snapshot_path}",
+        samples.len()
+    );
+    FrontendMetrics {
+        snapshot_path,
+        scrape_parsed: true,
+        score_requests_total,
+        reconciles_with_replay,
+        histogram_reconciled,
+    }
+}
+
+/// Proves the per-client token bucket over a raw socket: client `rl-a`
+/// exhausts its burst and must bounce with 429 + `X-RateLimit-*`; client
+/// `rl-b` (same peer IP, its own `X-Client-Id`) is untouched.
+fn rate_limit_smoke(engine: &ScoringEngine, sample: &ScoreRequest, threads: usize) -> RateLimitSmoke {
+    let config = RateLimitConfig::new(0.5, 4.0);
+    let executor = Arc::new(ReloadableExecutor::new(
+        engine.clone(),
+        ServeConfig::default().with_threads(threads),
+    ));
+    let server = ScoreServer::start(
+        executor,
+        ServerConfig {
+            rate_limit: Some(config),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind rate-limited score server");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("frontend: connect for rate-limit smoke");
+    let body = serde::json::to_string(sample);
+    let a = [("X-Client-Id", "rl-a")];
+    for i in 0..config.burst as usize {
+        let ok = http_roundtrip_with_headers(&mut conn, "POST", "/score", Some(&body), &a)
+            .expect("frontend: rate-limit smoke round trip");
+        assert_eq!(ok.status, 200, "burst request {i} should pass: {}", ok.body);
+    }
+    let limited = http_roundtrip_with_headers(&mut conn, "POST", "/score", Some(&body), &a)
+        .expect("frontend: over-budget round trip");
+    let limited_429 = limited.status == 429;
+    let headers_present = limited.header("x-ratelimit-limit").is_some()
+        && limited.header("x-ratelimit-remaining") == Some("0")
+        && limited.header("x-ratelimit-reset").is_some()
+        && limited.header("retry-after").is_some_and(|v| v != "0");
+    assert!(
+        limited_429 && headers_present,
+        "over-budget client must get 429 + X-RateLimit-* headers, got {} {:?}",
+        limited.status,
+        limited.headers
+    );
+    let b = [("X-Client-Id", "rl-b")];
+    let unaffected = http_roundtrip_with_headers(&mut conn, "POST", "/score", Some(&body), &b)
+        .expect("frontend: second-client round trip");
+    let second_client_unaffected = unaffected.status == 200;
+    assert!(
+        second_client_unaffected,
+        "a second client must not inherit the first client's exhausted bucket: {} {}",
+        unaffected.status, unaffected.body
+    );
+    println!(
+        "frontend rate limit: burst {} exhausted → 429 with X-RateLimit-* headers; second client unaffected",
+        config.burst
+    );
+    server.shutdown();
+    RateLimitSmoke {
+        rate_per_sec: config.rate_per_sec,
+        burst: config.burst,
+        limited_429,
+        headers_present,
+        second_client_unaffected,
     }
 }

@@ -1,6 +1,7 @@
 //! Perf-trajectory regression detection: diffs a current
-//! `serve_bench.json` + `train_bench.json` pair against a committed
-//! baseline (`out/baseline/*.json`) and classifies every comparable metric.
+//! `serve_bench.json` + `train_bench.json` (+ optional `fig13.json`)
+//! set against a committed baseline (`out/baseline/*.json`) and classifies
+//! every comparable metric.
 //!
 //! The `bench_diff` binary wraps this module; CI's `perf-gate` job fails
 //! when any metric regresses beyond tolerance.  Design rules:
@@ -43,6 +44,9 @@ pub struct DiffConfig {
     /// and ALU latencies, so the cross-hardware gate is looser (it still
     /// catches halvings, the signature of a broken hot path).
     pub cross_hardware_factor: f64,
+    /// Stage runtimes below this many seconds (in both runs) are skipped as
+    /// scheduler jitter — the fig13 analogue of `latency_floor_us`.
+    pub runtime_floor_secs: f64,
 }
 
 impl Default for DiffConfig {
@@ -51,6 +55,7 @@ impl Default for DiffConfig {
             tolerance: 0.25,
             latency_floor_us: 20.0,
             cross_hardware_factor: 2.0,
+            runtime_floor_secs: 0.01,
         }
     }
 }
@@ -405,11 +410,15 @@ fn diff_run_metrics(report: &mut DiffReport, prefix: &str, base_run: &Value, cur
 }
 
 /// Diffs the HTTP front-end block (`frontend.replay` socket round-trip
-/// latency, `frontend.reload` latency-under-reload). Correctness
-/// attestations (`bit_exact`, `bit_exact_per_version`) are hard-gated like
-/// `round_trip_bit_exact` *once the baseline carries them*: from then on a
-/// current run where they are false, renamed or missing fails the gate —
-/// socket-vs-in-process bit-exactness cannot silently stop being attested.
+/// latency, `frontend.replay_metrics_off` instrumentation-off control,
+/// `frontend.reload` latency-under-reload). Correctness attestations
+/// (`bit_exact`, `bit_exact_per_version`, the `/metrics` scrape and
+/// rate-limit smoke flags) are hard-gated like `round_trip_bit_exact` *once
+/// the baseline carries them*: from then on a current run where they are
+/// false, renamed or missing fails the gate — an attested signal cannot
+/// silently stop being attested.  `metrics_on_relative_throughput` (the
+/// zero-overhead claim: metrics-on throughput over metrics-off) is a
+/// machine-local ratio, so it is gated even cross-hardware, loosened.
 fn diff_frontend(
     baseline: &Value,
     current: &Value,
@@ -426,7 +435,16 @@ fn diff_frontend(
         return;
     };
     let current_front = current.get("frontend");
-    for (section, flag) in [("replay", "bit_exact"), ("reload", "bit_exact_per_version")] {
+    for (section, flag) in [
+        ("replay", "bit_exact"),
+        ("reload", "bit_exact_per_version"),
+        ("metrics", "scrape_parsed"),
+        ("metrics", "reconciles_with_replay"),
+        ("metrics", "histogram_reconciled"),
+        ("rate_limit", "limited_429"),
+        ("rate_limit", "headers_present"),
+        ("rate_limit", "second_client_unaffected"),
+    ] {
         let attested_in_baseline = base_front.get(section).and_then(|s| s.get(flag)).is_some();
         let current_flag = current_front.and_then(|f| f.get(section)).and_then(|s| s.get(flag));
         if attested_in_baseline && current_flag != Some(&Value::Bool(true)) {
@@ -440,10 +458,25 @@ fn diff_frontend(
             });
         }
     }
+    let ratio_tolerance = if hardware_matches {
+        config.tolerance
+    } else {
+        config.tolerance * config.cross_hardware_factor
+    };
+    if base_front.get("metrics_on_relative_throughput").is_some() || current_front.is_some() {
+        push_metric(
+            report,
+            "serve.frontend.metrics_on_relative_throughput",
+            field_num(base_front, "metrics_on_relative_throughput"),
+            current_front.and_then(|f| field_num(f, "metrics_on_relative_throughput")),
+            Direction::HigherIsBetter,
+            ratio_tolerance,
+        );
+    }
     if !hardware_matches {
         return;
     }
-    for section in ["replay", "reload"] {
+    for section in ["replay", "replay_metrics_off", "reload"] {
         let (Some(base_run), Some(current_run)) = (base_front.get(section), current_front.and_then(|f| f.get(section)))
         else {
             continue;
@@ -458,13 +491,97 @@ fn diff_frontend(
     }
 }
 
-/// Parses and diffs both benchmark files; `*_json` arguments are the raw
-/// file contents (baseline, current) for (serve, train).
+/// Diffs two `fig13.json` trees (the scalability run) into `report`.
+///
+/// Points are matched by `(stage, training_size)`.  Only the per-thread
+/// stages are gated: `risk_training[tN]` runtimes (lower is better, skipped
+/// when both sit under `runtime_floor_secs`) and `engine_scoring[tN]`
+/// batched-scoring throughput (higher is better).  The headline
+/// `rule_generation` / `risk_training` stages stay informational — they are
+/// single measurements of multi-second phases whose drift the per-thread
+/// stages already cover.  All fig13 metrics are absolute wall-clock numbers,
+/// so they are only compared on matching hardware.
+pub fn diff_fig13(baseline: &Value, current: &Value, config: &DiffConfig, report: &mut DiffReport) {
+    if !same_hardware(baseline, current) {
+        report.notes.push(
+            "fig13: available_parallelism differs between baseline and current run; \
+             scalability metrics skipped (absolute wall-clock numbers)"
+                .into(),
+        );
+        return;
+    }
+    let base_points = baseline.get("points").and_then(Value::as_seq).unwrap_or(&[]);
+    let current_points = current.get("points").and_then(Value::as_seq).unwrap_or(&[]);
+    for point in base_points {
+        let (Some(stage), Some(size)) = (
+            point.get("stage").and_then(Value::as_str),
+            field_num(point, "training_size"),
+        ) else {
+            continue;
+        };
+        let per_thread_training = stage.starts_with("risk_training[");
+        let engine_scoring = stage.starts_with("engine_scoring[");
+        if !per_thread_training && !engine_scoring {
+            continue;
+        }
+        let Some(matching) = current_points.iter().find(|p| {
+            p.get("stage").and_then(Value::as_str) == Some(stage) && field_num(p, "training_size") == Some(size)
+        }) else {
+            report
+                .notes
+                .push(format!("fig13.{stage}[size={size}]: no matching current point"));
+            continue;
+        };
+        if per_thread_training {
+            let base_runtime = field_num(point, "runtime_secs");
+            let current_runtime = field_num(matching, "runtime_secs");
+            if let (Some(b), Some(c)) = (base_runtime, current_runtime) {
+                if b < config.runtime_floor_secs && c < config.runtime_floor_secs {
+                    report.metrics.push(MetricDiff {
+                        name: format!("fig13.{stage}[size={size}].runtime_secs"),
+                        baseline: b,
+                        current: c,
+                        direction: Direction::LowerIsBetter,
+                        change: 0.0,
+                        status: Status::Skipped(format!("below {}s runtime floor", config.runtime_floor_secs)),
+                    });
+                    continue;
+                }
+            }
+            push_metric(
+                report,
+                &format!("fig13.{stage}[size={size}].runtime_secs"),
+                base_runtime,
+                current_runtime,
+                Direction::LowerIsBetter,
+                config.tolerance,
+            );
+        } else {
+            push_metric(
+                report,
+                &format!("fig13.{stage}[size={size}].throughput_pairs_per_sec"),
+                field_num(point, "throughput_pairs_per_sec"),
+                field_num(matching, "throughput_pairs_per_sec"),
+                Direction::HigherIsBetter,
+                config.tolerance,
+            );
+        }
+    }
+}
+
+/// Parses and diffs the benchmark files; `*_json` arguments are the raw
+/// file contents (baseline, current) for (serve, train, fig13).  The fig13
+/// pair is optional — `None` means the file does not exist on that side.  A
+/// baseline that carries `fig13.json` while the current run lost it is
+/// schema drift disarming the gate and fails; the reverse (a baseline
+/// recorded before fig13 was gated) only notes a refresh.
 pub fn diff_all(
     serve_baseline: &str,
     serve_current: &str,
     train_baseline: &str,
     train_current: &str,
+    fig13_baseline: Option<&str>,
+    fig13_current: Option<&str>,
     config: &DiffConfig,
 ) -> Result<DiffReport, String> {
     let parse = |label: &str, text: &str| json::parse(text).map_err(|e| format!("{label}: {e}"));
@@ -475,6 +592,25 @@ pub fn diff_all(
     let mut report = DiffReport::default();
     diff_train(&train_base, &train_cur, config, &mut report);
     diff_serve(&serve_base, &serve_cur, config, &mut report);
+    match (fig13_baseline, fig13_current) {
+        (Some(base), Some(cur)) => {
+            let fig13_base = parse("baseline fig13.json", base)?;
+            let fig13_cur = parse("current fig13.json", cur)?;
+            diff_fig13(&fig13_base, &fig13_cur, config, &mut report);
+        }
+        (Some(_), None) => report.metrics.push(MetricDiff {
+            name: "fig13.points".into(),
+            baseline: 1.0,
+            current: f64::NAN,
+            direction: Direction::HigherIsBetter,
+            change: -1.0,
+            status: Status::Regressed,
+        }),
+        (None, Some(_)) => report
+            .notes
+            .push("fig13: absent from the baseline, not compared — refresh out/baseline/".into()),
+        (None, None) => {}
+    }
     // A gate that compared nothing protects nothing: a schema drift that
     // empties the metric set must be a hard error, not a vacuous pass.
     if report.metrics.is_empty() {
@@ -508,7 +644,11 @@ mod tests {
     }
 
     fn run(serve_b: &str, serve_c: &str, train_b: &str, train_c: &str) -> DiffReport {
-        diff_all(serve_b, serve_c, train_b, train_c, &DiffConfig::default()).expect("parse")
+        diff_all(serve_b, serve_c, train_b, train_c, None, None, &DiffConfig::default()).expect("parse")
+    }
+
+    fn run_with_fig13(serve: &str, train: &str, fig13_b: Option<&str>, fig13_c: Option<&str>) -> DiffReport {
+        diff_all(serve, serve, train, train, fig13_b, fig13_c, &DiffConfig::default()).expect("parse")
     }
 
     #[test]
@@ -633,7 +773,7 @@ mod tests {
 
     #[test]
     fn malformed_json_is_an_error_not_a_pass() {
-        let err = diff_all("{", "{}", "{}", "{}", &DiffConfig::default()).unwrap_err();
+        let err = diff_all("{", "{}", "{}", "{}", None, None, &DiffConfig::default()).unwrap_err();
         assert!(err.contains("serve_bench"), "{err}");
     }
 
@@ -672,7 +812,7 @@ mod tests {
         // Current files that parse but expose no recognizable metrics (e.g.
         // after a field rename) must be a hard error, not a vacuous pass.
         let bare_serve = r#"{"round_trip_bit_exact": true}"#;
-        let err = diff_all(bare_serve, bare_serve, "{}", "{}", &DiffConfig::default()).unwrap_err();
+        let err = diff_all(bare_serve, bare_serve, "{}", "{}", None, None, &DiffConfig::default()).unwrap_err();
         assert!(err.contains("no comparable metrics"), "{err}");
     }
 
@@ -837,6 +977,214 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name.contains("frontend.reload.latency")));
+    }
+
+    fn serve_json_with_observability(parallelism: u32, ratio: f64, scrape_parsed: bool, limited_429: bool) -> String {
+        format!(
+            r#"{{"available_parallelism": {parallelism}, "round_trip_bit_exact": true,
+                 "aggregation": {{"soa_speedup": 1.5}},
+                 "runs_uncached": [], "runs_cached": [],
+                 "frontend": {{
+                    "replay": {{"throughput_rps": 5000.0, "bit_exact": true,
+                                "latency": {{"p50_us": 80.0, "p95_us": 150.0, "p99_us": 200.0}}}},
+                    "replay_metrics_off": {{"throughput_rps": 5100.0, "bit_exact": true,
+                                "latency": {{"p50_us": 78.0, "p95_us": 148.0, "p99_us": 195.0}}}},
+                    "metrics_on_relative_throughput": {ratio},
+                    "metrics": {{"scrape_parsed": {scrape_parsed}, "reconciles_with_replay": true,
+                                 "histogram_reconciled": true, "score_requests_total": 600}},
+                    "rate_limit": {{"limited_429": {limited_429}, "headers_present": true,
+                                    "second_client_unaffected": true}},
+                    "reload": {{"throughput_rps": 4500.0, "bit_exact_per_version": true,
+                                "latency": {{"p50_us": 85.0, "p95_us": 160.0, "p99_us": 210.0}}}}
+                 }}}}"#
+        )
+    }
+
+    #[test]
+    fn observability_attestations_are_hard_gated_once_baselined() {
+        // A baseline attesting the /metrics scrape and rate-limit smoke means
+        // a current run where either flag is false (or gone) fails the gate.
+        let report = run(
+            &serve_json_with_observability(1, 0.99, true, true),
+            &serve_json_with_observability(1, 0.99, false, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.metrics.scrape_parsed"),
+            "{report}"
+        );
+        let report = run(
+            &serve_json_with_observability(1, 0.99, true, true),
+            &serve_json_with_observability(1, 0.99, true, false),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.rate_limit.limited_429"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn metrics_overhead_ratio_is_gated_even_cross_hardware() {
+        // metrics-on throughput collapsing to 60% of metrics-off is a broken
+        // instrumentation hot path; as a machine-local ratio it must fail
+        // even same-hardware…
+        let report = run(
+            &serve_json_with_observability(1, 0.99, true, true),
+            &serve_json_with_observability(1, 0.60, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.metrics_on_relative_throughput"),
+            "{report}"
+        );
+        // …while cross-hardware the gate loosens (2× → 50%): a 39% drop
+        // passes, a halving still fails.
+        let cross_ok = run(
+            &serve_json_with_observability(1, 0.99, true, true),
+            &serve_json_with_observability(4, 0.60, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(cross_ok.regressions().is_empty(), "{cross_ok}");
+        let cross_fail = run(
+            &serve_json_with_observability(1, 0.99, true, true),
+            &serve_json_with_observability(4, 0.40, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            cross_fail
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.metrics_on_relative_throughput"),
+            "{cross_fail}"
+        );
+    }
+
+    #[test]
+    fn metrics_off_control_replay_is_gated_like_the_instrumented_one() {
+        let mut current = serve_json_with_observability(1, 0.99, true, true);
+        current = current.replace(r#""throughput_rps": 5100.0"#, r#""throughput_rps": 2000.0"#);
+        let report = run(
+            &serve_json_with_observability(1, 0.99, true, true),
+            &current,
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.replay_metrics_off.throughput_rps"),
+            "{report}"
+        );
+    }
+
+    fn fig13_json(parallelism: u32, t2_runtime: f64, t2_throughput: f64) -> String {
+        format!(
+            r#"{{"available_parallelism": {parallelism},
+                 "points": [
+                    {{"stage": "rule_generation", "training_size": 2000, "runtime_secs": 3.0,
+                      "throughput_pairs_per_sec": null}},
+                    {{"stage": "risk_training", "training_size": 2000, "runtime_secs": 2.0,
+                      "throughput_pairs_per_sec": null}},
+                    {{"stage": "risk_training[t2]", "training_size": 2000, "runtime_secs": {t2_runtime},
+                      "throughput_pairs_per_sec": null}},
+                    {{"stage": "risk_training[t2]", "training_size": 500, "runtime_secs": 0.002,
+                      "throughput_pairs_per_sec": null}},
+                    {{"stage": "engine_scoring[t2]", "training_size": 2000, "runtime_secs": 0.004,
+                      "throughput_pairs_per_sec": {t2_throughput}}}
+                 ]}}"#
+        )
+    }
+
+    #[test]
+    fn fig13_scalability_regressions_fail_the_gate() {
+        // A doubled per-thread training runtime and a halved engine-scoring
+        // throughput must both fail; the headline stages stay informational.
+        let report = run_with_fig13(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            Some(&fig13_json(1, 1.0, 5e5)),
+            Some(&fig13_json(1, 2.0, 2e5)),
+        );
+        let names: Vec<&str> = report.regressions().iter().map(|m| m.name.as_str()).collect();
+        assert!(
+            names.contains(&"fig13.risk_training[t2][size=2000].runtime_secs"),
+            "{report}"
+        );
+        assert!(
+            names.contains(&"fig13.engine_scoring[t2][size=2000].throughput_pairs_per_sec"),
+            "{report}"
+        );
+        assert!(!names.iter().any(|n| n.contains("rule_generation")), "{report}");
+        // The 2ms point sits under the 10ms runtime floor on both sides:
+        // scheduler jitter, skipped.
+        assert!(
+            report
+                .metrics
+                .iter()
+                .any(|m| m.name.contains("size=500") && matches!(m.status, Status::Skipped(_))),
+            "{report}"
+        );
+        // Identical runs pass.
+        let same = run_with_fig13(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            Some(&fig13_json(1, 1.0, 5e5)),
+            Some(&fig13_json(1, 1.0, 5e5)),
+        );
+        assert!(same.regressions().is_empty(), "{same}");
+    }
+
+    #[test]
+    fn fig13_is_cross_hardware_skipped_but_cannot_vanish() {
+        // Different CPU budgets: all fig13 metrics are absolute, so skipped.
+        let cross = run_with_fig13(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            Some(&fig13_json(1, 1.0, 5e5)),
+            Some(&fig13_json(4, 9.0, 1e4)),
+        );
+        assert!(cross.regressions().is_empty(), "{cross}");
+        assert!(cross.notes.iter().any(|n| n.contains("fig13")), "{cross}");
+        // A baselined fig13.json the current run no longer produces is
+        // schema drift disarming the gate.
+        let vanished = run_with_fig13(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            Some(&fig13_json(1, 1.0, 5e5)),
+            None,
+        );
+        assert!(
+            vanished.regressions().iter().any(|m| m.name == "fig13.points"),
+            "{vanished}"
+        );
+        // The reverse (baseline predates fig13 gating) only notes a refresh.
+        let fresh = run_with_fig13(
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            None,
+            Some(&fig13_json(1, 1.0, 5e5)),
+        );
+        assert!(fresh.regressions().is_empty(), "{fresh}");
+        assert!(
+            fresh.notes.iter().any(|n| n.contains("absent from the baseline")),
+            "{fresh}"
+        );
     }
 
     #[test]

@@ -141,6 +141,15 @@ impl ShardedExecutor {
         self.misses.store(0, Ordering::Relaxed);
     }
 
+    /// Live entries across all cache shards (the `er_serve_cache_entries`
+    /// gauge; takes each shard lock briefly, so scrape-time only).
+    pub fn cache_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
     #[inline]
     fn shard_of(&self, pair_id: u64) -> usize {
         // SplitMix64 finalizer: pair ids are often sequential, so spread them

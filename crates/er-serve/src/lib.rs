@@ -26,6 +26,11 @@
 //! * [`server`] — [`ScoreServer`]: a dependency-free HTTP/1.1 front-end with
 //!   a bounded admission queue, micro-batching windows coalescing requests
 //!   into `try_score_batch` calls, and deterministic 429/503 backpressure.
+//! * [`metrics`] — [`MetricsRegistry`]: lock-cheap counters, gauges and
+//!   fixed-bucket histograms rendered as a Prometheus text exposition by
+//!   `GET /metrics`; the single source of truth `/stats` is derived from.
+//! * [`ratelimit`] — [`RateLimiter`]: per-client token buckets in front of
+//!   the admission queue (429 + `X-RateLimit-*` headers).
 //! * [`replay`] — a Zipf-skewed synthetic traffic generator and a
 //!   closed-loop replay harness reporting throughput and p50/p95/p99
 //!   latency.
@@ -37,6 +42,8 @@ pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod index;
+pub mod metrics;
+pub mod ratelimit;
 pub mod reload;
 pub mod replay;
 pub mod server;
@@ -46,6 +53,11 @@ pub use cache::LruCache;
 pub use engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
 pub use executor::{BatchScoreError, CacheStats, ServeConfig, ShardedExecutor};
 pub use index::{CompiledRuleIndex, MatchScratch, RowLengthError};
+pub use metrics::{extract_histogram, parse_exposition, MetricsRegistry, ParsedHistogram, Sample};
+pub use ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
 pub use reload::{synthesize_probes, ReloadError, ReloadableExecutor, VersionedExecutor};
 pub use replay::{run_replay, summarize_latencies, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};
-pub use server::{http_roundtrip, parse_score_response, HttpResponse, ScoreServer, ServerConfig, ServerStats};
+pub use server::{
+    http_roundtrip, http_roundtrip_with_headers, parse_score_response, HttpResponse, ScoreServer, ServerConfig,
+    ServerStats,
+};

@@ -29,6 +29,7 @@
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::engine::{ScoreRequest, ScoringEngine};
 use crate::executor::{ServeConfig, ShardedExecutor};
+use crate::metrics::MetricsRegistry;
 use er_rulegen::CmpOp;
 use std::fmt;
 use std::path::Path;
@@ -126,6 +127,9 @@ pub struct ReloadableExecutor {
     /// version counter (scoring traffic only takes the read lock).
     reload_lock: Mutex<()>,
     config: ServeConfig,
+    /// Attached by [`crate::ScoreServer`] so reload outcomes land in the
+    /// same registry `GET /metrics` scrapes.
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 impl ReloadableExecutor {
@@ -139,6 +143,7 @@ impl ReloadableExecutor {
             })),
             reload_lock: Mutex::new(()),
             config,
+            metrics: Mutex::new(None),
         }
     }
 
@@ -154,7 +159,16 @@ impl ReloadableExecutor {
             })),
             reload_lock: Mutex::new(()),
             config,
+            metrics: Mutex::new(None),
         })
+    }
+
+    /// Routes reload observations (`er_serve_reloads_total{outcome}`, the
+    /// `er_serve_model_version` gauge) into `registry`. Called by
+    /// [`crate::ScoreServer::start`] when metrics are enabled; reloads
+    /// before attachment are simply unobserved.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.lock().expect("metrics attachment poisoned") = Some(registry);
     }
 
     /// The executor configuration every generation is built with.
@@ -184,6 +198,18 @@ impl ReloadableExecutor {
     /// `probes` (e.g. sampled live traffic). On error the current version
     /// keeps serving, untouched.
     pub fn reload_artifact(&self, artifact: ModelArtifact, probes: &[ScoreRequest]) -> Result<u64, ReloadError> {
+        let result = self.reload_artifact_inner(artifact, probes);
+        if let Some(metrics) = self.metrics.lock().expect("metrics attachment poisoned").as_ref() {
+            let outcome = if result.is_ok() { "applied" } else { "refused" };
+            metrics.reloads.with(&[("outcome", outcome)]).inc();
+            if let Ok(version) = &result {
+                metrics.model_version.set(*version as f64);
+            }
+        }
+        result
+    }
+
+    fn reload_artifact_inner(&self, artifact: ModelArtifact, probes: &[ScoreRequest]) -> Result<u64, ReloadError> {
         artifact.model.validate().map_err(ArtifactError::InvalidModel)?;
         let candidate = ScoringEngine::new(artifact.model.clone());
         let synthesized = synthesize_probes(&candidate);
@@ -423,6 +449,22 @@ mod tests {
             fired.iter().all(|&f| f),
             "every rule must fire on some probe: {fired:?}"
         );
+    }
+
+    #[test]
+    fn reload_outcomes_are_counted_once_metrics_are_attached() {
+        let handle = ReloadableExecutor::new(ScoringEngine::new(model(1.3)), ServeConfig::default().with_threads(1));
+        let registry = Arc::new(MetricsRegistry::new());
+        handle.attach_metrics(Arc::clone(&registry));
+        handle
+            .reload_artifact(ModelArtifact::new(model(2.6)), &[])
+            .expect("reload");
+        let mut bad = ModelArtifact::new(model(2.6));
+        bad.model.rule_weights.pop();
+        handle.reload_artifact(bad, &[]).expect_err("must refuse");
+        assert_eq!(registry.reloads.with(&[("outcome", "applied")]).get(), 1);
+        assert_eq!(registry.reloads.with(&[("outcome", "refused")]).get(), 1);
+        assert_eq!(registry.model_version.get(), 2.0, "gauge tracks the applied version");
     }
 
     #[test]

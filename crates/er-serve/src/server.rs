@@ -15,7 +15,11 @@
 //! is full the server answers `429 Too Many Requests` immediately (with a
 //! JSON error body and `Retry-After: 0`), and once shutdown has begun it
 //! answers `503 Service Unavailable` — requests are never silently dropped
-//! and connections are never severed mid-request.
+//! and connections are never severed mid-request. With
+//! [`ServerConfig::rate_limit`] set, a per-client token bucket
+//! ([`crate::ratelimit`]) additionally answers 429 **with**
+//! `X-RateLimit-*` headers before the queue is touched, so clients can tell
+//! "you are over budget" from "the server is saturated".
 //!
 //! ## Wire format
 //!
@@ -25,6 +29,7 @@
 //! | `GET /healthz`     | —                                      | `200` `{"status": "ok", "model_version": v}` |
 //! | `GET /version`     | —                                      | `200` `{"model_version": v, "producer": .., "format_version": ..}` |
 //! | `GET /stats`       | —                                      | `200` response counters + micro-batch stats |
+//! | `GET /metrics`     | —                                      | `200` Prometheus text exposition ([`crate::metrics`]) |
 //! | `POST /reload`     | `{"path": "artifact.json"}`            | `200` `{"model_version": v+1}` |
 //! | `POST /admin/pause` / `POST /admin/resume` | —              | `200` `{"paused": ..}` |
 //!
@@ -38,6 +43,8 @@
 //! `f64` bit — the integration suite asserts exactly that.
 
 use crate::engine::ScoreRequest;
+use crate::metrics::MetricsRegistry;
+use crate::ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
 use crate::reload::ReloadableExecutor;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -64,6 +71,24 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Maximum accepted request-body size in bytes (413 beyond it).
     pub max_body_bytes: usize,
+    /// Per-client token-bucket rate limiting in front of the admission
+    /// queue (`None` disables it). Clients are keyed by their `X-Client-Id`
+    /// header, falling back to the peer IP. An exhausted bucket yields a 429
+    /// with `X-RateLimit-*` headers — distinguishable from the queue-full
+    /// 429, which carries `Retry-After: 0` and no `X-RateLimit-*` headers.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Whether the [`crate::metrics::MetricsRegistry`] records observations
+    /// and `GET /metrics` serves them. Disabling removes every observation
+    /// from the hot path (the A/B switch `serve_bench` uses to prove the
+    /// metrics overhead is below the perf-gate noise floor) — which also
+    /// freezes `/stats` at zero, since its counters are re-derived from the
+    /// registry.
+    pub metrics_enabled: bool,
+    /// Structured request-log sampling: every `log_sample`-th request (by
+    /// global arrival sequence) emits one JSON line to stderr. `0` disables
+    /// logging; `1` logs every request. Sampling is deterministic — request
+    /// sequence `seq` is logged iff `seq % log_sample == 0`.
+    pub log_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +99,9 @@ impl Default for ServerConfig {
             max_batch: 128,
             batch_window: Duration::from_micros(200),
             max_body_bytes: 1 << 20,
+            rate_limit: None,
+            metrics_enabled: true,
+            log_sample: 0,
         }
     }
 }
@@ -98,37 +126,27 @@ pub struct ServerStats {
     pub batched_requests: u64,
 }
 
-#[derive(Debug, Default)]
-struct StatCounters {
-    responses_2xx: AtomicU64,
-    responses_4xx: AtomicU64,
-    responses_429: AtomicU64,
-    responses_5xx: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-}
-
-impl StatCounters {
-    fn count_status(&self, status: u16) {
-        let counter = match status {
-            200..=299 => &self.responses_2xx,
-            429 => &self.responses_429,
-            400..=499 => &self.responses_4xx,
-            _ => &self.responses_5xx,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> ServerStats {
-        ServerStats {
-            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
-            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
-            responses_429: self.responses_429.load(Ordering::Relaxed),
-            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+/// Re-derives the `/stats` counters from the metrics registry — the
+/// registry is the single source of truth, so `/stats` and `/metrics` can
+/// never disagree (they are the same counters, classified by status class).
+fn stats_from_registry(metrics: &MetricsRegistry) -> ServerStats {
+    let mut stats = ServerStats::default();
+    for (labels, value) in metrics.responses.snapshot() {
+        let status: u16 = labels
+            .iter()
+            .find(|(name, _)| *name == "status")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        match status {
+            200..=299 => stats.responses_2xx += value,
+            429 => stats.responses_429 += value,
+            400..=499 => stats.responses_4xx += value,
+            _ => stats.responses_5xx += value,
         }
     }
+    stats.batches = metrics.batches.get();
+    stats.batched_requests = metrics.batched_requests.get();
+    stats
 }
 
 // ---------------------------------------------------------------------------
@@ -268,9 +286,12 @@ impl AdmissionQueue {
 struct Shared {
     executor: Arc<ReloadableExecutor>,
     queue: AdmissionQueue,
-    stats: StatCounters,
+    metrics: Arc<MetricsRegistry>,
+    limiter: Option<RateLimiter>,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// Global request arrival sequence, driving deterministic log sampling.
+    log_seq: AtomicU64,
 }
 
 /// A running HTTP scoring server; see the [module docs](self) for the wire
@@ -290,12 +311,21 @@ impl ScoreServer {
     pub fn start(executor: Arc<ReloadableExecutor>, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        if config.metrics_enabled {
+            // The executor records reload outcomes and version bumps into
+            // the same registry the server scrapes.
+            executor.attach_metrics(Arc::clone(&metrics));
+            metrics.model_version.set(executor.version() as f64);
+        }
         let shared = Arc::new(Shared {
             executor,
             queue: AdmissionQueue::new(config.queue_capacity),
-            stats: StatCounters::default(),
+            metrics,
+            limiter: config.rate_limit.map(RateLimiter::new),
             config,
             shutdown: AtomicBool::new(false),
+            log_seq: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -323,9 +353,15 @@ impl ScoreServer {
         &self.shared.executor
     }
 
-    /// Response/batching counters since start.
+    /// Response/batching counters since start, re-derived from the metrics
+    /// registry (all zero when [`ServerConfig::metrics_enabled`] is off).
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        stats_from_registry(&self.shared.metrics)
+    }
+
+    /// The metrics registry behind `GET /metrics`.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
     }
 
     /// Admitted-but-unscored jobs currently queued.
@@ -407,11 +443,22 @@ fn batch_loop(shared: Arc<Shared>) {
         // to exactly this artifact version, even mid-reload.
         let snapshot = shared.executor.snapshot();
         let total: usize = batch.iter().map(|j| j.requests.len()).sum();
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        shared.stats.batched_requests.fetch_add(total as u64, Ordering::Relaxed);
+        let metrics = shared.config.metrics_enabled.then(|| &shared.metrics);
+        let version_label = snapshot.version.to_string();
+        if let Some(metrics) = metrics {
+            metrics.batches.inc();
+            metrics.batched_requests.add(total as u64);
+            metrics.batch_size.observe(total as f64);
+        }
         let all: Vec<ScoreRequest> = batch.iter().flat_map(|j| j.requests.iter().cloned()).collect();
         match snapshot.executor().try_score_batch(&all) {
             Ok(scores) => {
+                if let Some(metrics) = metrics {
+                    metrics
+                        .score_requests
+                        .with(&[("version", &version_label)])
+                        .add(total as u64);
+                }
                 let mut offset = 0;
                 for job in batch {
                     let slice = scores[offset..offset + job.requests.len()].to_vec();
@@ -432,6 +479,14 @@ fn batch_loop(shared: Arc<Shared>) {
                             request_index: e.request_index,
                             message: e.to_string(),
                         });
+                    if outcome.is_ok() {
+                        if let Some(metrics) = metrics {
+                            metrics
+                                .score_requests
+                                .with(&[("version", &version_label)])
+                                .add(job.requests.len() as u64);
+                        }
+                    }
                     let _ = job.reply.send(outcome);
                 }
             }
@@ -453,6 +508,10 @@ const SCORE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let peer = stream
+        .peer_addr()
+        .map(|addr| addr.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let mut stream = stream;
     let mut buffer: Vec<u8> = Vec::with_capacity(4096);
     loop {
@@ -464,6 +523,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 let _ = respond_json(
                     &mut stream,
                     &shared,
+                    "unparsed",
                     failure.status,
                     &error_body(&failure.message, None),
                     &[],
@@ -472,10 +532,63 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
         };
         let close_after = request.close;
-        route(&mut stream, &shared, &request);
+        let client = request.client_id.as_deref().unwrap_or(&peer);
+        let route_name = route_label(&request.path);
+        let started = Instant::now();
+        let status = route(&mut stream, &shared, &request, client);
+        let duration = started.elapsed();
+        if shared.config.metrics_enabled {
+            shared
+                .metrics
+                .request_duration
+                .with(&[("route", route_name)])
+                .observe(duration.as_secs_f64());
+        }
+        let seq = shared.log_seq.fetch_add(1, Ordering::Relaxed);
+        if should_sample(seq, shared.config.log_sample) {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            eprintln!(
+                "{}",
+                format_log_line(ts, seq, route_name, status, duration.as_micros() as u64, client)
+            );
+        }
         if close_after {
             return;
         }
+    }
+}
+
+/// Whether request `seq` is in the deterministic log sample (`n == 0`
+/// disables logging entirely).
+fn should_sample(seq: u64, n: u64) -> bool {
+    n != 0 && seq.is_multiple_of(n)
+}
+
+/// One structured request-log line — a single JSON object, pure function of
+/// its inputs so tests can assert the exact format.
+fn format_log_line(ts: f64, seq: u64, route: &str, status: u16, duration_us: u64, client: &str) -> String {
+    format!(
+        "{{\"ts\":{ts:.3},\"seq\":{seq},\"route\":{route:?},\"status\":{status},\"duration_us\":{duration_us},\"client\":{client:?}}}"
+    )
+}
+
+/// The bounded-cardinality `route` label: known paths label as themselves,
+/// everything else collapses into `other` so a path-scanning client cannot
+/// blow up the registry.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/score" => "/score",
+        "/healthz" => "/healthz",
+        "/version" => "/version",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/reload" => "/reload",
+        "/admin/pause" => "/admin/pause",
+        "/admin/resume" => "/admin/resume",
+        _ => "other",
     }
 }
 
@@ -484,6 +597,8 @@ struct ParsedRequest {
     path: String,
     body: String,
     close: bool,
+    /// The `X-Client-Id` header, the rate limiter's preferred client key.
+    client_id: Option<String>,
 }
 
 struct RequestFailure {
@@ -512,7 +627,7 @@ fn read_http_request(
         if let Some(head_end) = find_head_end(buffer) {
             let head = std::str::from_utf8(&buffer[..head_end])
                 .map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
-            let (method, path, content_length, close) = parse_head(head)?;
+            let (method, path, content_length, close, client_id) = parse_head(head)?;
             if content_length > shared.config.max_body_bytes {
                 return Err(RequestFailure::new(
                     413,
@@ -532,6 +647,7 @@ fn read_http_request(
                     path,
                     body,
                     close,
+                    client_id,
                 }));
             }
         } else if buffer.len() > MAX_HEAD_BYTES {
@@ -563,7 +679,9 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn parse_head(head: &str) -> Result<(String, String, usize, bool), RequestFailure> {
+type ParsedHead = (String, String, usize, bool, Option<String>);
+
+fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
@@ -575,6 +693,7 @@ fn parse_head(head: &str) -> Result<(String, String, usize, bool), RequestFailur
     }
     let mut content_length = 0usize;
     let mut close = false;
+    let mut client_id = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -594,10 +713,11 @@ fn parse_head(head: &str) -> Result<(String, String, usize, bool), RequestFailur
                 ));
             }
             "connection" => close = value.eq_ignore_ascii_case("close"),
+            "x-client-id" if !value.is_empty() => client_id = Some(value.to_string()),
             _ => {}
         }
     }
-    Ok((method.to_string(), path.to_string(), content_length, close))
+    Ok((method.to_string(), path.to_string(), content_length, close, client_id))
 }
 
 // ---------------------------------------------------------------------------
@@ -651,15 +771,18 @@ fn error_body(message: &str, request_index: Option<usize>) -> String {
     })
 }
 
-fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest) {
+/// Dispatches one parsed request and returns the response status that was
+/// sent (0 if writing it failed), for the structured request log.
+fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, client: &str) -> u16 {
+    let label = route_label(&request.path);
     let result = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => handle_score(stream, shared, &request.body),
+        ("POST", "/score") => handle_score(stream, shared, &request.body, client),
         ("GET", "/healthz") => {
             let body = serde::json::to_string(&HealthResponse {
                 status: "ok".to_string(),
                 model_version: shared.executor.version(),
             });
-            respond_json(stream, shared, 200, &body, &[])
+            respond_json(stream, shared, label, 200, &body, &[])
         }
         ("GET", "/version") => {
             let snapshot = shared.executor.snapshot();
@@ -668,18 +791,20 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest) {
                 producer: snapshot.producer.clone(),
                 format_version: crate::artifact::FORMAT_VERSION,
             });
-            respond_json(stream, shared, 200, &body, &[])
+            respond_json(stream, shared, label, 200, &body, &[])
         }
         ("GET", "/stats") => {
-            let body = serde::json::to_string(&shared.stats.snapshot());
-            respond_json(stream, shared, 200, &body, &[])
+            let body = serde::json::to_string(&stats_from_registry(&shared.metrics));
+            respond_json(stream, shared, label, 200, &body, &[])
         }
+        ("GET", "/metrics") => handle_metrics(stream, shared),
         ("POST", "/reload") => handle_reload(stream, shared, &request.body),
         ("POST", "/admin/pause") => {
             shared.queue.set_paused(true);
             respond_json(
                 stream,
                 shared,
+                label,
                 200,
                 &serde::json::to_string(&PausedResponse { paused: true }),
                 &[],
@@ -690,23 +815,67 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest) {
             respond_json(
                 stream,
                 shared,
+                label,
                 200,
                 &serde::json::to_string(&PausedResponse { paused: false }),
                 &[],
             )
         }
-        (_, "/score" | "/healthz" | "/version" | "/stats" | "/reload" | "/admin/pause" | "/admin/resume") => {
-            respond_json(stream, shared, 405, &error_body("method not allowed", None), &[])
-        }
+        (
+            _,
+            "/score" | "/healthz" | "/version" | "/stats" | "/metrics" | "/reload" | "/admin/pause" | "/admin/resume",
+        ) => respond_json(stream, shared, label, 405, &error_body("method not allowed", None), &[]),
         _ => respond_json(
             stream,
             shared,
+            label,
             404,
             &error_body(&format!("no route for {}", request.path), None),
             &[],
         ),
     };
-    let _ = result;
+    result.unwrap_or(0)
+}
+
+/// `GET /metrics`: refresh the scrape-time gauges (queue depth, model
+/// version, cache mirror) and render the registry as Prometheus text.
+fn handle_metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<u16> {
+    if !shared.config.metrics_enabled {
+        return respond_json(
+            stream,
+            shared,
+            "/metrics",
+            404,
+            &error_body("metrics are disabled for this server", None),
+            &[],
+        );
+    }
+    let snapshot = shared.executor.snapshot();
+    let version = snapshot.version.to_string();
+    let cache = snapshot.executor().cache_stats();
+    let metrics = &shared.metrics;
+    metrics.queue_depth.set(shared.queue.len() as f64);
+    metrics.model_version.set(snapshot.version as f64);
+    metrics.cache_hits.with(&[("version", &version)]).store(cache.hits);
+    metrics.cache_misses.with(&[("version", &version)]).store(cache.misses);
+    metrics
+        .cache_hit_rate
+        .with(&[("version", &version)])
+        .set(cache.hit_rate());
+    metrics
+        .cache_entries
+        .with(&[("version", &version)])
+        .set(snapshot.executor().cache_entries() as f64);
+    let body = metrics.render();
+    respond(
+        stream,
+        shared,
+        "/metrics",
+        200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        &body,
+        &[],
+    )
 }
 
 fn parse_score_body(body: &str) -> Result<Vec<ScoreRequest>, String> {
@@ -720,40 +889,85 @@ fn parse_score_body(body: &str) -> Result<Vec<ScoreRequest>, String> {
     }
 }
 
-fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Result<()> {
+fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &str) -> io::Result<u16> {
+    // The token bucket sits in front of the admission queue: an over-budget
+    // client is turned away before it can occupy queue capacity.
+    if let Some(limiter) = &shared.limiter {
+        if let RateLimitDecision::Limited { retry_after, limit } = limiter.check(client, Instant::now()) {
+            if shared.config.metrics_enabled {
+                shared.metrics.rate_limited.inc();
+            }
+            return respond_json(
+                stream,
+                shared,
+                "/score",
+                429,
+                &error_body("rate limit exceeded; slow down", None),
+                &[
+                    ("Retry-After", format!("{}", retry_after.ceil() as u64)),
+                    ("X-RateLimit-Limit", format!("{}", limit as u64)),
+                    ("X-RateLimit-Remaining", "0".to_string()),
+                    ("X-RateLimit-Reset", format!("{retry_after:.3}")),
+                ],
+            );
+        }
+    }
     let requests = match parse_score_body(body) {
         Ok(requests) => requests,
-        Err(message) => return respond_json(stream, shared, 400, &error_body(&message, None), &[]),
+        Err(message) => return respond_json(stream, shared, "/score", 400, &error_body(&message, None), &[]),
     };
     if requests.is_empty() {
         let body = serde::json::to_string(&ScoreResponse {
             model_version: shared.executor.version(),
             scores: Vec::new(),
         });
-        return respond_json(stream, shared, 200, &body, &[]);
+        return respond_json(stream, shared, "/score", 200, &body, &[]);
     }
+    let admitted = Instant::now();
     let (reply, outcome) = sync_channel::<JobOutcome>(1);
     match shared.queue.push(Job { requests, reply }) {
         Err(AdmitError::Full) => {
+            if shared.config.metrics_enabled {
+                shared.metrics.queue_full.inc();
+            }
+            // Deliberately NO X-RateLimit-* headers here: queue-full means
+            // the server is saturated (retry immediately), not that this
+            // client is over its own budget.
             return respond_json(
                 stream,
                 shared,
+                "/score",
                 429,
                 &error_body("admission queue full; retry", None),
                 &[("Retry-After", "0".to_string())],
             );
         }
         Err(AdmitError::Closed) => {
-            return respond_json(stream, shared, 503, &error_body("server is draining", None), &[]);
+            return respond_json(
+                stream,
+                shared,
+                "/score",
+                503,
+                &error_body("server is draining", None),
+                &[],
+            );
         }
         Ok(()) => {}
     }
     match outcome.recv_timeout(SCORE_REPLY_TIMEOUT) {
         Ok(Ok((model_version, scores))) => {
+            if shared.config.metrics_enabled {
+                shared
+                    .metrics
+                    .score_duration
+                    .with(&[("version", &model_version.to_string())])
+                    .observe(admitted.elapsed().as_secs_f64());
+            }
             let body = serde::json::to_string(&ScoreResponse { model_version, scores });
             respond_json(
                 stream,
                 shared,
+                "/score",
                 200,
                 &body,
                 &[("X-Model-Version", model_version.to_string())],
@@ -762,21 +976,30 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Resu
         Ok(Err(failure)) => respond_json(
             stream,
             shared,
+            "/score",
             422,
             &error_body(&failure.message, Some(failure.request_index)),
             &[],
         ),
-        Err(_) => respond_json(stream, shared, 500, &error_body("scoring pipeline stalled", None), &[]),
+        Err(_) => respond_json(
+            stream,
+            shared,
+            "/score",
+            500,
+            &error_body("scoring pipeline stalled", None),
+            &[],
+        ),
     }
 }
 
-fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Result<()> {
+fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Result<u16> {
     let request: ReloadRequest = match serde::json::from_str(body) {
         Ok(request) => request,
         Err(e) => {
             return respond_json(
                 stream,
                 shared,
+                "/reload",
                 400,
                 &error_body(&format!("malformed reload body (expected {{\"path\": ..}}): {e}"), None),
                 &[],
@@ -789,6 +1012,7 @@ fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Res
             respond_json(
                 stream,
                 shared,
+                "/reload",
                 200,
                 &body,
                 &[("X-Model-Version", model_version.to_string())],
@@ -796,7 +1020,7 @@ fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Res
         }
         // The old version keeps serving; 409 tells the operator the rollout
         // did not happen.
-        Err(e) => respond_json(stream, shared, 409, &error_body(&e.to_string(), None), &[]),
+        Err(e) => respond_json(stream, shared, "/reload", 409, &error_body(&e.to_string(), None), &[]),
     }
 }
 
@@ -820,13 +1044,32 @@ fn status_reason(status: u16) -> &'static str {
 fn respond_json(
     stream: &mut TcpStream,
     shared: &Shared,
+    route: &'static str,
     status: u16,
     body: &str,
     extra_headers: &[(&str, String)],
-) -> io::Result<()> {
-    shared.stats.count_status(status);
+) -> io::Result<u16> {
+    respond(stream, shared, route, status, "application/json", body, extra_headers)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    route: &'static str,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> io::Result<u16> {
+    if shared.config.metrics_enabled {
+        shared
+            .metrics
+            .responses
+            .with(&[("route", route), ("status", &status.to_string())])
+            .inc();
+    }
     let mut response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_reason(status),
         body.len()
     );
@@ -838,7 +1081,8 @@ fn respond_json(
     }
     response.push_str("\r\n");
     response.push_str(body);
-    stream.write_all(response.as_bytes())
+    stream.write_all(response.as_bytes())?;
+    Ok(status)
 }
 
 // ---------------------------------------------------------------------------
@@ -874,11 +1118,31 @@ pub fn http_roundtrip(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<HttpResponse> {
+    http_roundtrip_with_headers(stream, method, path, body, &[])
+}
+
+/// [`http_roundtrip`] with extra request headers (e.g. `X-Client-Id`, the
+/// rate limiter's client key).
+pub fn http_roundtrip_with_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+) -> io::Result<HttpResponse> {
     let body = body.unwrap_or("");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: er-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: er-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        request.push_str(name);
+        request.push_str(": ");
+        request.push_str(value);
+        request.push_str("\r\n");
+    }
+    request.push_str("\r\n");
+    request.push_str(body);
     stream.write_all(request.as_bytes())?;
     read_http_response(stream)
 }
@@ -984,6 +1248,13 @@ mod tests {
     }
 
     fn start_server(queue_capacity: usize) -> (ScoreServer, Arc<ReloadableExecutor>) {
+        start_server_with(ServerConfig {
+            queue_capacity,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn start_server_with(config: ServerConfig) -> (ScoreServer, Arc<ReloadableExecutor>) {
         let executor = Arc::new(ReloadableExecutor::new(
             ScoringEngine::new(model(1.3)),
             ServeConfig {
@@ -992,14 +1263,7 @@ mod tests {
                 cache_shards: 4,
             },
         ));
-        let server = ScoreServer::start(
-            Arc::clone(&executor),
-            ServerConfig {
-                queue_capacity,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("bind ephemeral port");
+        let server = ScoreServer::start(Arc::clone(&executor), config).expect("bind ephemeral port");
         (server, executor)
     }
 
@@ -1124,6 +1388,10 @@ mod tests {
         assert_eq!(rejected.status, 429, "{}", rejected.body);
         assert_eq!(rejected.header("retry-after"), Some("0"));
         assert!(rejected.body.contains("admission queue full"), "{}", rejected.body);
+        // Queue-full 429s never carry rate-limit headers — that is the
+        // disambiguation clients rely on.
+        assert_eq!(rejected.header("x-ratelimit-limit"), None);
+        assert_eq!(rejected.header("x-ratelimit-remaining"), None);
         // Resume: the blocked jobs complete and fresh traffic flows again.
         server.resume_intake();
         for handle in blocked {
@@ -1168,6 +1436,115 @@ mod tests {
         assert_eq!(refused.status, 409, "{}", refused.body);
         assert_eq!(executor.version(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_and_agrees_with_stats() {
+        let (server, _executor) = start_server(16);
+        let mut stream = connect(&server);
+        for i in 0..3u64 {
+            let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(i, 0.4))).expect("score");
+            assert_eq!(ok.status, 200, "{}", ok.body);
+        }
+        let scraped = http_roundtrip(&mut stream, "GET", "/metrics", None).expect("metrics");
+        assert_eq!(scraped.status, 200);
+        assert!(
+            scraped
+                .header("content-type")
+                .is_some_and(|ct| ct.starts_with("text/plain")),
+            "{:?}",
+            scraped.headers
+        );
+        let samples = crate::metrics::parse_exposition(&scraped.body).expect("exposition parses");
+        let sum_of = |name: &str| -> f64 { samples.iter().filter(|s| s.name == name).map(|s| s.value).sum() };
+        // Every scored request is counted under the version that scored it.
+        assert_eq!(sum_of("er_serve_score_requests_total"), 3.0);
+        assert_eq!(sum_of("er_serve_model_version"), 1.0);
+        assert_eq!(sum_of("er_serve_request_duration_seconds_count"), 3.0);
+        // The /stats counters are the same registry, classified by status
+        // class: 3 scores + the /metrics scrape itself.
+        let stats = server.stats();
+        assert_eq!(stats.responses_2xx, 4, "{stats:?}");
+        assert_eq!(stats.responses_4xx + stats.responses_429 + stats.responses_5xx, 0);
+        // The exposition's own responses_total agrees with what /stats saw
+        // at scrape time (the scrape response is recorded after rendering).
+        assert_eq!(sum_of("er_serve_responses_total"), 3.0);
+        // Batching evidence flows through the same registry.
+        assert_eq!(stats.batched_requests, 3);
+        assert!(stats.batches >= 1 && stats.batches <= 3, "{stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn disabled_metrics_turn_off_the_endpoint_and_freeze_stats() {
+        let (server, _executor) = start_server_with(ServerConfig {
+            metrics_enabled: false,
+            ..ServerConfig::default()
+        });
+        let mut stream = connect(&server);
+        let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(0, 0.4))).expect("score");
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        let scraped = http_roundtrip(&mut stream, "GET", "/metrics", None).expect("response");
+        assert_eq!(scraped.status, 404, "{}", scraped.body);
+        let stats = server.stats();
+        assert_eq!(stats.responses_2xx, 0, "no observations when disabled: {stats:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn rate_limited_client_gets_429_with_headers_while_others_flow() {
+        let (server, _executor) = start_server_with(ServerConfig {
+            // Burst of 2 with a negligible refill: the third request from
+            // the same client must bounce for the rest of the test.
+            rate_limit: Some(RateLimitConfig::new(0.001, 2.0)),
+            ..ServerConfig::default()
+        });
+        let mut stream = connect(&server);
+        let a = [("X-Client-Id", "client-a")];
+        for i in 0..2u64 {
+            let ok = http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&request_json(i, 0.4)), &a)
+                .expect("score");
+            assert_eq!(ok.status, 200, "{}", ok.body);
+        }
+        let limited = http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&request_json(2, 0.4)), &a)
+            .expect("response");
+        assert_eq!(limited.status, 429, "{}", limited.body);
+        assert_eq!(limited.header("x-ratelimit-limit"), Some("2"));
+        assert_eq!(limited.header("x-ratelimit-remaining"), Some("0"));
+        assert!(limited.header("x-ratelimit-reset").is_some());
+        assert!(
+            limited.header("retry-after").is_some_and(|v| v != "0"),
+            "rate-limit Retry-After must be a real backoff, got {:?}",
+            limited.header("retry-after")
+        );
+        assert!(limited.body.contains("rate limit"), "{}", limited.body);
+        // A different client on the SAME connection (same peer IP) has its
+        // own untouched bucket.
+        let b = [("X-Client-Id", "client-b")];
+        let ok =
+            http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&request_json(3, 0.4)), &b).expect("score");
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        // The registry saw exactly one token-bucket rejection and no
+        // queue-full rejection.
+        assert_eq!(server.metrics().rate_limited.get(), 1);
+        assert_eq!(server.metrics().queue_full.get(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn log_lines_are_json_and_sampling_is_deterministic() {
+        assert!(!should_sample(0, 0), "0 disables logging");
+        assert!(should_sample(0, 1) && should_sample(1, 1));
+        assert!(should_sample(0, 10) && !should_sample(9, 10) && should_sample(10, 10));
+        let line = format_log_line(1754600000.125, 42, "/score", 200, 311, "10.2.3.4");
+        let value = serde::json::parse(&line).expect("log line is one JSON object");
+        let field = |name: &str| value.get(name).unwrap_or_else(|| panic!("missing {name} in {line}"));
+        assert_eq!(field("seq"), &serde::Value::UInt(42));
+        assert_eq!(field("status"), &serde::Value::UInt(200));
+        assert_eq!(field("duration_us"), &serde::Value::UInt(311));
+        assert_eq!(field("route").as_str(), Some("/score"));
+        assert_eq!(field("client").as_str(), Some("10.2.3.4"));
+        assert_eq!(field("ts"), &serde::Value::Float(1754600000.125));
     }
 
     #[test]

@@ -13,8 +13,8 @@
 use er_base::Label;
 use er_rulegen::{CmpOp, Condition, Rule};
 use er_serve::{
-    http_roundtrip, parse_score_response, ModelArtifact, ReloadableExecutor, ScoreRequest, ScoreServer, ScoringEngine,
-    ServeConfig, ServerConfig,
+    http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response, ModelArtifact,
+    RateLimitConfig, ReloadableExecutor, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig, ServerConfig,
 };
 use learnrisk_core::{train, LearnRiskModel, PairRiskInput, RiskFeatureSet, RiskModelConfig, RiskTrainConfig};
 use std::net::TcpStream;
@@ -251,5 +251,81 @@ fn concurrent_clients_coalesce_into_micro_batches_without_score_drift() {
         "{stats:?}"
     );
     assert_eq!(stats.batched_requests, 60);
+    server.shutdown();
+}
+
+#[test]
+fn rate_limited_client_is_rejected_over_a_raw_socket_while_metrics_attribute_it() {
+    let mut model = untrained_model();
+    let inputs = training_inputs(&model, 80);
+    train(
+        &mut model,
+        &inputs,
+        &RiskTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let executor = Arc::new(ReloadableExecutor::new(
+        ScoringEngine::new(model.clone()),
+        ServeConfig::default().with_threads(1),
+    ));
+    // A slow-refill bucket so the burst is the whole budget for this test.
+    let server = ScoreServer::start(
+        executor,
+        ServerConfig {
+            rate_limit: Some(RateLimitConfig::new(0.001, 3.0)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let expected = ScoringEngine::new(model).score_batch(&serving_requests(1));
+    let body = serde::json::to_string(&serving_requests(1)[0]);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Client A spends its whole burst; every allowed response is still
+    // bit-identical to the in-process engine (admission control must not
+    // touch scoring).
+    let a = [("X-Client-Id", "client-a")];
+    for i in 0..3 {
+        let ok = http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&body), &a).expect("round trip");
+        assert_eq!(ok.status, 200, "burst request {i}: {}", ok.body);
+        let (_, scores) = parse_score_response(&ok.body).expect("body");
+        assert_eq!(scores[0].to_bits(), expected[0].to_bits());
+    }
+
+    // The over-budget request bounces with the rate-limit shape — 429 plus
+    // all three X-RateLimit-* headers and a non-zero Retry-After, which is
+    // exactly what distinguishes it from a queue-full 429 — and the
+    // connection itself survives the rejection.
+    let limited =
+        http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&body), &a).expect("still a response");
+    assert_eq!(limited.status, 429, "{}", limited.body);
+    assert_eq!(limited.header("x-ratelimit-limit"), Some("3"));
+    assert_eq!(limited.header("x-ratelimit-remaining"), Some("0"));
+    assert!(limited.header("x-ratelimit-reset").is_some(), "{:?}", limited.headers);
+    assert!(
+        limited.header("retry-after").is_some_and(|v| v != "0"),
+        "rate-limit Retry-After must be the real refill time, got {:?}",
+        limited.headers
+    );
+
+    // Client B shares the TCP connection and peer IP but presents its own
+    // identity: its bucket is untouched.
+    let b = [("X-Client-Id", "client-b")];
+    let ok = http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&body), &b).expect("round trip");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    // The rejection is attributed in the exposition: one rate-limited
+    // admission, zero queue-full ones, and only the four allowed requests
+    // reached the scoring path.
+    let scrape = http_roundtrip(&mut stream, "GET", "/metrics", None).expect("scrape");
+    assert_eq!(scrape.status, 200);
+    let samples = parse_exposition(&scrape.body).expect("exposition parses");
+    let value = |name: &str| samples.iter().filter(|s| s.name == name).map(|s| s.value).sum::<f64>();
+    assert_eq!(value("er_serve_rate_limited_total"), 1.0);
+    assert_eq!(value("er_serve_queue_full_total"), 0.0);
+    assert_eq!(value("er_serve_score_requests_total"), 4.0);
+
     server.shutdown();
 }

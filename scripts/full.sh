@@ -15,6 +15,8 @@ BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench train_b
 
 export SERVE_BENCH_JSON="$OUT/serve_bench.json"
 export TRAIN_BENCH_JSON="$OUT/train_bench.json"
+export FIG13_JSON="$OUT/fig13.json"
+export SERVE_BENCH_METRICS_SNAPSHOT="$OUT/metrics-snapshot.prom"
 # The full tier drives the HTTP front-end (socket replay + mid-replay
 # hot-reload + backpressure smoke inside serve_bench) with a longer stream.
 export SERVE_BENCH_FRONTEND_REQUESTS="${FULL_FRONTEND_REQUESTS:-8000}"

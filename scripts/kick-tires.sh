@@ -14,11 +14,14 @@ SCALE="${KICK_TIRES_SCALE:-0.012}"
 OUT=out/kick-tires
 BINARIES=(table2 fig9 fig10 fig11 fig12 fig13 fig14 ablation serve_bench train_bench)
 
-# serve_bench and train_bench also emit machine-readable results (the
+# serve_bench, train_bench and fig13 also emit machine-readable results (the
 # BENCH_*.json perf trajectory); keep them at stable paths so future PRs can
-# diff serving and training performance.
+# diff serving, training and scalability performance. serve_bench additionally
+# dumps the raw /metrics exposition it scraped during the front-end phase.
 export SERVE_BENCH_JSON=out/serve_bench.json
 export TRAIN_BENCH_JSON=out/train_bench.json
+export FIG13_JSON=out/fig13.json
+export SERVE_BENCH_METRICS_SNAPSHOT=out/metrics-snapshot.prom
 
 echo "== kick-tires: release build =="
 cargo build --release -p er-bench
@@ -36,8 +39,10 @@ echo "== kick-tires: outputs =="
 ls -l "$OUT"
 test -s "$SERVE_BENCH_JSON" || { echo "missing $SERVE_BENCH_JSON" >&2; exit 1; }
 test -s "$TRAIN_BENCH_JSON" || { echo "missing $TRAIN_BENCH_JSON" >&2; exit 1; }
+test -s "$FIG13_JSON" || { echo "missing $FIG13_JSON" >&2; exit 1; }
 echo "serve_bench JSON at $SERVE_BENCH_JSON"
 echo "train_bench JSON at $TRAIN_BENCH_JSON"
+echo "fig13 JSON at $FIG13_JSON"
 
 # The serve_bench run above is also the HTTP front-end smoke: it starts the
 # score server on an ephemeral port, replays traffic over raw sockets,
@@ -49,7 +54,31 @@ grep -q '"frontend"' "$SERVE_BENCH_JSON" || { echo "serve_bench JSON is missing 
 grep -q '"bit_exact": true' "$SERVE_BENCH_JSON" || { echo "front-end replay did not attest bit-exactness" >&2; exit 1; }
 grep -q '"bit_exact_per_version": true' "$SERVE_BENCH_JSON" \
     || { echo "mid-replay reload did not attest per-version bit-exactness" >&2; exit 1; }
-echo "front-end replay + mid-replay reload + backpressure smoke OK"
+grep -q '"limited_429": true' "$SERVE_BENCH_JSON" || { echo "rate-limit smoke did not attest a 429" >&2; exit 1; }
+grep -q '"second_client_unaffected": true' "$SERVE_BENCH_JSON" \
+    || { echo "rate-limit smoke did not attest per-client isolation" >&2; exit 1; }
+echo "front-end replay + mid-replay reload + backpressure + rate-limit smoke OK"
+
+# The front-end phase scraped its own GET /metrics into a snapshot file.
+# Independently re-validate it here: every line must be Prometheus text
+# exposition (comment or `name{labels} value`), and the scraped
+# er_serve_score_requests_total must reconcile with the number of requests
+# the socket replay actually sent — a counter the server under-reports is
+# worse than no counter at all.
+test -s "$SERVE_BENCH_METRICS_SNAPSHOT" || { echo "missing $SERVE_BENCH_METRICS_SNAPSHOT" >&2; exit 1; }
+BAD_LINES=$(grep -cEv '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+(\.[0-9]+)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+Inf|NaN))$' \
+    "$SERVE_BENCH_METRICS_SNAPSHOT" || true)
+[[ "$BAD_LINES" == "0" ]] || {
+    echo "metrics snapshot has $BAD_LINES line(s) that are not valid Prometheus text exposition" >&2
+    exit 1
+}
+SCRAPED_SCORES=$(awk '/^er_serve_score_requests_total/ {sum += $NF} END {print sum + 0}' "$SERVE_BENCH_METRICS_SNAPSHOT")
+REPLAYED=$(awk '/"replay": \{/ {r = 1} r && /"requests":/ {gsub(/[^0-9]/, ""); print; exit}' "$SERVE_BENCH_JSON")
+[[ -n "$REPLAYED" && "$SCRAPED_SCORES" == "$REPLAYED" ]] || {
+    echo "scraped er_serve_score_requests_total ($SCRAPED_SCORES) != replayed requests ($REPLAYED)" >&2
+    exit 1
+}
+echo "metrics snapshot parses; score_requests_total $SCRAPED_SCORES reconciles with the $REPLAYED-request replay"
 
 # Informational perf diff against the committed baseline (the CI perf-gate
 # job runs the same diff fatally; locally a regression only warns, since dev
