@@ -19,6 +19,7 @@ use er_serve::{
     extract_histogram, http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response, run_replay,
     summarize_latencies, zipf_stream, LatencySummary, ModelArtifact, RateLimitConfig, ReloadableExecutor, ReplayConfig,
     ReplayReport, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig, ServerConfig, ServerStats, ShardedExecutor,
+    Stage,
 };
 use learnrisk_core::{LearnRiskModel, PairRiskInput, RiskTrainConfig};
 use serde::Serialize;
@@ -118,6 +119,47 @@ struct FrontendMetrics {
     histogram_reconciled: bool,
 }
 
+/// The tracing A/B phase: the identical replay against a tracing-off control
+/// server and a tracing-on server retaining *every* trace, with the span
+/// timelines reconciled against both the replay's own measurements and the
+/// metrics registry, and the Chrome trace-event export parsed and snapshotted.
+#[derive(Debug, Serialize)]
+struct TracingBench {
+    /// Ring capacity of the tracing-on server — sized to `2 × requests` so
+    /// no trace is evicted and the reconciliations below cover every request.
+    trace_capacity: usize,
+    /// The tracing-off control replay (`trace_capacity: 0`).
+    replay_trace_off: FrontendRun,
+    /// The tracing-on replay.
+    replay_trace_on: FrontendRun,
+    /// Tracing-on throughput over tracing-off throughput; ~1.0 when span
+    /// recording stays off the hot path's lock, gated by `bench_diff` as a
+    /// ratio metric.
+    tracing_on_relative_throughput: f64,
+    /// Committed `/score` traces (status 200) — must equal both the replayed
+    /// request count and the scraped `er_serve_score_requests_total`.
+    committed_score_traces: u64,
+    /// The three-way count reconciliation above held.
+    span_counts_match: bool,
+    /// Every retained trace's stage spans nest inside its recorded total
+    /// (no span ends after the request's own end).
+    spans_nest_within_totals: bool,
+    /// Every scored trace covers the full stage taxonomy
+    /// (`parse`, `score`, `serialize`, `write`).
+    stage_taxonomy_complete: bool,
+    /// Server-side percentiles over trace totals sit at or below the
+    /// client-measured socket percentiles (+wire slack): the server's
+    /// `parse → write` window is physically contained in the client's
+    /// write → parsed window.
+    totals_bracket_replay: bool,
+    /// Server-side p50/p95/p99 over trace totals, for the trajectory.
+    trace_latency: LatencySummary,
+    /// `GET /debug/traces` parsed as Chrome trace-event JSON.
+    chrome_export_parsed: bool,
+    /// Where the raw `/debug/traces` body was written.
+    snapshot_path: String,
+}
+
 /// The rate-limit smoke (its own server, so the canonical phase counters
 /// stay clean): one client exhausts its burst and must get 429 +
 /// `X-RateLimit-*`, while a second client on the same peer IP flows freely.
@@ -149,6 +191,8 @@ struct FrontendBench {
     metrics_on_relative_throughput: f64,
     metrics: FrontendMetrics,
     rate_limit: RateLimitSmoke,
+    /// The tracing-on/off A/B with span reconciliation and Chrome export.
+    tracing: TracingBench,
     reload: FrontendReload,
     backpressure: FrontendBackpressure,
     /// Final server counters; 4xx/5xx must be zero and 429 must equal the
@@ -486,6 +530,10 @@ fn frontend_bench(
 
     let server_config = ServerConfig {
         queue_capacity: 16,
+        // The canonical phases stay tracing-free so their absolute baselines
+        // keep meaning what they always meant; the dedicated tracing phase
+        // below owns the tracing-on/off A/B.
+        trace_capacity: 0,
         ..ServerConfig::default()
     };
     // Captured before the config moves into the server, so the JSON block
@@ -712,6 +760,9 @@ fn frontend_bench(
     // counters above stay exactly attributable.
     let rate_limit = rate_limit_smoke(engine, &stream[0], threads);
 
+    // The tracing A/B likewise gets its own pair of servers.
+    let tracing = tracing_bench(engine, stream, clients, threads, &expected_v1);
+
     FrontendBench {
         threads,
         queue_capacity,
@@ -722,9 +773,192 @@ fn frontend_bench(
         metrics_on_relative_throughput,
         metrics,
         rate_limit,
+        tracing,
         reload,
         backpressure,
         statuses,
+    }
+}
+
+/// The tracing phase: replay the identical stream against a tracing-off
+/// control and a tracing-on server whose ring retains every trace, then
+/// reconcile the span timelines three ways — counts (committed `/score`
+/// traces == replayed requests == `er_serve_score_requests_total`), nesting
+/// (every stage span ends inside its request's total) and bracketing
+/// (trace-total percentiles sit at or below the client-measured socket
+/// percentiles) — and snapshot the Chrome trace-event export.
+fn tracing_bench(
+    engine: &ScoringEngine,
+    stream: &[ScoreRequest],
+    clients: usize,
+    threads: usize,
+    expected: &[f64],
+) -> TracingBench {
+    let base_config = ServerConfig {
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    };
+    let run = |label: &str, trace_capacity: usize| -> (FrontendRun, Option<ScoreServer>) {
+        let executor = Arc::new(ReloadableExecutor::new(
+            engine.clone(),
+            ServeConfig::default().with_threads(threads),
+        ));
+        let server = ScoreServer::start(
+            executor,
+            ServerConfig {
+                trace_capacity,
+                ..base_config.clone()
+            },
+        )
+        .expect("bind tracing-phase score server");
+        let progress = AtomicUsize::new(0);
+        let outcome = run_socket_replay(server.local_addr(), stream, clients, expected, expected, &progress);
+        assert_eq!(outcome.non_2xx, 0, "tracing {label} replay must be all-2xx");
+        assert!(outcome.bit_exact, "tracing {label} socket scores diverged");
+        println!(
+            "frontend replay (tracing {label}): {:>10.0} req/s  p50 {:>7.1}µs  p95 {:>7.1}µs  p99 {:>7.1}µs",
+            outcome.throughput_rps, outcome.latency.p50_us, outcome.latency.p95_us, outcome.latency.p99_us
+        );
+        let frontend_run = FrontendRun {
+            clients,
+            requests: stream.len(),
+            elapsed_secs: outcome.elapsed_secs,
+            throughput_rps: outcome.throughput_rps,
+            latency: outcome.latency,
+            non_2xx: outcome.non_2xx,
+            bit_exact: outcome.bit_exact,
+        };
+        (frontend_run, Some(server))
+    };
+
+    println!();
+    // Control first, so the tracing-on series cannot inherit its warmup.
+    let (replay_trace_off, control) = run("OFF control", 0);
+    control.expect("control server").shutdown();
+
+    // Retain everything: with capacity ≥ 2 × requests the ring never wraps,
+    // so the reconciliations below see every request, not a survivor set.
+    let trace_capacity = stream.len() * 2;
+    let (replay_trace_on, server) = run("ON", trace_capacity);
+    let server = server.expect("tracing-on server");
+    let tracing_on_relative_throughput = replay_trace_on.throughput_rps / replay_trace_off.throughput_rps.max(1e-9);
+    println!("frontend tracing on/off throughput ratio: {tracing_on_relative_throughput:.3}");
+
+    // --- reconciliation: counts --------------------------------------------
+    let tracer = server.tracer().expect("tracing-on server has a tracer");
+    let traces = tracer.snapshot();
+    let score_traces: Vec<_> = traces
+        .iter()
+        .filter(|t| t.route == "/score" && t.status == 200)
+        .collect();
+    let committed_score_traces = score_traces.len() as u64;
+    let mut conn = TcpStream::connect(server.local_addr()).expect("frontend: connect for tracing scrape");
+    let scrape = http_roundtrip(&mut conn, "GET", "/metrics", None).expect("frontend: tracing scrape");
+    assert_eq!(scrape.status, 200, "tracing scrape failed: {}", scrape.body);
+    let samples = parse_exposition(&scrape.body).expect("tracing-phase exposition parses");
+    let score_requests_total: u64 = samples
+        .iter()
+        .filter(|s| s.name == "er_serve_score_requests_total")
+        .map(|s| s.value as u64)
+        .sum();
+    let span_counts_match =
+        committed_score_traces == stream.len() as u64 && score_requests_total == stream.len() as u64;
+    assert!(
+        span_counts_match,
+        "span-count reconciliation failed: {} committed /score traces, \
+         er_serve_score_requests_total {}, {} replayed requests",
+        committed_score_traces,
+        score_requests_total,
+        stream.len()
+    );
+
+    // --- reconciliation: span nesting and stage coverage -------------------
+    // Offsets are rounded to whole microseconds independently, so a span's
+    // end may exceed the trace's end by a hair of rounding.
+    const ROUNDING_SLACK_US: u64 = 2;
+    let mut spans_nest_within_totals = true;
+    let mut stage_taxonomy_complete = true;
+    for trace in &score_traces {
+        let trace_end = trace.start_us + trace.total_us + ROUNDING_SLACK_US;
+        for span in &trace.spans {
+            spans_nest_within_totals &= span.start_us + span.dur_us <= trace_end && span.start_us >= trace.start_us;
+        }
+        for stage in [Stage::Parse, Stage::Score, Stage::Serialize, Stage::Write] {
+            stage_taxonomy_complete &= trace.spans.iter().any(|s| s.stage == stage);
+        }
+    }
+    assert!(
+        spans_nest_within_totals,
+        "a stage span ends outside its request's own timeline"
+    );
+    assert!(
+        stage_taxonomy_complete,
+        "a scored request is missing part of the parse/score/serialize/write taxonomy"
+    );
+
+    // --- reconciliation: totals bracket the replay -------------------------
+    // The client measured request-write → response-parsed; the server's trace
+    // covers parse → write inside that window, so at every percentile the
+    // trace total must sit at or below the socket measurement (+wire slack).
+    let mut totals_ns: Vec<u64> = score_traces.iter().map(|t| t.total_us * 1_000).collect();
+    let trace_latency = summarize_latencies(&mut totals_ns);
+    let slack_us = PERCENTILE_SLACK_SECS * 1e6;
+    let mut totals_bracket_replay = true;
+    for (label, server_us, client_us) in [
+        ("p50", trace_latency.p50_us, replay_trace_on.latency.p50_us),
+        ("p95", trace_latency.p95_us, replay_trace_on.latency.p95_us),
+        ("p99", trace_latency.p99_us, replay_trace_on.latency.p99_us),
+    ] {
+        let ok = server_us <= client_us + slack_us;
+        println!(
+            "frontend tracing: {label} trace total {server_us:.1}µs vs socket {client_us:.1}µs — {}",
+            if ok { "bracketed" } else { "DIVERGED" }
+        );
+        totals_bracket_replay &= ok;
+    }
+    assert!(
+        totals_bracket_replay,
+        "summed stage timelines exceed the client-measured socket latency"
+    );
+
+    // --- Chrome trace-event export -----------------------------------------
+    let export = http_roundtrip(&mut conn, "GET", "/debug/traces", None).expect("frontend: /debug/traces round trip");
+    assert_eq!(export.status, 200, "/debug/traces failed: {}", export.body);
+    let doc = serde::json::parse(&export.body).unwrap_or_else(|e| panic!("/debug/traces body is not valid JSON: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("traceEvents array present");
+    let chrome_export_parsed = !events.is_empty();
+    assert!(chrome_export_parsed, "Chrome export retained no events");
+    let snapshot_path =
+        std::env::var("SERVE_BENCH_TRACE_SNAPSHOT").unwrap_or_else(|_| "out/trace-snapshot.json".into());
+    if let Some(parent) = Path::new(&snapshot_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create trace snapshot directory");
+        }
+    }
+    std::fs::write(&snapshot_path, &export.body).expect("write trace snapshot");
+    println!(
+        "frontend tracing: {} traces retained, {} Chrome events, snapshot at {snapshot_path}",
+        traces.len(),
+        events.len()
+    );
+    server.shutdown();
+
+    TracingBench {
+        trace_capacity,
+        replay_trace_off,
+        replay_trace_on,
+        tracing_on_relative_throughput,
+        committed_score_traces,
+        span_counts_match,
+        spans_nest_within_totals,
+        stage_taxonomy_complete,
+        totals_bracket_replay,
+        trace_latency,
+        chrome_export_parsed,
+        snapshot_path,
     }
 }
 

@@ -19,18 +19,26 @@
 //!
 //! Usage: `cargo run -p er-bench --release --bin train_bench [scale] [--threads 1,2,4]`
 
-use learnrisk_core::{loss_and_gradient, sample_rank_pairs, EpochScratch, RiskTrainConfig};
+use learnrisk_core::{loss_and_gradient, sample_rank_pairs, EpochScratch, EpochSpan, RiskTrainConfig};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// One factorized-epoch timing at a thread count.
+/// One factorized-epoch timing at a thread count, with the epoch's
+/// per-stage span attribution (forward / λ sweep / gradient), so the
+/// trajectory shows *where* epoch time goes, not just its total.
 #[derive(Debug, Serialize)]
 struct ThreadTiming {
     threads: usize,
     epoch_secs: f64,
     /// Per-pair baseline epoch time divided by this epoch time.
     speedup_vs_baseline: f64,
+    /// Seconds of the timed epoch spent in the parallel forward pass.
+    forward_secs: f64,
+    /// Seconds in the O(rank_pairs) scalar λ sweep.
+    lambda_secs: f64,
+    /// Seconds in the parallel gradient accumulation.
+    gradient_secs: f64,
 }
 
 /// Timings of one input size.
@@ -165,30 +173,49 @@ fn main() {
         });
         let mut factorized = Vec::new();
         for &threads in &thread_counts {
-            let epoch_secs = time_best(reps, || {
-                std::hint::black_box(scratch.factorized_loss_and_gradient(
+            // Best-of-reps per stage too: attribution comes from the same
+            // timed-epoch runs the total is measured on, so the stage split
+            // explains the reported epoch time rather than a separate run.
+            let mut span = EpochSpan::default();
+            let mut best_span = EpochSpan::default();
+            let mut epoch_secs = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                std::hint::black_box(scratch.factorized_loss_and_gradient_timed(
                     model,
                     prefix,
                     &rank_pairs,
                     &config,
                     threads,
                     &mut grad,
+                    &mut span,
                 ));
-            });
+                let elapsed = start.elapsed().as_secs_f64();
+                if elapsed < epoch_secs {
+                    epoch_secs = elapsed;
+                    best_span = span.clone();
+                }
+            }
             let speedup = baseline_epoch_secs / epoch_secs.max(1e-12);
             println!(
-                "{:>8} {:>10} {:>14.3} {:>14.3} {:>10} {:>11.1}x",
+                "{:>8} {:>10} {:>14.3} {:>14.3} {:>10} {:>11.1}x  (fwd {:.0}% λ {:.0}% grad {:.0}%)",
                 n,
                 rank_pairs.len(),
                 baseline_epoch_secs * 1e3,
                 epoch_secs * 1e3,
                 threads,
-                speedup
+                speedup,
+                100.0 * best_span.forward_secs / epoch_secs.max(1e-12),
+                100.0 * best_span.lambda_secs / epoch_secs.max(1e-12),
+                100.0 * best_span.gradient_secs / epoch_secs.max(1e-12),
             );
             factorized.push(ThreadTiming {
                 threads,
                 epoch_secs,
                 speedup_vs_baseline: speedup,
+                forward_secs: best_span.forward_secs,
+                lambda_secs: best_span.lambda_secs,
+                gradient_secs: best_span.gradient_secs,
             });
         }
         let single_thread_speedup = factorized

@@ -411,14 +411,16 @@ fn diff_run_metrics(report: &mut DiffReport, prefix: &str, base_run: &Value, cur
 
 /// Diffs the HTTP front-end block (`frontend.replay` socket round-trip
 /// latency, `frontend.replay_metrics_off` instrumentation-off control,
-/// `frontend.reload` latency-under-reload). Correctness attestations
-/// (`bit_exact`, `bit_exact_per_version`, the `/metrics` scrape and
-/// rate-limit smoke flags) are hard-gated like `round_trip_bit_exact` *once
+/// `frontend.reload` latency-under-reload, the `frontend.tracing` A/B).
+/// Correctness attestations (`bit_exact`, `bit_exact_per_version`, the
+/// `/metrics` scrape and rate-limit smoke flags, the tracing
+/// reconciliations) are hard-gated like `round_trip_bit_exact` *once
 /// the baseline carries them*: from then on a current run where they are
 /// false, renamed or missing fails the gate — an attested signal cannot
-/// silently stop being attested.  `metrics_on_relative_throughput` (the
-/// zero-overhead claim: metrics-on throughput over metrics-off) is a
-/// machine-local ratio, so it is gated even cross-hardware, loosened.
+/// silently stop being attested.  `metrics_on_relative_throughput` and
+/// `tracing.tracing_on_relative_throughput` (the zero-overhead claims:
+/// instrumented throughput over its uninstrumented control) are
+/// machine-local ratios, so they are gated even cross-hardware, loosened.
 fn diff_frontend(
     baseline: &Value,
     current: &Value,
@@ -444,6 +446,11 @@ fn diff_frontend(
         ("rate_limit", "limited_429"),
         ("rate_limit", "headers_present"),
         ("rate_limit", "second_client_unaffected"),
+        ("tracing", "span_counts_match"),
+        ("tracing", "spans_nest_within_totals"),
+        ("tracing", "stage_taxonomy_complete"),
+        ("tracing", "totals_bracket_replay"),
+        ("tracing", "chrome_export_parsed"),
     ] {
         let attested_in_baseline = base_front.get(section).and_then(|s| s.get(flag)).is_some();
         let current_flag = current_front.and_then(|f| f.get(section)).and_then(|s| s.get(flag));
@@ -473,6 +480,24 @@ fn diff_frontend(
             ratio_tolerance,
         );
     }
+    // The tracing overhead ratio mirrors the metrics one: back-to-back A/B in
+    // one process, so gated even cross-hardware (loosened).
+    let base_tracing_ratio = base_front
+        .get("tracing")
+        .and_then(|t| field_num(t, "tracing_on_relative_throughput"));
+    let current_tracing_ratio = current_front
+        .and_then(|f| f.get("tracing"))
+        .and_then(|t| field_num(t, "tracing_on_relative_throughput"));
+    if base_tracing_ratio.is_some() || current_tracing_ratio.is_some() {
+        push_metric(
+            report,
+            "serve.frontend.tracing.tracing_on_relative_throughput",
+            base_tracing_ratio,
+            current_tracing_ratio,
+            Direction::HigherIsBetter,
+            ratio_tolerance,
+        );
+    }
     if !hardware_matches {
         return;
     }
@@ -484,6 +509,25 @@ fn diff_frontend(
         diff_run_metrics(
             report,
             &format!("serve.frontend.{section}"),
+            base_run,
+            current_run,
+            config,
+        );
+    }
+    // The tracing A/B replays are absolute socket runs like the sections
+    // above, one level deeper in the tree.
+    for section in ["replay_trace_off", "replay_trace_on"] {
+        let (Some(base_run), Some(current_run)) = (
+            base_front.get("tracing").and_then(|t| t.get(section)),
+            current_front
+                .and_then(|f| f.get("tracing"))
+                .and_then(|t| t.get(section)),
+        ) else {
+            continue;
+        };
+        diff_run_metrics(
+            report,
+            &format!("serve.frontend.tracing.{section}"),
             base_run,
             current_run,
             config,
@@ -1090,6 +1134,151 @@ mod tests {
                 .iter()
                 .any(|m| m.name == "serve.frontend.replay_metrics_off.throughput_rps"),
             "{report}"
+        );
+    }
+
+    fn serve_json_with_tracing(parallelism: u32, ratio: f64, counts_match: bool, on_rps: f64) -> String {
+        format!(
+            r#"{{"available_parallelism": {parallelism}, "round_trip_bit_exact": true,
+                 "aggregation": {{"soa_speedup": 1.5}},
+                 "runs_uncached": [], "runs_cached": [],
+                 "frontend": {{
+                    "replay": {{"throughput_rps": 5000.0, "bit_exact": true,
+                                "latency": {{"p50_us": 80.0, "p95_us": 150.0, "p99_us": 200.0}}}},
+                    "reload": {{"throughput_rps": 4500.0, "bit_exact_per_version": true,
+                                "latency": {{"p50_us": 85.0, "p95_us": 160.0, "p99_us": 210.0}}}},
+                    "tracing": {{
+                        "trace_capacity": 8000,
+                        "replay_trace_off": {{"throughput_rps": 5050.0, "bit_exact": true,
+                                "latency": {{"p50_us": 79.0, "p95_us": 149.0, "p99_us": 198.0}}}},
+                        "replay_trace_on": {{"throughput_rps": {on_rps}, "bit_exact": true,
+                                "latency": {{"p50_us": 81.0, "p95_us": 152.0, "p99_us": 203.0}}}},
+                        "tracing_on_relative_throughput": {ratio},
+                        "span_counts_match": {counts_match},
+                        "spans_nest_within_totals": true,
+                        "stage_taxonomy_complete": true,
+                        "totals_bracket_replay": true,
+                        "chrome_export_parsed": true
+                    }}
+                 }}}}"#
+        )
+    }
+
+    #[test]
+    fn tracing_attestations_are_hard_gated_once_baselined() {
+        // A baseline attesting the span-count reconciliation means a current
+        // run where it is false fails the gate…
+        let report = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_tracing(1, 0.99, false, 4950.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.tracing.span_counts_match"),
+            "{report}"
+        );
+        // …and so must a current run that lost the tracing block entirely.
+        let report = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let names: Vec<&str> = report.regressions().iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"serve.frontend.tracing.span_counts_match"), "{report}");
+        assert!(
+            names.contains(&"serve.frontend.tracing.chrome_export_parsed"),
+            "{report}"
+        );
+        assert!(
+            names.contains(&"serve.frontend.tracing.tracing_on_relative_throughput"),
+            "{report}"
+        );
+        // The reverse direction (baseline predates tracing) only notes a
+        // refresh.
+        let fresh = run(
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(fresh.regressions().is_empty(), "{fresh}");
+    }
+
+    #[test]
+    fn tracing_overhead_ratio_is_gated_even_cross_hardware() {
+        // Tracing-on throughput collapsing to 60% of tracing-off means span
+        // recording landed on the hot path; machine-local ratio, so it fails
+        // same-hardware…
+        let report = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_tracing(1, 0.60, true, 4950.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.tracing.tracing_on_relative_throughput"),
+            "{report}"
+        );
+        // …while cross-hardware the gate loosens (2× → 50%): a 39% drop
+        // passes, a halving still fails.
+        let cross_ok = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_tracing(4, 0.60, true, 4950.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(cross_ok.regressions().is_empty(), "{cross_ok}");
+        let cross_fail = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_tracing(4, 0.40, true, 4950.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            cross_fail
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.tracing.tracing_on_relative_throughput"),
+            "{cross_fail}"
+        );
+    }
+
+    #[test]
+    fn tracing_replay_throughput_is_gated_same_hardware_only() {
+        // The tracing-on replay is an absolute socket run: a halved
+        // throughput fails on matching hardware…
+        let report = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_tracing(1, 0.99, true, 2400.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.tracing.replay_trace_on.throughput_rps"),
+            "{report}"
+        );
+        // …and is skipped entirely across hardware.
+        let cross = run(
+            &serve_json_with_tracing(1, 0.99, true, 4950.0),
+            &serve_json_with_tracing(4, 0.99, true, 2400.0),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(cross.regressions().is_empty(), "{cross}");
+        assert!(
+            !cross.metrics.iter().any(|m| m.name.contains("replay_trace_on")),
+            "{cross}"
         );
     }
 

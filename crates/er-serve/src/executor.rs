@@ -11,10 +11,12 @@
 
 use crate::cache::LruCache;
 use crate::engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
+use crate::trace::{SpanSet, Stage};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A [`ScoreError`] attributed to its position in a batch — the error
 /// [`ShardedExecutor::try_score_batch`] reports, so a caller can reject the
@@ -215,9 +217,31 @@ impl ShardedExecutor {
     /// worker.  Each worker stops its chunk at its first error, so a poisoned
     /// batch fails fast rather than burning the remaining scoring work.
     pub fn try_score_batch(&self, requests: &[ScoreRequest]) -> Result<Vec<f64>, BatchScoreError> {
+        self.score_batch_inner(requests, None)
+    }
+
+    /// [`Self::try_score_batch`] that additionally records one
+    /// [`Stage::Score`] span per worker shard into `spans` (wall-clock
+    /// enter/exit of that shard's chunk), so a request trace can attribute
+    /// scoring time to the executor fan-out. The single-threaded path records
+    /// one shard-0 span covering the whole batch.
+    pub fn try_score_batch_traced(
+        &self,
+        requests: &[ScoreRequest],
+        spans: &mut SpanSet,
+    ) -> Result<Vec<f64>, BatchScoreError> {
+        self.score_batch_inner(requests, Some(spans))
+    }
+
+    fn score_batch_inner(
+        &self,
+        requests: &[ScoreRequest],
+        mut spans: Option<&mut SpanSet>,
+    ) -> Result<Vec<f64>, BatchScoreError> {
         let mut scores = vec![0.0f64; requests.len()];
         let threads = self.config.threads.max(1);
         if threads == 1 || requests.len() <= 1 {
+            let start = Instant::now();
             let mut scratch = self.engine.scratch();
             for (index, (request, slot)) in requests.iter().zip(&mut scores).enumerate() {
                 *slot = self
@@ -227,18 +251,29 @@ impl ShardedExecutor {
                         error,
                     })?;
             }
+            if let Some(spans) = spans.as_mut() {
+                spans.record_shard(Stage::Score, 0, start, Instant::now());
+            }
             return Ok(scores);
         }
         let chunk = requests.len().div_ceil(threads);
+        // One enter/exit slot per worker shard, written by exactly one scoped
+        // thread each — per-shard span recording without any locking.
+        let shard_count = requests.len().div_ceil(chunk);
+        let mut shard_windows: Vec<Option<(Instant, Instant)>> = vec![None; shard_count];
         // Every erroring worker reports its chunk's first error; the smallest
         // request index across chunks is the batch's first error overall.
         let first_error: Mutex<Option<BatchScoreError>> = Mutex::new(None);
         std::thread::scope(|scope| {
-            for (chunk_index, (request_chunk, score_chunk)) in
-                requests.chunks(chunk).zip(scores.chunks_mut(chunk)).enumerate()
+            for ((chunk_index, (request_chunk, score_chunk)), window) in requests
+                .chunks(chunk)
+                .zip(scores.chunks_mut(chunk))
+                .enumerate()
+                .zip(shard_windows.iter_mut())
             {
                 let first_error = &first_error;
                 scope.spawn(move || {
+                    let start = Instant::now();
                     let mut scratch = self.engine.scratch();
                     for (offset, (request, slot)) in request_chunk.iter().zip(score_chunk).enumerate() {
                         match self.try_score_one(request, &mut scratch) {
@@ -252,13 +287,22 @@ impl ShardedExecutor {
                                 if slot.is_none_or(|prior| found.request_index < prior.request_index) {
                                     *slot = Some(found);
                                 }
+                                *window = Some((start, Instant::now()));
                                 return;
                             }
                         }
                     }
+                    *window = Some((start, Instant::now()));
                 });
             }
         });
+        if let Some(spans) = spans.as_mut() {
+            for (shard, window) in shard_windows.iter().enumerate() {
+                if let Some((start, end)) = window {
+                    spans.record_shard(Stage::Score, shard as u32, *start, *end);
+                }
+            }
+        }
         match first_error.into_inner().expect("error slot poisoned") {
             Some(error) => Err(error),
             None => Ok(scores),

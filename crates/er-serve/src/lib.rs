@@ -34,6 +34,11 @@
 //! * [`replay`] — a Zipf-skewed synthetic traffic generator and a
 //!   closed-loop replay harness reporting throughput and p50/p95/p99
 //!   latency.
+//! * [`trace`] — end-to-end request tracing: per-request span timelines
+//!   through `parse → ratelimit → admission_queue → batch_wait → score
+//!   (per-shard) → serialize → write`, retained in a tail-biased ring
+//!   (slowest-N survive wrap-around), exported as Chrome trace-event JSON
+//!   by `GET /debug/traces` and as slow-request exemplars in `/stats`.
 
 #![warn(missing_docs)]
 
@@ -47,6 +52,7 @@ pub mod ratelimit;
 pub mod reload;
 pub mod replay;
 pub mod server;
+pub mod trace;
 
 pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
 pub use cache::LruCache;
@@ -60,4 +66,8 @@ pub use replay::{run_replay, summarize_latencies, zipf_stream, LatencySummary, R
 pub use server::{
     http_roundtrip, http_roundtrip_with_headers, parse_score_response, HttpResponse, ScoreServer, ServerConfig,
     ServerStats,
+};
+pub use trace::{
+    chrome_trace_document, valid_trace_id, ActiveTrace, CompletedTrace, SlowExemplar, Span, SpanSet, Stage, StageDur,
+    Tracer,
 };

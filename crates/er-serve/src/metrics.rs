@@ -265,10 +265,12 @@ pub struct MetricsRegistry {
     pub queue_depth: Gauge,
     /// `er_serve_model_version` — currently serving artifact version.
     pub model_version: Gauge,
-    /// `er_serve_rate_limited_total` — 429s from the per-client token bucket.
-    pub rate_limited: Counter,
-    /// `er_serve_queue_full_total` — 429s from admission-queue overflow.
-    pub queue_full: Counter,
+    /// `er_serve_rejected_total{cause}` — 429s split by cause:
+    /// `cause="rate_limited"` (per-client token bucket: this client must slow
+    /// down) vs `cause="queue_full"` (admission-queue overflow: the server is
+    /// momentarily saturated), so dashboards can tell admission pressure from
+    /// client abuse without parsing response headers.
+    pub rejected: CounterVec,
     /// `er_serve_reloads_total{outcome}` — hot-reload outcomes
     /// (`applied` / `refused`).
     pub reloads: CounterVec,
@@ -303,8 +305,7 @@ impl MetricsRegistry {
             batch_size: Histogram::new(batch_size_bounds()),
             queue_depth: Gauge::default(),
             model_version: Gauge::default(),
-            rate_limited: Counter::default(),
-            queue_full: Counter::default(),
+            rejected: CounterVec::default(),
             reloads: CounterVec::default(),
             cache_hits: CounterVec::default(),
             cache_misses: CounterVec::default(),
@@ -372,17 +373,11 @@ impl MetricsRegistry {
             "Artifact version currently serving.",
             self.model_version.get(),
         );
-        render_counter(
+        render_counter_vec(
             &mut out,
-            "er_serve_rate_limited_total",
-            "Requests rejected 429 by the per-client token bucket.",
-            &self.rate_limited,
-        );
-        render_counter(
-            &mut out,
-            "er_serve_queue_full_total",
-            "Requests rejected 429 by admission-queue overflow.",
-            &self.queue_full,
+            "er_serve_rejected_total",
+            "Requests rejected 429, by cause (rate_limited vs queue_full).",
+            &self.rejected,
         );
         render_counter_vec(
             &mut out,
@@ -790,6 +785,8 @@ mod tests {
         registry.queue_depth.set(4.0);
         registry.model_version.set(1.0);
         registry.reloads.with(&[("outcome", "applied")]).inc();
+        registry.rejected.with(&[("cause", "rate_limited")]).add(2);
+        registry.rejected.with(&[("cause", "queue_full")]).inc();
 
         let text = registry.render();
         let samples = parse_exposition(&text).expect("rendered exposition must parse");
@@ -808,6 +805,8 @@ mod tests {
         assert_eq!(find("er_serve_batches_total", &[]), 2.0);
         assert_eq!(find("er_serve_queue_depth", &[]), 4.0);
         assert_eq!(find("er_serve_reloads_total", &[("outcome", "applied")]), 1.0);
+        assert_eq!(find("er_serve_rejected_total", &[("cause", "rate_limited")]), 2.0);
+        assert_eq!(find("er_serve_rejected_total", &[("cause", "queue_full")]), 1.0);
         assert_eq!(
             find("er_serve_request_duration_seconds_count", &[("route", "/score")]),
             1.0

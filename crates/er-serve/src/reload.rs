@@ -30,10 +30,12 @@ use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::engine::{ScoreRequest, ScoringEngine};
 use crate::executor::{ServeConfig, ShardedExecutor};
 use crate::metrics::MetricsRegistry;
+use crate::trace::{SpanSet, Stage};
 use er_rulegen::CmpOp;
 use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Why a candidate artifact was refused promotion. The serving state is
 /// untouched on any of these — the old version keeps taking traffic.
@@ -198,7 +200,30 @@ impl ReloadableExecutor {
     /// `probes` (e.g. sampled live traffic). On error the current version
     /// keeps serving, untouched.
     pub fn reload_artifact(&self, artifact: ModelArtifact, probes: &[ScoreRequest]) -> Result<u64, ReloadError> {
-        let result = self.reload_artifact_inner(artifact, probes);
+        self.reload_artifact_observed(artifact, probes, None)
+    }
+
+    /// [`Self::reload_artifact`] that additionally records the promotion
+    /// pipeline's `validate → probe → swap` stages into `spans` (the `load`
+    /// stage belongs to [`Self::reload_from_path_traced`], which times the
+    /// disk read). Spans for stages that ran are recorded even when a later
+    /// stage refuses the candidate.
+    pub fn reload_artifact_traced(
+        &self,
+        artifact: ModelArtifact,
+        probes: &[ScoreRequest],
+        spans: &mut SpanSet,
+    ) -> Result<u64, ReloadError> {
+        self.reload_artifact_observed(artifact, probes, Some(spans))
+    }
+
+    fn reload_artifact_observed(
+        &self,
+        artifact: ModelArtifact,
+        probes: &[ScoreRequest],
+        spans: Option<&mut SpanSet>,
+    ) -> Result<u64, ReloadError> {
+        let result = self.reload_artifact_inner(artifact, probes, spans);
         if let Some(metrics) = self.metrics.lock().expect("metrics attachment poisoned").as_ref() {
             let outcome = if result.is_ok() { "applied" } else { "refused" };
             metrics.reloads.with(&[("outcome", outcome)]).inc();
@@ -209,14 +234,34 @@ impl ReloadableExecutor {
         result
     }
 
-    fn reload_artifact_inner(&self, artifact: ModelArtifact, probes: &[ScoreRequest]) -> Result<u64, ReloadError> {
-        artifact.model.validate().map_err(ArtifactError::InvalidModel)?;
+    fn reload_artifact_inner(
+        &self,
+        artifact: ModelArtifact,
+        probes: &[ScoreRequest],
+        mut spans: Option<&mut SpanSet>,
+    ) -> Result<u64, ReloadError> {
+        let stage = |spans: &mut Option<&mut SpanSet>, s: Stage, start: Instant| {
+            if let Some(spans) = spans.as_mut() {
+                spans.record(s, start, Instant::now());
+            }
+        };
+        let start = Instant::now();
+        let validated = artifact.model.validate().map_err(ArtifactError::InvalidModel);
+        stage(&mut spans, Stage::Validate, start);
+        validated?;
+        let start = Instant::now();
         let candidate = ScoringEngine::new(artifact.model.clone());
         let synthesized = synthesize_probes(&candidate);
-        verify_candidate_round_trip(&artifact, &candidate, &synthesized)?;
-        if !probes.is_empty() {
-            verify_candidate_round_trip(&artifact, &candidate, probes)?;
-        }
+        let verified = verify_candidate_round_trip(&artifact, &candidate, &synthesized).and_then(|()| {
+            if probes.is_empty() {
+                Ok(())
+            } else {
+                verify_candidate_round_trip(&artifact, &candidate, probes)
+            }
+        });
+        stage(&mut spans, Stage::Probe, start);
+        verified?;
+        let start = Instant::now();
         let _guard = self.reload_lock.lock().expect("reload lock poisoned");
         let next_version = self.version() + 1;
         let next = Arc::new(VersionedExecutor {
@@ -227,6 +272,7 @@ impl ReloadableExecutor {
             executor: ShardedExecutor::new(candidate, self.config),
         });
         *self.current.write().expect("serving state poisoned") = next;
+        stage(&mut spans, Stage::Swap, start);
         Ok(next_version)
     }
 
@@ -235,6 +281,22 @@ impl ReloadableExecutor {
     pub fn reload_from_path(&self, path: impl AsRef<Path>, probes: &[ScoreRequest]) -> Result<u64, ReloadError> {
         let artifact = ModelArtifact::load(path)?;
         self.reload_artifact(artifact, probes)
+    }
+
+    /// [`Self::reload_from_path`] that records the full
+    /// `load → validate → probe → swap` stage timeline into `spans`, so a
+    /// traced `POST /reload` can attribute promotion latency the same way
+    /// `/score` traces attribute request latency.
+    pub fn reload_from_path_traced(
+        &self,
+        path: impl AsRef<Path>,
+        probes: &[ScoreRequest],
+        spans: &mut SpanSet,
+    ) -> Result<u64, ReloadError> {
+        let start = Instant::now();
+        let loaded = ModelArtifact::load(path);
+        spans.record(Stage::Load, start, Instant::now());
+        self.reload_artifact_observed(loaded?, probes, Some(spans))
     }
 }
 

@@ -46,6 +46,7 @@ use crate::engine::ScoreRequest;
 use crate::metrics::MetricsRegistry;
 use crate::ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
 use crate::reload::ReloadableExecutor;
+use crate::trace::{valid_trace_id, ActiveTrace, SpanSet, Stage, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -89,6 +90,14 @@ pub struct ServerConfig {
     /// logging; `1` logs every request. Sampling is deterministic — request
     /// sequence `seq` is logged iff `seq % log_sample == 0`.
     pub log_sample: u64,
+    /// How many completed request traces the [`crate::trace::Tracer`] ring
+    /// retains (an eighth of the capacity is reserved for the slowest traces,
+    /// which survive wrap-around). `0` disables tracing entirely: no spans
+    /// are recorded, `GET /debug/traces` answers 404, and `/stats` carries no
+    /// exemplars — the A/B control `serve_bench` measures tracing overhead
+    /// against. Request-id handling (`X-Request-Id` accept/echo) stays on
+    /// either way.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +111,7 @@ impl Default for ServerConfig {
             rate_limit: None,
             metrics_enabled: true,
             log_sample: 0,
+            trace_capacity: 512,
         }
     }
 }
@@ -162,9 +172,24 @@ struct JobFailure {
 
 type JobOutcome = Result<(u64, Vec<f64>), JobFailure>;
 
+/// What the batcher sends back to the blocked connection handler: the scoring
+/// outcome plus the request's in-flight trace (with the queue/batch/score
+/// spans recorded), which the handler finishes and commits.
+struct JobReply {
+    outcome: JobOutcome,
+    trace: Option<ActiveTrace>,
+}
+
 struct Job {
     requests: Vec<ScoreRequest>,
-    reply: SyncSender<JobOutcome>,
+    reply: SyncSender<JobReply>,
+    /// The request's trace, traveling with the job across threads.
+    trace: Option<ActiveTrace>,
+    /// When the handler pushed the job into the admission queue.
+    enqueued: Instant,
+    /// When the batcher drained the job out of the queue (stamped by
+    /// [`AdmissionQueue::drain_into`]); closes the `admission_queue` span.
+    taken: Option<Instant>,
 }
 
 enum AdmitError {
@@ -197,13 +222,16 @@ impl AdmissionQueue {
         }
     }
 
-    fn push(&self, job: Job) -> Result<(), AdmitError> {
+    /// Admits a job, or hands it back with the rejection reason so the
+    /// caller keeps ownership of the in-flight trace.
+    #[allow(clippy::result_large_err)] // the Err deliberately returns the whole job
+    fn push(&self, job: Job) -> Result<(), (AdmitError, Job)> {
         let mut inner = self.inner.lock().expect("admission queue poisoned");
         if inner.closed {
-            return Err(AdmitError::Closed);
+            return Err((AdmitError::Closed, job));
         }
         if inner.jobs.len() >= self.capacity {
-            return Err(AdmitError::Full);
+            return Err((AdmitError::Full, job));
         }
         inner.jobs.push_back(job);
         drop(inner);
@@ -271,8 +299,10 @@ impl AdmissionQueue {
     }
 
     fn drain_into(inner: &mut QueueInner, batch: &mut Vec<Job>, total: &mut usize, max_requests: usize) {
+        let drained_at = Instant::now();
         while *total < max_requests {
-            let Some(job) = inner.jobs.pop_front() else { break };
+            let Some(mut job) = inner.jobs.pop_front() else { break };
+            job.taken = Some(drained_at);
             *total += job.requests.len().max(1);
             batch.push(job);
         }
@@ -292,6 +322,26 @@ struct Shared {
     shutdown: AtomicBool,
     /// Global request arrival sequence, driving deterministic log sampling.
     log_seq: AtomicU64,
+    /// `None` when [`ServerConfig::trace_capacity`] is 0.
+    tracer: Option<Tracer>,
+    /// Counter behind generated request ids (requests without a valid
+    /// client-supplied `X-Request-Id`).
+    id_seq: AtomicU64,
+}
+
+impl Shared {
+    fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// The request id for this request: the client's `X-Request-Id` when it
+    /// is well-formed (see [`valid_trace_id`]), else a generated `er-…` id.
+    fn request_id(&self, client_supplied: Option<&str>) -> String {
+        match client_supplied {
+            Some(id) if valid_trace_id(id) => id.to_string(),
+            _ => format!("er-{:08x}", self.id_seq.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
 }
 
 /// A running HTTP scoring server; see the [module docs](self) for the wire
@@ -318,6 +368,7 @@ impl ScoreServer {
             executor.attach_metrics(Arc::clone(&metrics));
             metrics.model_version.set(executor.version() as f64);
         }
+        let tracer = (config.trace_capacity > 0).then(|| Tracer::new(config.trace_capacity));
         let shared = Arc::new(Shared {
             executor,
             queue: AdmissionQueue::new(config.queue_capacity),
@@ -326,6 +377,8 @@ impl ScoreServer {
             config,
             shutdown: AtomicBool::new(false),
             log_seq: AtomicU64::new(0),
+            tracer,
+            id_seq: AtomicU64::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -362,6 +415,12 @@ impl ScoreServer {
     /// The metrics registry behind `GET /metrics`.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.shared.metrics
+    }
+
+    /// The request tracer behind `GET /debug/traces`, or `None` when
+    /// [`ServerConfig::trace_capacity`] is 0.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.shared.tracer()
     }
 
     /// Admitted-but-unscored jobs currently queued.
@@ -451,7 +510,26 @@ fn batch_loop(shared: Arc<Shared>) {
             metrics.batch_size.observe(total as f64);
         }
         let all: Vec<ScoreRequest> = batch.iter().flat_map(|j| j.requests.iter().cloned()).collect();
-        match snapshot.executor().try_score_batch(&all) {
+        // Batch-level spans are recorded once and replayed into every
+        // coalesced job's trace: all requests in the window share the same
+        // batch_wait interval and the same per-shard score spans.
+        let tracing = batch.iter().any(|j| j.trace.is_some());
+        let mut shard_spans = SpanSet::new();
+        let score_start = Instant::now();
+        let scored = if tracing {
+            snapshot.executor().try_score_batch_traced(&all, &mut shard_spans)
+        } else {
+            snapshot.executor().try_score_batch(&all)
+        };
+        let finish_trace = |job: &mut Job, spans: &SpanSet| {
+            if let Some(trace) = job.trace.as_mut() {
+                let taken = job.taken.unwrap_or(score_start);
+                trace.record(Stage::AdmissionQueue, job.enqueued, taken);
+                trace.record(Stage::BatchWait, taken, score_start);
+                trace.extend_from(spans);
+            }
+        };
+        match scored {
             Ok(scores) => {
                 if let Some(metrics) = metrics {
                     metrics
@@ -460,25 +538,35 @@ fn batch_loop(shared: Arc<Shared>) {
                         .add(total as u64);
                 }
                 let mut offset = 0;
-                for job in batch {
+                for mut job in batch {
                     let slice = scores[offset..offset + job.requests.len()].to_vec();
                     offset += job.requests.len();
-                    let _ = job.reply.send(Ok((snapshot.version, slice)));
+                    finish_trace(&mut job, &shard_spans);
+                    let trace = job.trace.take();
+                    let _ = job.reply.send(JobReply {
+                        outcome: Ok((snapshot.version, slice)),
+                        trace,
+                    });
                 }
             }
             Err(_) => {
                 // At least one coalesced request is malformed. Re-score per
                 // job so only the offending response degrades to 422 and the
                 // innocent neighbors in the same window still get scores.
-                for job in batch {
-                    let outcome = snapshot
-                        .executor()
-                        .try_score_batch(&job.requests)
-                        .map(|scores| (snapshot.version, scores))
-                        .map_err(|e| JobFailure {
-                            request_index: e.request_index,
-                            message: e.to_string(),
-                        });
+                for mut job in batch {
+                    let mut job_spans = SpanSet::new();
+                    let outcome = if job.trace.is_some() {
+                        snapshot
+                            .executor()
+                            .try_score_batch_traced(&job.requests, &mut job_spans)
+                    } else {
+                        snapshot.executor().try_score_batch(&job.requests)
+                    }
+                    .map(|scores| (snapshot.version, scores))
+                    .map_err(|e| JobFailure {
+                        request_index: e.request_index,
+                        message: e.to_string(),
+                    });
                     if outcome.is_ok() {
                         if let Some(metrics) = metrics {
                             metrics
@@ -487,7 +575,9 @@ fn batch_loop(shared: Arc<Shared>) {
                                 .add(job.requests.len() as u64);
                         }
                     }
-                    let _ = job.reply.send(outcome);
+                    finish_trace(&mut job, &job_spans);
+                    let trace = job.trace.take();
+                    let _ = job.reply.send(JobReply { outcome, trace });
                 }
             }
         }
@@ -520,6 +610,10 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             // Clean close (EOF between requests, or shutdown while idle).
             Ok(None) => return,
             Err(failure) => {
+                // Even a request we could not parse gets a (generated)
+                // request id echoed back, so client-side retry logs have
+                // something to correlate on.
+                let rid = shared.request_id(None);
                 let _ = respond_json(
                     &mut stream,
                     &shared,
@@ -527,15 +621,17 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                     failure.status,
                     &error_body(&failure.message, None),
                     &[],
+                    &rid,
                 );
                 return;
             }
         };
         let close_after = request.close;
         let client = request.client_id.as_deref().unwrap_or(&peer);
+        let rid = shared.request_id(request.request_id.as_deref());
         let route_name = route_label(&request.path);
         let started = Instant::now();
-        let status = route(&mut stream, &shared, &request, client);
+        let status = route(&mut stream, &shared, &request, client, &rid);
         let duration = started.elapsed();
         if shared.config.metrics_enabled {
             shared
@@ -552,7 +648,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 .unwrap_or(0.0);
             eprintln!(
                 "{}",
-                format_log_line(ts, seq, route_name, status, duration.as_micros() as u64, client)
+                format_log_line(ts, seq, route_name, status, duration.as_micros() as u64, client, &rid)
             );
         }
         if close_after {
@@ -568,10 +664,20 @@ fn should_sample(seq: u64, n: u64) -> bool {
 }
 
 /// One structured request-log line — a single JSON object, pure function of
-/// its inputs so tests can assert the exact format.
-fn format_log_line(ts: f64, seq: u64, route: &str, status: u16, duration_us: u64, client: &str) -> String {
+/// its inputs so tests can assert the exact format. `trace_id` is the same
+/// id echoed to the client as `X-Request-Id`, so logs, traces and client
+/// retries correlate.
+fn format_log_line(
+    ts: f64,
+    seq: u64,
+    route: &str,
+    status: u16,
+    duration_us: u64,
+    client: &str,
+    trace_id: &str,
+) -> String {
     format!(
-        "{{\"ts\":{ts:.3},\"seq\":{seq},\"route\":{route:?},\"status\":{status},\"duration_us\":{duration_us},\"client\":{client:?}}}"
+        "{{\"ts\":{ts:.3},\"seq\":{seq},\"route\":{route:?},\"status\":{status},\"duration_us\":{duration_us},\"client\":{client:?},\"trace_id\":{trace_id:?}}}"
     )
 }
 
@@ -586,6 +692,7 @@ fn route_label(path: &str) -> &'static str {
         "/stats" => "/stats",
         "/metrics" => "/metrics",
         "/reload" => "/reload",
+        "/debug/traces" => "/debug/traces",
         "/admin/pause" => "/admin/pause",
         "/admin/resume" => "/admin/resume",
         _ => "other",
@@ -599,6 +706,8 @@ struct ParsedRequest {
     close: bool,
     /// The `X-Client-Id` header, the rate limiter's preferred client key.
     client_id: Option<String>,
+    /// The `X-Request-Id` header, adopted as the trace id when well-formed.
+    request_id: Option<String>,
 }
 
 struct RequestFailure {
@@ -627,7 +736,8 @@ fn read_http_request(
         if let Some(head_end) = find_head_end(buffer) {
             let head = std::str::from_utf8(&buffer[..head_end])
                 .map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
-            let (method, path, content_length, close, client_id) = parse_head(head)?;
+            let head = parse_head(head)?;
+            let (method, path, content_length, close, client_id, request_id) = head;
             if content_length > shared.config.max_body_bytes {
                 return Err(RequestFailure::new(
                     413,
@@ -648,6 +758,7 @@ fn read_http_request(
                     body,
                     close,
                     client_id,
+                    request_id,
                 }));
             }
         } else if buffer.len() > MAX_HEAD_BYTES {
@@ -679,7 +790,7 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-type ParsedHead = (String, String, usize, bool, Option<String>);
+type ParsedHead = (String, String, usize, bool, Option<String>, Option<String>);
 
 fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
     let mut lines = head.split("\r\n");
@@ -694,6 +805,7 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
     let mut content_length = 0usize;
     let mut close = false;
     let mut client_id = None;
+    let mut request_id = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -714,10 +826,18 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
             }
             "connection" => close = value.eq_ignore_ascii_case("close"),
             "x-client-id" if !value.is_empty() => client_id = Some(value.to_string()),
+            "x-request-id" if !value.is_empty() => request_id = Some(value.to_string()),
             _ => {}
         }
     }
-    Ok((method.to_string(), path.to_string(), content_length, close, client_id))
+    Ok((
+        method.to_string(),
+        path.to_string(),
+        content_length,
+        close,
+        client_id,
+        request_id,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -773,16 +893,16 @@ fn error_body(message: &str, request_index: Option<usize>) -> String {
 
 /// Dispatches one parsed request and returns the response status that was
 /// sent (0 if writing it failed), for the structured request log.
-fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, client: &str) -> u16 {
+fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, client: &str, rid: &str) -> u16 {
     let label = route_label(&request.path);
     let result = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => handle_score(stream, shared, &request.body, client),
+        ("POST", "/score") => handle_score(stream, shared, &request.body, client, rid),
         ("GET", "/healthz") => {
             let body = serde::json::to_string(&HealthResponse {
                 status: "ok".to_string(),
                 model_version: shared.executor.version(),
             });
-            respond_json(stream, shared, label, 200, &body, &[])
+            respond_json(stream, shared, label, 200, &body, &[], rid)
         }
         ("GET", "/version") => {
             let snapshot = shared.executor.snapshot();
@@ -791,14 +911,15 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, clien
                 producer: snapshot.producer.clone(),
                 format_version: crate::artifact::FORMAT_VERSION,
             });
-            respond_json(stream, shared, label, 200, &body, &[])
+            respond_json(stream, shared, label, 200, &body, &[], rid)
         }
         ("GET", "/stats") => {
-            let body = serde::json::to_string(&stats_from_registry(&shared.metrics));
-            respond_json(stream, shared, label, 200, &body, &[])
+            let body = stats_body(shared);
+            respond_json(stream, shared, label, 200, &body, &[], rid)
         }
-        ("GET", "/metrics") => handle_metrics(stream, shared),
-        ("POST", "/reload") => handle_reload(stream, shared, &request.body),
+        ("GET", "/metrics") => handle_metrics(stream, shared, rid),
+        ("GET", "/debug/traces") => handle_debug_traces(stream, shared, rid),
+        ("POST", "/reload") => handle_reload(stream, shared, &request.body, rid),
         ("POST", "/admin/pause") => {
             shared.queue.set_paused(true);
             respond_json(
@@ -808,6 +929,7 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, clien
                 200,
                 &serde::json::to_string(&PausedResponse { paused: true }),
                 &[],
+                rid,
             )
         }
         ("POST", "/admin/resume") => {
@@ -819,12 +941,22 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, clien
                 200,
                 &serde::json::to_string(&PausedResponse { paused: false }),
                 &[],
+                rid,
             )
         }
         (
             _,
-            "/score" | "/healthz" | "/version" | "/stats" | "/metrics" | "/reload" | "/admin/pause" | "/admin/resume",
-        ) => respond_json(stream, shared, label, 405, &error_body("method not allowed", None), &[]),
+            "/score" | "/healthz" | "/version" | "/stats" | "/metrics" | "/reload" | "/debug/traces" | "/admin/pause"
+            | "/admin/resume",
+        ) => respond_json(
+            stream,
+            shared,
+            label,
+            405,
+            &error_body("method not allowed", None),
+            &[],
+            rid,
+        ),
         _ => respond_json(
             stream,
             shared,
@@ -832,14 +964,72 @@ fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, clien
             404,
             &error_body(&format!("no route for {}", request.path), None),
             &[],
+            rid,
         ),
     };
     result.unwrap_or(0)
 }
 
+/// How many slow-request exemplars `/stats` attaches.
+const STATS_EXEMPLARS: usize = 5;
+
+/// The `/stats` body: the [`ServerStats`] counters plus (when tracing is on)
+/// `slow_exemplars` — the slowest retained traces with their per-stage
+/// breakdown, each annotated with the `er_serve_score_duration_seconds`
+/// bucket (`bucket_le`, Prometheus `le` format) its total latency falls
+/// into, so a histogram tail bucket can be traced back to concrete requests.
+fn stats_body(shared: &Shared) -> String {
+    let stats = stats_from_registry(&shared.metrics);
+    let mut value = serde::to_value(&stats);
+    if let Some(tracer) = shared.tracer() {
+        let bounds = crate::metrics::latency_bounds();
+        let exemplars: Vec<serde::Value> = tracer
+            .slow_exemplars(STATS_EXEMPLARS)
+            .into_iter()
+            .map(|exemplar| {
+                let total_secs = exemplar.total_us as f64 / 1e6;
+                let le = bounds
+                    .iter()
+                    .find(|b| total_secs < **b)
+                    .map(|b| format!("{b}"))
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let mut entry = serde::to_value(&exemplar);
+                if let serde::Value::Map(entries) = &mut entry {
+                    entries.push(("bucket_le".to_string(), serde::Value::Str(le)));
+                }
+                entry
+            })
+            .collect();
+        if let serde::Value::Map(entries) = &mut value {
+            entries.push(("slow_exemplars".to_string(), serde::Value::Seq(exemplars)));
+        }
+    }
+    serde::json::to_string(&value)
+}
+
+/// `GET /debug/traces`: every retained trace as Chrome trace-event JSON,
+/// loadable in `chrome://tracing` or Perfetto. 404 when tracing is disabled.
+fn handle_debug_traces(stream: &mut TcpStream, shared: &Shared, rid: &str) -> io::Result<u16> {
+    match shared.tracer() {
+        None => respond_json(
+            stream,
+            shared,
+            "/debug/traces",
+            404,
+            &error_body("tracing is disabled for this server", None),
+            &[],
+            rid,
+        ),
+        Some(tracer) => {
+            let body = tracer.chrome_trace_json();
+            respond_json(stream, shared, "/debug/traces", 200, &body, &[], rid)
+        }
+    }
+}
+
 /// `GET /metrics`: refresh the scrape-time gauges (queue depth, model
 /// version, cache mirror) and render the registry as Prometheus text.
-fn handle_metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<u16> {
+fn handle_metrics(stream: &mut TcpStream, shared: &Shared, rid: &str) -> io::Result<u16> {
     if !shared.config.metrics_enabled {
         return respond_json(
             stream,
@@ -848,6 +1038,7 @@ fn handle_metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<u16> {
             404,
             &error_body("metrics are disabled for this server", None),
             &[],
+            rid,
         );
     }
     let snapshot = shared.executor.snapshot();
@@ -875,6 +1066,7 @@ fn handle_metrics(stream: &mut TcpStream, shared: &Shared) -> io::Result<u16> {
         "text/plain; version=0.0.4; charset=utf-8",
         &body,
         &[],
+        rid,
     )
 }
 
@@ -889,18 +1081,44 @@ fn parse_score_body(body: &str) -> Result<Vec<ScoreRequest>, String> {
     }
 }
 
-fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &str) -> io::Result<u16> {
+/// Writes the response, records the `write` span, and commits the trace with
+/// the status actually sent — the single exit point of [`handle_score`].
+#[allow(clippy::too_many_arguments)]
+fn respond_score(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, String)],
+    rid: &str,
+    trace: Option<ActiveTrace>,
+) -> io::Result<u16> {
+    let write_start = Instant::now();
+    let result = respond_json(stream, shared, "/score", status, body, extra_headers, rid);
+    if let (Some(mut trace), Some(tracer)) = (trace, shared.tracer()) {
+        trace.record(Stage::Write, write_start, Instant::now());
+        tracer.commit(trace, *result.as_ref().unwrap_or(&0));
+    }
+    result
+}
+
+fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &str, rid: &str) -> io::Result<u16> {
+    let mut trace = shared.tracer().map(|t| t.begin(rid.to_string(), "/score"));
     // The token bucket sits in front of the admission queue: an over-budget
     // client is turned away before it can occupy queue capacity.
     if let Some(limiter) = &shared.limiter {
-        if let RateLimitDecision::Limited { retry_after, limit } = limiter.check(client, Instant::now()) {
+        let check_start = Instant::now();
+        let decision = limiter.check(client, check_start);
+        if let Some(t) = trace.as_mut() {
+            t.record(Stage::Ratelimit, check_start, Instant::now());
+        }
+        if let RateLimitDecision::Limited { retry_after, limit } = decision {
             if shared.config.metrics_enabled {
-                shared.metrics.rate_limited.inc();
+                shared.metrics.rejected.with(&[("cause", "rate_limited")]).inc();
             }
-            return respond_json(
+            return respond_score(
                 stream,
                 shared,
-                "/score",
                 429,
                 &error_body("rate limit exceeded; slow down", None),
                 &[
@@ -909,53 +1127,73 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
                     ("X-RateLimit-Remaining", "0".to_string()),
                     ("X-RateLimit-Reset", format!("{retry_after:.3}")),
                 ],
+                rid,
+                trace,
             );
         }
     }
-    let requests = match parse_score_body(body) {
+    let parse_start = Instant::now();
+    let parsed = parse_score_body(body);
+    if let Some(t) = trace.as_mut() {
+        t.record(Stage::Parse, parse_start, Instant::now());
+    }
+    let requests = match parsed {
         Ok(requests) => requests,
-        Err(message) => return respond_json(stream, shared, "/score", 400, &error_body(&message, None), &[]),
+        Err(message) => {
+            return respond_score(stream, shared, 400, &error_body(&message, None), &[], rid, trace);
+        }
     };
     if requests.is_empty() {
         let body = serde::json::to_string(&ScoreResponse {
             model_version: shared.executor.version(),
             scores: Vec::new(),
         });
-        return respond_json(stream, shared, "/score", 200, &body, &[]);
+        return respond_score(stream, shared, 200, &body, &[], rid, trace);
     }
     let admitted = Instant::now();
-    let (reply, outcome) = sync_channel::<JobOutcome>(1);
-    match shared.queue.push(Job { requests, reply }) {
-        Err(AdmitError::Full) => {
+    let (reply, outcome) = sync_channel::<JobReply>(1);
+    match shared.queue.push(Job {
+        requests,
+        reply,
+        trace: trace.take(),
+        enqueued: admitted,
+        taken: None,
+    }) {
+        Err((AdmitError::Full, job)) => {
             if shared.config.metrics_enabled {
-                shared.metrics.queue_full.inc();
+                shared.metrics.rejected.with(&[("cause", "queue_full")]).inc();
             }
             // Deliberately NO X-RateLimit-* headers here: queue-full means
             // the server is saturated (retry immediately), not that this
             // client is over its own budget.
-            return respond_json(
+            return respond_score(
                 stream,
                 shared,
-                "/score",
                 429,
                 &error_body("admission queue full; retry", None),
                 &[("Retry-After", "0".to_string())],
+                rid,
+                job.trace,
             );
         }
-        Err(AdmitError::Closed) => {
-            return respond_json(
+        Err((AdmitError::Closed, job)) => {
+            return respond_score(
                 stream,
                 shared,
-                "/score",
                 503,
                 &error_body("server is draining", None),
                 &[],
+                rid,
+                job.trace,
             );
         }
         Ok(()) => {}
     }
     match outcome.recv_timeout(SCORE_REPLY_TIMEOUT) {
-        Ok(Ok((model_version, scores))) => {
+        Ok(JobReply {
+            outcome: Ok((model_version, scores)),
+            trace: mut returned,
+        }) => {
             if shared.config.metrics_enabled {
                 shared
                     .metrics
@@ -963,36 +1201,46 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
                     .with(&[("version", &model_version.to_string())])
                     .observe(admitted.elapsed().as_secs_f64());
             }
+            let serialize_start = Instant::now();
             let body = serde::json::to_string(&ScoreResponse { model_version, scores });
-            respond_json(
+            if let Some(t) = returned.as_mut() {
+                t.record(Stage::Serialize, serialize_start, Instant::now());
+            }
+            respond_score(
                 stream,
                 shared,
-                "/score",
                 200,
                 &body,
                 &[("X-Model-Version", model_version.to_string())],
+                rid,
+                returned,
             )
         }
-        Ok(Err(failure)) => respond_json(
+        Ok(JobReply {
+            outcome: Err(failure),
+            trace: returned,
+        }) => respond_score(
             stream,
             shared,
-            "/score",
             422,
             &error_body(&failure.message, Some(failure.request_index)),
             &[],
+            rid,
+            returned,
         ),
-        Err(_) => respond_json(
+        Err(_) => respond_score(
             stream,
             shared,
-            "/score",
             500,
             &error_body("scoring pipeline stalled", None),
             &[],
+            rid,
+            None,
         ),
     }
 }
 
-fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Result<u16> {
+fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str, rid: &str) -> io::Result<u16> {
     let request: ReloadRequest = match serde::json::from_str(body) {
         Ok(request) => request,
         Err(e) => {
@@ -1003,24 +1251,56 @@ fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str) -> io::Res
                 400,
                 &error_body(&format!("malformed reload body (expected {{\"path\": ..}}): {e}"), None),
                 &[],
+                rid,
             )
         }
     };
-    match shared.executor.reload_from_path(&request.path, &[]) {
+    // A reload gets its own trace: the `load → validate → probe → swap`
+    // timeline, recorded by the reload pipeline into a detached span set.
+    let mut trace = shared.tracer().map(|t| t.begin(rid.to_string(), "/reload"));
+    let mut spans = SpanSet::new();
+    let result = if trace.is_some() {
+        shared.executor.reload_from_path_traced(&request.path, &[], &mut spans)
+    } else {
+        shared.executor.reload_from_path(&request.path, &[])
+    };
+    if let Some(t) = trace.as_mut() {
+        t.extend_from(&spans);
+    }
+    let commit = |trace: Option<ActiveTrace>, status: io::Result<u16>| {
+        if let (Some(t), Some(tracer)) = (trace, shared.tracer()) {
+            tracer.commit(t, *status.as_ref().unwrap_or(&0));
+        }
+        status
+    };
+    match result {
         Ok(model_version) => {
             let body = serde::json::to_string(&ReloadResponse { model_version });
-            respond_json(
+            let status = respond_json(
                 stream,
                 shared,
                 "/reload",
                 200,
                 &body,
                 &[("X-Model-Version", model_version.to_string())],
-            )
+                rid,
+            );
+            commit(trace, status)
         }
         // The old version keeps serving; 409 tells the operator the rollout
         // did not happen.
-        Err(e) => respond_json(stream, shared, "/reload", 409, &error_body(&e.to_string(), None), &[]),
+        Err(e) => {
+            let status = respond_json(
+                stream,
+                shared,
+                "/reload",
+                409,
+                &error_body(&e.to_string(), None),
+                &[],
+                rid,
+            );
+            commit(trace, status)
+        }
     }
 }
 
@@ -1048,10 +1328,21 @@ fn respond_json(
     status: u16,
     body: &str,
     extra_headers: &[(&str, String)],
+    request_id: &str,
 ) -> io::Result<u16> {
-    respond(stream, shared, route, status, "application/json", body, extra_headers)
+    respond(
+        stream,
+        shared,
+        route,
+        status,
+        "application/json",
+        body,
+        extra_headers,
+        request_id,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn respond(
     stream: &mut TcpStream,
     shared: &Shared,
@@ -1060,6 +1351,7 @@ fn respond(
     content_type: &str,
     body: &str,
     extra_headers: &[(&str, String)],
+    request_id: &str,
 ) -> io::Result<u16> {
     if shared.config.metrics_enabled {
         shared
@@ -1073,6 +1365,13 @@ fn respond(
         status_reason(status),
         body.len()
     );
+    // Every response — including 4xx/5xx error bodies — echoes the request
+    // id, so client retry logs, server logs and traces all correlate.
+    if !request_id.is_empty() {
+        response.push_str("X-Request-Id: ");
+        response.push_str(request_id);
+        response.push_str("\r\n");
+    }
     for (name, value) in extra_headers {
         response.push_str(name);
         response.push_str(": ");
@@ -1526,8 +1825,8 @@ mod tests {
         assert_eq!(ok.status, 200, "{}", ok.body);
         // The registry saw exactly one token-bucket rejection and no
         // queue-full rejection.
-        assert_eq!(server.metrics().rate_limited.get(), 1);
-        assert_eq!(server.metrics().queue_full.get(), 0);
+        assert_eq!(server.metrics().rejected.with(&[("cause", "rate_limited")]).get(), 1);
+        assert_eq!(server.metrics().rejected.with(&[("cause", "queue_full")]).get(), 0);
         server.shutdown();
     }
 
@@ -1536,7 +1835,7 @@ mod tests {
         assert!(!should_sample(0, 0), "0 disables logging");
         assert!(should_sample(0, 1) && should_sample(1, 1));
         assert!(should_sample(0, 10) && !should_sample(9, 10) && should_sample(10, 10));
-        let line = format_log_line(1754600000.125, 42, "/score", 200, 311, "10.2.3.4");
+        let line = format_log_line(1754600000.125, 42, "/score", 200, 311, "10.2.3.4", "er-0000002a");
         let value = serde::json::parse(&line).expect("log line is one JSON object");
         let field = |name: &str| value.get(name).unwrap_or_else(|| panic!("missing {name} in {line}"));
         assert_eq!(field("seq"), &serde::Value::UInt(42));
@@ -1545,6 +1844,7 @@ mod tests {
         assert_eq!(field("route").as_str(), Some("/score"));
         assert_eq!(field("client").as_str(), Some("10.2.3.4"));
         assert_eq!(field("ts"), &serde::Value::Float(1754600000.125));
+        assert_eq!(field("trace_id").as_str(), Some("er-0000002a"));
     }
 
     #[test]
@@ -1571,5 +1871,154 @@ mod tests {
         // The connection is gone after shutdown; a fresh request fails to
         // connect or errors out rather than hanging.
         assert!(http_roundtrip(&mut stream, "GET", "/healthz", None).is_err());
+    }
+
+    #[test]
+    fn request_ids_are_accepted_generated_and_echoed_on_every_response() {
+        let (server, _executor) = start_server(16);
+        let mut stream = connect(&server);
+        // A well-formed client id is adopted verbatim.
+        let supplied = [("X-Request-Id", "client.trace-42_A")];
+        let ok = http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&request_json(0, 0.4)), &supplied)
+            .expect("score");
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert_eq!(ok.header("x-request-id"), Some("client.trace-42_A"));
+        // No client id: the server mints one with its own prefix.
+        let minted = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(1, 0.4))).expect("score");
+        assert_eq!(minted.status, 200, "{}", minted.body);
+        let minted_id = minted.header("x-request-id").expect("generated id");
+        assert!(minted_id.starts_with("er-"), "generated id, got {minted_id:?}");
+        // A malformed client id (characters outside [A-Za-z0-9._-]) is
+        // replaced, never reflected back.
+        let hostile = [("X-Request-Id", "evil id\"<script>")];
+        let replaced =
+            http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&request_json(2, 0.4)), &hostile)
+                .expect("score");
+        assert_eq!(replaced.status, 200, "{}", replaced.body);
+        let replaced_id = replaced.header("x-request-id").expect("replacement id");
+        assert!(replaced_id.starts_with("er-"), "sanitized id, got {replaced_id:?}");
+        // Error responses carry the id too: a parse failure still echoes the
+        // client's id so the 400 is attributable in both parties' logs.
+        let err =
+            http_roundtrip_with_headers(&mut stream, "POST", "/score", Some("{not json"), &supplied).expect("response");
+        assert_eq!(err.status, 400, "{}", err.body);
+        assert_eq!(err.header("x-request-id"), Some("client.trace-42_A"));
+        // Non-score routes and 404s echo as well.
+        let missing = http_roundtrip_with_headers(&mut stream, "GET", "/nope", None, &supplied).expect("response");
+        assert_eq!(missing.status, 404);
+        assert_eq!(missing.header("x-request-id"), Some("client.trace-42_A"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_traces_exports_chrome_trace_json() {
+        let (server, _executor) = start_server(16);
+        let mut stream = connect(&server);
+        let supplied = [("X-Request-Id", "traced-req-7")];
+        for i in 0..3u64 {
+            let ok = http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&request_json(i, 0.3)), &supplied)
+                .expect("score");
+            assert_eq!(ok.status, 200, "{}", ok.body);
+        }
+        let traces = http_roundtrip(&mut stream, "GET", "/debug/traces", None).expect("traces");
+        assert_eq!(traces.status, 200, "{}", traces.body);
+        let doc = serde::json::parse(&traces.body).expect("chrome trace JSON parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_seq())
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "three traced requests retained");
+        let mut stages_seen = std::collections::BTreeSet::new();
+        for event in events {
+            let event = event.as_map().expect("event object");
+            let field = |k: &str| {
+                event
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v)
+                    .unwrap_or_else(|| panic!("missing {k}"))
+            };
+            assert_eq!(field("ph").as_str(), Some("X"), "complete events");
+            assert!(matches!(field("ts"), serde::Value::UInt(_)));
+            assert!(matches!(field("dur"), serde::Value::UInt(_)));
+            stages_seen.insert(field("name").as_str().expect("stage name").to_string());
+        }
+        for stage in ["parse", "score", "serialize", "write"] {
+            assert!(stages_seen.contains(stage), "missing {stage} in {stages_seen:?}");
+        }
+        // The supplied request id is the trace id in the export.
+        assert!(traces.body.contains("traced-req-7"), "{}", traces.body);
+        // committed_total counts every traced request.
+        let committed = doc
+            .get("otherData")
+            .and_then(|v| v.get("committed_total"))
+            .expect("otherData.committed_total");
+        assert_eq!(committed, &serde::Value::UInt(3));
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_capacity_zero_disables_the_endpoint_and_stats_exemplars() {
+        let (server, _executor) = start_server_with(ServerConfig {
+            trace_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let mut stream = connect(&server);
+        let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(0, 0.6))).expect("score");
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        // Request ids still flow when tracing is off.
+        assert!(ok.header("x-request-id").is_some());
+        let traces = http_roundtrip(&mut stream, "GET", "/debug/traces", None).expect("response");
+        assert_eq!(traces.status, 404, "{}", traces.body);
+        let stats = http_roundtrip(&mut stream, "GET", "/stats", None).expect("stats");
+        assert!(!stats.body.contains("slow_exemplars"), "{}", stats.body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_carry_slow_request_exemplars_with_histogram_buckets() {
+        let (server, _executor) = start_server(16);
+        let mut stream = connect(&server);
+        for i in 0..4u64 {
+            let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(i, 0.8))).expect("score");
+            assert_eq!(ok.status, 200, "{}", ok.body);
+        }
+        let stats = http_roundtrip(&mut stream, "GET", "/stats", None).expect("stats");
+        assert_eq!(stats.status, 200);
+        let doc = serde::json::parse(&stats.body).expect("stats JSON");
+        let exemplars = doc
+            .get("slow_exemplars")
+            .and_then(|v| v.as_seq())
+            .expect("slow_exemplars array");
+        assert!(!exemplars.is_empty() && exemplars.len() <= STATS_EXEMPLARS);
+        let slowest = &exemplars[0];
+        let total_us = match slowest.get("total_us").expect("total_us") {
+            serde::Value::UInt(us) => *us,
+            other => panic!("total_us should be an integer, got {other:?}"),
+        };
+        // Exemplars are sorted slowest-first and each maps into a histogram
+        // bucket in Prometheus `le` format.
+        for pair in exemplars.windows(2) {
+            let next = match pair[1].get("total_us").expect("total_us") {
+                serde::Value::UInt(us) => *us,
+                other => panic!("total_us should be an integer, got {other:?}"),
+            };
+            let prev = match pair[0].get("total_us").expect("total_us") {
+                serde::Value::UInt(us) => *us,
+                other => panic!("total_us should be an integer, got {other:?}"),
+            };
+            assert!(prev >= next, "exemplars sorted slowest-first");
+        }
+        let le = slowest.get("bucket_le").and_then(|v| v.as_str()).expect("bucket_le");
+        if le != "+Inf" {
+            let bound: f64 = le.parse().expect("bucket_le parses as a bound");
+            assert!(
+                total_us as f64 / 1e6 <= bound,
+                "{total_us}us must fall within its le={le} bucket"
+            );
+        }
+        let stages = slowest.get("stages").and_then(|v| v.as_seq()).expect("stages");
+        assert!(!stages.is_empty(), "per-stage breakdown present");
+        server.shutdown();
     }
 }

@@ -323,8 +323,15 @@ fn rate_limited_client_is_rejected_over_a_raw_socket_while_metrics_attribute_it(
     assert_eq!(scrape.status, 200);
     let samples = parse_exposition(&scrape.body).expect("exposition parses");
     let value = |name: &str| samples.iter().filter(|s| s.name == name).map(|s| s.value).sum::<f64>();
-    assert_eq!(value("er_serve_rate_limited_total"), 1.0);
-    assert_eq!(value("er_serve_queue_full_total"), 0.0);
+    let rejected = |cause: &str| {
+        samples
+            .iter()
+            .filter(|s| s.name == "er_serve_rejected_total" && s.labels.iter().any(|(k, v)| k == "cause" && v == cause))
+            .map(|s| s.value)
+            .sum::<f64>()
+    };
+    assert_eq!(rejected("rate_limited"), 1.0);
+    assert_eq!(rejected("queue_full"), 0.0);
     assert_eq!(value("er_serve_score_requests_total"), 4.0);
 
     server.shutdown();

@@ -22,6 +22,7 @@ export SERVE_BENCH_JSON=out/serve_bench.json
 export TRAIN_BENCH_JSON=out/train_bench.json
 export FIG13_JSON=out/fig13.json
 export SERVE_BENCH_METRICS_SNAPSHOT=out/metrics-snapshot.prom
+export SERVE_BENCH_TRACE_SNAPSHOT=out/trace-snapshot.json
 
 echo "== kick-tires: release build =="
 cargo build --release -p er-bench
@@ -79,6 +80,30 @@ REPLAYED=$(awk '/"replay": \{/ {r = 1} r && /"requests":/ {gsub(/[^0-9]/, ""); p
     exit 1
 }
 echo "metrics snapshot parses; score_requests_total $SCRAPED_SCORES reconciles with the $REPLAYED-request replay"
+
+# The tracing phase ran an A/B replay (tracing-off control vs tracing-on) and
+# snapshotted GET /debug/traces. Assert its attestations landed in the JSON,
+# that the snapshot is Chrome trace-event JSON, and that the number of
+# request-level events in the snapshot reconciles with the replayed request
+# count — a tracer that silently drops timelines would otherwise still pass.
+for attestation in span_counts_match spans_nest_within_totals stage_taxonomy_complete \
+    totals_bracket_replay chrome_export_parsed; do
+    grep -q "\"$attestation\": true" "$SERVE_BENCH_JSON" \
+        || { echo "tracing phase did not attest $attestation" >&2; exit 1; }
+done
+test -s "$SERVE_BENCH_TRACE_SNAPSHOT" || { echo "missing $SERVE_BENCH_TRACE_SNAPSHOT" >&2; exit 1; }
+grep -q '"traceEvents"' "$SERVE_BENCH_TRACE_SNAPSHOT" \
+    || { echo "trace snapshot is not Chrome trace-event JSON (no traceEvents key)" >&2; exit 1; }
+grep -q '"ph":"X"' "$SERVE_BENCH_TRACE_SNAPSHOT" \
+    || { echo "trace snapshot has no complete (ph=X) events" >&2; exit 1; }
+# One `"cat":"request"` event is emitted per retained trace; the tracing-on
+# ring was sized so nothing is evicted, so the count must equal the replay's.
+TRACED_REQUESTS=$(grep -o '"cat":"request"' "$SERVE_BENCH_TRACE_SNAPSHOT" | wc -l | tr -d ' ')
+[[ -n "$REPLAYED" && "$TRACED_REQUESTS" == "$REPLAYED" ]] || {
+    echo "trace snapshot has $TRACED_REQUESTS request timelines != replayed requests ($REPLAYED)" >&2
+    exit 1
+}
+echo "trace snapshot parses; $TRACED_REQUESTS request timelines reconcile with the $REPLAYED-request replay"
 
 # Informational perf diff against the committed baseline (the CI perf-gate
 # job runs the same diff fatally; locally a regression only warns, since dev
