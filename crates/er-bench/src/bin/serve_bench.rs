@@ -176,6 +176,51 @@ struct RateLimitSmoke {
     second_client_unaffected: bool,
 }
 
+/// The chaos phase (its own server, so the canonical phase counters stay
+/// clean): a seeded [`FaultPlan`] injects shard-worker panics, batcher
+/// panics, a scoring stall, a slow client write, and torn/invalid artifact
+/// reloads while a retrying client replays live traffic. Attested: zero
+/// severed connections, panic counters reconciling with the plan's own
+/// fired counts, bit-exact scores across every supervisor recovery, the old
+/// version serving through every refused reload, and deadline shedding
+/// answering an expired tranche promptly.
+#[derive(Debug, Serialize)]
+struct ChaosBench {
+    /// The exact fault spec injected (fixed seed — the phase is replayable).
+    fault_spec: String,
+    requests: usize,
+    /// Transport errors across every attempt of every request.
+    severed_connections: u64,
+    /// `severed_connections == 0` — the headline attestation.
+    zero_severed_connections: bool,
+    /// Requests that needed more than one attempt (rode a panicked batch).
+    retried_requests: u64,
+    /// Shard-worker panics the plan fired (caught inside the executor).
+    injected_shard_panics: u64,
+    /// Batcher panics the plan fired (caught by batch supervision).
+    injected_batcher_panics: u64,
+    /// Scraped `er_serve_worker_panics_total` summed across roles…
+    worker_panics_total: u64,
+    /// …equal to the injected count, and non-zero.
+    panics_reconciled: bool,
+    /// Every 200 score matched the v1 engine bit for bit, including the
+    /// re-scored batches behind each recovery.
+    bit_exact_across_restarts: bool,
+    /// Mid-replay reload attempts — all refused with 409 (torn artifact
+    /// read, then an injected validation failure)…
+    reloads_refused: u64,
+    /// …while every response stayed tagged `model_version` 1.
+    old_version_served_throughout: bool,
+    /// The parked tiny-deadline tranche: every job shed with a 504.
+    deadline_504s: u64,
+    /// All tranche 504s arrived within the shedding bound after resume —
+    /// expired work is dropped in O(queue), not scored.
+    deadline_shedding_bounds_p99: bool,
+    /// Per-request wall latency of the chaos replay, retries and injected
+    /// stalls included (trajectory only — not latency-gated).
+    latency: LatencySummary,
+}
+
 #[derive(Debug, Serialize)]
 struct FrontendBench {
     threads: usize,
@@ -195,6 +240,9 @@ struct FrontendBench {
     tracing: TracingBench,
     reload: FrontendReload,
     backpressure: FrontendBackpressure,
+    /// Fault injection under live traffic: supervision, retries, deadline
+    /// shedding and reload refusal, attested end to end.
+    chaos: ChaosBench,
     /// Final server counters; 4xx/5xx must be zero and 429 must equal the
     /// deliberate rejections (asserted before the JSON is written).
     statuses: ServerStats,
@@ -763,6 +811,9 @@ fn frontend_bench(
     // The tracing A/B likewise gets its own pair of servers.
     let tracing = tracing_bench(engine, stream, clients, threads, &expected_v1);
 
+    // The chaos phase runs last, on its own server, with its own fault plan.
+    let chaos = chaos_bench(engine, artifact_v1_path, stream, threads, &expected_v1);
+
     FrontendBench {
         threads,
         queue_capacity,
@@ -776,7 +827,282 @@ fn frontend_bench(
         tracing,
         reload,
         backpressure,
+        chaos,
         statuses,
+    }
+}
+
+/// The chaos phase: see [`ChaosBench`]. A fixed-seed [`FaultPlan`] is
+/// attached to a fresh server; a single closed-loop client replays `stream`
+/// through it, retrying retryable statuses with [`RetryPolicy`] backoff and
+/// counting (it must never need to) reconnects; reload attempts are fired at
+/// fixed milestones into the injected torn-read/validate failures; and a
+/// parked tiny-deadline tranche proves shedding. Every attestation is
+/// asserted here — the JSON flags exist so `bench_diff` can refuse a future
+/// run that stops asserting them.
+fn chaos_bench(
+    engine: &ScoringEngine,
+    artifact_v1_path: &Path,
+    stream: &[ScoreRequest],
+    threads: usize,
+    expected_v1: &[f64],
+) -> ChaosBench {
+    let requests = er_bench::env_usize("SERVE_BENCH_CHAOS_REQUESTS", 300).clamp(1, stream.len());
+    let stream = &stream[..requests];
+    // Exact occurrence indices, fixed seed: the same faults fire at the same
+    // points on every run, so the attestation counts are exact equalities.
+    let fault_spec = "seed=2020; shard_worker_panic@0,40,80; batcher_panic@20,120; \
+                      score_stall@60:150ms; client_write_stall@100:100ms; \
+                      artifact_read_torn@0; reload_validate_fail@0"
+        .to_string();
+    let plan = Arc::new(er_serve::FaultPlan::parse(&fault_spec).expect("chaos fault spec parses"));
+    let executor = Arc::new(ReloadableExecutor::new(
+        engine.clone(),
+        ServeConfig::default().with_threads(threads),
+    ));
+    let server = ScoreServer::start(
+        Arc::clone(&executor),
+        ServerConfig {
+            queue_capacity: 16,
+            trace_capacity: 0,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind chaos score server");
+    let addr = server.local_addr();
+    println!();
+    println!("-- HTTP front-end chaos on {addr} ({requests} requests) --");
+    println!("chaos fault plan: {fault_spec}");
+    // The injected panics are supervised, but the default panic hook would
+    // still spray their backtraces across the bench output; keep the phase
+    // readable. serve_bench is single-phase-at-a-time, so swapping the
+    // process-global hook here cannot mislabel anyone else's panic.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string payload>");
+        if msg.starts_with("injected ") {
+            eprintln!("chaos: supervised {msg}");
+        } else {
+            eprintln!("chaos: unexpected panic: {msg}");
+        }
+    }));
+
+    let policy = er_serve::RetryPolicy {
+        max_attempts: 6,
+        base_backoff_ms: 5,
+        max_backoff_ms: 100,
+        seed: 2020,
+    };
+    let mut severed = 0u64;
+    let mut retried_requests = 0u64;
+    let mut bit_exact = true;
+    let mut versions = BTreeSet::new();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests);
+    let mut reloads_refused = 0u64;
+    let reload_body = serde::json::to_string(&ReloadBody {
+        path: artifact_v1_path.display().to_string(),
+    });
+    let mut conn = TcpStream::connect(addr).expect("chaos: connect");
+    for (i, request) in stream.iter().enumerate() {
+        // Two reload attempts mid-replay: the first is torn mid-read, the
+        // second fails injected validation — both must be refused while
+        // traffic keeps scoring against the old version.
+        if i == requests / 3 || i == (2 * requests) / 3 {
+            let refused =
+                http_roundtrip(&mut conn, "POST", "/reload", Some(&reload_body)).expect("chaos: reload round trip");
+            assert_eq!(
+                refused.status, 409,
+                "a chaos reload attempt must be refused, got {}: {}",
+                refused.status, refused.body
+            );
+            reloads_refused += 1;
+        }
+        let body = serde::json::to_string(request);
+        let t0 = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match http_roundtrip(&mut conn, "POST", "/score", Some(&body)) {
+                Ok(response) if response.status == 200 => {
+                    let (version, scores) = parse_score_response(&response.body).expect("chaos: malformed score body");
+                    versions.insert(version);
+                    if scores.len() != 1 || scores[0].to_bits() != expected_v1[i].to_bits() {
+                        bit_exact = false;
+                    }
+                    break;
+                }
+                Ok(response) => {
+                    // A panicked batch answers 500 on a still-healthy
+                    // connection; back off and retry in place.
+                    assert!(
+                        matches!(response.status, 429 | 500 | 503),
+                        "chaos: request {i} got unexpected status {}: {}",
+                        response.status,
+                        response.body
+                    );
+                    assert!(
+                        attempt + 1 < policy.max_attempts,
+                        "chaos: request {i} exhausted {} attempts on status {}",
+                        policy.max_attempts,
+                        response.status
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(policy.backoff_ms(attempt)));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // A severed connection — the thing the supervision
+                    // guarantees away. Counted (the attestation requires 0)
+                    // and reconnected so the replay itself can finish.
+                    severed += 1;
+                    assert!(
+                        attempt + 1 < policy.max_attempts,
+                        "chaos: request {i} exhausted {} attempts on transport errors",
+                        policy.max_attempts
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(policy.backoff_ms(attempt)));
+                    attempt += 1;
+                    conn = TcpStream::connect(addr).expect("chaos: reconnect");
+                }
+            }
+        }
+        if attempt > 0 {
+            retried_requests += 1;
+        }
+        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let latency = summarize_latencies(&mut latencies_ns);
+
+    // Deadline tranche: park the batcher, admit jobs whose 5ms budget will
+    // be long expired on resume, and require every one to shed with a 504.
+    const DEADLINE_TRANCHE: usize = 8;
+    server.pause_intake();
+    let sample = serde::json::to_string(&stream[0]);
+    let tranche: Vec<_> = (0..DEADLINE_TRANCHE)
+        .map(|_| {
+            let body = sample.clone();
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("chaos: tranche connect");
+                http_roundtrip_with_headers(&mut conn, "POST", "/score", Some(&body), &[("X-Deadline-Ms", "5")])
+                    .expect("chaos: tranche round trip")
+            })
+        })
+        .collect();
+    let queue_deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while server.queued_jobs() < DEADLINE_TRANCHE {
+        assert!(
+            Instant::now() < queue_deadline,
+            "chaos: deadline tranche never queued ({} of {DEADLINE_TRANCHE})",
+            server.queued_jobs()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // Let every 5ms budget expire while parked, then resume and time the
+    // shed: expired jobs are answered in O(queue), not scored.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let resumed = Instant::now();
+    server.resume_intake();
+    let mut deadline_504s = 0u64;
+    for handle in tranche {
+        let response = handle.join().expect("chaos: tranche client panicked");
+        assert_eq!(
+            response.status, 504,
+            "an expired job must shed with 504, got {}: {}",
+            response.status, response.body
+        );
+        deadline_504s += 1;
+    }
+    let shed_elapsed = resumed.elapsed();
+    let deadline_shedding_bounds_p99 = shed_elapsed < std::time::Duration::from_millis(500);
+    assert!(
+        deadline_shedding_bounds_p99,
+        "chaos: shedding {DEADLINE_TRANCHE} expired jobs took {shed_elapsed:?}"
+    );
+
+    // --- attestations -------------------------------------------------------
+    let zero_severed_connections = severed == 0;
+    assert!(zero_severed_connections, "chaos: {severed} connections were severed");
+    assert!(bit_exact, "chaos: a score diverged from the v1 engine");
+    let injected_shard_panics = plan.fired(er_serve::FaultKind::ShardWorkerPanic);
+    let injected_batcher_panics = plan.fired(er_serve::FaultKind::BatcherPanic);
+    assert_eq!(injected_shard_panics, 3, "shard panic injections drifted");
+    assert_eq!(injected_batcher_panics, 2, "batcher panic injections drifted");
+    assert!(
+        retried_requests >= injected_batcher_panics,
+        "every batcher panic must have forced a retry ({retried_requests} retried)"
+    );
+    assert_eq!(
+        plan.fired(er_serve::FaultKind::ArtifactReadTorn),
+        1,
+        "torn-read injection drifted"
+    );
+    assert_eq!(
+        plan.fired(er_serve::FaultKind::ReloadValidateFail),
+        1,
+        "validate-failure injection drifted"
+    );
+    assert_eq!(reloads_refused, 2);
+    let old_version_served_throughout = versions.iter().all(|v| *v == 1) && executor.version() == 1;
+    assert!(
+        old_version_served_throughout,
+        "chaos: versions {versions:?} observed, executor at {} — a refused reload leaked",
+        executor.version()
+    );
+
+    let mut scrape_conn = TcpStream::connect(addr).expect("chaos: scrape connect");
+    let scrape = http_roundtrip(&mut scrape_conn, "GET", "/metrics", None).expect("chaos: scrape round trip");
+    assert_eq!(scrape.status, 200, "chaos scrape failed: {}", scrape.body);
+    let samples = parse_exposition(&scrape.body).expect("chaos exposition parses");
+    let worker_panics_total: u64 = samples
+        .iter()
+        .filter(|s| s.name == "er_serve_worker_panics_total")
+        .map(|s| s.value as u64)
+        .sum();
+    let injected = injected_shard_panics + injected_batcher_panics;
+    let panics_reconciled = worker_panics_total == injected && injected > 0;
+    assert!(
+        panics_reconciled,
+        "er_serve_worker_panics_total {worker_panics_total} != {injected} injected panics"
+    );
+    let deadline_rejected: u64 = samples
+        .iter()
+        .filter(|s| {
+            s.name == "er_serve_rejected_total" && s.labels.iter().any(|(k, v)| k == "cause" && v == "deadline")
+        })
+        .map(|s| s.value as u64)
+        .sum();
+    assert_eq!(
+        deadline_rejected, deadline_504s,
+        "rejected{{cause=\"deadline\"}} must equal the tranche's 504s"
+    );
+    server.shutdown();
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "frontend chaos: {requests} requests, 0 severed, {injected} injected panics reconciled, \
+         {retried_requests} retried, {reloads_refused} reloads refused (version pinned at 1), \
+         {deadline_504s} deadline 504s shed in {shed_elapsed:?}"
+    );
+    ChaosBench {
+        fault_spec,
+        requests,
+        severed_connections: severed,
+        zero_severed_connections,
+        retried_requests,
+        injected_shard_panics,
+        injected_batcher_panics,
+        worker_panics_total,
+        panics_reconciled,
+        bit_exact_across_restarts: bit_exact,
+        reloads_refused,
+        old_version_served_throughout,
+        deadline_504s,
+        deadline_shedding_bounds_p99,
+        latency,
     }
 }
 

@@ -414,7 +414,10 @@ fn diff_run_metrics(report: &mut DiffReport, prefix: &str, base_run: &Value, cur
 /// `frontend.reload` latency-under-reload, the `frontend.tracing` A/B).
 /// Correctness attestations (`bit_exact`, `bit_exact_per_version`, the
 /// `/metrics` scrape and rate-limit smoke flags, the tracing
-/// reconciliations) are hard-gated like `round_trip_bit_exact` *once
+/// reconciliations, the chaos-phase invariants — no severed connections,
+/// panic counters reconciled, bit-exactness across supervisor restarts,
+/// the old version serving through torn reloads, deadline shedding
+/// bounding p99) are hard-gated like `round_trip_bit_exact` *once
 /// the baseline carries them*: from then on a current run where they are
 /// false, renamed or missing fails the gate — an attested signal cannot
 /// silently stop being attested.  `metrics_on_relative_throughput` and
@@ -451,6 +454,11 @@ fn diff_frontend(
         ("tracing", "stage_taxonomy_complete"),
         ("tracing", "totals_bracket_replay"),
         ("tracing", "chrome_export_parsed"),
+        ("chaos", "zero_severed_connections"),
+        ("chaos", "panics_reconciled"),
+        ("chaos", "bit_exact_across_restarts"),
+        ("chaos", "old_version_served_throughout"),
+        ("chaos", "deadline_shedding_bounds_p99"),
     ] {
         let attested_in_baseline = base_front.get(section).and_then(|s| s.get(flag)).is_some();
         let current_flag = current_front.and_then(|f| f.get(section)).and_then(|s| s.get(flag));
@@ -982,6 +990,70 @@ mod tests {
             names.contains(&"serve.frontend.reload.bit_exact_per_version"),
             "{report}"
         );
+    }
+
+    fn serve_json_with_chaos(zero_severed: bool, panics_reconciled: bool) -> String {
+        format!(
+            r#"{{"available_parallelism": 1, "round_trip_bit_exact": true,
+                 "aggregation": {{"soa_speedup": 1.5}},
+                 "runs_uncached": [], "runs_cached": [],
+                 "frontend": {{
+                    "replay": {{"throughput_rps": 5000.0, "bit_exact": true,
+                                "latency": {{"p50_us": 80.0, "p95_us": 150.0, "p99_us": 200.0}}}},
+                    "reload": {{"throughput_rps": 4500.0, "bit_exact_per_version": true,
+                                "latency": {{"p50_us": 85.0, "p95_us": 160.0, "p99_us": 200.0}}}},
+                    "chaos": {{"zero_severed_connections": {zero_severed},
+                               "panics_reconciled": {panics_reconciled},
+                               "bit_exact_across_restarts": true,
+                               "old_version_served_throughout": true,
+                               "deadline_shedding_bounds_p99": true}}
+                 }}}}"#
+        )
+    }
+
+    #[test]
+    fn chaos_attestations_are_hard_gated_once_baselined() {
+        // Once a baseline attests the chaos invariants (no severed
+        // connections, panic counters reconciled), a current run where one
+        // flips false must regress…
+        let report = run(
+            &serve_json_with_chaos(true, true),
+            &serve_json_with_chaos(false, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.frontend.chaos.zero_severed_connections"),
+            "{report}"
+        );
+        // …and so must a run that dropped the chaos section entirely.
+        let report = run(
+            &serve_json_with_chaos(true, true),
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let names: Vec<&str> = report.regressions().iter().map(|m| m.name.as_str()).collect();
+        assert!(
+            names.contains(&"serve.frontend.chaos.zero_severed_connections"),
+            "{report}"
+        );
+        assert!(names.contains(&"serve.frontend.chaos.panics_reconciled"), "{report}");
+        assert!(
+            names.contains(&"serve.frontend.chaos.deadline_shedding_bounds_p99"),
+            "{report}"
+        );
+        // A baseline without a chaos section never arms the gate.
+        let report = run(
+            &serve_json_with_frontend(1, 200.0, true, true),
+            &serve_json_with_chaos(true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
     }
 
     #[test]

@@ -11,11 +11,13 @@
 
 use crate::cache::LruCache;
 use crate::engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::trace::{SpanSet, Stage};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A [`ScoreError`] attributed to its position in a batch — the error
@@ -99,6 +101,9 @@ pub struct ShardedExecutor {
     shards: Vec<Mutex<LruCache<u64, f64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    fault: Mutex<Option<Arc<FaultPlan>>>,
+    fault_set: AtomicBool,
+    panics: AtomicU64,
 }
 
 impl ShardedExecutor {
@@ -116,7 +121,30 @@ impl ShardedExecutor {
             shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fault: Mutex::new(None),
+            fault_set: AtomicBool::new(false),
+            panics: AtomicU64::new(0),
         }
+    }
+
+    /// Attach (or clear) a fault-injection plan. Worker threads consult the
+    /// plan's `shard_worker_panic` point once per spawn; an absent plan is a
+    /// single relaxed-atomic load on the batch path.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        self.fault_set.store(plan.is_some(), Ordering::Release);
+        *self.fault.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        if !self.fault_set.load(Ordering::Acquire) {
+            return None;
+        }
+        self.fault.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// How many worker panics this executor has caught and recovered from.
+    pub fn worker_panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// The wrapped engine.
@@ -148,7 +176,7 @@ impl ShardedExecutor {
     pub fn cache_entries(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.lock().expect("cache shard poisoned").len())
+            .map(|shard| shard.lock().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
 
@@ -186,7 +214,7 @@ impl ShardedExecutor {
         let shard = self.shard_of(request.pair_id);
         if let Some(score) = self.shards[shard]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&request.pair_id)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -196,7 +224,7 @@ impl ShardedExecutor {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.shards[shard]
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(request.pair_id, score);
         Ok(score)
     }
@@ -216,6 +244,12 @@ impl ShardedExecutor {
     /// every thread count) as a [`BatchScoreError`] instead of panicking a
     /// worker.  Each worker stops its chunk at its first error, so a poisoned
     /// batch fails fast rather than burning the remaining scoring work.
+    ///
+    /// Workers additionally run under `catch_unwind` supervision: a worker
+    /// that panics (scoring is pure, so in practice only via an injected
+    /// [`FaultKind::ShardWorkerPanic`]) has its chunk re-scored sequentially
+    /// after the fan-out joins, producing bit-exact scores; the panic is
+    /// counted in [`Self::worker_panic_count`].
     pub fn try_score_batch(&self, requests: &[ScoreRequest]) -> Result<Vec<f64>, BatchScoreError> {
         self.score_batch_inner(requests, None)
     }
@@ -233,6 +267,22 @@ impl ShardedExecutor {
         self.score_batch_inner(requests, Some(spans))
     }
 
+    /// Scores `requests[base..]` (already sliced) sequentially into `scores`,
+    /// attributing errors against `base` — the single-threaded scoring path
+    /// and the supervisor's restart path for a panicked worker's chunk.
+    fn score_range(&self, requests: &[ScoreRequest], scores: &mut [f64], base: usize) -> Result<(), BatchScoreError> {
+        let mut scratch = self.engine.scratch();
+        for (offset, (request, slot)) in requests.iter().zip(scores).enumerate() {
+            *slot = self
+                .try_score_one(request, &mut scratch)
+                .map_err(|error| BatchScoreError {
+                    request_index: base + offset,
+                    error,
+                })?;
+        }
+        Ok(())
+    }
+
     fn score_batch_inner(
         &self,
         requests: &[ScoreRequest],
@@ -240,17 +290,35 @@ impl ShardedExecutor {
     ) -> Result<Vec<f64>, BatchScoreError> {
         let mut scores = vec![0.0f64; requests.len()];
         let threads = self.config.threads.max(1);
+        let fault = self.fault_plan();
         if threads == 1 || requests.len() <= 1 {
             let start = Instant::now();
-            let mut scratch = self.engine.scratch();
-            for (index, (request, slot)) in requests.iter().zip(&mut scores).enumerate() {
-                *slot = self
-                    .try_score_one(request, &mut scratch)
-                    .map_err(|error| BatchScoreError {
-                        request_index: index,
-                        error,
-                    })?;
-            }
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = fault.as_deref() {
+                    if plan.fires(FaultKind::ShardWorkerPanic) {
+                        panic!("injected {}", FaultKind::ShardWorkerPanic);
+                    }
+                }
+                self.score_range(requests, &mut scores, 0)
+            }));
+            let result = match attempt {
+                Ok(result) => result,
+                Err(_) => {
+                    // The worker panicked mid-chunk: count it and restart the
+                    // chunk from scratch on this thread. Scoring is pure, so
+                    // the restart reproduces the scores bit-exactly; a second
+                    // panic is a real bug and propagates to the caller's
+                    // supervisor.
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    let recover_start = Instant::now();
+                    let result = self.score_range(requests, &mut scores, 0);
+                    if let Some(spans) = spans.as_mut() {
+                        spans.record(Stage::Recover, recover_start, Instant::now());
+                    }
+                    result
+                }
+            };
+            result?;
             if let Some(spans) = spans.as_mut() {
                 spans.record_shard(Stage::Score, 0, start, Instant::now());
             }
@@ -264,6 +332,9 @@ impl ShardedExecutor {
         // Every erroring worker reports its chunk's first error; the smallest
         // request index across chunks is the batch's first error overall.
         let first_error: Mutex<Option<BatchScoreError>> = Mutex::new(None);
+        // Chunks abandoned by a panicking worker, re-scored sequentially
+        // after the scope joins.
+        let panicked: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for ((chunk_index, (request_chunk, score_chunk)), window) in requests
                 .chunks(chunk)
@@ -272,30 +343,67 @@ impl ShardedExecutor {
                 .zip(shard_windows.iter_mut())
             {
                 let first_error = &first_error;
+                let panicked = &panicked;
+                let fault = fault.as_deref();
                 scope.spawn(move || {
                     let start = Instant::now();
-                    let mut scratch = self.engine.scratch();
-                    for (offset, (request, slot)) in request_chunk.iter().zip(score_chunk).enumerate() {
-                        match self.try_score_one(request, &mut scratch) {
-                            Ok(score) => *slot = score,
-                            Err(error) => {
-                                let found = BatchScoreError {
-                                    request_index: chunk_index * chunk + offset,
-                                    error,
-                                };
-                                let mut slot = first_error.lock().expect("error slot poisoned");
-                                if slot.is_none_or(|prior| found.request_index < prior.request_index) {
-                                    *slot = Some(found);
-                                }
-                                *window = Some((start, Instant::now()));
-                                return;
+                    // `std::thread::scope` re-raises a worker panic when the
+                    // scope joins; catching here keeps the batch (and its
+                    // reply channels) alive so the supervisor can restart the
+                    // abandoned chunk instead of losing the whole server.
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(plan) = fault {
+                            if plan.fires(FaultKind::ShardWorkerPanic) {
+                                panic!("injected {}", FaultKind::ShardWorkerPanic);
                             }
                         }
-                    }
+                        let mut scratch = self.engine.scratch();
+                        for (offset, (request, slot)) in request_chunk.iter().zip(score_chunk).enumerate() {
+                            match self.try_score_one(request, &mut scratch) {
+                                Ok(score) => *slot = score,
+                                Err(error) => {
+                                    let found = BatchScoreError {
+                                        request_index: chunk_index * chunk + offset,
+                                        error,
+                                    };
+                                    let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
+                                    if slot.is_none_or(|prior| found.request_index < prior.request_index) {
+                                        *slot = Some(found);
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                    }));
                     *window = Some((start, Instant::now()));
+                    if attempt.is_err() {
+                        self.panics.fetch_add(1, Ordering::Relaxed);
+                        panicked.lock().unwrap_or_else(|e| e.into_inner()).push(chunk_index);
+                    }
                 });
             }
         });
+        let panicked = panicked.into_inner().unwrap_or_else(|e| e.into_inner());
+        if !panicked.is_empty() {
+            // Supervision: restart each panicked worker's chunk on this
+            // thread. Injected faults fire once per occurrence, so the
+            // restart scores clean and bit-exact; a persistent panic is a
+            // real bug and propagates.
+            let recover_start = Instant::now();
+            for chunk_index in panicked {
+                let lo = chunk_index * chunk;
+                let hi = (lo + chunk).min(requests.len());
+                if let Err(found) = self.score_range(&requests[lo..hi], &mut scores[lo..hi], lo) {
+                    let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none_or(|prior| found.request_index < prior.request_index) {
+                        *slot = Some(found);
+                    }
+                }
+            }
+            if let Some(spans) = spans.as_mut() {
+                spans.record(Stage::Recover, recover_start, Instant::now());
+            }
+        }
         if let Some(spans) = spans.as_mut() {
             for (shard, window) in shard_windows.iter().enumerate() {
                 if let Some((start, end)) = window {
@@ -303,7 +411,7 @@ impl ShardedExecutor {
                 }
             }
         }
-        match first_error.into_inner().expect("error slot poisoned") {
+        match first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some(error) => Err(error),
             None => Ok(scores),
         }
@@ -447,6 +555,55 @@ mod tests {
             let scores = exec.try_score_batch(&good).expect("still serving");
             assert_eq!(scores.len(), good.len());
         }
+    }
+
+    #[test]
+    fn injected_worker_panics_are_supervised_and_scores_stay_bit_exact() {
+        use crate::fault::{FaultKind, FaultPlan};
+        use std::sync::Arc;
+
+        let reqs = requests(200, 200);
+        let baseline = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(1)).score_batch(&reqs);
+        for threads in [1usize, 3, 8] {
+            let exec = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(threads));
+            // The first two worker spawns panic; the supervisor re-scores
+            // their chunks, so the batch still comes back complete.
+            let plan = Arc::new(FaultPlan::parse("shard_worker_panic@0,1").expect("spec"));
+            exec.set_fault_plan(Some(Arc::clone(&plan)));
+            let scores = exec.try_score_batch(&reqs).expect("supervised batch completes");
+            let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+            let base_bits: Vec<u64> = baseline.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(bits, base_bits, "threads = {threads}: recovery must be bit-exact");
+            let expected_panics = plan.fired(FaultKind::ShardWorkerPanic);
+            assert!(
+                expected_panics >= 1,
+                "threads = {threads}: the fault must actually fire"
+            );
+            assert_eq!(
+                exec.worker_panic_count(),
+                expected_panics,
+                "threads = {threads}: every injected panic is counted"
+            );
+            // With the plan exhausted the executor serves normally.
+            exec.set_fault_plan(None);
+            let clean = exec.try_score_batch(&reqs).expect("clean batch");
+            assert_eq!(clean.len(), reqs.len());
+        }
+    }
+
+    #[test]
+    fn panicked_chunk_with_malformed_request_still_reports_first_error() {
+        use crate::fault::FaultPlan;
+        use std::sync::Arc;
+
+        let exec = ShardedExecutor::new(engine(), ServeConfig::default().with_threads(4));
+        exec.set_fault_plan(Some(Arc::new(
+            FaultPlan::parse("shard_worker_panic@0,1,2,3").expect("spec"),
+        )));
+        let mut poisoned = requests(50, 50);
+        poisoned[13].metric_row = vec![0.4];
+        let err = exec.try_score_batch(&poisoned).unwrap_err();
+        assert_eq!(err.request_index, 13, "restart path reports the same first error");
     }
 
     #[test]

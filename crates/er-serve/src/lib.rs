@@ -19,6 +19,9 @@
 //!   traffic.
 //! * [`executor`] — [`ShardedExecutor`]: N scoped worker threads over a
 //!   batch plus a shard-locked result cache keyed on pair id.
+//! * [`fault`] — [`FaultPlan`]: deterministic fault injection (worker
+//!   panics, torn artifact reads, stalls) threaded through the stack so the
+//!   supervision and degradation machinery is exercised, not assumed.
 //! * [`reload`] — [`ReloadableExecutor`]: versioned artifact hot-reload
 //!   (load → validate → verify round trip → atomic swap), so a retrained
 //!   model rolls out without draining traffic and every response is
@@ -46,6 +49,7 @@ pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod executor;
+pub mod fault;
 pub mod index;
 pub mod metrics;
 pub mod ratelimit;
@@ -58,14 +62,15 @@ pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
 pub use cache::LruCache;
 pub use engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
 pub use executor::{BatchScoreError, CacheStats, ServeConfig, ShardedExecutor};
+pub use fault::{FaultKind, FaultPlan, FaultSpecError, FAULT_KINDS};
 pub use index::{CompiledRuleIndex, MatchScratch, RowLengthError};
 pub use metrics::{extract_histogram, parse_exposition, MetricsRegistry, ParsedHistogram, Sample};
 pub use ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
 pub use reload::{synthesize_probes, ReloadError, ReloadableExecutor, VersionedExecutor};
 pub use replay::{run_replay, summarize_latencies, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};
 pub use server::{
-    http_roundtrip, http_roundtrip_with_headers, parse_score_response, HttpResponse, ScoreServer, ServerConfig,
-    ServerStats,
+    http_roundtrip, http_roundtrip_with_headers, http_roundtrip_with_retry, parse_score_response, HttpResponse,
+    RetryPolicy, ScoreServer, ServerConfig, ServerStats,
 };
 pub use trace::{
     chrome_trace_document, valid_trace_id, ActiveTrace, CompletedTrace, SlowExemplar, Span, SpanSet, Stage, StageDur,

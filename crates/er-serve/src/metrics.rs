@@ -153,13 +153,13 @@ pub struct CounterVec {
 impl CounterVec {
     /// The child for this label set, created on first use.
     pub fn with(&self, labels: &[(&'static str, &str)]) -> Arc<Counter> {
-        let mut children = self.children.lock().expect("metrics registry poisoned");
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(children.entry(label_key(labels)).or_default())
     }
 
     /// Every child's label set and current value.
     pub fn snapshot(&self) -> Vec<(LabelPairs, u64)> {
-        let children = self.children.lock().expect("metrics registry poisoned");
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
         children.iter().map(|(k, v)| (k.clone(), v.get())).collect()
     }
 
@@ -178,12 +178,12 @@ pub struct GaugeVec {
 impl GaugeVec {
     /// The child for this label set, created on first use.
     pub fn with(&self, labels: &[(&'static str, &str)]) -> Arc<Gauge> {
-        let mut children = self.children.lock().expect("metrics registry poisoned");
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(children.entry(label_key(labels)).or_default())
     }
 
     fn snapshot(&self) -> Vec<(LabelPairs, f64)> {
-        let children = self.children.lock().expect("metrics registry poisoned");
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
         children.iter().map(|(k, v)| (k.clone(), v.get())).collect()
     }
 }
@@ -206,7 +206,7 @@ impl HistogramVec {
 
     /// The child for this label set, created on first use.
     pub fn with(&self, labels: &[(&'static str, &str)]) -> Arc<Histogram> {
-        let mut children = self.children.lock().expect("metrics registry poisoned");
+        let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             children
                 .entry(label_key(labels))
@@ -215,7 +215,7 @@ impl HistogramVec {
     }
 
     fn snapshot(&self) -> Vec<(LabelPairs, Arc<Histogram>)> {
-        let children = self.children.lock().expect("metrics registry poisoned");
+        let children = self.children.lock().unwrap_or_else(|e| e.into_inner());
         children.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
     }
 }
@@ -265,11 +265,14 @@ pub struct MetricsRegistry {
     pub queue_depth: Gauge,
     /// `er_serve_model_version` — currently serving artifact version.
     pub model_version: Gauge,
-    /// `er_serve_rejected_total{cause}` — 429s split by cause:
-    /// `cause="rate_limited"` (per-client token bucket: this client must slow
-    /// down) vs `cause="queue_full"` (admission-queue overflow: the server is
-    /// momentarily saturated), so dashboards can tell admission pressure from
-    /// client abuse without parsing response headers.
+    /// `er_serve_rejected_total{cause}` — shed requests split by cause:
+    /// `cause="rate_limited"` (429, per-client token bucket: this client must
+    /// slow down), `cause="queue_full"` (429, admission-queue overflow: the
+    /// server is momentarily saturated), `cause="deadline"` (504, the job's
+    /// `X-Deadline-Ms` budget expired before scoring started), and
+    /// `cause="overloaded"` (503, the accept loop is at its connection cap) —
+    /// so dashboards can tell admission pressure from client abuse without
+    /// parsing response headers.
     pub rejected: CounterVec,
     /// `er_serve_reloads_total{outcome}` — hot-reload outcomes
     /// (`applied` / `refused`).
@@ -284,6 +287,14 @@ pub struct MetricsRegistry {
     pub cache_hit_rate: GaugeVec,
     /// `er_serve_cache_entries{version}` — live entries in the score cache.
     pub cache_entries: GaugeVec,
+    /// `er_serve_worker_panics_total{role}` — panics caught by supervision,
+    /// by worker role (`batcher` vs `shard`). Every count here is a request
+    /// that got a deterministic 500 (batcher) or a transparently re-scored
+    /// chunk (shard) instead of a severed connection.
+    pub worker_panics: CounterVec,
+    /// `er_serve_worker_restarts_total{role}` — supervised worker threads
+    /// restarted after an unexpected unwind escaped a batch.
+    pub worker_restarts: CounterVec,
 }
 
 impl Default for MetricsRegistry {
@@ -311,6 +322,8 @@ impl MetricsRegistry {
             cache_misses: CounterVec::default(),
             cache_hit_rate: GaugeVec::default(),
             cache_entries: GaugeVec::default(),
+            worker_panics: CounterVec::default(),
+            worker_restarts: CounterVec::default(),
         }
     }
 
@@ -376,7 +389,7 @@ impl MetricsRegistry {
         render_counter_vec(
             &mut out,
             "er_serve_rejected_total",
-            "Requests rejected 429, by cause (rate_limited vs queue_full).",
+            "Requests shed, by cause (rate_limited, queue_full, deadline, overloaded).",
             &self.rejected,
         );
         render_counter_vec(
@@ -408,6 +421,18 @@ impl MetricsRegistry {
             "er_serve_cache_entries",
             "Live score-cache entries by artifact version.",
             &self.cache_entries,
+        );
+        render_counter_vec(
+            &mut out,
+            "er_serve_worker_panics_total",
+            "Panics caught by worker supervision, by role (batcher vs shard).",
+            &self.worker_panics,
+        );
+        render_counter_vec(
+            &mut out,
+            "er_serve_worker_restarts_total",
+            "Supervised worker threads restarted after an escaped unwind.",
+            &self.worker_restarts,
         );
         out
     }

@@ -86,7 +86,7 @@ impl RateLimiter {
     /// injected so tests can step time deterministically; production callers
     /// pass [`Instant::now`].
     pub fn check(&self, client: &str, now: Instant) -> RateLimitDecision {
-        let mut buckets = self.buckets.lock().expect("rate limiter poisoned");
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
         let bucket = buckets.entry(client.to_string()).or_insert(TokenBucket {
             tokens: self.config.burst,
             last: now,

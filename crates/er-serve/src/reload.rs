@@ -29,6 +29,7 @@
 use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::engine::{ScoreRequest, ScoringEngine};
 use crate::executor::{ServeConfig, ShardedExecutor};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::MetricsRegistry;
 use crate::trace::{SpanSet, Stage};
 use er_rulegen::CmpOp;
@@ -132,6 +133,10 @@ pub struct ReloadableExecutor {
     /// Attached by [`crate::ScoreServer`] so reload outcomes land in the
     /// same registry `GET /metrics` scrapes.
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    /// Fault-injection plan propagated onto every generation's executor and
+    /// consulted by the reload path (`artifact_read_torn`,
+    /// `reload_validate_fail`).
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl ReloadableExecutor {
@@ -146,6 +151,7 @@ impl ReloadableExecutor {
             reload_lock: Mutex::new(()),
             config,
             metrics: Mutex::new(None),
+            fault: Mutex::new(None),
         }
     }
 
@@ -162,6 +168,7 @@ impl ReloadableExecutor {
             reload_lock: Mutex::new(()),
             config,
             metrics: Mutex::new(None),
+            fault: Mutex::new(None),
         })
     }
 
@@ -170,7 +177,20 @@ impl ReloadableExecutor {
     /// [`crate::ScoreServer::start`] when metrics are enabled; reloads
     /// before attachment are simply unobserved.
     pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
-        *self.metrics.lock().expect("metrics attachment poisoned") = Some(registry);
+        *self.metrics.lock().unwrap_or_else(|e| e.into_inner()) = Some(registry);
+    }
+
+    /// Attaches a fault-injection plan: the current generation's executor
+    /// picks it up immediately, every future generation inherits it, and the
+    /// reload path consults it for `artifact_read_torn` /
+    /// `reload_validate_fail`.
+    pub fn attach_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        self.snapshot().executor().set_fault_plan(plan.clone());
+        *self.fault.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The executor configuration every generation is built with.
@@ -182,12 +202,12 @@ impl ReloadableExecutor {
     /// keeps scoring consistently) across concurrent reloads — score a whole
     /// response through one snapshot and its `version` tag is exact.
     pub fn snapshot(&self) -> Arc<VersionedExecutor> {
-        Arc::clone(&self.current.read().expect("serving state poisoned"))
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// The current artifact version.
     pub fn version(&self) -> u64 {
-        self.current.read().expect("serving state poisoned").version
+        self.current.read().unwrap_or_else(|e| e.into_inner()).version
     }
 
     /// Promotes a candidate artifact: validate → verify the persistence
@@ -224,7 +244,7 @@ impl ReloadableExecutor {
         spans: Option<&mut SpanSet>,
     ) -> Result<u64, ReloadError> {
         let result = self.reload_artifact_inner(artifact, probes, spans);
-        if let Some(metrics) = self.metrics.lock().expect("metrics attachment poisoned").as_ref() {
+        if let Some(metrics) = self.metrics.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
             let outcome = if result.is_ok() { "applied" } else { "refused" };
             metrics.reloads.with(&[("outcome", outcome)]).inc();
             if let Ok(version) = &result {
@@ -245,8 +265,16 @@ impl ReloadableExecutor {
                 spans.record(s, start, Instant::now());
             }
         };
+        let fault = self.fault_plan();
         let start = Instant::now();
-        let validated = artifact.model.validate().map_err(ArtifactError::InvalidModel);
+        let validated = if fault.as_deref().is_some_and(|p| p.fires(FaultKind::ReloadValidateFail)) {
+            Err(ArtifactError::InvalidModel(format!(
+                "injected {}",
+                FaultKind::ReloadValidateFail
+            )))
+        } else {
+            artifact.model.validate().map_err(ArtifactError::InvalidModel)
+        };
         stage(&mut spans, Stage::Validate, start);
         validated?;
         let start = Instant::now();
@@ -262,16 +290,18 @@ impl ReloadableExecutor {
         stage(&mut spans, Stage::Probe, start);
         verified?;
         let start = Instant::now();
-        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        let _guard = self.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
         let next_version = self.version() + 1;
+        // A fresh executor: the score cache is keyed on pair id only, so
+        // entries computed by the old model must not survive the swap.
+        let executor = ShardedExecutor::new(candidate, self.config);
+        executor.set_fault_plan(fault);
         let next = Arc::new(VersionedExecutor {
             version: next_version,
             producer: artifact.producer,
-            // A fresh executor: the score cache is keyed on pair id only, so
-            // entries computed by the old model must not survive the swap.
-            executor: ShardedExecutor::new(candidate, self.config),
+            executor,
         });
-        *self.current.write().expect("serving state poisoned") = next;
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;
         stage(&mut spans, Stage::Swap, start);
         Ok(next_version)
     }
@@ -279,8 +309,28 @@ impl ReloadableExecutor {
     /// [`Self::reload_artifact`] from a file path (the operator-facing form
     /// the HTTP `POST /reload` endpoint calls).
     pub fn reload_from_path(&self, path: impl AsRef<Path>, probes: &[ScoreRequest]) -> Result<u64, ReloadError> {
-        let artifact = ModelArtifact::load(path)?;
+        let artifact = self.load_artifact(path.as_ref())?;
         self.reload_artifact(artifact, probes)
+    }
+
+    /// [`ModelArtifact::load`] behind the `artifact_read_torn` fault point:
+    /// when the plan fires, the loader sees the file as a concurrent writer
+    /// would mid-write — truncated half-way — and must refuse it exactly
+    /// like any other malformed artifact, leaving the old version serving.
+    fn load_artifact(&self, path: &Path) -> Result<ModelArtifact, ArtifactError> {
+        if self
+            .fault_plan()
+            .as_deref()
+            .is_some_and(|p| p.fires(FaultKind::ArtifactReadTorn))
+        {
+            let text = std::fs::read_to_string(path).map_err(ArtifactError::Io)?;
+            let mut cut = text.len() / 2;
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            return ModelArtifact::from_json(&text[..cut]);
+        }
+        ModelArtifact::load(path)
     }
 
     /// [`Self::reload_from_path`] that records the full
@@ -294,7 +344,7 @@ impl ReloadableExecutor {
         spans: &mut SpanSet,
     ) -> Result<u64, ReloadError> {
         let start = Instant::now();
-        let loaded = ModelArtifact::load(path);
+        let loaded = self.load_artifact(path.as_ref());
         spans.record(Stage::Load, start, Instant::now());
         self.reload_artifact_observed(loaded?, probes, Some(spans))
     }
@@ -527,6 +577,50 @@ mod tests {
         assert_eq!(registry.reloads.with(&[("outcome", "applied")]).get(), 1);
         assert_eq!(registry.reloads.with(&[("outcome", "refused")]).get(), 1);
         assert_eq!(registry.model_version.get(), 2.0, "gauge tracks the applied version");
+    }
+
+    #[test]
+    fn torn_artifact_reads_are_refused_and_the_old_version_keeps_serving() {
+        let dir = std::env::temp_dir().join(format!("er-serve-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("candidate.json");
+        ModelArtifact::new(model(2.6)).save(&path).expect("save");
+
+        let handle = ReloadableExecutor::new(ScoringEngine::new(model(1.3)), ServeConfig::default().with_threads(1));
+        let plan = Arc::new(FaultPlan::parse("artifact_read_torn@0").expect("spec"));
+        handle.attach_fault_plan(Some(Arc::clone(&plan)));
+
+        // First reload sees the half-written file and must refuse it.
+        let err = handle.reload_from_path(&path, &[]).expect_err("torn read refused");
+        assert!(
+            matches!(err, ReloadError::Artifact(ArtifactError::Malformed(_))),
+            "{err}"
+        );
+        assert_eq!(handle.version(), 1, "old version keeps serving through the torn read");
+        assert_eq!(plan.fired(FaultKind::ArtifactReadTorn), 1);
+
+        // The fault fired once; the retry reads the intact file and applies.
+        let version = handle.reload_from_path(&path, &[]).expect("clean retry applies");
+        assert_eq!(version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_validate_failures_refuse_the_reload() {
+        let handle = ReloadableExecutor::new(ScoringEngine::new(model(1.3)), ServeConfig::default().with_threads(1));
+        handle.attach_fault_plan(Some(Arc::new(
+            FaultPlan::parse("reload_validate_fail@0").expect("spec"),
+        )));
+        let err = handle
+            .reload_artifact(ModelArtifact::new(model(2.6)), &[])
+            .expect_err("injected validate failure");
+        assert!(err.to_string().contains("reload_validate_fail"), "{err}");
+        assert_eq!(handle.version(), 1);
+        // Generations built after the plan attaches inherit it.
+        handle
+            .reload_artifact(ModelArtifact::new(model(2.6)), &[])
+            .expect("fault exhausted");
+        assert_eq!(handle.version(), 2);
     }
 
     #[test]

@@ -118,7 +118,9 @@ pub fn run_replay(executor: &ShardedExecutor, stream: &[ScoreRequest]) -> Replay
                 .collect();
             let mut all = Vec::with_capacity(stream.len());
             for handle in handles {
-                all.extend(handle.join().expect("replay worker panicked"));
+                // A replay worker only unwinds when scoring itself paniced;
+                // re-raise rather than report a truncated latency series.
+                all.extend(handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
             }
             all
         })
@@ -179,7 +181,8 @@ fn summarize(sorted_ns: &[u64]) -> LatencySummary {
         p95_us: pct(0.95),
         p99_us: pct(0.99),
         mean_us: mean_ns / 1_000.0,
-        max_us: *sorted_ns.last().expect("non-empty") as f64 / 1_000.0,
+        // The empty case returned above, so `last` always exists.
+        max_us: sorted_ns.last().copied().unwrap_or_default() as f64 / 1_000.0,
     }
 }
 

@@ -37,12 +37,28 @@
 //! HTTP or JSON, `404`/`405` unknown path/method, `409` refused reload (the
 //! old version keeps serving), `413` oversized body, `422` well-formed but
 //! unscorable request (e.g. short metric row, with `request_index`), `429`
-//! admission queue full, `503` draining. Scores round-trip **bit-exactly**
-//! over the wire: the JSON float encoding is shortest-round-trip (see the
-//! vendored `serde`), so socket scores equal in-process scores to the last
-//! `f64` bit — the integration suite asserts exactly that.
+//! admission queue full, `500` a scoring-pipeline panic was isolated to this
+//! batch, `503` draining or at the connection cap, `504` the request's
+//! `X-Deadline-Ms` budget expired before scoring started. Scores round-trip
+//! **bit-exactly** over the wire: the JSON float encoding is
+//! shortest-round-trip (see the vendored `serde`), so socket scores equal
+//! in-process scores to the last `f64` bit — the integration suite asserts
+//! exactly that.
+//!
+//! ## Failure containment
+//!
+//! The batcher and the executor's shard workers run under `catch_unwind`
+//! supervision: a panicking worker is counted
+//! (`er_serve_worker_panics_total{role}`), its in-flight jobs get a
+//! deterministic 500 (never a severed connection), and the batcher thread is
+//! restarted if an unwind ever escapes a batch. Every internal lock recovers
+//! from poisoning via `into_inner`, so one panic can never permanently wedge
+//! admission or stats. The [`crate::fault`] module can inject these failures
+//! deterministically; `serve_bench`'s chaos phase replays traffic under
+//! injected panics, stalls, and torn artifact writes to attest all of it.
 
 use crate::engine::ScoreRequest;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::MetricsRegistry;
 use crate::ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
 use crate::reload::ReloadableExecutor;
@@ -51,7 +67,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -98,6 +115,27 @@ pub struct ServerConfig {
     /// against. Request-id handling (`X-Request-Id` accept/echo) stays on
     /// either way.
     pub trace_capacity: usize,
+    /// Default per-request deadline budget in milliseconds, applied when a
+    /// request carries no (or an unusable) `X-Deadline-Ms` header. The
+    /// batcher sheds jobs whose budget has already expired before scoring
+    /// them, answering `504` with `er_serve_rejected_total{cause="deadline"}`.
+    /// `None` (the default) imposes no deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Maximum concurrently served connections. The accept loop answers
+    /// additional connections with an immediate `503` + `Retry-After` instead
+    /// of spawning an unbounded handler thread per socket.
+    pub max_connections: usize,
+    /// Write timeout on accepted sockets, so a reader that stops draining
+    /// its receive window cannot pin a handler thread in `write` forever.
+    pub write_timeout: Duration,
+    /// Hard per-connection lifetime: a keep-alive connection is closed (after
+    /// the in-flight request, if any, completes) once it has been open this
+    /// long.
+    pub max_connection_lifetime: Duration,
+    /// Deterministic fault injection ([`crate::fault`]). Defaults to
+    /// [`FaultPlan::from_env`] (the `ER_FAULT_PLAN` variable), i.e. `None`
+    /// unless an operator or harness opted in.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +150,11 @@ impl Default for ServerConfig {
             metrics_enabled: true,
             log_sample: 0,
             trace_capacity: 512,
+            default_deadline_ms: None,
+            max_connections: 256,
+            write_timeout: Duration::from_secs(10),
+            max_connection_lifetime: Duration::from_secs(600),
+            fault_plan: FaultPlan::from_env(),
         }
     }
 }
@@ -170,7 +213,18 @@ struct JobFailure {
     message: String,
 }
 
-type JobOutcome = Result<(u64, Vec<f64>), JobFailure>;
+/// How a job left the batcher.
+enum JobOutcome {
+    /// Scored through one executor snapshot → 200.
+    Scored(u64, Vec<f64>),
+    /// Well-formed HTTP but unscorable content → 422.
+    Unscorable(JobFailure),
+    /// The batch this job rode in panicked; supervision isolated the blast
+    /// radius to a deterministic 500 instead of a severed connection.
+    Panicked,
+    /// The job's deadline budget expired before scoring started → 504.
+    Expired,
+}
 
 /// What the batcher sends back to the blocked connection handler: the scoring
 /// outcome plus the request's in-flight trace (with the queue/batch/score
@@ -190,6 +244,9 @@ struct Job {
     /// When the batcher drained the job out of the queue (stamped by
     /// [`AdmissionQueue::drain_into`]); closes the `admission_queue` span.
     taken: Option<Instant>,
+    /// Absolute deadline derived from `X-Deadline-Ms` (or the server
+    /// default); the batcher sheds the job with a 504 once this passes.
+    deadline: Option<Instant>,
 }
 
 enum AdmitError {
@@ -226,7 +283,7 @@ impl AdmissionQueue {
     /// caller keeps ownership of the in-flight trace.
     #[allow(clippy::result_large_err)] // the Err deliberately returns the whole job
     fn push(&self, job: Job) -> Result<(), (AdmitError, Job)> {
-        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err((AdmitError::Closed, job));
         }
@@ -240,16 +297,16 @@ impl AdmissionQueue {
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("admission queue poisoned").jobs.len()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
     }
 
     fn set_paused(&self, paused: bool) {
-        self.inner.lock().expect("admission queue poisoned").paused = paused;
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).paused = paused;
         self.ready.notify_all();
     }
 
     fn close(&self) {
-        self.inner.lock().expect("admission queue poisoned").closed = true;
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.ready.notify_all();
     }
 
@@ -259,7 +316,7 @@ impl AdmissionQueue {
     /// and fully drained (pause is ignored once closed, so shutdown never
     /// strands an admitted job).
     fn pop_batch(&self, max_requests: usize, window: Duration) -> Option<Vec<Job>> {
-        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if inner.closed {
                 if inner.jobs.is_empty() {
@@ -270,7 +327,7 @@ impl AdmissionQueue {
             if !inner.paused && !inner.jobs.is_empty() {
                 break;
             }
-            inner = self.ready.wait(inner).expect("admission queue poisoned");
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
         let mut batch = Vec::new();
         let mut total = 0usize;
@@ -285,7 +342,7 @@ impl AdmissionQueue {
                 let (guard, _) = self
                     .ready
                     .wait_timeout(inner, deadline - now)
-                    .expect("admission queue poisoned");
+                    .unwrap_or_else(|e| e.into_inner());
                 inner = guard;
                 if !inner.paused || inner.closed {
                     Self::drain_into(&mut inner, &mut batch, &mut total, max_requests);
@@ -327,6 +384,9 @@ struct Shared {
     /// Counter behind generated request ids (requests without a valid
     /// client-supplied `X-Request-Id`).
     id_seq: AtomicU64,
+    /// Connections with a live handler thread, bounded by
+    /// [`ServerConfig::max_connections`].
+    live_connections: AtomicUsize,
 }
 
 impl Shared {
@@ -368,6 +428,9 @@ impl ScoreServer {
             executor.attach_metrics(Arc::clone(&metrics));
             metrics.model_version.set(executor.version() as f64);
         }
+        // The fault plan rides the executor so reload-built generations
+        // inherit it; the server-side hooks read it from the config.
+        executor.attach_fault_plan(config.fault_plan.clone());
         let tracer = (config.trace_capacity > 0).then(|| Tracer::new(config.trace_capacity));
         let shared = Arc::new(Shared {
             executor,
@@ -379,6 +442,7 @@ impl ScoreServer {
             log_seq: AtomicU64::new(0),
             tracer,
             id_seq: AtomicU64::new(0),
+            live_connections: AtomicUsize::new(0),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -386,7 +450,7 @@ impl ScoreServer {
         };
         let batcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batch_loop(shared))
+            std::thread::spawn(move || supervise_batcher(shared))
         };
         Ok(Self {
             shared,
@@ -479,15 +543,79 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // Reap finished handlers so a long-lived server over many
         // short-lived connections holds join state only for live ones.
         handlers.retain(|handle| !handle.is_finished());
+        // The connection cap bounds handler threads (and their stacks): at
+        // the limit the new connection gets one clean 503 + Retry-After and
+        // is closed, rather than stacking an unbounded thread pile-up.
+        if shared.live_connections.load(Ordering::Acquire) >= shared.config.max_connections {
+            refuse_connection(stream, &shared);
+            continue;
+        }
+        shared.live_connections.fetch_add(1, Ordering::AcqRel);
         let shared = Arc::clone(&shared);
-        handlers.push(std::thread::spawn(move || handle_connection(stream, shared)));
+        handlers.push(std::thread::spawn(move || {
+            let guard = ConnectionGuard(Arc::clone(&shared));
+            handle_connection(stream, shared);
+            drop(guard);
+        }));
     }
     for handle in handlers {
         let _ = handle.join();
     }
 }
 
-fn batch_loop(shared: Arc<Shared>) {
+/// Decrements the live-connection count when a handler thread exits — by
+/// any path, including an unwind, so a panicking handler can never leak a
+/// slot out of the connection cap.
+struct ConnectionGuard(Arc<Shared>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.live_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Turns away a connection that would exceed the cap: one raw 503 with
+/// `Retry-After`, written without reading the request, then close.
+fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    if shared.config.metrics_enabled {
+        shared.metrics.rejected.with(&[("cause", "overloaded")]).inc();
+        shared
+            .metrics
+            .responses
+            .with(&[("route", "refused"), ("status", "503")])
+            .inc();
+    }
+    let body = error_body("server at connection capacity; retry", None);
+    let response = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Runs [`batch_loop`] under supervision: the loop already confines scoring
+/// panics per batch, but if an unwind ever escapes it (a defect in the
+/// batching machinery itself), the panic is counted and a fresh loop starts
+/// — the server never loses its batcher. Jobs in flight when the loop dies
+/// see their reply channel drop, which the connection handler answers with
+/// a deterministic 500 (never a severed connection).
+fn supervise_batcher(shared: Arc<Shared>) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| batch_loop(&shared))) {
+            // Queue closed and drained: clean shutdown.
+            Ok(()) => return,
+            Err(_) => {
+                if shared.config.metrics_enabled {
+                    shared.metrics.worker_panics.with(&[("role", "batcher")]).inc();
+                    shared.metrics.worker_restarts.with(&[("role", "batcher")]).inc();
+                }
+            }
+        }
+    }
+}
+
+fn batch_loop(shared: &Shared) {
     loop {
         let Some(batch) = shared
             .queue
@@ -498,11 +626,42 @@ fn batch_loop(shared: Arc<Shared>) {
         if batch.is_empty() {
             continue;
         }
+        let metrics = shared.config.metrics_enabled.then_some(&shared.metrics);
+        // Shed jobs whose deadline budget expired while they waited: scoring
+        // them would spend executor time on answers nobody is waiting for.
+        // A shed job still gets a response — a 504, never a severed
+        // connection — so clients can tell "too late" from "lost".
+        let now = Instant::now();
+        let mut batch = batch;
+        if batch.iter().any(|job| job.deadline.is_some_and(|d| d <= now)) {
+            let (expired, live): (Vec<Job>, Vec<Job>) = batch
+                .into_iter()
+                .partition(|job| job.deadline.is_some_and(|d| d <= now));
+            batch = live;
+            for mut job in expired {
+                if let Some(metrics) = metrics {
+                    metrics.rejected.with(&[("cause", "deadline")]).inc();
+                }
+                let trace = job.trace.take();
+                let _ = job.reply.send(JobReply {
+                    outcome: JobOutcome::Expired,
+                    trace,
+                });
+            }
+            if batch.is_empty() {
+                continue;
+            }
+        }
+        let fault = shared.config.fault_plan.as_deref();
+        if let Some(ms) = fault.and_then(|plan| plan.check(FaultKind::ScoreStall)) {
+            // Injected stall: the batcher sits on work — exactly the failure
+            // deadline shedding exists to bound.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         // One snapshot per micro-batch: every response in it is attributable
         // to exactly this artifact version, even mid-reload.
         let snapshot = shared.executor.snapshot();
         let total: usize = batch.iter().map(|j| j.requests.len()).sum();
-        let metrics = shared.config.metrics_enabled.then(|| &shared.metrics);
         let version_label = snapshot.version.to_string();
         if let Some(metrics) = metrics {
             metrics.batches.inc();
@@ -514,13 +673,25 @@ fn batch_loop(shared: Arc<Shared>) {
         // coalesced job's trace: all requests in the window share the same
         // batch_wait interval and the same per-shard score spans.
         let tracing = batch.iter().any(|j| j.trace.is_some());
-        let mut shard_spans = SpanSet::new();
         let score_start = Instant::now();
-        let scored = if tracing {
-            snapshot.executor().try_score_batch_traced(&all, &mut shard_spans)
-        } else {
-            snapshot.executor().try_score_batch(&all)
-        };
+        let panics_before = snapshot.executor().worker_panic_count();
+        // The scoring section runs under `catch_unwind`: a panic (injected
+        // `batcher_panic`, or a real defect that escaped the executor's own
+        // shard supervision) is confined to this batch — every job in it
+        // gets a deterministic 500 and the batcher moves on to the next
+        // window.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if fault.is_some_and(|plan| plan.fires(FaultKind::BatcherPanic)) {
+                panic!("injected {}", FaultKind::BatcherPanic);
+            }
+            let mut spans = SpanSet::new();
+            let scored = if tracing {
+                snapshot.executor().try_score_batch_traced(&all, &mut spans)
+            } else {
+                snapshot.executor().try_score_batch(&all)
+            };
+            (scored, spans)
+        }));
         let finish_trace = |job: &mut Job, spans: &SpanSet| {
             if let Some(trace) = job.trace.as_mut() {
                 let taken = job.taken.unwrap_or(score_start);
@@ -529,6 +700,35 @@ fn batch_loop(shared: Arc<Shared>) {
                 trace.extend_from(spans);
             }
         };
+        let (scored, shard_spans) = match attempt {
+            Ok(result) => result,
+            Err(_) => {
+                if let Some(metrics) = metrics {
+                    metrics.worker_panics.with(&[("role", "batcher")]).inc();
+                    metrics.worker_restarts.with(&[("role", "batcher")]).inc();
+                }
+                let empty = SpanSet::new();
+                for mut job in batch {
+                    finish_trace(&mut job, &empty);
+                    let trace = job.trace.take();
+                    let _ = job.reply.send(JobReply {
+                        outcome: JobOutcome::Panicked,
+                        trace,
+                    });
+                }
+                continue;
+            }
+        };
+        // Shard-worker panics are caught (and their chunks re-scored) inside
+        // the executor; the batcher — its only caller here — mirrors the
+        // count into the registry.
+        let shard_panics = snapshot.executor().worker_panic_count() - panics_before;
+        if shard_panics > 0 {
+            if let Some(metrics) = metrics {
+                metrics.worker_panics.with(&[("role", "shard")]).add(shard_panics);
+                metrics.worker_restarts.with(&[("role", "shard")]).add(shard_panics);
+            }
+        }
         match scored {
             Ok(scores) => {
                 if let Some(metrics) = metrics {
@@ -544,7 +744,7 @@ fn batch_loop(shared: Arc<Shared>) {
                     finish_trace(&mut job, &shard_spans);
                     let trace = job.trace.take();
                     let _ = job.reply.send(JobReply {
-                        outcome: Ok((snapshot.version, slice)),
+                        outcome: JobOutcome::Scored(snapshot.version, slice),
                         trace,
                     });
                 }
@@ -555,26 +755,27 @@ fn batch_loop(shared: Arc<Shared>) {
                 // innocent neighbors in the same window still get scores.
                 for mut job in batch {
                     let mut job_spans = SpanSet::new();
-                    let outcome = if job.trace.is_some() {
+                    let outcome = match if job.trace.is_some() {
                         snapshot
                             .executor()
                             .try_score_batch_traced(&job.requests, &mut job_spans)
                     } else {
                         snapshot.executor().try_score_batch(&job.requests)
-                    }
-                    .map(|scores| (snapshot.version, scores))
-                    .map_err(|e| JobFailure {
-                        request_index: e.request_index,
-                        message: e.to_string(),
-                    });
-                    if outcome.is_ok() {
-                        if let Some(metrics) = metrics {
-                            metrics
-                                .score_requests
-                                .with(&[("version", &version_label)])
-                                .add(job.requests.len() as u64);
+                    } {
+                        Ok(scores) => {
+                            if let Some(metrics) = metrics {
+                                metrics
+                                    .score_requests
+                                    .with(&[("version", &version_label)])
+                                    .add(job.requests.len() as u64);
+                            }
+                            JobOutcome::Scored(snapshot.version, scores)
                         }
-                    }
+                        Err(e) => JobOutcome::Unscorable(JobFailure {
+                            request_index: e.request_index,
+                            message: e.to_string(),
+                        }),
+                    };
                     finish_trace(&mut job, &job_spans);
                     let trace = job.trace.take();
                     let _ = job.reply.send(JobReply { outcome, trace });
@@ -598,6 +799,13 @@ const SCORE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // A reader that stops draining its receive window blocks `write` until
+    // the timeout instead of pinning this handler thread forever.
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    // Hard lifetime: a keep-alive connection is closed once it has been open
+    // this long (`None` if the lifetime overflows Instant — effectively
+    // unlimited), bounding how long any one client can hold a handler slot.
+    let expires = Instant::now().checked_add(shared.config.max_connection_lifetime);
     let peer = stream
         .peer_addr()
         .map(|addr| addr.ip().to_string())
@@ -605,7 +813,10 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let mut stream = stream;
     let mut buffer: Vec<u8> = Vec::with_capacity(4096);
     loop {
-        let request = match read_http_request(&mut stream, &mut buffer, &shared) {
+        if expires.is_some_and(|at| Instant::now() >= at) {
+            return;
+        }
+        let request = match read_http_request(&mut stream, &mut buffer, &shared, expires) {
             Ok(Some(request)) => request,
             // Clean close (EOF between requests, or shutdown while idle).
             Ok(None) => return,
@@ -708,6 +919,10 @@ struct ParsedRequest {
     client_id: Option<String>,
     /// The `X-Request-Id` header, adopted as the trace id when well-formed.
     request_id: Option<String>,
+    /// The `X-Deadline-Ms` header when usable (a positive integer); `None` —
+    /// missing, zero, or garbage — falls back to
+    /// [`ServerConfig::default_deadline_ms`].
+    deadline_ms: Option<u64>,
 }
 
 struct RequestFailure {
@@ -730,6 +945,7 @@ fn read_http_request(
     stream: &mut TcpStream,
     buffer: &mut Vec<u8>,
     shared: &Shared,
+    expires: Option<Instant>,
 ) -> Result<Option<ParsedRequest>, RequestFailure> {
     let mut chunk = [0u8; 4096];
     loop {
@@ -737,7 +953,7 @@ fn read_http_request(
             let head = std::str::from_utf8(&buffer[..head_end])
                 .map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
             let head = parse_head(head)?;
-            let (method, path, content_length, close, client_id, request_id) = head;
+            let (method, path, content_length, close, client_id, request_id, deadline_ms) = head;
             if content_length > shared.config.max_body_bytes {
                 return Err(RequestFailure::new(
                     413,
@@ -759,6 +975,7 @@ fn read_http_request(
                     close,
                     client_id,
                     request_id,
+                    deadline_ms,
                 }));
             }
         } else if buffer.len() > MAX_HEAD_BYTES {
@@ -775,8 +992,9 @@ fn read_http_request(
             Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
                 // Close on shutdown even mid-request: a half-received head
                 // can never be admitted, and waiting for its remainder would
-                // block the drain (and the joining acceptor) forever.
-                if shared.shutdown.load(Ordering::SeqCst) {
+                // block the drain (and the joining acceptor) forever. The
+                // connection-lifetime cap closes idle keep-alives here too.
+                if shared.shutdown.load(Ordering::SeqCst) || expires.is_some_and(|at| Instant::now() >= at) {
                     return Ok(None);
                 }
             }
@@ -790,7 +1008,7 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-type ParsedHead = (String, String, usize, bool, Option<String>, Option<String>);
+type ParsedHead = (String, String, usize, bool, Option<String>, Option<String>, Option<u64>);
 
 fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
     let mut lines = head.split("\r\n");
@@ -806,6 +1024,7 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
     let mut close = false;
     let mut client_id = None;
     let mut request_id = None;
+    let mut deadline_ms = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -827,6 +1046,11 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
             "connection" => close = value.eq_ignore_ascii_case("close"),
             "x-client-id" if !value.is_empty() => client_id = Some(value.to_string()),
             "x-request-id" if !value.is_empty() => request_id = Some(value.to_string()),
+            // Lenient by design: zero or garbage reads as "no usable
+            // deadline" (the server default applies) rather than a 400 —
+            // a client bug in deadline bookkeeping should degrade, not
+            // break, its requests.
+            "x-deadline-ms" => deadline_ms = value.parse::<u64>().ok().filter(|ms| *ms > 0),
             _ => {}
         }
     }
@@ -837,6 +1061,7 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
         close,
         client_id,
         request_id,
+        deadline_ms,
     ))
 }
 
@@ -896,7 +1121,7 @@ fn error_body(message: &str, request_index: Option<usize>) -> String {
 fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, client: &str, rid: &str) -> u16 {
     let label = route_label(&request.path);
     let result = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => handle_score(stream, shared, &request.body, client, rid),
+        ("POST", "/score") => handle_score(stream, shared, &request.body, client, rid, request.deadline_ms),
         ("GET", "/healthz") => {
             let body = serde::json::to_string(&HealthResponse {
                 status: "ok".to_string(),
@@ -1102,7 +1327,14 @@ fn respond_score(
     result
 }
 
-fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &str, rid: &str) -> io::Result<u16> {
+fn handle_score(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    body: &str,
+    client: &str,
+    rid: &str,
+    deadline_ms: Option<u64>,
+) -> io::Result<u16> {
     let mut trace = shared.tracer().map(|t| t.begin(rid.to_string(), "/score"));
     // The token bucket sits in front of the admission queue: an over-budget
     // client is turned away before it can occupy queue capacity.
@@ -1151,6 +1383,12 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
         return respond_score(stream, shared, 200, &body, &[], rid, trace);
     }
     let admitted = Instant::now();
+    // The absolute deadline this request's budget implies. The header wins
+    // over the server default; a budget so large it overflows `Instant`
+    // saturates to "no deadline".
+    let deadline = deadline_ms
+        .or(shared.config.default_deadline_ms)
+        .and_then(|ms| admitted.checked_add(Duration::from_millis(ms)));
     let (reply, outcome) = sync_channel::<JobReply>(1);
     match shared.queue.push(Job {
         requests,
@@ -1158,6 +1396,7 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
         trace: trace.take(),
         enqueued: admitted,
         taken: None,
+        deadline,
     }) {
         Err((AdmitError::Full, job)) => {
             if shared.config.metrics_enabled {
@@ -1191,7 +1430,7 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
     }
     match outcome.recv_timeout(SCORE_REPLY_TIMEOUT) {
         Ok(JobReply {
-            outcome: Ok((model_version, scores)),
+            outcome: JobOutcome::Scored(model_version, scores),
             trace: mut returned,
         }) => {
             if shared.config.metrics_enabled {
@@ -1217,7 +1456,7 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
             )
         }
         Ok(JobReply {
-            outcome: Err(failure),
+            outcome: JobOutcome::Unscorable(failure),
             trace: returned,
         }) => respond_score(
             stream,
@@ -1228,7 +1467,43 @@ fn handle_score(stream: &mut TcpStream, shared: &Shared, body: &str, client: &st
             rid,
             returned,
         ),
-        Err(_) => respond_score(
+        Ok(JobReply {
+            outcome: JobOutcome::Panicked,
+            trace: returned,
+        }) => respond_score(
+            stream,
+            shared,
+            500,
+            &error_body("scoring batch panicked; the request was not scored", None),
+            &[],
+            rid,
+            returned,
+        ),
+        Ok(JobReply {
+            outcome: JobOutcome::Expired,
+            trace: returned,
+        }) => respond_score(
+            stream,
+            shared,
+            504,
+            &error_body("deadline expired before scoring started", None),
+            &[],
+            rid,
+            returned,
+        ),
+        // Disconnected: the batcher died mid-batch and its supervisor is
+        // restarting it — this job's reply channel dropped with the batch.
+        // Still a deterministic 500, never a severed connection.
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => respond_score(
+            stream,
+            shared,
+            500,
+            &error_body("scoring batch panicked; the request was not scored", None),
+            &[],
+            rid,
+            None,
+        ),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => respond_score(
             stream,
             shared,
             500,
@@ -1317,6 +1592,7 @@ fn status_reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Response",
     }
 }
@@ -1380,6 +1656,16 @@ fn respond(
     }
     response.push_str("\r\n");
     response.push_str(body);
+    if let Some(ms) = shared
+        .config
+        .fault_plan
+        .as_deref()
+        .and_then(|plan| plan.check(FaultKind::ClientWriteStall))
+    {
+        // Injected slow write: the response sits unsent, as if the client
+        // had stopped draining its receive window.
+        std::thread::sleep(Duration::from_millis(ms));
+    }
     stream.write_all(response.as_bytes())?;
     Ok(status)
 }
@@ -1507,6 +1793,112 @@ fn read_http_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
     let body = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))?;
     Ok(HttpResponse { status, headers, body })
+}
+
+/// Capped-exponential-backoff retry policy for [`http_roundtrip_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first — `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff cap before the first retry, in milliseconds; doubles per
+    /// attempt up to [`Self::max_backoff_ms`].
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retrying after failed attempt `attempt` (0-based):
+    /// capped exponential with deterministic jitter in `[cap/2, cap]`, where
+    /// `cap = min(base_backoff_ms << attempt, max_backoff_ms)`. Jittering
+    /// within a halved floor keeps waits bounded both ways — short enough to
+    /// make progress, spread enough that a herd of clients does not retry in
+    /// lockstep.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let cap = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.max_backoff_ms)
+            .max(1);
+        let floor = cap / 2;
+        floor + jitter_hash(self.seed, attempt as u64) % (cap - floor + 1)
+    }
+}
+
+/// splitmix64 finalizer over (seed, attempt) — the jitter source behind
+/// [`RetryPolicy::backoff_ms`], deterministic per seed so tests and chaos
+/// replays can assert exact waits.
+fn jitter_hash(seed: u64, attempt: u64) -> u64 {
+    let mut z = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether a response status is worth retrying: backpressure (429), a
+/// panic-isolated batch (500 — scoring is pure, so a retry is safe), or an
+/// unavailable server (503, draining or at the connection cap). 504 is
+/// deliberately not here: the request's own deadline expired, and retrying
+/// cannot recover the budget.
+fn retryable_status(status: u16) -> bool {
+    matches!(status, 429 | 500 | 503)
+}
+
+/// A full client loop over [`http_roundtrip_with_headers`]: reconnects per
+/// attempt and retries transport errors and retryable statuses (see
+/// [`retryable_status`]) under `policy`, honoring a server-sent
+/// `Retry-After` when it exceeds the computed backoff. Returns the final
+/// response plus the number of attempts made, so harnesses can attest retry
+/// behavior; the last response (even a retryable one) is returned once
+/// attempts are exhausted.
+pub fn http_roundtrip_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    policy: &RetryPolicy,
+) -> io::Result<(HttpResponse, u32)> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        let result = TcpStream::connect(addr).and_then(|mut stream| {
+            let _ = stream.set_nodelay(true);
+            http_roundtrip_with_headers(&mut stream, method, path, body, headers)
+        });
+        let last = attempt + 1 == attempts;
+        match result {
+            Ok(response) if retryable_status(response.status) && !last => {
+                let retry_after_ms = response
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .map(|secs| (secs * 1_000.0).ceil() as u64)
+                    .unwrap_or(0);
+                let wait = policy.backoff_ms(attempt).max(retry_after_ms);
+                std::thread::sleep(Duration::from_millis(wait));
+            }
+            Ok(response) => return Ok((response, attempt + 1)),
+            Err(e) if !last => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt)));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("retry budget exhausted")))
 }
 
 /// Parses the `{"model_version": v, "scores": [..]}` body of a successful
@@ -2020,5 +2412,220 @@ mod tests {
         let stages = slowest.get("stages").and_then(|v| v.as_seq()).expect("stages");
         assert!(!stages.is_empty(), "per-stage breakdown present");
         server.shutdown();
+    }
+
+    #[test]
+    fn injected_batcher_panic_is_contained_and_the_server_recovers() {
+        let plan = Arc::new(FaultPlan::parse("batcher_panic@0").expect("plan"));
+        let (server, executor) = start_server_with(ServerConfig {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..ServerConfig::default()
+        });
+        let request = ScoreRequest {
+            pair_id: 1,
+            metric_row: vec![0.4, 0.6],
+            classifier_output: 0.4,
+            machine_says_match: false,
+        };
+        let mut stream = connect(&server);
+        // The first batch panics; the rider gets a deterministic 500 over
+        // the same (still healthy) connection.
+        let first = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(1, 0.4))).expect("first");
+        assert_eq!(first.status, 500, "{}", first.body);
+        assert!(first.body.contains("panicked"), "{}", first.body);
+        // The very next batch scores normally — and bit-exactly.
+        let second = http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(1, 0.4))).expect("second");
+        assert_eq!(second.status, 200, "{}", second.body);
+        let (_, scores) = parse_score_response(&second.body).expect("score body");
+        let expected = executor
+            .snapshot()
+            .executor()
+            .score_batch(std::slice::from_ref(&request));
+        assert_eq!(scores[0].to_bits(), expected[0].to_bits());
+        assert_eq!(plan.fired(FaultKind::BatcherPanic), 1);
+        let rendered = server.metrics().render();
+        assert!(
+            rendered.contains("er_serve_worker_panics_total{role=\"batcher\"} 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("er_serve_worker_restarts_total{role=\"batcher\"} 1"),
+            "{rendered}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_with_504() {
+        let (server, _executor) = start_server(16);
+        server.pause_intake();
+        let addr = server.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            http_roundtrip_with_headers(
+                &mut stream,
+                "POST",
+                "/score",
+                Some(&request_json(3, 0.2)),
+                &[("X-Deadline-Ms", "5")],
+            )
+            .expect("roundtrip")
+        });
+        // Let the 5ms budget expire while the job sits in the paused queue.
+        std::thread::sleep(Duration::from_millis(100));
+        server.resume_intake();
+        let response = client.join().expect("client thread");
+        assert_eq!(response.status, 504, "{}", response.body);
+        assert!(response.body.contains("deadline"), "{}", response.body);
+        assert!(
+            server
+                .metrics()
+                .render()
+                .contains("er_serve_rejected_total{cause=\"deadline\"} 1"),
+            "deadline shed must be counted"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_default_deadline_applies_without_a_header() {
+        let (server, _executor) = start_server_with(ServerConfig {
+            default_deadline_ms: Some(5),
+            ..ServerConfig::default()
+        });
+        server.pause_intake();
+        let addr = server.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            http_roundtrip(&mut stream, "POST", "/score", Some(&request_json(4, 0.7))).expect("roundtrip")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        server.resume_intake();
+        let response = client.join().expect("client thread");
+        assert_eq!(response.status, 504, "{}", response.body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_refuses_with_503_and_retry_after() {
+        let (server, _executor) = start_server_with(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let mut held = connect(&server);
+        let ok = http_roundtrip(&mut held, "GET", "/healthz", None).expect("held connection");
+        assert_eq!(ok.status, 200);
+        // The cap is reached: the next connection is answered 503 without
+        // its request even being read.
+        let mut refused_stream = connect(&server);
+        let refused = read_http_response(&mut refused_stream).expect("refusal response");
+        assert_eq!(refused.status, 503, "{}", refused.body);
+        assert_eq!(refused.header("retry-after"), Some("1"));
+        assert!(refused.body.contains("capacity"), "{}", refused.body);
+        // Freeing the slot lets a retrying client back in.
+        drop(held);
+        let policy = RetryPolicy {
+            max_attempts: 20,
+            base_backoff_ms: 20,
+            max_backoff_ms: 200,
+            seed: 7,
+        };
+        let (recovered, attempts) =
+            http_roundtrip_with_retry(server.local_addr(), "GET", "/healthz", None, &[], &policy).expect("recovered");
+        assert_eq!(recovered.status, 200, "{}", recovered.body);
+        assert!(attempts >= 1);
+        assert!(
+            server
+                .metrics()
+                .render()
+                .contains("er_serve_rejected_total{cause=\"overloaded\"}"),
+            "refusals must be counted"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_connections_close_at_the_lifetime_cap() {
+        let (server, _executor) = start_server_with(ServerConfig {
+            max_connection_lifetime: Duration::from_millis(100),
+            ..ServerConfig::default()
+        });
+        let mut stream = connect(&server);
+        let first = http_roundtrip(&mut stream, "GET", "/healthz", None).expect("first request");
+        assert_eq!(first.status, 200);
+        std::thread::sleep(Duration::from_millis(400));
+        // The handler has closed the connection at the lifetime cap; the
+        // next round trip fails instead of being served.
+        assert!(
+            http_roundtrip(&mut stream, "GET", "/healthz", None).is_err(),
+            "lifetime-capped connection must be closed"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn poisoned_admission_queue_recovers() {
+        let queue = AdmissionQueue::new(4);
+        // Poison the queue lock the way a real defect would: panic while
+        // holding it.
+        let poison = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = queue.inner.lock().expect("first lock");
+            panic!("poison the queue lock");
+        }));
+        assert!(poison.is_err());
+        assert!(queue.inner.lock().is_err(), "lock should report poisoned");
+        // Every queue operation recovers via `into_inner`: a full
+        // push → pop → reply round trip still works.
+        let (reply, outcome) = sync_channel::<JobReply>(1);
+        let job = Job {
+            requests: Vec::new(),
+            reply,
+            trace: None,
+            enqueued: Instant::now(),
+            taken: None,
+            deadline: None,
+        };
+        assert!(queue.push(job).is_ok(), "push through a poisoned lock");
+        assert_eq!(queue.len(), 1);
+        let batch = queue.pop_batch(4, Duration::from_millis(1)).expect("queue still open");
+        assert_eq!(batch.len(), 1);
+        for taken in batch {
+            let _ = taken.reply.send(JobReply {
+                outcome: JobOutcome::Scored(1, Vec::new()),
+                trace: None,
+            });
+        }
+        assert!(matches!(
+            outcome.recv_timeout(Duration::from_secs(1)),
+            Ok(JobReply {
+                outcome: JobOutcome::Scored(1, _),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            seed: 42,
+        };
+        for attempt in 0..8 {
+            let cap = (10u64 << attempt).min(500);
+            let ms = policy.backoff_ms(attempt);
+            assert!(
+                ms >= cap / 2 && ms <= cap,
+                "attempt {attempt}: {ms}ms outside [{}, {cap}]",
+                cap / 2
+            );
+            assert_eq!(ms, policy.backoff_ms(attempt), "deterministic per (seed, attempt)");
+        }
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert!(
+            (0..8).any(|a| other.backoff_ms(a) != policy.backoff_ms(a)),
+            "different seeds should jitter differently"
+        );
     }
 }

@@ -50,6 +50,9 @@ pub enum Stage {
     Serialize,
     /// Writing the response bytes to the socket.
     Write,
+    /// Supervision: re-scoring work a panicked worker abandoned (present
+    /// only when a panic was caught and the chunk was restarted).
+    Recover,
     /// Reload: artifact load + parse from disk.
     Load,
     /// Reload: structural validation of the candidate model.
@@ -71,6 +74,7 @@ impl Stage {
             Stage::Score => "score",
             Stage::Serialize => "serialize",
             Stage::Write => "write",
+            Stage::Recover => "recover",
             Stage::Load => "load",
             Stage::Validate => "validate",
             Stage::Probe => "probe",
@@ -386,7 +390,7 @@ impl Tracer {
 
     /// Total ring capacity this tracer was built with.
     pub fn capacity(&self) -> usize {
-        self.ring.lock().expect("trace ring poisoned").capacity
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).capacity
     }
 
     /// Start a trace. Recording happens on the returned value without any
@@ -428,7 +432,7 @@ impl Tracer {
             total_us,
             spans,
         });
-        self.ring.lock().expect("trace ring poisoned").insert(completed);
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).insert(completed);
         self.committed.fetch_add(1, Ordering::Release);
     }
 
@@ -440,7 +444,7 @@ impl Tracer {
 
     /// Every retained trace, sorted by commit sequence number.
     pub fn snapshot(&self) -> Vec<Arc<CompletedTrace>> {
-        self.ring.lock().expect("trace ring poisoned").snapshot()
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).snapshot()
     }
 
     /// The `n` slowest retained traces as per-stage exemplars, slowest first.

@@ -13,8 +13,9 @@
 use er_base::Label;
 use er_rulegen::{CmpOp, Condition, Rule};
 use er_serve::{
-    http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response, ModelArtifact,
-    RateLimitConfig, ReloadableExecutor, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig, ServerConfig,
+    http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response, FaultPlan, ModelArtifact,
+    RateLimitConfig, ReloadableExecutor, RetryPolicy, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig,
+    ServerConfig,
 };
 use learnrisk_core::{train, LearnRiskModel, PairRiskInput, RiskFeatureSet, RiskModelConfig, RiskTrainConfig};
 use std::net::TcpStream;
@@ -334,5 +335,198 @@ fn rate_limited_client_is_rejected_over_a_raw_socket_while_metrics_attribute_it(
     assert_eq!(rejected("queue_full"), 0.0);
     assert_eq!(value("er_serve_score_requests_total"), 4.0);
 
+    server.shutdown();
+}
+
+/// Builds a small trained server for the degradation tests below.
+fn trained_server(config: ServerConfig) -> (ScoreServer, LearnRiskModel) {
+    let mut model = untrained_model();
+    let inputs = training_inputs(&model, 80);
+    train(
+        &mut model,
+        &inputs,
+        &RiskTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let executor = Arc::new(ReloadableExecutor::new(
+        ScoringEngine::new(model.clone()),
+        ServeConfig::default().with_threads(1),
+    ));
+    (ScoreServer::start(executor, config).expect("bind"), model)
+}
+
+#[test]
+fn deadline_header_edge_cases_are_parsed_leniently_over_the_wire() {
+    // No server default: a missing, zero, garbage, or absurdly huge
+    // X-Deadline-Ms must all degrade to "no deadline" — a lenient header
+    // parse must never turn into a spurious 504 or a 400.
+    let (server, model) = trained_server(ServerConfig::default());
+    let expected = ScoringEngine::new(model).score_batch(&serving_requests(1));
+    let body = serde::json::to_string(&serving_requests(1)[0]);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    let cases: [&[(&str, &str)]; 4] = [
+        &[],                                          // missing header
+        &[("X-Deadline-Ms", "0")],                    // zero is "unset", not "already dead"
+        &[("X-Deadline-Ms", "soon")],                 // garbage falls back to the default
+        &[("X-Deadline-Ms", "18446744073709551615")], // u64::MAX saturates to "no deadline"
+    ];
+    for headers in cases {
+        let ok =
+            http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&body), headers).expect("still a response");
+        assert_eq!(ok.status, 200, "headers {headers:?}: {}", ok.body);
+        let (_, scores) = parse_score_response(&ok.body).expect("body");
+        assert_eq!(scores[0].to_bits(), expected[0].to_bits(), "headers {headers:?}");
+    }
+    server.shutdown();
+
+    // With a server default, the same unset spellings inherit it: park the
+    // queue past the 5ms budget and every one is shed with 504, while an
+    // explicit generous header on the same connection overrides the default
+    // and still scores.
+    let (server, _) = trained_server(ServerConfig {
+        default_deadline_ms: Some(5),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    server.pause_intake();
+    const UNSET_SPELLINGS: [&[(&str, &str)]; 3] = [&[], &[("X-Deadline-Ms", "0")], &[("X-Deadline-Ms", "soon")]];
+    let handles: Vec<_> = UNSET_SPELLINGS
+        .iter()
+        .copied()
+        .map(|headers| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                http_roundtrip_with_headers(&mut stream, "POST", "/score", Some(&body), headers)
+                    .expect("still a response")
+            })
+        })
+        .collect();
+    let generous = {
+        let body = body.clone();
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            http_roundtrip_with_headers(
+                &mut stream,
+                "POST",
+                "/score",
+                Some(&body),
+                &[("X-Deadline-Ms", "60000")],
+            )
+            .expect("still a response")
+        })
+    };
+    while server.queued_jobs() < 4 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    server.resume_intake();
+    for handle in handles {
+        let response = handle.join().expect("join");
+        assert_eq!(response.status, 504, "{}", response.body);
+        assert!(response.body.contains("deadline"), "{}", response.body);
+    }
+    let response = generous.join().expect("join");
+    assert_eq!(response.status, 200, "{}", response.body);
+    server.shutdown();
+}
+
+#[test]
+fn retry_backoff_stays_within_the_capped_exponential_envelope() {
+    // The bundled client's backoff schedule is deterministic per
+    // (seed, attempt) and every delay sits in [cap/2, cap] where cap is the
+    // capped exponential — bounded jitter, no thundering herd, no runaway.
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_backoff_ms: 5,
+        max_backoff_ms: 80,
+        seed: 7,
+    };
+    for attempt in 0..8u32 {
+        let cap = (policy.base_backoff_ms << attempt.min(31))
+            .min(policy.max_backoff_ms)
+            .max(1);
+        let floor = cap / 2;
+        let delay = policy.backoff_ms(attempt);
+        assert!(
+            delay >= floor && delay <= cap,
+            "attempt {attempt}: {delay}ms outside [{floor}, {cap}]"
+        );
+        assert_eq!(delay, policy.backoff_ms(attempt), "backoff must be deterministic");
+    }
+    // Different seeds de-synchronize concurrent clients: at least one
+    // attempt draws a different jitter.
+    let other = RetryPolicy { seed: 8, ..policy };
+    assert!(
+        (0..8).any(|a| policy.backoff_ms(a) != other.backoff_ms(a)),
+        "two seeds produced identical schedules"
+    );
+}
+
+#[test]
+fn batcher_panic_is_a_500_then_the_recovered_server_scores_bit_exactly() {
+    // A panic inside the batcher poisons nothing the handlers can see: the
+    // in-flight request gets a deterministic 500 on a connection that stays
+    // open, the supervisor restarts the batcher, and the very next request
+    // on the SAME connection scores bit-identically to the in-process
+    // engine. The bundled retry client turns that 500 → 200 sequence into
+    // one successful call.
+    let plan = Arc::new(FaultPlan::parse("batcher_panic@0,2").expect("spec"));
+    let (server, model) = trained_server(ServerConfig {
+        fault_plan: Some(Arc::clone(&plan)),
+        metrics_enabled: true,
+        ..ServerConfig::default()
+    });
+    let expected = ScoringEngine::new(model).score_batch(&serving_requests(1));
+    let body = serde::json::to_string(&serving_requests(1)[0]);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    let failed = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("still a response");
+    assert_eq!(failed.status, 500, "{}", failed.body);
+    assert!(failed.body.contains("panic"), "{}", failed.body);
+
+    let ok = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("connection survived the panic");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    let (_, scores) = parse_score_response(&ok.body).expect("body");
+    assert_eq!(
+        scores[0].to_bits(),
+        expected[0].to_bits(),
+        "restart must not drift scores"
+    );
+
+    // The second injected panic (occurrence 2) is absorbed by the retry
+    // client without the caller ever seeing the 500.
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff_ms: 1,
+        max_backoff_ms: 4,
+        seed: 1,
+    };
+    let (retried, attempts) =
+        er_serve::server::http_roundtrip_with_retry(server.local_addr(), "POST", "/score", Some(&body), &[], &policy)
+            .expect("retry client");
+    assert_eq!(retried.status, 200, "{}", retried.body);
+    assert_eq!(
+        attempts, 2,
+        "initial try plus exactly one retry after the injected panic"
+    );
+    let (_, scores) = parse_score_response(&retried.body).expect("body");
+    assert_eq!(scores[0].to_bits(), expected[0].to_bits());
+
+    // Both panics and both restarts are attributed in the exposition.
+    let scrape = http_roundtrip(&mut stream, "GET", "/metrics", None).expect("scrape");
+    let samples = parse_exposition(&scrape.body).expect("exposition parses");
+    let role_total = |name: &str| {
+        samples
+            .iter()
+            .filter(|s| s.name == name && s.labels.iter().any(|(k, v)| k == "role" && v == "batcher"))
+            .map(|s| s.value)
+            .sum::<f64>()
+    };
+    assert_eq!(role_total("er_serve_worker_panics_total"), 2.0);
+    assert_eq!(role_total("er_serve_worker_restarts_total"), 2.0);
     server.shutdown();
 }

@@ -105,6 +105,36 @@ TRACED_REQUESTS=$(grep -o '"cat":"request"' "$SERVE_BENCH_TRACE_SNAPSHOT" | wc -
 }
 echo "trace snapshot parses; $TRACED_REQUESTS request timelines reconcile with the $REPLAYED-request replay"
 
+# The chaos phase replayed traffic under the fixed-seed fault plan (injected
+# worker/batcher panics, stalls, torn artifact reads, a parked tiny-deadline
+# tranche). serve_bench itself asserts every invariant at runtime; re-assert
+# here that the attestations landed in the JSON with the expected fault seed,
+# so a silently skipped or re-seeded chaos phase cannot pass this tier.
+grep -q '"fault_spec": "seed=2020;' "$SERVE_BENCH_JSON" \
+    || { echo "chaos phase did not run under the fixed fault seed (seed=2020)" >&2; exit 1; }
+for attestation in zero_severed_connections panics_reconciled bit_exact_across_restarts \
+    old_version_served_throughout deadline_shedding_bounds_p99; do
+    grep -q "\"$attestation\": true" "$SERVE_BENCH_JSON" \
+        || { echo "chaos phase did not attest $attestation" >&2; exit 1; }
+done
+grep -q '"severed_connections": 0' "$SERVE_BENCH_JSON" \
+    || { echo "chaos phase reported severed connections" >&2; exit 1; }
+echo "chaos phase OK: supervised panics reconciled, zero severed connections, version pinned through torn reloads"
+
+# Hot-path panic hygiene: the serving path recovers poisoned locks and
+# supervises panics, which only holds if no new `.unwrap()` / `.expect(`
+# sneaks into non-test er-serve source. Test modules (everything from the
+# first `#[cfg(test)]` line down) are exempt.
+LINT_HITS=$(for f in crates/er-serve/src/*.rs; do
+    awk '/#\[cfg\(test\)\]/ {exit} /\.unwrap\(\)|\.expect\(/ {print FILENAME ":" FNR ": " $0}' "$f"
+done)
+[[ -z "$LINT_HITS" ]] || {
+    echo "unwrap/expect in er-serve hot paths (use unwrap_or_else(|e| e.into_inner()) or propagate):" >&2
+    echo "$LINT_HITS" >&2
+    exit 1
+}
+echo "er-serve hot paths carry no unwrap/expect"
+
 # Informational perf diff against the committed baseline (the CI perf-gate
 # job runs the same diff fatally; locally a regression only warns, since dev
 # hardware legitimately differs from the baseline machine).
