@@ -15,7 +15,7 @@
 //! * [`var`] — Value-at-Risk / CVaR risk metrics (Eq. 8–10).
 //! * [`model`] — the [`model::LearnRiskModel`] with its learnable parameters
 //!   and interpretation output.
-//! * [`train`] — pairwise learning-to-rank training with analytic gradients
+//! * [`mod@train`] — pairwise learning-to-rank training with analytic gradients
 //!   (Eq. 13–17), plus L1/L2 regularization.  The trainer's hot path is
 //!   *lambda-factorized*: one forward and one gradient model evaluation per
 //!   input per epoch (instead of four per ranking pair), allocation-free

@@ -25,7 +25,10 @@
 //! gradient evaluation per *input*, plus an O(rank_pairs) scalar sweep.
 //! [`EpochScratch`] implements the three passes with reusable buffers — after
 //! the first epoch the trainer performs no heap allocation — and parallelizes
-//! the forward and gradient passes over `std::thread::scope` workers.  The
+//! the forward and gradient passes over a persistent [`er_pool::WorkerPool`]
+//! living in the scratch, so worker threads are spawned once per training
+//! run (not once per epoch pass, as the earlier `std::thread::scope`
+//! implementation did).  The
 //! gradient is accumulated into fixed-size per-chunk shards that are reduced
 //! in chunk order, so training is bit-identical for every thread count.
 //!
@@ -47,6 +50,7 @@ use crate::portfolio::{
 use crate::var::{training_risk_gradients, training_risk_score};
 use er_base::rng::substream;
 use er_base::stats::{clamp_prob, safe_ln, sigmoid};
+use er_pool::WorkerPool;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -248,13 +252,28 @@ pub fn loss_and_gradient(
 /// thread counts.
 const GRAD_CHUNK: usize = 128;
 
-/// Minimum forward-pass inputs per worker before another worker is spawned;
-/// below this the scoped-thread overhead exceeds the scoring work.
+/// Minimum forward-pass inputs per worker before another lane is engaged;
+/// below this the fan-out overhead exceeds the scoring work.
 const MIN_FORWARD_INPUTS_PER_WORKER: usize = 512;
 
-/// How many workers to actually spawn for `work_items` units of work.
+/// How many pool lanes to actually use for `work_items` units of work.
 fn effective_workers(threads: usize, work_items: usize, min_per_worker: usize) -> usize {
     threads.max(1).min(work_items.div_ceil(min_per_worker.max(1))).max(1)
+}
+
+/// The scratch's persistent worker pool, (re)built only when a pass first
+/// needs more lanes than the current pool carries — across the epochs of one
+/// training run this spawns threads at most a handful of times (a high-water
+/// mark), where the previous scoped-thread implementation respawned every
+/// epoch pass.
+fn ensure_pool(slot: &mut Option<WorkerPool>, lanes: usize) -> &WorkerPool {
+    if slot.as_ref().is_none_or(|pool| pool.lanes() < lanes) {
+        *slot = Some(WorkerPool::new(lanes));
+    }
+    match slot {
+        Some(pool) => pool,
+        None => unreachable!("the pool was just installed"),
+    }
 }
 
 /// Reusable buffers of the factorized training epoch (see the module docs):
@@ -289,6 +308,9 @@ pub struct EpochScratch {
     touched: Vec<bool>,
     /// Forward scores of the active inputs, aligned with `active`.
     active_scores: Vec<f64>,
+    /// Persistent worker pool for the forward and gradient fan-outs; built
+    /// lazily at the first multi-lane pass and reused across epochs.
+    pool: Option<WorkerPool>,
 }
 
 impl EpochScratch {
@@ -363,7 +385,8 @@ impl EpochScratch {
             }
         } else {
             let per = active.len().div_ceil(workers);
-            std::thread::scope(|scope| {
+            let pool = ensure_pool(&mut self.pool, workers);
+            pool.scope(|scope| {
                 for ((index_chunk, score_chunk), comps) in active
                     .chunks(per)
                     .zip(self.active_scores.chunks_mut(per))
@@ -375,7 +398,8 @@ impl EpochScratch {
                         }
                     });
                 }
-            });
+            })
+            .propagate();
         }
         // Scatter back to the per-input slots the λ sweep indexes by.
         for (&i, &score) in active.iter().zip(&self.active_scores) {
@@ -468,7 +492,8 @@ impl EpochScratch {
             }
         } else {
             let per = n_active.div_ceil(workers);
-            std::thread::scope(|scope| {
+            let pool = ensure_pool(&mut self.pool, workers);
+            pool.scope(|scope| {
                 for (((shard_slice, chunk_ids), comps), terms) in shards
                     .chunks_mut(per)
                     .zip(active_chunks.chunks(per))
@@ -481,7 +506,8 @@ impl EpochScratch {
                         }
                     });
                 }
-            });
+            })
+            .propagate();
         }
         // Reduce the shards in fixed (ascending) chunk order.
         for shard in self.chunk_grads[..n_active].iter() {

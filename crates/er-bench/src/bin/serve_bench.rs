@@ -16,10 +16,10 @@ use er_classifier::{MatcherKind, TrainConfig};
 use er_datasets::{generate_benchmark, BenchmarkId};
 use er_eval::{build_score_requests, export_and_load_engine, run_pipeline, verify_round_trip, PipelineConfig};
 use er_serve::{
-    extract_histogram, http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response, run_replay,
-    summarize_latencies, zipf_stream, LatencySummary, ModelArtifact, RateLimitConfig, ReloadableExecutor, ReplayConfig,
-    ReplayReport, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig, ServerConfig, ServerStats, ShardedExecutor,
-    Stage,
+    extract_histogram, http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response,
+    read_http_response, run_replay, summarize_latencies, zipf_stream, LatencySummary, ModelArtifact, RateLimitConfig,
+    ReloadableExecutor, ReplayConfig, ReplayReport, ScoreRequest, ScoreServer, ScoringEngine, ServeConfig,
+    ServerConfig, ServerStats, ShardedExecutor, Stage,
 };
 use learnrisk_core::{LearnRiskModel, PairRiskInput, RiskTrainConfig};
 use serde::Serialize;
@@ -160,6 +160,42 @@ struct TracingBench {
     snapshot_path: String,
 }
 
+/// One entry of the high-connection-count series: `connections` keep-alive
+/// connections opened and held mostly idle against one readiness loop,
+/// probing accept-to-first-byte latency on the way in, scoring through the
+/// parked set, then sweeping every connection on the way out to prove none
+/// was severed.
+#[derive(Debug, Serialize)]
+struct ConnectionSeriesEntry {
+    connections: usize,
+    /// `connect()` → first response byte of the opening `/healthz` probe,
+    /// over every connection in the set.
+    accept_to_first_byte: LatencySummary,
+    /// `/score` round trips driven across the parked set while the rest of
+    /// the connections idle.
+    score_requests: usize,
+    score_latency: LatencySummary,
+    /// Every opening probe, score, and closing sweep answered 2xx.
+    all_2xx: bool,
+    /// Zero transport errors across the entry — the readiness loop held
+    /// every one of `connections` connections alive to the end.
+    zero_severed: bool,
+    /// Every score matched the in-process engine bit for bit.
+    bit_exact: bool,
+}
+
+/// The high-connection-count phase (its own server with a raised
+/// `max_connections`): the series proves the event-driven front-end holds
+/// thousands of mostly-idle connections — a regime the old
+/// thread-per-connection design could not enter — while still serving with
+/// zero severed connections and bit-exact scores.
+#[derive(Debug, Serialize)]
+struct ConnectionBench {
+    /// The `max_connections` the series server ran with.
+    max_connections: usize,
+    series: Vec<ConnectionSeriesEntry>,
+}
+
 /// The rate-limit smoke (its own server, so the canonical phase counters
 /// stay clean): one client exhausts its burst and must get 429 +
 /// `X-RateLimit-*`, while a second client on the same peer IP flows freely.
@@ -177,7 +213,7 @@ struct RateLimitSmoke {
 }
 
 /// The chaos phase (its own server, so the canonical phase counters stay
-/// clean): a seeded [`FaultPlan`] injects shard-worker panics, batcher
+/// clean): a seeded [`er_serve::FaultPlan`] injects shard-worker panics, batcher
 /// panics, a scoring stall, a slow client write, and torn/invalid artifact
 /// reloads while a retrying client replays live traffic. Attested: zero
 /// severed connections, panic counters reconciling with the plan's own
@@ -235,6 +271,9 @@ struct FrontendBench {
     /// registry's atomics are free, gated by `bench_diff` as a ratio metric.
     metrics_on_relative_throughput: f64,
     metrics: FrontendMetrics,
+    /// The high-connection-count series (256/1024/… mostly-idle keep-alive
+    /// connections, `SERVE_BENCH_CONNECTIONS`).
+    connections: ConnectionBench,
     rate_limit: RateLimitSmoke,
     /// The tracing-on/off A/B with span reconciliation and Chrome export.
     tracing: TracingBench,
@@ -804,6 +843,10 @@ fn frontend_bench(
     );
     server.shutdown();
 
+    // The high-connection-count series gets its own server with a raised
+    // connection cap.
+    let connections = connection_series_bench(engine, stream, threads, &expected_v1);
+
     // The rate-limit smoke runs on its own server so the canonical phase
     // counters above stay exactly attributable.
     let rate_limit = rate_limit_smoke(engine, &stream[0], threads);
@@ -823,6 +866,7 @@ fn frontend_bench(
         replay_metrics_off,
         metrics_on_relative_throughput,
         metrics,
+        connections,
         rate_limit,
         tracing,
         reload,
@@ -832,9 +876,9 @@ fn frontend_bench(
     }
 }
 
-/// The chaos phase: see [`ChaosBench`]. A fixed-seed [`FaultPlan`] is
+/// The chaos phase: see [`ChaosBench`]. A fixed-seed [`er_serve::FaultPlan`] is
 /// attached to a fresh server; a single closed-loop client replays `stream`
-/// through it, retrying retryable statuses with [`RetryPolicy`] backoff and
+/// through it, retrying retryable statuses with [`er_serve::RetryPolicy`] backoff and
 /// counting (it must never need to) reconnects; reload attempts are fired at
 /// fixed milestones into the injected torn-read/validate failures; and a
 /// parked tiny-deadline tranche proves shedding. Every attestation is
@@ -1363,6 +1407,131 @@ fn scrape_and_reconcile(addr: SocketAddr, replay: &FrontendRun) -> FrontendMetri
         score_requests_total,
         reconciles_with_replay,
         histogram_reconciled,
+    }
+}
+
+/// The high-connection-count series: see [`ConnectionBench`]. Each entry
+/// opens `n` keep-alive connections (probing accept-to-first-byte on the
+/// way in), holds them idle while a stripe of them serves `/score` traffic,
+/// then sweeps every connection with a final probe. Any transport error or
+/// non-2xx anywhere in an entry fails the bench outright.
+fn connection_series_bench(
+    engine: &ScoringEngine,
+    stream: &[ScoreRequest],
+    threads: usize,
+    expected_v1: &[f64],
+) -> ConnectionBench {
+    let series: Vec<usize> = std::env::var("SERVE_BENCH_CONNECTIONS")
+        .unwrap_or_else(|_| "256,1024".into())
+        .split(',')
+        .filter_map(|n| n.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    let score_requests = er_bench::env_usize("SERVE_BENCH_CONNECTION_SCORES", 64).clamp(1, stream.len());
+    let max_connections = series.iter().copied().max().unwrap_or(0) + 64;
+    let executor = Arc::new(ReloadableExecutor::new(
+        engine.clone(),
+        ServeConfig::default().with_threads(threads),
+    ));
+    let server = ScoreServer::start(
+        Arc::clone(&executor),
+        ServerConfig {
+            max_connections,
+            trace_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind connection-series score server");
+    let addr = server.local_addr();
+    println!();
+    println!("-- HTTP front-end connection series on {addr} (cap {max_connections}) --");
+
+    let mut entries = Vec::with_capacity(series.len());
+    for &n in &series {
+        // Open n keep-alive connections, timing connect() → first response
+        // byte of an immediate /healthz probe on each (peek leaves the byte
+        // for the normal response reader).
+        let mut conns: Vec<TcpStream> = Vec::with_capacity(n);
+        let mut accept_ns: Vec<u64> = Vec::with_capacity(n);
+        let mut all_2xx = true;
+        let probe = b"GET /healthz HTTP/1.1\r\nHost: er-serve\r\nContent-Length: 0\r\n\r\n";
+        for i in 0..n {
+            use std::io::Write as _;
+            let t0 = Instant::now();
+            let mut conn = TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("connections[{n}]: connect {i} failed under load: {e}"));
+            conn.write_all(probe)
+                .unwrap_or_else(|e| panic!("connections[{n}]: probe write {i} failed: {e}"));
+            let mut first = [0u8; 1];
+            let got = conn
+                .peek(&mut first)
+                .unwrap_or_else(|e| panic!("connections[{n}]: probe peek {i} failed: {e}"));
+            assert_eq!(got, 1, "connections[{n}]: probe {i} saw EOF before the response");
+            accept_ns.push(t0.elapsed().as_nanos() as u64);
+            let response =
+                read_http_response(&mut conn).unwrap_or_else(|e| panic!("connections[{n}]: probe read {i}: {e}"));
+            all_2xx &= response.status == 200;
+            conns.push(conn);
+        }
+
+        // With the whole set parked, drive /score round trips across a
+        // stripe of the connections (every stride-th one), bit-comparing
+        // each response. The rest stay idle — the regime under test.
+        let stride = (n / score_requests).max(1);
+        let mut score_ns: Vec<u64> = Vec::with_capacity(score_requests);
+        let mut bit_exact = true;
+        for (k, request) in stream[..score_requests].iter().enumerate() {
+            let conn = &mut conns[(k * stride) % n];
+            let body = serde::json::to_string(request);
+            let t0 = Instant::now();
+            let response = http_roundtrip(conn, "POST", "/score", Some(&body))
+                .unwrap_or_else(|e| panic!("connections[{n}]: score {k} severed: {e}"));
+            score_ns.push(t0.elapsed().as_nanos() as u64);
+            all_2xx &= response.status == 200;
+            if response.status == 200 {
+                let (_, scores) = parse_score_response(&response.body).expect("connections: malformed score body");
+                bit_exact &= scores.len() == 1 && scores[0].to_bits() == expected_v1[k].to_bits();
+            }
+        }
+
+        // Closing sweep: every single connection must still answer — the
+        // loop held all n alive through the entry, none severed.
+        let mut severed = 0u64;
+        for (i, conn) in conns.iter_mut().enumerate() {
+            match http_roundtrip(conn, "GET", "/healthz", None) {
+                Ok(response) => all_2xx &= response.status == 200,
+                Err(e) => {
+                    severed += 1;
+                    eprintln!("connections[{n}]: sweep {i} severed: {e}");
+                }
+            }
+        }
+        let entry = ConnectionSeriesEntry {
+            connections: n,
+            accept_to_first_byte: summarize_latencies(&mut accept_ns),
+            score_requests,
+            score_latency: summarize_latencies(&mut score_ns),
+            all_2xx,
+            zero_severed: severed == 0,
+            bit_exact,
+        };
+        assert!(entry.zero_severed, "connections[{n}]: {severed} connections severed");
+        assert!(entry.all_2xx, "connections[{n}]: non-2xx response in the series");
+        assert!(entry.bit_exact, "connections[{n}]: score drifted under connection load");
+        println!(
+            "frontend connections[{n}]: accept→first-byte p50 {:>7.1}µs p95 {:>7.1}µs p99 {:>7.1}µs  \
+             {score_requests} scores p99 {:>7.1}µs  swept {n}, 0 severed",
+            entry.accept_to_first_byte.p50_us,
+            entry.accept_to_first_byte.p95_us,
+            entry.accept_to_first_byte.p99_us,
+            entry.score_latency.p99_us,
+        );
+        entries.push(entry);
+    }
+    server.shutdown();
+    ConnectionBench {
+        max_connections,
+        series: entries,
     }
 }
 

@@ -473,6 +473,66 @@ fn diff_frontend(
             });
         }
     }
+    // The high-connection-count series: every entry present in the baseline
+    // must exist in the current run (matched by connection count) with its
+    // three attestations true — holding 1024+ mostly-idle connections with
+    // zero severed and bit-exact scores is a capability, not a perf number,
+    // so it is hard-gated like the flags above.
+    let base_series = base_front
+        .get("connections")
+        .and_then(|c| c.get("series"))
+        .and_then(Value::as_seq)
+        .unwrap_or(&[]);
+    for base_entry in base_series {
+        let Some(count) = field_num(base_entry, "connections") else {
+            continue;
+        };
+        let current_entry = find_by(
+            current_front
+                .and_then(|f| f.get("connections"))
+                .and_then(|c| c.get("series")),
+            "connections",
+            count,
+        );
+        for flag in ["all_2xx", "zero_severed", "bit_exact"] {
+            if base_entry.get(flag).is_none() {
+                continue;
+            }
+            if current_entry.and_then(|e| e.get(flag)) != Some(&Value::Bool(true)) {
+                report.metrics.push(MetricDiff {
+                    name: format!("serve.frontend.connections[{count}].{flag}"),
+                    baseline: 1.0,
+                    current: 0.0,
+                    direction: Direction::HigherIsBetter,
+                    change: -1.0,
+                    status: Status::Regressed,
+                });
+            }
+        }
+        // Accept-to-first-byte latency is an absolute number; gate it only
+        // on matching hardware, with the usual noise floor.
+        if let Some(current_entry) = current_entry {
+            if hardware_matches {
+                for (metric, pct) in [("accept_to_first_byte", "p50_us"), ("accept_to_first_byte", "p99_us")] {
+                    let base_latency = base_entry.get(metric).and_then(|l| field_num(l, pct));
+                    let current_latency = current_entry.get(metric).and_then(|l| field_num(l, pct));
+                    if let (Some(b), Some(c)) = (base_latency, current_latency) {
+                        if b < config.latency_floor_us && c < config.latency_floor_us {
+                            continue;
+                        }
+                    }
+                    push_metric(
+                        report,
+                        &format!("serve.frontend.connections[{count}].{metric}.{pct}"),
+                        base_latency,
+                        current_latency,
+                        Direction::LowerIsBetter,
+                        config.tolerance,
+                    );
+                }
+            }
+        }
+    }
     let ratio_tolerance = if hardware_matches {
         config.tolerance
     } else {

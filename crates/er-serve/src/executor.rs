@@ -1,8 +1,11 @@
 //! The sharded multi-threaded executor.
 //!
 //! [`ShardedExecutor::score_batch`] splits a batch into contiguous chunks
-//! and scores them on `threads` scoped worker threads
-//! (`std::thread::scope`), each with its own [`EngineScratch`]. A bounded
+//! and scores them on the lanes of a persistent [`er_pool::WorkerPool`]
+//! (threads are spawned once per executor — or once per
+//! [`crate::ReloadableExecutor`], which shares one pool across every
+//! reload generation — not once per batch), each chunk with its own
+//! [`EngineScratch`]. A bounded
 //! LRU result cache, sharded across mutexes and keyed on pair id, serves
 //! repeated-pair traffic without re-scoring. Scoring is a pure function of
 //! the request, so results are deterministic: the same batch produces the
@@ -13,6 +16,7 @@ use crate::cache::LruCache;
 use crate::engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::trace::{SpanSet, Stage};
+use er_pool::WorkerPool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -98,6 +102,7 @@ impl CacheStats {
 pub struct ShardedExecutor {
     engine: ScoringEngine,
     config: ServeConfig,
+    pool: Arc<WorkerPool>,
     shards: Vec<Mutex<LruCache<u64, f64>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -112,12 +117,22 @@ impl ShardedExecutor {
     /// so a non-zero requested capacity always caches at least one entry per
     /// shard (the total may exceed the request by up to `cache_shards - 1`).
     pub fn new(engine: ScoringEngine, config: ServeConfig) -> Self {
+        Self::with_pool(engine, config, Arc::new(WorkerPool::new(config.threads.max(1))))
+    }
+
+    /// [`Self::new`] on an existing worker pool instead of spawning a fresh
+    /// one — how [`crate::ReloadableExecutor`] keeps one set of persistent
+    /// lanes across every reload generation. The pool's lane count bounds
+    /// parallelism; chunking (and therefore scores, bit for bit) depends
+    /// only on `config.threads` and the batch length.
+    pub fn with_pool(engine: ScoringEngine, config: ServeConfig, pool: Arc<WorkerPool>) -> Self {
         let shard_count = config.cache_shards.max(1);
         let per_shard = config.cache_capacity.div_ceil(shard_count);
         let shards = (0..shard_count).map(|_| Mutex::new(LruCache::new(per_shard))).collect();
         Self {
             engine,
             config,
+            pool,
             shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -150,6 +165,12 @@ impl ShardedExecutor {
     /// The wrapped engine.
     pub fn engine(&self) -> &ScoringEngine {
         &self.engine
+    }
+
+    /// The worker pool batches are scored on (shareable with further
+    /// executors via [`Self::with_pool`]).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// The executor configuration.
@@ -229,8 +250,8 @@ impl ShardedExecutor {
         Ok(score)
     }
 
-    /// Scores a batch across `config.threads` scoped worker threads,
-    /// preserving request order in the returned scores.
+    /// Scores a batch across `config.threads` chunks on the persistent
+    /// worker pool, preserving request order in the returned scores.
     ///
     /// # Panics
     /// Panics on the first malformed request; [`Self::try_score_batch`] is
@@ -335,7 +356,7 @@ impl ShardedExecutor {
         // Chunks abandoned by a panicking worker, re-scored sequentially
         // after the scope joins.
         let panicked: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
+        self.pool.scope(|scope| {
             for ((chunk_index, (request_chunk, score_chunk)), window) in requests
                 .chunks(chunk)
                 .zip(scores.chunks_mut(chunk))
@@ -347,10 +368,12 @@ impl ShardedExecutor {
                 let fault = fault.as_deref();
                 scope.spawn(move || {
                     let start = Instant::now();
-                    // `std::thread::scope` re-raises a worker panic when the
-                    // scope joins; catching here keeps the batch (and its
-                    // reply channels) alive so the supervisor can restart the
-                    // abandoned chunk instead of losing the whole server.
+                    // The pool isolates task panics too, but catching here
+                    // keeps the panic accounting (and the chunk restart
+                    // decision) local to the executor, so the batch and its
+                    // reply channels stay alive for the supervisor to
+                    // restart the abandoned chunk instead of losing the
+                    // whole server.
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         if let Some(plan) = fault {
                             if plan.fires(FaultKind::ShardWorkerPanic) {

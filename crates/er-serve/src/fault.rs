@@ -129,6 +129,24 @@ struct FaultRule {
 /// default everywhere) means the fault points vanish into a branch. The
 /// plan keeps per-point occurrence and fired counters so benchmarks can
 /// attest that the number of observed failures matches the number injected.
+///
+/// # Examples
+///
+/// ```
+/// use er_serve::{FaultKind, FaultPlan};
+///
+/// # fn main() -> Result<(), er_serve::FaultSpecError> {
+/// let plan = FaultPlan::parse("seed=7; shard_worker_panic@0,2")?;
+/// // Occurrences 0 and 2 fire; occurrence 1 passes through clean.
+/// assert!(plan.fires(FaultKind::ShardWorkerPanic));
+/// assert!(!plan.fires(FaultKind::ShardWorkerPanic));
+/// assert!(plan.fires(FaultKind::ShardWorkerPanic));
+/// // The counters benchmarks reconcile against observed failures:
+/// assert_eq!(plan.occurrences(FaultKind::ShardWorkerPanic), 3);
+/// assert_eq!(plan.fired(FaultKind::ShardWorkerPanic), 2);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     seed: u64,

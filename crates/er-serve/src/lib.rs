@@ -17,8 +17,12 @@
 //!   [`learnrisk_core::LearnRiskModel::risk_score`] path.
 //! * [`cache`] — a bounded intrusive-list [`LruCache`] for repeated-pair
 //!   traffic.
-//! * [`executor`] — [`ShardedExecutor`]: N scoped worker threads over a
-//!   batch plus a shard-locked result cache keyed on pair id.
+//! * [`executor`] — [`ShardedExecutor`]: batches chunked across the lanes
+//!   of a persistent [`er_pool::WorkerPool`] plus a shard-locked result
+//!   cache keyed on pair id.
+//! * [`readiness`] — a hand-rolled readiness facility (`epoll` on Linux,
+//!   `poll(2)` elsewhere, `mio`-shaped API) behind the server's
+//!   event-driven connection driver.
 //! * [`fault`] — [`FaultPlan`]: deterministic fault injection (worker
 //!   panics, torn artifact reads, stalls) threaded through the stack so the
 //!   supervision and degradation machinery is exercised, not assumed.
@@ -26,8 +30,9 @@
 //!   (load → validate → verify round trip → atomic swap), so a retrained
 //!   model rolls out without draining traffic and every response is
 //!   attributable to exactly one artifact version.
-//! * [`server`] — [`ScoreServer`]: a dependency-free HTTP/1.1 front-end with
-//!   a bounded admission queue, micro-batching windows coalescing requests
+//! * [`server`] — [`ScoreServer`]: a dependency-free HTTP/1.1 front-end —
+//!   one event-driven readiness loop owning every connection — with a
+//!   bounded admission queue, micro-batching windows coalescing requests
 //!   into `try_score_batch` calls, and deterministic 429/503 backpressure.
 //! * [`metrics`] — [`MetricsRegistry`]: lock-cheap counters, gauges and
 //!   fixed-bucket histograms rendered as a Prometheus text exposition by
@@ -53,6 +58,7 @@ pub mod fault;
 pub mod index;
 pub mod metrics;
 pub mod ratelimit;
+pub mod readiness;
 pub mod reload;
 pub mod replay;
 pub mod server;
@@ -69,8 +75,8 @@ pub use ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
 pub use reload::{synthesize_probes, ReloadError, ReloadableExecutor, VersionedExecutor};
 pub use replay::{run_replay, summarize_latencies, zipf_stream, LatencySummary, ReplayConfig, ReplayReport};
 pub use server::{
-    http_roundtrip, http_roundtrip_with_headers, http_roundtrip_with_retry, parse_score_response, HttpResponse,
-    RetryPolicy, ScoreServer, ServerConfig, ServerStats,
+    http_roundtrip, http_roundtrip_with_headers, http_roundtrip_with_retry, parse_score_response, read_http_response,
+    HttpResponse, RetryPolicy, ScoreServer, ServerConfig, ServerStats,
 };
 pub use trace::{
     chrome_trace_document, valid_trace_id, ActiveTrace, CompletedTrace, SlowExemplar, Span, SpanSet, Stage, StageDur,

@@ -241,6 +241,25 @@ pub fn batch_size_bounds() -> Arc<[f64]> {
 
 /// The server's metric registry; see the [module docs](self). Field names
 /// map 1:1 onto the exposition's `er_serve_*` metric names.
+///
+/// # Examples
+///
+/// ```
+/// use er_serve::MetricsRegistry;
+///
+/// let metrics = MetricsRegistry::new();
+/// metrics.responses.with(&[("route", "/score"), ("status", "200")]).inc();
+/// metrics.request_duration.with(&[("route", "/score")]).observe(0.0007);
+///
+/// // Rendered as Prometheus text exposition (what `GET /metrics` serves):
+/// let text = metrics.render();
+/// assert!(text.contains("# TYPE er_serve_responses_total counter"));
+/// assert!(text.contains(r#"er_serve_responses_total{route="/score",status="200"} 1"#));
+///
+/// // And parsed back by the bundled scrape-side parser:
+/// let samples = er_serve::parse_exposition(&text).unwrap_or_default();
+/// assert!(samples.iter().any(|s| s.name == "er_serve_responses_total"));
+/// ```
 #[derive(Debug)]
 pub struct MetricsRegistry {
     /// `er_serve_responses_total{route,status}` — every HTTP response.

@@ -20,7 +20,8 @@
 //!    any caller-supplied traffic sample;
 //! 3. **atomic swap** — a *fresh* [`ShardedExecutor`] (new engine, new
 //!    score cache — cached scores of the old model must never answer for the
-//!    new one) replaces the current `Arc` under the write lock, tagged with
+//!    new one, but the same persistent worker pool: reloads never respawn
+//!    threads) replaces the current `Arc` under the write lock, tagged with
 //!    the next version number.
 //!
 //! A failed reload leaves the serving state untouched: traffic keeps scoring
@@ -32,6 +33,7 @@ use crate::executor::{ServeConfig, ShardedExecutor};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::MetricsRegistry;
 use crate::trace::{SpanSet, Stage};
+use er_pool::WorkerPool;
 use er_rulegen::CmpOp;
 use std::fmt;
 use std::path::Path;
@@ -124,6 +126,33 @@ impl VersionedExecutor {
 }
 
 /// The hot-reloadable serving state: see the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use er_base::Label;
+/// use er_rulegen::{CmpOp, Condition, Rule};
+/// use er_serve::{ReloadableExecutor, ScoringEngine, ServeConfig};
+/// use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+///
+/// let feature_set = RiskFeatureSet {
+///     rules: vec![Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 10, 0.9)],
+///     metrics: vec![],
+///     expectations: vec![0.1],
+///     support: vec![10],
+/// };
+/// let model = LearnRiskModel::new(feature_set, RiskModelConfig::default());
+/// let executor = ReloadableExecutor::new(ScoringEngine::new(model), ServeConfig::default().with_threads(1));
+///
+/// // Boots at version 1; every successful reload increments it.
+/// assert_eq!(executor.version(), 1);
+///
+/// // Batches score through one pinned generation, so every score in a
+/// // batch is attributable to exactly one version even mid-reload.
+/// let generation = executor.snapshot();
+/// assert_eq!(generation.version, 1);
+/// assert_eq!(generation.producer, "boot");
+/// ```
 pub struct ReloadableExecutor {
     current: RwLock<Arc<VersionedExecutor>>,
     /// Serializes reloads so two concurrent promotions cannot race the
@@ -137,21 +166,26 @@ pub struct ReloadableExecutor {
     /// consulted by the reload path (`artifact_read_torn`,
     /// `reload_validate_fail`).
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// One persistent set of scoring lanes shared by every generation:
+    /// a reload swaps the engine and the cache, never the threads.
+    pool: Arc<WorkerPool>,
 }
 
 impl ReloadableExecutor {
     /// Boots serving state at version 1 from an in-memory engine.
     pub fn new(engine: ScoringEngine, config: ServeConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
         Self {
             current: RwLock::new(Arc::new(VersionedExecutor {
                 version: 1,
                 producer: "boot".to_string(),
-                executor: ShardedExecutor::new(engine, config),
+                executor: ShardedExecutor::with_pool(engine, config, Arc::clone(&pool)),
             })),
             reload_lock: Mutex::new(()),
             config,
             metrics: Mutex::new(None),
             fault: Mutex::new(None),
+            pool,
         }
     }
 
@@ -159,16 +193,18 @@ impl ReloadableExecutor {
     pub fn from_artifact(artifact: ModelArtifact, config: ServeConfig) -> Result<Self, ReloadError> {
         artifact.model.validate().map_err(ArtifactError::InvalidModel)?;
         let ModelArtifact { producer, model, .. } = artifact;
+        let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
         Ok(Self {
             current: RwLock::new(Arc::new(VersionedExecutor {
                 version: 1,
                 producer,
-                executor: ShardedExecutor::new(ScoringEngine::new(model), config),
+                executor: ShardedExecutor::with_pool(ScoringEngine::new(model), config, Arc::clone(&pool)),
             })),
             reload_lock: Mutex::new(()),
             config,
             metrics: Mutex::new(None),
             fault: Mutex::new(None),
+            pool,
         })
     }
 
@@ -293,8 +329,9 @@ impl ReloadableExecutor {
         let _guard = self.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
         let next_version = self.version() + 1;
         // A fresh executor: the score cache is keyed on pair id only, so
-        // entries computed by the old model must not survive the swap.
-        let executor = ShardedExecutor::new(candidate, self.config);
+        // entries computed by the old model must not survive the swap. The
+        // worker pool carries over — reloads never respawn threads.
+        let executor = ShardedExecutor::with_pool(candidate, self.config, Arc::clone(&self.pool));
         executor.set_fault_plan(fault);
         let next = Arc::new(VersionedExecutor {
             version: next_version,

@@ -1,15 +1,21 @@
 //! A dependency-free HTTP/1.1 front-end over [`std::net::TcpListener`].
 //!
 //! The serving lifecycle the rest of the crate builds toward: a
-//! [`ScoreServer`] accepts connections, admits scoring requests into a
-//! **bounded queue**, and a batcher thread coalesces admitted requests into
-//! **micro-batches** (up to [`ServerConfig::max_batch`] requests or
+//! [`ScoreServer`] owns every connection from one **event-driven readiness
+//! loop** (the [`crate::readiness`] poller — `epoll` on Linux) running on a
+//! single driver thread: it accepts, reads and parses requests over
+//! nonblocking sockets, admits scoring requests into a **bounded queue**,
+//! and a batcher thread coalesces admitted requests into **micro-batches**
+//! (up to [`ServerConfig::max_batch`] requests or
 //! [`ServerConfig::batch_window`], whichever comes first) scored through one
-//! [`crate::ShardedExecutor::try_score_batch`] call per window. Every
-//! micro-batch is scored through a single [`ReloadableExecutor`] snapshot, so
-//! each HTTP response carries exactly one artifact version (the
-//! `model_version` field / `X-Model-Version` header) even while a hot reload
-//! is in flight.
+//! [`crate::ShardedExecutor::try_score_batch`] call per window. Scoring
+//! outcomes return to the driver as completions (a mailbox plus a poll
+//! waker), which writes the response when the socket is ready — a parked
+//! connection costs a few hundred bytes of state, not a thread, so thousands
+//! of mostly-idle keep-alive connections are cheap. Every micro-batch is
+//! scored through a single [`ReloadableExecutor`] snapshot, so each HTTP
+//! response carries exactly one artifact version (the `model_version` field
+//! / `X-Model-Version` header) even while a hot reload is in flight.
 //!
 //! **Backpressure is explicit and deterministic**: when the admission queue
 //! is full the server answers `429 Too Many Requests` immediately (with a
@@ -61,15 +67,16 @@ use crate::engine::ScoreRequest;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::MetricsRegistry;
 use crate::ratelimit::{RateLimitConfig, RateLimitDecision, RateLimiter};
+use crate::readiness::{self, Interest, Token};
 use crate::reload::ReloadableExecutor;
 use crate::trace::{valid_trace_id, ActiveTrace, SpanSet, Stage, Tracer};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -121,12 +128,13 @@ pub struct ServerConfig {
     /// them, answering `504` with `er_serve_rejected_total{cause="deadline"}`.
     /// `None` (the default) imposes no deadline.
     pub default_deadline_ms: Option<u64>,
-    /// Maximum concurrently served connections. The accept loop answers
+    /// Maximum concurrently served connections. The readiness loop answers
     /// additional connections with an immediate `503` + `Retry-After` instead
-    /// of spawning an unbounded handler thread per socket.
+    /// of admitting an unbounded connection pile-up.
     pub max_connections: usize,
-    /// Write timeout on accepted sockets, so a reader that stops draining
-    /// its receive window cannot pin a handler thread in `write` forever.
+    /// Write-progress budget on accepted sockets: a connection whose peer
+    /// accepts no response bytes for this long is closed, so a reader that
+    /// stops draining its receive window cannot pin response state forever.
     pub write_timeout: Duration,
     /// Hard per-connection lifetime: a keep-alive connection is closed (after
     /// the in-flight request, if any, completes) once it has been open this
@@ -226,9 +234,9 @@ enum JobOutcome {
     Expired,
 }
 
-/// What the batcher sends back to the blocked connection handler: the scoring
+/// What the batcher sends back to the parked connection: the scoring
 /// outcome plus the request's in-flight trace (with the queue/batch/score
-/// spans recorded), which the handler finishes and commits.
+/// spans recorded), which the driver finishes and commits.
 struct JobReply {
     outcome: JobOutcome,
     trace: Option<ActiveTrace>,
@@ -236,7 +244,7 @@ struct JobReply {
 
 struct Job {
     requests: Vec<ScoreRequest>,
-    reply: SyncSender<JobReply>,
+    reply: ReplySender,
     /// The request's trace, traveling with the job across threads.
     trace: Option<ActiveTrace>,
     /// When the handler pushed the job into the admission queue.
@@ -367,6 +375,92 @@ impl AdmissionQueue {
 }
 
 // ---------------------------------------------------------------------------
+// Completions (worker threads → driver)
+// ---------------------------------------------------------------------------
+
+/// A finished asynchronous unit of work, posted to the driver thread by the
+/// batcher (scoring) or a reload worker, keyed by the job id the driver
+/// allotted when it parked the connection.
+enum Completion {
+    /// The batcher finished (or abandoned) a scoring job.
+    Score { job: u64, reply: JobReply },
+    /// A reload worker finished `POST /reload`; the response is already
+    /// decided, the driver only serializes and flushes it.
+    Reload {
+        job: u64,
+        status: u16,
+        body: String,
+        version: Option<u64>,
+        trace: Option<ActiveTrace>,
+    },
+}
+
+/// The completion mailbox between worker threads and the driver: finished
+/// jobs are pushed here and the waker interrupts the driver's poll.
+struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: readiness::Waker,
+}
+
+impl Completions {
+    fn push(&self, completion: Completion) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push(completion);
+        let _ = self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// The batcher's reply handle for one admitted job — the readiness-loop
+/// replacement for a blocking `SyncSender<JobReply>`. Dropping it without
+/// sending (the batcher died mid-batch and its jobs unwound with it) posts
+/// a `Panicked` completion, so the parked connection still gets its
+/// deterministic 500 — never a severed connection.
+struct ReplySender {
+    completions: Arc<Completions>,
+    job: u64,
+    sent: bool,
+}
+
+impl ReplySender {
+    fn new(completions: Arc<Completions>, job: u64) -> Self {
+        Self {
+            completions,
+            job,
+            sent: false,
+        }
+    }
+
+    /// Posts the scoring outcome to the driver and wakes its poll.
+    fn send(mut self, reply: JobReply) {
+        self.sent = true;
+        self.completions.push(Completion::Score { job: self.job, reply });
+    }
+
+    /// Disarms the drop hook for a job that never left the driver (queue
+    /// rejections answer inline; no completion must follow).
+    fn cancel(mut self) {
+        self.sent = true;
+    }
+}
+
+impl Drop for ReplySender {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.completions.push(Completion::Score {
+                job: self.job,
+                reply: JobReply {
+                    outcome: JobOutcome::Panicked,
+                    trace: None,
+                },
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
@@ -384,9 +478,6 @@ struct Shared {
     /// Counter behind generated request ids (requests without a valid
     /// client-supplied `X-Request-Id`).
     id_seq: AtomicU64,
-    /// Connections with a live handler thread, bounded by
-    /// [`ServerConfig::max_connections`].
-    live_connections: AtomicUsize,
 }
 
 impl Shared {
@@ -407,20 +498,63 @@ impl Shared {
 /// A running HTTP scoring server; see the [module docs](self) for the wire
 /// format. Dropping the handle shuts the server down gracefully (drains the
 /// admitted queue, joins every thread).
+///
+/// # Examples
+///
+/// Stand a model up on an ephemeral port and probe it over a raw socket:
+///
+/// ```
+/// use er_base::Label;
+/// use er_rulegen::{CmpOp, Condition, Rule};
+/// use er_serve::{http_roundtrip, ReloadableExecutor, ScoreServer, ScoringEngine, ServeConfig, ServerConfig};
+/// use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+/// use std::net::TcpStream;
+/// use std::sync::Arc;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let feature_set = RiskFeatureSet {
+///     rules: vec![Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 10, 0.9)],
+///     metrics: vec![],
+///     expectations: vec![0.1],
+///     support: vec![10],
+/// };
+/// let model = LearnRiskModel::new(feature_set, RiskModelConfig::default());
+/// let executor = Arc::new(ReloadableExecutor::new(
+///     ScoringEngine::new(model),
+///     ServeConfig::default().with_threads(1),
+/// ));
+///
+/// let server = ScoreServer::start(executor, ServerConfig::default())?;
+/// let mut conn = TcpStream::connect(server.local_addr())?;
+/// let health = http_roundtrip(&mut conn, "GET", "/healthz", None)?;
+/// assert_eq!(health.status, 200);
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
 pub struct ScoreServer {
     shared: Arc<Shared>,
+    completions: Arc<Completions>,
     local_addr: SocketAddr,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    driver: Option<std::thread::JoinHandle<()>>,
     batcher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ScoreServer {
-    /// Binds `config.addr` and starts the acceptor and batcher threads.
-    /// The caller keeps the [`ReloadableExecutor`] handle, so in-process
-    /// reloads and the HTTP `POST /reload` endpoint coexist.
+    /// Binds `config.addr` and starts the connection-driver and batcher
+    /// threads. The caller keeps the [`ReloadableExecutor`] handle, so
+    /// in-process reloads and the HTTP `POST /reload` endpoint coexist.
     pub fn start(executor: Arc<ReloadableExecutor>, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let poller = readiness::Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        let waker = readiness::Waker::new(&poller, WAKER)?;
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker,
+        });
         let metrics = Arc::new(MetricsRegistry::new());
         if config.metrics_enabled {
             // The executor records reload outcomes and version bumps into
@@ -442,11 +576,26 @@ impl ScoreServer {
             log_seq: AtomicU64::new(0),
             tracer,
             id_seq: AtomicU64::new(0),
-            live_connections: AtomicUsize::new(0),
         });
-        let acceptor = {
+        let driver = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
+            let completions = Arc::clone(&completions);
+            std::thread::Builder::new()
+                .name("er-serve-driver".to_string())
+                .spawn(move || {
+                    Driver {
+                        shared,
+                        poller,
+                        completions,
+                        listener,
+                        conns: HashMap::new(),
+                        awaiting: HashMap::new(),
+                        next_token: FIRST_CONN,
+                        next_job: 0,
+                        active: 0,
+                    }
+                    .run()
+                })?
         };
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -454,8 +603,9 @@ impl ScoreServer {
         };
         Ok(Self {
             shared,
+            completions,
             local_addr,
-            acceptor: Some(acceptor),
+            driver: Some(driver),
             batcher: Some(batcher),
         })
     }
@@ -516,9 +666,10 @@ impl ScoreServer {
             return;
         }
         self.shared.queue.close();
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.acceptor.take() {
+        // Interrupt the driver's poll so it notices the flag, closes idle
+        // connections, and flushes every in-flight response before exiting.
+        let _ = self.completions.waker.wake();
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.batcher.take() {
@@ -533,73 +684,12 @@ impl Drop for ScoreServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // Reap finished handlers so a long-lived server over many
-        // short-lived connections holds join state only for live ones.
-        handlers.retain(|handle| !handle.is_finished());
-        // The connection cap bounds handler threads (and their stacks): at
-        // the limit the new connection gets one clean 503 + Retry-After and
-        // is closed, rather than stacking an unbounded thread pile-up.
-        if shared.live_connections.load(Ordering::Acquire) >= shared.config.max_connections {
-            refuse_connection(stream, &shared);
-            continue;
-        }
-        shared.live_connections.fetch_add(1, Ordering::AcqRel);
-        let shared = Arc::clone(&shared);
-        handlers.push(std::thread::spawn(move || {
-            let guard = ConnectionGuard(Arc::clone(&shared));
-            handle_connection(stream, shared);
-            drop(guard);
-        }));
-    }
-    for handle in handlers {
-        let _ = handle.join();
-    }
-}
-
-/// Decrements the live-connection count when a handler thread exits — by
-/// any path, including an unwind, so a panicking handler can never leak a
-/// slot out of the connection cap.
-struct ConnectionGuard(Arc<Shared>);
-
-impl Drop for ConnectionGuard {
-    fn drop(&mut self) {
-        self.0.live_connections.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-/// Turns away a connection that would exceed the cap: one raw 503 with
-/// `Retry-After`, written without reading the request, then close.
-fn refuse_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    if shared.config.metrics_enabled {
-        shared.metrics.rejected.with(&[("cause", "overloaded")]).inc();
-        shared
-            .metrics
-            .responses
-            .with(&[("route", "refused"), ("status", "503")])
-            .inc();
-    }
-    let body = error_body("server at connection capacity; retry", None);
-    let response = format!(
-        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
-}
-
 /// Runs [`batch_loop`] under supervision: the loop already confines scoring
 /// panics per batch, but if an unwind ever escapes it (a defect in the
 /// batching machinery itself), the panic is counted and a fresh loop starts
 /// — the server never loses its batcher. Jobs in flight when the loop dies
-/// see their reply channel drop, which the connection handler answers with
-/// a deterministic 500 (never a severed connection).
+/// see their [`ReplySender`] drop, which posts a `Panicked` completion the
+/// driver answers with a deterministic 500 (never a severed connection).
 fn supervise_batcher(shared: Arc<Shared>) {
     loop {
         match catch_unwind(AssertUnwindSafe(|| batch_loop(&shared))) {
@@ -643,7 +733,7 @@ fn batch_loop(shared: &Shared) {
                     metrics.rejected.with(&[("cause", "deadline")]).inc();
                 }
                 let trace = job.trace.take();
-                let _ = job.reply.send(JobReply {
+                job.reply.send(JobReply {
                     outcome: JobOutcome::Expired,
                     trace,
                 });
@@ -711,7 +801,7 @@ fn batch_loop(shared: &Shared) {
                 for mut job in batch {
                     finish_trace(&mut job, &empty);
                     let trace = job.trace.take();
-                    let _ = job.reply.send(JobReply {
+                    job.reply.send(JobReply {
                         outcome: JobOutcome::Panicked,
                         trace,
                     });
@@ -743,7 +833,7 @@ fn batch_loop(shared: &Shared) {
                     offset += job.requests.len();
                     finish_trace(&mut job, &shard_spans);
                     let trace = job.trace.take();
-                    let _ = job.reply.send(JobReply {
+                    job.reply.send(JobReply {
                         outcome: JobOutcome::Scored(snapshot.version, slice),
                         trace,
                     });
@@ -778,7 +868,7 @@ fn batch_loop(shared: &Shared) {
                     };
                     finish_trace(&mut job, &job_spans);
                     let trace = job.trace.take();
-                    let _ = job.reply.send(JobReply { outcome, trace });
+                    job.reply.send(JobReply { outcome, trace });
                 }
             }
         }
@@ -786,84 +876,970 @@ fn batch_loop(shared: &Shared) {
 }
 
 // ---------------------------------------------------------------------------
-// Connection handling
+// Readiness-loop connection driver
 // ---------------------------------------------------------------------------
 
-/// How long a blocked read waits before re-checking the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(100);
+/// Upper bound on one poll wait, so per-connection timers (lifetimes, write
+/// deadlines, injected stalls, reply timeouts) are scanned at least this
+/// often even when no readiness event arrives.
+const POLL_TICK: Duration = Duration::from_millis(100);
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// How long a handler waits for the batcher to score its job.
+/// How long the driver waits for the batcher to score an admitted job
+/// before answering 500 (`scoring pipeline stalled`).
 const SCORE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    // A reader that stops draining its receive window blocks `write` until
-    // the timeout instead of pinning this handler thread forever.
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    // Hard lifetime: a keep-alive connection is closed once it has been open
-    // this long (`None` if the lifetime overflows Instant — effectively
-    // unlimited), bounding how long any one client can hold a handler slot.
-    let expires = Instant::now().checked_add(shared.config.max_connection_lifetime);
-    let peer = stream
-        .peer_addr()
-        .map(|addr| addr.ip().to_string())
-        .unwrap_or_else(|_| "unknown".to_string());
-    let mut stream = stream;
-    let mut buffer: Vec<u8> = Vec::with_capacity(4096);
-    loop {
-        if expires.is_some_and(|at| Instant::now() >= at) {
+/// The listener's token in the readiness loop.
+const LISTENER: Token = Token(0);
+/// The completion waker's token (new completions, or shutdown).
+const WAKER: Token = Token(1);
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 2;
+
+/// Identity and timing of one parsed request, carried from dispatch to the
+/// response's flush completion — where the duration histogram, the sampled
+/// log line and the trace commit happen, the same post-write position they
+/// had when a blocking handler thread owned the whole exchange.
+struct RequestMeta {
+    route: &'static str,
+    started: Instant,
+    client: String,
+    rid: String,
+}
+
+/// A response queued on a connection, with everything its flush completion
+/// must record.
+struct Outgoing {
+    status: u16,
+    /// Pending trace, committed with the status actually flushed (0 if the
+    /// write failed) — `/score` and `/reload` responses only.
+    trace: Option<ActiveTrace>,
+    /// Record a `write` span (enqueue → flushed) on the trace before
+    /// committing — `/score` responses only, mirroring the old
+    /// `respond_score` single exit point.
+    record_write: bool,
+    /// When the response was built and enqueued; the write span's start.
+    write_start: Instant,
+    /// `None` for responses to unparseable requests, which are never logged
+    /// or duration-observed (there is no route to attribute them to).
+    meta: Option<RequestMeta>,
+}
+
+/// The in-flight-job bookkeeping of a parked connection.
+struct Await {
+    /// The completion key.
+    job: u64,
+    /// `Some` for scoring jobs: answer 500 (`scoring pipeline stalled`) if
+    /// no completion arrives by then. Reloads carry no reply timeout, just
+    /// as the blocking handler put no timeout on a reload.
+    deadline: Option<Instant>,
+    /// When the job was admitted; drives `er_serve_score_duration_seconds`.
+    admitted: Instant,
+    meta: RequestMeta,
+}
+
+/// What the driver is doing with a connection.
+enum ConnState {
+    /// Accumulating request bytes (registered readable).
+    Reading,
+    /// A scoring or reload job is in flight. The descriptor is deregistered
+    /// so a pipelining client cannot spin the level-triggered poller while
+    /// the response is pending; buffered bytes are processed after the
+    /// response flushes.
+    Awaiting(Await),
+    /// Draining `write_buf` (registered writable once the kernel send
+    /// buffer pushes back).
+    Flushing,
+}
+
+/// One connection owned by the readiness loop: a few hundred bytes of state
+/// instead of a parked thread.
+struct Conn {
+    token: u64,
+    stream: TcpStream,
+    peer: String,
+    state: ConnState,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    outgoing: Option<Outgoing>,
+    /// Hard lifetime cap (`None` if it overflows `Instant` — effectively
+    /// unlimited).
+    expires: Option<Instant>,
+    /// Progress deadline while flushing — the nonblocking analog of
+    /// `SO_SNDTIMEO`: reset on every partial write, the connection is
+    /// closed if the peer accepts nothing for `write_timeout`.
+    write_deadline: Option<Instant>,
+    /// Injected `client_write_stall`: hold the queued response unsent until
+    /// then, as if the client had stopped draining its receive window.
+    stall_until: Option<Instant>,
+    close_after_flush: bool,
+    /// An over-cap connection that exists only to flush its raw 503; not
+    /// counted against the connection cap.
+    refused: bool,
+    /// The interest the descriptor is currently registered for.
+    interest: Option<Interest>,
+}
+
+/// A response computed by a route handler, not yet serialized to the wire.
+struct ResponseParts {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    headers: Vec<(&'static str, String)>,
+}
+
+impl ResponseParts {
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+            headers: Vec::new(),
+        }
+    }
+
+    fn with_headers(status: u16, body: String, headers: Vec<(&'static str, String)>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+            headers,
+        }
+    }
+}
+
+/// What one nonblocking read pass left behind.
+enum ReadOutcome {
+    /// The kernel buffer is drained (or the per-pass cap was hit); the
+    /// connection stays open.
+    Open,
+    /// The peer half-closed its write side (EOF).
+    Eof,
+    /// The read errored; the connection is gone.
+    Gone,
+}
+
+/// One flush attempt's result.
+enum Flush {
+    Done,
+    Pending,
+    Failed,
+}
+
+/// The event loop owning every connection: accepts, reads, parses, routes,
+/// parks connections on in-flight jobs, and flushes responses — all over
+/// nonblocking sockets driven by the [`crate::readiness`] poller.
+struct Driver {
+    shared: Arc<Shared>,
+    poller: readiness::Poller,
+    completions: Arc<Completions>,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    /// job id → token of the connection parked on it.
+    awaiting: HashMap<u64, u64>,
+    next_token: u64,
+    next_job: u64,
+    /// Connections counted against `max_connections` (excludes refusals).
+    active: usize,
+}
+
+impl Driver {
+    fn run(mut self) {
+        let mut events = readiness::Events::with_capacity(1024);
+        loop {
+            let shutting_down = self.shared.shutdown.load(Ordering::SeqCst);
+            if shutting_down {
+                // Idle and mid-read connections close now (a half-received
+                // head can never be admitted); parked and flushing ones get
+                // their response first — never a severed connection.
+                self.close_reading_conns();
+                if self.conns.is_empty() {
+                    return;
+                }
+            }
+            let timeout = self.poll_timeout();
+            if self.poller.poll(&mut events, Some(timeout)).is_err() {
+                // An unrecoverable poll error must not spin the loop; back
+                // off one tick and retry (timers still run below).
+                std::thread::sleep(POLL_TICK);
+            }
+            let mut accept = false;
+            let mut ready: Vec<u64> = Vec::with_capacity(events.len());
+            for event in events.iter() {
+                match event.token() {
+                    LISTENER => accept = true,
+                    WAKER => self.completions.waker.drain(),
+                    Token(token) => ready.push(token),
+                }
+            }
+            if accept && !shutting_down {
+                self.accept_ready();
+            }
+            for token in ready {
+                self.on_event(token);
+            }
+            for completion in self.completions.drain() {
+                self.on_completion(completion);
+            }
+            self.run_timers();
+        }
+    }
+
+    /// Sleep until the nearest per-connection deadline, capped at
+    /// [`POLL_TICK`]; readiness events and the waker interrupt it anyway.
+    fn poll_timeout(&self) -> Duration {
+        let mut deadline: Option<Instant> = None;
+        let mut consider = |at: Option<Instant>| {
+            if let Some(at) = at {
+                deadline = Some(deadline.map_or(at, |d| d.min(at)));
+            }
+        };
+        for conn in self.conns.values() {
+            match &conn.state {
+                ConnState::Reading => consider(conn.expires),
+                ConnState::Awaiting(wait) => consider(wait.deadline),
+                ConnState::Flushing => {
+                    consider(conn.stall_until);
+                    consider(conn.write_deadline);
+                }
+            }
+        }
+        let now = Instant::now();
+        deadline.map_or(POLL_TICK, |at| at.saturating_duration_since(now).min(POLL_TICK))
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
             return;
         }
-        let request = match read_http_request(&mut stream, &mut buffer, &shared, expires) {
-            Ok(Some(request)) => request,
-            // Clean close (EOF between requests, or shutdown while idle).
-            Ok(None) => return,
-            Err(failure) => {
-                // Even a request we could not parse gets a (generated)
-                // request id echoed back, so client-side retry logs have
-                // something to correlate on.
-                let rid = shared.request_id(None);
-                let _ = respond_json(
-                    &mut stream,
-                    &shared,
-                    "unparsed",
-                    failure.status,
-                    &error_body(&failure.message, None),
-                    &[],
-                    &rid,
+        let token = self.next_token;
+        self.next_token += 1;
+        // The connection cap bounds live connection state: at the limit the
+        // new connection gets one clean 503 + Retry-After and is closed,
+        // rather than growing the loop's working set without bound.
+        if self.active >= self.shared.config.max_connections {
+            self.refuse(token, stream);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let peer = stream
+            .peer_addr()
+            .map(|addr| addr.ip().to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        self.active += 1;
+        let conn = Conn {
+            token,
+            stream,
+            peer,
+            state: ConnState::Reading,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            outgoing: None,
+            // Hard lifetime: a keep-alive connection is closed once it has
+            // been open this long, bounding how long any one client can
+            // hold a connection slot.
+            expires: Instant::now().checked_add(self.shared.config.max_connection_lifetime),
+            write_deadline: None,
+            stall_until: None,
+            close_after_flush: false,
+            refused: false,
+            interest: None,
+        };
+        // Drive immediately: request bytes may already be waiting, and the
+        // eager read shaves one poll round-trip off accept-to-first-byte.
+        self.drive(token, conn, true);
+    }
+
+    /// Turns away a connection that would exceed the cap: one raw 503 with
+    /// `Retry-After`, written without reading the request, then close. The
+    /// refusal flushes through the same machinery as any response but is
+    /// not counted against the cap, logged, or duration-observed.
+    fn refuse(&mut self, token: u64, stream: TcpStream) {
+        if self.shared.config.metrics_enabled {
+            self.shared.metrics.rejected.with(&[("cause", "overloaded")]).inc();
+            self.shared
+                .metrics
+                .responses
+                .with(&[("route", "refused"), ("status", "503")])
+                .inc();
+        }
+        let body = error_body("server at connection capacity; retry", None);
+        let response = format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let conn = Conn {
+            token,
+            stream,
+            peer: String::new(),
+            state: ConnState::Flushing,
+            read_buf: Vec::new(),
+            write_buf: response.into_bytes(),
+            written: 0,
+            outgoing: None,
+            expires: None,
+            write_deadline: Some(Instant::now() + self.shared.config.write_timeout),
+            stall_until: None,
+            close_after_flush: true,
+            refused: true,
+            interest: None,
+        };
+        self.drive(token, conn, false);
+    }
+
+    fn on_event(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        self.drive(token, conn, true);
+    }
+
+    /// Runs a connection's state machine until it parks (needs more bytes,
+    /// a job completion, kernel send-buffer space, or a timer) or closes.
+    fn drive(&mut self, token: u64, mut conn: Conn, readable: bool) {
+        let mut eof = false;
+        if readable && matches!(conn.state, ConnState::Reading) {
+            match self.fill_read_buf(&mut conn) {
+                ReadOutcome::Open => {}
+                ReadOutcome::Eof => eof = true,
+                ReadOutcome::Gone => return self.discard(conn),
+            }
+        }
+        loop {
+            match &conn.state {
+                ConnState::Awaiting(_) => break,
+                ConnState::Reading => {
+                    match try_parse_request(&mut conn.read_buf, self.shared.config.max_body_bytes) {
+                        Ok(Some(request)) => self.dispatch(token, &mut conn, request),
+                        Ok(None) if eof => {
+                            if conn.read_buf.is_empty() {
+                                // Clean close: EOF between requests.
+                                return self.discard(conn);
+                            }
+                            conn.close_after_flush = true;
+                            self.queue_failure(&mut conn, RequestFailure::new(400, "connection closed mid-request"));
+                        }
+                        Ok(None) => break,
+                        Err(failure) => {
+                            conn.close_after_flush = true;
+                            self.queue_failure(&mut conn, failure);
+                        }
+                    }
+                }
+                ConnState::Flushing => match self.flush_step(&mut conn) {
+                    Flush::Pending => break,
+                    Flush::Done => {
+                        if !self.finish_response(&mut conn, true) {
+                            return self.discard(conn);
+                        }
+                        // Back in Reading: loop on, so a pipelined request
+                        // already buffered is answered without a poll round.
+                    }
+                    Flush::Failed => {
+                        self.finish_response(&mut conn, false);
+                        return self.discard(conn);
+                    }
+                },
+            }
+        }
+        self.park(token, conn);
+    }
+
+    /// Pulls everything the kernel has for this connection, bounded per
+    /// pass so one firehose client cannot monopolize the loop (the
+    /// level-triggered poller re-reports any remainder).
+    fn fill_read_buf(&self, conn: &mut Conn) -> ReadOutcome {
+        let cap = self.shared.config.max_body_bytes + MAX_HEAD_BYTES + 4;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    if conn.read_buf.len() >= cap {
+                        return ReadOutcome::Open;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Open,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Gone,
+            }
+        }
+    }
+
+    /// Registers the interest the connection's state wants and re-inserts
+    /// it into the connection table.
+    fn park(&mut self, token: u64, mut conn: Conn) {
+        let want = match &conn.state {
+            ConnState::Reading => Some(Interest::READABLE),
+            // Deregistered entirely: completions re-arm the connection, and
+            // buffered pipelined bytes must not spin the poller meanwhile.
+            ConnState::Awaiting(_) => None,
+            ConnState::Flushing => {
+                if conn.stall_until.is_some_and(|at| at > Instant::now()) {
+                    // Stalled by fault injection: the timer resumes us.
+                    None
+                } else {
+                    Some(Interest::WRITABLE)
+                }
+            }
+        };
+        self.set_interest(&mut conn, want);
+        self.conns.insert(token, conn);
+    }
+
+    fn set_interest(&self, conn: &mut Conn, want: Option<Interest>) {
+        if conn.interest == want {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let result = match (conn.interest, want) {
+            (None, Some(interest)) => self.poller.register(fd, Token(conn.token), interest),
+            (Some(_), Some(interest)) => self.poller.reregister(fd, Token(conn.token), interest),
+            (Some(_), None) => self.poller.deregister(fd),
+            (None, None) => Ok(()),
+        };
+        if result.is_ok() {
+            conn.interest = want;
+        }
+    }
+
+    /// Closes a connection and releases its cap slot. Dropping the stream
+    /// closes the descriptor, which also deregisters it from the poller.
+    fn discard(&mut self, mut conn: Conn) {
+        if !conn.refused {
+            self.active -= 1;
+        }
+        self.set_interest(&mut conn, None);
+    }
+
+    /// Answers a request that could not be parsed. Even these get a
+    /// (generated) request id echoed back, so client-side retry logs have
+    /// something to correlate on.
+    fn queue_failure(&self, conn: &mut Conn, failure: RequestFailure) {
+        let rid = self.shared.request_id(None);
+        let parts = ResponseParts::json(failure.status, error_body(&failure.message, None));
+        self.queue_response(conn, parts, &rid, None, false, None);
+    }
+
+    /// Serializes a response onto the connection and arms the flush
+    /// machinery. The responses counter is incremented here, before any
+    /// byte moves — the position it held in the blocking writer — and an
+    /// injected `client_write_stall` defers the flush, as if the client had
+    /// stopped draining its receive window.
+    fn queue_response(
+        &self,
+        conn: &mut Conn,
+        parts: ResponseParts,
+        rid: &str,
+        trace: Option<ActiveTrace>,
+        record_write: bool,
+        meta: Option<RequestMeta>,
+    ) {
+        let route = meta.as_ref().map_or("unparsed", |m| m.route);
+        if self.shared.config.metrics_enabled {
+            self.shared
+                .metrics
+                .responses
+                .with(&[("route", route), ("status", &parts.status.to_string())])
+                .inc();
+        }
+        let mut response = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            parts.status,
+            status_reason(parts.status),
+            parts.content_type,
+            parts.body.len()
+        );
+        // Every response — including 4xx/5xx error bodies — echoes the
+        // request id, so client retry logs, server logs and traces all
+        // correlate.
+        if !rid.is_empty() {
+            response.push_str("X-Request-Id: ");
+            response.push_str(rid);
+            response.push_str("\r\n");
+        }
+        for (name, value) in &parts.headers {
+            response.push_str(name);
+            response.push_str(": ");
+            response.push_str(value);
+            response.push_str("\r\n");
+        }
+        response.push_str("\r\n");
+        response.push_str(&parts.body);
+        conn.write_buf = response.into_bytes();
+        conn.written = 0;
+        conn.stall_until = self
+            .shared
+            .config
+            .fault_plan
+            .as_deref()
+            .and_then(|plan| plan.check(FaultKind::ClientWriteStall))
+            .and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms)));
+        conn.write_deadline = None;
+        conn.outgoing = Some(Outgoing {
+            status: parts.status,
+            trace,
+            record_write,
+            write_start: Instant::now(),
+            meta,
+        });
+        conn.state = ConnState::Flushing;
+    }
+
+    fn flush_step(&self, conn: &mut Conn) -> Flush {
+        if conn.stall_until.is_some_and(|at| at > Instant::now()) {
+            return Flush::Pending;
+        }
+        conn.stall_until = None;
+        while conn.written < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => return Flush::Failed,
+                Ok(n) => {
+                    conn.written += n;
+                    // Progress restarts the write budget, matching the
+                    // per-`write` SO_SNDTIMEO the blocking handlers had.
+                    conn.write_deadline = Some(Instant::now() + self.shared.config.write_timeout);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if conn.write_deadline.is_none() {
+                        conn.write_deadline = Some(Instant::now() + self.shared.config.write_timeout);
+                    }
+                    return Flush::Pending;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Flush::Failed,
+            }
+        }
+        Flush::Done
+    }
+
+    /// Post-flush bookkeeping: commit the trace with the status actually
+    /// delivered (0 if the write failed), observe the request-duration
+    /// histogram, emit the sampled log line — the exact sequence the
+    /// blocking handler ran after its write returned. Returns whether the
+    /// connection stays open.
+    fn finish_response(&self, conn: &mut Conn, delivered: bool) -> bool {
+        let now = Instant::now();
+        if let Some(out) = conn.outgoing.take() {
+            let status = if delivered { out.status } else { 0 };
+            if let Some(mut trace) = out.trace {
+                if out.record_write {
+                    trace.record(Stage::Write, out.write_start, now);
+                }
+                if let Some(tracer) = self.shared.tracer() {
+                    tracer.commit(trace, status);
+                }
+            }
+            if let Some(meta) = out.meta {
+                let duration = now.duration_since(meta.started);
+                if self.shared.config.metrics_enabled {
+                    self.shared
+                        .metrics
+                        .request_duration
+                        .with(&[("route", meta.route)])
+                        .observe(duration.as_secs_f64());
+                }
+                let seq = self.shared.log_seq.fetch_add(1, Ordering::Relaxed);
+                if should_sample(seq, self.shared.config.log_sample) {
+                    let ts = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0);
+                    eprintln!(
+                        "{}",
+                        format_log_line(
+                            ts,
+                            seq,
+                            meta.route,
+                            status,
+                            duration.as_micros() as u64,
+                            &meta.client,
+                            &meta.rid
+                        )
+                    );
+                }
+            }
+        }
+        conn.write_buf.clear();
+        conn.written = 0;
+        conn.write_deadline = None;
+        conn.stall_until = None;
+        if !delivered || conn.close_after_flush || self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        if conn.expires.is_some_and(|at| now >= at) {
+            return false;
+        }
+        conn.state = ConnState::Reading;
+        true
+    }
+
+    /// Routes one parsed request. Fast routes answer inline; `/score`
+    /// admits a job and parks the connection; `/reload` runs on a
+    /// short-lived worker thread (artifact IO plus probe scoring would
+    /// otherwise stall every connection the driver owns).
+    fn dispatch(&mut self, token: u64, conn: &mut Conn, request: ParsedRequest) {
+        conn.close_after_flush = request.close;
+        let client = request.client_id.as_deref().unwrap_or(&conn.peer).to_string();
+        let rid = self.shared.request_id(request.request_id.as_deref());
+        let meta = RequestMeta {
+            route: route_label(&request.path),
+            started: Instant::now(),
+            client,
+            rid,
+        };
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/score") => self.dispatch_score(token, conn, &request, meta),
+            ("POST", "/reload") => self.dispatch_reload(token, conn, &request, meta),
+            _ => {
+                let parts = inline_route(&self.shared, &request);
+                let rid = meta.rid.clone();
+                self.queue_response(conn, parts, &rid, None, false, Some(meta));
+            }
+        }
+    }
+
+    fn dispatch_score(&mut self, token: u64, conn: &mut Conn, request: &ParsedRequest, meta: RequestMeta) {
+        let shared = Arc::clone(&self.shared);
+        let mut trace = shared.tracer().map(|t| t.begin(meta.rid.clone(), "/score"));
+        // The token bucket sits in front of the admission queue: an
+        // over-budget client is turned away before it can occupy queue
+        // capacity.
+        if let Some(limiter) = &shared.limiter {
+            let check_start = Instant::now();
+            let decision = limiter.check(&meta.client, check_start);
+            if let Some(t) = trace.as_mut() {
+                t.record(Stage::Ratelimit, check_start, Instant::now());
+            }
+            if let RateLimitDecision::Limited { retry_after, limit } = decision {
+                if shared.config.metrics_enabled {
+                    shared.metrics.rejected.with(&[("cause", "rate_limited")]).inc();
+                }
+                let parts = ResponseParts::with_headers(
+                    429,
+                    error_body("rate limit exceeded; slow down", None),
+                    vec![
+                        ("Retry-After", format!("{}", retry_after.ceil() as u64)),
+                        ("X-RateLimit-Limit", format!("{}", limit as u64)),
+                        ("X-RateLimit-Remaining", "0".to_string()),
+                        ("X-RateLimit-Reset", format!("{retry_after:.3}")),
+                    ],
                 );
+                let rid = meta.rid.clone();
+                self.queue_response(conn, parts, &rid, trace, true, Some(meta));
+                return;
+            }
+        }
+        let parse_start = Instant::now();
+        let parsed = parse_score_body(&request.body);
+        if let Some(t) = trace.as_mut() {
+            t.record(Stage::Parse, parse_start, Instant::now());
+        }
+        let requests = match parsed {
+            Ok(requests) => requests,
+            Err(message) => {
+                let parts = ResponseParts::json(400, error_body(&message, None));
+                let rid = meta.rid.clone();
+                self.queue_response(conn, parts, &rid, trace, true, Some(meta));
                 return;
             }
         };
-        let close_after = request.close;
-        let client = request.client_id.as_deref().unwrap_or(&peer);
-        let rid = shared.request_id(request.request_id.as_deref());
-        let route_name = route_label(&request.path);
-        let started = Instant::now();
-        let status = route(&mut stream, &shared, &request, client, &rid);
-        let duration = started.elapsed();
-        if shared.config.metrics_enabled {
-            shared
-                .metrics
-                .request_duration
-                .with(&[("route", route_name)])
-                .observe(duration.as_secs_f64());
-        }
-        let seq = shared.log_seq.fetch_add(1, Ordering::Relaxed);
-        if should_sample(seq, shared.config.log_sample) {
-            let ts = std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(0.0);
-            eprintln!(
-                "{}",
-                format_log_line(ts, seq, route_name, status, duration.as_micros() as u64, client, &rid)
-            );
-        }
-        if close_after {
+        if requests.is_empty() {
+            let body = serde::json::to_string(&ScoreResponse {
+                model_version: shared.executor.version(),
+                scores: Vec::new(),
+            });
+            let rid = meta.rid.clone();
+            self.queue_response(conn, ResponseParts::json(200, body), &rid, trace, true, Some(meta));
             return;
+        }
+        let admitted = Instant::now();
+        // The absolute deadline this request's budget implies. The header
+        // wins over the server default; a budget so large it overflows
+        // `Instant` saturates to "no deadline".
+        let deadline = request
+            .deadline_ms
+            .or(shared.config.default_deadline_ms)
+            .and_then(|ms| admitted.checked_add(Duration::from_millis(ms)));
+        let job = self.next_job;
+        self.next_job += 1;
+        let reply = ReplySender::new(Arc::clone(&self.completions), job);
+        match shared.queue.push(Job {
+            requests,
+            reply,
+            trace: trace.take(),
+            enqueued: admitted,
+            taken: None,
+            deadline,
+        }) {
+            Err((AdmitError::Full, bounced)) => {
+                if shared.config.metrics_enabled {
+                    shared.metrics.rejected.with(&[("cause", "queue_full")]).inc();
+                }
+                let Job { reply, trace, .. } = bounced;
+                reply.cancel();
+                // Deliberately NO X-RateLimit-* headers here: queue-full
+                // means the server is saturated (retry immediately), not
+                // that this client is over its own budget.
+                let parts = ResponseParts::with_headers(
+                    429,
+                    error_body("admission queue full; retry", None),
+                    vec![("Retry-After", "0".to_string())],
+                );
+                let rid = meta.rid.clone();
+                self.queue_response(conn, parts, &rid, trace, true, Some(meta));
+            }
+            Err((AdmitError::Closed, bounced)) => {
+                let Job { reply, trace, .. } = bounced;
+                reply.cancel();
+                let parts = ResponseParts::json(503, error_body("server is draining", None));
+                let rid = meta.rid.clone();
+                self.queue_response(conn, parts, &rid, trace, true, Some(meta));
+            }
+            Ok(()) => {
+                self.awaiting.insert(job, token);
+                conn.state = ConnState::Awaiting(Await {
+                    job,
+                    deadline: admitted.checked_add(SCORE_REPLY_TIMEOUT),
+                    admitted,
+                    meta,
+                });
+            }
+        }
+    }
+
+    fn dispatch_reload(&mut self, token: u64, conn: &mut Conn, request: &ParsedRequest, meta: RequestMeta) {
+        let path = match serde::json::from_str::<ReloadRequest>(&request.body) {
+            Ok(reload) => reload.path,
+            Err(e) => {
+                let parts = ResponseParts::json(
+                    400,
+                    error_body(&format!("malformed reload body (expected {{\"path\": ..}}): {e}"), None),
+                );
+                let rid = meta.rid.clone();
+                self.queue_response(conn, parts, &rid, None, false, Some(meta));
+                return;
+            }
+        };
+        // A reload gets its own trace: the `load → validate → probe → swap`
+        // timeline, recorded by the reload pipeline into a detached span
+        // set on the worker thread.
+        let trace = self.shared.tracer().map(|t| t.begin(meta.rid.clone(), "/reload"));
+        let job = self.next_job;
+        self.next_job += 1;
+        let shared = Arc::clone(&self.shared);
+        let completions = Arc::clone(&self.completions);
+        std::thread::spawn(move || {
+            let mut trace = trace;
+            let mut spans = SpanSet::new();
+            let result = if trace.is_some() {
+                shared.executor.reload_from_path_traced(&path, &[], &mut spans)
+            } else {
+                shared.executor.reload_from_path(&path, &[])
+            };
+            if let Some(t) = trace.as_mut() {
+                t.extend_from(&spans);
+            }
+            let (status, body, version) = match result {
+                Ok(model_version) => (
+                    200,
+                    serde::json::to_string(&ReloadResponse { model_version }),
+                    Some(model_version),
+                ),
+                // The old version keeps serving; 409 tells the operator the
+                // rollout did not happen.
+                Err(e) => (409, error_body(&e.to_string(), None), None),
+            };
+            completions.push(Completion::Reload {
+                job,
+                status,
+                body,
+                version,
+                trace,
+            });
+        });
+        self.awaiting.insert(job, token);
+        conn.state = ConnState::Awaiting(Await {
+            job,
+            deadline: None,
+            admitted: Instant::now(),
+            meta,
+        });
+    }
+
+    fn on_completion(&mut self, completion: Completion) {
+        let job = match &completion {
+            Completion::Score { job, .. } | Completion::Reload { job, .. } => *job,
+        };
+        // A completion whose job is no longer awaited (the reply timed out
+        // and the 500 already went out) is dropped, like the reply a
+        // blocking handler never came back to receive.
+        let Some(token) = self.awaiting.remove(&job) else {
+            return;
+        };
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let ConnState::Awaiting(wait) = std::mem::replace(&mut conn.state, ConnState::Reading) else {
+            self.conns.insert(token, conn);
+            return;
+        };
+        match completion {
+            Completion::Score { reply, .. } => self.finish_score(&mut conn, wait, reply),
+            Completion::Reload {
+                status,
+                body,
+                version,
+                trace,
+                ..
+            } => {
+                let headers = version
+                    .map(|v| vec![("X-Model-Version", v.to_string())])
+                    .unwrap_or_default();
+                let parts = ResponseParts::with_headers(status, body, headers);
+                let rid = wait.meta.rid.clone();
+                self.queue_response(&mut conn, parts, &rid, trace, false, Some(wait.meta));
+            }
+        }
+        self.drive(token, conn, false);
+    }
+
+    /// The scoring-outcome → response mapping, one arm per [`JobOutcome`]
+    /// (plus the dropped-reply 500 the [`ReplySender`] drop hook turns into
+    /// a `Panicked` outcome).
+    fn finish_score(&self, conn: &mut Conn, wait: Await, reply: JobReply) {
+        let shared = &self.shared;
+        let (parts, returned) = match reply {
+            JobReply {
+                outcome: JobOutcome::Scored(model_version, scores),
+                trace: mut returned,
+            } => {
+                if shared.config.metrics_enabled {
+                    shared
+                        .metrics
+                        .score_duration
+                        .with(&[("version", &model_version.to_string())])
+                        .observe(wait.admitted.elapsed().as_secs_f64());
+                }
+                let serialize_start = Instant::now();
+                let body = serde::json::to_string(&ScoreResponse { model_version, scores });
+                if let Some(t) = returned.as_mut() {
+                    t.record(Stage::Serialize, serialize_start, Instant::now());
+                }
+                (
+                    ResponseParts::with_headers(200, body, vec![("X-Model-Version", model_version.to_string())]),
+                    returned,
+                )
+            }
+            JobReply {
+                outcome: JobOutcome::Unscorable(failure),
+                trace,
+            } => (
+                ResponseParts::json(422, error_body(&failure.message, Some(failure.request_index))),
+                trace,
+            ),
+            JobReply {
+                outcome: JobOutcome::Panicked,
+                trace,
+            } => (
+                ResponseParts::json(
+                    500,
+                    error_body("scoring batch panicked; the request was not scored", None),
+                ),
+                trace,
+            ),
+            JobReply {
+                outcome: JobOutcome::Expired,
+                trace,
+            } => (
+                ResponseParts::json(504, error_body("deadline expired before scoring started", None)),
+                trace,
+            ),
+        };
+        let rid = wait.meta.rid.clone();
+        self.queue_response(conn, parts, &rid, returned, true, Some(wait.meta));
+    }
+
+    /// Scans per-connection deadlines: lifetime caps, write-progress
+    /// budgets, injected-stall expiries, and score-reply timeouts.
+    fn run_timers(&mut self) {
+        let now = Instant::now();
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = self.conns.get(&token) else { continue };
+            match &conn.state {
+                ConnState::Reading => {
+                    if conn.expires.is_some_and(|at| now >= at) {
+                        if let Some(conn) = self.conns.remove(&token) {
+                            self.discard(conn);
+                        }
+                    }
+                }
+                ConnState::Awaiting(wait) => {
+                    if wait.deadline.is_some_and(|at| now >= at) {
+                        self.score_reply_timed_out(token);
+                    }
+                }
+                ConnState::Flushing => {
+                    let stall_passed = conn.stall_until.is_some_and(|at| now >= at);
+                    let stalled = conn.stall_until.is_some_and(|at| now < at);
+                    if stall_passed {
+                        // Resume the deferred flush.
+                        self.on_event(token);
+                    } else if !stalled && conn.write_deadline.is_some_and(|at| now >= at) {
+                        // No write progress for the whole budget: give up on
+                        // this peer.
+                        if let Some(mut conn) = self.conns.remove(&token) {
+                            self.finish_response(&mut conn, false);
+                            self.discard(conn);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batcher never answered within [`SCORE_REPLY_TIMEOUT`]:
+    /// deterministic 500, like the blocking handler's `recv_timeout` arm.
+    fn score_reply_timed_out(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let ConnState::Awaiting(wait) = std::mem::replace(&mut conn.state, ConnState::Reading) else {
+            self.conns.insert(token, conn);
+            return;
+        };
+        self.awaiting.remove(&wait.job);
+        let parts = ResponseParts::json(500, error_body("scoring pipeline stalled", None));
+        let rid = wait.meta.rid.clone();
+        self.queue_response(&mut conn, parts, &rid, None, true, Some(wait.meta));
+        self.drive(token, conn, false);
+    }
+
+    /// Shutdown: close every connection that is not owed a response.
+    fn close_reading_conns(&mut self) {
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| matches!(conn.state, ConnState::Reading))
+            .map(|(token, _)| *token)
+            .collect();
+        for token in idle {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.discard(conn);
+            }
         }
     }
 }
@@ -939,69 +1915,42 @@ impl RequestFailure {
     }
 }
 
-/// Reads one HTTP/1.1 request from the stream, polling the shutdown flag on
-/// read timeouts. `Ok(None)` means the connection closed cleanly.
-fn read_http_request(
-    stream: &mut TcpStream,
-    buffer: &mut Vec<u8>,
-    shared: &Shared,
-    expires: Option<Instant>,
-) -> Result<Option<ParsedRequest>, RequestFailure> {
-    let mut chunk = [0u8; 4096];
-    loop {
-        if let Some(head_end) = find_head_end(buffer) {
-            let head = std::str::from_utf8(&buffer[..head_end])
-                .map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
-            let head = parse_head(head)?;
-            let (method, path, content_length, close, client_id, request_id, deadline_ms) = head;
-            if content_length > shared.config.max_body_bytes {
-                return Err(RequestFailure::new(
-                    413,
-                    format!(
-                        "request body of {content_length} bytes exceeds the {}-byte limit",
-                        shared.config.max_body_bytes
-                    ),
-                ));
-            }
-            let total = head_end + 4 + content_length;
-            if buffer.len() >= total {
-                let body = String::from_utf8(buffer[head_end + 4..total].to_vec())
-                    .map_err(|_| RequestFailure::new(400, "request body is not UTF-8"))?;
-                buffer.drain(..total);
-                return Ok(Some(ParsedRequest {
-                    method,
-                    path,
-                    body,
-                    close,
-                    client_id,
-                    request_id,
-                    deadline_ms,
-                }));
-            }
-        } else if buffer.len() > MAX_HEAD_BYTES {
+/// Tries to parse one complete HTTP/1.1 request off the front of the
+/// connection's accumulated read buffer. `Ok(None)` means the bytes so far
+/// are a valid prefix — keep reading; the consumed request is drained from
+/// the buffer, leaving any pipelined successor in place.
+fn try_parse_request(buffer: &mut Vec<u8>, max_body_bytes: usize) -> Result<Option<ParsedRequest>, RequestFailure> {
+    let Some(head_end) = find_head_end(buffer) else {
+        if buffer.len() > MAX_HEAD_BYTES {
             return Err(RequestFailure::new(431, "request head too large"));
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                if buffer.is_empty() {
-                    return Ok(None);
-                }
-                return Err(RequestFailure::new(400, "connection closed mid-request"));
-            }
-            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-                // Close on shutdown even mid-request: a half-received head
-                // can never be admitted, and waiting for its remainder would
-                // block the drain (and the joining acceptor) forever. The
-                // connection-lifetime cap closes idle keep-alives here too.
-                if shared.shutdown.load(Ordering::SeqCst) || expires.is_some_and(|at| Instant::now() >= at) {
-                    return Ok(None);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return Ok(None),
-        }
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&buffer[..head_end]).map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
+    let (method, path, content_length, close, client_id, request_id, deadline_ms) = parse_head(head)?;
+    if content_length > max_body_bytes {
+        return Err(RequestFailure::new(
+            413,
+            format!("request body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"),
+        ));
     }
+    let total = head_end + 4 + content_length;
+    if buffer.len() < total {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buffer[head_end + 4..total].to_vec())
+        .map_err(|_| RequestFailure::new(400, "request body is not UTF-8"))?;
+    buffer.drain(..total);
+    Ok(Some(ParsedRequest {
+        method,
+        path,
+        body,
+        close,
+        client_id,
+        request_id,
+        deadline_ms,
+    }))
 }
 
 fn find_head_end(buffer: &[u8]) -> Option<usize> {
@@ -1116,83 +2065,82 @@ fn error_body(message: &str, request_index: Option<usize>) -> String {
     })
 }
 
-/// Dispatches one parsed request and returns the response status that was
-/// sent (0 if writing it failed), for the structured request log.
-fn route(stream: &mut TcpStream, shared: &Shared, request: &ParsedRequest, client: &str, rid: &str) -> u16 {
-    let label = route_label(&request.path);
-    let result = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => handle_score(stream, shared, &request.body, client, rid, request.deadline_ms),
-        ("GET", "/healthz") => {
-            let body = serde::json::to_string(&HealthResponse {
+/// Computes the response for every route the driver answers inline —
+/// everything but `POST /score` (parked on the batcher) and `POST /reload`
+/// (offloaded to a worker thread), which the driver intercepts first.
+fn inline_route(shared: &Shared, request: &ParsedRequest) -> ResponseParts {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => ResponseParts::json(
+            200,
+            serde::json::to_string(&HealthResponse {
                 status: "ok".to_string(),
                 model_version: shared.executor.version(),
-            });
-            respond_json(stream, shared, label, 200, &body, &[], rid)
-        }
+            }),
+        ),
         ("GET", "/version") => {
             let snapshot = shared.executor.snapshot();
-            let body = serde::json::to_string(&VersionResponse {
-                model_version: snapshot.version,
-                producer: snapshot.producer.clone(),
-                format_version: crate::artifact::FORMAT_VERSION,
-            });
-            respond_json(stream, shared, label, 200, &body, &[], rid)
+            ResponseParts::json(
+                200,
+                serde::json::to_string(&VersionResponse {
+                    model_version: snapshot.version,
+                    producer: snapshot.producer.clone(),
+                    format_version: crate::artifact::FORMAT_VERSION,
+                }),
+            )
         }
-        ("GET", "/stats") => {
-            let body = stats_body(shared);
-            respond_json(stream, shared, label, 200, &body, &[], rid)
-        }
-        ("GET", "/metrics") => handle_metrics(stream, shared, rid),
-        ("GET", "/debug/traces") => handle_debug_traces(stream, shared, rid),
-        ("POST", "/reload") => handle_reload(stream, shared, &request.body, rid),
+        ("GET", "/stats") => ResponseParts::json(200, stats_body(shared)),
+        ("GET", "/metrics") => metrics_parts(shared),
+        // Every retained trace as Chrome trace-event JSON, loadable in
+        // `chrome://tracing` or Perfetto. 404 when tracing is disabled.
+        ("GET", "/debug/traces") => match shared.tracer() {
+            None => ResponseParts::json(404, error_body("tracing is disabled for this server", None)),
+            Some(tracer) => ResponseParts::json(200, tracer.chrome_trace_json()),
+        },
         ("POST", "/admin/pause") => {
             shared.queue.set_paused(true);
-            respond_json(
-                stream,
-                shared,
-                label,
-                200,
-                &serde::json::to_string(&PausedResponse { paused: true }),
-                &[],
-                rid,
-            )
+            ResponseParts::json(200, serde::json::to_string(&PausedResponse { paused: true }))
         }
         ("POST", "/admin/resume") => {
             shared.queue.set_paused(false);
-            respond_json(
-                stream,
-                shared,
-                label,
-                200,
-                &serde::json::to_string(&PausedResponse { paused: false }),
-                &[],
-                rid,
-            )
+            ResponseParts::json(200, serde::json::to_string(&PausedResponse { paused: false }))
         }
         (
             _,
             "/score" | "/healthz" | "/version" | "/stats" | "/metrics" | "/reload" | "/debug/traces" | "/admin/pause"
             | "/admin/resume",
-        ) => respond_json(
-            stream,
-            shared,
-            label,
-            405,
-            &error_body("method not allowed", None),
-            &[],
-            rid,
-        ),
-        _ => respond_json(
-            stream,
-            shared,
-            label,
-            404,
-            &error_body(&format!("no route for {}", request.path), None),
-            &[],
-            rid,
-        ),
-    };
-    result.unwrap_or(0)
+        ) => ResponseParts::json(405, error_body("method not allowed", None)),
+        _ => ResponseParts::json(404, error_body(&format!("no route for {}", request.path), None)),
+    }
+}
+
+/// `GET /metrics`: refresh the scrape-time gauges (queue depth, model
+/// version, cache mirror) and render the registry as Prometheus text.
+fn metrics_parts(shared: &Shared) -> ResponseParts {
+    if !shared.config.metrics_enabled {
+        return ResponseParts::json(404, error_body("metrics are disabled for this server", None));
+    }
+    let snapshot = shared.executor.snapshot();
+    let version = snapshot.version.to_string();
+    let cache = snapshot.executor().cache_stats();
+    let metrics = &shared.metrics;
+    metrics.queue_depth.set(shared.queue.len() as f64);
+    metrics.model_version.set(snapshot.version as f64);
+    metrics.cache_hits.with(&[("version", &version)]).store(cache.hits);
+    metrics.cache_misses.with(&[("version", &version)]).store(cache.misses);
+    metrics
+        .cache_hit_rate
+        .with(&[("version", &version)])
+        .set(cache.hit_rate());
+    metrics
+        .cache_entries
+        .with(&[("version", &version)])
+        .set(snapshot.executor().cache_entries() as f64);
+    ResponseParts {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: metrics.render(),
+        headers: Vec::new(),
+    }
 }
 
 /// How many slow-request exemplars `/stats` attaches.
@@ -1232,69 +2180,6 @@ fn stats_body(shared: &Shared) -> String {
     serde::json::to_string(&value)
 }
 
-/// `GET /debug/traces`: every retained trace as Chrome trace-event JSON,
-/// loadable in `chrome://tracing` or Perfetto. 404 when tracing is disabled.
-fn handle_debug_traces(stream: &mut TcpStream, shared: &Shared, rid: &str) -> io::Result<u16> {
-    match shared.tracer() {
-        None => respond_json(
-            stream,
-            shared,
-            "/debug/traces",
-            404,
-            &error_body("tracing is disabled for this server", None),
-            &[],
-            rid,
-        ),
-        Some(tracer) => {
-            let body = tracer.chrome_trace_json();
-            respond_json(stream, shared, "/debug/traces", 200, &body, &[], rid)
-        }
-    }
-}
-
-/// `GET /metrics`: refresh the scrape-time gauges (queue depth, model
-/// version, cache mirror) and render the registry as Prometheus text.
-fn handle_metrics(stream: &mut TcpStream, shared: &Shared, rid: &str) -> io::Result<u16> {
-    if !shared.config.metrics_enabled {
-        return respond_json(
-            stream,
-            shared,
-            "/metrics",
-            404,
-            &error_body("metrics are disabled for this server", None),
-            &[],
-            rid,
-        );
-    }
-    let snapshot = shared.executor.snapshot();
-    let version = snapshot.version.to_string();
-    let cache = snapshot.executor().cache_stats();
-    let metrics = &shared.metrics;
-    metrics.queue_depth.set(shared.queue.len() as f64);
-    metrics.model_version.set(snapshot.version as f64);
-    metrics.cache_hits.with(&[("version", &version)]).store(cache.hits);
-    metrics.cache_misses.with(&[("version", &version)]).store(cache.misses);
-    metrics
-        .cache_hit_rate
-        .with(&[("version", &version)])
-        .set(cache.hit_rate());
-    metrics
-        .cache_entries
-        .with(&[("version", &version)])
-        .set(snapshot.executor().cache_entries() as f64);
-    let body = metrics.render();
-    respond(
-        stream,
-        shared,
-        "/metrics",
-        200,
-        "text/plain; version=0.0.4; charset=utf-8",
-        &body,
-        &[],
-        rid,
-    )
-}
-
 fn parse_score_body(body: &str) -> Result<Vec<ScoreRequest>, String> {
     let value = serde::json::parse(body).map_err(|e| format!("malformed JSON body: {e}"))?;
     match &value {
@@ -1303,279 +2188,6 @@ fn parse_score_body(body: &str) -> Result<Vec<ScoreRequest>, String> {
             .map(|r| vec![r])
             .map_err(|e| e.to_string()),
         other => Err(format!("expected a request object or array, found {}", other.kind())),
-    }
-}
-
-/// Writes the response, records the `write` span, and commits the trace with
-/// the status actually sent — the single exit point of [`handle_score`].
-#[allow(clippy::too_many_arguments)]
-fn respond_score(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    status: u16,
-    body: &str,
-    extra_headers: &[(&str, String)],
-    rid: &str,
-    trace: Option<ActiveTrace>,
-) -> io::Result<u16> {
-    let write_start = Instant::now();
-    let result = respond_json(stream, shared, "/score", status, body, extra_headers, rid);
-    if let (Some(mut trace), Some(tracer)) = (trace, shared.tracer()) {
-        trace.record(Stage::Write, write_start, Instant::now());
-        tracer.commit(trace, *result.as_ref().unwrap_or(&0));
-    }
-    result
-}
-
-fn handle_score(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    body: &str,
-    client: &str,
-    rid: &str,
-    deadline_ms: Option<u64>,
-) -> io::Result<u16> {
-    let mut trace = shared.tracer().map(|t| t.begin(rid.to_string(), "/score"));
-    // The token bucket sits in front of the admission queue: an over-budget
-    // client is turned away before it can occupy queue capacity.
-    if let Some(limiter) = &shared.limiter {
-        let check_start = Instant::now();
-        let decision = limiter.check(client, check_start);
-        if let Some(t) = trace.as_mut() {
-            t.record(Stage::Ratelimit, check_start, Instant::now());
-        }
-        if let RateLimitDecision::Limited { retry_after, limit } = decision {
-            if shared.config.metrics_enabled {
-                shared.metrics.rejected.with(&[("cause", "rate_limited")]).inc();
-            }
-            return respond_score(
-                stream,
-                shared,
-                429,
-                &error_body("rate limit exceeded; slow down", None),
-                &[
-                    ("Retry-After", format!("{}", retry_after.ceil() as u64)),
-                    ("X-RateLimit-Limit", format!("{}", limit as u64)),
-                    ("X-RateLimit-Remaining", "0".to_string()),
-                    ("X-RateLimit-Reset", format!("{retry_after:.3}")),
-                ],
-                rid,
-                trace,
-            );
-        }
-    }
-    let parse_start = Instant::now();
-    let parsed = parse_score_body(body);
-    if let Some(t) = trace.as_mut() {
-        t.record(Stage::Parse, parse_start, Instant::now());
-    }
-    let requests = match parsed {
-        Ok(requests) => requests,
-        Err(message) => {
-            return respond_score(stream, shared, 400, &error_body(&message, None), &[], rid, trace);
-        }
-    };
-    if requests.is_empty() {
-        let body = serde::json::to_string(&ScoreResponse {
-            model_version: shared.executor.version(),
-            scores: Vec::new(),
-        });
-        return respond_score(stream, shared, 200, &body, &[], rid, trace);
-    }
-    let admitted = Instant::now();
-    // The absolute deadline this request's budget implies. The header wins
-    // over the server default; a budget so large it overflows `Instant`
-    // saturates to "no deadline".
-    let deadline = deadline_ms
-        .or(shared.config.default_deadline_ms)
-        .and_then(|ms| admitted.checked_add(Duration::from_millis(ms)));
-    let (reply, outcome) = sync_channel::<JobReply>(1);
-    match shared.queue.push(Job {
-        requests,
-        reply,
-        trace: trace.take(),
-        enqueued: admitted,
-        taken: None,
-        deadline,
-    }) {
-        Err((AdmitError::Full, job)) => {
-            if shared.config.metrics_enabled {
-                shared.metrics.rejected.with(&[("cause", "queue_full")]).inc();
-            }
-            // Deliberately NO X-RateLimit-* headers here: queue-full means
-            // the server is saturated (retry immediately), not that this
-            // client is over its own budget.
-            return respond_score(
-                stream,
-                shared,
-                429,
-                &error_body("admission queue full; retry", None),
-                &[("Retry-After", "0".to_string())],
-                rid,
-                job.trace,
-            );
-        }
-        Err((AdmitError::Closed, job)) => {
-            return respond_score(
-                stream,
-                shared,
-                503,
-                &error_body("server is draining", None),
-                &[],
-                rid,
-                job.trace,
-            );
-        }
-        Ok(()) => {}
-    }
-    match outcome.recv_timeout(SCORE_REPLY_TIMEOUT) {
-        Ok(JobReply {
-            outcome: JobOutcome::Scored(model_version, scores),
-            trace: mut returned,
-        }) => {
-            if shared.config.metrics_enabled {
-                shared
-                    .metrics
-                    .score_duration
-                    .with(&[("version", &model_version.to_string())])
-                    .observe(admitted.elapsed().as_secs_f64());
-            }
-            let serialize_start = Instant::now();
-            let body = serde::json::to_string(&ScoreResponse { model_version, scores });
-            if let Some(t) = returned.as_mut() {
-                t.record(Stage::Serialize, serialize_start, Instant::now());
-            }
-            respond_score(
-                stream,
-                shared,
-                200,
-                &body,
-                &[("X-Model-Version", model_version.to_string())],
-                rid,
-                returned,
-            )
-        }
-        Ok(JobReply {
-            outcome: JobOutcome::Unscorable(failure),
-            trace: returned,
-        }) => respond_score(
-            stream,
-            shared,
-            422,
-            &error_body(&failure.message, Some(failure.request_index)),
-            &[],
-            rid,
-            returned,
-        ),
-        Ok(JobReply {
-            outcome: JobOutcome::Panicked,
-            trace: returned,
-        }) => respond_score(
-            stream,
-            shared,
-            500,
-            &error_body("scoring batch panicked; the request was not scored", None),
-            &[],
-            rid,
-            returned,
-        ),
-        Ok(JobReply {
-            outcome: JobOutcome::Expired,
-            trace: returned,
-        }) => respond_score(
-            stream,
-            shared,
-            504,
-            &error_body("deadline expired before scoring started", None),
-            &[],
-            rid,
-            returned,
-        ),
-        // Disconnected: the batcher died mid-batch and its supervisor is
-        // restarting it — this job's reply channel dropped with the batch.
-        // Still a deterministic 500, never a severed connection.
-        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => respond_score(
-            stream,
-            shared,
-            500,
-            &error_body("scoring batch panicked; the request was not scored", None),
-            &[],
-            rid,
-            None,
-        ),
-        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => respond_score(
-            stream,
-            shared,
-            500,
-            &error_body("scoring pipeline stalled", None),
-            &[],
-            rid,
-            None,
-        ),
-    }
-}
-
-fn handle_reload(stream: &mut TcpStream, shared: &Shared, body: &str, rid: &str) -> io::Result<u16> {
-    let request: ReloadRequest = match serde::json::from_str(body) {
-        Ok(request) => request,
-        Err(e) => {
-            return respond_json(
-                stream,
-                shared,
-                "/reload",
-                400,
-                &error_body(&format!("malformed reload body (expected {{\"path\": ..}}): {e}"), None),
-                &[],
-                rid,
-            )
-        }
-    };
-    // A reload gets its own trace: the `load → validate → probe → swap`
-    // timeline, recorded by the reload pipeline into a detached span set.
-    let mut trace = shared.tracer().map(|t| t.begin(rid.to_string(), "/reload"));
-    let mut spans = SpanSet::new();
-    let result = if trace.is_some() {
-        shared.executor.reload_from_path_traced(&request.path, &[], &mut spans)
-    } else {
-        shared.executor.reload_from_path(&request.path, &[])
-    };
-    if let Some(t) = trace.as_mut() {
-        t.extend_from(&spans);
-    }
-    let commit = |trace: Option<ActiveTrace>, status: io::Result<u16>| {
-        if let (Some(t), Some(tracer)) = (trace, shared.tracer()) {
-            tracer.commit(t, *status.as_ref().unwrap_or(&0));
-        }
-        status
-    };
-    match result {
-        Ok(model_version) => {
-            let body = serde::json::to_string(&ReloadResponse { model_version });
-            let status = respond_json(
-                stream,
-                shared,
-                "/reload",
-                200,
-                &body,
-                &[("X-Model-Version", model_version.to_string())],
-                rid,
-            );
-            commit(trace, status)
-        }
-        // The old version keeps serving; 409 tells the operator the rollout
-        // did not happen.
-        Err(e) => {
-            let status = respond_json(
-                stream,
-                shared,
-                "/reload",
-                409,
-                &error_body(&e.to_string(), None),
-                &[],
-                rid,
-            );
-            commit(trace, status)
-        }
     }
 }
 
@@ -1595,79 +2207,6 @@ fn status_reason(status: u16) -> &'static str {
         504 => "Gateway Timeout",
         _ => "Response",
     }
-}
-
-fn respond_json(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    route: &'static str,
-    status: u16,
-    body: &str,
-    extra_headers: &[(&str, String)],
-    request_id: &str,
-) -> io::Result<u16> {
-    respond(
-        stream,
-        shared,
-        route,
-        status,
-        "application/json",
-        body,
-        extra_headers,
-        request_id,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn respond(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    route: &'static str,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    extra_headers: &[(&str, String)],
-    request_id: &str,
-) -> io::Result<u16> {
-    if shared.config.metrics_enabled {
-        shared
-            .metrics
-            .responses
-            .with(&[("route", route), ("status", &status.to_string())])
-            .inc();
-    }
-    let mut response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
-        status_reason(status),
-        body.len()
-    );
-    // Every response — including 4xx/5xx error bodies — echoes the request
-    // id, so client retry logs, server logs and traces all correlate.
-    if !request_id.is_empty() {
-        response.push_str("X-Request-Id: ");
-        response.push_str(request_id);
-        response.push_str("\r\n");
-    }
-    for (name, value) in extra_headers {
-        response.push_str(name);
-        response.push_str(": ");
-        response.push_str(value);
-        response.push_str("\r\n");
-    }
-    response.push_str("\r\n");
-    response.push_str(body);
-    if let Some(ms) = shared
-        .config
-        .fault_plan
-        .as_deref()
-        .and_then(|plan| plan.check(FaultKind::ClientWriteStall))
-    {
-        // Injected slow write: the response sits unsent, as if the client
-        // had stopped draining its receive window.
-        std::thread::sleep(Duration::from_millis(ms));
-    }
-    stream.write_all(response.as_bytes())?;
-    Ok(status)
 }
 
 // ---------------------------------------------------------------------------
@@ -1732,7 +2271,10 @@ pub fn http_roundtrip_with_headers(
     read_http_response(stream)
 }
 
-fn read_http_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+/// Reads one Content-Length-framed HTTP/1.1 response off the stream. Split
+/// out from [`http_roundtrip`] so pipelined callers can write several
+/// requests first and collect the responses afterwards.
+pub fn read_http_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
     let mut buffer = Vec::with_capacity(1024);
     let mut chunk = [0u8; 2048];
     let head_end = loop {
@@ -1858,8 +2400,8 @@ fn retryable_status(status: u16) -> bool {
 }
 
 /// A full client loop over [`http_roundtrip_with_headers`]: reconnects per
-/// attempt and retries transport errors and retryable statuses (see
-/// [`retryable_status`]) under `policy`, honoring a server-sent
+/// attempt and retries transport errors and retryable statuses (429, 500,
+/// 503) under `policy`, honoring a server-sent
 /// `Retry-After` when it exceeds the computed backoff. Returns the final
 /// response plus the number of attempts made, so harnesses can attest retry
 /// behavior; the last response (even a retryable one) is returned once
@@ -2576,10 +3118,15 @@ mod tests {
         assert!(queue.inner.lock().is_err(), "lock should report poisoned");
         // Every queue operation recovers via `into_inner`: a full
         // push → pop → reply round trip still works.
-        let (reply, outcome) = sync_channel::<JobReply>(1);
+        let poller = crate::readiness::Poller::new().expect("poller");
+        let waker = crate::readiness::Waker::new(&poller, Token(1)).expect("waker");
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker,
+        });
         let job = Job {
             requests: Vec::new(),
-            reply,
+            reply: ReplySender::new(Arc::clone(&completions), 7),
             trace: None,
             enqueued: Instant::now(),
             taken: None,
@@ -2590,17 +3137,20 @@ mod tests {
         let batch = queue.pop_batch(4, Duration::from_millis(1)).expect("queue still open");
         assert_eq!(batch.len(), 1);
         for taken in batch {
-            let _ = taken.reply.send(JobReply {
+            taken.reply.send(JobReply {
                 outcome: JobOutcome::Scored(1, Vec::new()),
                 trace: None,
             });
         }
         assert!(matches!(
-            outcome.recv_timeout(Duration::from_secs(1)),
-            Ok(JobReply {
-                outcome: JobOutcome::Scored(1, _),
-                ..
-            })
+            completions.drain().as_slice(),
+            [Completion::Score {
+                job: 7,
+                reply: JobReply {
+                    outcome: JobOutcome::Scored(1, _),
+                    ..
+                },
+            }]
         ));
     }
 

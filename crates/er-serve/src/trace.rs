@@ -352,7 +352,7 @@ impl TraceRing {
 
 /// The per-server trace collector: hands out [`ActiveTrace`]s, converts them
 /// to epoch-relative [`CompletedTrace`]s at commit, and retains them in a
-/// tail-biased ring (see [`TraceRing`] docs on the module page).
+/// tail-biased ring (see the retention discussion on the module page).
 pub struct Tracer {
     epoch: Instant,
     seq: AtomicU64,

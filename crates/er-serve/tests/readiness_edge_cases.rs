@@ -1,0 +1,244 @@
+//! Edge cases of the readiness-loop front-end: requests that arrive a byte
+//! at a time, requests split across many TCP segments, pipelined
+//! back-to-back requests sharing one write, clients that vanish mid-request
+//! or mid-response, and keep-alive connections that outlive their cap.
+//!
+//! The invariants under test are the same two the blocking front-end was
+//! held to: a well-formed request is **never** answered with a severed
+//! connection, and every score that comes back is **bit-identical** to the
+//! in-process [`ScoringEngine`] on the same rows — no matter how hostile
+//! the client's segmentation is.
+
+use er_base::Label;
+use er_rulegen::{CmpOp, Condition, Rule};
+use er_serve::{
+    http_roundtrip, parse_score_response, read_http_response, ReloadableExecutor, ScoreRequest, ScoreServer,
+    ScoringEngine, ServeConfig, ServerConfig,
+};
+use learnrisk_core::{train, LearnRiskModel, PairRiskInput, RiskFeatureSet, RiskModelConfig, RiskTrainConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const METRICS: usize = 3;
+
+fn untrained_model() -> LearnRiskModel {
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.55)], Label::Inequivalent, 24, 0.95),
+        Rule::new(
+            vec![Condition::new(1, CmpOp::Le, 0.35), Condition::new(2, CmpOp::Gt, 0.5)],
+            Label::Equivalent,
+            17,
+            0.9,
+        ),
+        Rule::new(vec![Condition::new(2, CmpOp::Le, 0.25)], Label::Inequivalent, 11, 0.88),
+        Rule::new(vec![Condition::new(1, CmpOp::Gt, 0.7)], Label::Equivalent, 9, 0.86),
+    ];
+    let feature_set = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.06, 0.91, 0.12, 0.88],
+        support: vec![24, 17, 11, 9],
+    };
+    LearnRiskModel::new(feature_set, RiskModelConfig::default())
+}
+
+fn metric_row(i: u64) -> Vec<f64> {
+    (0..METRICS)
+        .map(|j| ((i as f64) * 0.618_033_988_749_895 + (j as f64) * 0.414_213_562_373_095).fract())
+        .collect()
+}
+
+fn serving_requests(n: u64) -> Vec<ScoreRequest> {
+    (0..n)
+        .map(|i| {
+            let classifier_output = ((i as f64) * 0.271_828_182_845_904).fract();
+            ScoreRequest {
+                pair_id: i,
+                metric_row: metric_row(i),
+                classifier_output,
+                machine_says_match: classifier_output >= 0.5,
+            }
+        })
+        .collect()
+}
+
+/// A small trained server plus the model it serves, for bit-exactness
+/// assertions against the in-process engine.
+fn trained_server(config: ServerConfig) -> (ScoreServer, LearnRiskModel) {
+    let mut model = untrained_model();
+    let engine = ScoringEngine::new(model.clone());
+    let inputs: Vec<PairRiskInput> = (0..80u64)
+        .map(|i| {
+            let row = metric_row(i);
+            let classifier_output = ((i as f64) * 0.271_828_182_845_904).fract();
+            PairRiskInput {
+                rule_indices: engine.index().matching_rules(&row),
+                classifier_output,
+                machine_says_match: classifier_output >= 0.5,
+                risk_label: u8::from(i % 7 == 0),
+            }
+        })
+        .collect();
+    train(
+        &mut model,
+        &inputs,
+        &RiskTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let executor = Arc::new(ReloadableExecutor::new(
+        ScoringEngine::new(model.clone()),
+        ServeConfig::default().with_threads(1),
+    ));
+    (ScoreServer::start(executor, config).expect("bind"), model)
+}
+
+fn score_request_bytes(body: &str) -> Vec<u8> {
+    format!(
+        "POST /score HTTP/1.1\r\nHost: er-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[test]
+fn slow_loris_request_trickled_a_byte_at_a_time_still_scores_bit_exactly() {
+    let (server, model) = trained_server(ServerConfig::default());
+    let request = &serving_requests(1)[0];
+    let expected = ScoringEngine::new(model).score_batch(std::slice::from_ref(request));
+    let body = serde::json::to_string(request);
+    let bytes = score_request_bytes(&body);
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // One byte per write with a pause every few bytes: the request crosses
+    // the server in dozens of reads, with the connection parked (not a
+    // thread blocked) between them.
+    for (i, byte) in bytes.iter().enumerate() {
+        stream.write_all(std::slice::from_ref(byte)).expect("trickle byte");
+        if i % 16 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let response = read_http_response(&mut stream).expect("response after trickled request");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let (_, scores) = parse_score_response(&response.body).expect("score body");
+    assert_eq!(scores[0].to_bits(), expected[0].to_bits(), "trickled score drifted");
+
+    // The connection is still a first-class keep-alive citizen afterwards.
+    let again = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("keep-alive survives");
+    assert_eq!(again.status, 200, "{}", again.body);
+    server.shutdown();
+}
+
+#[test]
+fn request_split_across_many_segments_is_reassembled() {
+    let (server, model) = trained_server(ServerConfig::default());
+    // A batch big enough that head and body straddle several 4096-byte
+    // driver reads even without artificial pauses.
+    let requests = serving_requests(64);
+    let expected = ScoringEngine::new(model).score_batch(&requests);
+    let body = serde::json::to_string(&requests);
+    let bytes = score_request_bytes(&body);
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Segment sizes chosen to split mid-request-line, mid-headers, and
+    // mid-body, with pauses so each lands in its own readiness event.
+    let mut offset = 0usize;
+    for size in [3usize, 9, 40, 256, 1024, usize::MAX] {
+        let end = bytes.len().min(offset.saturating_add(size));
+        stream.write_all(&bytes[offset..end]).expect("write segment");
+        offset = end;
+        if offset == bytes.len() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let response = read_http_response(&mut stream).expect("response after split request");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let (_, scores) = parse_score_response(&response.body).expect("score body");
+    let bits: Vec<u64> = scores.iter().map(|s| s.to_bits()).collect();
+    let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(bits, expected_bits, "reassembled batch drifted");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_in_one_write_are_answered_in_order() {
+    let (server, model) = trained_server(ServerConfig::default());
+    let requests = serving_requests(5);
+    let expected = ScoringEngine::new(model).score_batch(&requests);
+
+    // All five requests in a single write: the driver must answer them
+    // strictly in order, one response per request, none dropped — even
+    // though each one parks the connection on the batcher in turn.
+    let mut wire = Vec::new();
+    for request in &requests {
+        wire.extend_from_slice(&score_request_bytes(&serde::json::to_string(request)));
+    }
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&wire).expect("write pipeline");
+    for (i, expected_score) in expected.iter().enumerate() {
+        let response = read_http_response(&mut stream).expect("pipelined response");
+        assert_eq!(response.status, 200, "response {i}: {}", response.body);
+        let (_, scores) = parse_score_response(&response.body).expect("score body");
+        assert_eq!(
+            scores[0].to_bits(),
+            expected_score.to_bits(),
+            "pipelined response {i} out of order or drifted"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnects_are_absorbed_without_poisoning_the_loop() {
+    let (server, model) = trained_server(ServerConfig::default());
+    let request = &serving_requests(1)[0];
+    let expected = ScoringEngine::new(model).score_batch(std::slice::from_ref(request));
+    let body = serde::json::to_string(request);
+    let bytes = score_request_bytes(&body);
+
+    // Vanish mid-request: half a head, then close.
+    let mut mid_request = TcpStream::connect(server.local_addr()).expect("connect");
+    mid_request.write_all(&bytes[..10]).expect("partial head");
+    drop(mid_request);
+
+    // Vanish mid-response: a full request, then close without reading, so
+    // the response (or its tail) hits a dead socket.
+    let mut mid_response = TcpStream::connect(server.local_addr()).expect("connect");
+    mid_response.write_all(&bytes).expect("full request");
+    drop(mid_response);
+
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The loop absorbed both: a fresh connection still scores bit-exactly.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let response = http_roundtrip(&mut stream, "POST", "/score", Some(&body)).expect("server survived");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let (_, scores) = parse_score_response(&response.body).expect("score body");
+    assert_eq!(scores[0].to_bits(), expected[0].to_bits());
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_at_the_lifetime_cap_without_a_request() {
+    let (server, _model) = trained_server(ServerConfig {
+        max_connection_lifetime: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    // Never sends a byte: only the driver's timer scan can reap it.
+    let mut idle = TcpStream::connect(server.local_addr()).expect("connect");
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        http_roundtrip(&mut idle, "GET", "/healthz", None).is_err(),
+        "idle connection must be closed at the lifetime cap"
+    );
+    // The reaped slot is free again for a fresh connection.
+    let mut fresh = TcpStream::connect(server.local_addr()).expect("connect");
+    let ok = http_roundtrip(&mut fresh, "GET", "/healthz", None).expect("fresh connection serves");
+    assert_eq!(ok.status, 200);
+    server.shutdown();
+}

@@ -60,6 +60,21 @@ grep -q '"second_client_unaffected": true' "$SERVE_BENCH_JSON" \
     || { echo "rate-limit smoke did not attest per-client isolation" >&2; exit 1; }
 echo "front-end replay + mid-replay reload + backpressure + rate-limit smoke OK"
 
+# The high-connection-count series: the readiness-loop front-end must have
+# held a >=1024-connection set (mostly idle) with zero severed connections
+# and all-2xx responses. serve_bench asserts each entry at runtime; re-assert
+# here that the 1024 entry landed in the JSON so a silently shrunk series
+# cannot pass this tier.
+grep -q '"connections": 1024' "$SERVE_BENCH_JSON" \
+    || { echo "connection series is missing the 1024-connection entry" >&2; exit 1; }
+grep -q '"zero_severed": true' "$SERVE_BENCH_JSON" \
+    || { echo "connection series did not attest zero severed connections" >&2; exit 1; }
+if grep -q '"zero_severed": false' "$SERVE_BENCH_JSON"; then
+    echo "connection series severed connections" >&2
+    exit 1
+fi
+echo "connection series OK: 1024-connection entry attested, zero severed"
+
 # The front-end phase scraped its own GET /metrics into a snapshot file.
 # Independently re-validate it here: every line must be Prometheus text
 # exposition (comment or `name{labels} value`), and the scraped

@@ -12,6 +12,8 @@
 //! * [`classifier`] (`er-classifier`) — the DeepMatcher-substitute matchers.
 //! * [`rulegen`] (`er-rulegen`) — one-sided decision-tree rule generation.
 //! * [`core`] (`learnrisk-core`) — the LearnRisk risk model itself.
+//! * [`pool`] (`er-pool`) — the persistent work-stealing worker pool the
+//!   scoring executor and the trainer share.
 //! * [`baselines`] (`er-baselines`) — Baseline, Uncertainty, TrustScore,
 //!   StaticRisk and the HoloClean adaptation.
 //! * [`eval`] (`er-eval`) — end-to-end experiment pipelines for every table
@@ -31,6 +33,7 @@ pub use er_baselines as baselines;
 pub use er_classifier as classifier;
 pub use er_datasets as datasets;
 pub use er_eval as eval;
+pub use er_pool as pool;
 pub use er_rulegen as rulegen;
 pub use er_serve as serve;
 pub use er_similarity as similarity;

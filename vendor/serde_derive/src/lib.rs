@@ -2,8 +2,8 @@
 //!
 //! Earlier revisions expanded to nothing; the serving subsystem needs real
 //! model persistence, so these derives now emit genuine implementations of
-//! the vendored `serde`'s value-tree traits ([`serde::Serialize::to_value`] /
-//! [`serde::Deserialize::from_value`]). The input item is parsed directly
+//! the vendored `serde`'s value-tree traits (`serde::Serialize::to_value` /
+//! `serde::Deserialize::from_value`). The input item is parsed directly
 //! from the token stream (no `syn`/`quote` in the offline environment) and
 //! the generated impl is assembled as source text.
 //!
