@@ -1,0 +1,144 @@
+//! `gateway_smoke` — a seconds-fast end-to-end check of the gateway path:
+//! two in-process `er-serve` backends behind an in-process `er-gateway`,
+//! scoring a small batch bit-exactly through the hop, then one full canary
+//! rollback cycle on an injected divergent artifact.
+//!
+//! Exits non-zero on any failure; prints `gateway smoke OK` on success, so
+//! `scripts/kick-tires.sh` can grep for it.
+
+use er_base::Label;
+use er_gateway::{CanaryConfig, GatewayConfig, GatewayServer};
+use er_rulegen::{CmpOp, Condition, Rule};
+use er_serve::{
+    http_roundtrip, parse_score_response, ModelArtifact, ReloadableExecutor, ScoreRequest, ScoreServer, ScoringEngine,
+    ServeConfig, ServerConfig,
+};
+use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_model() -> LearnRiskModel {
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 12, 0.9),
+        Rule::new(vec![Condition::new(1, CmpOp::Le, 0.4)], Label::Equivalent, 8, 0.85),
+    ];
+    let feature_set = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.1, 0.9],
+        support: vec![12, 8],
+    };
+    LearnRiskModel::new(feature_set, RiskModelConfig::default())
+}
+
+fn divergent_model() -> LearnRiskModel {
+    let mut model = tiny_model();
+    for (i, w) in model.rule_weights.iter_mut().enumerate() {
+        *w *= if i % 2 == 0 { 1.07 } else { 0.93 };
+    }
+    model
+}
+
+fn start_backend(artifact_path: &std::path::Path) -> ScoreServer {
+    let artifact = ModelArtifact::load(artifact_path).expect("load artifact");
+    let executor = Arc::new(
+        ReloadableExecutor::from_artifact(artifact, ServeConfig::default().with_threads(1)).expect("executor"),
+    );
+    ScoreServer::start(executor, ServerConfig::default()).expect("bind backend")
+}
+
+fn request(pair_id: u64) -> ScoreRequest {
+    let x = (pair_id % 10) as f64 / 10.0;
+    ScoreRequest {
+        pair_id,
+        metric_row: vec![x, 1.0 - x],
+        classifier_output: x,
+        machine_says_match: x >= 0.5,
+    }
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("er-gateway-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let baseline = scratch.join("baseline.json");
+    let divergent = scratch.join("divergent.json");
+    ModelArtifact::new(tiny_model()).save(&baseline).expect("save baseline");
+    ModelArtifact::new(divergent_model())
+        .save(&divergent)
+        .expect("save divergent");
+
+    let backend_a = start_backend(&baseline);
+    let backend_b = start_backend(&baseline);
+    let gateway = GatewayServer::start(GatewayConfig {
+        backends: vec![backend_a.local_addr(), backend_b.local_addr()],
+        canary_backends: vec![1],
+        baseline_artifact: baseline.display().to_string(),
+        health_interval: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(500),
+        canary: CanaryConfig {
+            shadow_sample_bp: 10_000,
+            min_samples: 8,
+            divergence_threshold: 1e-9,
+            ladder: vec![2_000],
+            auto_advance: true,
+        },
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+
+    // Bit-exact relay: every score through the gateway matches the
+    // in-process engine bit for bit.
+    let engine = ScoringEngine::new(tiny_model());
+    let mut conn = TcpStream::connect(gateway.local_addr()).expect("connect gateway");
+    for pair_id in 0..32u64 {
+        let req = request(pair_id);
+        let expected = engine.score_batch(std::slice::from_ref(&req));
+        let body = serde::json::to_string(&req);
+        let response = http_roundtrip(&mut conn, "POST", "/score", Some(&body)).expect("score round trip");
+        assert_eq!(response.status, 200, "{}", response.body);
+        let (_, scores) = parse_score_response(&response.body).expect("score body");
+        assert_eq!(scores.len(), 1);
+        assert_eq!(
+            scores[0].to_bits(),
+            expected[0].to_bits(),
+            "pair {pair_id}: gateway relay diverged from in-process scoring"
+        );
+    }
+    println!("gateway smoke: 32 scores bit-exact through the hop");
+
+    // Canary rollback: load the divergent artifact, drive traffic, and the
+    // shadow comparison must fire an automatic rollback with zero errors.
+    let reload_body = format!(
+        "{{\"path\": {}}}",
+        serde::json::to_string(&divergent.display().to_string())
+    );
+    let reload = http_roundtrip(&mut conn, "POST", "/reload", Some(&reload_body)).expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut pair_id = 0u64;
+    loop {
+        let body = serde::json::to_string(&request(pair_id));
+        let response = http_roundtrip(&mut conn, "POST", "/score", Some(&body)).expect("canary-cycle score");
+        assert_eq!(
+            response.status, 200,
+            "rollback cycle must not degrade traffic: {}",
+            response.body
+        );
+        pair_id += 1;
+        let stats = gateway.stats();
+        if stats.canary.rollbacks >= 1 {
+            assert_eq!(stats.canary.phase, "stable");
+            assert_eq!(
+                stats.backends[0].model_digest, stats.backends[1].model_digest,
+                "canary backend not restored to the baseline artifact"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "rollback never fired: {:?}", stats.canary);
+    }
+    println!("gateway smoke: divergent canary rolled back automatically after {pair_id} requests");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("gateway smoke OK");
+}

@@ -15,6 +15,7 @@ use er_base::SplitRatio;
 use er_classifier::{MatcherKind, TrainConfig};
 use er_datasets::{generate_benchmark, BenchmarkId};
 use er_eval::{build_score_requests, export_and_load_engine, run_pipeline, verify_round_trip, PipelineConfig};
+use er_gateway::{CanaryConfig, GatewayConfig, GatewayServer, HashRing};
 use er_serve::{
     extract_histogram, http_roundtrip, http_roundtrip_with_headers, parse_exposition, parse_score_response,
     read_http_response, run_replay, summarize_latencies, zipf_stream, LatencySummary, ModelArtifact, RateLimitConfig,
@@ -28,7 +29,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Machine-readable result of one `serve_bench` invocation (the
 /// `BENCH_*.json` perf-trajectory format). `runs_uncached` measures pure
@@ -55,6 +56,88 @@ struct ServeBenchSummary {
     /// HTTP front-end replay: socket round-trip latency, latency under a
     /// mid-replay hot reload, and the deliberate backpressure smoke.
     frontend: FrontendBench,
+    /// The multi-process gateway phase: `er-serve` child processes behind an
+    /// `er-gateway` router — throughput scaling in backend count, hedging
+    /// against an injected straggler, and the canary promotion/rollback
+    /// attestations. `None` only when the `er-serve` binary is not built
+    /// (the gate hard-fails that absence once a baseline carries the phase).
+    gateway: Option<GatewayBench>,
+}
+
+/// One entry of the gateway scaling series: the identical closed-loop
+/// replay against `backends` freshly spawned `er-serve` processes.
+#[derive(Debug, Serialize)]
+struct GatewayScalingEntry {
+    backends: usize,
+    requests: usize,
+    clients: usize,
+    elapsed_secs: f64,
+    throughput_rps: f64,
+    latency: LatencySummary,
+    non_2xx: u64,
+    /// Every response through the hop was 2xx.
+    all_2xx: bool,
+    /// Every relayed score matched the in-process engine bit for bit — the
+    /// gateway forwards backend bodies byte-for-byte.
+    bit_exact: bool,
+}
+
+/// The hedging smoke: one backend stalls every score via an injected fault
+/// plan; requests whose ring primary is the straggler must be answered by
+/// the hedge instead, within budget and bit-exactly.
+#[derive(Debug, Serialize)]
+struct GatewayHedging {
+    /// The `ER_FAULT_PLAN` injected into the stalled backend.
+    fault_spec: String,
+    hedge_after_ms: u64,
+    /// Requests deliberately routed at the stalled backend.
+    requests: usize,
+    hedges_launched: u64,
+    hedges_won: u64,
+    /// At least one hedge raced and won.
+    hedge_fired: bool,
+    all_2xx: bool,
+    bit_exact: bool,
+}
+
+/// One canary cycle through the gateway control plane (promotion with an
+/// equivalent candidate, rollback with a divergent one).
+#[derive(Debug, Serialize)]
+struct GatewayCanary {
+    candidate_path: String,
+    /// Requests driven through the gateway while the canary was in flight.
+    requests: usize,
+    promotions: u64,
+    rollbacks: u64,
+    /// The cycle ended in an automatic promotion.
+    promotion_fired: bool,
+    /// The cycle ended in an automatic rollback.
+    rollback_fired: bool,
+    non_2xx: u64,
+    /// No connection was severed and no request errored across the cycle —
+    /// promotion/rollback are routing + hot-reload changes only.
+    zero_severed: bool,
+    /// Every served score matched the baseline engine bit for bit (canary
+    /// answers never leak to clients before the verdict).
+    bit_exact: bool,
+    /// After the cycle every backend reports the same artifact digest.
+    digests_converged: bool,
+}
+
+/// The multi-process gateway phase: see [`gateway_bench`].
+#[derive(Debug, Serialize)]
+struct GatewayBench {
+    /// Backends are separate `er-serve` OS processes, not in-process
+    /// executors — the scaling series crosses real process boundaries.
+    multi_process: bool,
+    backend_binary: String,
+    series: Vec<GatewayScalingEntry>,
+    /// Aggregate throughput at 2 backends over 1 backend — the near-linear
+    /// scaling claim, gated by `bench_diff` as a ratio metric.
+    scaling_2x: f64,
+    hedging: GatewayHedging,
+    canary_promotion: GatewayCanary,
+    canary_rollback: GatewayCanary,
 }
 
 /// One front-end socket replay: closed-loop clients posting the stream one
@@ -418,6 +501,12 @@ fn main() {
         frontend_threads,
     );
 
+    // --- multi-process gateway ---------------------------------------------
+    let gateway_requests = er_bench::env_usize("SERVE_BENCH_GATEWAY_REQUESTS", 1_200)
+        .min(stream.len())
+        .max(1);
+    let gateway = gateway_bench(&engine, &artifact_path, &stream[..gateway_requests], clients);
+
     // --- summary ----------------------------------------------------------
     if let Some(single) = runs_uncached.iter().find(|r| r.threads == 1) {
         let best = runs_uncached
@@ -453,6 +542,7 @@ fn main() {
         runs_uncached,
         runs_cached,
         frontend,
+        gateway,
     };
     if let Some(parent) = json_path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -1594,4 +1684,366 @@ fn rate_limit_smoke(engine: &ScoringEngine, sample: &ScoreRequest, threads: usiz
         headers_present,
         second_client_unaffected,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process gateway phase
+// ---------------------------------------------------------------------------
+
+/// One spawned `er-serve` backend process; killed on drop.
+struct BackendProcess {
+    child: std::process::Child,
+    addr: SocketAddr,
+}
+
+impl Drop for BackendProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The `er-serve` binary next to this benchmark's own executable (both land
+/// in the same cargo target directory when the workspace binaries are
+/// built).
+fn er_serve_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    let mut candidates = vec![dir.join("er-serve")];
+    if let Some(parent) = dir.parent() {
+        candidates.push(parent.join("er-serve"));
+    }
+    candidates.into_iter().find(|c| c.is_file())
+}
+
+/// Spawns one backend process serving `artifact` on an ephemeral port and
+/// scrapes its `LISTENING <addr>` banner for the bound address.
+fn spawn_backend(binary: &Path, artifact: &Path, fault_plan: Option<&str>) -> BackendProcess {
+    use std::io::BufRead;
+    let mut command = std::process::Command::new(binary);
+    command
+        .arg("--artifact")
+        .arg(artifact)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--threads")
+        .arg("1")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .env_remove("ER_FAULT_PLAN");
+    if let Some(plan) = fault_plan {
+        command.env("ER_FAULT_PLAN", plan);
+    }
+    let mut child = command
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", binary.display()));
+    let stdout = child.stdout.take().expect("piped backend stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("read backend banner");
+    let addr: SocketAddr = banner
+        .strip_prefix("LISTENING ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("unexpected backend banner: {banner:?}"));
+    // Keep draining the pipe so a chatty backend can never block on it.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    BackendProcess { child, addr }
+}
+
+fn gateway_config(backends: &[BackendProcess], baseline: &Path) -> GatewayConfig {
+    GatewayConfig {
+        backends: backends.iter().map(|b| b.addr).collect(),
+        baseline_artifact: baseline.display().to_string(),
+        hedge_after: None,
+        health_interval: Duration::from_millis(200),
+        connect_timeout: Duration::from_secs(2),
+        upstream_timeout: Duration::from_secs(10),
+        ..GatewayConfig::default()
+    }
+}
+
+/// Drives one canary cycle: `/reload` the candidate onto the gateway's
+/// canary backends, then replay traffic until the controller's verdict
+/// (promotion or rollback) fires, bit-comparing every served score against
+/// the baseline engine. Returns the attestation block.
+fn gateway_canary_cycle(
+    gateway: &GatewayServer,
+    candidate: &Path,
+    stream: &[ScoreRequest],
+    expected: &[f64],
+) -> GatewayCanary {
+    let mut conn = TcpStream::connect(gateway.local_addr()).expect("gateway: connect for reload");
+    let body = format!(
+        "{{\"path\": {}}}",
+        serde::json::to_string(&candidate.display().to_string())
+    );
+    let reload = http_roundtrip(&mut conn, "POST", "/reload", Some(&body)).expect("gateway: reload round trip");
+    assert_eq!(reload.status, 200, "gateway reload refused: {}", reload.body);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut requests = 0usize;
+    let mut non_2xx = 0u64;
+    let mut bit_exact = true;
+    let stats = loop {
+        let request = &stream[requests % stream.len()];
+        let expected_score = expected[requests % stream.len()];
+        let body = serde::json::to_string(request);
+        let response =
+            http_roundtrip(&mut conn, "POST", "/score", Some(&body)).expect("gateway: canary-cycle request severed");
+        requests += 1;
+        if response.status != 200 {
+            non_2xx += 1;
+        } else {
+            let (_, scores) = parse_score_response(&response.body).expect("gateway: malformed score body");
+            if scores.len() != 1 || scores[0].to_bits() != expected_score.to_bits() {
+                bit_exact = false;
+            }
+        }
+        let stats = gateway.stats();
+        if stats.canary.promotions >= 1 || stats.canary.rollbacks >= 1 {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gateway canary verdict never fired after {requests} requests: {:?}",
+            stats.canary
+        );
+    };
+    assert_eq!(stats.canary.phase, "stable", "a verdict must land back in Stable");
+    let digests: Vec<&str> = stats.backends.iter().map(|b| b.model_digest.as_str()).collect();
+    let digests_converged = !digests.is_empty() && !digests[0].is_empty() && digests.iter().all(|d| *d == digests[0]);
+    GatewayCanary {
+        candidate_path: candidate.display().to_string(),
+        requests,
+        promotions: stats.canary.promotions,
+        rollbacks: stats.canary.rollbacks,
+        promotion_fired: stats.canary.promotions >= 1,
+        rollback_fired: stats.canary.rollbacks >= 1,
+        non_2xx,
+        zero_severed: non_2xx == 0,
+        bit_exact,
+        digests_converged,
+    }
+}
+
+/// The multi-process gateway phase: spawns real `er-serve` child processes
+/// and routes through an in-process [`GatewayServer`] (the gateway *binary*
+/// is the same library entry; `scripts/kick-tires.sh` exercises it as a
+/// separate process). Four sub-phases, each on fresh backends:
+///
+/// 1. **Scaling series** — the identical closed-loop replay against 1 and 2
+///    backends; aggregate throughput must scale with backend count.
+/// 2. **Hedging** — one backend stalls every score via `ER_FAULT_PLAN`;
+///    requests aimed at it must be won by the hedge, bit-exactly.
+/// 3. **Canary promotion** — an equivalent candidate walks shadow → serving
+///    → automatic promotion with zero errors.
+/// 4. **Canary rollback** — a divergent candidate is caught by shadow
+///    comparison and rolled back automatically, zero severed connections.
+fn gateway_bench(
+    engine: &ScoringEngine,
+    artifact_v1_path: &Path,
+    stream: &[ScoreRequest],
+    clients: usize,
+) -> Option<GatewayBench> {
+    let Some(binary) = er_serve_binary() else {
+        println!();
+        println!(
+            "gateway phase SKIPPED: er-serve binary not found next to this executable \
+             (build it with `cargo build --release -p er-serve` first)"
+        );
+        return None;
+    };
+    let expected = engine.score_batch(stream);
+    println!();
+    println!(
+        "-- gateway phase ({} requests, {clients} clients, backend binary {}) --",
+        stream.len(),
+        binary.display()
+    );
+
+    // Phase 1: scaling series.
+    let mut series = Vec::new();
+    for n in [1usize, 2] {
+        let backends: Vec<BackendProcess> = (0..n).map(|_| spawn_backend(&binary, artifact_v1_path, None)).collect();
+        let gateway = GatewayServer::start(gateway_config(&backends, artifact_v1_path)).expect("start gateway");
+        let progress = AtomicUsize::new(0);
+        let outcome = run_socket_replay(gateway.local_addr(), stream, clients, &expected, &expected, &progress);
+        assert_eq!(
+            outcome.non_2xx, 0,
+            "gateway scaling replay ({n} backends) must be all-2xx"
+        );
+        assert!(
+            outcome.bit_exact,
+            "gateway relay diverged from in-process scoring ({n} backends)"
+        );
+        println!(
+            "gateway series[{n} backend{}]: {:>10.0} req/s  p50 {:>7.1}µs  p99 {:>7.1}µs",
+            if n == 1 { "" } else { "s" },
+            outcome.throughput_rps,
+            outcome.latency.p50_us,
+            outcome.latency.p99_us
+        );
+        series.push(GatewayScalingEntry {
+            backends: n,
+            requests: stream.len(),
+            clients,
+            elapsed_secs: outcome.elapsed_secs,
+            throughput_rps: outcome.throughput_rps,
+            latency: outcome.latency,
+            non_2xx: outcome.non_2xx,
+            all_2xx: outcome.non_2xx == 0,
+            bit_exact: outcome.bit_exact,
+        });
+        gateway.shutdown();
+    }
+    let scaling_2x = series[1].throughput_rps / series[0].throughput_rps.max(1e-9);
+    println!("gateway scaling 2 backends / 1 backend: {scaling_2x:.2}x");
+
+    // Phase 2: hedging against an injected straggler. Backend 1 stalls its
+    // first 16 scores; requests whose ring primary is backend 1 must be
+    // answered by the hedge to backend 0 instead.
+    let hedging = {
+        let fault_spec = "seed=7; score_stall@0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15:300ms".to_string();
+        let hedge_after_ms = 25u64;
+        let backends = vec![
+            spawn_backend(&binary, artifact_v1_path, None),
+            spawn_backend(&binary, artifact_v1_path, Some(&fault_spec)),
+        ];
+        let mut config = gateway_config(&backends, artifact_v1_path);
+        config.hedge_after = Some(Duration::from_millis(hedge_after_ms));
+        let gateway = GatewayServer::start(config).expect("start hedging gateway");
+        let ring = HashRing::new(2, GatewayConfig::default().vnodes);
+        let stalled: Vec<usize> = (0..stream.len())
+            .filter(|&i| ring.route(stream[i].pair_id, |_| true) == Some(1))
+            .take(8)
+            .collect();
+        assert!(
+            !stalled.is_empty(),
+            "no request in the stream routes to the stalled backend"
+        );
+        let mut conn = TcpStream::connect(gateway.local_addr()).expect("gateway: hedging connect");
+        let mut all_2xx = true;
+        let mut bit_exact = true;
+        for &i in &stalled {
+            let body = serde::json::to_string(&stream[i]);
+            let response =
+                http_roundtrip(&mut conn, "POST", "/score", Some(&body)).expect("gateway: hedged request severed");
+            all_2xx &= response.status == 200;
+            if response.status == 200 {
+                let (_, scores) = parse_score_response(&response.body).expect("gateway: malformed hedged body");
+                bit_exact &= scores.len() == 1 && scores[0].to_bits() == expected[i].to_bits();
+            }
+        }
+        let stats = gateway.stats();
+        let hedge_fired = stats.hedges_won >= 1;
+        assert!(all_2xx, "a hedged request failed");
+        assert!(bit_exact, "a hedged score diverged");
+        assert!(
+            hedge_fired,
+            "no hedge won against a backend stalling every score: {stats:?}"
+        );
+        println!(
+            "gateway hedging: {} stalled requests, {} hedges launched, {} won",
+            stalled.len(),
+            stats.hedges_launched,
+            stats.hedges_won
+        );
+        GatewayHedging {
+            fault_spec,
+            hedge_after_ms,
+            requests: stalled.len(),
+            hedges_launched: stats.hedges_launched,
+            hedges_won: stats.hedges_won,
+            hedge_fired,
+            all_2xx,
+            bit_exact,
+        }
+    };
+
+    // Phase 3 + 4: the canary cycles, each on a fresh 2-backend fleet with
+    // backend 1 designated canary and a fast verdict (8 comparisons).
+    let canary_fleet = || -> (Vec<BackendProcess>, GatewayServer) {
+        let backends: Vec<BackendProcess> = (0..2).map(|_| spawn_backend(&binary, artifact_v1_path, None)).collect();
+        let mut config = gateway_config(&backends, artifact_v1_path);
+        config.canary_backends = vec![1];
+        config.canary = CanaryConfig {
+            shadow_sample_bp: 10_000,
+            min_samples: 8,
+            divergence_threshold: 1e-9,
+            ladder: vec![2_000],
+            auto_advance: true,
+        };
+        let gateway = GatewayServer::start(config).expect("start canary gateway");
+        (backends, gateway)
+    };
+
+    // An equivalent candidate: the served model re-exported under a new
+    // path — identical parameters, identical digest, must promote.
+    let promote_path = artifact_v1_path.with_file_name("serve_model_gateway_promote.json");
+    ModelArtifact::new(engine.model().clone())
+        .save(&promote_path)
+        .expect("save equivalent candidate");
+    let canary_promotion = {
+        let (_backends, gateway) = canary_fleet();
+        let cycle = gateway_canary_cycle(&gateway, &promote_path, stream, &expected);
+        assert!(cycle.promotion_fired, "equivalent candidate must promote: {cycle:?}");
+        assert!(
+            cycle.zero_severed && cycle.bit_exact,
+            "promotion cycle degraded traffic: {cycle:?}"
+        );
+        assert!(
+            cycle.digests_converged,
+            "fleet digests diverged after promotion: {cycle:?}"
+        );
+        println!(
+            "gateway canary promotion: fired after {} requests, zero errors, digests converged",
+            cycle.requests
+        );
+        cycle
+    };
+
+    // A divergent candidate: the retrained variant — shadow comparison must
+    // catch it and roll the canary back without touching live traffic.
+    let rollback_path = artifact_v1_path.with_file_name("serve_model_gateway_divergent.json");
+    ModelArtifact::new(retrained_variant(engine.model()))
+        .save(&rollback_path)
+        .expect("save divergent candidate");
+    let canary_rollback = {
+        let (_backends, gateway) = canary_fleet();
+        let cycle = gateway_canary_cycle(&gateway, &rollback_path, stream, &expected);
+        assert!(cycle.rollback_fired, "divergent candidate must roll back: {cycle:?}");
+        assert!(
+            !cycle.promotion_fired,
+            "a divergent candidate must never promote: {cycle:?}"
+        );
+        assert!(
+            cycle.zero_severed && cycle.bit_exact,
+            "rollback cycle degraded traffic: {cycle:?}"
+        );
+        assert!(
+            cycle.digests_converged,
+            "canary backend still diverged after rollback: {cycle:?}"
+        );
+        println!(
+            "gateway canary rollback: fired after {} requests, zero severed connections, fleet restored",
+            cycle.requests
+        );
+        cycle
+    };
+
+    Some(GatewayBench {
+        multi_process: true,
+        backend_binary: binary.display().to_string(),
+        series,
+        scaling_2x,
+        hedging,
+        canary_promotion,
+        canary_rollback,
+    })
 }

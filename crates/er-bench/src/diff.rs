@@ -368,6 +368,7 @@ pub fn diff_serve(baseline: &Value, current: &Value, config: &DiffConfig, report
         }
     }
     diff_frontend(baseline, current, config, hardware_matches, report);
+    diff_gateway(baseline, current, config, hardware_matches, report);
 }
 
 /// Compares one replay run's absolute metrics (`throughput_rps` plus the
@@ -601,6 +602,127 @@ fn diff_frontend(
             config,
         );
     }
+}
+
+/// Diffs the multi-process gateway block (`gateway.series` scaling,
+/// `gateway.scaling_2x`, the hedging smoke and both canary cycles).
+///
+/// The attestation flags — `multi_process`, the per-entry
+/// `all_2xx`/`bit_exact`, `hedging.hedge_fired`, the canary cycles'
+/// `promotion_fired`/`rollback_fired`/`zero_severed`/`bit_exact`/
+/// `digests_converged` — are hard-gated like the front-end flags once the
+/// baseline carries them: a current run where they are false, missing or
+/// renamed (including the whole phase going absent because the backend
+/// binary was not built) fails the gate. `scaling_2x` is a machine-local
+/// ratio of two back-to-back replays, so it is gated even cross-hardware
+/// (loosened); the series' absolute throughput/latency numbers follow the
+/// usual same-hardware rule.
+fn diff_gateway(
+    baseline: &Value,
+    current: &Value,
+    config: &DiffConfig,
+    hardware_matches: bool,
+    report: &mut DiffReport,
+) {
+    // `gateway` is optional in the schema (serialized as null when the
+    // backend binary is missing) — treat null exactly like absent.
+    let non_null = |v: &Value| !matches!(v, Value::Null);
+    let base_gateway = baseline.get("gateway").filter(|v| non_null(v));
+    let current_gateway = current.get("gateway").filter(|v| non_null(v));
+    let Some(base_gateway) = base_gateway else {
+        if current_gateway.is_some() {
+            report
+                .notes
+                .push("serve.gateway: absent from the baseline, not compared — refresh out/baseline/".to_string());
+        }
+        return;
+    };
+    let gate_flag =
+        |report: &mut DiffReport, name: String, attested_in_baseline: bool, current_flag: Option<&Value>| {
+            if attested_in_baseline && current_flag != Some(&Value::Bool(true)) {
+                report.metrics.push(MetricDiff {
+                    name,
+                    baseline: 1.0,
+                    current: 0.0,
+                    direction: Direction::HigherIsBetter,
+                    change: -1.0,
+                    status: Status::Regressed,
+                });
+            }
+        };
+    gate_flag(
+        report,
+        "serve.gateway.multi_process".into(),
+        base_gateway.get("multi_process").is_some(),
+        current_gateway.and_then(|g| g.get("multi_process")),
+    );
+    for (section, flags) in [
+        ("hedging", &["hedge_fired", "all_2xx", "bit_exact"][..]),
+        (
+            "canary_promotion",
+            &["promotion_fired", "zero_severed", "bit_exact", "digests_converged"][..],
+        ),
+        (
+            "canary_rollback",
+            &["rollback_fired", "zero_severed", "bit_exact", "digests_converged"][..],
+        ),
+    ] {
+        for flag in flags {
+            gate_flag(
+                report,
+                format!("serve.gateway.{section}.{flag}"),
+                base_gateway.get(section).and_then(|s| s.get(flag)).is_some(),
+                current_gateway.and_then(|g| g.get(section)).and_then(|s| s.get(flag)),
+            );
+        }
+    }
+    // Scaling series: attestations hard-gated per entry (matched by backend
+    // count), absolute numbers same-hardware only.
+    let base_series = base_gateway.get("series").and_then(Value::as_seq).unwrap_or(&[]);
+    for base_entry in base_series {
+        let Some(backends) = field_num(base_entry, "backends") else {
+            continue;
+        };
+        let current_entry = find_by(current_gateway.and_then(|g| g.get("series")), "backends", backends);
+        for flag in ["all_2xx", "bit_exact"] {
+            gate_flag(
+                report,
+                format!("serve.gateway.series[backends={backends}].{flag}"),
+                base_entry.get(flag).is_some(),
+                current_entry.and_then(|e| e.get(flag)),
+            );
+        }
+        if let Some(current_entry) = current_entry {
+            if hardware_matches {
+                diff_run_metrics(
+                    report,
+                    &format!("serve.gateway.series[backends={backends}]"),
+                    base_entry,
+                    current_entry,
+                    config,
+                );
+            }
+        } else {
+            report.notes.push(format!(
+                "serve.gateway.series[backends={backends}]: no matching current entry"
+            ));
+        }
+    }
+    // The near-linear-scaling claim: aggregate throughput at 2 backends over
+    // 1, measured back-to-back in one process — a ratio metric.
+    let ratio_tolerance = if hardware_matches {
+        config.tolerance
+    } else {
+        config.tolerance * config.cross_hardware_factor
+    };
+    push_metric(
+        report,
+        "serve.gateway.scaling_2x",
+        field_num(base_gateway, "scaling_2x"),
+        current_gateway.and_then(|g| field_num(g, "scaling_2x")),
+        Direction::HigherIsBetter,
+        ratio_tolerance,
+    );
 }
 
 /// Diffs two `fig13.json` trees (the scalability run) into `report`.
@@ -1114,6 +1236,120 @@ mod tests {
             &train_json(15.0, 1.5),
         );
         assert!(report.regressions().is_empty(), "{report}");
+    }
+
+    fn serve_json_with_gateway(parallelism: u32, scaling_2x: f64, rollback_fired: bool, bit_exact: bool) -> String {
+        format!(
+            r#"{{"available_parallelism": {parallelism}, "round_trip_bit_exact": true,
+                 "aggregation": {{"soa_speedup": 1.5}},
+                 "runs_uncached": [], "runs_cached": [],
+                 "gateway": {{
+                    "multi_process": true, "backend_binary": "er-serve",
+                    "series": [
+                      {{"backends": 1, "requests": 1200, "clients": 4, "elapsed_secs": 0.4,
+                        "throughput_rps": 3000.0, "non_2xx": 0, "all_2xx": true, "bit_exact": {bit_exact},
+                        "latency": {{"p50_us": 120.0, "p95_us": 300.0, "p99_us": 400.0}}}},
+                      {{"backends": 2, "requests": 1200, "clients": 4, "elapsed_secs": 0.22,
+                        "throughput_rps": 5400.0, "non_2xx": 0, "all_2xx": true, "bit_exact": true,
+                        "latency": {{"p50_us": 110.0, "p95_us": 280.0, "p99_us": 380.0}}}}],
+                    "scaling_2x": {scaling_2x},
+                    "hedging": {{"fault_spec": "score_stall", "hedge_after_ms": 25, "requests": 8,
+                                 "hedges_launched": 8, "hedges_won": 8,
+                                 "hedge_fired": true, "all_2xx": true, "bit_exact": true}},
+                    "canary_promotion": {{"candidate_path": "p.json", "requests": 40,
+                                 "promotions": 1, "rollbacks": 0, "promotion_fired": true,
+                                 "rollback_fired": false, "non_2xx": 0, "zero_severed": true,
+                                 "bit_exact": true, "digests_converged": true}},
+                    "canary_rollback": {{"candidate_path": "d.json", "requests": 20,
+                                 "promotions": 0, "rollbacks": 1, "promotion_fired": false,
+                                 "rollback_fired": {rollback_fired}, "non_2xx": 0, "zero_severed": true,
+                                 "bit_exact": true, "digests_converged": true}}
+                 }}}}"#
+        )
+    }
+
+    #[test]
+    fn gateway_attestations_are_hard_gated_once_baselined() {
+        // A current run where the auto-rollback attestation flips false fails…
+        let report = run(
+            &serve_json_with_gateway(1, 1.8, true, true),
+            &serve_json_with_gateway(1, 1.8, false, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.gateway.canary_rollback.rollback_fired"),
+            "{report}"
+        );
+        // …so does one losing a per-series bit-exactness attestation…
+        let report = run(
+            &serve_json_with_gateway(1, 1.8, true, true),
+            &serve_json_with_gateway(1, 1.8, true, false),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(
+            report
+                .regressions()
+                .iter()
+                .any(|m| m.name == "serve.gateway.series[backends=1].bit_exact"),
+            "{report}"
+        );
+        // …and so does losing the gateway phase entirely (e.g. the backend
+        // binary silently going missing serializes the block as null).
+        let report = run(
+            &serve_json_with_gateway(1, 1.8, true, true),
+            &serve_json(1, 1e6, 50.0, 1.5, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let names: Vec<&str> = report.regressions().iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"serve.gateway.multi_process"), "{report}");
+        assert!(names.contains(&"serve.gateway.hedging.hedge_fired"), "{report}");
+        assert!(
+            names.contains(&"serve.gateway.canary_promotion.promotion_fired"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn gateway_scaling_collapse_fails_even_across_hardware() {
+        // scaling_2x is a within-run ratio: collapsing from 1.8× to 0.7×
+        // fails even when the CPU budgets differ (absolute series numbers
+        // are skipped there, and the tolerance is loosened but not lifted).
+        let report = run(
+            &serve_json_with_gateway(1, 1.8, true, true),
+            &serve_json_with_gateway(4, 0.7, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        let regressed = report.regressions();
+        assert_eq!(regressed.len(), 1, "{report}");
+        assert_eq!(regressed[0].name, "serve.gateway.scaling_2x");
+        assert!(!report
+            .metrics
+            .iter()
+            .any(|m| m.name.contains("series[backends=1].throughput")));
+    }
+
+    #[test]
+    fn gateway_only_in_current_notes_a_baseline_refresh() {
+        // A null gateway block in the baseline (backend binary missing when
+        // it was recorded) never arms the gate — it only notes the refresh.
+        let pre_gateway = r#"{"available_parallelism": 1, "round_trip_bit_exact": true,
+             "aggregation": {"soa_speedup": 1.5},
+             "runs_uncached": [], "runs_cached": [], "gateway": null}"#;
+        let report = run(
+            pre_gateway,
+            &serve_json_with_gateway(1, 1.8, true, true),
+            &train_json(15.0, 1.5),
+            &train_json(15.0, 1.5),
+        );
+        assert!(report.regressions().is_empty(), "{report}");
+        assert!(report.notes.iter().any(|n| n.contains("serve.gateway")), "{report}");
     }
 
     #[test]

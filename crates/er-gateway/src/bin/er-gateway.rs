@@ -1,0 +1,120 @@
+//! Standalone gateway: consistent-hash routing, hedging and canary
+//! promotion across a fleet of `er-serve` backends.
+//!
+//! ```text
+//! er-gateway --backend 127.0.0.1:7101 --backend 127.0.0.1:7102 \
+//!            --baseline out/model.json [--canary 1] [--listen 127.0.0.1:0] \
+//!            [--hedge-after-ms 30] [--health-interval-ms 500] [--eject-after 3] \
+//!            [--shadow-sample-bp 2000] [--min-samples 64] \
+//!            [--divergence-threshold 1e-9] [--ladder 500,2500,5000] \
+//!            [--no-auto-advance]
+//! ```
+//!
+//! Prints a single machine-readable `LISTENING <addr> backends=<n>` line on
+//! stdout once bound, then serves until killed. `--canary` takes a backend
+//! *index* (repeatable) naming which backends hold candidate artifacts
+//! during a canary; without it `/reload` refuses and the gateway is a plain
+//! router.
+
+use er_gateway::{CanaryConfig, GatewayConfig, GatewayServer};
+use std::io::Write;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: er-gateway --backend <addr:port>... --baseline <model.json> \
+         [--canary <backend-index>]... [--listen <addr:port>] [--hedge-after-ms <n|0>] \
+         [--upstream-timeout-ms <n>] [--health-interval-ms <n>] [--eject-after <n>] \
+         [--shadow-sample-bp <n>] [--min-samples <n>] [--divergence-threshold <f>] \
+         [--ladder <bp,bp,...>] [--no-auto-advance]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> GatewayConfig {
+    let mut config = GatewayConfig::default();
+    let mut canary = CanaryConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--backend" => {
+                let raw = value("--backend");
+                match raw.parse::<SocketAddr>() {
+                    Ok(addr) => config.backends.push(addr),
+                    Err(e) => {
+                        eprintln!("bad --backend {raw:?}: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--canary" => match value("--canary").parse::<usize>() {
+                Ok(index) => config.canary_backends.push(index),
+                Err(_) => usage(),
+            },
+            "--baseline" => config.baseline_artifact = value("--baseline"),
+            "--listen" => config.listen = value("--listen"),
+            "--hedge-after-ms" => {
+                let ms: u64 = value("--hedge-after-ms").parse().unwrap_or(30);
+                config.hedge_after = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--upstream-timeout-ms" => {
+                let ms: u64 = value("--upstream-timeout-ms").parse().unwrap_or(10_000);
+                config.upstream_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = value("--health-interval-ms").parse().unwrap_or(500);
+                config.health_interval = Duration::from_millis(ms.max(10));
+            }
+            "--eject-after" => config.eject_after = value("--eject-after").parse().unwrap_or(3),
+            "--vnodes" => config.vnodes = value("--vnodes").parse().unwrap_or(128),
+            "--shadow-sample-bp" => canary.shadow_sample_bp = value("--shadow-sample-bp").parse().unwrap_or(2_000),
+            "--min-samples" => canary.min_samples = value("--min-samples").parse().unwrap_or(64),
+            "--divergence-threshold" => {
+                canary.divergence_threshold = value("--divergence-threshold").parse().unwrap_or(1e-9)
+            }
+            "--ladder" => {
+                let parsed: Option<Vec<u32>> = value("--ladder").split(',').map(|r| r.trim().parse().ok()).collect();
+                match parsed {
+                    Some(ladder) if !ladder.is_empty() => canary.ladder = ladder,
+                    _ => usage(),
+                }
+            }
+            "--no-auto-advance" => canary.auto_advance = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if config.backends.is_empty() {
+        eprintln!("--backend is required (repeat once per er-serve process)");
+        usage();
+    }
+    if config.baseline_artifact.is_empty() {
+        eprintln!("--baseline is required (the artifact path rollbacks restore)");
+        usage();
+    }
+    config.canary = canary;
+    config
+}
+
+fn main() {
+    let config = parse_config();
+    let backends = config.backends.len();
+    let server = match GatewayServer::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("er-gateway: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The one line a supervising parent scrapes to learn the bound port.
+    println!("LISTENING {} backends={backends}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}

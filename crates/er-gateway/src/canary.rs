@@ -1,0 +1,461 @@
+//! Staged canary promotion with automatic rollback on score divergence.
+//!
+//! The controller is a pure state machine over three phases; the gateway
+//! server performs the side effects (reloading backends over HTTP) and
+//! feeds observations back in:
+//!
+//! ```text
+//!             begin()                 advance()            advance() … last rung
+//! Stable ───────────────▶ Shadow ───────────────▶ Serving(p₀) ─▶ … ─▶ Promote
+//!    ▲                      │                         │
+//!    └──────── rollback ◀───┴───── divergence ────────┘
+//! ```
+//!
+//! * **Shadow**: every request is served by a baseline backend; a sampled
+//!   slice is *also* sent to a canary backend and the two score vectors are
+//!   compared bit-by-bit. The canary's answers are never returned to
+//!   clients.
+//! * **Serving(p)**: pair ids whose [`crate::ring::percent_slot`] falls
+//!   below `p` (basis points) are served by canary backends; comparisons
+//!   continue on the baseline slice so late divergence is still caught.
+//! * A rung's verdict needs [`CanaryConfig::min_samples`] comparisons:
+//!   mean |Δscore| above [`CanaryConfig::divergence_threshold`] rolls back,
+//!   below it advances to the next rung (when auto-advance is on).
+//!
+//! Rollback and promotion swap *routing* and hot-reload backends in place —
+//! no listener restarts, so no severed connections either way.
+
+use serde::Serialize;
+use std::sync::Mutex;
+
+/// Tuning for the canary ladder.
+#[derive(Debug, Clone)]
+pub struct CanaryConfig {
+    /// Basis points (`0..10_000`) of traffic shadow-compared while the
+    /// canary is live (both phases).
+    pub shadow_sample_bp: u32,
+    /// Comparisons required before a rung verdict.
+    pub min_samples: u64,
+    /// Mean absolute score divergence above which the canary rolls back.
+    pub divergence_threshold: f64,
+    /// Serving rungs in basis points, e.g. `[500, 2500, 5000]` for
+    /// 5% → 25% → 50%; passing the last rung promotes to 100%.
+    pub ladder: Vec<u32>,
+    /// Advance rungs automatically when a verdict passes; off means each
+    /// rung waits for an operator `POST /canary/promote`.
+    pub auto_advance: bool,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        Self {
+            shadow_sample_bp: 2_000,
+            min_samples: 64,
+            divergence_threshold: 1e-9,
+            ladder: vec![500, 2_500, 5_000],
+            auto_advance: true,
+        }
+    }
+}
+
+/// Where the canary stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// No canary in flight; every backend serves the baseline artifact.
+    Stable,
+    /// Canary backends hold the candidate; traffic is still 100% baseline,
+    /// a sampled slice is shadow-compared.
+    Shadow,
+    /// Canary serves `ladder[rung]` basis points of the keyspace.
+    Serving {
+        /// Index into [`CanaryConfig::ladder`].
+        rung: usize,
+    },
+}
+
+/// What the gateway should do with one request, given the current phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePlan {
+    /// Serve from the canary backend set (else baseline).
+    pub serve_canary: bool,
+    /// Also send the request to the *other* set and record a comparison.
+    pub shadow_compare: bool,
+}
+
+/// Side effect the server must perform after a state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// No side effect; routing percentages changed only.
+    None,
+    /// Divergence verdict: reload canary backends back to the baseline
+    /// artifact at this path.
+    RollbackCanaries {
+        /// Artifact every canary backend must return to.
+        baseline_path: String,
+    },
+    /// Final rung passed: reload the remaining baseline backends to the
+    /// candidate at this path; the candidate becomes the new baseline.
+    PromoteBaselines {
+        /// Artifact the fleet converges on.
+        candidate_path: String,
+    },
+}
+
+/// Serializable snapshot for `/gateway/stats` and the bench attestations.
+#[derive(Debug, Clone, Serialize)]
+pub struct CanaryStatus {
+    /// `"stable"`, `"shadow"` or `"serving"`.
+    pub phase: String,
+    /// Canary share of the keyspace in basis points (0 outside Serving).
+    pub percent_bp: u32,
+    /// Candidate artifact path, when a canary is in flight.
+    pub candidate_path: Option<String>,
+    /// Comparisons recorded toward the current rung's verdict.
+    pub comparisons: u64,
+    /// Mean |Δscore| across the current rung's comparisons.
+    pub mean_abs_divergence: f64,
+    /// Largest single |Δscore| seen in the current rung.
+    pub max_abs_divergence: f64,
+    /// Canaries rolled back since the gateway started.
+    pub rollbacks: u64,
+    /// Canaries promoted to baseline since the gateway started.
+    pub promotions: u64,
+}
+
+struct Inner {
+    phase: Phase,
+    candidate_path: Option<String>,
+    baseline_path: String,
+    comparisons: u64,
+    sum_abs: f64,
+    max_abs: f64,
+    rollbacks: u64,
+    promotions: u64,
+}
+
+/// The canary state machine. All methods are cheap and lock one mutex; the
+/// heavy work (backend reloads) happens in the [`Action`]s the caller runs.
+pub struct CanaryController {
+    config: CanaryConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CanaryController {
+    /// A controller starting Stable on `baseline_path`.
+    pub fn new(config: CanaryConfig, baseline_path: String) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                phase: Phase::Stable,
+                candidate_path: None,
+                baseline_path,
+                comparisons: 0,
+                sum_abs: 0.0,
+                max_abs: 0.0,
+                rollbacks: 0,
+                promotions: 0,
+            }),
+        }
+    }
+
+    /// The configured ladder and thresholds.
+    pub fn config(&self) -> &CanaryConfig {
+        &self.config
+    }
+
+    /// Starts a canary for `candidate_path`. Errors when one is already in
+    /// flight — finish or roll it back first.
+    pub fn begin(&self, candidate_path: String) -> Result<(), String> {
+        let mut inner = self.lock();
+        if inner.phase != Phase::Stable {
+            return Err(format!(
+                "a canary for {:?} is already in flight; promote or roll it back first",
+                inner.candidate_path.as_deref().unwrap_or("<unknown>")
+            ));
+        }
+        inner.phase = Phase::Shadow;
+        inner.candidate_path = Some(candidate_path);
+        inner.comparisons = 0;
+        inner.sum_abs = 0.0;
+        inner.max_abs = 0.0;
+        Ok(())
+    }
+
+    /// Routing plan for one pair id under the current phase.
+    pub fn plan(&self, percent_slot: u32) -> RoutePlan {
+        let inner = self.lock();
+        match inner.phase {
+            Phase::Stable => RoutePlan {
+                serve_canary: false,
+                shadow_compare: false,
+            },
+            Phase::Shadow => RoutePlan {
+                serve_canary: false,
+                shadow_compare: percent_slot < self.config.shadow_sample_bp,
+            },
+            Phase::Serving { rung } => {
+                let percent = self.config.ladder.get(rung).copied().unwrap_or(0);
+                let serve_canary = percent_slot < percent;
+                RoutePlan {
+                    serve_canary,
+                    // Keep comparing on a baseline-served slice adjacent to
+                    // the canary share, so late divergence still trips.
+                    shadow_compare: !serve_canary
+                        && percent_slot < percent.saturating_add(self.config.shadow_sample_bp),
+                }
+            }
+        }
+    }
+
+    /// Records one shadow comparison (scores already parsed). Returns the
+    /// side effect to run, if the verdict fired: rollback on divergence, a
+    /// rung advance (possibly promotion) on a pass when auto-advance is on.
+    pub fn record_comparison(&self, baseline: &[f64], canary: &[f64]) -> Action {
+        let mut inner = self.lock();
+        if matches!(inner.phase, Phase::Stable) {
+            return Action::None;
+        }
+        for (b, c) in baseline.iter().zip(canary.iter()) {
+            let diff = (b - c).abs();
+            inner.sum_abs += diff;
+            inner.max_abs = inner.max_abs.max(diff);
+            inner.comparisons += 1;
+        }
+        if inner.comparisons < self.config.min_samples {
+            return Action::None;
+        }
+        let mean = inner.sum_abs / inner.comparisons as f64;
+        if mean > self.config.divergence_threshold {
+            return self.rollback_locked(&mut inner);
+        }
+        if self.config.auto_advance {
+            return self.advance_locked(&mut inner);
+        }
+        Action::None
+    }
+
+    /// Operator-driven rung advance (`POST /canary/promote`). Errors when
+    /// no canary is in flight.
+    pub fn advance(&self) -> Result<Action, String> {
+        let mut inner = self.lock();
+        if matches!(inner.phase, Phase::Stable) {
+            return Err("no canary in flight".to_string());
+        }
+        Ok(self.advance_locked(&mut inner))
+    }
+
+    /// Operator-driven rollback (`POST /canary/rollback`). Errors when no
+    /// canary is in flight.
+    pub fn rollback(&self) -> Result<Action, String> {
+        let mut inner = self.lock();
+        if matches!(inner.phase, Phase::Stable) {
+            return Err("no canary in flight".to_string());
+        }
+        Ok(self.rollback_locked(&mut inner))
+    }
+
+    /// Marks a [`Action::PromoteBaselines`] as applied: the candidate is
+    /// the new baseline and the controller returns to Stable.
+    pub fn promoted(&self) {
+        let mut inner = self.lock();
+        if let Some(candidate) = inner.candidate_path.take() {
+            inner.baseline_path = candidate;
+        }
+        inner.phase = Phase::Stable;
+        inner.promotions += 1;
+    }
+
+    /// Marks a [`Action::RollbackCanaries`] as applied (or failed —
+    /// either way the canary is dead): back to Stable on the baseline.
+    pub fn rolled_back(&self) {
+        let mut inner = self.lock();
+        inner.phase = Phase::Stable;
+        inner.candidate_path = None;
+        inner.rollbacks += 1;
+    }
+
+    /// The artifact path every backend should serve when Stable.
+    pub fn baseline_path(&self) -> String {
+        self.lock().baseline_path.clone()
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> CanaryStatus {
+        let inner = self.lock();
+        let (phase, percent_bp) = match inner.phase {
+            Phase::Stable => ("stable", 0),
+            Phase::Shadow => ("shadow", 0),
+            Phase::Serving { rung } => ("serving", self.config.ladder.get(rung).copied().unwrap_or(0)),
+        };
+        CanaryStatus {
+            phase: phase.to_string(),
+            percent_bp,
+            candidate_path: inner.candidate_path.clone(),
+            comparisons: inner.comparisons,
+            mean_abs_divergence: if inner.comparisons == 0 {
+                0.0
+            } else {
+                inner.sum_abs / inner.comparisons as f64
+            },
+            max_abs_divergence: inner.max_abs,
+            rollbacks: inner.rollbacks,
+            promotions: inner.promotions,
+        }
+    }
+
+    fn advance_locked(&self, inner: &mut Inner) -> Action {
+        inner.comparisons = 0;
+        inner.sum_abs = 0.0;
+        inner.max_abs = 0.0;
+        let next = match inner.phase {
+            Phase::Stable => return Action::None,
+            Phase::Shadow => 0,
+            Phase::Serving { rung } => rung + 1,
+        };
+        if next >= self.config.ladder.len() {
+            let candidate = inner.candidate_path.clone().unwrap_or_default();
+            return Action::PromoteBaselines {
+                candidate_path: candidate,
+            };
+        }
+        inner.phase = Phase::Serving { rung: next };
+        Action::None
+    }
+
+    fn rollback_locked(&self, inner: &mut Inner) -> Action {
+        Action::RollbackCanaries {
+            baseline_path: inner.baseline_path.clone(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(threshold: f64, min_samples: u64) -> CanaryController {
+        CanaryController::new(
+            CanaryConfig {
+                shadow_sample_bp: 10_000,
+                min_samples,
+                divergence_threshold: threshold,
+                ladder: vec![500, 5_000],
+                auto_advance: true,
+            },
+            "baseline.json".to_string(),
+        )
+    }
+
+    #[test]
+    fn identical_scores_walk_the_full_ladder_to_promotion() {
+        let c = controller(1e-9, 4);
+        c.begin("candidate.json".to_string()).expect("begin");
+        assert_eq!(c.status().phase, "shadow");
+        // Shadow rung passes → Serving(500).
+        assert_eq!(c.record_comparison(&[0.5; 4], &[0.5; 4]), Action::None);
+        assert_eq!(c.status().phase, "serving");
+        assert_eq!(c.status().percent_bp, 500);
+        // Next rung passes → Serving(5000).
+        assert_eq!(c.record_comparison(&[0.25; 4], &[0.25; 4]), Action::None);
+        assert_eq!(c.status().percent_bp, 5_000);
+        // Final rung passes → promote.
+        let action = c.record_comparison(&[0.125; 4], &[0.125; 4]);
+        assert_eq!(
+            action,
+            Action::PromoteBaselines {
+                candidate_path: "candidate.json".to_string()
+            }
+        );
+        c.promoted();
+        let status = c.status();
+        assert_eq!(status.phase, "stable");
+        assert_eq!(status.promotions, 1);
+        assert_eq!(c.baseline_path(), "candidate.json");
+    }
+
+    #[test]
+    fn divergence_beyond_threshold_rolls_back() {
+        let c = controller(1e-3, 4);
+        c.begin("candidate.json".to_string()).expect("begin");
+        let action = c.record_comparison(&[0.5, 0.5, 0.5, 0.5], &[0.5, 0.5, 0.5, 0.9]);
+        assert_eq!(
+            action,
+            Action::RollbackCanaries {
+                baseline_path: "baseline.json".to_string()
+            }
+        );
+        c.rolled_back();
+        let status = c.status();
+        assert_eq!(status.phase, "stable");
+        assert_eq!(status.rollbacks, 1);
+        assert_eq!(c.baseline_path(), "baseline.json", "candidate never becomes baseline");
+    }
+
+    #[test]
+    fn sub_threshold_noise_does_not_roll_back() {
+        let c = controller(1e-2, 8);
+        c.begin("candidate.json".to_string()).expect("begin");
+        let baseline = [0.5f64; 8];
+        let canary = [0.5000001f64; 8];
+        // Passes the rung (mean 1e-7 < 1e-2) and advances instead.
+        assert_eq!(c.record_comparison(&baseline, &canary), Action::None);
+        assert_eq!(c.status().phase, "serving");
+    }
+
+    #[test]
+    fn no_verdict_before_min_samples() {
+        let c = controller(1e-9, 100);
+        c.begin("candidate.json".to_string()).expect("begin");
+        // Wildly divergent, but only 2 of 100 required samples.
+        assert_eq!(c.record_comparison(&[0.0, 0.0], &[1.0, 1.0]), Action::None);
+        assert_eq!(c.status().phase, "shadow");
+        assert_eq!(c.status().comparisons, 2);
+    }
+
+    #[test]
+    fn concurrent_canaries_are_refused() {
+        let c = controller(1e-9, 4);
+        c.begin("a.json".to_string()).expect("begin");
+        let err = c.begin("b.json".to_string()).expect_err("second canary refused");
+        assert!(err.contains("a.json"), "{err}");
+    }
+
+    #[test]
+    fn serving_phase_routes_the_percent_slice_to_the_canary() {
+        let c = controller(1e-9, 1);
+        c.begin("candidate.json".to_string()).expect("begin");
+        c.record_comparison(&[0.5], &[0.5]); // → Serving(500)
+        let plan_low = c.plan(499);
+        assert!(plan_low.serve_canary);
+        let plan_high = c.plan(501);
+        assert!(!plan_high.serve_canary);
+        assert!(plan_high.shadow_compare, "adjacent slice keeps comparing");
+        let plan_far = c.plan(9_999);
+        assert!(!plan_far.serve_canary);
+    }
+
+    #[test]
+    fn stable_phase_neither_routes_nor_compares() {
+        let c = controller(1e-9, 4);
+        let plan = c.plan(0);
+        assert!(!plan.serve_canary);
+        assert!(!plan.shadow_compare);
+        assert_eq!(c.record_comparison(&[0.1], &[0.9]), Action::None);
+    }
+
+    #[test]
+    fn manual_advance_and_rollback_require_a_canary() {
+        let c = controller(1e-9, 4);
+        assert!(c.advance().is_err());
+        assert!(c.rollback().is_err());
+        c.begin("candidate.json".to_string()).expect("begin");
+        assert_eq!(c.advance().expect("advance"), Action::None);
+        assert_eq!(c.status().percent_bp, 500);
+        let action = c.rollback().expect("rollback");
+        assert!(matches!(action, Action::RollbackCanaries { .. }));
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-backend health: periodic `GET /healthz` probes, consecutive-failure
+//! ejection, automatic restore on recovery.
+//!
+//! An ejected backend's vnodes are skipped on the ring walk
+//! ([`crate::ring::HashRing::route`] with the health eligibility check), so
+//! ejection remaps only the keys that hashed to the dead backend. The probe
+//! also scrapes the backend's `model_version` and `model_digest`, which is
+//! how the canary controller attests which artifact each backend actually
+//! serves — version numbers are per-process counters and can't be compared
+//! across backends, digests can.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Observed state of one backend.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BackendHealth {
+    /// Routable right now?
+    pub healthy: bool,
+    /// Probe failures since the last success.
+    pub consecutive_failures: u32,
+    /// Times this backend transitioned healthy → ejected.
+    pub ejections: u64,
+    /// The backend's own `/reload` counter (process-local, monotonically
+    /// increasing — not comparable across backends).
+    pub model_version: u64,
+    /// Content digest of the model the backend serves (comparable across
+    /// backends: equal digest ⇔ equal trained parameters).
+    pub model_digest: String,
+}
+
+impl BackendHealth {
+    fn unknown() -> Self {
+        Self {
+            healthy: false,
+            consecutive_failures: 0,
+            ejections: 0,
+            model_version: 0,
+            model_digest: String::new(),
+        }
+    }
+}
+
+/// Health table over a fixed backend set.
+pub struct HealthState {
+    backends: Vec<SocketAddr>,
+    states: RwLock<Vec<BackendHealth>>,
+    eject_after: u32,
+    probe_timeout: Duration,
+}
+
+impl HealthState {
+    /// A table where every backend starts unknown/unhealthy; call
+    /// [`Self::probe_all`] once at startup to prime it before taking
+    /// traffic.
+    pub fn new(backends: Vec<SocketAddr>, eject_after: u32, probe_timeout: Duration) -> Self {
+        let states = (0..backends.len()).map(|_| BackendHealth::unknown()).collect();
+        Self {
+            backends,
+            states: RwLock::new(states),
+            eject_after: eject_after.max(1),
+            probe_timeout,
+        }
+    }
+
+    /// The probed backend addresses, in index order.
+    pub fn backends(&self) -> &[SocketAddr] {
+        &self.backends
+    }
+
+    /// Probes every backend once, synchronously, updating the table.
+    pub fn probe_all(&self) {
+        for index in 0..self.backends.len() {
+            self.probe_one(index);
+        }
+    }
+
+    /// Probes one backend and folds the outcome into its state.
+    pub fn probe_one(&self, index: usize) {
+        let outcome = probe(self.backends[index], self.probe_timeout);
+        let mut states = self.states.write().unwrap_or_else(|e| e.into_inner());
+        let state = &mut states[index];
+        match outcome {
+            Ok((version, digest)) => {
+                state.healthy = true;
+                state.consecutive_failures = 0;
+                state.model_version = version;
+                state.model_digest = digest;
+            }
+            Err(_) => {
+                state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+                if state.healthy && state.consecutive_failures >= self.eject_after {
+                    state.healthy = false;
+                    state.ejections += 1;
+                }
+                // A backend that never probed healthy stays unroutable
+                // without counting an ejection.
+                if state.consecutive_failures >= self.eject_after {
+                    state.healthy = false;
+                }
+            }
+        }
+    }
+
+    /// Is the backend currently routable?
+    pub fn is_healthy(&self, index: usize) -> bool {
+        self.states.read().unwrap_or_else(|e| e.into_inner())[index].healthy
+    }
+
+    /// Snapshot of every backend's state, in index order.
+    pub fn snapshot(&self) -> Vec<BackendHealth> {
+        self.states.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of currently routable backends.
+    pub fn healthy_count(&self) -> usize {
+        self.states
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|s| s.healthy)
+            .count()
+    }
+}
+
+/// One blocking `GET /healthz` probe; returns the backend's
+/// `(model_version, model_digest)`.
+fn probe(addr: SocketAddr, timeout: Duration) -> io::Result<(u64, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let response = er_serve::http_roundtrip(&mut stream, "GET", "/healthz", None)?;
+    if response.status != 200 {
+        return Err(io::Error::other(format!("healthz returned {}", response.status)));
+    }
+    let value =
+        serde::json::parse(&response.body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let version: u64 = value
+        .get("model_version")
+        .and_then(|v| serde::from_value(v).ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "healthz body lacks model_version"))?;
+    let digest: String = value
+        .get("model_digest")
+        .and_then(|v| serde::from_value(v).ok())
+        .unwrap_or_default();
+    Ok((version, digest))
+}
+
+/// Spawns the background monitor: probes every backend each `interval`
+/// until `shutdown` flips. Join the handle after flipping to stop cleanly.
+pub fn spawn_monitor(
+    state: Arc<HealthState>,
+    interval: Duration,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("gw-health".to_string())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                state.probe_all();
+                // Sleep in small slices so shutdown is prompt even with
+                // multi-second probe intervals.
+                let mut remaining = interval;
+                while !shutdown.load(Ordering::SeqCst) && remaining > Duration::ZERO {
+                    let slice = remaining.min(Duration::from_millis(50));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dead_addr() -> SocketAddr {
+        // Bind-then-drop: the port is almost surely closed afterwards.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    }
+
+    #[test]
+    fn unprobed_backends_are_not_routable() {
+        let state = HealthState::new(vec![dead_addr()], 2, Duration::from_millis(200));
+        assert!(!state.is_healthy(0));
+        assert_eq!(state.healthy_count(), 0);
+    }
+
+    #[test]
+    fn repeated_failures_eject_without_counting_phantom_ejections() {
+        let state = HealthState::new(vec![dead_addr()], 2, Duration::from_millis(100));
+        for _ in 0..3 {
+            state.probe_all();
+        }
+        let snapshot = state.snapshot();
+        assert!(!snapshot[0].healthy);
+        assert!(snapshot[0].consecutive_failures >= 3);
+        // Never was healthy, so nothing to eject.
+        assert_eq!(snapshot[0].ejections, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Consistent-hash ring over backend indices.
+//!
+//! Each backend contributes `vnodes` points to a sorted ring of
+//! `(hash, backend)` pairs; a pair id routes to the first point clockwise
+//! from its own hash whose backend passes the caller's eligibility check
+//! (healthy, right artifact version set, …). Because only the ejected
+//! backend's points drop out of consideration, an ejection remaps only the
+//! keys that hashed to that backend — the property that keeps backend score
+//! caches warm through a failure, which a modulo router would destroy.
+//!
+//! The canary percent split uses an *independent* hash of the same pair id
+//! ([`percent_slot`]), so the slice of traffic a canary serves is
+//! uncorrelated with backend placement.
+
+/// `splitmix64`: the 64-bit finalizer used for every ring hash. Public so
+/// tests and benches can reproduce routing decisions.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Basis-point granularity of [`percent_slot`]: slots are `0..10_000`.
+pub const PERCENT_SLOTS: u32 = 10_000;
+
+/// Which `0..10_000` slice of the keyspace a pair id falls in, for the
+/// canary percent split. Salted differently from the ring hash so "the 5%
+/// canary slice" is spread evenly across every backend's key range.
+pub fn percent_slot(pair_id: u64) -> u32 {
+    (splitmix64(pair_id ^ 0x5bd1_e995_9d4d_51cb) % u64::from(PERCENT_SLOTS)) as u32
+}
+
+/// A fixed consistent-hash ring over `backends` backend indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point hash, backend index)` pairs.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per backend. More vnodes smooth
+    /// the per-backend keyspace share (128 keeps the spread within a few
+    /// percent of uniform); fewer make remapping coarser.
+    pub fn new(backends: usize, vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(backends * vnodes);
+        for backend in 0..backends {
+            for vnode in 0..vnodes {
+                // One well-mixed point per (backend, vnode): hash the pair
+                // through two rounds so neighboring ids land far apart.
+                let seed = ((backend as u64) << 32) | vnode as u64;
+                points.push((splitmix64(splitmix64(seed)), backend));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|(h, _)| *h);
+        Self { points, backends }
+    }
+
+    /// Number of backends the ring was built over.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Routes a pair id: the first point clockwise from `hash(pair_id)`
+    /// whose backend satisfies `eligible`. Returns `None` only when no
+    /// backend is eligible at all.
+    pub fn route(&self, pair_id: u64, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = splitmix64(pair_id);
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        for offset in 0..self.points.len() {
+            let (_, backend) = self.points[(start + offset) % self.points.len()];
+            if eligible(backend) {
+                return Some(backend);
+            }
+        }
+        None
+    }
+
+    /// The backend after `exclude` on the ring for this pair id — the hedge
+    /// target: deterministic, distinct from the primary, and still
+    /// eligibility-filtered. `None` when no other backend qualifies.
+    pub fn route_excluding(
+        &self,
+        pair_id: u64,
+        exclude: usize,
+        mut eligible: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        self.route(pair_id, |backend| backend != exclude && eligible(backend))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn keyspace_share_is_roughly_uniform() {
+        let ring = HashRing::new(4, 128);
+        let mut counts = HashMap::new();
+        for pair_id in 0..40_000u64 {
+            let backend = ring.route(pair_id, |_| true).expect("route");
+            *counts.entry(backend).or_insert(0usize) += 1;
+        }
+        for backend in 0..4 {
+            let share = counts[&backend] as f64 / 40_000.0;
+            assert!((0.15..=0.35).contains(&share), "backend {backend} share {share}");
+        }
+    }
+
+    #[test]
+    fn ejection_remaps_only_the_ejected_backends_keys() {
+        let ring = HashRing::new(4, 128);
+        let before: Vec<usize> = (0..10_000u64)
+            .map(|id| ring.route(id, |_| true).expect("route"))
+            .collect();
+        let after: Vec<usize> = (0..10_000u64)
+            .map(|id| ring.route(id, |b| b != 2).expect("route"))
+            .collect();
+        for (id, (&b, &a)) in before.iter().zip(after.iter()).enumerate() {
+            if b != 2 {
+                assert_eq!(b, a, "pair {id} moved although its backend stayed healthy");
+            } else {
+                assert_ne!(a, 2, "pair {id} still routed to the ejected backend");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_percent_slots_cover_the_space() {
+        let ring = HashRing::new(3, 64);
+        for pair_id in 0..1000u64 {
+            assert_eq!(ring.route(pair_id, |_| true), ring.route(pair_id, |_| true));
+        }
+        let mut below_500 = 0usize;
+        for pair_id in 0..100_000u64 {
+            let slot = percent_slot(pair_id);
+            assert!(slot < PERCENT_SLOTS);
+            if slot < 500 {
+                below_500 += 1;
+            }
+        }
+        let share = below_500 as f64 / 100_000.0;
+        assert!((0.04..=0.06).contains(&share), "5% slice share {share}");
+    }
+
+    #[test]
+    fn hedge_target_differs_from_primary() {
+        let ring = HashRing::new(3, 64);
+        for pair_id in 0..1000u64 {
+            let primary = ring.route(pair_id, |_| true).expect("primary");
+            let hedge = ring.route_excluding(pair_id, primary, |_| true).expect("hedge");
+            assert_ne!(primary, hedge);
+        }
+    }
+
+    #[test]
+    fn single_backend_ring_routes_everything_to_it() {
+        let ring = HashRing::new(1, 32);
+        for pair_id in 0..100u64 {
+            assert_eq!(ring.route(pair_id, |_| true), Some(0));
+            assert_eq!(ring.route_excluding(pair_id, 0, |_| true), None);
+        }
+    }
+}

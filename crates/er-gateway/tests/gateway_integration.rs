@@ -1,0 +1,464 @@
+//! Gateway ↔ backend integration over real sockets: bit-exact score relay,
+//! health ejection, tail hedging, the canary ladder (promotion and
+//! automatic rollback), and the gateway's own HTTP conformance.
+//!
+//! Backends are in-process [`ScoreServer`]s started from artifacts written
+//! to a scratch directory, so `/reload` paths (the canary machinery) work
+//! exactly as they do against standalone `er-serve` processes.
+
+use er_gateway::{CanaryConfig, GatewayConfig, GatewayServer, HashRing};
+use er_serve::{http_roundtrip, ModelArtifact, ReloadableExecutor, ScoreServer, ServeConfig, ServerConfig};
+use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_model() -> LearnRiskModel {
+    use er_base::Label;
+    use er_rulegen::{CmpOp, Condition, Rule};
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 12, 0.9),
+        Rule::new(vec![Condition::new(1, CmpOp::Le, 0.4)], Label::Equivalent, 8, 0.85),
+    ];
+    let feature_set = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.1, 0.9],
+        support: vec![12, 8],
+    };
+    LearnRiskModel::new(feature_set, RiskModelConfig::default())
+}
+
+/// The baseline model with every rule weight nudged — scores diverge, which
+/// is exactly what the rollback path must catch.
+fn divergent_model() -> LearnRiskModel {
+    let mut model = tiny_model();
+    for (i, w) in model.rule_weights.iter_mut().enumerate() {
+        *w *= if i % 2 == 0 { 1.07 } else { 0.93 };
+    }
+    model
+}
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("er-gateway-it-{tag}-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_artifact(dir: &std::path::Path, name: &str, model: LearnRiskModel) -> String {
+    let path = dir.join(name);
+    ModelArtifact::new(model).save(&path).expect("save artifact");
+    path.to_string_lossy().into_owned()
+}
+
+fn start_backend(artifact_path: &str) -> ScoreServer {
+    let artifact = ModelArtifact::load(artifact_path).expect("load artifact");
+    let executor = Arc::new(
+        ReloadableExecutor::from_artifact(artifact, ServeConfig::default().with_threads(1)).expect("executor"),
+    );
+    ScoreServer::start(executor, ServerConfig::default()).expect("bind backend")
+}
+
+fn gateway_config(backends: Vec<SocketAddr>, baseline: &str) -> GatewayConfig {
+    GatewayConfig {
+        backends,
+        baseline_artifact: baseline.to_string(),
+        health_interval: Duration::from_millis(100),
+        eject_after: 2,
+        connect_timeout: Duration::from_millis(500),
+        upstream_timeout: Duration::from_secs(5),
+        ..GatewayConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream
+}
+
+fn score_body(pair_id: u64) -> String {
+    let x = (pair_id % 10) as f64 / 10.0;
+    format!(
+        "{{\"pair_id\": {pair_id}, \"metric_row\": [{x}, {}], \"classifier_output\": {x}, \"machine_says_match\": {}}}",
+        1.0 - x,
+        x >= 0.5
+    )
+}
+
+fn stats(gateway_addr: SocketAddr) -> serde::Value {
+    let mut stream = connect(gateway_addr);
+    let response = http_roundtrip(&mut stream, "GET", "/gateway/stats", None).expect("stats");
+    assert_eq!(response.status, 200, "{}", response.body);
+    serde::json::parse(&response.body).expect("stats json")
+}
+
+fn stats_u64(value: &serde::Value, pointer: &[&str]) -> u64 {
+    let mut cursor = value.clone();
+    for key in pointer {
+        cursor = cursor.get(key).unwrap_or_else(|| panic!("stats missing {key}")).clone();
+    }
+    serde::from_value(&cursor).unwrap_or_else(|e| panic!("stats {pointer:?} not a u64: {e}"))
+}
+
+#[test]
+fn scores_relay_bit_exactly_through_the_gateway() {
+    let dir = scratch_dir("bitexact");
+    let baseline = write_artifact(&dir, "baseline.json", tiny_model());
+    let backend_a = start_backend(&baseline);
+    let backend_b = start_backend(&baseline);
+    let backends = vec![backend_a.local_addr(), backend_b.local_addr()];
+    let gateway = GatewayServer::start(gateway_config(backends.clone(), &baseline)).expect("gateway");
+
+    for pair_id in 0..64u64 {
+        let body = score_body(pair_id);
+        let mut via_gateway = connect(gateway.local_addr());
+        let routed = http_roundtrip(&mut via_gateway, "POST", "/score", Some(&body)).expect("gateway score");
+        assert_eq!(routed.status, 200, "{}", routed.body);
+        let served: usize = routed
+            .headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("x-backend"))
+            .and_then(|(_, value)| value.parse().ok())
+            .expect("X-Backend header");
+        let mut direct_stream = connect(backends[served]);
+        let direct = http_roundtrip(&mut direct_stream, "POST", "/score", Some(&body)).expect("direct score");
+        assert_eq!(direct.status, 200);
+        assert_eq!(
+            routed.body, direct.body,
+            "pair {pair_id}: gateway response differs from backend {served}"
+        );
+    }
+
+    let stats = gateway.stats();
+    assert_eq!(stats.responses_2xx, 64);
+    assert!(
+        stats.served_by_backend.iter().all(|&count| count > 0),
+        "consistent hashing should spread 64 pairs over both backends: {:?}",
+        stats.served_by_backend
+    );
+}
+
+#[test]
+fn ejected_backend_traffic_remaps_without_errors() {
+    let dir = scratch_dir("eject");
+    let baseline = write_artifact(&dir, "baseline.json", tiny_model());
+    let backend_a = start_backend(&baseline);
+    let backend_b = start_backend(&baseline);
+    let backends = vec![backend_a.local_addr(), backend_b.local_addr()];
+    let gateway = GatewayServer::start(gateway_config(backends, &baseline)).expect("gateway");
+
+    // Warm: both backends serve.
+    for pair_id in 0..32u64 {
+        let mut stream = connect(gateway.local_addr());
+        let response = http_roundtrip(&mut stream, "POST", "/score", Some(&score_body(pair_id))).expect("score");
+        assert_eq!(response.status, 200);
+    }
+    // Kill backend B and wait for the health monitor to eject it
+    // (eject_after=2 failures at a 100ms probe interval).
+    backend_b.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = gateway.stats();
+        if !snapshot.backends[1].healthy {
+            assert!(snapshot.backends[1].ejections >= 1, "ejection not counted");
+            break;
+        }
+        assert!(Instant::now() < deadline, "backend B never ejected: {snapshot:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Every pair id — including those that hashed to B — now serves from A.
+    for pair_id in 0..32u64 {
+        let mut stream = connect(gateway.local_addr());
+        let response = http_roundtrip(&mut stream, "POST", "/score", Some(&score_body(pair_id))).expect("score");
+        assert_eq!(
+            response.status, 200,
+            "pair {pair_id} failed after ejection: {}",
+            response.body
+        );
+        let served = response
+            .headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("x-backend"))
+            .map(|(_, value)| value.clone())
+            .expect("X-Backend");
+        assert_eq!(served, "0", "pair {pair_id} routed to the dead backend");
+    }
+}
+
+/// A fake backend that answers `/healthz` like a healthy `er-serve` but
+/// never answers `/score` — the straggler the hedge must beat.
+fn start_tarpit() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind tarpit");
+    let addr = listener.local_addr().expect("tarpit addr");
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            std::thread::spawn(move || {
+                let mut buffer = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    if buffer.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                if buffer.starts_with(b"GET /healthz") {
+                    let body = "{\"status\": \"ok\", \"model_version\": 1, \"model_digest\": \"tarpit\"}";
+                    let _ = write!(
+                        stream,
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                } else {
+                    // Hold the request open far longer than any hedge budget.
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+            });
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn hedge_beats_a_stalled_backend() {
+    let dir = scratch_dir("hedge");
+    let baseline = write_artifact(&dir, "baseline.json", tiny_model());
+    let backend_a = start_backend(&baseline);
+    let (tarpit_addr, _tarpit) = start_tarpit();
+    // Backend 1 is the tarpit.
+    let backends = vec![backend_a.local_addr(), tarpit_addr];
+    let mut config = gateway_config(backends, &baseline);
+    config.hedge_after = Some(Duration::from_millis(25));
+    let gateway = GatewayServer::start(config).expect("gateway");
+
+    // Pick pair ids whose ring primary is the tarpit (ring layout is
+    // deterministic and shared with the gateway: 2 backends, 128 vnodes).
+    let ring = HashRing::new(2, 128);
+    let stalled_pairs: Vec<u64> = (0..200u64)
+        .filter(|&id| ring.route(id, |_| true) == Some(1))
+        .take(4)
+        .collect();
+    assert!(!stalled_pairs.is_empty(), "no pair id routes to the tarpit");
+
+    for &pair_id in &stalled_pairs {
+        let mut stream = connect(gateway.local_addr());
+        let response = http_roundtrip(&mut stream, "POST", "/score", Some(&score_body(pair_id))).expect("score");
+        assert_eq!(response.status, 200, "{}", response.body);
+        let hedged = response
+            .headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("x-hedged"))
+            .map(|(_, value)| value.clone())
+            .expect("X-Hedged");
+        assert_eq!(hedged, "1", "pair {pair_id} should have been won by the hedge");
+    }
+    let stats = gateway.stats();
+    assert!(stats.hedges_launched >= stalled_pairs.len() as u64, "{stats:?}");
+    assert!(stats.hedges_won >= stalled_pairs.len() as u64, "{stats:?}");
+}
+
+fn canary_gateway(backends: Vec<SocketAddr>, baseline: &str, min_samples: u64, ladder: Vec<u32>) -> GatewayServer {
+    let mut config = gateway_config(backends, baseline);
+    config.canary_backends = vec![1];
+    config.canary = CanaryConfig {
+        shadow_sample_bp: 10_000,
+        min_samples,
+        divergence_threshold: 1e-9,
+        ladder,
+        auto_advance: true,
+    };
+    GatewayServer::start(config).expect("gateway")
+}
+
+#[test]
+fn divergent_canary_rolls_back_automatically_with_zero_errors() {
+    let dir = scratch_dir("rollback");
+    let baseline = write_artifact(&dir, "baseline.json", tiny_model());
+    let candidate = write_artifact(&dir, "divergent.json", divergent_model());
+    let backend_a = start_backend(&baseline);
+    let backend_b = start_backend(&baseline);
+    let gateway = canary_gateway(
+        vec![backend_a.local_addr(), backend_b.local_addr()],
+        &baseline,
+        8,
+        vec![500, 5_000],
+    );
+
+    let mut stream = connect(gateway.local_addr());
+    let reload = http_roundtrip(
+        &mut stream,
+        "POST",
+        "/reload",
+        Some(&format!("{{\"path\": {}}}", serde::json::to_string(&candidate))),
+    )
+    .expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    assert!(reload.body.contains("shadow"), "{}", reload.body);
+
+    // Shadow comparisons run after each response; with min_samples=8 the
+    // divergence verdict must fire within a handful of requests.
+    for pair_id in 0..16u64 {
+        let mut stream = connect(gateway.local_addr());
+        let response = http_roundtrip(&mut stream, "POST", "/score", Some(&score_body(pair_id))).expect("score");
+        assert_eq!(
+            response.status, 200,
+            "divergence rollback must not sever live traffic: {}",
+            response.body
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = stats(gateway.local_addr());
+        if stats_u64(&snapshot, &["canary", "rollbacks"]) >= 1 {
+            let phase: String = serde::from_value(snapshot.get("canary").and_then(|c| c.get("phase")).expect("phase"))
+                .expect("phase string");
+            assert_eq!(phase, "stable", "rollback must land back in Stable");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rollback never fired: {}",
+            serde::json::to_string(&snapshot)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The canary backend is back on the baseline artifact: digests agree
+    // and its /reload counter shows candidate + rollback loads.
+    let snapshot = gateway.stats();
+    assert_eq!(
+        snapshot.backends[0].model_digest, snapshot.backends[1].model_digest,
+        "canary backend still serves the divergent artifact"
+    );
+    assert_eq!(
+        snapshot.backends[1].model_version, 3,
+        "expected load(candidate)+load(baseline) on the canary"
+    );
+    assert_eq!(
+        snapshot.responses_non_2xx, 0,
+        "zero severed/errored responses through the whole cycle"
+    );
+}
+
+#[test]
+fn equivalent_canary_walks_the_ladder_to_promotion() {
+    let dir = scratch_dir("promote");
+    let baseline = write_artifact(&dir, "baseline.json", tiny_model());
+    // Same trained parameters exported under a new path: the digest is
+    // equal, the scores bit-identical — the canary must promote.
+    let candidate = write_artifact(&dir, "candidate.json", tiny_model());
+    let backend_a = start_backend(&baseline);
+    let backend_b = start_backend(&baseline);
+    let gateway = canary_gateway(
+        vec![backend_a.local_addr(), backend_b.local_addr()],
+        &baseline,
+        4,
+        vec![2_000],
+    );
+
+    let mut stream = connect(gateway.local_addr());
+    let reload = http_roundtrip(
+        &mut stream,
+        "POST",
+        "/reload",
+        Some(&format!("{{\"path\": {}}}", serde::json::to_string(&candidate))),
+    )
+    .expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.body);
+
+    // Identical scores: each rung passes after min_samples=4 comparisons.
+    // Shadow rung → Serving(2000) → promote (single-rung ladder).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut pair_id = 0u64;
+    loop {
+        let mut stream = connect(gateway.local_addr());
+        let response = http_roundtrip(&mut stream, "POST", "/score", Some(&score_body(pair_id))).expect("score");
+        assert_eq!(response.status, 200, "{}", response.body);
+        pair_id += 1;
+        let snapshot = stats(gateway.local_addr());
+        if stats_u64(&snapshot, &["canary", "promotions"]) >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "promotion never fired: {}",
+            serde::json::to_string(&snapshot)
+        );
+    }
+    let snapshot = gateway.stats();
+    assert_eq!(snapshot.canary.phase, "stable");
+    assert_eq!(
+        snapshot.canary.rollbacks, 0,
+        "an equivalent candidate must never roll back"
+    );
+    assert_eq!(
+        snapshot.backends[0].model_version, 2,
+        "promotion must reload the baseline backend onto the candidate"
+    );
+    assert_eq!(snapshot.backends[0].model_digest, snapshot.backends[1].model_digest);
+    assert_eq!(
+        snapshot.responses_non_2xx, 0,
+        "zero errored responses through the promotion"
+    );
+    // A new canary can now begin: the controller is Stable again.
+    let mut stream = connect(gateway.local_addr());
+    let again = http_roundtrip(
+        &mut stream,
+        "POST",
+        "/reload",
+        Some(&format!("{{\"path\": {}}}", serde::json::to_string(&candidate))),
+    )
+    .expect("second reload");
+    assert_eq!(again.status, 200, "{}", again.body);
+}
+
+#[test]
+fn gateway_applies_the_same_parser_conformance_rules() {
+    let dir = scratch_dir("conformance");
+    let baseline = write_artifact(&dir, "baseline.json", tiny_model());
+    let backend = start_backend(&baseline);
+    let gateway = GatewayServer::start(gateway_config(vec![backend.local_addr()], &baseline)).expect("gateway");
+
+    // Conflicting Content-Length repeats are a 400 at the gateway edge —
+    // the request never reaches a backend where it could be framed
+    // differently.
+    let mut stream = connect(gateway.local_addr());
+    let body = score_body(1);
+    write!(
+        stream,
+        "POST /score HTTP/1.1\r\nHost: gw\r\nContent-Length: {}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+        body.len() + 2
+    )
+    .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+    assert!(response.contains("conflicting Content-Length"), "{response}");
+
+    // Expect: 100-continue gets the interim response from the gateway, and
+    // the final response still carries real backend scores.
+    let mut stream = connect(gateway.local_addr());
+    write!(
+        stream,
+        "POST /score HTTP/1.1\r\nHost: gw\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    let mut interim = [0u8; 25];
+    stream.read_exact(&mut interim).expect("read interim");
+    assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let response = er_serve::read_http_response(&mut stream).expect("final response");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains("scores"), "{}", response.body);
+}

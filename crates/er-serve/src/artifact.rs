@@ -141,6 +141,30 @@ impl ModelArtifact {
         let text = std::fs::read_to_string(path)?;
         Self::from_json(&text)
     }
+
+    /// Stable content digest of the model payload — see [`model_digest`].
+    /// The `producer` tag and `format_version` wrapper are excluded, so two
+    /// artifacts carrying the same trained parameters digest identically
+    /// regardless of which process exported them.
+    pub fn digest(&self) -> String {
+        model_digest(&self.model)
+    }
+}
+
+/// Hex-encoded FNV-1a (64-bit) over the model's deterministic JSON
+/// encoding. Because the encoding has ordered keys and shortest-round-trip
+/// float formatting, equal parameters produce equal digests and any
+/// parameter change (a single rule weight included) changes the digest.
+/// The gateway compares this against `GET /healthz` to attest which
+/// artifact a backend is actually serving.
+pub fn model_digest(model: &LearnRiskModel) -> String {
+    let json = serde::json::to_string(model);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 #[cfg(test)]

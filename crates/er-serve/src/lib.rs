@@ -64,7 +64,7 @@ pub mod replay;
 pub mod server;
 pub mod trace;
 
-pub use artifact::{ArtifactError, ModelArtifact, FORMAT_VERSION};
+pub use artifact::{model_digest, ArtifactError, ModelArtifact, FORMAT_VERSION};
 pub use cache::LruCache;
 pub use engine::{EngineScratch, ScoreError, ScoreRequest, ScoringEngine};
 pub use executor::{BatchScoreError, CacheStats, ServeConfig, ShardedExecutor};

@@ -101,6 +101,11 @@ pub struct VersionedExecutor {
     /// Provenance of the model behind this version (the artifact's
     /// `producer` field, or `"boot"` for the engine the process started on).
     pub producer: String,
+    /// Content digest of the trained model this generation serves
+    /// ([`crate::artifact::model_digest`]): equal parameters ⇒ equal digest,
+    /// independent of producer tag or file path. The gateway uses it to
+    /// attest which artifact each backend is actually running.
+    pub digest: String,
     executor: ShardedExecutor,
 }
 
@@ -175,10 +180,12 @@ impl ReloadableExecutor {
     /// Boots serving state at version 1 from an in-memory engine.
     pub fn new(engine: ScoringEngine, config: ServeConfig) -> Self {
         let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
+        let digest = crate::artifact::model_digest(engine.model());
         Self {
             current: RwLock::new(Arc::new(VersionedExecutor {
                 version: 1,
                 producer: "boot".to_string(),
+                digest,
                 executor: ShardedExecutor::with_pool(engine, config, Arc::clone(&pool)),
             })),
             reload_lock: Mutex::new(()),
@@ -192,12 +199,14 @@ impl ReloadableExecutor {
     /// Boots serving state at version 1 from a loaded artifact.
     pub fn from_artifact(artifact: ModelArtifact, config: ServeConfig) -> Result<Self, ReloadError> {
         artifact.model.validate().map_err(ArtifactError::InvalidModel)?;
+        let digest = artifact.digest();
         let ModelArtifact { producer, model, .. } = artifact;
         let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
         Ok(Self {
             current: RwLock::new(Arc::new(VersionedExecutor {
                 version: 1,
                 producer,
+                digest,
                 executor: ShardedExecutor::with_pool(ScoringEngine::new(model), config, Arc::clone(&pool)),
             })),
             reload_lock: Mutex::new(()),
@@ -336,6 +345,7 @@ impl ReloadableExecutor {
         let next = Arc::new(VersionedExecutor {
             version: next_version,
             producer: artifact.producer,
+            digest: crate::artifact::model_digest(&artifact.model),
             executor,
         });
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;

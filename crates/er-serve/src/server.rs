@@ -32,8 +32,8 @@
 //! | Method & path      | Body                                   | Success |
 //! |--------------------|----------------------------------------|---------|
 //! | `POST /score`      | one [`ScoreRequest`] object or an array | `200` `{"model_version": v, "scores": [..]}` |
-//! | `GET /healthz`     | —                                      | `200` `{"status": "ok", "model_version": v}` |
-//! | `GET /version`     | —                                      | `200` `{"model_version": v, "producer": .., "format_version": ..}` |
+//! | `GET /healthz`     | —                                      | `200` `{"status": "ok", "model_version": v, "model_digest": ..}` |
+//! | `GET /version`     | —                                      | `200` `{"model_version": v, "producer": .., "format_version": .., "model_digest": ..}` |
 //! | `GET /stats`       | —                                      | `200` response counters + micro-batch stats |
 //! | `GET /metrics`     | —                                      | `200` Prometheus text exposition ([`crate::metrics`]) |
 //! | `POST /reload`     | `{"path": "artifact.json"}`            | `200` `{"model_version": v+1}` |
@@ -962,6 +962,16 @@ struct Conn {
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
     written: usize,
+    /// Pending interim-response bytes (`100 Continue`), written ahead of any
+    /// final response. Almost always flushed in one nonblocking write; the
+    /// unsent tail survives here if the kernel buffer pushes back.
+    interim: Vec<u8>,
+    /// How much of `interim` has been written.
+    interim_sent: usize,
+    /// An interim `100 Continue` has been sent for the request currently
+    /// being received (reset once that request parses completely), so a
+    /// slow-trickling body cannot elicit a storm of interim responses.
+    continue_sent: bool,
     outgoing: Option<Outgoing>,
     /// Hard lifetime cap (`None` if it overflows `Instant` — effectively
     /// unlimited).
@@ -1147,6 +1157,9 @@ impl Driver {
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             written: 0,
+            interim: Vec::new(),
+            interim_sent: 0,
+            continue_sent: false,
             outgoing: None,
             // Hard lifetime: a keep-alive connection is closed once it has
             // been open this long, bounding how long any one client can
@@ -1189,6 +1202,9 @@ impl Driver {
             read_buf: Vec::new(),
             write_buf: response.into_bytes(),
             written: 0,
+            interim: Vec::new(),
+            interim_sent: 0,
+            continue_sent: false,
             outgoing: None,
             expires: None,
             write_deadline: Some(Instant::now() + self.shared.config.write_timeout),
@@ -1221,8 +1237,11 @@ impl Driver {
                 ConnState::Awaiting(_) => break,
                 ConnState::Reading => {
                     match try_parse_request(&mut conn.read_buf, self.shared.config.max_body_bytes) {
-                        Ok(Some(request)) => self.dispatch(token, &mut conn, request),
-                        Ok(None) if eof => {
+                        Ok(ParseStep::Complete(request)) => {
+                            conn.continue_sent = false;
+                            self.dispatch(token, &mut conn, request);
+                        }
+                        Ok(ParseStep::Partial { .. }) if eof => {
                             if conn.read_buf.is_empty() {
                                 // Clean close: EOF between requests.
                                 return self.discard(conn);
@@ -1230,7 +1249,20 @@ impl Driver {
                             conn.close_after_flush = true;
                             self.queue_failure(&mut conn, RequestFailure::new(400, "connection closed mid-request"));
                         }
-                        Ok(None) => break,
+                        Ok(ParseStep::Partial { expect_continue }) => {
+                            // RFC 7231 §5.1.1: a conforming client pauses
+                            // after the head until it sees `100 Continue`.
+                            // Emit the interim response once per request,
+                            // nonblocking, so the body arrives promptly.
+                            if expect_continue && !conn.continue_sent {
+                                conn.continue_sent = true;
+                                conn.interim.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                            }
+                            if !self.flush_interim(&mut conn) {
+                                return self.discard(conn);
+                            }
+                            break;
+                        }
                         Err(failure) => {
                             conn.close_after_flush = true;
                             self.queue_failure(&mut conn, failure);
@@ -1282,6 +1314,9 @@ impl Driver {
     /// it into the connection table.
     fn park(&mut self, token: u64, mut conn: Conn) {
         let want = match &conn.state {
+            // A pending interim (`100 Continue`) tail also needs send-buffer
+            // space, so the poller watches both directions until it drains.
+            ConnState::Reading if conn.interim_sent < conn.interim.len() => Some(Interest::BOTH),
             ConnState::Reading => Some(Interest::READABLE),
             // Deregistered entirely: completions re-arm the connection, and
             // buffered pipelined bytes must not spin the poller meanwhile.
@@ -1378,7 +1413,13 @@ impl Driver {
         }
         response.push_str("\r\n");
         response.push_str(&parts.body);
-        conn.write_buf = response.into_bytes();
+        // Any unsent interim (`100 Continue`) tail must precede the final
+        // response on the wire, so it is folded into the same flush buffer.
+        let mut wire = conn.interim.split_off(conn.interim_sent);
+        conn.interim.clear();
+        conn.interim_sent = 0;
+        wire.extend_from_slice(response.as_bytes());
+        conn.write_buf = wire;
         conn.written = 0;
         conn.stall_until = self
             .shared
@@ -1396,6 +1437,24 @@ impl Driver {
             meta,
         });
         conn.state = ConnState::Flushing;
+    }
+
+    /// Writes as much of the pending interim (`100 Continue`) bytes as the
+    /// kernel accepts. Returns `false` when the peer is gone. `WouldBlock`
+    /// leaves the unsent tail in place; `park` then waits for writability.
+    fn flush_interim(&self, conn: &mut Conn) -> bool {
+        while conn.interim_sent < conn.interim.len() {
+            match conn.stream.write(&conn.interim[conn.interim_sent..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.interim_sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        conn.interim.clear();
+        conn.interim_sent = 0;
+        true
     }
 
     fn flush_step(&self, conn: &mut Conn) -> Flush {
@@ -1901,6 +1960,18 @@ struct ParsedRequest {
     deadline_ms: Option<u64>,
 }
 
+/// What [`try_parse_request`] left behind after one attempt.
+enum ParseStep {
+    /// One complete request was drained off the buffer.
+    Complete(ParsedRequest),
+    /// The bytes so far are a valid prefix — keep reading. `expect_continue`
+    /// is true when a complete head carrying `Expect: 100-continue` is
+    /// waiting on its body: the driver owes the client an interim
+    /// `100 Continue` before the peer will send another byte (RFC 7231
+    /// §5.1.1 — a conforming client stalls until it sees one).
+    Partial { expect_continue: bool },
+}
+
 struct RequestFailure {
     status: u16,
     message: String,
@@ -1916,40 +1987,45 @@ impl RequestFailure {
 }
 
 /// Tries to parse one complete HTTP/1.1 request off the front of the
-/// connection's accumulated read buffer. `Ok(None)` means the bytes so far
-/// are a valid prefix — keep reading; the consumed request is drained from
-/// the buffer, leaving any pipelined successor in place.
-fn try_parse_request(buffer: &mut Vec<u8>, max_body_bytes: usize) -> Result<Option<ParsedRequest>, RequestFailure> {
+/// connection's accumulated read buffer. [`ParseStep::Partial`] means the
+/// bytes so far are a valid prefix — keep reading; a consumed request is
+/// drained from the buffer, leaving any pipelined successor in place.
+fn try_parse_request(buffer: &mut Vec<u8>, max_body_bytes: usize) -> Result<ParseStep, RequestFailure> {
     let Some(head_end) = find_head_end(buffer) else {
         if buffer.len() > MAX_HEAD_BYTES {
             return Err(RequestFailure::new(431, "request head too large"));
         }
-        return Ok(None);
+        return Ok(ParseStep::Partial { expect_continue: false });
     };
     let head =
         std::str::from_utf8(&buffer[..head_end]).map_err(|_| RequestFailure::new(400, "request head is not UTF-8"))?;
-    let (method, path, content_length, close, client_id, request_id, deadline_ms) = parse_head(head)?;
-    if content_length > max_body_bytes {
+    let fields = parse_head(head)?;
+    if fields.content_length > max_body_bytes {
         return Err(RequestFailure::new(
             413,
-            format!("request body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"),
+            format!(
+                "request body of {} bytes exceeds the {max_body_bytes}-byte limit",
+                fields.content_length
+            ),
         ));
     }
-    let total = head_end + 4 + content_length;
+    let total = head_end + 4 + fields.content_length;
     if buffer.len() < total {
-        return Ok(None);
+        return Ok(ParseStep::Partial {
+            expect_continue: fields.expect_continue,
+        });
     }
     let body = String::from_utf8(buffer[head_end + 4..total].to_vec())
         .map_err(|_| RequestFailure::new(400, "request body is not UTF-8"))?;
     buffer.drain(..total);
-    Ok(Some(ParsedRequest {
-        method,
-        path,
+    Ok(ParseStep::Complete(ParsedRequest {
+        method: fields.method,
+        path: fields.path,
         body,
-        close,
-        client_id,
-        request_id,
-        deadline_ms,
+        close: fields.close,
+        client_id: fields.client_id,
+        request_id: fields.request_id,
+        deadline_ms: fields.deadline_ms,
     }))
 }
 
@@ -1957,9 +2033,27 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
     buffer.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-type ParsedHead = (String, String, usize, bool, Option<String>, Option<String>, Option<u64>);
+/// Everything [`parse_head`] extracts from a request head.
+struct HeadFields {
+    method: String,
+    path: String,
+    content_length: usize,
+    close: bool,
+    client_id: Option<String>,
+    request_id: Option<String>,
+    deadline_ms: Option<u64>,
+    /// The request carried `Expect: 100-continue`.
+    expect_continue: bool,
+}
 
-fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
+/// Whether any comma-separated token of `value` equals `token`
+/// case-insensitively — the HTTP list-header rule (`Connection: close,
+/// x-foo` still means close).
+fn header_list_contains(value: &str, token: &str) -> bool {
+    value.split(',').any(|t| t.trim().eq_ignore_ascii_case(token))
+}
+
+fn parse_head(head: &str) -> Result<HeadFields, RequestFailure> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
@@ -1969,11 +2063,12 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
     if !version.starts_with("HTTP/1.") {
         return Err(RequestFailure::new(400, format!("unsupported protocol {version}")));
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close = false;
     let mut client_id = None;
     let mut request_id = None;
     let mut deadline_ms = None;
+    let mut expect_continue = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -1982,9 +2077,24 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| RequestFailure::new(400, format!("bad Content-Length {value:?}")))?;
+                // RFC 7230 §3.3.3: repeated Content-Length headers with
+                // differing values are a request-smuggling vector (a proxy
+                // and the origin disagreeing on where the body ends) and
+                // must be rejected, not resolved last-one-wins. Identical
+                // repeats are tolerated per the same section.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(RequestFailure::new(
+                        400,
+                        format!(
+                            "conflicting Content-Length headers ({} then {parsed})",
+                            content_length.unwrap_or(0)
+                        ),
+                    ));
+                }
+                content_length = Some(parsed);
             }
             "transfer-encoding" => {
                 return Err(RequestFailure::new(
@@ -1992,7 +2102,13 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
                     "chunked bodies are not supported; send Content-Length",
                 ));
             }
-            "connection" => close = value.eq_ignore_ascii_case("close"),
+            // `Connection` is a comma-separated token list, and a request
+            // may carry several `Connection` headers: `close` anywhere in
+            // any of them means close. A later header must never un-set an
+            // earlier `close` (the old last-wins single-token compare did
+            // both wrong).
+            "connection" => close = close || header_list_contains(value, "close"),
+            "expect" => expect_continue = expect_continue || header_list_contains(value, "100-continue"),
             "x-client-id" if !value.is_empty() => client_id = Some(value.to_string()),
             "x-request-id" if !value.is_empty() => request_id = Some(value.to_string()),
             // Lenient by design: zero or garbage reads as "no usable
@@ -2003,15 +2119,16 @@ fn parse_head(head: &str) -> Result<ParsedHead, RequestFailure> {
             _ => {}
         }
     }
-    Ok((
-        method.to_string(),
-        path.to_string(),
-        content_length,
+    Ok(HeadFields {
+        method: method.to_string(),
+        path: path.to_string(),
+        content_length: content_length.unwrap_or(0),
         close,
         client_id,
         request_id,
         deadline_ms,
-    ))
+        expect_continue,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -2034,6 +2151,7 @@ struct ErrorResponse {
 struct HealthResponse {
     status: String,
     model_version: u64,
+    model_digest: String,
 }
 
 #[derive(Serialize)]
@@ -2041,6 +2159,7 @@ struct VersionResponse {
     model_version: u64,
     producer: String,
     format_version: u32,
+    model_digest: String,
 }
 
 #[derive(Serialize)]
@@ -2070,13 +2189,17 @@ fn error_body(message: &str, request_index: Option<usize>) -> String {
 /// (offloaded to a worker thread), which the driver intercepts first.
 fn inline_route(shared: &Shared, request: &ParsedRequest) -> ResponseParts {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => ResponseParts::json(
-            200,
-            serde::json::to_string(&HealthResponse {
-                status: "ok".to_string(),
-                model_version: shared.executor.version(),
-            }),
-        ),
+        ("GET", "/healthz") => {
+            let snapshot = shared.executor.snapshot();
+            ResponseParts::json(
+                200,
+                serde::json::to_string(&HealthResponse {
+                    status: "ok".to_string(),
+                    model_version: snapshot.version,
+                    model_digest: snapshot.digest.clone(),
+                }),
+            )
+        }
         ("GET", "/version") => {
             let snapshot = shared.executor.snapshot();
             ResponseParts::json(
@@ -2085,6 +2208,7 @@ fn inline_route(shared: &Shared, request: &ParsedRequest) -> ResponseParts {
                     model_version: snapshot.version,
                     producer: snapshot.producer.clone(),
                     format_version: crate::artifact::FORMAT_VERSION,
+                    model_digest: snapshot.digest.clone(),
                 }),
             )
         }
@@ -2303,7 +2427,7 @@ pub fn read_http_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {status_line:?}")))?;
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -2311,12 +2435,22 @@ pub fn read_http_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = value
+            let parsed: usize = value
                 .parse()
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+            // RFC 7230 §3.3.3: repeats must agree; conflicting repeats make
+            // the framing ambiguous, so the whole response is rejected.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "conflicting Content-Length headers in response",
+                ));
+            }
+            content_length = Some(parsed);
         }
         headers.push((name, value));
     }
+    let content_length = content_length.unwrap_or(0);
     let mut body = buffer[head_end + 4..].to_vec();
     while body.len() < content_length {
         match stream.read(&mut chunk) {

@@ -1,0 +1,278 @@
+//! HTTP/1.1 parser conformance over a raw [`TcpStream`]: the
+//! request-smuggling class of bugs that only matter once a proxy hop
+//! (`er-gateway`) sits in front of the server.
+//!
+//! Covered, each driven byte-by-byte over a real socket:
+//! - duplicate `Content-Length` headers: identical repeats are tolerated,
+//!   conflicting repeats are a 400 and the connection closes
+//!   (RFC 7230 §3.3.3 — anything laxer lets a gateway and a backend frame
+//!   the stream differently);
+//! - `Connection` header token lists: `close` is honored inside a
+//!   comma-separated list and survives a later `Connection` header rather
+//!   than being overwritten last-wins;
+//! - `Expect: 100-continue`: the server emits the `100 Continue` interim
+//!   response so conforming clients do not stall before sending the body;
+//! - the client-side [`read_http_response`] applies the same
+//!   conflicting-`Content-Length` rejection to response framing.
+
+use er_base::Label;
+use er_rulegen::{CmpOp, Condition, Rule};
+use er_serve::{
+    read_http_response, ModelArtifact, ReloadableExecutor, ScoreServer, ScoringEngine, ServeConfig, ServerConfig,
+};
+use learnrisk_core::{LearnRiskModel, RiskFeatureSet, RiskModelConfig};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_model() -> LearnRiskModel {
+    let rules = vec![
+        Rule::new(vec![Condition::new(0, CmpOp::Gt, 0.5)], Label::Inequivalent, 12, 0.9),
+        Rule::new(vec![Condition::new(1, CmpOp::Le, 0.4)], Label::Equivalent, 8, 0.85),
+    ];
+    let feature_set = RiskFeatureSet {
+        rules,
+        metrics: vec![],
+        expectations: vec![0.1, 0.9],
+        support: vec![12, 8],
+    };
+    LearnRiskModel::new(feature_set, RiskModelConfig::default())
+}
+
+fn start_server() -> ScoreServer {
+    let executor = Arc::new(ReloadableExecutor::new(
+        ScoringEngine::new(tiny_model()),
+        ServeConfig::default().with_threads(1),
+    ));
+    ScoreServer::start(executor, ServerConfig::default()).expect("bind")
+}
+
+/// Reads exactly one `Content-Length`-framed response head + body off the
+/// stream, returning `(status, head, body)`. Interim responses (no
+/// `Content-Length`, no body) parse as an empty body.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut buffer = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(
+            n > 0,
+            "EOF before response head; got {:?}",
+            String::from_utf8_lossy(&buffer)
+        );
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buffer[..head_end].to_vec()).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    let content_length: usize = head
+        .lines()
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+        .map(|(_, value)| value.trim().parse().expect("numeric Content-Length"))
+        .unwrap_or(0);
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    let extra = body.split_off(content_length);
+    assert!(
+        extra.is_empty() || content_length == 0,
+        "unexpected trailing bytes: {extra:?}"
+    );
+    (status, head, body)
+}
+
+/// The stream is closed by the peer: the next read returns EOF (possibly
+/// after draining stray bytes, of which there must be none).
+fn assert_closed(stream: &mut TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set timeout");
+    let mut chunk = [0u8; 64];
+    match stream.read(&mut chunk) {
+        Ok(0) => {}
+        Ok(n) => panic!(
+            "expected EOF, got {n} bytes: {:?}",
+            String::from_utf8_lossy(&chunk[..n])
+        ),
+        Err(e) => panic!("expected EOF, got error {e}"),
+    }
+}
+
+#[test]
+fn duplicate_identical_content_length_headers_are_tolerated() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let body = "x";
+    let request = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: {len}\r\nContent-Length: {len}\r\n\r\n{body}",
+        len = body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let (status, _, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn conflicting_content_length_headers_are_rejected_with_400() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Last-one-wins would frame the stream with length 1 and treat the
+    // trailing "GET /x ..." as a second request — the smuggling shape.
+    let request = "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\nContent-Length: 99\r\n\r\nx";
+    stream.write_all(request.as_bytes()).expect("write");
+    let (status, _, body) = read_one_response(&mut stream);
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("Content-Length"), "{text}");
+    // Framing is ambiguous, so the server must not keep reading the stream.
+    assert_closed(&mut stream);
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_inside_a_token_list_is_honored() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let request = "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close, x-custom\r\n\r\n";
+    stream.write_all(request.as_bytes()).expect("write");
+    let (status, _, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_closed(&mut stream);
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_survives_a_later_connection_header() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Last-wins parsing would let the second header un-set close.
+    let request = "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\nConnection: keep-alive\r\n\r\n";
+    stream.write_all(request.as_bytes()).expect("write");
+    let (status, _, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_closed(&mut stream);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_connections_still_serve_multiple_requests() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    for _ in 0..3 {
+        let request = "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n";
+        stream.write_all(request.as_bytes()).expect("write");
+        let (status, _, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn expect_100_continue_gets_an_interim_response_before_the_final_one() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let body = "[]";
+    // A conforming client sends the head, then waits for `100 Continue`
+    // before transmitting the body. Without the interim response this test
+    // deadlocks (bounded by the read timeout) — the pre-fix behavior.
+    let head = format!(
+        "POST /score HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    let (interim_status, interim_head, _) = read_one_response(&mut stream);
+    assert_eq!(interim_status, 100, "{interim_head}");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let (status, _, final_body) = read_one_response(&mut stream);
+    // What matters here is that the request completed instead of stalling
+    // out waiting for a body the client was never going to send.
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&final_body));
+    assert!(
+        String::from_utf8_lossy(&final_body).contains("scores"),
+        "{}",
+        String::from_utf8_lossy(&final_body)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn expect_100_continue_is_emitted_once_per_request_not_per_read() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let body = "[]";
+    let head = format!(
+        "POST /score HTTP/1.1\r\nHost: t\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    let (interim_status, _, _) = read_one_response(&mut stream);
+    assert_eq!(interim_status, 100);
+    // Dribble the body one byte at a time: each partial parse must NOT
+    // repeat the interim response.
+    for byte in body.as_bytes() {
+        stream.write_all(&[*byte]).expect("write byte");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_ne!(status, 100, "second interim response leaked: {head}");
+    server.shutdown();
+}
+
+#[test]
+fn client_read_response_rejects_conflicting_content_length() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream
+            .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nokay!")
+            .expect("write");
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let err = read_http_response(&mut stream).expect_err("conflicting framing must not parse");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    assert!(err.to_string().contains("Content-Length"), "{err}");
+    fake_server.join().expect("fake server");
+}
+
+#[test]
+fn client_read_response_accepts_duplicate_identical_content_length() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let fake_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream
+            .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nokay")
+            .expect("write");
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let response = read_http_response(&mut stream).expect("identical repeats are unambiguous");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body, "okay");
+    fake_server.join().expect("fake server");
+}
+
+// Referenced so the import list matches across test binaries that share
+// helper idioms; artifact round-trips get exercised in the gateway tests.
+#[test]
+fn artifact_round_trip_still_byte_stable() {
+    let artifact = ModelArtifact::new(tiny_model());
+    let json = artifact.to_json();
+    let reloaded = ModelArtifact::from_json(&json).expect("parse");
+    assert_eq!(reloaded.to_json(), json);
+}

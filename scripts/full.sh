@@ -18,8 +18,11 @@ export TRAIN_BENCH_JSON="$OUT/train_bench.json"
 export FIG13_JSON="$OUT/fig13.json"
 export SERVE_BENCH_METRICS_SNAPSHOT="$OUT/metrics-snapshot.prom"
 # The full tier drives the HTTP front-end (socket replay + mid-replay
-# hot-reload + backpressure smoke inside serve_bench) with a longer stream.
+# hot-reload + backpressure smoke inside serve_bench) with a longer stream,
+# and the multi-process gateway phase (real er-serve children behind
+# er-gateway) with a longer replay per scaling entry.
 export SERVE_BENCH_FRONTEND_REQUESTS="${FULL_FRONTEND_REQUESTS:-8000}"
+export SERVE_BENCH_GATEWAY_REQUESTS="${FULL_GATEWAY_REQUESTS:-4000}"
 
 echo "== full: release build =="
 cargo build --release --workspace

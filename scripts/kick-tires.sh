@@ -25,7 +25,10 @@ export SERVE_BENCH_METRICS_SNAPSHOT=out/metrics-snapshot.prom
 export SERVE_BENCH_TRACE_SNAPSHOT=out/trace-snapshot.json
 
 echo "== kick-tires: release build =="
-cargo build --release -p er-bench
+# er-serve and er-gateway build the backend/router binaries that the
+# serve_bench multi-process gateway phase and the gateway wiring smoke below
+# spawn as real OS processes.
+cargo build --release -p er-bench -p er-serve -p er-gateway
 
 rm -rf "$OUT"
 mkdir -p "$OUT"
@@ -136,19 +139,112 @@ grep -q '"severed_connections": 0' "$SERVE_BENCH_JSON" \
     || { echo "chaos phase reported severed connections" >&2; exit 1; }
 echo "chaos phase OK: supervised panics reconciled, zero severed connections, version pinned through torn reloads"
 
+# The gateway phase ran against real er-serve child processes: a scaling
+# series (1 and 2 backends), a hedging smoke against a fault-stalled backend,
+# and both canary cycles (promotion of an equivalent artifact, automatic
+# rollback of a divergent one). serve_bench asserts every invariant at
+# runtime; re-assert here that the attestations landed in the JSON so a
+# silently skipped gateway phase (e.g. a missing er-serve binary serializing
+# the block as null) cannot pass this tier.
+grep -q '"multi_process": true' "$SERVE_BENCH_JSON" \
+    || { echo "gateway phase did not run against real backend processes" >&2; exit 1; }
+grep -q '"backends": 2' "$SERVE_BENCH_JSON" \
+    || { echo "gateway scaling series is missing the 2-backend entry" >&2; exit 1; }
+grep -q '"scaling_2x":' "$SERVE_BENCH_JSON" \
+    || { echo "gateway phase did not record the 2-backend scaling ratio" >&2; exit 1; }
+for attestation in hedge_fired promotion_fired rollback_fired digests_converged; do
+    grep -q "\"$attestation\": true" "$SERVE_BENCH_JSON" \
+        || { echo "gateway phase did not attest $attestation" >&2; exit 1; }
+done
+if grep -qE '"(all_2xx|bit_exact)": false' "$SERVE_BENCH_JSON"; then
+    echo "gateway phase reported non-2xx responses or score divergence" >&2
+    exit 1
+fi
+echo "gateway phase OK: 2-backend scaling, hedge fired, canary promoted and rolled back, scores bit-exact"
+
+# The standalone gateway smoke: two in-process backends behind an in-process
+# gateway, 32 scores bit-exact through the hop, then one full automatic
+# rollback cycle on an injected divergent artifact.
+echo "== kick-tires: gateway smoke =="
+./target/release/gateway_smoke | tee "$OUT/gateway_smoke.txt"
+grep -q "gateway smoke OK" "$OUT/gateway_smoke.txt" || { echo "gateway smoke did not pass" >&2; exit 1; }
+
+# Binary wiring: spawn the real er-gateway binary in front of two real
+# er-serve binaries on localhost (reusing the artifact serve_bench exported),
+# then talk raw HTTP/1.1 to the gateway over /dev/tcp — liveness, stats, and
+# the RFC 7230 conflicting-Content-Length rejection at the gateway's own
+# parser.
+echo "== kick-tires: gateway binary wiring =="
+GATEWAY_ARTIFACT=out/serve_model.json
+test -s "$GATEWAY_ARTIFACT" || { echo "missing $GATEWAY_ARTIFACT (serve_bench exports it)" >&2; exit 1; }
+GW_PIDS=()
+cleanup_gateway() {
+    local pid
+    for pid in "${GW_PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup_gateway EXIT
+wait_for_banner() { # log-file -> prints the listening addr from the banner
+    local log=$1 i
+    for i in $(seq 1 100); do
+        if grep -q '^LISTENING ' "$log" 2>/dev/null; then
+            awk '/^LISTENING/ {print $2; exit}' "$log"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "no LISTENING banner in $log after 10s" >&2
+    return 1
+}
+http_request() { # addr request-bytes -> prints the full HTTP response
+    local addr=$1 request=$2
+    exec 9<>"/dev/tcp/${addr%:*}/${addr#*:}"
+    printf '%b' "$request" >&9
+    cat <&9
+    exec 9>&- 9<&-
+}
+./target/release/er-serve --artifact "$GATEWAY_ARTIFACT" --listen 127.0.0.1:0 --threads 1 \
+    >"$OUT/gw-backend-a.log" 2>&1 &
+GW_PIDS+=($!)
+./target/release/er-serve --artifact "$GATEWAY_ARTIFACT" --listen 127.0.0.1:0 --threads 1 \
+    >"$OUT/gw-backend-b.log" 2>&1 &
+GW_PIDS+=($!)
+BACKEND_A=$(wait_for_banner "$OUT/gw-backend-a.log")
+BACKEND_B=$(wait_for_banner "$OUT/gw-backend-b.log")
+./target/release/er-gateway --backend "$BACKEND_A" --backend "$BACKEND_B" --canary 1 \
+    --baseline "$GATEWAY_ARTIFACT" --listen 127.0.0.1:0 >"$OUT/gw-gateway.log" 2>&1 &
+GW_PIDS+=($!)
+GW_ADDR=$(wait_for_banner "$OUT/gw-gateway.log")
+HEALTH=$(http_request "$GW_ADDR" 'GET /healthz HTTP/1.1\r\nHost: kick-tires\r\nConnection: close\r\n\r\n')
+grep -q '200 OK' <<<"$HEALTH" || { echo "gateway /healthz did not return 200: $HEALTH" >&2; exit 1; }
+grep -q '"healthy_backends": 2' <<<"$HEALTH" \
+    || { echo "gateway does not see both backends healthy: $HEALTH" >&2; exit 1; }
+STATS=$(http_request "$GW_ADDR" 'GET /gateway/stats HTTP/1.1\r\nHost: kick-tires\r\nConnection: close\r\n\r\n')
+# /gateway/stats is compact JSON (no space after colons).
+grep -qE '"phase": ?"stable"' <<<"$STATS" || { echo "gateway canary not stable at boot: $STATS" >&2; exit 1; }
+DIGESTS=$(grep -oE '"model_digest": ?"[0-9a-f]+"' <<<"$STATS" | sort -u)
+[[ $(wc -l <<<"$DIGESTS") == 1 && -n "$DIGESTS" ]] \
+    || { echo "backends disagree on the artifact digest: $STATS" >&2; exit 1; }
+BAD_CL=$(http_request "$GW_ADDR" 'POST /score HTTP/1.1\r\nHost: kick-tires\r\nContent-Length: 2\r\nContent-Length: 3\r\nConnection: close\r\n\r\n{}')
+grep -q '400' <<<"$BAD_CL" \
+    || { echo "gateway accepted conflicting Content-Length headers: $BAD_CL" >&2; exit 1; }
+cleanup_gateway
+trap - EXIT
+echo "gateway binary wiring OK: 2 healthy backends, matching digests, conflicting Content-Length rejected"
+
 # Hot-path panic hygiene: the serving path recovers poisoned locks and
 # supervises panics, which only holds if no new `.unwrap()` / `.expect(`
-# sneaks into non-test er-serve source. Test modules (everything from the
-# first `#[cfg(test)]` line down) are exempt.
-LINT_HITS=$(for f in crates/er-serve/src/*.rs; do
+# sneaks into non-test er-serve or er-gateway source. Test modules
+# (everything from the first `#[cfg(test)]` line down) are exempt, as is the
+# er-gateway CLI binary (flag parsing fails loudly by design).
+LINT_HITS=$(for f in crates/er-serve/src/*.rs crates/er-gateway/src/*.rs; do
     awk '/#\[cfg\(test\)\]/ {exit} /\.unwrap\(\)|\.expect\(/ {print FILENAME ":" FNR ": " $0}' "$f"
 done)
 [[ -z "$LINT_HITS" ]] || {
-    echo "unwrap/expect in er-serve hot paths (use unwrap_or_else(|e| e.into_inner()) or propagate):" >&2
+    echo "unwrap/expect in er-serve/er-gateway hot paths (use unwrap_or_else(|e| e.into_inner()) or propagate):" >&2
     echo "$LINT_HITS" >&2
     exit 1
 }
-echo "er-serve hot paths carry no unwrap/expect"
+echo "er-serve and er-gateway hot paths carry no unwrap/expect"
 
 # Informational perf diff against the committed baseline (the CI perf-gate
 # job runs the same diff fatally; locally a regression only warns, since dev
