@@ -5,12 +5,17 @@
 //! feeds observations back in:
 //!
 //! ```text
-//!             begin()                 advance()            advance() … last rung
-//! Stable ───────────────▶ Shadow ───────────────▶ Serving(p₀) ─▶ … ─▶ Promote
-//!    ▲                      │                         │
-//!    └──────── rollback ◀───┴───── divergence ────────┘
+//!          begin()             loaded()            advance()         advance() … last rung
+//! Stable ─────────▶ Loading ────────────▶ Shadow ───────────▶ Serving(p₀) ─▶ … ─▶ Promote
+//!    ▲                 │                    │                      │
+//!    └── load failed ◀─┴──── rollback ◀────┴──── divergence ───────┘
 //! ```
 //!
+//! * **Loading**: the candidate is being pushed onto the canary backends;
+//!   routing stays 100% baseline and *no* comparisons are recorded — a
+//!   canary backend mid-reload still serves the baseline, and comparing
+//!   baseline against baseline would count zero-divergence samples toward a
+//!   verdict the candidate never earned.
 //! * **Shadow**: every request is served by a baseline backend; a sampled
 //!   slice is *also* sent to a canary backend and the two score vectors are
 //!   compared bit-by-bit. The canary's answers are never returned to
@@ -63,6 +68,9 @@ impl Default for CanaryConfig {
 pub enum Phase {
     /// No canary in flight; every backend serves the baseline artifact.
     Stable,
+    /// The candidate is being loaded onto the canary backends; traffic is
+    /// 100% baseline and no comparisons are recorded yet.
+    Loading,
     /// Canary backends hold the candidate; traffic is still 100% baseline,
     /// a sampled slice is shadow-compared.
     Shadow,
@@ -104,7 +112,7 @@ pub enum Action {
 /// Serializable snapshot for `/gateway/stats` and the bench attestations.
 #[derive(Debug, Clone, Serialize)]
 pub struct CanaryStatus {
-    /// `"stable"`, `"shadow"` or `"serving"`.
+    /// `"stable"`, `"loading"`, `"shadow"` or `"serving"`.
     pub phase: String,
     /// Canary share of the keyspace in basis points (0 outside Serving).
     pub percent_bp: u32,
@@ -163,8 +171,9 @@ impl CanaryController {
         &self.config
     }
 
-    /// Starts a canary for `candidate_path`. Errors when one is already in
-    /// flight — finish or roll it back first.
+    /// Starts a canary for `candidate_path`: the controller enters Loading
+    /// and waits for [`Self::loaded`] before any comparison counts. Errors
+    /// when one is already in flight — finish or roll it back first.
     pub fn begin(&self, candidate_path: String) -> Result<(), String> {
         let mut inner = self.lock();
         if inner.phase != Phase::Stable {
@@ -173,7 +182,7 @@ impl CanaryController {
                 inner.candidate_path.as_deref().unwrap_or("<unknown>")
             ));
         }
-        inner.phase = Phase::Shadow;
+        inner.phase = Phase::Loading;
         inner.candidate_path = Some(candidate_path);
         inner.comparisons = 0;
         inner.sum_abs = 0.0;
@@ -181,11 +190,20 @@ impl CanaryController {
         Ok(())
     }
 
+    /// Marks the candidate as loaded on every canary backend: Loading →
+    /// Shadow, and comparisons start counting. No-op outside Loading.
+    pub fn loaded(&self) {
+        let mut inner = self.lock();
+        if inner.phase == Phase::Loading {
+            inner.phase = Phase::Shadow;
+        }
+    }
+
     /// Routing plan for one pair id under the current phase.
     pub fn plan(&self, percent_slot: u32) -> RoutePlan {
         let inner = self.lock();
         match inner.phase {
-            Phase::Stable => RoutePlan {
+            Phase::Stable | Phase::Loading => RoutePlan {
                 serve_canary: false,
                 shadow_compare: false,
             },
@@ -212,7 +230,7 @@ impl CanaryController {
     /// rung advance (possibly promotion) on a pass when auto-advance is on.
     pub fn record_comparison(&self, baseline: &[f64], canary: &[f64]) -> Action {
         let mut inner = self.lock();
-        if matches!(inner.phase, Phase::Stable) {
+        if matches!(inner.phase, Phase::Stable | Phase::Loading) {
             return Action::None;
         }
         for (b, c) in baseline.iter().zip(canary.iter()) {
@@ -238,8 +256,10 @@ impl CanaryController {
     /// no canary is in flight.
     pub fn advance(&self) -> Result<Action, String> {
         let mut inner = self.lock();
-        if matches!(inner.phase, Phase::Stable) {
-            return Err("no canary in flight".to_string());
+        match inner.phase {
+            Phase::Stable => return Err("no canary in flight".to_string()),
+            Phase::Loading => return Err("canary candidate still loading".to_string()),
+            _ => {}
         }
         Ok(self.advance_locked(&mut inner))
     }
@@ -248,8 +268,10 @@ impl CanaryController {
     /// canary is in flight.
     pub fn rollback(&self) -> Result<Action, String> {
         let mut inner = self.lock();
-        if matches!(inner.phase, Phase::Stable) {
-            return Err("no canary in flight".to_string());
+        match inner.phase {
+            Phase::Stable => return Err("no canary in flight".to_string()),
+            Phase::Loading => return Err("canary candidate still loading".to_string()),
+            _ => {}
         }
         Ok(self.rollback_locked(&mut inner))
     }
@@ -284,6 +306,7 @@ impl CanaryController {
         let inner = self.lock();
         let (phase, percent_bp) = match inner.phase {
             Phase::Stable => ("stable", 0),
+            Phase::Loading => ("loading", 0),
             Phase::Shadow => ("shadow", 0),
             Phase::Serving { rung } => ("serving", self.config.ladder.get(rung).copied().unwrap_or(0)),
         };
@@ -308,7 +331,7 @@ impl CanaryController {
         inner.sum_abs = 0.0;
         inner.max_abs = 0.0;
         let next = match inner.phase {
-            Phase::Stable => return Action::None,
+            Phase::Stable | Phase::Loading => return Action::None,
             Phase::Shadow => 0,
             Phase::Serving { rung } => rung + 1,
         };
@@ -354,6 +377,7 @@ mod tests {
     fn identical_scores_walk_the_full_ladder_to_promotion() {
         let c = controller(1e-9, 4);
         c.begin("candidate.json".to_string()).expect("begin");
+        c.loaded();
         assert_eq!(c.status().phase, "shadow");
         // Shadow rung passes → Serving(500).
         assert_eq!(c.record_comparison(&[0.5; 4], &[0.5; 4]), Action::None);
@@ -381,6 +405,7 @@ mod tests {
     fn divergence_beyond_threshold_rolls_back() {
         let c = controller(1e-3, 4);
         c.begin("candidate.json".to_string()).expect("begin");
+        c.loaded();
         let action = c.record_comparison(&[0.5, 0.5, 0.5, 0.5], &[0.5, 0.5, 0.5, 0.9]);
         assert_eq!(
             action,
@@ -399,6 +424,7 @@ mod tests {
     fn sub_threshold_noise_does_not_roll_back() {
         let c = controller(1e-2, 8);
         c.begin("candidate.json".to_string()).expect("begin");
+        c.loaded();
         let baseline = [0.5f64; 8];
         let canary = [0.5000001f64; 8];
         // Passes the rung (mean 1e-7 < 1e-2) and advances instead.
@@ -410,10 +436,34 @@ mod tests {
     fn no_verdict_before_min_samples() {
         let c = controller(1e-9, 100);
         c.begin("candidate.json".to_string()).expect("begin");
+        c.loaded();
         // Wildly divergent, but only 2 of 100 required samples.
         assert_eq!(c.record_comparison(&[0.0, 0.0], &[1.0, 1.0]), Action::None);
         assert_eq!(c.status().phase, "shadow");
         assert_eq!(c.status().comparisons, 2);
+    }
+
+    #[test]
+    fn loading_phase_neither_compares_nor_advances() {
+        let c = controller(1e-9, 1);
+        c.begin("candidate.json".to_string()).expect("begin");
+        assert_eq!(c.status().phase, "loading");
+        let plan = c.plan(0);
+        assert!(!plan.serve_canary && !plan.shadow_compare, "loading must stay 100% baseline");
+        // Comparisons recorded before the candidate is on the canary
+        // backends are baseline-vs-baseline noise: they must not count
+        // toward a verdict, let alone advance the ladder.
+        assert_eq!(c.record_comparison(&[0.5], &[0.5]), Action::None);
+        assert_eq!(c.status().comparisons, 0);
+        assert_eq!(c.status().phase, "loading");
+        assert!(c.advance().is_err(), "cannot advance a canary that has not loaded");
+        assert!(c.rollback().is_err(), "nothing to roll back before the load lands");
+        c.loaded();
+        assert_eq!(c.status().phase, "shadow");
+        // A failed load aborts back to Stable and frees the slot.
+        c.rolled_back();
+        assert_eq!(c.status().phase, "stable");
+        assert!(c.begin("next.json".to_string()).is_ok());
     }
 
     #[test]
@@ -428,6 +478,7 @@ mod tests {
     fn serving_phase_routes_the_percent_slice_to_the_canary() {
         let c = controller(1e-9, 1);
         c.begin("candidate.json".to_string()).expect("begin");
+        c.loaded();
         c.record_comparison(&[0.5], &[0.5]); // → Serving(500)
         let plan_low = c.plan(499);
         assert!(plan_low.serve_canary);
@@ -453,6 +504,7 @@ mod tests {
         assert!(c.advance().is_err());
         assert!(c.rollback().is_err());
         c.begin("candidate.json".to_string()).expect("begin");
+        c.loaded();
         assert_eq!(c.advance().expect("advance"), Action::None);
         assert_eq!(c.status().percent_bp, 500);
         let action = c.rollback().expect("rollback");

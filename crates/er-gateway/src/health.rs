@@ -71,11 +71,20 @@ impl HealthState {
         &self.backends
     }
 
-    /// Probes every backend once, synchronously, updating the table.
+    /// Probes every backend once, updating the table. Probes run
+    /// concurrently (scoped threads) so one unresponsive backend cannot
+    /// stretch the sweep to `backends × probe_timeout` and delay the
+    /// ejection or re-admission of the others; the call still returns only
+    /// after every probe has resolved.
     pub fn probe_all(&self) {
-        for index in 0..self.backends.len() {
-            self.probe_one(index);
+        if self.backends.len() == 1 {
+            return self.probe_one(0);
         }
+        std::thread::scope(|scope| {
+            for index in 0..self.backends.len() {
+                scope.spawn(move || self.probe_one(index));
+            }
+        });
     }
 
     /// Probes one backend and folds the outcome into its state.

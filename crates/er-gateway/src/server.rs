@@ -299,12 +299,16 @@ enum ReadOutcome {
     Gone,
 }
 
-/// Reads one request off a blocking downstream socket. Applies the
-/// RFC 7230 §3.3.3 conflicting-`Content-Length` rejection, OR-combines
-/// `Connection` token lists, answers `Expect: 100-continue` with the
-/// interim response, and *strips* that header from what is forwarded — the
-/// gateway fields the expectation itself rather than proxying the stall
-/// upstream.
+/// Reads one request off a blocking downstream socket. Applies the same
+/// conformance rules as the backend parser: the RFC 7230 §3.3.3
+/// conflicting-`Content-Length` rejection, a 400 for any
+/// `Transfer-Encoding` (the gateway frames bodies by `Content-Length`
+/// only — silently ignoring chunked framing would re-parse the chunk bytes
+/// as smuggled follow-up requests), OR-combined `Connection` token lists,
+/// and HTTP/1.0 default-close semantics. Answers `Expect: 100-continue`
+/// with the interim response and *strips* that header from what is
+/// forwarded — the gateway fields the expectation itself rather than
+/// proxying the stall upstream.
 fn read_request(stream: &mut TcpStream, buffer: &mut Vec<u8>, max_body: usize) -> ReadOutcome {
     let mut chunk = [0u8; 4096];
     let mut continue_sent = false;
@@ -318,13 +322,18 @@ fn read_request(stream: &mut TcpStream, buffer: &mut Vec<u8>, max_body: usize) -
             let mut lines = head.split("\r\n");
             let request_line = lines.next().unwrap_or_default();
             let mut parts = request_line.split_whitespace();
-            let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+            let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next()) else {
                 return ReadOutcome::Bad(400, format!("malformed request line {request_line:?}"));
             };
+            if !version.starts_with("HTTP/1.") {
+                return ReadOutcome::Bad(400, format!("unsupported protocol {version}"));
+            }
+            let http10 = version == "HTTP/1.0";
             let method = method.to_string();
             let path = path.to_string();
             let mut content_length: Option<usize> = None;
             let mut close = false;
+            let mut keep_alive = false;
             let mut expect_continue = false;
             for line in lines {
                 let Some((name, value)) = line.split_once(':') else {
@@ -344,8 +353,13 @@ fn read_request(stream: &mut TcpStream, buffer: &mut Vec<u8>, max_body: usize) -
                         }
                         content_length = Some(parsed);
                     }
+                    "transfer-encoding" => {
+                        return ReadOutcome::Bad(400, "chunked bodies are not supported; send Content-Length".to_string());
+                    }
                     "connection" => {
                         close = close || value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
+                        keep_alive =
+                            keep_alive || value.split(',').any(|t| t.trim().eq_ignore_ascii_case("keep-alive"));
                     }
                     "expect" => {
                         expect_continue =
@@ -354,6 +368,9 @@ fn read_request(stream: &mut TcpStream, buffer: &mut Vec<u8>, max_body: usize) -
                     _ => {}
                 }
             }
+            // HTTP/1.0 defaults to close; an explicit `close` token always
+            // wins over `keep-alive` whatever the version.
+            let close = close || (http10 && !keep_alive);
             let content_length = content_length.unwrap_or(0);
             if content_length > max_body {
                 return ReadOutcome::Bad(413, format!("request body of {content_length} bytes is too large"));
@@ -455,7 +472,7 @@ fn write_reply(stream: &mut TcpStream, reply: &Reply, close: bool) -> io::Result
     stream.write_all(&reply.body)
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
@@ -495,7 +512,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn route_request(shared: &Shared, request: &DownstreamRequest) -> (Reply, Option<ShadowJob>) {
+fn route_request(shared: &Arc<Shared>, request: &DownstreamRequest) -> (Reply, Option<ShadowJob>) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/score") => handle_score(shared, request),
         ("GET", "/healthz") => {
@@ -539,7 +556,7 @@ struct ShadowJob {
 }
 
 impl ShadowJob {
-    fn run(self, shared: &Shared) {
+    fn run(self, shared: &Arc<Shared>) {
         let target_set_canary = !self.served_canary;
         let Some(backend) = pick_backend(shared, self.pair_id, target_set_canary) else {
             return;
@@ -794,10 +811,13 @@ fn reload_backend(shared: &Shared, backend: usize, path: &str) -> Result<(), Str
     Ok(())
 }
 
-/// Executes a canary [`Action`], spawning the reload work off the request
-/// path. One action at a time; duplicates are dropped (the controller will
-/// re-emit the verdict on the next comparison if it still stands).
-fn run_action(shared: &Shared, action: Action) {
+/// Executes a canary [`Action`] on a dedicated thread — the reload fan-out
+/// can take up to `backends × upstream_timeout`, and the caller is either a
+/// downstream connection thread (a shadow verdict) or a control request;
+/// neither may stall behind canary side effects. One action at a time; the
+/// `action_inflight` CAS drops duplicates (the controller will re-emit the
+/// verdict on the next comparison if it still stands).
+fn run_action(shared: &Arc<Shared>, action: Action) {
     let targets_and_done: Option<(Vec<usize>, bool, String)> = match action {
         Action::None => None,
         Action::RollbackCanaries { baseline_path } => {
@@ -820,22 +840,35 @@ fn run_action(shared: &Shared, action: Action) {
     {
         return;
     }
-    for backend in targets {
-        if let Err(e) = reload_backend(shared, backend, &path) {
-            eprintln!("er-gateway: canary action reload failed: {e}");
-        }
+    let worker = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("gw-canary-action".to_string())
+        .spawn(move || {
+            for backend in targets {
+                if let Err(e) = reload_backend(&worker, backend, &path) {
+                    eprintln!("er-gateway: canary action reload failed: {e}");
+                }
+            }
+            // Refresh digests *before* the controller flips phase: anyone
+            // who observes the promotion/rollback counter sees converged
+            // digests in the same stats snapshot.
+            worker.health.probe_all();
+            if is_promotion {
+                worker.canary.promoted();
+            } else {
+                worker.canary.rolled_back();
+            }
+            worker.action_inflight.store(false, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        // Could not spawn: release the guard; the verdict re-fires on the
+        // next comparison.
+        shared.action_inflight.store(false, Ordering::SeqCst);
+        eprintln!("er-gateway: cannot spawn canary action thread");
     }
-    if is_promotion {
-        shared.canary.promoted();
-    } else {
-        shared.canary.rolled_back();
-    }
-    // Refresh digests immediately so stats reflect the action.
-    shared.health.probe_all();
-    shared.action_inflight.store(false, Ordering::SeqCst);
 }
 
-fn handle_reload(shared: &Shared, request: &DownstreamRequest) -> Reply {
+fn handle_reload(shared: &Arc<Shared>, request: &DownstreamRequest) -> Reply {
     if shared.config.canary_backends.is_empty() || shared.config.canary_backends.len() >= shared.config.backends.len() {
         return Reply::error(
             503,
@@ -852,6 +885,10 @@ fn handle_reload(shared: &Shared, request: &DownstreamRequest) -> Reply {
         Some(path) => path,
         None => return Reply::error(400, "reload body must be {\"path\": \"artifact.json\"}"),
     };
+    // Reserve the canary slot (phase → Loading): the duplicate-canary guard
+    // engages now, but no shadow comparison counts until every canary
+    // backend actually holds the candidate — otherwise the ladder would
+    // advance on baseline-vs-baseline zero-divergence samples.
     if let Err(message) = shared.canary.begin(path.clone()) {
         return Reply::error(409, &message);
     }
@@ -869,6 +906,8 @@ fn handle_reload(shared: &Shared, request: &DownstreamRequest) -> Reply {
         }
     }
     shared.health.probe_all();
+    // Every canary backend holds the candidate: comparisons may begin.
+    shared.canary.loaded();
     Reply::json(
         200,
         format!(
@@ -879,7 +918,7 @@ fn handle_reload(shared: &Shared, request: &DownstreamRequest) -> Reply {
     )
 }
 
-fn handle_promote(shared: &Shared) -> Reply {
+fn handle_promote(shared: &Arc<Shared>) -> Reply {
     match shared.canary.advance() {
         Err(message) => Reply::error(409, &message),
         Ok(action) => {
@@ -896,7 +935,7 @@ fn handle_promote(shared: &Shared) -> Reply {
     }
 }
 
-fn handle_manual_rollback(shared: &Shared) -> Reply {
+fn handle_manual_rollback(shared: &Arc<Shared>) -> Reply {
     match shared.canary.rollback() {
         Err(message) => Reply::error(409, &message),
         Ok(action) => {

@@ -389,8 +389,10 @@ fn step(poller: &Poller, token: Token, flight: &mut InFlight) -> bool {
 }
 
 /// Incremental response parse: `Ok(None)` needs more bytes. Applies the
-/// conflicting-`Content-Length` rejection (RFC 7230 §3.3.3) — the gateway
-/// must never re-frame an ambiguous upstream response for its client.
+/// conflicting-`Content-Length` rejection (RFC 7230 §3.3.3) and refuses
+/// any `Transfer-Encoding` — the gateway frames bodies by `Content-Length`
+/// only, and re-framing a chunked (or otherwise encoded) upstream response
+/// for its client would smuggle the chunk metadata into the relayed body.
 fn try_parse_response(buffer: &[u8]) -> io::Result<Option<UpstreamResponse>> {
     let Some(head_end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") else {
         return Ok(None);
@@ -417,6 +419,12 @@ fn try_parse_response(buffer: &[u8]) -> io::Result<Option<UpstreamResponse>> {
         };
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
+        if name == "transfer-encoding" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "upstream response uses Transfer-Encoding; only Content-Length framing is supported",
+            ));
+        }
         if name == "content-length" {
             let parsed: usize = value
                 .parse()
@@ -483,6 +491,21 @@ mod tests {
     #[test]
     fn conflicting_upstream_content_length_is_invalid_data() {
         let addr = serve_once(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 7\r\n\r\nhello!!");
+        let pool = UpstreamPool::new(Duration::from_secs(2)).expect("pool");
+        let slot = pool.submit(addr, b"GET / HTTP/1.1\r\n\r\n".to_vec(), Duration::from_secs(5));
+        let err = slot
+            .take_timeout(Duration::from_secs(5))
+            .expect("done")
+            .expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn chunked_upstream_response_is_invalid_data() {
+        // A chunked response must be refused outright: framing it by the
+        // (absent) Content-Length would relay the chunk metadata as body
+        // bytes and desynchronize the downstream connection.
+        let addr = serve_once(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n");
         let pool = UpstreamPool::new(Duration::from_secs(2)).expect("pool");
         let slot = pool.submit(addr, b"GET / HTTP/1.1\r\n\r\n".to_vec(), Duration::from_secs(5));
         let err = slot
